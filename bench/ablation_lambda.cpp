@@ -1,0 +1,73 @@
+// Ablation C (paper Sec C): P-Orth skeleton depth λ. The paper picks λ=3
+// for 2D and λ=2 for 3D; this sweep shows the build/update tradeoff that
+// motivates the choice (deeper skeletons = fewer rounds of data movement
+// but more classification work and more buckets per round).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace psi;
+using namespace psi::bench;
+
+int main() {
+  const std::size_t n = bench_n(400'000);
+  const int reps = bench_repeats(3);
+  std::printf("Ablation C: P-Orth skeleton depth lambda, n=%zu\n", n);
+  std::printf("%-10s %-4s %4s %12s %12s %12s\n", "workload", "dim", "lam",
+              "build(s)", "insert1%(s)", "delete1%(s)");
+
+  for (const std::string workload : {"Uniform", "Varden"}) {
+    {
+      auto pts = make_workload_2d(workload, n, 1);
+      auto batch = make_workload_2d(workload, n / 100, 9);
+      for (int lambda : {1, 2, 3, 4}) {
+        POrthParams params;
+        params.skeleton_levels = lambda;
+        const double build_s = timed(
+            [&] {
+              POrthTree2 t(params, universe2());
+              t.build(pts);
+            },
+            reps);
+        POrthTree2 t(params, universe2());
+        t.build(pts);
+        Timer tm;
+        t.batch_insert(batch);
+        const double ins_s = tm.seconds();
+        tm.reset();
+        t.batch_delete(batch);
+        const double del_s = tm.seconds();
+        std::printf("%-10s %-4d %4d %12.4f %12.4f %12.4f\n", workload.c_str(),
+                    2, lambda, build_s, ins_s, del_s);
+      }
+    }
+    {
+      auto pts = make_workload_3d(workload, n, 1);
+      auto batch = make_workload_3d(workload, n / 100, 9);
+      for (int lambda : {1, 2, 3}) {
+        POrthParams params;
+        params.skeleton_levels = lambda;
+        const double build_s = timed(
+            [&] {
+              POrthTree3 t(params, universe3());
+              t.build(pts);
+            },
+            reps);
+        POrthTree3 t(params, universe3());
+        t.build(pts);
+        Timer tm;
+        t.batch_insert(batch);
+        const double ins_s = tm.seconds();
+        tm.reset();
+        t.batch_delete(batch);
+        const double del_s = tm.seconds();
+        std::printf("%-10s %-4d %4d %12.4f %12.4f %12.4f\n", workload.c_str(),
+                    3, lambda, build_s, ins_s, del_s);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,221 @@
+// Shared driver for the paper-reproduction benchmarks.
+//
+// Protocols follow paper Sec 5:
+//  * build: bulk construction time.
+//  * incremental insert/delete with batch ratio r: the index is built up
+//    (torn down) in 1/r batch operations; total time is reported, and the
+//    query block can be timed at the halfway point ("queries after 50% of
+//    the batches").
+//  * queries: 10-NN for in-distribution (jittered data points) and
+//    out-of-distribution (uniform) query sets, plus range-count/range-list
+//    with a target output size.
+//
+// Scales are laptop-sized by default and controlled by PSI_BENCH_N /
+// PSI_BENCH_Q / PSI_BENCH_REPEATS (absolute numbers will differ from the
+// paper's 112-core, 10^9-point runs; the comparisons of interest are
+// relative — see EXPERIMENTS.md).
+
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "psi/bench/harness.h"
+#include "psi/psi.h"
+
+namespace psi::bench {
+
+inline constexpr std::int64_t kMax2 = datagen::kDefaultMax2D;
+inline constexpr std::int64_t kMax3 = datagen::kDefaultMax3D;
+
+inline Box2 universe2() { return Box2{{{0, 0}}, {{kMax2, kMax2}}}; }
+inline Box3 universe3() { return Box3{{{0, 0, 0}}, {{kMax3, kMax3, kMax3}}}; }
+
+// ---------------------------------------------------------------------------
+// Workloads (paper Sec 5.1)
+// ---------------------------------------------------------------------------
+
+inline std::vector<Point2> make_workload_2d(const std::string& name,
+                                            std::size_t n, std::uint64_t seed) {
+  if (name == "Sweepline") return datagen::sweepline<2>(n, seed, kMax2);
+  if (name == "Varden") return datagen::varden<2>(n, seed, kMax2);
+  if (name == "OSM-sim") return datagen::osm_sim(n, seed, kMax2);
+  return datagen::uniform<2>(n, seed, kMax2);
+}
+
+inline std::vector<Point3> make_workload_3d(const std::string& name,
+                                            std::size_t n, std::uint64_t seed) {
+  if (name == "Sweepline") return datagen::sweepline<3>(n, seed, kMax3);
+  if (name == "Varden") return datagen::varden<3>(n, seed, kMax3);
+  if (name == "Cosmo-sim") return datagen::cosmo_sim(n, seed, kMax3);
+  return datagen::uniform<3>(n, seed, kMax3);
+}
+
+// Range side length so a box over uniform density holds ~`target` points.
+template <int D>
+std::int64_t side_for_output(std::size_t n, std::size_t target,
+                             std::int64_t coord_max) {
+  const double frac = static_cast<double>(target) / static_cast<double>(n);
+  const double side =
+      static_cast<double>(coord_max) * std::pow(frac, 1.0 / D);
+  return std::max<std::int64_t>(1, static_cast<std::int64_t>(side));
+}
+
+// ---------------------------------------------------------------------------
+// Index factories — the eight columns of Fig 3
+// ---------------------------------------------------------------------------
+
+// f(name, factory) for each parallel 2D index; `factory()` returns a fresh
+// empty index. Boost-R (sequential) is dispatched separately since the
+// paper reports it only for point-at-a-time updates + queries.
+template <typename F>
+void for_each_parallel_index_2d(F&& f) {
+  f("P-Orth", [] { return POrthTree2({}, universe2()); });
+  f("Zd-Tree", [] { return ZdTree2(); });
+  f("SPaC-H", [] { return SpacHTree2(); });
+  f("SPaC-Z", [] { return SpacZTree2(); });
+  f("CPAM-H", [] { return SpacHTree2(cpam_params()); });
+  f("CPAM-Z", [] { return SpacZTree2(cpam_params()); });
+  f("Pkd-Tree", [] { return PkdTree2(); });
+}
+
+template <typename F>
+void for_each_parallel_index_3d(F&& f) {
+  f("P-Orth", [] { return POrthTree3({}, universe3()); });
+  f("Zd-Tree", [] { return ZdTree3(); });
+  f("SPaC-H", [] { return SpacHTree3(); });
+  f("SPaC-Z", [] { return SpacZTree3(); });
+  f("CPAM-H", [] { return SpacHTree3(cpam_params()); });
+  f("CPAM-Z", [] { return SpacZTree3(cpam_params()); });
+  f("Pkd-Tree", [] { return PkdTree3(); });
+}
+
+// ---------------------------------------------------------------------------
+// Query block
+// ---------------------------------------------------------------------------
+
+template <typename PointT>
+struct QuerySet {
+  std::vector<PointT> ind;  // in-distribution
+  std::vector<PointT> ood;  // out-of-distribution
+  std::vector<Box<typename PointT::coord_t, PointT::kDim>> ranges;
+  std::size_t k = 10;
+};
+
+template <typename PointT>
+QuerySet<PointT> make_queries(const std::vector<PointT>& data, std::size_t q,
+                              std::size_t num_ranges, std::int64_t side,
+                              std::int64_t coord_max, std::uint64_t seed) {
+  QuerySet<PointT> qs;
+  qs.ind = datagen::ind_queries(data, q, seed, coord_max);
+  qs.ood = datagen::uniform<PointT::kDim>(q, hash64(seed, 99), coord_max);
+  auto anchors = datagen::ind_queries(data, num_ranges, hash64(seed, 7),
+                                      coord_max);
+  qs.ranges = datagen::range_boxes(anchors, side, coord_max);
+  return qs;
+}
+
+struct QueryTimes {
+  double knn_ind = 0, knn_ood = 0, range_count = 0, range_list = 0;
+};
+
+// Queries of one kind run "in parallel" over the query set (paper: different
+// queries run in parallel), implemented with parallel_for + per-query work.
+template <typename Index, typename PointT>
+QueryTimes run_queries(const Index& index, const QuerySet<PointT>& qs) {
+  QueryTimes out;
+  volatile std::size_t sink = 0;
+  {
+    Timer t;
+    std::vector<std::size_t> acc(qs.ind.size());
+    parallel_for(0, qs.ind.size(),
+                 [&](std::size_t i) { acc[i] = index.knn(qs.ind[i], qs.k).size(); },
+                 1);
+    out.knn_ind = t.seconds();
+    for (auto a : acc) sink = sink + a;
+  }
+  {
+    Timer t;
+    std::vector<std::size_t> acc(qs.ood.size());
+    parallel_for(0, qs.ood.size(),
+                 [&](std::size_t i) { acc[i] = index.knn(qs.ood[i], qs.k).size(); },
+                 1);
+    out.knn_ood = t.seconds();
+    for (auto a : acc) sink = sink + a;
+  }
+  {
+    Timer t;
+    std::vector<std::size_t> acc(qs.ranges.size());
+    parallel_for(0, qs.ranges.size(),
+                 [&](std::size_t i) { acc[i] = index.range_count(qs.ranges[i]); },
+                 1);
+    out.range_count = t.seconds();
+    for (auto a : acc) sink = sink + a;
+  }
+  {
+    Timer t;
+    std::vector<std::size_t> acc(qs.ranges.size());
+    parallel_for(
+        0, qs.ranges.size(),
+        [&](std::size_t i) { acc[i] = index.range_list(qs.ranges[i]).size(); },
+        1);
+    out.range_list = t.seconds();
+    for (auto a : acc) sink = sink + a;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental updates (paper Sec 5.1: construct/deconstruct in n/b batches)
+// ---------------------------------------------------------------------------
+
+// Incrementally inserts `pts` in batches; returns total update time. If
+// `mid` is non-null, the query block is run (untimed within the update
+// total) after half of the batches and stored there.
+template <typename Index, typename PointT>
+double incremental_insert(Index& index, const std::vector<PointT>& pts,
+                          std::size_t batch, const QuerySet<PointT>* qs,
+                          QueryTimes* mid) {
+  double total = 0;
+  const std::size_t half = pts.size() / 2;
+  bool measured_mid = false;
+  for (std::size_t lo = 0; lo < pts.size(); lo += batch) {
+    const std::size_t hi = std::min(pts.size(), lo + batch);
+    std::vector<PointT> b(pts.begin() + static_cast<std::ptrdiff_t>(lo),
+                          pts.begin() + static_cast<std::ptrdiff_t>(hi));
+    Timer t;
+    index.batch_insert(b);
+    total += t.seconds();
+    if (!measured_mid && qs != nullptr && mid != nullptr && hi >= half) {
+      *mid = run_queries(index, *qs);
+      measured_mid = true;
+    }
+  }
+  return total;
+}
+
+template <typename Index, typename PointT>
+double incremental_delete(Index& index, const std::vector<PointT>& pts,
+                          std::size_t batch, const QuerySet<PointT>* qs,
+                          QueryTimes* mid) {
+  double total = 0;
+  const std::size_t half = pts.size() / 2;
+  bool measured_mid = false;
+  for (std::size_t lo = 0; lo < pts.size(); lo += batch) {
+    const std::size_t hi = std::min(pts.size(), lo + batch);
+    std::vector<PointT> b(pts.begin() + static_cast<std::ptrdiff_t>(lo),
+                          pts.begin() + static_cast<std::ptrdiff_t>(hi));
+    Timer t;
+    index.batch_delete(b);
+    total += t.seconds();
+    if (!measured_mid && qs != nullptr && mid != nullptr && hi >= half) {
+      *mid = run_queries(index, *qs);
+      measured_mid = true;
+    }
+  }
+  return total;
+}
+
+}  // namespace psi::bench

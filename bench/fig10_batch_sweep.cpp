@@ -1,0 +1,57 @@
+// Figure 10 reproduction: single batch insertion/deletion time vs batch
+// size, on a pre-built tree. The paper sweeps batches of 10^5..10^9 points
+// into a 10^9-point tree; we sweep 0.1%..100% of n. Expected shape: all
+// indexes scale roughly linearly in batch size; SPaC-H fastest except
+// uniform deletes (P-Orth); Pkd degrades on skewed data (large rebuilds).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace psi;
+using namespace psi::bench;
+
+int main() {
+  const std::size_t n = bench_n(200'000);
+  std::printf("Fig 10: single batch update vs batch size, base tree n=%zu\n", n);
+  const std::vector<double> fractions = {0.001, 0.01, 0.1, 1.0};
+
+  for (const std::string workload : {"Uniform", "Sweepline", "Varden"}) {
+    auto pts = make_workload_2d(workload, n, 1);
+
+    std::printf("\n=== Fig 10 | %s ===\n", workload.c_str());
+    std::printf("%-9s %-7s", "index", "op");
+    for (double f : fractions) {
+      std::printf("  b=%-8zu", static_cast<std::size_t>(f * n));
+    }
+    std::printf(" (seconds)\n");
+
+    for_each_parallel_index_2d([&](const char* name, auto factory) {
+      std::vector<double> ins_s, del_s;
+      for (double f : fractions) {
+        const auto b = static_cast<std::size_t>(f * n);
+        // Batch points drawn from the same distribution (fresh seed).
+        auto batch = make_workload_2d(workload, b, 7);
+        auto index = factory();
+        index.build(pts);
+        Timer t;
+        index.batch_insert(batch);
+        ins_s.push_back(t.seconds());
+        // Delete an equal number of existing points.
+        std::vector<Point2> dels(pts.begin(),
+                                 pts.begin() + static_cast<std::ptrdiff_t>(b));
+        t.reset();
+        index.batch_delete(dels);
+        del_s.push_back(t.seconds());
+      }
+      std::printf("%-9s %-7s", name, "insert");
+      for (double x : ins_s) std::printf(" %10.4f", x);
+      std::printf("\n%-9s %-7s", name, "delete");
+      for (double x : del_s) std::printf(" %10.4f", x);
+      std::printf("\n");
+    });
+  }
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Figure 3 reproduction: the main 2D synthetic-workload table.
+//
+// For each workload (Uniform, Sweepline, Varden) and each index, reports:
+//   * Build time (full n).
+//   * Queries after building with 50% of the data (static reference):
+//     10-NN InD / 10-NN OOD / range-count / range-list.
+//   * Incremental insertion: total time to grow the index from empty to n
+//     in batches of ratio {10%, 1%, 0.1%, 0.01%} of n.
+//   * Queries after 50% of the insertion batches (smallest ratio run).
+//   * Incremental deletion (same ratios, from full to empty) and queries
+//     after 50% of the deletion batches.
+//   * Boost-R row: sequential point-at-a-time updates; only the query
+//     columns are meaningful (as in the paper).
+//
+// Scale via PSI_BENCH_N (default 100k; paper used 10^9 on 112 cores).
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace psi;
+using namespace psi::bench;
+
+namespace {
+
+const std::vector<double> kRatios = {0.10, 0.01, 0.001, 0.0001};
+
+struct Row {
+  std::string name;
+  double build = 0;
+  QueryTimes q_build;
+  std::vector<double> ins;
+  QueryTimes q_ins;
+  std::vector<double> del;
+  QueryTimes q_del;
+};
+
+void print_rows(const std::string& workload, const std::vector<Row>& rows) {
+  std::printf("\n=== Fig 3 | %s ===\n", workload.c_str());
+  std::printf(
+      "%-9s %8s | %8s %8s %8s %8s | %8s %8s %8s %8s | %8s %8s %8s %8s | "
+      "%8s %8s %8s %8s | %8s %8s %8s %8s\n",
+      "index", "build", "InD", "OOD", "RgCnt", "RgList", "Ins10%", "Ins1%",
+      "Ins.1%", "Ins.01%", "InD", "OOD", "RgCnt", "RgList", "Del10%", "Del1%",
+      "Del.1%", "Del.01%", "InD", "OOD", "RgCnt", "RgList");
+  for (const auto& r : rows) {
+    auto q = [](double v) { return v; };
+    std::printf(
+        "%-9s %8.3f | %8.4f %8.4f %8.4f %8.4f | %8.3f %8.3f %8.3f %8.3f | "
+        "%8.4f %8.4f %8.4f %8.4f | %8.3f %8.3f %8.3f %8.3f | %8.4f %8.4f "
+        "%8.4f %8.4f\n",
+        r.name.c_str(), r.build, q(r.q_build.knn_ind), q(r.q_build.knn_ood),
+        q(r.q_build.range_count), q(r.q_build.range_list), r.ins[0], r.ins[1],
+        r.ins[2], r.ins[3], q(r.q_ins.knn_ind), q(r.q_ins.knn_ood),
+        q(r.q_ins.range_count), q(r.q_ins.range_list), r.del[0], r.del[1],
+        r.del[2], r.del[3], q(r.q_del.knn_ind), q(r.q_del.knn_ood),
+        q(r.q_del.range_count), q(r.q_del.range_list));
+  }
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = bench_n(100'000);
+  const std::size_t q = bench_queries(500);
+  std::printf("Fig 3: 2D synthetic workloads, n=%zu, %zu queries/kind, %d workers\n",
+              n, q, num_workers());
+
+  for (const std::string workload : {"Uniform", "Sweepline", "Varden"}) {
+    auto pts = make_workload_2d(workload, n, 1);
+    std::vector<Point2> half(pts.begin(),
+                             pts.begin() + static_cast<std::ptrdiff_t>(n / 2));
+    const std::int64_t side = side_for_output<2>(n, std::max<std::size_t>(10, n / 100), kMax2);
+    auto queries = make_queries(half, q, q / 4 + 1, side, kMax2, 2);
+
+    std::vector<Row> rows;
+    for_each_parallel_index_2d([&](const char* name, auto factory) {
+      Row row;
+      row.name = name;
+      {
+        auto index = factory();
+        Timer t;
+        index.build(pts);
+        row.build = t.seconds();
+      }
+      {
+        auto index = factory();
+        index.build(half);
+        row.q_build = run_queries(index, queries);
+      }
+      for (double ratio : kRatios) {
+        const auto batch =
+            std::max<std::size_t>(1, static_cast<std::size_t>(ratio * n));
+        auto index = factory();
+        const bool last = ratio == kRatios.back();
+        row.ins.push_back(incremental_insert(
+            index, pts, batch, last ? &queries : nullptr,
+            last ? &row.q_ins : nullptr));
+      }
+      for (double ratio : kRatios) {
+        const auto batch =
+            std::max<std::size_t>(1, static_cast<std::size_t>(ratio * n));
+        auto index = factory();
+        index.build(pts);
+        const bool last = ratio == kRatios.back();
+        row.del.push_back(incremental_delete(
+            index, pts, batch, last ? &queries : nullptr,
+            last ? &row.q_del : nullptr));
+      }
+      rows.push_back(std::move(row));
+    });
+
+    // Boost-R baseline: sequential, point updates only (paper footnote †).
+    {
+      Row row;
+      row.name = "Boost-R";
+      row.ins.assign(4, 0.0);
+      row.del.assign(4, 0.0);
+      RTree2 index;
+      for (const auto& p : half) index.insert(p);
+      row.q_ins = run_queries(index, queries);
+      // Delete half of what was inserted, then query again.
+      for (std::size_t i = 0; i < half.size() / 2; ++i) index.erase(half[i]);
+      row.q_del = run_queries(index, queries);
+      row.q_build = row.q_ins;  // static reference equals the built tree
+      rows.push_back(std::move(row));
+    }
+
+    print_rows(workload, rows);
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 4 reproduction: k-NN query time vs k ∈ {1, 10, 100}, for InD and
+// OOD query sets, on a tree built by incremental insertion (so index
+// quality reflects the dynamic setting, as in the paper). Workloads:
+// Uniform, Sweepline, Varden (2D).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace psi;
+using namespace psi::bench;
+
+int main() {
+  const std::size_t n = bench_n(100'000);
+  const std::size_t q = bench_queries(1000);
+  // Paper: tree constructed by incremental insertion with batch ratio 0.01%;
+  // scaled here to keep the bench fast: ratio 0.1%.
+  const std::size_t batch = std::max<std::size_t>(1, n / 1000);
+  std::printf("Fig 4: 10-NN time vs k, n=%zu (incremental build, batch %zu), "
+              "%zu queries, %d workers\n",
+              n, batch, q, num_workers());
+
+  for (const std::string workload : {"Uniform", "Sweepline", "Varden"}) {
+    auto pts = make_workload_2d(workload, n, 1);
+    auto ind = datagen::ind_queries(pts, q, 3, kMax2);
+    auto ood = datagen::ood_queries<2>(q, 3, kMax2);
+
+    std::printf("\n=== Fig 4 | %s ===\n", workload.c_str());
+    std::printf("%-9s", "index");
+    for (const char* kind : {"InD", "OOD"}) {
+      for (int k : {1, 10, 100}) std::printf(" %6s-k%-3d", kind, k);
+    }
+    std::printf("\n");
+
+    for_each_parallel_index_2d([&](const char* name, auto factory) {
+      auto index = factory();
+      incremental_insert(index, pts, batch, (QuerySet<Point2>*)nullptr,
+                         nullptr);
+      std::printf("%-9s", name);
+      for (const auto* qs : {&ind, &ood}) {
+        for (std::size_t k : {1u, 10u, 100u}) {
+          Timer t;
+          std::vector<std::size_t> acc(qs->size());
+          parallel_for(0, qs->size(),
+                       [&](std::size_t i) { acc[i] = index.knn((*qs)[i], k).size(); },
+                       1);
+          std::printf(" %10.4f", t.seconds());
+        }
+      }
+      std::printf("\n");
+    });
+
+    // Boost-R for reference (sequential build by repeated insertion).
+    {
+      RTree2 index;
+      for (const auto& p : pts) index.insert(p);
+      std::printf("%-9s", "Boost-R");
+      for (const auto* qs : {&ind, &ood}) {
+        for (std::size_t k : {1u, 10u, 100u}) {
+          Timer t;
+          for (const auto& p : *qs) {
+            volatile auto s = index.knn(p, k).size();
+            (void)s;
+          }
+          std::printf(" %10.4f", t.seconds());
+        }
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 5 reproduction: range-list query time vs output size, on a tree
+// built by incremental insertion. The paper's observation to reproduce:
+// index differences shrink as the output grows (emitting the result list
+// dominates pruning effectiveness).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace psi;
+using namespace psi::bench;
+
+int main() {
+  const std::size_t n = bench_n(100'000);
+  const std::size_t q = bench_queries(200);
+  const std::size_t batch = std::max<std::size_t>(1, n / 1000);
+  std::printf(
+      "Fig 5: range-list time vs output size, n=%zu (incremental build), "
+      "%zu ranges/size, %d workers\n",
+      n, q, num_workers());
+
+  // Target outputs ~ n/10^4 .. n/10 (paper: 10^4..10^6 of 5*10^8).
+  std::vector<std::size_t> targets = {std::max<std::size_t>(4, n / 10000),
+                                      std::max<std::size_t>(8, n / 1000),
+                                      std::max<std::size_t>(16, n / 100),
+                                      std::max<std::size_t>(32, n / 10)};
+
+  for (const std::string workload : {"Uniform", "Sweepline", "Varden"}) {
+    auto pts = make_workload_2d(workload, n, 1);
+    std::printf("\n=== Fig 5 | %s ===\n", workload.c_str());
+    std::printf("%-9s", "index");
+    for (auto t : targets) std::printf(" out~%-7zu", t);
+    std::printf("  (columns: seconds per query-set, avg output noted below)\n");
+
+    std::vector<std::vector<Box2>> range_sets;
+    auto anchors = datagen::ind_queries(pts, q, 5, kMax2);
+    for (auto target : targets) {
+      range_sets.push_back(datagen::range_boxes(
+          anchors, side_for_output<2>(n, target, kMax2), kMax2));
+    }
+
+    for_each_parallel_index_2d([&](const char* name, auto factory) {
+      auto index = factory();
+      incremental_insert(index, pts, batch, (QuerySet<Point2>*)nullptr,
+                         nullptr);
+      std::printf("%-9s", name);
+      for (const auto& ranges : range_sets) {
+        Timer t;
+        std::vector<std::size_t> acc(ranges.size());
+        parallel_for(
+            0, ranges.size(),
+            [&](std::size_t i) { acc[i] = index.range_list(ranges[i]).size(); },
+            1);
+        std::printf(" %11.4f", t.seconds());
+      }
+      std::printf("\n");
+    });
+
+    // Report realised output sizes once per workload (index-independent).
+    {
+      PkdTree2 probe;
+      probe.build(pts);
+      std::printf("%-9s", "(avg out)");
+      for (const auto& ranges : range_sets) {
+        std::size_t total = 0;
+        for (const auto& r : ranges) total += probe.range_count(r);
+        std::printf(" %11zu", total / ranges.size());
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

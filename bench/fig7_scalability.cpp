@@ -1,0 +1,84 @@
+// Figure 7 reproduction: parallel speedup of construction, single batch
+// insertion (1% of n), and single batch deletion vs worker count,
+// normalized to SPaC-H on 1 worker (so the chart also reflects absolute
+// efficiency, as in the paper).
+//
+// Worker counts sweep 1,2,4,... up to PSI_MAX_THREADS (default: hardware
+// concurrency). On a single-core machine this still exercises the real
+// parallel code paths (the scheduler runs the forked tasks on oversubscribed
+// threads); the speedup numbers are only meaningful on multicore hosts.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace psi;
+using namespace psi::bench;
+
+namespace {
+
+int max_threads() {
+  if (const char* s = std::getenv("PSI_MAX_THREADS")) {
+    const int v = std::atoi(s);
+    if (v >= 1) return v;
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = bench_n(200'000);
+  const std::size_t batch = std::max<std::size_t>(1, n / 100);
+  std::vector<int> threads;
+  for (int p = 1; p <= max_threads(); p *= 2) threads.push_back(p);
+  if (threads.back() != max_threads()) threads.push_back(max_threads());
+
+  std::printf("Fig 7: scalability, n=%zu, batch=%zu (1%%)\n", n, batch);
+
+  for (const std::string workload : {"Uniform", "Sweepline", "Varden"}) {
+    auto pts = make_workload_2d(workload, n, 1);
+    std::vector<Point2> extra = make_workload_2d(workload, batch, 99);
+
+    std::printf("\n=== Fig 7 | %s ===\n", workload.c_str());
+    std::printf("%-9s %-7s", "index", "op");
+    for (int p : threads) std::printf("   p=%-5d", p);
+    std::printf("  (seconds; speedups are relative to SPaC-H p=1)\n");
+
+    double spach_build_1t = 0;
+    for_each_parallel_index_2d([&](const char* name, auto factory) {
+      std::vector<double> build_s, ins_s, del_s;
+      for (int p : threads) {
+        Scheduler::set_num_workers(p);
+        auto index = factory();
+        Timer t;
+        index.build(pts);
+        build_s.push_back(t.seconds());
+        t.reset();
+        index.batch_insert(extra);
+        ins_s.push_back(t.seconds());
+        t.reset();
+        index.batch_delete(extra);
+        del_s.push_back(t.seconds());
+      }
+      if (std::string(name) == "SPaC-H") spach_build_1t = build_s[0];
+      auto print_op = [&](const char* op, const std::vector<double>& xs) {
+        std::printf("%-9s %-7s", name, op);
+        for (double x : xs) std::printf(" %8.4f", x);
+        std::printf("\n");
+      };
+      print_op("build", build_s);
+      print_op("insert", ins_s);
+      print_op("delete", del_s);
+    });
+    if (spach_build_1t > 0) {
+      std::printf("(SPaC-H 1-worker build reference: %.4fs)\n", spach_build_1t);
+    }
+    Scheduler::set_num_workers(max_threads());
+  }
+  return 0;
+}

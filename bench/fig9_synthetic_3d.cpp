@@ -1,0 +1,79 @@
+// Figure 9 reproduction: the 3D synthetic table (paper Sec E), for the
+// indexes the paper reports there: P-Orth, SPaC-H, Pkd. Coordinates are
+// restricted to [0, 10^6] so the Hilbert/Morton 3D precision (21 bits/dim)
+// is honoured, exactly as in the paper.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace psi;
+using namespace psi::bench;
+
+namespace {
+
+template <typename F>
+void for_each_fig9_index(F&& f) {
+  f("P-Orth", [] { return POrthTree3({}, universe3()); });
+  f("SPaC-H", [] { return SpacHTree3(); });
+  f("Pkd-Tree", [] { return PkdTree3(); });
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = bench_n(100'000);
+  const std::size_t q = bench_queries(500);
+  std::printf("Fig 9: 3D synthetic workloads, n=%zu, %d workers\n", n,
+              num_workers());
+  const std::vector<double> ratios = {0.10, 0.01, 0.001, 0.0001};
+
+  for (const std::string workload : {"Uniform", "Sweepline", "Varden"}) {
+    auto pts = make_workload_3d(workload, n, 1);
+    const std::int64_t side =
+        side_for_output<3>(n, std::max<std::size_t>(10, n / 100), kMax3);
+    auto queries = make_queries(pts, q, q / 4 + 1, side, kMax3, 2);
+
+    std::printf("\n=== Fig 9 | %s (3D) ===\n", workload.c_str());
+    std::printf("%-9s %8s | %8s %8s %8s %8s | %8s %8s %8s %8s | %8s %8s\n",
+                "index", "build", "InD", "OOD", "RgCnt", "RgList", "Ins10%",
+                "Ins1%", "Ins.1%", "Ins.01%", "Del1%", "Del.1%");
+
+    for_each_fig9_index([&](const char* name, auto factory) {
+      double build_s;
+      QueryTimes qt;
+      {
+        auto index = factory();
+        Timer t;
+        index.build(pts);
+        build_s = t.seconds();
+        qt = run_queries(index, queries);
+      }
+      std::vector<double> ins;
+      for (double ratio : ratios) {
+        const auto batch =
+            std::max<std::size_t>(1, static_cast<std::size_t>(ratio * n));
+        auto index = factory();
+        ins.push_back(incremental_insert(
+            index, pts, batch, (const QuerySet<Point3>*)nullptr, nullptr));
+      }
+      std::vector<double> del;
+      for (double ratio : {0.01, 0.001}) {
+        const auto batch =
+            std::max<std::size_t>(1, static_cast<std::size_t>(ratio * n));
+        auto index = factory();
+        index.build(pts);
+        del.push_back(incremental_delete(
+            index, pts, batch, (const QuerySet<Point3>*)nullptr, nullptr));
+      }
+      std::printf(
+          "%-9s %8.3f | %8.4f %8.4f %8.4f %8.4f | %8.3f %8.3f %8.3f %8.3f | "
+          "%8.3f %8.3f\n",
+          name, build_s, qt.knn_ind, qt.knn_ood, qt.range_count, qt.range_list,
+          ins[0], ins[1], ins[2], ins[3], del[0], del[1]);
+    });
+  }
+  return 0;
+}

@@ -1,0 +1,137 @@
+// google-benchmark micro-benchmarks for the substrate primitives the index
+// algorithms are built from: SFC encoding throughput, the sieve (parallel
+// counting sort), sample sort / HybridSort, scan, and the fork-join
+// scheduler's task overhead.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "psi/psi.h"
+
+namespace {
+
+using namespace psi;
+
+void BM_MortonEncode2D(benchmark::State& state) {
+  auto pts = datagen::uniform<2>(static_cast<std::size_t>(state.range(0)), 1,
+                                 datagen::kDefaultMax2D);
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (const auto& p : pts) acc ^= sfc::MortonCodec<std::int64_t, 2>::encode(p);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MortonEncode2D)->Arg(1 << 16);
+
+void BM_HilbertEncode2D(benchmark::State& state) {
+  auto pts = datagen::uniform<2>(static_cast<std::size_t>(state.range(0)), 1,
+                                 datagen::kDefaultMax2D);
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (const auto& p : pts) acc ^= sfc::HilbertCodec<std::int64_t, 2>::encode(p);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HilbertEncode2D)->Arg(1 << 16);
+
+void BM_HilbertEncode3D(benchmark::State& state) {
+  auto pts = datagen::uniform<3>(static_cast<std::size_t>(state.range(0)), 1,
+                                 datagen::kDefaultMax3D);
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (const auto& p : pts) acc ^= sfc::HilbertCodec<std::int64_t, 3>::encode(p);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HilbertEncode3D)->Arg(1 << 16);
+
+void BM_Sieve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t buckets = 64;  // 2D P-Orth skeleton (λ=3)
+  Rng rng(3);
+  std::vector<std::uint32_t> keys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = static_cast<std::uint32_t>(rng.ith_bounded(i, buckets));
+  }
+  std::vector<std::uint64_t> data(n);
+  for (std::size_t i = 0; i < n; ++i) data[i] = i;
+  for (auto _ : state) {
+    auto copy = data;
+    auto offsets = sieve(copy.data(), n, buckets,
+                         [&](std::size_t i) { return keys[i]; });
+    benchmark::DoNotOptimize(offsets);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sieve)->Arg(1 << 18);
+
+void BM_SampleSort(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<std::uint64_t> data(n);
+  for (std::size_t i = 0; i < n; ++i) data[i] = rng.ith(i);
+  for (auto _ : state) {
+    auto copy = data;
+    sample_sort(copy);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SampleSort)->Arg(1 << 18);
+
+void BM_ScanExclusive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> data(n, 1);
+  for (auto _ : state) {
+    auto copy = data;
+    benchmark::DoNotOptimize(scan_exclusive(copy));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScanExclusive)->Arg(1 << 20);
+
+void BM_ForkJoinOverhead(benchmark::State& state) {
+  for (auto _ : state) {
+    std::size_t acc = 0;
+    parallel_for(0, 10000, [&](std::size_t i) {
+      benchmark::DoNotOptimize(i);
+      (void)acc;
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_ForkJoinOverhead);
+
+void BM_POrthBuild(benchmark::State& state) {
+  auto pts = datagen::uniform<2>(static_cast<std::size_t>(state.range(0)), 1,
+                                 datagen::kDefaultMax2D);
+  const Box2 uni{{{0, 0}}, {{datagen::kDefaultMax2D, datagen::kDefaultMax2D}}};
+  for (auto _ : state) {
+    POrthTree2 t({}, uni);
+    t.build(pts);
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_POrthBuild)->Arg(1 << 17);
+
+void BM_SpacHBuild(benchmark::State& state) {
+  auto pts = datagen::uniform<2>(static_cast<std::size_t>(state.range(0)), 1,
+                                 datagen::kDefaultMax2D);
+  for (auto _ : state) {
+    SpacHTree2 t;
+    t.build(pts);
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SpacHBuild)->Arg(1 << 17);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Density-based clustering (DBSCAN) on top of PSI-Lib ball queries — the
+// "spatial data analysis" application family from the paper's abstract.
+// The Varden generator itself is derived from the DBSCAN-hardness paper
+// (Gan & Tao), so its clusters are exactly what DBSCAN should recover.
+//
+// The index accelerates the two DBSCAN primitives:
+//   * core-point test: ball_count(p, eps) >= min_pts
+//   * expansion:       ball_list(p, eps)
+//
+//   $ ./dbscan_clusters [n] [eps] [min_pts]
+
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+#include "psi/bench/harness.h"
+#include "psi/psi.h"
+
+namespace {
+
+constexpr std::int64_t kMax = 1'000'000'000;
+
+struct Dbscan {
+  const psi::PkdTree2& index;
+  double eps;
+  std::size_t min_pts;
+  std::unordered_map<psi::Point2, int, psi::PointHash<std::int64_t, 2>> label;
+
+  static constexpr int kNoise = -1;
+
+  int run(const std::vector<psi::Point2>& pts) {
+    int next_cluster = 0;
+    std::vector<psi::Point2> stack;
+    for (const auto& p : pts) {
+      if (label.count(p)) continue;
+      auto neighbours = index.ball_list(p, eps);
+      if (neighbours.size() < min_pts) {
+        label[p] = kNoise;
+        continue;
+      }
+      const int cid = next_cluster++;
+      label[p] = cid;
+      stack = std::move(neighbours);
+      while (!stack.empty()) {
+        const psi::Point2 q = stack.back();
+        stack.pop_back();
+        auto it = label.find(q);
+        if (it != label.end() && it->second != kNoise) continue;
+        label[q] = cid;  // border or core
+        auto reach = index.ball_list(q, eps);
+        if (reach.size() >= min_pts) {  // q is core: expand
+          for (const auto& r : reach) {
+            auto rit = label.find(r);
+            if (rit == label.end() || rit->second == kNoise) {
+              stack.push_back(r);
+            }
+          }
+        }
+      }
+    }
+    return next_cluster;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100'000;
+  const double eps = argc > 2 ? std::atof(argv[2])
+                              : static_cast<double>(kMax) * 2e-4;
+  const std::size_t min_pts = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 8;
+
+  std::printf("PSI-Lib DBSCAN demo: n=%zu, eps=%.3g, min_pts=%zu\n", n, eps,
+              min_pts);
+  auto pts = psi::datagen::dedup(psi::datagen::varden<2>(n, 1, kMax));
+  std::printf("varden points (deduplicated): %zu\n", pts.size());
+
+  psi::PkdTree2 index;
+  psi::bench::Timer t;
+  index.build(pts);
+  std::printf("index built in %.3fs\n", t.seconds());
+
+  Dbscan dbscan{index, eps, min_pts, {}};
+  t.reset();
+  const int clusters = dbscan.run(pts);
+  const double cluster_s = t.seconds();
+
+  std::size_t noise = 0;
+  std::unordered_map<int, std::size_t> sizes;
+  for (const auto& [p, c] : dbscan.label) {
+    if (c == Dbscan::kNoise) {
+      ++noise;
+    } else {
+      ++sizes[c];
+    }
+  }
+  std::size_t biggest = 0;
+  for (const auto& [c, s] : sizes) biggest = std::max(biggest, s);
+
+  std::printf(
+      "DBSCAN finished in %.3fs: %d clusters, largest %zu points, "
+      "%zu noise points (%.1f%%)\n",
+      cluster_s, clusters, biggest, noise,
+      100.0 * static_cast<double>(noise) / static_cast<double>(pts.size()));
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Index advisor: measure the query/update tradeoff of every index on a
+// user-described workload mix and print a recommendation — an executable
+// version of the paper's summary guidance (Sec 5.4, Tab 2, Fig 8).
+//
+//   $ ./index_advisor [n] [updates_per_100_queries] [skew]
+//
+// skew: 0 = uniform data, 1 = clustered (varden).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "psi/bench/harness.h"
+#include "psi/psi.h"
+
+namespace {
+
+constexpr std::int64_t kMax = 1'000'000'000;
+
+struct Score {
+  std::string name;
+  double update_s;  // time for one 1% update round (delete + insert)
+  double query_s;   // time for the query block
+  double blended;
+};
+
+template <typename Index>
+Score profile(const char* name, Index& index, const std::vector<psi::Point2>& pts,
+              const std::vector<psi::Point2>& queries,
+              const std::vector<psi::Box2>& ranges, double update_weight) {
+  index.build(pts);
+  const std::size_t b = pts.size() / 100;
+  std::vector<psi::Point2> batch(pts.begin(),
+                                 pts.begin() + static_cast<std::ptrdiff_t>(b));
+
+  psi::bench::Timer t;
+  index.batch_delete(batch);
+  index.batch_insert(batch);
+  const double update_s = t.seconds();
+
+  t.reset();
+  std::size_t sink = 0;
+  for (const auto& q : queries) sink += index.knn(q, 10).size();
+  for (const auto& r : ranges) sink += index.range_count(r);
+  const double query_s = t.seconds();
+  if (sink == 0) std::printf("(empty result set?)\n");
+
+  return Score{name, update_s, query_s,
+               update_weight * update_s + (1.0 - update_weight) * query_s};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200'000;
+  const double upd_per_100q = argc > 2 ? std::atof(argv[2]) : 50.0;
+  const bool skewed = argc > 3 && std::atoi(argv[3]) == 1;
+  const double w = upd_per_100q / (100.0 + upd_per_100q);
+
+  std::printf(
+      "PSI-Lib index advisor: n=%zu, update weight %.2f, %s data\n\n", n, w,
+      skewed ? "clustered (varden)" : "uniform");
+
+  auto pts = skewed ? psi::datagen::varden<2>(n, 1, kMax)
+                    : psi::datagen::uniform<2>(n, 1, kMax);
+  auto queries = psi::datagen::ind_queries(pts, 200, 2, kMax);
+  auto ranges = psi::datagen::range_boxes(
+      psi::datagen::ood_queries<2>(50, 3, kMax), 30'000'000, kMax);
+
+  std::vector<Score> scores;
+  {
+    psi::POrthTree2 t({}, psi::Box2{{{0, 0}}, {{kMax, kMax}}});
+    scores.push_back(profile("P-Orth", t, pts, queries, ranges, w));
+  }
+  {
+    psi::SpacHTree2 t;
+    scores.push_back(profile("SPaC-H", t, pts, queries, ranges, w));
+  }
+  {
+    psi::SpacZTree2 t;
+    scores.push_back(profile("SPaC-Z", t, pts, queries, ranges, w));
+  }
+  {
+    psi::SpacHTree2 t(psi::cpam_params());
+    scores.push_back(profile("CPAM-H", t, pts, queries, ranges, w));
+  }
+  {
+    psi::PkdTree2 t;
+    scores.push_back(profile("Pkd", t, pts, queries, ranges, w));
+  }
+  {
+    psi::ZdTree2 t;
+    scores.push_back(profile("Zd", t, pts, queries, ranges, w));
+  }
+
+  std::printf("%-8s %14s %14s %14s\n", "index", "1% update (s)", "queries (s)",
+              "blended");
+  const Score* best = &scores[0];
+  for (const auto& s : scores) {
+    std::printf("%-8s %14.4f %14.4f %14.4f\n", s.name.c_str(), s.update_s,
+                s.query_s, s.blended);
+    if (s.blended < best->blended) best = &s;
+  }
+  std::printf("\nrecommended index for this mix: %s\n", best->name.c_str());
+  return 0;
+}

@@ -1,0 +1,98 @@
+// PSI-Lib: brute-force oracle index.
+//
+// A flat multiset of points with O(n) queries. Used as the ground truth the
+// real indexes are checked against in unit/integration tests.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "psi/geometry/box.h"
+#include "psi/geometry/knn_buffer.h"
+#include "psi/geometry/point.h"
+
+namespace psi {
+
+template <typename Coord, int D>
+class BruteForceIndex {
+ public:
+  using point_t = Point<Coord, D>;
+  using box_t = Box<Coord, D>;
+
+  void build(std::vector<point_t> pts) { pts_ = std::move(pts); }
+
+  void batch_insert(std::vector<point_t> pts) {
+    pts_.insert(pts_.end(), pts.begin(), pts.end());
+  }
+
+  // Remove one instance per batch element, matching the indexes' semantics.
+  void batch_delete(const std::vector<point_t>& pts) {
+    for (const auto& p : pts) {
+      auto it = std::find(pts_.begin(), pts_.end(), p);
+      if (it != pts_.end()) {
+        *it = pts_.back();
+        pts_.pop_back();
+      }
+    }
+  }
+
+  std::size_t size() const { return pts_.size(); }
+
+  std::vector<point_t> knn(const point_t& q, std::size_t k) const {
+    KnnBuffer<point_t> buf(k);
+    for (const auto& p : pts_) buf.offer(squared_distance(p, q), p);
+    auto entries = buf.sorted();
+    std::vector<point_t> out;
+    out.reserve(entries.size());
+    for (const auto& e : entries) out.push_back(e.point);
+    return out;
+  }
+
+  // Distances of the k nearest (for tie-insensitive comparisons).
+  std::vector<double> knn_distances(const point_t& q, std::size_t k) const {
+    KnnBuffer<point_t> buf(k);
+    for (const auto& p : pts_) buf.offer(squared_distance(p, q), p);
+    std::vector<double> out;
+    for (const auto& e : buf.sorted()) out.push_back(e.dist2);
+    return out;
+  }
+
+  std::size_t range_count(const box_t& query) const {
+    std::size_t c = 0;
+    for (const auto& p : pts_) c += query.contains(p) ? 1 : 0;
+    return c;
+  }
+
+  std::vector<point_t> range_list(const box_t& query) const {
+    std::vector<point_t> out;
+    for (const auto& p : pts_) {
+      if (query.contains(p)) out.push_back(p);
+    }
+    return out;
+  }
+
+  std::size_t ball_count(const point_t& q, double radius) const {
+    const double r2 = radius * radius;
+    std::size_t c = 0;
+    for (const auto& p : pts_) c += squared_distance(p, q) <= r2 ? 1 : 0;
+    return c;
+  }
+
+  std::vector<point_t> ball_list(const point_t& q, double radius) const {
+    const double r2 = radius * radius;
+    std::vector<point_t> out;
+    for (const auto& p : pts_) {
+      if (squared_distance(p, q) <= r2) out.push_back(p);
+    }
+    return out;
+  }
+
+  const std::vector<point_t>& points() const { return pts_; }
+
+ private:
+  std::vector<point_t> pts_;
+};
+
+}  // namespace psi

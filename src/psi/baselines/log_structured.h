@@ -1,0 +1,254 @@
+// PSI-Lib: Log-tree and BHL-tree baselines (Yesantharao, Wang, Dhulipala,
+// Shun — "Parallel Batch-Dynamic kd-Trees", 2021), the two remaining data
+// points of the paper's Fig 8 (the paper estimates them from the Pkd-tree
+// paper; we implement them so the tradeoff chart is fully measured).
+//
+//  * BhlTree — a static parallel kd-tree that handles a batch update by
+//    rebuilding from scratch over the union/difference:
+//    O((n+m) log (n+m)) work per batch, but the best possible tree quality
+//    (always freshly balanced).
+//  * LogTree — the logarithmic method: a collection of O(log n) static
+//    kd-trees with geometrically increasing sizes. A batch insertion
+//    builds a tree over the batch and then merges (rebuilds) equal-level
+//    trees like binary-counter carries, giving O(m log² n) amortised work
+//    without touching the large trees most of the time. Deletions erase
+//    points in place inside the component trees; a component whose live
+//    size falls below half its built size is rebuilt at its proper level.
+//    Queries must consult every component, which is exactly the query
+//    overhead the paper holds against the logarithmic method (Sec 2.3).
+//
+// Both reuse the Pkd-tree as the static kd-tree component.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "psi/baselines/brute_force.h"
+#include "psi/baselines/pkd_tree.h"
+#include "psi/geometry/knn_buffer.h"
+
+namespace psi {
+
+// ---------------------------------------------------------------------------
+// BHL-tree: rebuild-on-update static kd-tree
+// ---------------------------------------------------------------------------
+
+template <typename Coord, int D>
+class BhlTree {
+ public:
+  using point_t = Point<Coord, D>;
+  using box_t = Box<Coord, D>;
+
+  explicit BhlTree(PkdParams params = {}) : params_(params), tree_(params) {}
+
+  void build(std::vector<point_t> pts) { tree_.build(std::move(pts)); }
+
+  void batch_insert(const std::vector<point_t>& pts) {
+    if (pts.empty()) return;
+    std::vector<point_t> all = tree_.flatten();
+    all.insert(all.end(), pts.begin(), pts.end());
+    tree_.build(std::move(all));
+  }
+
+  void batch_delete(const std::vector<point_t>& pts) {
+    if (pts.empty() || tree_.empty()) return;
+    // Remove one instance per batch element, then rebuild from scratch
+    // (the BHL-tree's defining O((n+m) log(n+m)) behaviour).
+    tree_.batch_delete(pts);
+    tree_.build(tree_.flatten());
+  }
+
+  void clear() { tree_.clear(); }
+
+  std::size_t size() const { return tree_.size(); }
+  bool empty() const { return tree_.empty(); }
+  std::vector<point_t> knn(const point_t& q, std::size_t k) const {
+    return tree_.knn(q, k);
+  }
+  std::size_t range_count(const box_t& b) const { return tree_.range_count(b); }
+  std::vector<point_t> range_list(const box_t& b) const {
+    return tree_.range_list(b);
+  }
+  std::vector<point_t> flatten() const { return tree_.flatten(); }
+  void check_invariants() const { tree_.check_invariants(); }
+
+ private:
+  PkdParams params_;
+  PkdTree<Coord, D> tree_;
+};
+
+// ---------------------------------------------------------------------------
+// Log-tree: the logarithmic method over static kd-trees
+// ---------------------------------------------------------------------------
+
+template <typename Coord, int D>
+class LogTree {
+ public:
+  using point_t = Point<Coord, D>;
+  using box_t = Box<Coord, D>;
+
+  explicit LogTree(PkdParams params = {}) : params_(params) {}
+
+  void build(const std::vector<point_t>& pts) {
+    components_.clear();
+    if (!pts.empty()) insert_component(pts);
+  }
+
+  void batch_insert(const std::vector<point_t>& pts) {
+    if (!pts.empty()) insert_component(pts);
+  }
+
+  // NOTE: Log-tree treats the index as a *set* of distinct points (the
+  // paper's datasets are deduplicated). Each distinct point lives in
+  // exactly one component, so deleting the batch from every component
+  // removes at most one instance per element.
+  void batch_delete(const std::vector<point_t>& pts) {
+    if (pts.empty()) return;
+    for (auto& c : components_) {
+      c.tree.batch_delete(pts);
+    }
+    compact();
+  }
+
+  void clear() { components_.clear(); }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& c : components_) total += c.tree.size();
+    return total;
+  }
+  bool empty() const { return size() == 0; }
+
+  std::vector<point_t> knn(const point_t& q, std::size_t k) const {
+    // Merge the per-component k-NN candidate sets: the true k nearest are
+    // among the k nearest of each component.
+    KnnBuffer<point_t> buf(k);
+    for (const auto& c : components_) {
+      for (const auto& p : c.tree.knn(q, k)) {
+        buf.offer(squared_distance(p, q), p);
+      }
+    }
+    auto entries = buf.sorted();
+    std::vector<point_t> out;
+    out.reserve(entries.size());
+    for (const auto& e : entries) out.push_back(e.point);
+    return out;
+  }
+
+  std::size_t range_count(const box_t& b) const {
+    std::size_t total = 0;
+    for (const auto& c : components_) total += c.tree.range_count(b);
+    return total;
+  }
+
+  std::vector<point_t> range_list(const box_t& b) const {
+    std::vector<point_t> out;
+    for (const auto& c : components_) {
+      auto part = c.tree.range_list(b);
+      out.insert(out.end(), part.begin(), part.end());
+    }
+    return out;
+  }
+
+  std::vector<point_t> flatten() const {
+    std::vector<point_t> out;
+    for (const auto& c : components_) {
+      auto part = c.tree.flatten();
+      out.insert(out.end(), part.begin(), part.end());
+    }
+    return out;
+  }
+
+  std::size_t num_components() const { return components_.size(); }
+
+  void check_invariants() const {
+    for (const auto& c : components_) {
+      c.tree.check_invariants();
+      if (c.tree.size() > capacity_of(c.level)) {
+        throw std::logic_error("logtree: component exceeds level capacity");
+      }
+    }
+    // At most one component per level (binary-counter invariant).
+    std::vector<int> levels;
+    for (const auto& c : components_) levels.push_back(c.level);
+    std::sort(levels.begin(), levels.end());
+    if (std::adjacent_find(levels.begin(), levels.end()) != levels.end()) {
+      throw std::logic_error("logtree: duplicate component level");
+    }
+  }
+
+ private:
+  struct Component {
+    int level;
+    std::size_t built_size;
+    PkdTree<Coord, D> tree;
+  };
+
+  PkdParams params_;
+  std::vector<Component> components_;
+
+  static constexpr std::size_t kBase = 64;
+
+  static std::size_t capacity_of(int level) {
+    return kBase << static_cast<std::size_t>(level);
+  }
+
+  static int level_for(std::size_t n) {
+    int level = 0;
+    while (capacity_of(level) < n) ++level;
+    return level;
+  }
+
+  // Add `pts` as a fresh component and perform binary-counter carries:
+  // while another component of the same level exists, merge and rebuild.
+  void insert_component(const std::vector<point_t>& pts) {
+    std::vector<point_t> payload = pts;
+    int level = level_for(payload.size());
+    for (;;) {
+      auto same = std::find_if(
+          components_.begin(), components_.end(),
+          [&](const Component& c) { return c.level == level; });
+      if (same == components_.end()) break;
+      auto merged_pts = same->tree.flatten();
+      merged_pts.insert(merged_pts.end(), payload.begin(), payload.end());
+      components_.erase(same);
+      payload = std::move(merged_pts);
+      level = std::max(level + 1, level_for(payload.size()));
+    }
+    Component c;
+    c.level = level;
+    c.built_size = payload.size();
+    c.tree = PkdTree<Coord, D>(params_);
+    c.tree.build(std::move(payload));
+    components_.push_back(std::move(c));
+  }
+
+  // Rebuild components whose live size dropped below half their built
+  // size, and re-carry them (keeps O(log n) components and query quality).
+  void compact() {
+    std::vector<point_t> to_reinsert;
+    for (auto it = components_.begin(); it != components_.end();) {
+      if (it->tree.empty()) {
+        it = components_.erase(it);
+        continue;
+      }
+      if (it->tree.size() * 2 < it->built_size) {
+        auto pts = it->tree.flatten();
+        to_reinsert.insert(to_reinsert.end(), pts.begin(), pts.end());
+        it = components_.erase(it);
+        continue;
+      }
+      ++it;
+    }
+    if (!to_reinsert.empty()) insert_component(to_reinsert);
+  }
+};
+
+using LogTree2 = LogTree<std::int64_t, 2>;
+using BhlTree2 = BhlTree<std::int64_t, 2>;
+
+}  // namespace psi

@@ -1,0 +1,570 @@
+// PSI-Lib: the Pkd-tree baseline (Men, Shen, Gu, Sun — SIGMOD 2025), as
+// described in the target paper (Sec 2.3, Sec 5):
+//
+//  * Construction: λ levels of the kd-tree are built at a time. The
+//    splitters are *approximate object medians* obtained from a sample
+//    (split dimension = widest dimension of the sample's bounding box);
+//    the Sieve (parallel counting sort by bucket) then gathers each
+//    bucket's points contiguously and buckets recurse in parallel. This is
+//    the I/O-efficient scheme the P-Orth tree borrows.
+//  * Batch updates: points are sieved to the leaves through the existing
+//    splitters (kd-trees cannot re-derive splitters without rebuilding),
+//    then *partial reconstruction* restores balance: the highest subtree
+//    whose weight imbalance exceeds the threshold is rebuilt from scratch
+//    (the paper's "reconstruction-based balancing scheme", imbalance
+//    parameter α = 0.3, Sec C). This yields the O(m log² n) amortised
+//    update work that the paper contrasts with P-Orth/SPaC.
+//
+// Coordinates are assumed integral (splitter clamping relies on +1 steps);
+// this matches every dataset in the paper.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "psi/geometry/box.h"
+#include "psi/geometry/knn_buffer.h"
+#include "psi/geometry/point.h"
+#include "psi/parallel/counting_sort.h"
+#include "psi/parallel/primitives.h"
+#include "psi/parallel/random.h"
+#include "psi/parallel/scheduler.h"
+
+namespace psi {
+
+struct PkdParams {
+  std::size_t leaf_wrap = 32;   // φ (paper Sec C)
+  int skeleton_levels = 6;      // binary levels built per sieve round
+  double imbalance = 0.3;       // α: rebuild when max child > (0.5+α/2)·n
+  std::size_t sample_factor = 32;  // sample size per skeleton bucket
+};
+
+template <typename Coord, int D>
+class PkdTree {
+ public:
+  using point_t = Point<Coord, D>;
+  using box_t = Box<Coord, D>;
+
+  explicit PkdTree(PkdParams params = {}) : params_(params) {}
+
+  // -------------------------------------------------------------------
+  // Maintenance
+  // -------------------------------------------------------------------
+
+  void build(std::vector<point_t> pts) {
+    root_ = build_rec(pts.data(), pts.size());
+  }
+
+  void batch_insert(std::vector<point_t> pts) {
+    if (pts.empty()) return;
+    root_ = insert_rec(std::move(root_), pts.data(), pts.size());
+  }
+
+  void batch_delete(std::vector<point_t> pts) {
+    if (!root_ || pts.empty()) return;
+    root_ = delete_rec(std::move(root_), pts.data(), pts.size());
+  }
+
+  // Combined difference (artifact BatchDiff()).
+  void batch_diff(std::vector<point_t> inserts, std::vector<point_t> deletes) {
+    batch_delete(std::move(deletes));
+    batch_insert(std::move(inserts));
+  }
+
+  void clear() { root_.reset(); }
+
+  // -------------------------------------------------------------------
+  // Queries
+  // -------------------------------------------------------------------
+
+  std::size_t size() const { return root_ ? root_->count : 0; }
+  bool empty() const { return size() == 0; }
+
+  std::vector<point_t> knn(const point_t& q, std::size_t k) const {
+    KnnBuffer<point_t> buf(k);
+    if (root_) knn_rec(root_.get(), q, buf);
+    auto entries = buf.sorted();
+    std::vector<point_t> out;
+    out.reserve(entries.size());
+    for (const auto& e : entries) out.push_back(e.point);
+    return out;
+  }
+
+  std::size_t range_count(const box_t& query) const {
+    return root_ ? count_rec(root_.get(), query) : 0;
+  }
+
+  std::vector<point_t> range_list(const box_t& query) const {
+    std::vector<point_t> out;
+    if (root_) list_rec(root_.get(), query, out);
+    return out;
+  }
+
+  // Ball (radius) queries: points within Euclidean distance `radius` of q.
+  std::size_t ball_count(const point_t& q, double radius) const {
+    return root_ ? ball_count_rec(root_.get(), q, radius * radius) : 0;
+  }
+
+  std::vector<point_t> ball_list(const point_t& q, double radius) const {
+    std::vector<point_t> out;
+    if (root_) ball_list_rec(root_.get(), q, radius * radius, out);
+    return out;
+  }
+
+  std::vector<point_t> flatten() const {
+    std::vector<point_t> out;
+    out.reserve(size());
+    if (root_) collect(root_.get(), out);
+    return out;
+  }
+
+  std::size_t height() const { return height_rec(root_.get()); }
+
+  void check_invariants() const {
+    if (root_) check_rec(root_.get());
+  }
+
+ private:
+  struct Node {
+    box_t bbox = box_t::empty();
+    std::size_t count = 0;
+    bool leaf = true;
+    // Interior: axis-aligned splitter. Left: p[dim] < value; right: rest.
+    int dim = 0;
+    Coord value{};
+    std::unique_ptr<Node> l, r;
+    // Leaf payload.
+    std::vector<point_t> points;
+  };
+
+  PkdParams params_;
+  std::unique_ptr<Node> root_;
+
+  static constexpr std::size_t kParallelCutoff = 4096;
+
+  // -------------------------------------------------------------------
+  // Helpers
+  // -------------------------------------------------------------------
+
+  static box_t compute_bbox(const point_t* pts, std::size_t n) {
+    return reduce_map(
+        0, n, [&](std::size_t i) { return box_t::of_point(pts[i]); },
+        box_t::empty(), [](box_t a, const box_t& b) {
+          a.merge(b);
+          return a;
+        });
+  }
+
+  std::unique_ptr<Node> make_leaf(const point_t* pts, std::size_t n) const {
+    auto leaf = std::make_unique<Node>();
+    leaf->leaf = true;
+    leaf->points.assign(pts, pts + n);
+    leaf->count = n;
+    leaf->bbox = compute_bbox(pts, n);
+    return leaf;
+  }
+
+  static void collect(const Node* t, std::vector<point_t>& out) {
+    if (t->leaf) {
+      out.insert(out.end(), t->points.begin(), t->points.end());
+      return;
+    }
+    collect(t->l.get(), out);
+    collect(t->r.get(), out);
+  }
+
+  std::unique_ptr<Node> rebuild_subtree(std::unique_ptr<Node> t) const {
+    std::vector<point_t> pts;
+    pts.reserve(t->count);
+    collect(t.get(), pts);
+    return build_rec(pts.data(), pts.size());
+  }
+
+  bool unbalanced(const Node* t) const {
+    if (t->leaf) return false;
+    const double n = static_cast<double>(t->count);
+    const double mx = static_cast<double>(
+        std::max(t->l ? t->l->count : 0, t->r ? t->r->count : 0));
+    return mx > (0.5 + params_.imbalance / 2) * n + 1;
+  }
+
+  // -------------------------------------------------------------------
+  // Skeleton: λ binary levels of sampled-median splitters
+  // -------------------------------------------------------------------
+
+  // Implicit full binary skeleton of `levels` levels as a flat heap array:
+  // skel[1] is the root; node i has children 2i, 2i+1. Only splitters are
+  // stored (the skeleton is built on a sample, then all points are sieved).
+  struct SampledSkeleton {
+    std::vector<int> dim;
+    std::vector<Coord> value;
+    int levels;
+
+    std::size_t classify(const point_t& p) const {
+      std::size_t i = 1;
+      for (int l = 0; l < levels; ++l) {
+        i = 2 * i + (p[dim[i]] < value[i] ? 0 : 1);
+      }
+      return i - (std::size_t{1} << levels);
+    }
+  };
+
+  // Build splitters for the skeleton from a sample of the input.
+  SampledSkeleton sample_skeleton(const point_t* pts, std::size_t n,
+                                  int levels) const {
+    const std::size_t buckets = std::size_t{1} << levels;
+    const std::size_t want = std::min(n, buckets * params_.sample_factor);
+    Rng rng(hash64(n, 0x5eed));
+    std::vector<point_t> sample(want);
+    parallel_for(0, want,
+                 [&](std::size_t i) { sample[i] = pts[rng.ith_bounded(i, n)]; });
+    SampledSkeleton sk;
+    sk.levels = levels;
+    sk.dim.assign(2 * buckets, 0);
+    sk.value.assign(2 * buckets, Coord{});
+    fill_skeleton(sk, sample.data(), sample.size(), 1, levels);
+    return sk;
+  }
+
+  void fill_skeleton(SampledSkeleton& sk, point_t* sample, std::size_t n,
+                     std::size_t node, int levels_left) const {
+    if (levels_left == 0) return;
+    // Widest dimension of the sample bounding box.
+    const box_t bb = compute_bbox(sample, n);
+    int dim = 0;
+    Coord width{};
+    for (int d = 0; d < D; ++d) {
+      const Coord w = bb.hi[d] - bb.lo[d];
+      if (d == 0 || w > width) {
+        width = w;
+        dim = d;
+      }
+    }
+    Coord value;
+    std::size_t m = n / 2;
+    if (n == 0) {
+      value = Coord{};
+    } else {
+      std::nth_element(sample, sample + m, sample + n,
+                       [dim](const point_t& a, const point_t& b) {
+                         return a[dim] < b[dim];
+                       });
+      value = sample[m][dim];
+      // Clamp so neither side is empty when the sample median coincides
+      // with the minimum (duplicate-heavy dimension).
+      if (value <= bb.lo[dim]) value = bb.lo[dim] + 1;
+    }
+    sk.dim[node] = dim;
+    sk.value[node] = value;
+    // Partition the sample and recurse (sequential: samples are small).
+    auto* mid = std::partition(sample, sample + n, [dim, value](const point_t& p) {
+      return p[dim] < value;
+    });
+    const auto left_n = static_cast<std::size_t>(mid - sample);
+    fill_skeleton(sk, sample, left_n, 2 * node, levels_left - 1);
+    fill_skeleton(sk, mid, n - left_n, 2 * node + 1, levels_left - 1);
+  }
+
+  // -------------------------------------------------------------------
+  // Construction
+  // -------------------------------------------------------------------
+
+  std::unique_ptr<Node> build_rec(point_t* pts, std::size_t n) const {
+    if (n == 0) return nullptr;
+    if (n <= params_.leaf_wrap) return make_leaf(pts, n);
+    const box_t bb = compute_bbox(pts, n);
+    bool degenerate = true;
+    for (int d = 0; d < D; ++d) degenerate &= bb.lo[d] == bb.hi[d];
+    if (degenerate) return make_leaf(pts, n);  // all points identical
+
+    const int levels = params_.skeleton_levels;
+    SampledSkeleton sk = sample_skeleton(pts, n, levels);
+    std::vector<std::uint32_t> ids(n);
+    parallel_for(0, n, [&](std::size_t i) {
+      ids[i] = static_cast<std::uint32_t>(sk.classify(pts[i]));
+    });
+    BucketOffsets offsets = sieve(pts, n, std::size_t{1} << levels,
+                                  [&](std::size_t i) { return ids[i]; });
+    return assemble(pts, offsets, sk, 1, 0);
+  }
+
+  std::unique_ptr<Node> assemble(point_t* base, const BucketOffsets& offsets,
+                                 const SampledSkeleton& sk, std::size_t node,
+                                 int level) const {
+    const int levels = sk.levels;
+    if (level == levels) {
+      const std::size_t b = node - (std::size_t{1} << levels);
+      return build_rec(base + offsets[b], offsets[b + 1] - offsets[b]);
+    }
+    const std::size_t width = std::size_t{1} << (levels - level);
+    const std::size_t bucket_lo = node * width - (std::size_t{1} << levels);
+    const std::size_t span_n =
+        offsets[bucket_lo + width] - offsets[bucket_lo];
+    if (span_n == 0) return nullptr;
+    std::unique_ptr<Node> l, r;
+    if (span_n >= kParallelCutoff) {
+      par_do([&] { l = assemble(base, offsets, sk, 2 * node, level + 1); },
+             [&] { r = assemble(base, offsets, sk, 2 * node + 1, level + 1); });
+    } else {
+      l = assemble(base, offsets, sk, 2 * node, level + 1);
+      r = assemble(base, offsets, sk, 2 * node + 1, level + 1);
+    }
+    if (!l) return r;
+    if (!r) return l;
+    if (l->count + r->count <= params_.leaf_wrap) {
+      std::vector<point_t> pts;
+      pts.reserve(l->count + r->count);
+      collect(l.get(), pts);
+      collect(r.get(), pts);
+      return make_leaf(pts.data(), pts.size());
+    }
+    auto t = std::make_unique<Node>();
+    t->leaf = false;
+    t->dim = sk.dim[node];
+    t->value = sk.value[node];
+    t->l = std::move(l);
+    t->r = std::move(r);
+    refresh(t.get());
+    return t;
+  }
+
+  static void refresh(Node* t) {
+    t->count = (t->l ? t->l->count : 0) + (t->r ? t->r->count : 0);
+    t->bbox = box_t::empty();
+    if (t->l) t->bbox.merge(t->l->bbox);
+    if (t->r) t->bbox.merge(t->r->bbox);
+  }
+
+  // -------------------------------------------------------------------
+  // Batch updates with partial reconstruction
+  // -------------------------------------------------------------------
+
+  std::unique_ptr<Node> insert_rec(std::unique_ptr<Node> t, point_t* pts,
+                                   std::size_t n) {
+    if (n == 0) return t;
+    if (!t) return build_rec(pts, n);
+    if (t->leaf) {
+      if (t->count + n <= params_.leaf_wrap) {
+        t->points.insert(t->points.end(), pts, pts + n);
+        t->count = t->points.size();
+        t->bbox.merge(compute_bbox(pts, n));
+        return t;
+      }
+      std::vector<point_t> all;
+      all.reserve(t->count + n);
+      all.insert(all.end(), t->points.begin(), t->points.end());
+      all.insert(all.end(), pts, pts + n);
+      return build_rec(all.data(), all.size());
+    }
+    // Route the batch through the existing splitter, recurse in parallel.
+    auto* mid = partition_batch(t.get(), pts, n);
+    const auto left_n = static_cast<std::size_t>(mid - pts);
+    std::unique_ptr<Node> nl = std::move(t->l), nr = std::move(t->r);
+    if (n >= kParallelCutoff) {
+      par_do([&] { nl = insert_rec(std::move(nl), pts, left_n); },
+             [&] { nr = insert_rec(std::move(nr), mid, n - left_n); });
+    } else {
+      nl = insert_rec(std::move(nl), pts, left_n);
+      nr = insert_rec(std::move(nr), mid, n - left_n);
+    }
+    t->l = std::move(nl);
+    t->r = std::move(nr);
+    refresh(t.get());
+    // Partial reconstruction: rebuild this subtree if the weight imbalance
+    // exceeds the threshold (the children were checked deeper already, so
+    // this rebuilds the *highest* violated node reached on unwind).
+    if (unbalanced(t.get())) return rebuild_subtree(std::move(t));
+    return t;
+  }
+
+  std::unique_ptr<Node> delete_rec(std::unique_ptr<Node> t, point_t* pts,
+                                   std::size_t n) {
+    if (!t || n == 0) return t;
+    if (t->leaf) {
+      for (std::size_t i = 0; i < n; ++i) {
+        auto it = std::find(t->points.begin(), t->points.end(), pts[i]);
+        if (it != t->points.end()) {
+          *it = t->points.back();
+          t->points.pop_back();
+        }
+      }
+      if (t->points.empty()) return nullptr;
+      t->count = t->points.size();
+      t->bbox = compute_bbox(t->points.data(), t->points.size());
+      return t;
+    }
+    auto* mid = partition_batch(t.get(), pts, n);
+    const auto left_n = static_cast<std::size_t>(mid - pts);
+    std::unique_ptr<Node> nl = std::move(t->l), nr = std::move(t->r);
+    if (n >= kParallelCutoff) {
+      par_do([&] { nl = delete_rec(std::move(nl), pts, left_n); },
+             [&] { nr = delete_rec(std::move(nr), mid, n - left_n); });
+    } else {
+      nl = delete_rec(std::move(nl), pts, left_n);
+      nr = delete_rec(std::move(nr), mid, n - left_n);
+    }
+    if (!nl && !nr) return nullptr;
+    if (!nl) return nr;
+    if (!nr) return nl;
+    t->l = std::move(nl);
+    t->r = std::move(nr);
+    refresh(t.get());
+    if (t->count <= params_.leaf_wrap) {
+      std::vector<point_t> rest;
+      rest.reserve(t->count);
+      collect(t.get(), rest);
+      return make_leaf(rest.data(), rest.size());
+    }
+    if (unbalanced(t.get())) return rebuild_subtree(std::move(t));
+    return t;
+  }
+
+  // Stable partition of the batch around the node's splitter.
+  point_t* partition_batch(const Node* t, point_t* pts, std::size_t n) const {
+    return std::partition(pts, pts + n, [t](const point_t& p) {
+      return p[t->dim] < t->value;
+    });
+  }
+
+  // -------------------------------------------------------------------
+  // Queries
+  // -------------------------------------------------------------------
+
+  void knn_rec(const Node* t, const point_t& q, KnnBuffer<point_t>& buf) const {
+    if (t->leaf) {
+      for (const auto& p : t->points) buf.offer(squared_distance(p, q), p);
+      return;
+    }
+    const Node* kids[2] = {t->l.get(), t->r.get()};
+    double dist[2] = {kids[0] ? min_squared_distance(kids[0]->bbox, q) : 0,
+                      kids[1] ? min_squared_distance(kids[1]->bbox, q) : 0};
+    int order[2] = {0, 1};
+    if (kids[0] && kids[1] && dist[1] < dist[0]) {
+      order[0] = 1;
+      order[1] = 0;
+    }
+    for (int i : order) {
+      const Node* c = kids[i];
+      if (!c) continue;
+      if (buf.full() && dist[i] >= buf.worst()) continue;
+      knn_rec(c, q, buf);
+    }
+  }
+
+  std::size_t count_rec(const Node* t, const box_t& query) const {
+    if (!query.intersects(t->bbox)) return 0;
+    if (query.contains(t->bbox)) return t->count;
+    if (t->leaf) {
+      std::size_t c = 0;
+      for (const auto& p : t->points) c += query.contains(p) ? 1 : 0;
+      return c;
+    }
+    std::size_t total = 0;
+    if (t->l) total += count_rec(t->l.get(), query);
+    if (t->r) total += count_rec(t->r.get(), query);
+    return total;
+  }
+
+  void list_rec(const Node* t, const box_t& query,
+                std::vector<point_t>& out) const {
+    if (!query.intersects(t->bbox)) return;
+    if (query.contains(t->bbox)) {
+      collect(t, out);
+      return;
+    }
+    if (t->leaf) {
+      for (const auto& p : t->points) {
+        if (query.contains(p)) out.push_back(p);
+      }
+      return;
+    }
+    if (t->l) list_rec(t->l.get(), query, out);
+    if (t->r) list_rec(t->r.get(), query, out);
+  }
+
+  std::size_t ball_count_rec(const Node* t, const point_t& q,
+                             double r2) const {
+    if (min_squared_distance(t->bbox, q) > r2) return 0;
+    if (max_squared_distance(t->bbox, q) <= r2) return t->count;
+    if (t->leaf) {
+      std::size_t c = 0;
+      for (const auto& p : t->points) c += squared_distance(p, q) <= r2 ? 1 : 0;
+      return c;
+    }
+    std::size_t total = 0;
+    if (t->l) total += ball_count_rec(t->l.get(), q, r2);
+    if (t->r) total += ball_count_rec(t->r.get(), q, r2);
+    return total;
+  }
+
+  void ball_list_rec(const Node* t, const point_t& q, double r2,
+                     std::vector<point_t>& out) const {
+    if (min_squared_distance(t->bbox, q) > r2) return;
+    if (max_squared_distance(t->bbox, q) <= r2) {
+      collect(t, out);
+      return;
+    }
+    if (t->leaf) {
+      for (const auto& p : t->points) {
+        if (squared_distance(p, q) <= r2) out.push_back(p);
+      }
+      return;
+    }
+    if (t->l) ball_list_rec(t->l.get(), q, r2, out);
+    if (t->r) ball_list_rec(t->r.get(), q, r2, out);
+  }
+
+  static std::size_t height_rec(const Node* t) {
+    if (!t) return 0;
+    if (t->leaf) return 1;
+    return 1 + std::max(height_rec(t->l.get()), height_rec(t->r.get()));
+  }
+
+  void check_rec(const Node* t) const {
+    if (t->leaf) {
+      if (t->count != t->points.size()) {
+        throw std::logic_error("pkd: leaf count mismatch");
+      }
+      box_t bb = compute_bbox(t->points.data(), t->points.size());
+      if (!(bb == t->bbox)) throw std::logic_error("pkd: leaf bbox not tight");
+      return;
+    }
+    if (!t->l || !t->r) throw std::logic_error("pkd: interior missing child");
+    if (t->count != t->l->count + t->r->count) {
+      throw std::logic_error("pkd: interior count mismatch");
+    }
+    if (t->count <= params_.leaf_wrap) {
+      throw std::logic_error("pkd: interior at or below leaf wrap");
+    }
+    // Splitter semantics: left strictly below, right at-or-above.
+    check_side(t->l.get(), t->dim, t->value, true);
+    check_side(t->r.get(), t->dim, t->value, false);
+    box_t bb = t->l->bbox;
+    bb.merge(t->r->bbox);
+    if (!(bb == t->bbox)) throw std::logic_error("pkd: interior bbox mismatch");
+    check_rec(t->l.get());
+    check_rec(t->r.get());
+  }
+
+  void check_side(const Node* t, int dim, Coord value, bool below) const {
+    if (below) {
+      if (t->bbox.hi[dim] >= value) {
+        throw std::logic_error("pkd: left subtree crosses splitter");
+      }
+    } else {
+      if (t->bbox.lo[dim] < value) {
+        throw std::logic_error("pkd: right subtree crosses splitter");
+      }
+    }
+  }
+};
+
+using PkdTree2 = PkdTree<std::int64_t, 2>;
+using PkdTree3 = PkdTree<std::int64_t, 3>;
+
+}  // namespace psi

@@ -1,0 +1,461 @@
+// PSI-Lib: sequential R-tree with quadratic split (Guttman, SIGMOD 1984).
+//
+// Stands in for the Boost.Geometry `bgi::quadratic` R-tree the paper uses
+// as its sequential query-quality baseline (Sec 5, "Boost-R"): point-at-a-
+// time insert/delete (no batch updates, no parallelism), choose-leaf by
+// least enlargement, quadratic pick-seeds/pick-next node splitting, and
+// condense-tree with reinsertion on deletion. Queries are the standard
+// best-first kNN and bounding-box range traversals.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "psi/geometry/box.h"
+#include "psi/geometry/knn_buffer.h"
+#include "psi/geometry/point.h"
+
+namespace psi {
+
+struct RTreeParams {
+  std::size_t max_entries = 8;  // M
+  std::size_t min_entries = 3;  // m (Guttman recommends m <= M/2)
+};
+
+template <typename Coord, int D>
+class RTree {
+ public:
+  using point_t = Point<Coord, D>;
+  using box_t = Box<Coord, D>;
+
+  explicit RTree(RTreeParams params = {}) : params_(params) {
+    if (params_.min_entries * 2 > params_.max_entries) {
+      params_.min_entries = params_.max_entries / 2;
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Maintenance (sequential, single-point — as in the paper's baseline)
+  // -------------------------------------------------------------------
+
+  void insert(const point_t& p) {
+    if (!root_) {
+      root_ = std::make_unique<Node>(/*leaf=*/true);
+      root_->bbox = box_t::of_point(p);
+    }
+    Node* split = insert_rec(root_.get(), p, root_height());
+    if (split != nullptr) grow_root(split);
+    ++size_;
+  }
+
+  // Removes one stored instance of p; returns whether anything was removed.
+  bool erase(const point_t& p) {
+    if (!root_) return false;
+    std::vector<point_t> orphans;
+    const bool removed = erase_rec(root_.get(), p, orphans);
+    if (!removed) return false;
+    --size_;
+    // Shrink the root: an interior root with one child is replaced by it;
+    // an empty root is dropped.
+    while (root_ && !root_->leaf && root_->children.size() == 1) {
+      root_ = std::move(root_->children.front());
+    }
+    if (root_ && ((root_->leaf && root_->points.empty()) ||
+                  (!root_->leaf && root_->children.empty()))) {
+      root_.reset();
+    }
+    // Reinsert points orphaned by condensed nodes.
+    for (const auto& q : orphans) {
+      --size_;  // insert() will count them again
+      insert(q);
+    }
+    return true;
+  }
+
+  // Convenience wrappers so the bench harness can treat the R-tree like the
+  // batch indexes (the paper reports Boost-R by looping point-at-a-time).
+  void build(const std::vector<point_t>& pts) {
+    clear();
+    for (const auto& p : pts) insert(p);
+  }
+  void batch_insert(const std::vector<point_t>& pts) {
+    for (const auto& p : pts) insert(p);
+  }
+  void batch_delete(const std::vector<point_t>& pts) {
+    for (const auto& p : pts) erase(p);
+  }
+
+  void clear() {
+    root_.reset();
+    size_ = 0;
+  }
+
+  // -------------------------------------------------------------------
+  // Queries
+  // -------------------------------------------------------------------
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  std::vector<point_t> knn(const point_t& q, std::size_t k) const {
+    // Best-first search over a priority queue of (mindist, node).
+    KnnBuffer<point_t> buf(k);
+    if (!root_) return {};
+    using Item = std::pair<double, const Node*>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    pq.push({min_squared_distance(root_->bbox, q), root_.get()});
+    while (!pq.empty()) {
+      const auto [dist, node] = pq.top();
+      pq.pop();
+      if (buf.full() && dist >= buf.worst()) break;
+      if (node->leaf) {
+        for (const auto& p : node->points) {
+          buf.offer(squared_distance(p, q), p);
+        }
+      } else {
+        for (const auto& c : node->children) {
+          const double d = min_squared_distance(c->bbox, q);
+          if (!buf.full() || d < buf.worst()) pq.push({d, c.get()});
+        }
+      }
+    }
+    auto entries = buf.sorted();
+    std::vector<point_t> out;
+    out.reserve(entries.size());
+    for (const auto& e : entries) out.push_back(e.point);
+    return out;
+  }
+
+  std::size_t range_count(const box_t& query) const {
+    return root_ ? count_rec(root_.get(), query) : 0;
+  }
+
+  std::vector<point_t> range_list(const box_t& query) const {
+    std::vector<point_t> out;
+    if (root_) list_rec(root_.get(), query, out);
+    return out;
+  }
+
+  std::size_t height() const { return root_ ? root_height() : 0; }
+
+  void check_invariants() const {
+    if (!root_) return;
+    std::size_t total = check_rec(root_.get(), /*is_root=*/true);
+    if (total != size_) throw std::logic_error("rtree: size mismatch");
+    // All leaves at the same depth.
+    std::size_t depth = 0;
+    const Node* t = root_.get();
+    while (!t->leaf) {
+      ++depth;
+      t = t->children.front().get();
+    }
+    check_depth(root_.get(), 0, depth);
+  }
+
+ private:
+  struct Node {
+    explicit Node(bool is_leaf) : leaf(is_leaf) {}
+    box_t bbox = box_t::empty();
+    bool leaf;
+    std::vector<std::unique_ptr<Node>> children;  // interior
+    std::vector<point_t> points;                  // leaf
+    std::size_t entry_count() const {
+      return leaf ? points.size() : children.size();
+    }
+  };
+
+  RTreeParams params_;
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+
+  std::size_t root_height() const {
+    std::size_t h = 1;
+    const Node* t = root_.get();
+    while (!t->leaf) {
+      ++h;
+      t = t->children.front().get();
+    }
+    return h;
+  }
+
+  void grow_root(Node* split) {
+    auto new_root = std::make_unique<Node>(/*leaf=*/false);
+    new_root->children.push_back(std::move(root_));
+    new_root->children.emplace_back(split);
+    new_root->bbox = merged(new_root->children[0]->bbox,
+                            new_root->children[1]->bbox);
+    root_ = std::move(new_root);
+  }
+
+  // Insert p at the given level; returns a new sibling if the node split
+  // (ownership passed to the caller), else nullptr.
+  Node* insert_rec(Node* t, const point_t& p, std::size_t level) {
+    t->bbox.expand(p);
+    if (t->leaf) {
+      t->points.push_back(p);
+      if (t->points.size() > params_.max_entries) return split_leaf(t);
+      return nullptr;
+    }
+    Node* best = choose_subtree(t, p);
+    Node* split = insert_rec(best, p, level - 1);
+    if (split != nullptr) {
+      t->children.emplace_back(split);
+      if (t->children.size() > params_.max_entries) return split_interior(t);
+    }
+    return nullptr;
+  }
+
+  // Least-enlargement child (ties by smaller area), Guttman's ChooseLeaf.
+  Node* choose_subtree(Node* t, const point_t& p) const {
+    Node* best = nullptr;
+    double best_enl = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (const auto& c : t->children) {
+      const double enl = enlargement(c->bbox, p);
+      const double area = box_area(c->bbox);
+      if (enl < best_enl || (enl == best_enl && area < best_area)) {
+        best = c.get();
+        best_enl = enl;
+        best_area = area;
+      }
+    }
+    return best;
+  }
+
+  // Quadratic split: pick the pair of entries wasting the most area as
+  // seeds, then assign the rest by least enlargement (with the min-entries
+  // feasibility rule).
+  template <typename EntryT, typename BoxOf>
+  void quadratic_split(std::vector<EntryT>& entries, BoxOf&& box_of,
+                       std::vector<EntryT>& group_a,
+                       std::vector<EntryT>& group_b) const {
+    const std::size_t n = entries.size();
+    // PickSeeds.
+    std::size_t seed_a = 0, seed_b = 1;
+    double worst = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const box_t combined = merged(box_of(entries[i]), box_of(entries[j]));
+        const double waste = box_area(combined) - box_area(box_of(entries[i])) -
+                             box_area(box_of(entries[j]));
+        if (waste > worst) {
+          worst = waste;
+          seed_a = i;
+          seed_b = j;
+        }
+      }
+    }
+    box_t bb_a = box_of(entries[seed_a]);
+    box_t bb_b = box_of(entries[seed_b]);
+    group_a.push_back(std::move(entries[seed_a]));
+    group_b.push_back(std::move(entries[seed_b]));
+    std::vector<bool> used(n, false);
+    used[seed_a] = used[seed_b] = true;
+    std::size_t remaining = n - 2;
+    while (remaining > 0) {
+      // Feasibility: if one group must take everything left to reach m.
+      if (group_a.size() + remaining == params_.min_entries) {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (!used[i]) {
+            bb_a.merge(box_of(entries[i]));
+            group_a.push_back(std::move(entries[i]));
+            used[i] = true;
+          }
+        }
+        break;
+      }
+      if (group_b.size() + remaining == params_.min_entries) {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (!used[i]) {
+            bb_b.merge(box_of(entries[i]));
+            group_b.push_back(std::move(entries[i]));
+            used[i] = true;
+          }
+        }
+        break;
+      }
+      // PickNext: entry with the greatest preference difference.
+      std::size_t pick = n;
+      double best_diff = -1;
+      double enl_a_pick = 0, enl_b_pick = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (used[i]) continue;
+        const double ea = enlargement(bb_a, box_of(entries[i]));
+        const double eb = enlargement(bb_b, box_of(entries[i]));
+        const double diff = std::abs(ea - eb);
+        if (diff > best_diff) {
+          best_diff = diff;
+          pick = i;
+          enl_a_pick = ea;
+          enl_b_pick = eb;
+        }
+      }
+      bool to_a = enl_a_pick < enl_b_pick;
+      if (enl_a_pick == enl_b_pick) {
+        to_a = box_area(bb_a) < box_area(bb_b) ||
+               (box_area(bb_a) == box_area(bb_b) &&
+                group_a.size() <= group_b.size());
+      }
+      if (to_a) {
+        bb_a.merge(box_of(entries[pick]));
+        group_a.push_back(std::move(entries[pick]));
+      } else {
+        bb_b.merge(box_of(entries[pick]));
+        group_b.push_back(std::move(entries[pick]));
+      }
+      used[pick] = true;
+      --remaining;
+    }
+  }
+
+  Node* split_leaf(Node* t) {
+    std::vector<point_t> entries = std::move(t->points);
+    std::vector<point_t> a, b;
+    quadratic_split(entries, [](const point_t& p) { return box_t::of_point(p); },
+                    a, b);
+    t->points = std::move(a);
+    recompute_bbox(t);
+    auto* sibling = new Node(/*leaf=*/true);
+    sibling->points = std::move(b);
+    recompute_bbox(sibling);
+    return sibling;
+  }
+
+  Node* split_interior(Node* t) {
+    std::vector<std::unique_ptr<Node>> entries = std::move(t->children);
+    std::vector<std::unique_ptr<Node>> a, b;
+    quadratic_split(entries,
+                    [](const std::unique_ptr<Node>& c) { return c->bbox; }, a,
+                    b);
+    t->children = std::move(a);
+    recompute_bbox(t);
+    auto* sibling = new Node(/*leaf=*/false);
+    sibling->children = std::move(b);
+    recompute_bbox(sibling);
+    return sibling;
+  }
+
+  static void recompute_bbox(Node* t) {
+    t->bbox = box_t::empty();
+    if (t->leaf) {
+      for (const auto& p : t->points) t->bbox.expand(p);
+    } else {
+      for (const auto& c : t->children) t->bbox.merge(c->bbox);
+    }
+  }
+
+  // Returns true if p was removed under t. Underfull nodes are dissolved
+  // into `orphans` for reinsertion (CondenseTree).
+  bool erase_rec(Node* t, const point_t& p, std::vector<point_t>& orphans) {
+    if (t->leaf) {
+      auto it = std::find(t->points.begin(), t->points.end(), p);
+      if (it == t->points.end()) return false;
+      t->points.erase(it);
+      recompute_bbox(t);
+      return true;
+    }
+    for (auto it = t->children.begin(); it != t->children.end(); ++it) {
+      if (!(*it)->bbox.contains(p)) continue;
+      if (!erase_rec(it->get(), p, orphans)) continue;
+      if ((*it)->entry_count() < params_.min_entries) {
+        collect_points(it->get(), orphans);
+        t->children.erase(it);
+      }
+      recompute_bbox(t);
+      return true;
+    }
+    return false;
+  }
+
+  static void collect_points(const Node* t, std::vector<point_t>& out) {
+    if (t->leaf) {
+      out.insert(out.end(), t->points.begin(), t->points.end());
+      return;
+    }
+    for (const auto& c : t->children) collect_points(c.get(), out);
+  }
+
+  std::size_t count_rec(const Node* t, const box_t& query) const {
+    if (!query.intersects(t->bbox)) return 0;
+    if (t->leaf) {
+      std::size_t c = 0;
+      for (const auto& p : t->points) c += query.contains(p) ? 1 : 0;
+      return c;
+    }
+    if (query.contains(t->bbox)) {
+      std::vector<point_t> all;
+      collect_points(t, all);
+      return all.size();
+    }
+    std::size_t total = 0;
+    for (const auto& c : t->children) total += count_rec(c.get(), query);
+    return total;
+  }
+
+  void list_rec(const Node* t, const box_t& query,
+                std::vector<point_t>& out) const {
+    if (!query.intersects(t->bbox)) return;
+    if (query.contains(t->bbox)) {
+      collect_points(t, out);
+      return;
+    }
+    if (t->leaf) {
+      for (const auto& p : t->points) {
+        if (query.contains(p)) out.push_back(p);
+      }
+      return;
+    }
+    for (const auto& c : t->children) list_rec(c.get(), query, out);
+  }
+
+  std::size_t check_rec(const Node* t, bool is_root) const {
+    if (!is_root) {
+      if (t->entry_count() < params_.min_entries) {
+        throw std::logic_error("rtree: underfull node");
+      }
+    }
+    if (t->entry_count() > params_.max_entries) {
+      throw std::logic_error("rtree: overfull node");
+    }
+    if (t->leaf) {
+      box_t bb = box_t::empty();
+      for (const auto& p : t->points) bb.expand(p);
+      if (!(bb == t->bbox)) throw std::logic_error("rtree: leaf bbox not tight");
+      return t->points.size();
+    }
+    box_t bb = box_t::empty();
+    std::size_t total = 0;
+    for (const auto& c : t->children) {
+      bb.merge(c->bbox);
+      total += check_rec(c.get(), false);
+    }
+    if (!(bb == t->bbox)) {
+      throw std::logic_error("rtree: interior bbox not tight");
+    }
+    return total;
+  }
+
+  void check_depth(const Node* t, std::size_t depth,
+                   std::size_t leaf_depth) const {
+    if (t->leaf) {
+      if (depth != leaf_depth) {
+        throw std::logic_error("rtree: leaves at different depths");
+      }
+      return;
+    }
+    for (const auto& c : t->children) {
+      check_depth(c.get(), depth + 1, leaf_depth);
+    }
+  }
+};
+
+using RTree2 = RTree<std::int64_t, 2>;
+using RTree3 = RTree<std::int64_t, 3>;
+
+}  // namespace psi

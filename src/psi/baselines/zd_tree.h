@@ -1,0 +1,510 @@
+// PSI-Lib: the Zd-tree baseline (Blelloch & Dobson, ALENEX 2022), as
+// described in the target paper (Sec 2.3 / Sec 3): an orth-tree driven by
+// the Morton curve. Construction *pre-computes* the Morton code of every
+// point, comparison-sorts the ⟨code, point⟩ pairs (the extra pass/footprint
+// the P-Orth tree eliminates), and then builds the tree by splitting the
+// sorted range one code bit per level (a binary orth-tree: D consecutive
+// levels form one quad/oct subdivision). Updates sort the batch by code and
+// merge it into the tree recursively by code ranges; like all orth-trees
+// there is no rebalancing, and the structure is history-independent given
+// the code universe.
+//
+// The paper notes the original Zd-tree code has buggy updates and that its
+// authors re-implemented it from the paper; we do the same from the
+// description here.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "psi/geometry/box.h"
+#include "psi/geometry/knn_buffer.h"
+#include "psi/geometry/point.h"
+#include "psi/parallel/primitives.h"
+#include "psi/parallel/scheduler.h"
+#include "psi/parallel/sort.h"
+#include "psi/sfc/codec.h"
+
+namespace psi {
+
+struct ZdParams {
+  std::size_t leaf_wrap = 32;  // φ (paper Sec C)
+};
+
+template <typename Coord, int D>
+class ZdTree {
+ public:
+  using point_t = Point<Coord, D>;
+  using box_t = Box<Coord, D>;
+  using codec_t = sfc::MortonCodec<Coord, D>;
+
+  explicit ZdTree(ZdParams params = {}) : params_(params) {}
+
+  static constexpr int kTopBit = D * sfc::bits_per_dim<D>() - 1;
+
+  // -------------------------------------------------------------------
+  // Maintenance
+  // -------------------------------------------------------------------
+
+  void build(const std::vector<point_t>& pts) {
+    std::vector<Entry> entries = sorted_entries(pts);
+    root_ = build_rec(entries.data(), entries.size(), kTopBit);
+  }
+
+  void batch_insert(const std::vector<point_t>& pts) {
+    if (pts.empty()) return;
+    std::vector<Entry> batch = sorted_entries(pts);
+    root_ = insert_rec(std::move(root_), batch.data(), batch.size(), kTopBit);
+  }
+
+  void batch_delete(const std::vector<point_t>& pts) {
+    if (!root_ || pts.empty()) return;
+    std::vector<Entry> batch = sorted_entries(pts);
+    root_ = delete_rec(std::move(root_), batch.data(), batch.size());
+  }
+
+  // Combined difference (artifact BatchDiff()).
+  void batch_diff(const std::vector<point_t>& inserts,
+                  const std::vector<point_t>& deletes) {
+    batch_delete(deletes);
+    batch_insert(inserts);
+  }
+
+  void clear() { root_.reset(); }
+
+  // -------------------------------------------------------------------
+  // Queries
+  // -------------------------------------------------------------------
+
+  std::size_t size() const { return root_ ? root_->count : 0; }
+  bool empty() const { return size() == 0; }
+
+  std::vector<point_t> knn(const point_t& q, std::size_t k) const {
+    KnnBuffer<point_t> buf(k);
+    if (root_) knn_rec(root_.get(), q, buf);
+    auto entries = buf.sorted();
+    std::vector<point_t> out;
+    out.reserve(entries.size());
+    for (const auto& e : entries) out.push_back(e.point);
+    return out;
+  }
+
+  std::size_t range_count(const box_t& query) const {
+    return root_ ? count_rec(root_.get(), query) : 0;
+  }
+
+  std::vector<point_t> range_list(const box_t& query) const {
+    std::vector<point_t> out;
+    if (root_) list_rec(root_.get(), query, out);
+    return out;
+  }
+
+  // Ball (radius) queries: points within Euclidean distance `radius` of q.
+  std::size_t ball_count(const point_t& q, double radius) const {
+    return root_ ? ball_count_rec(root_.get(), q, radius * radius) : 0;
+  }
+
+  std::vector<point_t> ball_list(const point_t& q, double radius) const {
+    std::vector<point_t> out;
+    if (root_) ball_list_rec(root_.get(), q, radius * radius, out);
+    return out;
+  }
+
+  std::vector<point_t> flatten() const {
+    std::vector<point_t> out;
+    out.reserve(size());
+    if (root_) collect_points(root_.get(), out);
+    return out;
+  }
+
+  std::size_t height() const { return height_rec(root_.get()); }
+
+  void check_invariants() const {
+    if (root_) check_rec(root_.get());
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t code;
+    point_t pt;
+  };
+
+  struct Node {
+    box_t bbox = box_t::empty();
+    std::size_t count = 0;
+    bool leaf = true;
+    int bit = -1;  // interior: children split on this code bit
+    std::unique_ptr<Node> l, r;
+    std::vector<Entry> items;  // leaf payload, sorted by code
+  };
+
+  ZdParams params_;
+  std::unique_ptr<Node> root_;
+
+  static constexpr std::size_t kParallelCutoff = 4096;
+
+  static bool entry_less(const Entry& a, const Entry& b) {
+    if (a.code != b.code) return a.code < b.code;
+    return a.pt < b.pt;
+  }
+
+  std::vector<Entry> sorted_entries(const std::vector<point_t>& pts) const {
+    // Pre-compute all codes (a full pass over the data), then sort the full
+    // ⟨code, point⟩ records — the Zd-tree scheme the paper measures against.
+    std::vector<Entry> entries = tabulate<Entry>(pts.size(), [&](std::size_t i) {
+      return Entry{codec_t::encode(pts[i]), pts[i]};
+    });
+    sample_sort(entries, entry_less);
+    return entries;
+  }
+
+  std::unique_ptr<Node> make_leaf(const Entry* e, std::size_t n) const {
+    auto leaf = std::make_unique<Node>();
+    leaf->leaf = true;
+    leaf->items.assign(e, e + n);
+    std::sort(leaf->items.begin(), leaf->items.end(), entry_less);
+    leaf->count = n;
+    for (const auto& it : leaf->items) leaf->bbox.expand(it.pt);
+    return leaf;
+  }
+
+  // Index of the first entry with `bit` set (entries sorted by code).
+  static std::size_t split_at_bit(const Entry* e, std::size_t n, int bit) {
+    const std::uint64_t mask = std::uint64_t{1} << bit;
+    std::size_t lo = 0, hi = n;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (e[mid].code & mask) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+
+  // -------------------------------------------------------------------
+  // Construction from a code-sorted range
+  // -------------------------------------------------------------------
+
+  std::unique_ptr<Node> build_rec(const Entry* e, std::size_t n,
+                                  int bit) const {
+    if (n == 0) return nullptr;
+    if (n <= params_.leaf_wrap || bit < 0) return make_leaf(e, n);
+    const std::size_t m = split_at_bit(e, n, bit);
+    if (m == 0 || m == n) {
+      // All points on one side of this bit: skip the level without
+      // allocating a chain node (path compression).
+      return build_rec(e, n, bit - 1);
+    }
+    auto t = std::make_unique<Node>();
+    t->leaf = false;
+    t->bit = bit;
+    if (n >= kParallelCutoff) {
+      par_do([&] { t->l = build_rec(e, m, bit - 1); },
+             [&] { t->r = build_rec(e + m, n - m, bit - 1); });
+    } else {
+      t->l = build_rec(e, m, bit - 1);
+      t->r = build_rec(e + m, n - m, bit - 1);
+    }
+    refresh(t.get());
+    return t;
+  }
+
+  static void refresh(Node* t) {
+    t->count = (t->l ? t->l->count : 0) + (t->r ? t->r->count : 0);
+    t->bbox = box_t::empty();
+    if (t->l) t->bbox.merge(t->l->bbox);
+    if (t->r) t->bbox.merge(t->r->bbox);
+  }
+
+  // -------------------------------------------------------------------
+  // Batch updates (merge by code ranges; no rebalancing)
+  // -------------------------------------------------------------------
+
+  // `bit` is the highest code bit not yet consumed on this path; with path
+  // compression an interior node may sit at a lower bit than that — the
+  // batch is then split at the node's own bit.
+  std::unique_ptr<Node> insert_rec(std::unique_ptr<Node> t, Entry* batch,
+                                   std::size_t n, int bit) {
+    if (n == 0) return t;
+    if (!t) return build_rec(batch, n, bit);
+    if (t->leaf) {
+      // Merge into the leaf; rebuild the subtree if it overflows.
+      std::vector<Entry> all;
+      all.reserve(t->count + n);
+      std::merge(t->items.begin(), t->items.end(), batch, batch + n,
+                 std::back_inserter(all), entry_less);
+      if (all.size() <= params_.leaf_wrap) {
+        t->items = std::move(all);
+        t->count = t->items.size();
+        t->bbox = box_t::empty();
+        for (const auto& it : t->items) t->bbox.expand(it.pt);
+        return t;
+      }
+      return build_rec(all.data(), all.size(), bit);
+    }
+    // Interior. With path compression, batch points may diverge from the
+    // subtree's code prefix above t->bit; rebuilding the (prefix) structure
+    // is done by re-splitting at every bit from `bit` down to t->bit.
+    if (bit > t->bit) {
+      const std::size_t m = split_at_bit(batch, n, bit);
+      // Does the subtree lie on the 0-side or the 1-side of `bit`? Compare
+      // against any code in the subtree.
+      const bool subtree_high = (leftmost_code(t.get()) >> bit) & 1;
+      if (!subtree_high) {
+        if (m == n) return insert_rec(std::move(t), batch, n, bit - 1);
+        auto r = build_rec(batch + m, n - m, bit - 1);
+        auto l = insert_rec(std::move(t), batch, m, bit - 1);
+        return make_interior(bit, std::move(l), std::move(r));
+      }
+      if (m == 0) return insert_rec(std::move(t), batch, n, bit - 1);
+      auto l = build_rec(batch, m, bit - 1);
+      auto r = insert_rec(std::move(t), batch + m, n - m, bit - 1);
+      return make_interior(bit, std::move(l), std::move(r));
+    }
+    const std::size_t m = split_at_bit(batch, n, t->bit);
+    std::unique_ptr<Node> nl = std::move(t->l), nr = std::move(t->r);
+    if (n >= kParallelCutoff) {
+      par_do([&] { nl = insert_rec(std::move(nl), batch, m, t->bit - 1); },
+             [&] {
+               nr = insert_rec(std::move(nr), batch + m, n - m, t->bit - 1);
+             });
+    } else {
+      nl = insert_rec(std::move(nl), batch, m, t->bit - 1);
+      nr = insert_rec(std::move(nr), batch + m, n - m, t->bit - 1);
+    }
+    t->l = std::move(nl);
+    t->r = std::move(nr);
+    refresh(t.get());
+    return t;
+  }
+
+  std::unique_ptr<Node> make_interior(int bit, std::unique_ptr<Node> l,
+                                      std::unique_ptr<Node> r) const {
+    if (!l) return r;
+    if (!r) return l;
+    auto t = std::make_unique<Node>();
+    t->leaf = false;
+    t->bit = bit;
+    t->l = std::move(l);
+    t->r = std::move(r);
+    refresh(t.get());
+    return t;
+  }
+
+  static std::uint64_t leftmost_code(const Node* t) {
+    while (!t->leaf) t = t->l ? t->l.get() : t->r.get();
+    return t->items.front().code;
+  }
+
+  std::unique_ptr<Node> delete_rec(std::unique_ptr<Node> t, Entry* batch,
+                                   std::size_t n) {
+    if (!t || n == 0) return t;
+    if (t->leaf) {
+      for (std::size_t i = 0; i < n; ++i) {
+        auto it = std::find_if(t->items.begin(), t->items.end(),
+                               [&](const Entry& e) {
+                                 return e.code == batch[i].code &&
+                                        e.pt == batch[i].pt;
+                               });
+        if (it != t->items.end()) t->items.erase(it);
+      }
+      if (t->items.empty()) return nullptr;
+      t->count = t->items.size();
+      t->bbox = box_t::empty();
+      for (const auto& it : t->items) t->bbox.expand(it.pt);
+      return t;
+    }
+    const std::size_t m = split_at_bit(batch, n, t->bit);
+    std::unique_ptr<Node> nl = std::move(t->l), nr = std::move(t->r);
+    if (n >= kParallelCutoff) {
+      par_do([&] { nl = delete_rec(std::move(nl), batch, m); },
+             [&] { nr = delete_rec(std::move(nr), batch + m, n - m); });
+    } else {
+      nl = delete_rec(std::move(nl), batch, m);
+      nr = delete_rec(std::move(nr), batch + m, n - m);
+    }
+    if (!nl) return nr;
+    if (!nr) return nl;
+    t->l = std::move(nl);
+    t->r = std::move(nr);
+    refresh(t.get());
+    if (t->count <= params_.leaf_wrap) {
+      std::vector<Entry> rest;
+      rest.reserve(t->count);
+      collect_entries(t.get(), rest);
+      return make_leaf(rest.data(), rest.size());
+    }
+    return t;
+  }
+
+  static void collect_entries(const Node* t, std::vector<Entry>& out) {
+    if (t->leaf) {
+      out.insert(out.end(), t->items.begin(), t->items.end());
+      return;
+    }
+    if (t->l) collect_entries(t->l.get(), out);
+    if (t->r) collect_entries(t->r.get(), out);
+  }
+
+  static void collect_points(const Node* t, std::vector<point_t>& out) {
+    if (t->leaf) {
+      for (const auto& e : t->items) out.push_back(e.pt);
+      return;
+    }
+    if (t->l) collect_points(t->l.get(), out);
+    if (t->r) collect_points(t->r.get(), out);
+  }
+
+  // -------------------------------------------------------------------
+  // Queries
+  // -------------------------------------------------------------------
+
+  void knn_rec(const Node* t, const point_t& q, KnnBuffer<point_t>& buf) const {
+    if (t->leaf) {
+      for (const auto& e : t->items) buf.offer(squared_distance(e.pt, q), e.pt);
+      return;
+    }
+    const Node* kids[2] = {t->l.get(), t->r.get()};
+    double dist[2] = {kids[0] ? min_squared_distance(kids[0]->bbox, q) : 0,
+                      kids[1] ? min_squared_distance(kids[1]->bbox, q) : 0};
+    int order[2] = {0, 1};
+    if (kids[0] && kids[1] && dist[1] < dist[0]) {
+      order[0] = 1;
+      order[1] = 0;
+    }
+    for (int i : order) {
+      const Node* c = kids[i];
+      if (!c) continue;
+      if (buf.full() && dist[i] >= buf.worst()) continue;
+      knn_rec(c, q, buf);
+    }
+  }
+
+  std::size_t count_rec(const Node* t, const box_t& query) const {
+    if (!query.intersects(t->bbox)) return 0;
+    if (query.contains(t->bbox)) return t->count;
+    if (t->leaf) {
+      std::size_t c = 0;
+      for (const auto& e : t->items) c += query.contains(e.pt) ? 1 : 0;
+      return c;
+    }
+    std::size_t total = 0;
+    if (t->l) total += count_rec(t->l.get(), query);
+    if (t->r) total += count_rec(t->r.get(), query);
+    return total;
+  }
+
+  void list_rec(const Node* t, const box_t& query,
+                std::vector<point_t>& out) const {
+    if (!query.intersects(t->bbox)) return;
+    if (query.contains(t->bbox)) {
+      collect_points(t, out);
+      return;
+    }
+    if (t->leaf) {
+      for (const auto& e : t->items) {
+        if (query.contains(e.pt)) out.push_back(e.pt);
+      }
+      return;
+    }
+    if (t->l) list_rec(t->l.get(), query, out);
+    if (t->r) list_rec(t->r.get(), query, out);
+  }
+
+  std::size_t ball_count_rec(const Node* t, const point_t& q,
+                             double r2) const {
+    if (min_squared_distance(t->bbox, q) > r2) return 0;
+    if (max_squared_distance(t->bbox, q) <= r2) return t->count;
+    if (t->leaf) {
+      std::size_t c = 0;
+      for (const auto& e : t->items) {
+        c += squared_distance(e.pt, q) <= r2 ? 1 : 0;
+      }
+      return c;
+    }
+    std::size_t total = 0;
+    if (t->l) total += ball_count_rec(t->l.get(), q, r2);
+    if (t->r) total += ball_count_rec(t->r.get(), q, r2);
+    return total;
+  }
+
+  void ball_list_rec(const Node* t, const point_t& q, double r2,
+                     std::vector<point_t>& out) const {
+    if (min_squared_distance(t->bbox, q) > r2) return;
+    if (max_squared_distance(t->bbox, q) <= r2) {
+      collect_points(t, out);
+      return;
+    }
+    if (t->leaf) {
+      for (const auto& e : t->items) {
+        if (squared_distance(e.pt, q) <= r2) out.push_back(e.pt);
+      }
+      return;
+    }
+    if (t->l) ball_list_rec(t->l.get(), q, r2, out);
+    if (t->r) ball_list_rec(t->r.get(), q, r2, out);
+  }
+
+  static std::size_t height_rec(const Node* t) {
+    if (!t) return 0;
+    if (t->leaf) return 1;
+    return 1 + std::max(height_rec(t->l.get()), height_rec(t->r.get()));
+  }
+
+  // Structural invariants with path compression: at an interior splitting
+  // on bit b, all codes in the subtree share the bits above b, the left
+  // child's codes have bit b clear, and the right child's have it set.
+  // Returns (min code, max code) of the subtree.
+  std::pair<std::uint64_t, std::uint64_t> check_rec(const Node* t) const {
+    if (t->leaf) {
+      if (t->count != t->items.size()) {
+        throw std::logic_error("zd: leaf count mismatch");
+      }
+      if (t->count == 0) throw std::logic_error("zd: empty leaf");
+      if (!std::is_sorted(t->items.begin(), t->items.end(), entry_less)) {
+        throw std::logic_error("zd: leaf not code-sorted");
+      }
+      box_t bb = box_t::empty();
+      for (const auto& e : t->items) {
+        if (e.code != codec_t::encode(e.pt)) {
+          throw std::logic_error("zd: stale code");
+        }
+        bb.expand(e.pt);
+      }
+      if (!(bb == t->bbox)) throw std::logic_error("zd: leaf bbox not tight");
+      return {t->items.front().code, t->items.back().code};
+    }
+    if (!t->l || !t->r) throw std::logic_error("zd: interior missing child");
+    if (t->count != t->l->count + t->r->count) {
+      throw std::logic_error("zd: interior count mismatch");
+    }
+    if (t->count <= params_.leaf_wrap) {
+      throw std::logic_error("zd: interior at or below leaf wrap");
+    }
+    box_t bb = t->l->bbox;
+    bb.merge(t->r->bbox);
+    if (!(bb == t->bbox)) throw std::logic_error("zd: interior bbox mismatch");
+    const auto [lmin, lmax] = check_rec(t->l.get());
+    const auto [rmin, rmax] = check_rec(t->r.get());
+    const std::uint64_t mask = std::uint64_t{1} << t->bit;
+    if ((lmax & mask) != 0 || (rmin & mask) == 0) {
+      throw std::logic_error("zd: children on wrong side of split bit");
+    }
+    if (t->bit < 63 && ((lmin ^ rmax) >> (t->bit + 1)) != 0) {
+      throw std::logic_error("zd: subtree does not share prefix above bit");
+    }
+    return {lmin, rmax};
+  }
+};
+
+using ZdTree2 = ZdTree<std::int64_t, 2>;
+using ZdTree3 = ZdTree<std::int64_t, 3>;
+
+}  // namespace psi

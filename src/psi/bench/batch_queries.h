@@ -1,0 +1,49 @@
+// PSI-Lib: parallel bulk-query helpers.
+//
+// The paper runs query sets "in parallel" (Sec 5.1); these helpers wrap
+// that pattern for any index with the standard query interface, so callers
+// and benches don't hand-roll the parallel_for each time.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "psi/geometry/box.h"
+#include "psi/parallel/scheduler.h"
+
+namespace psi {
+
+// k-NN for every query point; results[i] corresponds to queries[i].
+template <typename Index, typename PointT>
+std::vector<std::vector<PointT>> batch_knn(const Index& index,
+                                           const std::vector<PointT>& queries,
+                                           std::size_t k) {
+  std::vector<std::vector<PointT>> out(queries.size());
+  parallel_for(
+      0, queries.size(), [&](std::size_t i) { out[i] = index.knn(queries[i], k); },
+      1);
+  return out;
+}
+
+template <typename Index, typename BoxT>
+std::vector<std::size_t> batch_range_count(const Index& index,
+                                           const std::vector<BoxT>& queries) {
+  std::vector<std::size_t> out(queries.size());
+  parallel_for(
+      0, queries.size(),
+      [&](std::size_t i) { out[i] = index.range_count(queries[i]); }, 1);
+  return out;
+}
+
+template <typename Index, typename BoxT>
+auto batch_range_list(const Index& index, const std::vector<BoxT>& queries) {
+  using PointT = typename Index::point_t;
+  std::vector<std::vector<PointT>> out(queries.size());
+  parallel_for(
+      0, queries.size(),
+      [&](std::size_t i) { out[i] = index.range_list(queries[i]); }, 1);
+  return out;
+}
+
+}  // namespace psi

@@ -1,0 +1,79 @@
+#include "psi/bench/harness.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+
+namespace psi::bench {
+
+double timed(const std::function<void()>& setup,
+             const std::function<void()>& body, int repeats) {
+  // Warm-up run.
+  if (setup) setup();
+  body();
+  double total = 0;
+  for (int r = 0; r < repeats; ++r) {
+    if (setup) setup();
+    Timer t;
+    body();
+    total += t.seconds();
+  }
+  return total / repeats;
+}
+
+double timed(const std::function<void()>& body, int repeats) {
+  return timed(std::function<void()>{}, body, repeats);
+}
+
+namespace {
+std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* s = std::getenv(name)) {
+    const long long v = std::atoll(s);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+}  // namespace
+
+std::size_t bench_n(std::size_t fallback) { return env_size("PSI_BENCH_N", fallback); }
+std::size_t bench_queries(std::size_t fallback) {
+  return env_size("PSI_BENCH_Q", fallback);
+}
+int bench_repeats(int fallback) {
+  return static_cast<int>(env_size("PSI_BENCH_REPEATS",
+                                   static_cast<std::size_t>(fallback)));
+}
+
+Table::Table(std::vector<std::string> headers, int col_width)
+    : width_(col_width), cols_(headers.size()) {
+  std::ostringstream os;
+  for (const auto& h : headers) {
+    os << std::setw(width_) << h;
+  }
+  std::cout << os.str() << '\n';
+  std::cout << std::string(cols_ * static_cast<std::size_t>(width_), '-') << '\n';
+}
+
+void Table::row(const std::vector<std::string>& cells) {
+  std::ostringstream os;
+  for (const auto& c : cells) {
+    os << std::setw(width_) << c;
+  }
+  std::cout << os.str() << '\n';
+}
+
+std::string Table::fmt(double seconds) {
+  std::ostringstream os;
+  os << std::setprecision(4) << std::defaultfloat << seconds;
+  return os.str();
+}
+
+double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  double acc = 0;
+  for (double x : xs) acc += std::log(std::max(x, 1e-12));
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+}  // namespace psi::bench

@@ -1,0 +1,59 @@
+// PSI-Lib: shared benchmark harness.
+//
+// Paper protocol (Sec 5): report the average of `repeats` runs after one
+// warm-up run. Benches print fixed-width tables whose rows match the paper's
+// tables/figures so EXPERIMENTS.md can record paper-vs-measured shape.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace psi::bench {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+// Run `body` (after `setup` each time) `repeats` times plus one warm-up;
+// returns mean seconds. `setup` may be empty.
+double timed(const std::function<void()>& setup,
+             const std::function<void()>& body, int repeats = 3);
+
+// Convenience without per-run setup.
+double timed(const std::function<void()>& body, int repeats = 3);
+
+// Environment knobs shared by the bench binaries.
+std::size_t bench_n(std::size_t fallback);        // PSI_BENCH_N
+std::size_t bench_queries(std::size_t fallback);  // PSI_BENCH_Q
+int bench_repeats(int fallback);                  // PSI_BENCH_REPEATS
+
+// Fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int col_width = 11);
+  void row(const std::vector<std::string>& cells);
+  static std::string fmt(double seconds);  // 4 significant digits
+
+ private:
+  int width_;
+  std::size_t cols_;
+};
+
+// Geometric mean helper for Fig 8.
+double geomean(const std::vector<double>& xs);
+
+}  // namespace psi::bench

@@ -1,0 +1,53 @@
+// PSI-Lib: index diagnostics.
+//
+// Summary statistics computed through the public interface (so they work
+// for every index uniformly): size, height, and an estimate of structural
+// quality — the average depth at which points are found, probed via kNN
+// visit counts is index-internal, so instead we expose what the paper's
+// discussion actually uses: size, height, and the height-to-optimal ratio
+// (1.0 = perfectly balanced binary/2^D-ary tree of that size).
+
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+#include <string>
+
+namespace psi {
+
+struct IndexStats {
+  std::size_t size = 0;
+  std::size_t height = 0;
+  // height / ceil(log_fanout(size / leaf_wrap)) — 1.0 is perfectly packed;
+  // larger means deeper than a balanced tree of that arity would be.
+  double height_ratio = 0.0;
+
+  friend std::ostream& operator<<(std::ostream& os, const IndexStats& s) {
+    return os << "{n=" << s.size << ", height=" << s.height
+              << ", height/opt=" << s.height_ratio << '}';
+  }
+};
+
+// Works for any index exposing size() and height(). `fanout` is the tree
+// arity (2 for BSTs/kd-trees, 2^D for orth-trees); `leaf_wrap` the leaf
+// capacity used to compute the optimal height.
+template <typename Index>
+IndexStats index_stats(const Index& index, double fanout,
+                       double leaf_wrap) {
+  IndexStats s;
+  s.size = index.size();
+  s.height = index.height();
+  if (s.size > leaf_wrap && fanout > 1) {
+    const double optimal =
+        std::ceil(std::log(static_cast<double>(s.size) / leaf_wrap) /
+                  std::log(fanout)) +
+        1;
+    s.height_ratio = static_cast<double>(s.height) / optimal;
+  } else {
+    s.height_ratio = s.height <= 1 ? 1.0 : static_cast<double>(s.height);
+  }
+  return s;
+}
+
+}  // namespace psi

@@ -1,0 +1,718 @@
+// PSI-Lib: the P-Orth tree (paper Sec 3) — a parallel orth-tree
+// (quadtree/octree) with batch construction and batch updates that avoid
+// space-filling curves entirely.
+//
+// Key algorithmic structure (Alg 1 & Alg 2):
+//   * Construction builds a λ-level *tree skeleton* (an implicit full
+//     2^D-ary subdivision of the current region), classifies every point to
+//     a skeleton leaf ("bucket") with λ rounds of midpoint comparisons, and
+//     uses the Sieve (parallel counting sort) to gather each bucket
+//     contiguously — one round of global data movement per λ levels. Each
+//     bucket recurses in parallel. Conceptually this is an MSD integer sort
+//     of the points' Morton codes, λ·D bits per round, but no code is ever
+//     computed, stored, or compared.
+//   * Batch insertion/deletion retrieves the skeleton from the *actual*
+//     tree (truncated at depth λ, stopping early at leaves and empty
+//     children), sieves the update batch to the skeleton frontier, and
+//     recurses per frontier slot in parallel. Orth-trees never rebalance:
+//     after recursion only bounding boxes/sizes are refreshed, plus (for
+//     deletions) flattening of subtrees that fall under the leaf wrap.
+//
+// The tree is history-independent modulo leaf point order: the structure is
+// a deterministic function of (universe region, point multiset), which the
+// tests verify and which explains the paper's observation that P-Orth query
+// performance does not degrade under heavy update churn (Sec 5.1.3).
+//
+// Duplicates and degenerate inputs: when a region becomes unsplittable
+// (width ≤ 1 in every dimension / all points identical) the recursion stops
+// with an oversized leaf, so duplicate-heavy inputs terminate. Points
+// outside the universe region are tolerated (classification still
+// terminates; bounding boxes — which queries rely on — are always computed
+// from the actual points), but the universe should normally enclose all
+// data; it is fixed at the first build so that rebuild-equivalence holds.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "psi/geometry/box.h"
+#include "psi/geometry/knn_buffer.h"
+#include "psi/geometry/point.h"
+#include "psi/geometry/region.h"
+#include "psi/parallel/counting_sort.h"
+#include "psi/parallel/primitives.h"
+#include "psi/parallel/scheduler.h"
+
+namespace psi {
+
+struct POrthParams {
+  std::size_t leaf_wrap = 32;  // φ, paper Sec C
+  int skeleton_levels = 0;     // λ; 0 = paper default (3 for 2D, 2 for 3D)
+};
+
+template <typename Coord, int D>
+class POrthTree {
+ public:
+  using point_t = Point<Coord, D>;
+  using box_t = Box<Coord, D>;
+  using Reg = Region<Coord, D>;
+  static constexpr int kFanout = Reg::kFanout;
+
+  explicit POrthTree(POrthParams params = {})
+      : params_(params) {
+    if (params_.skeleton_levels <= 0) {
+      params_.skeleton_levels = D == 2 ? 3 : 2;  // paper Sec C
+    }
+  }
+
+  POrthTree(POrthParams params, box_t universe) : POrthTree(params) {
+    universe_ = universe;
+    have_universe_ = true;
+  }
+
+  // -------------------------------------------------------------------
+  // Maintenance
+  // -------------------------------------------------------------------
+
+  // Build from scratch, replacing any existing contents.
+  void build(std::vector<point_t> pts) {
+    if (!have_universe_) {
+      universe_ = compute_bbox(pts.data(), pts.size());
+      have_universe_ = !universe_.is_empty();
+    }
+    root_ = build_rec(pts.data(), pts.size(), universe_);
+  }
+
+  void batch_insert(std::vector<point_t> pts) {
+    if (pts.empty()) return;
+    if (!have_universe_) {
+      universe_ = compute_bbox(pts.data(), pts.size());
+      have_universe_ = true;
+    }
+    root_ = insert_rec(std::move(root_), pts.data(), pts.size(), universe_);
+  }
+
+  // Remove one stored instance per batch element (elements not present are
+  // ignored).
+  void batch_delete(std::vector<point_t> pts) {
+    if (!root_ || pts.empty()) return;
+    root_ = delete_rec(std::move(root_), pts.data(), pts.size(), universe_);
+  }
+
+  // Apply a combined difference: remove `deletes`, then add `inserts`
+  // (the artifact's BatchDiff(); useful for move-style updates where the
+  // same objects change position).
+  void batch_diff(std::vector<point_t> inserts, std::vector<point_t> deletes) {
+    batch_delete(std::move(deletes));
+    batch_insert(std::move(inserts));
+  }
+
+  void clear() { root_.reset(); }
+
+  // -------------------------------------------------------------------
+  // Queries
+  // -------------------------------------------------------------------
+
+  std::size_t size() const { return root_ ? root_->count : 0; }
+  bool empty() const { return size() == 0; }
+  const box_t& universe() const { return universe_; }
+
+  // k nearest neighbours of q, sorted by increasing distance.
+  std::vector<point_t> knn(const point_t& q, std::size_t k) const {
+    KnnBuffer<point_t> buf(k);
+    if (root_) knn_rec(root_.get(), q, buf);
+    auto entries = buf.sorted();
+    std::vector<point_t> out;
+    out.reserve(entries.size());
+    for (const auto& e : entries) out.push_back(e.point);
+    return out;
+  }
+
+  std::size_t range_count(const box_t& query) const {
+    return root_ ? count_rec(root_.get(), query) : 0;
+  }
+
+  std::vector<point_t> range_list(const box_t& query) const {
+    std::vector<point_t> out;
+    if (root_) list_rec(root_.get(), query, out);
+    return out;
+  }
+
+  // Ball (radius) queries: points within Euclidean distance `radius` of q.
+  std::size_t ball_count(const point_t& q, double radius) const {
+    return root_ ? ball_count_rec(root_.get(), q, radius * radius) : 0;
+  }
+
+  std::vector<point_t> ball_list(const point_t& q, double radius) const {
+    std::vector<point_t> out;
+    if (root_) ball_list_rec(root_.get(), q, radius * radius, out);
+    return out;
+  }
+
+  // All stored points (unspecified order). Used by tests and rebuilds.
+  std::vector<point_t> flatten() const {
+    std::vector<point_t> out;
+    out.reserve(size());
+    if (root_) collect(root_.get(), out);
+    return out;
+  }
+
+  // -------------------------------------------------------------------
+  // Introspection / invariants (test support)
+  // -------------------------------------------------------------------
+
+  std::size_t height() const { return height_rec(root_.get()); }
+
+  // Throws std::logic_error on any structural violation.
+  void check_invariants() const {
+    if (root_) check_rec(root_.get(), universe_, /*is_root=*/true);
+  }
+
+  // Structure-and-contents equality modulo leaf point order (the paper's
+  // history-independence granularity).
+  friend bool structurally_equal(const POrthTree& a, const POrthTree& b) {
+    return equal_rec(a.root_.get(), b.root_.get());
+  }
+
+ private:
+  struct Node {
+    box_t region;  // space owned (splitting guide)
+    box_t bbox;    // tight bounds of the stored points
+    std::size_t count = 0;
+    bool leaf = true;
+    std::vector<point_t> points;                          // leaf payload
+    std::array<std::unique_ptr<Node>, kFanout> child{};   // interior links
+  };
+
+  POrthParams params_;
+  box_t universe_ = Box<Coord, D>::empty();
+  bool have_universe_ = false;
+  std::unique_ptr<Node> root_;
+
+  static constexpr std::size_t kParallelCutoff = 4096;
+
+  // -------------------------------------------------------------------
+  // Shared helpers
+  // -------------------------------------------------------------------
+
+  static box_t compute_bbox(const point_t* pts, std::size_t n) {
+    return reduce_map(
+        0, n, [&](std::size_t i) { return box_t::of_point(pts[i]); },
+        box_t::empty(), [](box_t a, const box_t& b) {
+          a.merge(b);
+          return a;
+        });
+  }
+
+  std::unique_ptr<Node> make_leaf(const point_t* pts, std::size_t n,
+                                  const box_t& region) const {
+    auto leaf = std::make_unique<Node>();
+    leaf->region = region;
+    leaf->leaf = true;
+    leaf->points.assign(pts, pts + n);
+    leaf->count = n;
+    leaf->bbox = compute_bbox(pts, n);
+    return leaf;
+  }
+
+  static void collect(const Node* t, std::vector<point_t>& out) {
+    if (t->leaf) {
+      out.insert(out.end(), t->points.begin(), t->points.end());
+      return;
+    }
+    for (const auto& c : t->child) {
+      if (c) collect(c.get(), out);
+    }
+  }
+
+  std::unique_ptr<Node> flatten_to_leaf(std::unique_ptr<Node> t) const {
+    if (!t || t->leaf) return t;
+    std::vector<point_t> pts;
+    pts.reserve(t->count);
+    collect(t.get(), pts);
+    return make_leaf(pts.data(), pts.size(), t->region);
+  }
+
+  // -------------------------------------------------------------------
+  // Construction (Alg 1)
+  // -------------------------------------------------------------------
+
+  std::unique_ptr<Node> build_rec(point_t* pts, std::size_t n,
+                                  const box_t& region) const {
+    if (n == 0) return nullptr;
+    if (n <= params_.leaf_wrap || !Reg::splittable(region)) {
+      return make_leaf(pts, n, region);
+    }
+    // Step 1: the λ-level skeleton is implicit (full subdivision); compute
+    // each point's bucket = concatenated orthant indices over λ levels.
+    const int levels = params_.skeleton_levels;
+    const std::size_t num_buckets = std::size_t{1}
+                                    << (static_cast<std::size_t>(levels) * D);
+    std::vector<std::uint32_t> ids(n);
+    parallel_for(0, n, [&](std::size_t i) {
+      box_t r = region;
+      std::uint32_t id = 0;
+      for (int l = 0; l < levels; ++l) {
+        const int c = Reg::orthant(r, pts[i]);
+        id = (id << D) | static_cast<std::uint32_t>(c);
+        r = Reg::child(r, c);
+      }
+      ids[i] = id;
+    });
+    // Step 2: sieve — gather each bucket contiguously (Alg 1 line 6).
+    BucketOffsets offsets =
+        sieve(pts, n, num_buckets, [&](std::size_t i) { return ids[i]; });
+    // Step 3: recurse per bucket and assemble the skeleton's internal
+    // levels, flattening subtrees at or below the leaf wrap (line 10).
+    return assemble(pts, offsets, 0, 0, region, levels);
+  }
+
+  // Build the skeleton interior node for `prefix` at `level`, whose buckets
+  // span [prefix << (levels-level)*D, (prefix+1) << (levels-level)*D).
+  std::unique_ptr<Node> assemble(point_t* base, const BucketOffsets& offsets,
+                                 int level, std::size_t prefix,
+                                 const box_t& region, int levels) const {
+    const std::size_t width = std::size_t{1}
+                              << (static_cast<std::size_t>(levels - level) * D);
+    const std::size_t bucket_lo = prefix * width;
+    const std::size_t span_lo = offsets[bucket_lo];
+    const std::size_t span_n = offsets[bucket_lo + width] - span_lo;
+    if (span_n == 0) return nullptr;
+    if (level == levels) {
+      return build_rec(base + span_lo, span_n, region);
+    }
+    if (!Reg::splittable(region)) {
+      // Degenerate sub-region inside the skeleton: all its points share one
+      // bucket path; stop with an (possibly oversized) leaf.
+      return make_leaf(base + span_lo, span_n, region);
+    }
+    auto node = std::make_unique<Node>();
+    node->region = region;
+    node->leaf = false;
+    parallel_for(
+        0, kFanout,
+        [&](std::size_t c) {
+          node->child[c] =
+              assemble(base, offsets, level + 1, (prefix << D) + c,
+                       Reg::child(region, static_cast<int>(c)), levels);
+        },
+        span_n >= kParallelCutoff ? 1 : kFanout);
+    refresh(node.get());
+    if (node->count <= params_.leaf_wrap) {
+      return flatten_to_leaf(std::move(node));
+    }
+    return node;
+  }
+
+  // Recompute count/bbox of an interior node from its children.
+  static void refresh(Node* t) {
+    t->count = 0;
+    t->bbox = box_t::empty();
+    for (const auto& c : t->child) {
+      if (c) {
+        t->count += c->count;
+        t->bbox.merge(c->bbox);
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Skeleton retrieval for updates (Alg 2 line 5)
+  // -------------------------------------------------------------------
+
+  // The update skeleton is the actual tree truncated at depth λ; its
+  // frontier slots are (a) subtrees at depth λ, (b) leaves above depth λ,
+  // and (c) empty child links (null subtrees for so-far-empty orthants).
+  struct Skeleton {
+    struct SkelNode {
+      Node* node;
+      std::array<std::int32_t, kFanout> next;  // >=0: skel index; <0: ~slot
+    };
+    struct Slot {
+      std::unique_ptr<Node>* link;
+      box_t region;
+    };
+    std::vector<SkelNode> internal;  // DFS preorder; [0] is the root
+    std::vector<Slot> slots;
+
+    std::size_t classify(const point_t& p) const {
+      std::int32_t i = 0;
+      for (;;) {
+        const SkelNode& s = internal[static_cast<std::size_t>(i)];
+        const std::int32_t nx =
+            s.next[static_cast<std::size_t>(Reg::orthant(s.node->region, p))];
+        if (nx < 0) return static_cast<std::size_t>(~nx);
+        i = nx;
+      }
+    }
+  };
+
+  // Preconditions: t is a non-null interior node.
+  Skeleton retrieve_skeleton(Node* t) const {
+    Skeleton sk;
+    build_skeleton(sk, t, 0, params_.skeleton_levels);
+    return sk;
+  }
+
+  std::int32_t build_skeleton(Skeleton& sk, Node* t, int depth,
+                              int max_depth) const {
+    const auto idx = static_cast<std::int32_t>(sk.internal.size());
+    sk.internal.push_back({t, {}});
+    for (int c = 0; c < kFanout; ++c) {
+      std::unique_ptr<Node>& link = t->child[static_cast<std::size_t>(c)];
+      if (link && !link->leaf && depth + 1 < max_depth) {
+        const std::int32_t child_idx =
+            build_skeleton(sk, link.get(), depth + 1, max_depth);
+        sk.internal[static_cast<std::size_t>(idx)]
+            .next[static_cast<std::size_t>(c)] = child_idx;
+      } else {
+        const auto slot = static_cast<std::int32_t>(sk.slots.size());
+        sk.slots.push_back({&link, Reg::child(t->region, c)});
+        sk.internal[static_cast<std::size_t>(idx)]
+            .next[static_cast<std::size_t>(c)] = ~slot;
+      }
+    }
+    return idx;
+  }
+
+  // -------------------------------------------------------------------
+  // Batch insertion (Alg 2)
+  // -------------------------------------------------------------------
+
+  std::unique_ptr<Node> insert_rec(std::unique_ptr<Node> t, point_t* pts,
+                                   std::size_t n, const box_t& region) {
+    if (n == 0) return t;
+    if (!t) return build_rec(pts, n, region);
+    if (t->leaf) {
+      if (t->count + n <= params_.leaf_wrap ||
+          !Reg::splittable(t->region)) {
+        // Append in place; orth-trees need no rebalancing.
+        t->points.insert(t->points.end(), pts, pts + n);
+        t->count += n;
+        t->bbox.merge(compute_bbox(pts, n));
+        return t;
+      }
+      // Leaf overflow: rebuild the subtree from the union (Alg 2 line 4).
+      std::vector<point_t> all;
+      all.reserve(t->count + n);
+      all.insert(all.end(), t->points.begin(), t->points.end());
+      all.insert(all.end(), pts, pts + n);
+      return build_rec(all.data(), all.size(), t->region);
+    }
+
+    if (n <= kSmallBatch) {
+      // Tiny batches skip the skeleton/sieve machinery: one level of
+      // orthant dispatch from an on-stack buffer is cheaper than building
+      // bucket metadata for a handful of points.
+      small_step(t.get(), pts, n, /*inserting=*/true);
+      return t;
+    }
+
+    Skeleton sk = retrieve_skeleton(t.get());
+    apply_to_frontier(sk, pts, n, /*inserting=*/true);
+    // Update bounding boxes/sizes of all affected skeleton nodes (line 11),
+    // bottom-up (reverse preorder).
+    for (auto it = sk.internal.rbegin(); it != sk.internal.rend(); ++it) {
+      refresh(it->node);
+    }
+    return t;
+  }
+
+  static constexpr std::size_t kSmallBatch = 32;
+
+  // One level of orthant dispatch for a small update batch on an interior
+  // node; recursion handles the rest. `t` must be interior and non-null.
+  void small_step(Node* t, point_t* pts, std::size_t n, bool inserting) {
+    std::array<std::size_t, kFanout + 1> counts{};
+    std::array<point_t, kSmallBatch> buf;
+    for (std::size_t i = 0; i < n; ++i) {
+      ++counts[static_cast<std::size_t>(Reg::orthant(t->region, pts[i])) + 1];
+    }
+    for (int c = 0; c < kFanout; ++c) {
+      counts[static_cast<std::size_t>(c) + 1] +=
+          counts[static_cast<std::size_t>(c)];
+    }
+    std::array<std::size_t, kFanout> cursor{};
+    for (int c = 0; c < kFanout; ++c) {
+      cursor[static_cast<std::size_t>(c)] = counts[static_cast<std::size_t>(c)];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      buf[cursor[static_cast<std::size_t>(Reg::orthant(t->region, pts[i]))]++] =
+          pts[i];
+    }
+    for (int c = 0; c < kFanout; ++c) {
+      const std::size_t lo = counts[static_cast<std::size_t>(c)];
+      const std::size_t cnt = counts[static_cast<std::size_t>(c) + 1] - lo;
+      if (cnt == 0) continue;
+      auto& child = t->child[static_cast<std::size_t>(c)];
+      const box_t child_region = Reg::child(t->region, c);
+      if (inserting) {
+        child = insert_rec(std::move(child), buf.data() + lo, cnt, child_region);
+      } else {
+        child = delete_rec(std::move(child), buf.data() + lo, cnt, child_region);
+        if (child && !child->leaf && child->count <= params_.leaf_wrap) {
+          child = flatten_to_leaf(std::move(child));
+        }
+      }
+    }
+    refresh(t);
+  }
+
+  // Sieve the batch to the skeleton frontier and recurse per slot.
+  void apply_to_frontier(Skeleton& sk, point_t* pts, std::size_t n,
+                         bool inserting) {
+    std::vector<std::uint32_t> ids(n);
+    parallel_for(0, n, [&](std::size_t i) {
+      ids[i] = static_cast<std::uint32_t>(sk.classify(pts[i]));
+    });
+    BucketOffsets offsets =
+        sieve(pts, n, sk.slots.size(), [&](std::size_t i) { return ids[i]; });
+    parallel_for(
+        0, sk.slots.size(),
+        [&](std::size_t s) {
+          const std::size_t lo = offsets[s];
+          const std::size_t cnt = offsets[s + 1] - lo;
+          if (cnt == 0) return;
+          auto& slot = sk.slots[s];
+          if (inserting) {
+            *slot.link =
+                insert_rec(std::move(*slot.link), pts + lo, cnt, slot.region);
+          } else {
+            *slot.link =
+                delete_rec(std::move(*slot.link), pts + lo, cnt, slot.region);
+          }
+        },
+        n >= kParallelCutoff ? 1 : sk.slots.size());
+  }
+
+  // -------------------------------------------------------------------
+  // Batch deletion (Alg 2, symmetric; flattens underfull subtrees)
+  // -------------------------------------------------------------------
+
+  std::unique_ptr<Node> delete_rec(std::unique_ptr<Node> t, point_t* pts,
+                                   std::size_t n, const box_t& region) {
+    (void)region;  // kept for symmetry with insert_rec (frontier dispatch)
+    if (!t || n == 0) return t;
+    if (t->leaf) {
+      erase_from_leaf(t.get(), pts, n);
+      if (t->count == 0) return nullptr;
+      return t;
+    }
+    if (n <= kSmallBatch) {
+      small_step(t.get(), pts, n, /*inserting=*/false);
+      if (t->count == 0) return nullptr;
+      if (t->count <= params_.leaf_wrap) return flatten_to_leaf(std::move(t));
+      return t;
+    }
+
+    Skeleton sk = retrieve_skeleton(t.get());
+    apply_to_frontier(sk, pts, n, /*inserting=*/false);
+    // Bottom-up over the skeleton internals: refresh counts/boxes, drop
+    // emptied children, flatten children that fell under the leaf wrap
+    // (Alg 2's post-deletion flatten, restricted to the touched skeleton).
+    for (auto it = sk.internal.rbegin(); it != sk.internal.rend(); ++it) {
+      Node* nd = it->node;
+      for (auto& c : nd->child) {
+        if (!c) continue;
+        if (c->count == 0) {
+          c.reset();
+        } else if (!c->leaf && c->count <= params_.leaf_wrap) {
+          c = flatten_to_leaf(std::move(c));
+        }
+      }
+      refresh(nd);
+    }
+    if (t->count == 0) return nullptr;
+    if (t->count <= params_.leaf_wrap) {
+      return flatten_to_leaf(std::move(t));
+    }
+    return t;
+  }
+
+  void erase_from_leaf(Node* leaf, const point_t* pts, std::size_t n) const {
+    for (std::size_t i = 0; i < n; ++i) {
+      auto it = std::find(leaf->points.begin(), leaf->points.end(), pts[i]);
+      if (it != leaf->points.end()) {
+        *it = leaf->points.back();
+        leaf->points.pop_back();
+      }
+    }
+    leaf->count = leaf->points.size();
+    leaf->bbox = compute_bbox(leaf->points.data(), leaf->points.size());
+  }
+
+  // -------------------------------------------------------------------
+  // Queries
+  // -------------------------------------------------------------------
+
+  void knn_rec(const Node* t, const point_t& q, KnnBuffer<point_t>& buf) const {
+    if (t->leaf) {
+      for (const auto& p : t->points) buf.offer(squared_distance(p, q), p);
+      return;
+    }
+    // Visit children in increasing order of bbox distance (paper Sec C).
+    // Tiny fixed-capacity insertion sort (<= 2^D children).
+    std::array<std::pair<double, const Node*>, kFanout> order;
+    int m = 0;
+    for (const auto& c : t->child) {
+      if (!c) continue;
+      std::pair<double, const Node*> entry{min_squared_distance(c->bbox, q),
+                                           c.get()};
+      int i = m++;
+      while (i > 0 && entry.first < order[static_cast<std::size_t>(i - 1)].first) {
+        order[static_cast<std::size_t>(i)] = order[static_cast<std::size_t>(i - 1)];
+        --i;
+      }
+      order[static_cast<std::size_t>(i)] = entry;
+    }
+    for (int i = 0; i < m; ++i) {
+      const auto& [dist, child] = order[static_cast<std::size_t>(i)];
+      if (buf.full() && dist >= buf.worst()) break;
+      knn_rec(child, q, buf);
+    }
+  }
+
+  std::size_t count_rec(const Node* t, const box_t& query) const {
+    if (!query.intersects(t->bbox)) return 0;
+    if (query.contains(t->bbox)) return t->count;
+    if (t->leaf) {
+      std::size_t c = 0;
+      for (const auto& p : t->points) c += query.contains(p) ? 1 : 0;
+      return c;
+    }
+    std::size_t total = 0;
+    for (const auto& c : t->child) {
+      if (c) total += count_rec(c.get(), query);
+    }
+    return total;
+  }
+
+  void list_rec(const Node* t, const box_t& query,
+                std::vector<point_t>& out) const {
+    if (!query.intersects(t->bbox)) return;
+    if (query.contains(t->bbox)) {
+      collect(t, out);
+      return;
+    }
+    if (t->leaf) {
+      for (const auto& p : t->points) {
+        if (query.contains(p)) out.push_back(p);
+      }
+      return;
+    }
+    for (const auto& c : t->child) {
+      if (c) list_rec(c.get(), query, out);
+    }
+  }
+
+  std::size_t ball_count_rec(const Node* t, const point_t& q,
+                             double r2) const {
+    if (min_squared_distance(t->bbox, q) > r2) return 0;
+    if (max_squared_distance(t->bbox, q) <= r2) return t->count;
+    if (t->leaf) {
+      std::size_t c = 0;
+      for (const auto& p : t->points) c += squared_distance(p, q) <= r2 ? 1 : 0;
+      return c;
+    }
+    std::size_t total = 0;
+    for (const auto& c : t->child) {
+      if (c) total += ball_count_rec(c.get(), q, r2);
+    }
+    return total;
+  }
+
+  void ball_list_rec(const Node* t, const point_t& q, double r2,
+                     std::vector<point_t>& out) const {
+    if (min_squared_distance(t->bbox, q) > r2) return;
+    if (max_squared_distance(t->bbox, q) <= r2) {
+      collect(t, out);
+      return;
+    }
+    if (t->leaf) {
+      for (const auto& p : t->points) {
+        if (squared_distance(p, q) <= r2) out.push_back(p);
+      }
+      return;
+    }
+    for (const auto& c : t->child) {
+      if (c) ball_list_rec(c.get(), q, r2, out);
+    }
+  }
+
+  static std::size_t height_rec(const Node* t) {
+    if (!t) return 0;
+    if (t->leaf) return 1;
+    std::size_t h = 0;
+    for (const auto& c : t->child) {
+      if (c) h = std::max(h, height_rec(c.get()));
+    }
+    return h + 1;
+  }
+
+  // -------------------------------------------------------------------
+  // Invariants
+  // -------------------------------------------------------------------
+
+  void check_rec(const Node* t, const box_t& region, bool is_root) const {
+    (void)is_root;
+    if (!(t->region == region)) {
+      throw std::logic_error("porth: node region mismatch");
+    }
+    if (t->leaf) {
+      if (t->count != t->points.size()) {
+        throw std::logic_error("porth: leaf count mismatch");
+      }
+      if (t->count > params_.leaf_wrap && Reg::splittable(t->region)) {
+        throw std::logic_error("porth: oversized splittable leaf");
+      }
+      box_t bb = compute_bbox(t->points.data(), t->points.size());
+      if (!(bb == t->bbox)) throw std::logic_error("porth: leaf bbox not tight");
+      return;
+    }
+    if (t->count <= params_.leaf_wrap) {
+      throw std::logic_error("porth: interior at or below leaf wrap");
+    }
+    std::size_t total = 0;
+    box_t bb = box_t::empty();
+    for (int c = 0; c < kFanout; ++c) {
+      const auto& ch = t->child[static_cast<std::size_t>(c)];
+      if (!ch) continue;
+      check_rec(ch.get(), Reg::child(t->region, c), false);
+      total += ch->count;
+      bb.merge(ch->bbox);
+    }
+    if (total != t->count) throw std::logic_error("porth: interior count mismatch");
+    if (!(bb == t->bbox)) throw std::logic_error("porth: interior bbox mismatch");
+    if (total == 0) throw std::logic_error("porth: empty interior node");
+  }
+
+  static bool equal_rec(const Node* a, const Node* b) {
+    if (!a || !b) return a == b;
+    if (a->leaf != b->leaf || a->count != b->count) return false;
+    if (!(a->bbox == b->bbox)) return false;
+    if (a->leaf) {
+      auto pa = a->points, pb = b->points;
+      std::sort(pa.begin(), pa.end());
+      std::sort(pb.begin(), pb.end());
+      return pa == pb;
+    }
+    for (int c = 0; c < kFanout; ++c) {
+      if (!equal_rec(a->child[static_cast<std::size_t>(c)].get(),
+                     b->child[static_cast<std::size_t>(c)].get())) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+using POrthTree2 = POrthTree<std::int64_t, 2>;
+using POrthTree3 = POrthTree<std::int64_t, 3>;
+
+}  // namespace psi

@@ -1,0 +1,991 @@
+// PSI-Lib: the SPaC-tree family (paper Sec 4) — a parallel R-tree built as a
+// weight-balanced binary search tree over space-filling-curve codes, with
+// join-based batch updates and leaf wrapping, plus the two ideas that give
+// the SPaC-tree its update speed over the plain PaC-tree (the "CPAM"
+// baseline):
+//
+//  1. HybridSort construction (Alg 3): the SFC code of each point is
+//     computed on *first touch* inside the sample-sort's classification
+//     pass, and only ⟨code, id⟩ pairs are moved during sorting; full points
+//     are fetched once, into the leaves, at the end.
+//  2. Relaxed leaf order (Alg 4): updates may leave leaf contents unsorted
+//     (marked), because spatial queries scan whole leaves anyway; leaves are
+//     re-sorted lazily, only when the join machinery must Expose them.
+//
+// The baseline behaviour is available through `LeafOrder::kTotal` +
+// `fused_build = false`, which reproduces CPAM-H / CPAM-Z: codes are
+// materialised into ⟨code, point⟩ records in a separate pass before sorting
+// (the black-box PaC-tree usage the paper measures), and every leaf is kept
+// sorted on every update. This makes the two columns of the paper's
+// ablation share one code base, isolating exactly the claimed difference.
+//
+// Balancing: BB[α] weight-balance (α = 0.2, paper Sec C) maintained solely
+// with Join (Blelloch–Ferizovic–Sun join-based framework), as in PaC-trees.
+// Leaf wrapping: φ = 40 by default; Node() keeps every subtree of size ≤ φ
+// flattened into one leaf and sizes in (φ, 2φ] as an interior with two
+// redistributed leaves (Alg 4 lines 38-48).
+
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "psi/geometry/box.h"
+#include "psi/geometry/knn_buffer.h"
+#include "psi/geometry/point.h"
+#include "psi/parallel/primitives.h"
+#include "psi/parallel/scheduler.h"
+#include "psi/parallel/sort.h"
+#include "psi/sfc/codec.h"
+
+namespace psi {
+
+enum class LeafOrder {
+  kRelaxed,  // SPaC-tree: leaves may be unsorted after updates
+  kTotal,    // CPAM baseline: total order maintained everywhere
+};
+
+struct SpacParams {
+  std::size_t leaf_wrap = 40;  // φ (paper Sec C)
+  double alpha = 0.2;          // BB[α] balance parameter (paper Sec C)
+  LeafOrder order = LeafOrder::kRelaxed;
+  bool fused_build = true;     // HybridSort vs precompute-then-sort (ablation)
+  // Leaf-overflow heuristic threshold (paper Sec C): rebuild locally when
+  // |leaf| + |batch| <= rebuild_factor * φ, otherwise expose-and-recurse.
+  std::size_t rebuild_factor = 4;
+};
+
+inline SpacParams cpam_params() {
+  SpacParams p;
+  p.order = LeafOrder::kTotal;
+  p.fused_build = false;
+  return p;
+}
+
+template <typename Coord, int D, typename Codec>
+class SpacTree {
+ public:
+  using point_t = Point<Coord, D>;
+  using box_t = Box<Coord, D>;
+  using codec_t = Codec;
+
+  struct Entry {
+    std::uint64_t code;
+    point_t pt;
+  };
+
+  explicit SpacTree(SpacParams params = {}) : params_(params) {}
+
+  static const char* curve_name() { return Codec::name(); }
+
+  // -------------------------------------------------------------------
+  // Maintenance
+  // -------------------------------------------------------------------
+
+  // Build from scratch (Alg 3). With fused_build the SFC codes are computed
+  // inside the sort's first pass and only ⟨code,id⟩ pairs are sorted;
+  // otherwise full ⟨code,point⟩ records are materialised first and sorted
+  // (CPAM black-box behaviour).
+  void build(const std::vector<point_t>& pts) {
+    root_ = build_tree(pts);
+  }
+
+  void batch_insert(const std::vector<point_t>& pts) {
+    if (pts.empty()) return;
+    std::vector<Entry> batch = sorted_entries(pts);
+    root_ = insert_sorted(std::move(root_), batch.data(), batch.size());
+  }
+
+  // Remove one stored instance per batch element; absent elements ignored.
+  void batch_delete(const std::vector<point_t>& pts) {
+    if (!root_ || pts.empty()) return;
+    std::vector<Entry> batch = sorted_entries(pts);
+    root_ = delete_sorted(std::move(root_), batch.data(), batch.size());
+  }
+
+  // Combined difference (artifact BatchDiff()): remove `deletes`, then add
+  // `inserts` — one call for move-style updates.
+  void batch_diff(const std::vector<point_t>& inserts,
+                  const std::vector<point_t>& deletes) {
+    batch_delete(deletes);
+    batch_insert(inserts);
+  }
+
+  void clear() { root_.reset(); }
+
+  // -------------------------------------------------------------------
+  // Queries
+  // -------------------------------------------------------------------
+
+  std::size_t size() const { return count(root_.get()); }
+  bool empty() const { return size() == 0; }
+
+  std::vector<point_t> knn(const point_t& q, std::size_t k) const {
+    KnnBuffer<point_t> buf(k);
+    if (root_) knn_rec(root_.get(), q, buf);
+    auto entries = buf.sorted();
+    std::vector<point_t> out;
+    out.reserve(entries.size());
+    for (const auto& e : entries) out.push_back(e.point);
+    return out;
+  }
+
+  std::size_t range_count(const box_t& query) const {
+    return root_ ? count_rec(root_.get(), query) : 0;
+  }
+
+  std::vector<point_t> range_list(const box_t& query) const {
+    std::vector<point_t> out;
+    if (root_) list_rec(root_.get(), query, out);
+    return out;
+  }
+
+  // Ball (radius) queries: points within Euclidean distance `radius` of q.
+  std::size_t ball_count(const point_t& q, double radius) const {
+    return root_ ? ball_count_rec(root_.get(), q, radius * radius) : 0;
+  }
+
+  std::vector<point_t> ball_list(const point_t& q, double radius) const {
+    std::vector<point_t> out;
+    if (root_) ball_list_rec(root_.get(), q, radius * radius, out);
+    return out;
+  }
+
+  std::vector<point_t> flatten() const {
+    std::vector<point_t> out;
+    out.reserve(size());
+    if (root_) {
+      collect_points(root_.get(), out);
+    }
+    return out;
+  }
+
+  // -------------------------------------------------------------------
+  // Introspection / invariants (test support)
+  // -------------------------------------------------------------------
+
+  std::size_t height() const { return height_rec(root_.get()); }
+
+  // Fraction of leaves currently marked unsorted (0 for kTotal).
+  double unsorted_leaf_fraction() const {
+    std::size_t leaves = 0, unsorted = 0;
+    leaf_stats(root_.get(), leaves, unsorted);
+    return leaves == 0 ? 0.0
+                       : static_cast<double>(unsorted) /
+                             static_cast<double>(leaves);
+  }
+
+  void check_invariants() const {
+    if (!root_) return;
+    std::vector<Entry> inorder;
+    inorder.reserve(size());
+    check_rec(root_.get(), inorder);
+    for (std::size_t i = 1; i < inorder.size(); ++i) {
+      if (entry_less(inorder[i], inorder[i - 1])) {
+        throw std::logic_error("spac: global order violated");
+      }
+    }
+  }
+
+ private:
+  struct Node {
+    box_t bbox = box_t::empty();
+    std::size_t count = 0;
+    bool leaf = true;
+    // Interior payload.
+    std::unique_ptr<Node> l, r;
+    Entry pivot{};
+    // Leaf payload.
+    std::vector<Entry> items;
+    bool sorted = true;
+  };
+
+  SpacParams params_;
+  std::unique_ptr<Node> root_;
+
+  // -------------------------------------------------------------------
+  // Entry order: by code, tie-broken lexicographically on coordinates so
+  // the order is total even if a codec were non-injective.
+  // -------------------------------------------------------------------
+
+  static bool entry_less(const Entry& a, const Entry& b) {
+    if (a.code != b.code) return a.code < b.code;
+    return a.pt < b.pt;
+  }
+  static bool entry_equal(const Entry& a, const Entry& b) {
+    return a.code == b.code && a.pt == b.pt;
+  }
+
+  static std::size_t count(const Node* t) { return t ? t->count : 0; }
+
+  // Fork only when the subproblem is big enough to amortise task overhead.
+  template <typename F, typename G>
+  static void maybe_par_do(std::size_t n, F&& f, G&& g) {
+    if (n >= 2048) {
+      par_do(f, g);
+    } else {
+      f();
+      g();
+    }
+  }
+
+  bool relaxed() const { return params_.order == LeafOrder::kRelaxed; }
+
+  // -------------------------------------------------------------------
+  // Weight balance (BB[α], weight = size + 1)
+  // -------------------------------------------------------------------
+
+  bool balanced_pair(std::size_t a, std::size_t b) const {
+    const double wa = static_cast<double>(a) + 1;
+    const double wb = static_cast<double>(b) + 1;
+    const double total = wa + wb;
+    return wa >= params_.alpha * total && wb >= params_.alpha * total;
+  }
+
+  bool left_heavy(std::size_t l, std::size_t r) const {
+    const double wl = static_cast<double>(l) + 1;
+    const double wr = static_cast<double>(r) + 1;
+    return wr < params_.alpha * (wl + wr);
+  }
+
+  // -------------------------------------------------------------------
+  // Leaf helpers
+  // -------------------------------------------------------------------
+
+  void sort_items(std::vector<Entry>& items) const {
+    std::sort(items.begin(), items.end(), entry_less);
+  }
+
+  std::unique_ptr<Node> make_leaf(std::vector<Entry> items, bool sorted) const {
+    auto leaf = std::make_unique<Node>();
+    leaf->leaf = true;
+    leaf->count = items.size();
+    leaf->bbox = box_t::empty();
+    for (const auto& e : items) leaf->bbox.expand(e.pt);
+    leaf->items = std::move(items);
+    leaf->sorted = sorted || leaf->items.size() <= 1;
+    if (!relaxed() && !leaf->sorted) {
+      sort_items(leaf->items);
+      leaf->sorted = true;
+    }
+    return leaf;
+  }
+
+  // In-order collection of entries; each unsorted leaf is sorted into the
+  // output so the result is globally sorted (the BST invariant holds
+  // set-wise between leaves even in relaxed mode).
+  static void collect_sorted(const Node* t, std::vector<Entry>& out) {
+    if (!t) return;
+    if (t->leaf) {
+      const std::size_t lo = out.size();
+      out.insert(out.end(), t->items.begin(), t->items.end());
+      if (!t->sorted) {
+        std::sort(out.begin() + static_cast<std::ptrdiff_t>(lo), out.end(),
+                  entry_less);
+      }
+      return;
+    }
+    collect_sorted(t->l.get(), out);
+    out.push_back(t->pivot);
+    collect_sorted(t->r.get(), out);
+  }
+
+  static void collect_points(const Node* t, std::vector<point_t>& out) {
+    if (!t) return;
+    if (t->leaf) {
+      for (const auto& e : t->items) out.push_back(e.pt);
+      return;
+    }
+    collect_points(t->l.get(), out);
+    out.push_back(t->pivot.pt);
+    collect_points(t->r.get(), out);
+  }
+
+  // -------------------------------------------------------------------
+  // Node construction with leaf wrapping (Alg 4, Node())
+  // -------------------------------------------------------------------
+
+  std::unique_ptr<Node> make_node(std::unique_ptr<Node> l, Entry k,
+                                  std::unique_ptr<Node> r) const {
+    const std::size_t n = count(l.get()) + count(r.get()) + 1;
+    if (n <= params_.leaf_wrap) {
+      // Flatten the whole (small) subtree into one leaf (line 47). In
+      // relaxed mode no sort is needed; in total mode collect_sorted keeps
+      // the order.
+      std::vector<Entry> items;
+      items.reserve(n);
+      if (!relaxed()) {
+        collect_sorted(l.get(), items);
+        items.push_back(k);
+        collect_sorted(r.get(), items);
+        return make_leaf(std::move(items), /*sorted=*/true);
+      }
+      collect_unordered(l.get(), items);
+      items.push_back(k);
+      collect_unordered(r.get(), items);
+      return make_leaf(std::move(items), /*sorted=*/false);
+    }
+    if (n <= 2 * params_.leaf_wrap) {
+      // Redistribute into an interior with two half-size leaves when
+      // necessary (lines 42-44): two leaf children whose sizes violate the
+      // weight balance. Redistribution needs sorted order, so unsorted
+      // leaves are sorted here (line 43). Balanced leaf pairs are kept
+      // as-is, which is what lets relaxed (unsorted) leaves survive.
+      const bool both_leaves =
+          (!l || l->leaf) && (!r || r->leaf);
+      if (both_leaves &&
+          !balanced_pair(count(l.get()), count(r.get()))) {
+        std::vector<Entry> items;
+        items.reserve(n);
+        collect_sorted(l.get(), items);
+        const auto left_n = static_cast<std::ptrdiff_t>(items.size());
+        items.push_back(k);
+        collect_sorted(r.get(), items);
+        std::inplace_merge(items.begin(), items.begin() + left_n, items.end(),
+                           entry_less);
+        const std::size_t m = n / 2;
+        auto node = std::make_unique<Node>();
+        node->leaf = false;
+        node->pivot = items[m];
+        node->l = make_leaf(
+            {items.begin(), items.begin() + static_cast<std::ptrdiff_t>(m)},
+            /*sorted=*/true);
+        node->r = make_leaf({items.begin() + static_cast<std::ptrdiff_t>(m) + 1,
+                             items.end()},
+                            /*sorted=*/true);
+        finish_interior(node.get());
+        return node;
+      }
+    }
+    auto node = std::make_unique<Node>();
+    node->leaf = false;
+    node->l = std::move(l);
+    node->r = std::move(r);
+    node->pivot = k;
+    finish_interior(node.get());
+    return node;
+  }
+
+  static void collect_unordered(const Node* t, std::vector<Entry>& out) {
+    if (!t) return;
+    if (t->leaf) {
+      out.insert(out.end(), t->items.begin(), t->items.end());
+      return;
+    }
+    collect_unordered(t->l.get(), out);
+    out.push_back(t->pivot);
+    collect_unordered(t->r.get(), out);
+  }
+
+  static void finish_interior(Node* t) {
+    t->count = count(t->l.get()) + count(t->r.get()) + 1;
+    t->bbox = box_t::empty();
+    if (t->l) t->bbox.merge(t->l->bbox);
+    if (t->r) t->bbox.merge(t->r->bbox);
+    t->bbox.expand(t->pivot.pt);
+  }
+
+  // -------------------------------------------------------------------
+  // Expose (Alg 4): open a subtree root; a leaf is first re-sorted (if
+  // marked unsorted, line 34) and split one level into two half leaves.
+  // -------------------------------------------------------------------
+
+  struct Exposed {
+    std::unique_ptr<Node> l;
+    Entry k;
+    std::unique_ptr<Node> r;
+  };
+
+  Exposed expose(std::unique_ptr<Node> t) const {
+    assert(t && t->count >= 1);
+    if (!t->leaf) {
+      return Exposed{std::move(t->l), t->pivot, std::move(t->r)};
+    }
+    if (!t->sorted) sort_items(t->items);
+    const std::size_t n = t->items.size();
+    const std::size_t m = n / 2;
+    Exposed e;
+    e.k = t->items[m];
+    if (m > 0) {
+      e.l = make_leaf({t->items.begin(),
+                       t->items.begin() + static_cast<std::ptrdiff_t>(m)},
+                      true);
+    }
+    if (m + 1 < n) {
+      e.r = make_leaf({t->items.begin() + static_cast<std::ptrdiff_t>(m) + 1,
+                       t->items.end()},
+                      true);
+    }
+    return e;
+  }
+
+  // -------------------------------------------------------------------
+  // Join (Alg 4 / Just-Join framework)
+  // -------------------------------------------------------------------
+
+  std::unique_ptr<Node> join(std::unique_ptr<Node> l, Entry k,
+                             std::unique_ptr<Node> r) const {
+    const std::size_t nl = count(l.get()), nr = count(r.get());
+    if (left_heavy(nl, nr)) return join_right(std::move(l), k, std::move(r));
+    if (left_heavy(nr, nl)) return join_left(std::move(l), k, std::move(r));
+    return make_node(std::move(l), k, std::move(r));
+  }
+
+  // L is heavier: descend L's right spine until it balances with R, then
+  // attach and rebalance with (single/double) rotations on the way out.
+  std::unique_ptr<Node> join_right(std::unique_ptr<Node> l, Entry k,
+                                   std::unique_ptr<Node> r) const {
+    if (balanced_pair(count(l.get()), count(r.get()))) {
+      return make_node(std::move(l), k, std::move(r));
+    }
+    Exposed e = expose(std::move(l));
+    // Re-dispatch through join: exposing a (wrapped) leaf can shrink the
+    // spine child past the balance point in one step, so the plain
+    // joinRight recursion of the unwrapped algorithm is not safe here.
+    auto t = join(std::move(e.r), k, std::move(r));
+    if (balanced_pair(count(e.l.get()), count(t.get()))) {
+      return make_node(std::move(e.l), e.k, std::move(t));
+    }
+    // Rotations. t is heavier than e.l; open it up.
+    Exposed et = expose(std::move(t));
+    if (balanced_pair(count(e.l.get()), count(et.l.get())) &&
+        balanced_pair(count(e.l.get()) + count(et.l.get()) + 1,
+                      count(et.r.get()))) {
+      // Single left rotation.
+      return make_node(make_node(std::move(e.l), e.k, std::move(et.l)), et.k,
+                       std::move(et.r));
+    }
+    // Double rotation: rotate right at t, then left here.
+    Exposed etl = expose(std::move(et.l));
+    return make_node(make_node(std::move(e.l), e.k, std::move(etl.l)), etl.k,
+                     make_node(std::move(etl.r), et.k, std::move(et.r)));
+  }
+
+  std::unique_ptr<Node> join_left(std::unique_ptr<Node> l, Entry k,
+                                  std::unique_ptr<Node> r) const {
+    if (balanced_pair(count(l.get()), count(r.get()))) {
+      return make_node(std::move(l), k, std::move(r));
+    }
+    Exposed e = expose(std::move(r));
+    auto t = join(std::move(l), k, std::move(e.l));
+    if (balanced_pair(count(t.get()), count(e.r.get()))) {
+      return make_node(std::move(t), e.k, std::move(e.r));
+    }
+    Exposed et = expose(std::move(t));
+    if (balanced_pair(count(et.r.get()), count(e.r.get())) &&
+        balanced_pair(count(et.l.get()),
+                      count(et.r.get()) + count(e.r.get()) + 1)) {
+      // Single right rotation.
+      return make_node(std::move(et.l), et.k,
+                       make_node(std::move(et.r), e.k, std::move(e.r)));
+    }
+    Exposed etr = expose(std::move(et.r));
+    return make_node(make_node(std::move(et.l), et.k, std::move(etr.l)), etr.k,
+                     make_node(std::move(etr.r), e.k, std::move(e.r)));
+  }
+
+  // Join without a middle key: pull the last entry of L up as the pivot.
+  std::unique_ptr<Node> join2(std::unique_ptr<Node> l,
+                              std::unique_ptr<Node> r) const {
+    if (!l) return r;
+    if (!r) return l;
+    auto [lp, k] = split_last(std::move(l));
+    return join(std::move(lp), k, std::move(r));
+  }
+
+  // Remove and return the order-maximal entry of t.
+  std::pair<std::unique_ptr<Node>, Entry> split_last(
+      std::unique_ptr<Node> t) const {
+    assert(t);
+    if (t->leaf) {
+      auto it = std::max_element(t->items.begin(), t->items.end(), entry_less);
+      Entry e = *it;
+      t->items.erase(it);  // erase preserves relative order -> flag survives
+      if (t->items.empty()) return {nullptr, e};
+      return {make_leaf(std::move(t->items), t->sorted), e};
+    }
+    if (!t->r) {
+      // The pivot itself is the maximum.
+      return {std::move(t->l), t->pivot};
+    }
+    auto [rp, e] = split_last(std::move(t->r));
+    return {join(std::move(t->l), t->pivot, std::move(rp)), e};
+  }
+
+  // -------------------------------------------------------------------
+  // Construction (Alg 3)
+  // -------------------------------------------------------------------
+
+  struct CodeId {
+    std::uint64_t code;
+    std::uint32_t id;
+  };
+
+  std::unique_ptr<Node> build_tree(const std::vector<point_t>& pts) const {
+    const std::size_t n = pts.size();
+    if (n == 0) return nullptr;
+    if (params_.fused_build) {
+      // HybridSort: codes computed on first touch; only ⟨code,id⟩ pairs are
+      // moved by the sort (Alg 3 lines 5-19).
+      auto less = [&](const CodeId& a, const CodeId& b) {
+        if (a.code != b.code) return a.code < b.code;
+        return pts[a.id] < pts[b.id];
+      };
+      std::vector<CodeId> sorted = sample_sort_transform<CodeId>(
+          n,
+          [&](std::size_t i) {
+            return CodeId{Codec::encode(pts[i]), static_cast<std::uint32_t>(i)};
+          },
+          less);
+      return build_sorted_ids(pts, sorted.data(), n);
+    }
+    // CPAM baseline: materialise full ⟨code, point⟩ records in a separate
+    // pass (extra read/write round over all data), then sort them.
+    std::vector<Entry> recs = tabulate<Entry>(n, [&](std::size_t i) {
+      return Entry{Codec::encode(pts[i]), pts[i]};
+    });
+    sample_sort(recs, entry_less);
+    return build_sorted_entries(recs.data(), n);
+  }
+
+  // BuildSorted (Alg 3 lines 20-31) from ⟨code,id⟩ pairs: points are fetched
+  // by id only when a leaf (or pivot) is materialised.
+  std::unique_ptr<Node> build_sorted_ids(const std::vector<point_t>& pts,
+                                         const CodeId* a, std::size_t n) const {
+    if (n == 0) return nullptr;
+    if (n <= params_.leaf_wrap) {
+      std::vector<Entry> items(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        items[i] = Entry{a[i].code, pts[a[i].id]};
+      }
+      return make_leaf(std::move(items), /*sorted=*/true);
+    }
+    const std::size_t m = n / 2;
+    auto node = std::make_unique<Node>();
+    node->leaf = false;
+    maybe_par_do(
+        n, [&] { node->l = build_sorted_ids(pts, a, m); },
+        [&] { node->r = build_sorted_ids(pts, a + m + 1, n - m - 1); });
+    node->pivot = Entry{a[m].code, pts[a[m].id]};
+    finish_interior(node.get());
+    return node;
+  }
+
+  std::unique_ptr<Node> build_sorted_entries(const Entry* a,
+                                             std::size_t n) const {
+    if (n == 0) return nullptr;
+    if (n <= params_.leaf_wrap) {
+      return make_leaf({a, a + n}, /*sorted=*/true);
+    }
+    const std::size_t m = n / 2;
+    auto node = std::make_unique<Node>();
+    node->leaf = false;
+    maybe_par_do(n, [&] { node->l = build_sorted_entries(a, m); },
+                 [&] { node->r = build_sorted_entries(a + m + 1, n - m - 1); });
+    node->pivot = a[m];
+    finish_interior(node.get());
+    return node;
+  }
+
+  // Sorted entry batch for updates (uses the fused sort when enabled).
+  std::vector<Entry> sorted_entries(const std::vector<point_t>& pts) const {
+    const std::size_t n = pts.size();
+    if (params_.fused_build) {
+      auto less = [&](const CodeId& a, const CodeId& b) {
+        if (a.code != b.code) return a.code < b.code;
+        return pts[a.id] < pts[b.id];
+      };
+      std::vector<CodeId> sorted = sample_sort_transform<CodeId>(
+          n,
+          [&](std::size_t i) {
+            return CodeId{Codec::encode(pts[i]), static_cast<std::uint32_t>(i)};
+          },
+          less);
+      return tabulate<Entry>(n, [&](std::size_t i) {
+        return Entry{sorted[i].code, pts[sorted[i].id]};
+      });
+    }
+    std::vector<Entry> recs = tabulate<Entry>(n, [&](std::size_t i) {
+      return Entry{Codec::encode(pts[i]), pts[i]};
+    });
+    sample_sort(recs, entry_less);
+    return recs;
+  }
+
+  // -------------------------------------------------------------------
+  // Batch insertion (Alg 4, InsertSorted)
+  // -------------------------------------------------------------------
+
+  std::unique_ptr<Node> insert_sorted(std::unique_ptr<Node> t, Entry* batch,
+                                      std::size_t n) const {
+    if (n == 0) return t;
+    if (!t) return build_from_sorted_batch(batch, n);
+    if (t->leaf) {
+      if (t->count + n <= params_.leaf_wrap) {
+        // Append and mark unsorted (lines 8-11); total order instead merges.
+        for (std::size_t i = 0; i < n; ++i) {
+          t->bbox.expand(batch[i].pt);
+        }
+        if (relaxed()) {
+          t->items.insert(t->items.end(), batch, batch + n);
+          t->sorted = t->items.size() <= 1;
+        } else {
+          const auto mid = t->items.size();
+          t->items.insert(t->items.end(), batch, batch + n);
+          std::inplace_merge(t->items.begin(),
+                             t->items.begin() + static_cast<std::ptrdiff_t>(mid),
+                             t->items.end(), entry_less);
+        }
+        t->count = t->items.size();
+        return t;
+      }
+      // Leaf overflow (line 12 + Sec C heuristic): small unions are rebuilt
+      // locally; large ones expose the leaf and recurse as a batch insert.
+      if (t->count + n <= params_.rebuild_factor * params_.leaf_wrap) {
+        std::vector<Entry> all;
+        all.reserve(t->count + n);
+        if (!t->sorted) sort_items(t->items);
+        std::merge(t->items.begin(), t->items.end(), batch, batch + n,
+                   std::back_inserter(all), entry_less);
+        return build_sorted_entries(all.data(), all.size());
+      }
+      Exposed e = expose(std::move(t));
+      // Fall through to the interior path with the exposed pieces.
+      const std::size_t cut = static_cast<std::size_t>(
+          std::upper_bound(batch, batch + n, e.k, entry_less) - batch);
+      std::unique_ptr<Node> nl, nr;
+      maybe_par_do(
+          n, [&] { nl = insert_sorted(std::move(e.l), batch, cut); },
+          [&] { nr = insert_sorted(std::move(e.r), batch + cut, n - cut); });
+      return join(std::move(nl), e.k, std::move(nr));
+    }
+    // Interior: split the batch at the pivot (entries equal to the pivot go
+    // left, matching the BST invariant), recurse in parallel, re-join.
+    const std::size_t cut = static_cast<std::size_t>(
+        std::upper_bound(batch, batch + n, t->pivot, entry_less) - batch);
+    std::unique_ptr<Node> nl = std::move(t->l), nr = std::move(t->r);
+    const Entry pivot = t->pivot;
+    maybe_par_do(
+        n, [&] { nl = insert_sorted(std::move(nl), batch, cut); },
+        [&] { nr = insert_sorted(std::move(nr), batch + cut, n - cut); });
+    if (balanced_pair(count(nl.get()), count(nr.get()))) {
+      // No rebalance needed: keep the node (and any unsorted leaves below)
+      // and just refresh count/bbox — the Join of Alg 4 line 19 reduces to
+      // an in-place update here.
+      t->l = std::move(nl);
+      t->r = std::move(nr);
+      finish_interior(t.get());
+      return t;
+    }
+    return join(std::move(nl), pivot, std::move(nr));
+  }
+
+  std::unique_ptr<Node> build_from_sorted_batch(Entry* batch,
+                                                std::size_t n) const {
+    return build_sorted_entries(batch, n);
+  }
+
+  // -------------------------------------------------------------------
+  // Batch deletion (Alg 4, symmetric; Sec 4.2 last paragraph)
+  // -------------------------------------------------------------------
+
+  std::unique_ptr<Node> delete_sorted(std::unique_ptr<Node> t, Entry* batch,
+                                      std::size_t n) const {
+    if (!t || n == 0) return t;
+    if (t->leaf) {
+      // Remove one stored instance per batch element.
+      for (std::size_t i = 0; i < n; ++i) {
+        auto it = std::find_if(
+            t->items.begin(), t->items.end(),
+            [&](const Entry& e) { return entry_equal(e, batch[i]); });
+        if (it != t->items.end()) {
+          *it = t->items.back();
+          t->items.pop_back();
+          t->sorted = t->items.size() <= 1;  // swap-erase breaks order
+        }
+      }
+      if (t->items.empty()) return nullptr;
+      if (!relaxed() && !t->sorted) {
+        sort_items(t->items);
+        t->sorted = true;
+      }
+      t->count = t->items.size();
+      t->bbox = box_t::empty();
+      for (const auto& e : t->items) t->bbox.expand(e.pt);
+      return t;
+    }
+    // Partition the sorted batch around the pivot: strictly-below entries go
+    // left, strictly-above go right. Entries *equal* to the pivot are a
+    // special case: with duplicates, equal copies may be stored in both
+    // subtrees and at the pivot itself, so the equal run is handled by a
+    // dedicated pass afterwards (delete_equal).
+    const Entry pivot = t->pivot;
+    const auto lo = static_cast<std::size_t>(
+        std::lower_bound(batch, batch + n, pivot, entry_less) - batch);
+    const auto hi = static_cast<std::size_t>(
+        std::upper_bound(batch, batch + n, pivot, entry_less) - batch);
+    const std::size_t eq = hi - lo;
+    std::unique_ptr<Node> nl = std::move(t->l), nr = std::move(t->r);
+    maybe_par_do(
+        n, [&] { nl = delete_sorted(std::move(nl), batch, lo); },
+        [&] { nr = delete_sorted(std::move(nr), batch + hi, n - hi); });
+    if (eq == 0 && balanced_pair(count(nl.get()), count(nr.get())) &&
+        count(nl.get()) + count(nr.get()) + 1 > params_.leaf_wrap) {
+      // Pivot survives and no rebalance/flatten is needed: in-place update.
+      t->l = std::move(nl);
+      t->r = std::move(nr);
+      finish_interior(t.get());
+      return t;
+    }
+    auto joined = join(std::move(nl), pivot, std::move(nr));
+    if (eq == 0) return joined;
+    return delete_equal(std::move(joined), pivot, eq).first;
+  }
+
+  // Remove up to `cnt` stored instances equal to `e` (code and point);
+  // returns the new subtree and the number removed. Equal copies can live
+  // in both subtrees of an equal pivot, hence the bidirectional descent.
+  std::pair<std::unique_ptr<Node>, std::size_t> delete_equal(
+      std::unique_ptr<Node> t, const Entry& e, std::size_t cnt) const {
+    if (!t || cnt == 0) return {std::move(t), 0};
+    if (t->leaf) {
+      std::size_t removed = 0;
+      for (auto it = t->items.begin(); it != t->items.end() && removed < cnt;) {
+        if (entry_equal(*it, e)) {
+          *it = t->items.back();
+          t->items.pop_back();
+          ++removed;
+        } else {
+          ++it;
+        }
+      }
+      if (removed == 0) return {std::move(t), 0};
+      if (t->items.empty()) return {nullptr, removed};
+      t->sorted = t->items.size() <= 1;
+      if (!relaxed()) {
+        sort_items(t->items);
+        t->sorted = true;
+      }
+      t->count = t->items.size();
+      t->bbox = box_t::empty();
+      for (const auto& it2 : t->items) t->bbox.expand(it2.pt);
+      return {std::move(t), removed};
+    }
+    if (entry_less(e, t->pivot)) {
+      auto [nl, removed] = delete_equal(std::move(t->l), e, cnt);
+      auto joined = join(std::move(nl), t->pivot, std::move(t->r));
+      return {std::move(joined), removed};
+    }
+    if (entry_less(t->pivot, e)) {
+      auto [nr, removed] = delete_equal(std::move(t->r), e, cnt);
+      auto joined = join(std::move(t->l), t->pivot, std::move(nr));
+      return {std::move(joined), removed};
+    }
+    // pivot == e: consume from the left subtree, then the pivot, then the
+    // right subtree.
+    std::size_t removed = 0;
+    auto [nl, dl] = delete_equal(std::move(t->l), e, cnt);
+    removed += dl;
+    const bool del_pivot = removed < cnt;
+    if (del_pivot) ++removed;
+    std::unique_ptr<Node> nr = std::move(t->r);
+    if (removed < cnt) {
+      auto [nr2, dr] = delete_equal(std::move(nr), e, cnt - removed);
+      removed += dr;
+      nr = std::move(nr2);
+    }
+    if (del_pivot) {
+      return {join2(std::move(nl), std::move(nr)), removed};
+    }
+    return {join(std::move(nl), t->pivot, std::move(nr)), removed};
+  }
+
+  // -------------------------------------------------------------------
+  // Queries (R-tree style: bounding-box pruning only)
+  // -------------------------------------------------------------------
+
+  void knn_rec(const Node* t, const point_t& q, KnnBuffer<point_t>& buf) const {
+    if (t->leaf) {
+      for (const auto& e : t->items) {
+        buf.offer(squared_distance(e.pt, q), e.pt);
+      }
+      return;
+    }
+    buf.offer(squared_distance(t->pivot.pt, q), t->pivot.pt);
+    const Node* kids[2] = {t->l.get(), t->r.get()};
+    double dist[2] = {kids[0] ? min_squared_distance(kids[0]->bbox, q) : 0,
+                      kids[1] ? min_squared_distance(kids[1]->bbox, q) : 0};
+    int order[2] = {0, 1};
+    if (kids[0] && kids[1] && dist[1] < dist[0]) {
+      order[0] = 1;
+      order[1] = 0;
+    }
+    for (int i : order) {
+      const Node* c = kids[i];
+      if (!c) continue;
+      if (buf.full() && dist[i] >= buf.worst()) continue;
+      knn_rec(c, q, buf);
+    }
+  }
+
+  std::size_t count_rec(const Node* t, const box_t& query) const {
+    if (!query.intersects(t->bbox)) return 0;
+    if (query.contains(t->bbox)) return t->count;
+    if (t->leaf) {
+      std::size_t c = 0;
+      for (const auto& e : t->items) c += query.contains(e.pt) ? 1 : 0;
+      return c;
+    }
+    std::size_t total = query.contains(t->pivot.pt) ? 1 : 0;
+    if (t->l) total += count_rec(t->l.get(), query);
+    if (t->r) total += count_rec(t->r.get(), query);
+    return total;
+  }
+
+  void list_rec(const Node* t, const box_t& query,
+                std::vector<point_t>& out) const {
+    if (!query.intersects(t->bbox)) return;
+    if (query.contains(t->bbox)) {
+      collect_points(t, out);
+      return;
+    }
+    if (t->leaf) {
+      for (const auto& e : t->items) {
+        if (query.contains(e.pt)) out.push_back(e.pt);
+      }
+      return;
+    }
+    if (query.contains(t->pivot.pt)) out.push_back(t->pivot.pt);
+    if (t->l) list_rec(t->l.get(), query, out);
+    if (t->r) list_rec(t->r.get(), query, out);
+  }
+
+  std::size_t ball_count_rec(const Node* t, const point_t& q,
+                             double r2) const {
+    if (min_squared_distance(t->bbox, q) > r2) return 0;
+    if (max_squared_distance(t->bbox, q) <= r2) return t->count;
+    if (t->leaf) {
+      std::size_t c = 0;
+      for (const auto& e : t->items) {
+        c += squared_distance(e.pt, q) <= r2 ? 1 : 0;
+      }
+      return c;
+    }
+    std::size_t total = squared_distance(t->pivot.pt, q) <= r2 ? 1 : 0;
+    if (t->l) total += ball_count_rec(t->l.get(), q, r2);
+    if (t->r) total += ball_count_rec(t->r.get(), q, r2);
+    return total;
+  }
+
+  void ball_list_rec(const Node* t, const point_t& q, double r2,
+                     std::vector<point_t>& out) const {
+    if (min_squared_distance(t->bbox, q) > r2) return;
+    if (max_squared_distance(t->bbox, q) <= r2) {
+      collect_points(t, out);
+      return;
+    }
+    if (t->leaf) {
+      for (const auto& e : t->items) {
+        if (squared_distance(e.pt, q) <= r2) out.push_back(e.pt);
+      }
+      return;
+    }
+    if (squared_distance(t->pivot.pt, q) <= r2) out.push_back(t->pivot.pt);
+    if (t->l) ball_list_rec(t->l.get(), q, r2, out);
+    if (t->r) ball_list_rec(t->r.get(), q, r2, out);
+  }
+
+  static std::size_t height_rec(const Node* t) {
+    if (!t) return 0;
+    if (t->leaf) return 1;
+    return 1 + std::max(height_rec(t->l.get()), height_rec(t->r.get()));
+  }
+
+  static void leaf_stats(const Node* t, std::size_t& leaves,
+                         std::size_t& unsorted) {
+    if (!t) return;
+    if (t->leaf) {
+      ++leaves;
+      unsorted += t->sorted ? 0 : 1;
+      return;
+    }
+    leaf_stats(t->l.get(), leaves, unsorted);
+    leaf_stats(t->r.get(), leaves, unsorted);
+  }
+
+  // -------------------------------------------------------------------
+  // Invariant checking
+  // -------------------------------------------------------------------
+
+  void check_rec(const Node* t, std::vector<Entry>& inorder) const {
+    if (t->leaf) {
+      if (t->count != t->items.size()) {
+        throw std::logic_error("spac: leaf count mismatch");
+      }
+      if (t->count == 0) throw std::logic_error("spac: empty leaf node");
+      if (t->count > params_.leaf_wrap) {
+        throw std::logic_error("spac: leaf exceeds wrap");
+      }
+      if (!relaxed() && !t->sorted) {
+        throw std::logic_error("spac: unsorted leaf under total order");
+      }
+      if (t->sorted &&
+          !std::is_sorted(t->items.begin(), t->items.end(), entry_less)) {
+        throw std::logic_error("spac: leaf marked sorted but is not");
+      }
+      box_t bb = box_t::empty();
+      for (const auto& e : t->items) {
+        bb.expand(e.pt);
+        if (e.code != Codec::encode(e.pt)) {
+          throw std::logic_error("spac: stale cached code");
+        }
+      }
+      if (!(bb == t->bbox)) throw std::logic_error("spac: leaf bbox not tight");
+      const std::size_t lo = inorder.size();
+      inorder.insert(inorder.end(), t->items.begin(), t->items.end());
+      std::sort(inorder.begin() + static_cast<std::ptrdiff_t>(lo),
+                inorder.end(), entry_less);
+      return;
+    }
+    if (t->count != count(t->l.get()) + count(t->r.get()) + 1) {
+      throw std::logic_error("spac: interior count mismatch");
+    }
+    if (t->count <= params_.leaf_wrap) {
+      throw std::logic_error("spac: interior at or below leaf wrap");
+    }
+    if (!balanced_pair(count(t->l.get()), count(t->r.get()))) {
+      throw std::logic_error("spac: weight balance violated");
+    }
+    box_t bb = box_t::empty();
+    if (t->l) bb.merge(t->l->bbox);
+    if (t->r) bb.merge(t->r->bbox);
+    bb.expand(t->pivot.pt);
+    if (!(bb == t->bbox)) throw std::logic_error("spac: interior bbox mismatch");
+    if (t->pivot.code != Codec::encode(t->pivot.pt)) {
+      throw std::logic_error("spac: stale pivot code");
+    }
+    if (t->l) check_rec(t->l.get(), inorder);
+    inorder.push_back(t->pivot);
+    if (t->r) check_rec(t->r.get(), inorder);
+  }
+};
+
+// Paper-named instantiations.
+template <typename Coord, int D>
+using SpacHTree = SpacTree<Coord, D, sfc::HilbertCodec<Coord, D>>;
+template <typename Coord, int D>
+using SpacZTree = SpacTree<Coord, D, sfc::MortonCodec<Coord, D>>;
+
+using SpacHTree2 = SpacHTree<std::int64_t, 2>;
+using SpacZTree2 = SpacZTree<std::int64_t, 2>;
+using SpacHTree3 = SpacHTree<std::int64_t, 3>;
+using SpacZTree3 = SpacZTree<std::int64_t, 3>;
+
+}  // namespace psi

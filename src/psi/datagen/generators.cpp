@@ -1,0 +1,125 @@
+#include "psi/datagen/generators.h"
+
+#include <cmath>
+
+namespace psi::datagen {
+
+namespace {
+
+// Approximate a unit normal from two uniform draws (Box-Muller).
+double normal01(const psi::Rng& rng, std::uint64_t i) {
+  const double u1 = std::max(rng.ith_double(2 * i), 1e-12);
+  const double u2 = rng.ith_double(2 * i + 1);
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * 3.141592653589793 * u2);
+}
+
+std::int64_t clampc(double v, std::int64_t coord_max) {
+  if (v < 0) return 0;
+  if (v > static_cast<double>(coord_max)) return coord_max;
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace
+
+std::vector<Point2> osm_sim(std::size_t n, std::uint64_t seed,
+                            std::int64_t coord_max) {
+  // 60% city clusters (Gaussian blobs of varying scale), 30% road corridors
+  // (points jittered around random line segments), 10% uniform background.
+  const std::size_t num_cities = 64;
+  const std::size_t num_roads = 128;
+  Rng city_rng(hash64(seed, 1));
+  Rng road_rng(hash64(seed, 2));
+  Rng pick_rng(hash64(seed, 3));
+
+  struct City {
+    double cx, cy, sigma;
+  };
+  struct Road {
+    double x0, y0, x1, y1, width;
+  };
+  std::vector<City> cities(num_cities);
+  for (std::size_t c = 0; c < num_cities; ++c) {
+    cities[c].cx = city_rng.ith_double(3 * c) * static_cast<double>(coord_max);
+    cities[c].cy = city_rng.ith_double(3 * c + 1) * static_cast<double>(coord_max);
+    // City radii span two orders of magnitude (multi-scale clustering).
+    cities[c].sigma = static_cast<double>(coord_max) *
+                      std::pow(10.0, -4.0 + 2.0 * city_rng.ith_double(3 * c + 2));
+  }
+  std::vector<Road> roads(num_roads);
+  for (std::size_t r = 0; r < num_roads; ++r) {
+    // Roads connect two random cities.
+    const City& a = cities[road_rng.ith_bounded(5 * r, num_cities)];
+    const City& b = cities[road_rng.ith_bounded(5 * r + 1, num_cities)];
+    roads[r] = Road{a.cx, a.cy, b.cx, b.cy,
+                    static_cast<double>(coord_max) * 2e-5};
+  }
+
+  std::vector<Point2> pts(n);
+  parallel_for(0, n, [&](std::size_t i) {
+    Rng prng = pick_rng.split(i);
+    const std::uint64_t kind = prng.ith_bounded(0, 10);
+    double x, y;
+    if (kind < 6) {  // city point
+      const City& c = cities[prng.ith_bounded(1, num_cities)];
+      x = c.cx + normal01(prng, 1) * c.sigma;
+      y = c.cy + normal01(prng, 2) * c.sigma;
+    } else if (kind < 9) {  // road point
+      const Road& r = roads[prng.ith_bounded(2, num_roads)];
+      const double t = prng.ith_double(7);
+      x = r.x0 + t * (r.x1 - r.x0) + normal01(prng, 3) * r.width;
+      y = r.y0 + t * (r.y1 - r.y0) + normal01(prng, 4) * r.width;
+    } else {  // background
+      x = prng.ith_double(11) * static_cast<double>(coord_max);
+      y = prng.ith_double(12) * static_cast<double>(coord_max);
+    }
+    pts[i] = Point2{{clampc(x, coord_max), clampc(y, coord_max)}};
+  });
+  return pts;
+}
+
+std::vector<Point3> cosmo_sim(std::size_t n, std::uint64_t seed,
+                              std::int64_t coord_max) {
+  // Mixture of Plummer spheres: density ~ (1 + (r/a)^2)^{-5/2}. Sampling the
+  // Plummer radial profile: r = a / sqrt(u^{-2/3} - 1) for u uniform (0,1].
+  const std::size_t num_halos = 256;
+  Rng halo_rng(hash64(seed, 11));
+  struct Halo {
+    double cx, cy, cz, a;
+  };
+  std::vector<Halo> halos(num_halos);
+  for (std::size_t h = 0; h < num_halos; ++h) {
+    halos[h].cx = halo_rng.ith_double(4 * h) * static_cast<double>(coord_max);
+    halos[h].cy = halo_rng.ith_double(4 * h + 1) * static_cast<double>(coord_max);
+    halos[h].cz = halo_rng.ith_double(4 * h + 2) * static_cast<double>(coord_max);
+    halos[h].a = static_cast<double>(coord_max) *
+                 std::pow(10.0, -3.5 + 1.5 * halo_rng.ith_double(4 * h + 3));
+  }
+
+  Rng pick_rng(hash64(seed, 12));
+  std::vector<Point3> pts(n);
+  parallel_for(0, n, [&](std::size_t i) {
+    Rng prng = pick_rng.split(i);
+    double x, y, z;
+    if (prng.ith_bounded(0, 20) == 0) {  // 5% smooth background
+      x = prng.ith_double(21) * static_cast<double>(coord_max);
+      y = prng.ith_double(22) * static_cast<double>(coord_max);
+      z = prng.ith_double(23) * static_cast<double>(coord_max);
+    } else {
+      const Halo& h = halos[prng.ith_bounded(1, num_halos)];
+      const double u = std::max(prng.ith_double(2), 1e-9);
+      const double r = h.a / std::sqrt(std::pow(u, -2.0 / 3.0) - 1.0 + 1e-12);
+      // Uniform direction on the sphere.
+      const double cos_t = 2.0 * prng.ith_double(3) - 1.0;
+      const double sin_t = std::sqrt(std::max(0.0, 1.0 - cos_t * cos_t));
+      const double phi = 2.0 * 3.141592653589793 * prng.ith_double(4);
+      x = h.cx + r * sin_t * std::cos(phi);
+      y = h.cy + r * sin_t * std::sin(phi);
+      z = h.cz + r * cos_t;
+    }
+    pts[i] = Point3{{clampc(x, coord_max), clampc(y, coord_max),
+                     clampc(z, coord_max)}};
+  });
+  return pts;
+}
+
+}  // namespace psi::datagen

@@ -1,0 +1,189 @@
+// PSI-Lib: synthetic dataset and query generators (paper Sec 5.1 + Sec F).
+//
+// Distributions:
+//  * uniform    — each point uniform in [0, coord_max]^D.
+//  * sweepline  — uniform data sorted along dimension 0; used to *feed
+//                 batches in sweep order*, simulating spatially local update
+//                 patterns (skewed update pattern, not skewed data).
+//  * varden     — random walk with a low restart probability (Gan & Tao);
+//                 produces tight clusters far apart (skewed distribution).
+//  * osm_sim    — substitute for the OpenStreetMap dataset: 2D mixture of
+//                 dense city clusters, polyline road corridors, and sparse
+//                 background (multi-scale clustering along networks).
+//  * cosmo_sim  — substitute for the COSMO dataset: 3D Plummer-like sphere
+//                 mixture (heavy clustering in 3D).
+//
+// Query generators:
+//  * in-distribution (InD) queries: existing data points with small jitter.
+//  * out-of-distribution (OOD) queries: uniform over the bounding space.
+//  * range boxes with target side lengths, centred on InD/OOD anchors.
+//
+// All generators are deterministic in (seed, n) and run in parallel via
+// counter-based hashing — no sequential RNG state.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "psi/geometry/box.h"
+#include "psi/geometry/point.h"
+#include "psi/parallel/primitives.h"
+#include "psi/parallel/random.h"
+#include "psi/parallel/scheduler.h"
+#include "psi/parallel/sort.h"
+
+namespace psi::datagen {
+
+inline constexpr std::int64_t kDefaultMax2D = 1'000'000'000;  // [0, 10^9], Sec 5.1
+inline constexpr std::int64_t kDefaultMax3D = 1'000'000;      // [0, 10^6], Sec E
+
+// ---------------------------------------------------------------------------
+// Core distributions (templated over dimension)
+// ---------------------------------------------------------------------------
+
+template <int D>
+std::vector<Point<std::int64_t, D>> uniform(std::size_t n, std::uint64_t seed,
+                                            std::int64_t coord_max) {
+  using P = Point<std::int64_t, D>;
+  Rng rng(seed);
+  return tabulate<P>(n, [&](std::size_t i) {
+    P p;
+    for (int d = 0; d < D; ++d) {
+      p[d] = static_cast<std::int64_t>(rng.ith_bounded(
+          i * static_cast<std::uint64_t>(D) + static_cast<std::uint64_t>(d),
+          static_cast<std::uint64_t>(coord_max) + 1));
+    }
+    return p;
+  });
+}
+
+template <int D>
+std::vector<Point<std::int64_t, D>> sweepline(std::size_t n, std::uint64_t seed,
+                                              std::int64_t coord_max) {
+  auto pts = uniform<D>(n, seed, coord_max);
+  sample_sort(pts, [](const auto& a, const auto& b) { return a[0] < b[0]; });
+  return pts;
+}
+
+// Varden: segments of a bounded random walk. Each restart jumps to a uniform
+// position; within a segment, steps are small uniform offsets, so points form
+// tight clusters with large empty gaps between clusters.
+template <int D>
+std::vector<Point<std::int64_t, D>> varden(std::size_t n, std::uint64_t seed,
+                                           std::int64_t coord_max,
+                                           double restart_prob = 1e-4) {
+  using P = Point<std::int64_t, D>;
+  std::vector<P> pts(n);
+  if (n == 0) return pts;
+  // Expected segment length 1/restart_prob; generate segments independently
+  // in parallel (each segment is a deterministic walk from its own seed).
+  const std::size_t seg_len = std::max<std::size_t>(
+      1, static_cast<std::size_t>(1.0 / restart_prob));
+  const std::size_t num_segs = (n + seg_len - 1) / seg_len;
+  // Step size chosen so a full segment stays in a region ~1e-3 of the space:
+  // clusters are small relative to inter-cluster distances.
+  const std::int64_t step = std::max<std::int64_t>(
+      1, coord_max / static_cast<std::int64_t>(
+                         1000 * static_cast<std::int64_t>(
+                                    std::max<std::size_t>(1, seg_len / 100))));
+  Rng rng(seed);
+  parallel_for(
+      0, num_segs,
+      [&](std::size_t s) {
+        Rng seg_rng = rng.split(s);
+        P cur;
+        for (int d = 0; d < D; ++d) {
+          cur[d] = static_cast<std::int64_t>(seg_rng.ith_bounded(
+              static_cast<std::uint64_t>(d),
+              static_cast<std::uint64_t>(coord_max) + 1));
+        }
+        const std::size_t lo = s * seg_len;
+        const std::size_t hi = std::min(n, lo + seg_len);
+        for (std::size_t i = lo; i < hi; ++i) {
+          pts[i] = cur;
+          for (int d = 0; d < D; ++d) {
+            const std::uint64_t r = seg_rng.ith_bounded(
+                (i - lo + 1) * static_cast<std::uint64_t>(D) +
+                    static_cast<std::uint64_t>(d),
+                2 * static_cast<std::uint64_t>(step) + 1);
+            cur[d] += static_cast<std::int64_t>(r) - step;
+            cur[d] = std::clamp<std::int64_t>(cur[d], 0, coord_max);
+          }
+        }
+      },
+      1);
+  return pts;
+}
+
+// ---------------------------------------------------------------------------
+// Real-world substitutes (see DESIGN.md §2)
+// ---------------------------------------------------------------------------
+
+// 2D OSM-like data: city clusters + road corridors + background noise.
+std::vector<Point2> osm_sim(std::size_t n, std::uint64_t seed,
+                            std::int64_t coord_max = kDefaultMax2D);
+
+// 3D COSMO-like data: Plummer-sphere halo mixture.
+std::vector<Point3> cosmo_sim(std::size_t n, std::uint64_t seed,
+                              std::int64_t coord_max = kDefaultMax3D);
+
+// ---------------------------------------------------------------------------
+// Deduplication (paper removes duplicates from real-world data)
+// ---------------------------------------------------------------------------
+
+template <typename P>
+std::vector<P> dedup(std::vector<P> pts) {
+  sample_sort(pts, [](const P& a, const P& b) { return a < b; });
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  return pts;
+}
+
+// ---------------------------------------------------------------------------
+// Query generators
+// ---------------------------------------------------------------------------
+
+// In-distribution query points: sample data points and jitter slightly.
+template <typename P>
+std::vector<P> ind_queries(const std::vector<P>& data, std::size_t q,
+                           std::uint64_t seed, std::int64_t coord_max) {
+  Rng rng(hash64(seed, 0x1d));
+  const std::int64_t jitter = std::max<std::int64_t>(1, coord_max / 100000);
+  return tabulate<P>(q, [&](std::size_t i) {
+    P p = data[rng.ith_bounded(2 * i, data.size())];
+    for (int d = 0; d < P::kDim; ++d) {
+      const auto r = rng.ith_bounded(
+          hash64(2 * i + 1, static_cast<std::uint64_t>(d)),
+          2 * static_cast<std::uint64_t>(jitter) + 1);
+      p[d] = std::clamp<std::int64_t>(
+          p[d] + static_cast<std::int64_t>(r) - jitter, 0, coord_max);
+    }
+    return p;
+  });
+}
+
+// Out-of-distribution query points: uniform over the whole space.
+template <int D>
+std::vector<Point<std::int64_t, D>> ood_queries(std::size_t q, std::uint64_t seed,
+                                                std::int64_t coord_max) {
+  return uniform<D>(q, hash64(seed, 0x00d), coord_max);
+}
+
+// Axis-aligned query boxes with the given side length, centred on anchors.
+template <typename P>
+std::vector<Box<typename P::coord_t, P::kDim>> range_boxes(
+    const std::vector<P>& anchors, std::int64_t side, std::int64_t coord_max) {
+  using B = Box<typename P::coord_t, P::kDim>;
+  return tabulate<B>(anchors.size(), [&](std::size_t i) {
+    B b;
+    for (int d = 0; d < P::kDim; ++d) {
+      const std::int64_t c = anchors[i][d];
+      b.lo[d] = std::max<std::int64_t>(0, c - side / 2);
+      b.hi[d] = std::min<std::int64_t>(coord_max, c + side / 2);
+    }
+    return b;
+  });
+}
+
+}  // namespace psi::datagen

@@ -1,0 +1,159 @@
+// PSI-Lib: axis-aligned bounding boxes.
+//
+// Every index in the library augments tree nodes with the bounding box of
+// the points in the subtree (paper Sec 1); queries prune subtrees through
+// box predicates and box-to-point minimum distances.
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "psi/geometry/point.h"
+
+namespace psi {
+
+template <typename Coord, int D>
+struct Box {
+  using point_t = Point<Coord, D>;
+
+  point_t lo;  // componentwise minimum corner
+  point_t hi;  // componentwise maximum corner (inclusive)
+
+  // An empty box: identity for merge().
+  static constexpr Box empty() {
+    Box b;
+    for (int d = 0; d < D; ++d) {
+      b.lo[d] = std::numeric_limits<Coord>::max();
+      b.hi[d] = std::numeric_limits<Coord>::lowest();
+    }
+    return b;
+  }
+
+  static constexpr Box of_point(const point_t& p) { return Box{p, p}; }
+
+  constexpr bool is_empty() const {
+    for (int d = 0; d < D; ++d) {
+      if (lo[d] > hi[d]) return true;
+    }
+    return false;
+  }
+
+  constexpr bool contains(const point_t& p) const {
+    for (int d = 0; d < D; ++d) {
+      if (p[d] < lo[d] || p[d] > hi[d]) return false;
+    }
+    return true;
+  }
+
+  // True iff `inner` lies entirely within *this.
+  constexpr bool contains(const Box& inner) const {
+    for (int d = 0; d < D; ++d) {
+      if (inner.lo[d] < lo[d] || inner.hi[d] > hi[d]) return false;
+    }
+    return true;
+  }
+
+  constexpr bool intersects(const Box& other) const {
+    for (int d = 0; d < D; ++d) {
+      if (other.hi[d] < lo[d] || other.lo[d] > hi[d]) return false;
+    }
+    return true;
+  }
+
+  constexpr void expand(const point_t& p) {
+    for (int d = 0; d < D; ++d) {
+      lo[d] = std::min(lo[d], p[d]);
+      hi[d] = std::max(hi[d], p[d]);
+    }
+  }
+
+  constexpr void merge(const Box& other) {
+    for (int d = 0; d < D; ++d) {
+      lo[d] = std::min(lo[d], other.lo[d]);
+      hi[d] = std::max(hi[d], other.hi[d]);
+    }
+  }
+
+  friend constexpr Box merged(Box a, const Box& b) {
+    a.merge(b);
+    return a;
+  }
+
+  friend constexpr bool operator==(const Box& a, const Box& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Box& b) {
+    return os << '[' << b.lo << ".." << b.hi << ']';
+  }
+};
+
+// Squared minimum distance from q to any point of the (closed) box; 0 when
+// q is inside. Used as the kNN pruning bound.
+template <typename Coord, int D>
+constexpr double min_squared_distance(const Box<Coord, D>& b,
+                                      const Point<Coord, D>& q) {
+  double acc = 0;
+  for (int d = 0; d < D; ++d) {
+    double diff = 0;
+    if (q[d] < b.lo[d]) {
+      diff = static_cast<double>(b.lo[d]) - static_cast<double>(q[d]);
+    } else if (q[d] > b.hi[d]) {
+      diff = static_cast<double>(q[d]) - static_cast<double>(b.hi[d]);
+    }
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+// Squared maximum distance from q to any point of the (closed) box. Used
+// by ball queries: a subtree whose box lies entirely within the ball can be
+// accepted wholesale.
+template <typename Coord, int D>
+constexpr double max_squared_distance(const Box<Coord, D>& b,
+                                      const Point<Coord, D>& q) {
+  double acc = 0;
+  for (int d = 0; d < D; ++d) {
+    const double to_lo =
+        std::abs(static_cast<double>(q[d]) - static_cast<double>(b.lo[d]));
+    const double to_hi =
+        std::abs(static_cast<double>(b.hi[d]) - static_cast<double>(q[d]));
+    const double far = to_lo > to_hi ? to_lo : to_hi;
+    acc += far * far;
+  }
+  return acc;
+}
+
+// Enclosure measures used by the R-tree split/choose heuristics.
+template <typename Coord, int D>
+constexpr double box_area(const Box<Coord, D>& b) {
+  if (b.is_empty()) return 0;
+  double a = 1;
+  for (int d = 0; d < D; ++d) {
+    a *= static_cast<double>(b.hi[d]) - static_cast<double>(b.lo[d]);
+  }
+  return a;
+}
+
+// Area increase if `b` were grown to include `p`.
+template <typename Coord, int D>
+constexpr double enlargement(const Box<Coord, D>& b, const Point<Coord, D>& p) {
+  Box<Coord, D> grown = b;
+  grown.expand(p);
+  return box_area(grown) - box_area(b);
+}
+
+template <typename Coord, int D>
+constexpr double enlargement(const Box<Coord, D>& b, const Box<Coord, D>& o) {
+  Box<Coord, D> grown = b;
+  grown.merge(o);
+  return box_area(grown) - box_area(b);
+}
+
+using Box2 = Box<std::int64_t, 2>;
+using Box3 = Box<std::int64_t, 3>;
+
+}  // namespace psi

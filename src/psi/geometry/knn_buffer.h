@@ -1,0 +1,64 @@
+// PSI-Lib: bounded k-nearest-neighbour buffer.
+//
+// A fixed-capacity max-heap keyed on squared distance. All indexes share it
+// for k-NN queries: the heap's maximum is the current pruning radius.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace psi {
+
+template <typename PointT>
+class KnnBuffer {
+ public:
+  struct Entry {
+    double dist2;
+    PointT point;
+    friend bool operator<(const Entry& a, const Entry& b) {
+      return a.dist2 < b.dist2;
+    }
+  };
+
+  explicit KnnBuffer(std::size_t k) : k_(k) { heap_.reserve(k); }
+
+  std::size_t capacity() const { return k_; }
+  std::size_t size() const { return heap_.size(); }
+  bool full() const { return heap_.size() == k_; }
+
+  // Current pruning radius: squared distance of the k-th best so far, or
+  // +inf while fewer than k candidates have been seen.
+  double worst() const {
+    return full() ? heap_.front().dist2 : std::numeric_limits<double>::infinity();
+  }
+
+  // Offer a candidate; keeps the k smallest.
+  void offer(double dist2, const PointT& p) {
+    if (heap_.size() < k_) {
+      heap_.push_back(Entry{dist2, p});
+      std::push_heap(heap_.begin(), heap_.end());
+    } else if (dist2 < heap_.front().dist2) {
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.back() = Entry{dist2, p};
+      std::push_heap(heap_.begin(), heap_.end());
+    }
+  }
+
+  // Results sorted by increasing distance.
+  std::vector<Entry> sorted() const {
+    std::vector<Entry> out = heap_;
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  const std::vector<Entry>& raw() const { return heap_; }
+
+ private:
+  std::size_t k_;
+  std::vector<Entry> heap_;
+};
+
+}  // namespace psi

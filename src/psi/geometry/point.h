@@ -1,0 +1,86 @@
+// PSI-Lib: point type.
+//
+// Points are fixed-dimension coordinate tuples. The paper evaluates 2D/3D
+// points with 64-bit integer coordinates; the indexes are templated on the
+// point type so other coordinate types work where the algorithm allows
+// (P-Orth explicitly supports arbitrary coordinate types, Sec 3; the
+// SFC-based indexes require integers within the curve precision).
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <type_traits>
+
+namespace psi {
+
+template <typename Coord, int D>
+struct Point {
+  static_assert(D >= 1, "dimension must be positive");
+  using coord_t = Coord;
+  static constexpr int kDim = D;
+
+  std::array<Coord, D> coords{};
+
+  constexpr Coord& operator[](int d) { return coords[static_cast<std::size_t>(d)]; }
+  constexpr const Coord& operator[](int d) const {
+    return coords[static_cast<std::size_t>(d)];
+  }
+
+  friend constexpr bool operator==(const Point& a, const Point& b) {
+    return a.coords == b.coords;
+  }
+  friend constexpr bool operator!=(const Point& a, const Point& b) {
+    return !(a == b);
+  }
+  // Lexicographic order: a canonical total order used as a tiebreak when two
+  // distinct points are otherwise indistinguishable (e.g. equal SFC codes).
+  friend constexpr bool operator<(const Point& a, const Point& b) {
+    return a.coords < b.coords;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Point& p) {
+    os << '(';
+    for (int d = 0; d < D; ++d) {
+      if (d) os << ',';
+      os << p[d];
+    }
+    return os << ')';
+  }
+};
+
+// Squared Euclidean distance, computed in a wide accumulator so integer
+// coordinates up to ~2^31 cannot overflow.
+template <typename Coord, int D>
+constexpr double squared_distance(const Point<Coord, D>& a,
+                                  const Point<Coord, D>& b) {
+  double acc = 0;
+  for (int d = 0; d < D; ++d) {
+    const double diff = static_cast<double>(a[d]) - static_cast<double>(b[d]);
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+// Common instantiations used across the library and paper experiments.
+using Point2 = Point<std::int64_t, 2>;
+using Point3 = Point<std::int64_t, 3>;
+using Point2f = Point<double, 2>;
+using Point3f = Point<double, 3>;
+
+// Hash for unordered containers in tests.
+template <typename Coord, int D>
+struct PointHash {
+  std::size_t operator()(const Point<Coord, D>& p) const {
+    std::size_t h = 0x9e3779b97f4a7c15ULL;
+    for (int d = 0; d < D; ++d) {
+      h ^= std::hash<Coord>{}(p[d]) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+}  // namespace psi

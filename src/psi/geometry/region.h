@@ -1,0 +1,81 @@
+// PSI-Lib: orthogonal region splitting.
+//
+// The space-partitioning trees (P-Orth, Zd, Pkd) divide a rectangular region
+// at coordinate midpoints. This header centralises the split semantics so
+// all trees agree exactly:
+//
+//   split point  s_d = lo_d + (hi_d - lo_d) / 2
+//   low child    [lo_d, s_d]        (points with p_d <= s_d)
+//   high child   [s_d + eps, hi_d]  (points with p_d >  s_d)
+//
+// For integer coordinates eps = 1; for floating point the high child keeps
+// lo = s (classification is strict, so the shared boundary is harmless).
+// A dimension of width zero always classifies into the low child and the
+// region eventually becomes unsplittable, which is the recursion guard for
+// duplicate-heavy inputs (P-Orth makes an oversized leaf there).
+
+#pragma once
+
+#include <type_traits>
+
+#include "psi/geometry/box.h"
+#include "psi/geometry/point.h"
+
+namespace psi {
+
+template <typename Coord, int D>
+struct Region {
+  using box_t = Box<Coord, D>;
+  using point_t = Point<Coord, D>;
+
+  // Midpoint used as the split plane in dimension d.
+  static constexpr Coord split_point(const box_t& r, int d) {
+    // lo + (hi-lo)/2 avoids overflow for wide integer regions.
+    return r.lo[d] + (r.hi[d] - r.lo[d]) / 2;
+  }
+
+  // A region can be subdivided iff at least one dimension can shrink.
+  static constexpr bool splittable(const box_t& r) {
+    for (int d = 0; d < D; ++d) {
+      const Coord s = split_point(r, d);
+      if constexpr (std::is_integral_v<Coord>) {
+        if (s < r.hi[d]) return true;
+      } else {
+        if (r.lo[d] < s && s < r.hi[d]) return true;
+      }
+    }
+    return false;
+  }
+
+  // Orthant index of p: bit d set iff p_d > split_point(d).
+  static constexpr int orthant(const box_t& r, const point_t& p) {
+    int idx = 0;
+    for (int d = 0; d < D; ++d) {
+      if (p[d] > split_point(r, d)) idx |= 1 << d;
+    }
+    return idx;
+  }
+
+  // Sub-region for orthant index `idx` (an empty box in a dimension means
+  // that orthant can hold no points — callers leave those children null).
+  static constexpr box_t child(const box_t& r, int idx) {
+    box_t c = r;
+    for (int d = 0; d < D; ++d) {
+      const Coord s = split_point(r, d);
+      if (idx & (1 << d)) {
+        if constexpr (std::is_integral_v<Coord>) {
+          c.lo[d] = s + 1;
+        } else {
+          c.lo[d] = s;
+        }
+      } else {
+        c.hi[d] = s;
+      }
+    }
+    return c;
+  }
+
+  static constexpr int kFanout = 1 << D;
+};
+
+}  // namespace psi

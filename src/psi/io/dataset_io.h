@@ -1,0 +1,108 @@
+// PSI-Lib: dataset I/O.
+//
+// Simple binary and CSV point-file formats so generated workloads can be
+// persisted and external datasets (e.g. real OSM/COSMO extracts, paper
+// Sec F.4) can be loaded. The binary format is a small header (magic,
+// version, dimension, coordinate width, count) followed by row-major
+// little-endian coordinates.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "psi/geometry/point.h"
+
+namespace psi::io {
+
+inline constexpr std::uint32_t kMagic = 0x50534931;  // "PSI1"
+
+struct BinaryHeader {
+  std::uint32_t magic;
+  std::uint32_t version;
+  std::uint32_t dimension;
+  std::uint32_t coord_bytes;
+  std::uint64_t count;
+};
+
+template <typename Coord, int D>
+void save_binary(const std::string& path,
+                 const std::vector<Point<Coord, D>>& pts) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("io: cannot open for write: " + path);
+  BinaryHeader h{kMagic, 1, static_cast<std::uint32_t>(D),
+                 static_cast<std::uint32_t>(sizeof(Coord)),
+                 static_cast<std::uint64_t>(pts.size())};
+  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  out.write(reinterpret_cast<const char*>(pts.data()),
+            static_cast<std::streamsize>(pts.size() * sizeof(Point<Coord, D>)));
+  if (!out) throw std::runtime_error("io: write failed: " + path);
+}
+
+template <typename Coord, int D>
+std::vector<Point<Coord, D>> load_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("io: cannot open for read: " + path);
+  BinaryHeader h{};
+  in.read(reinterpret_cast<char*>(&h), sizeof(h));
+  if (!in || h.magic != kMagic) {
+    throw std::runtime_error("io: bad magic in " + path);
+  }
+  if (h.dimension != static_cast<std::uint32_t>(D) ||
+      h.coord_bytes != sizeof(Coord)) {
+    throw std::runtime_error("io: dimension/coordinate mismatch in " + path);
+  }
+  std::vector<Point<Coord, D>> pts(h.count);
+  in.read(reinterpret_cast<char*>(pts.data()),
+          static_cast<std::streamsize>(h.count * sizeof(Point<Coord, D>)));
+  if (!in) throw std::runtime_error("io: truncated file: " + path);
+  return pts;
+}
+
+// CSV: one point per line, coordinates separated by commas. Lines starting
+// with '#' are skipped.
+template <typename Coord, int D>
+void save_csv(const std::string& path, const std::vector<Point<Coord, D>>& pts) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("io: cannot open for write: " + path);
+  for (const auto& p : pts) {
+    for (int d = 0; d < D; ++d) {
+      if (d) out << ',';
+      out << p[d];
+    }
+    out << '\n';
+  }
+}
+
+template <typename Coord, int D>
+std::vector<Point<Coord, D>> load_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("io: cannot open for read: " + path);
+  std::vector<Point<Coord, D>> pts;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    Point<Coord, D> p;
+    std::string cell;
+    for (int d = 0; d < D; ++d) {
+      if (!std::getline(ss, cell, ',')) {
+        throw std::runtime_error("io: short row in " + path);
+      }
+      if constexpr (std::is_integral_v<Coord>) {
+        p[d] = static_cast<Coord>(std::stoll(cell));
+      } else {
+        p[d] = static_cast<Coord>(std::stod(cell));
+      }
+    }
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+}  // namespace psi::io

@@ -1,0 +1,89 @@
+// PSI-Lib: parallel counting sort — the "Sieve" primitive.
+//
+// This is the data-movement engine of the P-Orth tree and Pkd-tree (paper
+// Sec 3.1, Alg 1/2): given a small number K of buckets and a bucket id per
+// element, stably reorder the sequence so each bucket is contiguous, and
+// return the bucket offsets. It is a blocked two-pass counting sort:
+//
+//   pass 1: per-block histograms (blocks processed in parallel)
+//   scan  : exclusive scan of the (bucket-major) block×bucket count matrix —
+//           this is the "matrix transpose" of Alg 3 line 16
+//   pass 2: per-block scatter into the output at the scanned offsets
+//
+// The scatter is stable (blocks preserve input order, and offsets are
+// bucket-major then block-major), which the tree algorithms rely on.
+
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "psi/parallel/primitives.h"
+#include "psi/parallel/scheduler.h"
+
+namespace psi {
+
+// Offsets of each bucket in the sieved output: bucket k occupies
+// [offsets[k], offsets[k+1]).
+using BucketOffsets = std::vector<std::size_t>;
+
+// Stable counting sort of in[0..n) into out[0..n) by key(i) in [0, K).
+// `key` receives the *index* into `in` so callers can classify lazily.
+// Returns the K+1 bucket offsets.
+template <typename T, typename KeyFn>
+BucketOffsets counting_sort_into(const T* in, T* out, std::size_t n,
+                                 std::size_t num_buckets, KeyFn&& key) {
+  BucketOffsets offsets(num_buckets + 1, 0);
+  if (n == 0) return offsets;
+
+  // Block size: each block's histogram should stay cache-resident; the paper
+  // picks the chunk so that 2^{λD} counters fit in cache (Sec A).
+  const std::size_t p = static_cast<std::size_t>(num_workers());
+  const std::size_t block =
+      std::max<std::size_t>(kSeqThreshold, (n + 8 * p - 1) / (8 * p));
+  const std::size_t num_blocks = (n + block - 1) / block;
+
+  // counts is bucket-major: counts[k * num_blocks + b] so the exclusive scan
+  // directly yields per-(bucket, block) output offsets.
+  std::vector<std::size_t> counts(num_buckets * num_blocks, 0);
+  parallel_for_blocked(n, block, [&](std::size_t b, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      ++counts[key(i) * num_blocks + b];
+    }
+  });
+
+  std::vector<std::size_t> scanned = counts;
+  const std::size_t total = scan_exclusive(scanned);
+  (void)total;
+
+  parallel_for_blocked(n, block, [&](std::size_t b, std::size_t lo, std::size_t hi) {
+    // Local cursor per bucket for this block.
+    std::vector<std::size_t> cursor(num_buckets);
+    for (std::size_t k = 0; k < num_buckets; ++k) {
+      cursor[k] = scanned[k * num_blocks + b];
+    }
+    for (std::size_t i = lo; i < hi; ++i) {
+      out[cursor[key(i)]++] = in[i];
+    }
+  });
+
+  for (std::size_t k = 0; k < num_buckets; ++k) {
+    offsets[k] = scanned[k * num_blocks];
+  }
+  offsets[num_buckets] = n;
+  return offsets;
+}
+
+// In-place sieve: reorder data[0..n) so buckets are contiguous. Uses an
+// internal scratch buffer (one extra pass of writes back).
+template <typename T, typename KeyFn>
+BucketOffsets sieve(T* data, std::size_t n, std::size_t num_buckets, KeyFn&& key) {
+  std::vector<T> scratch(n);
+  BucketOffsets offsets =
+      counting_sort_into(data, scratch.data(), n, num_buckets, key);
+  parallel_for(0, n, [&](std::size_t i) { data[i] = scratch[i]; });
+  return offsets;
+}
+
+}  // namespace psi

@@ -1,0 +1,184 @@
+// PSI-Lib: core parallel sequence primitives (reduce, scan, pack, filter).
+//
+// These are the ParlayLib-style building blocks the index algorithms consume.
+// All primitives are deterministic and take sequential fast paths for small
+// inputs or single-worker pools.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <iterator>
+#include <numeric>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "psi/parallel/scheduler.h"
+
+namespace psi {
+
+inline constexpr std::size_t kSeqThreshold = 2048;
+
+// ---------------------------------------------------------------------------
+// reduce
+// ---------------------------------------------------------------------------
+
+// Parallel reduction of f(lo..hi) under associative op `combine` with
+// identity `id`. f(i) is evaluated exactly once per index.
+template <typename T, typename F, typename Combine>
+T reduce_map(std::size_t lo, std::size_t hi, F&& f, T id, Combine&& combine) {
+  const std::size_t n = hi - lo;
+  if (n == 0) return id;
+  if (n <= kSeqThreshold || num_workers() <= 1) {
+    T acc = id;
+    for (std::size_t i = lo; i < hi; ++i) acc = combine(acc, f(i));
+    return acc;
+  }
+  const std::size_t mid = lo + n / 2;
+  T left{}, right{};
+  par_do([&] { left = reduce_map(lo, mid, f, id, combine); },
+         [&] { right = reduce_map(mid, hi, f, id, combine); });
+  return combine(left, right);
+}
+
+template <typename It, typename T, typename Combine>
+T reduce(It first, It last, T id, Combine&& combine) {
+  const std::size_t n = static_cast<std::size_t>(last - first);
+  return reduce_map(
+      0, n, [&](std::size_t i) { return *(first + static_cast<std::ptrdiff_t>(i)); },
+      id, combine);
+}
+
+template <typename It>
+auto reduce_sum(It first, It last) {
+  using T = typename std::iterator_traits<It>::value_type;
+  return psi::reduce(first, last, T{}, std::plus<T>{});
+}
+
+// ---------------------------------------------------------------------------
+// scan
+// ---------------------------------------------------------------------------
+
+// Exclusive prefix sum of v in place; returns the total. Two-pass blocked
+// algorithm: per-block sums, sequential scan over block sums, per-block
+// local scan. O(n) work, O(log n + n/P) span for our block count.
+template <typename T>
+T scan_exclusive(std::vector<T>& v) {
+  const std::size_t n = v.size();
+  if (n == 0) return T{};
+  if (n <= kSeqThreshold || num_workers() <= 1) {
+    T acc{};
+    for (std::size_t i = 0; i < n; ++i) {
+      T next = acc + v[i];
+      v[i] = acc;
+      acc = next;
+    }
+    return acc;
+  }
+  const std::size_t block = std::max<std::size_t>(
+      kSeqThreshold, (n + 8 * static_cast<std::size_t>(num_workers()) - 1) /
+                         (8 * static_cast<std::size_t>(num_workers())));
+  const std::size_t num_blocks = (n + block - 1) / block;
+  std::vector<T> sums(num_blocks);
+  parallel_for_blocked(n, block, [&](std::size_t b, std::size_t lo, std::size_t hi) {
+    T acc{};
+    for (std::size_t i = lo; i < hi; ++i) acc = acc + v[i];
+    sums[b] = acc;
+  });
+  T total{};
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    T next = total + sums[b];
+    sums[b] = total;
+    total = next;
+  }
+  parallel_for_blocked(n, block, [&](std::size_t b, std::size_t lo, std::size_t hi) {
+    T acc = sums[b];
+    for (std::size_t i = lo; i < hi; ++i) {
+      T next = acc + v[i];
+      v[i] = acc;
+      acc = next;
+    }
+  });
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// pack / filter
+// ---------------------------------------------------------------------------
+
+// Copy elements with flag(i) true into the output, preserving order.
+template <typename It, typename Flag>
+auto pack(It first, It last, Flag&& flag) {
+  using T = typename std::iterator_traits<It>::value_type;
+  const std::size_t n = static_cast<std::size_t>(last - first);
+  std::vector<T> out;
+  if (n == 0) return out;
+  if (n <= kSeqThreshold || num_workers() <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (flag(i)) out.push_back(*(first + static_cast<std::ptrdiff_t>(i)));
+    }
+    return out;
+  }
+  const std::size_t block = std::max<std::size_t>(
+      kSeqThreshold, (n + 8 * static_cast<std::size_t>(num_workers()) - 1) /
+                         (8 * static_cast<std::size_t>(num_workers())));
+  const std::size_t num_blocks = (n + block - 1) / block;
+  std::vector<std::size_t> counts(num_blocks);
+  parallel_for_blocked(n, block, [&](std::size_t b, std::size_t lo, std::size_t hi) {
+    std::size_t c = 0;
+    for (std::size_t i = lo; i < hi; ++i) c += flag(i) ? 1 : 0;
+    counts[b] = c;
+  });
+  const std::size_t total = scan_exclusive(counts);
+  out.resize(total);
+  parallel_for_blocked(n, block, [&](std::size_t b, std::size_t lo, std::size_t hi) {
+    std::size_t pos = counts[b];
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (flag(i)) out[pos++] = *(first + static_cast<std::ptrdiff_t>(i));
+    }
+  });
+  return out;
+}
+
+template <typename T, typename Pred>
+std::vector<T> filter(const std::vector<T>& v, Pred&& pred) {
+  return pack(v.begin(), v.end(), [&](std::size_t i) { return pred(v[i]); });
+}
+
+// ---------------------------------------------------------------------------
+// map / tabulate / flatten
+// ---------------------------------------------------------------------------
+
+template <typename T, typename F>
+std::vector<T> tabulate(std::size_t n, F&& f) {
+  std::vector<T> out(n);
+  parallel_for(0, n, [&](std::size_t i) { out[i] = f(i); });
+  return out;
+}
+
+template <typename In, typename F>
+auto map(const std::vector<In>& v, F&& f) {
+  using Out = std::decay_t<decltype(f(v[0]))>;
+  return tabulate<Out>(v.size(), [&](std::size_t i) { return f(v[i]); });
+}
+
+// Concatenate a sequence of vectors in parallel.
+template <typename T>
+std::vector<T> flatten(const std::vector<std::vector<T>>& parts) {
+  std::vector<std::size_t> offsets(parts.size());
+  parallel_for(0, parts.size(), [&](std::size_t i) { offsets[i] = parts[i].size(); });
+  const std::size_t total = scan_exclusive(offsets);
+  std::vector<T> out(total);
+  parallel_for(
+      0, parts.size(),
+      [&](std::size_t i) {
+        std::copy(parts[i].begin(), parts[i].end(),
+                  out.begin() + static_cast<std::ptrdiff_t>(offsets[i]));
+      },
+      1);
+  return out;
+}
+
+}  // namespace psi

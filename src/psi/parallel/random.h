@@ -1,0 +1,55 @@
+// PSI-Lib: deterministic splittable randomness.
+//
+// Parallel algorithms need per-index random values that are reproducible
+// regardless of the execution schedule. We use a counter-based construction:
+// hash64(seed, i) is a high-quality pseudo-random function of (seed, i), so a
+// parallel_for can draw independent values with no shared state.
+
+#pragma once
+
+#include <cstdint>
+
+namespace psi {
+
+// Finalizer from MurmurHash3 / SplitMix64: a strong 64-bit mixing function.
+constexpr std::uint64_t hash64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t hash64(std::uint64_t seed, std::uint64_t i) {
+  return hash64(seed ^ hash64(i));
+}
+
+// Counter-based generator with the interface the data generators want.
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed = 0x5eed) : seed_(hash64(seed)) {}
+
+  // i-th random 64-bit value of this stream.
+  constexpr std::uint64_t ith(std::uint64_t i) const { return hash64(seed_, i); }
+
+  // Derive an independent child stream (for nested structures).
+  constexpr Rng split(std::uint64_t tag) const { return Rng(hash64(seed_, tag)); }
+
+  // i-th value uniform in [0, bound). Bound must be > 0.
+  constexpr std::uint64_t ith_bounded(std::uint64_t i, std::uint64_t bound) const {
+    // 128-bit multiply keeps the distribution close to uniform without a loop.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(ith(i)) * bound) >> 64);
+  }
+
+  // i-th value uniform in [0, 1).
+  constexpr double ith_double(std::uint64_t i) const {
+    return static_cast<double>(ith(i) >> 11) * 0x1.0p-53;
+  }
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace psi

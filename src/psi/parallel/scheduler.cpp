@@ -1,0 +1,167 @@
+#include "psi/parallel/scheduler.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <random>
+#include <string>
+
+namespace psi {
+
+namespace {
+
+thread_local int tl_worker_id = -1;
+
+int env_num_workers() {
+  if (const char* s = std::getenv("PSI_NUM_WORKERS")) {
+    const int v = std::atoi(s);
+    if (v >= 1) return v;
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+}  // namespace
+
+std::unique_ptr<Scheduler> Scheduler::global_;
+std::mutex Scheduler::global_mu_;
+
+Scheduler& Scheduler::instance() {
+  std::lock_guard<std::mutex> lock(global_mu_);
+  if (!global_) {
+    global_.reset(new Scheduler(env_num_workers()));
+  }
+  return *global_;
+}
+
+void Scheduler::set_num_workers(int p) {
+  std::lock_guard<std::mutex> lock(global_mu_);
+  global_.reset();  // joins old workers
+  global_.reset(new Scheduler(std::max(1, p)));
+}
+
+int Scheduler::worker_id() { return tl_worker_id; }
+
+Scheduler::Scheduler(int num_workers) {
+  deques_.reserve(static_cast<std::size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    deques_.push_back(std::make_unique<Deque>());
+  }
+  // The constructing thread acts as worker 0 (it participates in execution
+  // only inside par_do joins).
+  tl_worker_id = 0;
+  threads_.reserve(static_cast<std::size_t>(num_workers - 1));
+  for (int i = 1; i < num_workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  shutdown_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+  }
+  sleep_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+  // Reset the main thread's id so a future Scheduler can re-register it.
+  tl_worker_id = -1;
+}
+
+void Scheduler::push_local(detail::Job* job) {
+  const int id = worker_id();
+  Deque& d = *deques_[static_cast<std::size_t>(id)];
+  {
+    std::lock_guard<std::mutex> lock(d.mu);
+    d.jobs.push_back(job);
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  wake_one();
+}
+
+void Scheduler::wake_one() { sleep_cv_.notify_one(); }
+
+bool Scheduler::try_remove_back(detail::Job* job) {
+  const int id = worker_id();
+  Deque& d = *deques_[static_cast<std::size_t>(id)];
+  std::lock_guard<std::mutex> lock(d.mu);
+  if (!d.jobs.empty() && d.jobs.back() == job) {
+    d.jobs.pop_back();
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    return true;
+  }
+  return false;
+}
+
+detail::Job* Scheduler::pop_local() {
+  const int id = worker_id();
+  Deque& d = *deques_[static_cast<std::size_t>(id)];
+  std::lock_guard<std::mutex> lock(d.mu);
+  if (d.jobs.empty()) return nullptr;
+  detail::Job* job = d.jobs.back();
+  d.jobs.pop_back();
+  pending_.fetch_sub(1, std::memory_order_acq_rel);
+  return job;
+}
+
+detail::Job* Scheduler::steal() {
+  // One randomized sweep over the other deques, stealing from the top
+  // (FIFO end) to grab large subtrees of the computation.
+  thread_local std::minstd_rand rng(
+      std::random_device{}() ^
+      static_cast<unsigned>(std::hash<std::thread::id>{}(std::this_thread::get_id())));
+  const std::size_t p = deques_.size();
+  const std::size_t start = rng() % p;
+  for (std::size_t k = 0; k < p; ++k) {
+    Deque& d = *deques_[(start + k) % p];
+    std::lock_guard<std::mutex> lock(d.mu);
+    if (d.jobs.empty()) continue;
+    detail::Job* job = d.jobs.front();
+    d.jobs.pop_front();
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    return job;
+  }
+  return nullptr;
+}
+
+void Scheduler::wait_for(detail::Job& job) {
+  // Stealing join: keep making progress on other tasks while the forked
+  // task is executed elsewhere.
+  int idle_spins = 0;
+  while (!job.done.load(std::memory_order_acquire)) {
+    detail::Job* other = pop_local();
+    if (other == nullptr) other = steal();
+    if (other != nullptr) {
+      other->run();
+      idle_spins = 0;
+    } else if (++idle_spins > 64) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void Scheduler::worker_loop(int id) {
+  tl_worker_id = id;
+  int idle_spins = 0;
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    detail::Job* job = pop_local();
+    if (job == nullptr) job = steal();
+    if (job != nullptr) {
+      job->run();
+      idle_spins = 0;
+      continue;
+    }
+    if (++idle_spins < 64) {
+      std::this_thread::yield();
+      continue;
+    }
+    // Nothing to do: sleep until new work is pushed.
+    std::unique_lock<std::mutex> lock(sleep_mu_);
+    sleep_cv_.wait_for(lock, std::chrono::milliseconds(1), [&] {
+      return shutdown_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    idle_spins = 0;
+  }
+  tl_worker_id = -1;
+}
+
+}  // namespace psi

@@ -1,0 +1,217 @@
+// PSI-Lib: fork-join work-stealing scheduler.
+//
+// This is the parallel runtime substrate that replaces ParlayLib in the paper's
+// artifact. It implements the classical binary fork-join model analysed in the
+// paper (Sec 2.1): a `par_do(f, g)` primitive that runs two closures in
+// parallel, on top of per-worker task deques with randomized work stealing.
+//
+// Design notes:
+//  * The calling (main) thread registers as worker 0; `num_workers()-1`
+//    additional threads are spawned. A thread that is not part of the pool
+//    executes `par_do` sequentially, so the library is safe to call from any
+//    thread.
+//  * Joins are *stealing joins*: a thread waiting for a forked task keeps
+//    executing other tasks, so nested parallelism (the norm in the index
+//    algorithms, which recurse with par_do) cannot deadlock.
+//  * Exceptions thrown inside a forked task are captured and rethrown at the
+//    join point in the forking thread.
+//  * Worker count defaults to std::thread::hardware_concurrency() and can be
+//    overridden with the PSI_NUM_WORKERS environment variable or at runtime
+//    with set_num_workers() (used by the scalability benchmark, Fig 7).
+//
+// With num_workers() == 1 every primitive takes a sequential fast path, so on
+// a single-core machine the library behaves like a well-optimised sequential
+// implementation.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace psi {
+
+namespace detail {
+
+// A forked task awaiting execution. Lives on the stack of the forking
+// `par_do` frame. A job is *removed from its deque at claim time* (under the
+// deque lock), so the deques never hold pointers to frames that may have
+// returned; the owning frame never returns before `done` is set.
+struct Job {
+  virtual void execute() = 0;
+  virtual ~Job() = default;
+
+  std::atomic<bool> done{false};
+  std::exception_ptr error{nullptr};
+
+  void run() {
+    try {
+      execute();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    done.store(true, std::memory_order_release);
+  }
+};
+
+template <typename F>
+struct JobImpl final : Job {
+  explicit JobImpl(F& f) : fn(f) {}
+  void execute() override { fn(); }
+  F& fn;
+};
+
+}  // namespace detail
+
+class Scheduler {
+ public:
+  // Global scheduler. Constructed on first use with worker count from
+  // PSI_NUM_WORKERS (if set) or hardware concurrency.
+  static Scheduler& instance();
+
+  // Restart the pool with a different worker count. Must be called from
+  // outside any parallel region (i.e., when the pool is quiescent). Used by
+  // the scalability benchmarks.
+  static void set_num_workers(int p);
+
+  int num_workers() const { return static_cast<int>(deques_.size()); }
+
+  // Id of the calling thread within the pool, or -1 for foreign threads.
+  static int worker_id();
+
+  // Fork g, run f inline, then join g (executing it inline if nobody stole
+  // it, or stealing other work while waiting otherwise).
+  template <typename F, typename G>
+  void par_do(F&& f, G&& g) {
+    if (num_workers() <= 1 || worker_id() < 0) {
+      f();
+      g();
+      return;
+    }
+    detail::JobImpl<G> job(g);
+    push_local(&job);
+    try {
+      f();
+    } catch (...) {
+      // Exception-safe join: the deque must not retain a pointer to this
+      // frame once we unwind. Reclaim the fork or wait for its thief.
+      if (!try_remove_back(&job)) wait_for(job);
+      throw;
+    }
+    if (try_remove_back(&job)) {
+      // Nobody stole it: run inline.
+      job.run();
+    } else {
+      wait_for(job);
+    }
+    if (job.error) std::rethrow_exception(job.error);
+  }
+
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+ private:
+  explicit Scheduler(int num_workers);
+
+  struct Deque {
+    std::mutex mu;
+    std::deque<detail::Job*> jobs;
+  };
+
+  void push_local(detail::Job* job);
+  bool try_remove_back(detail::Job* job);
+  detail::Job* pop_local();
+  detail::Job* steal();
+  void wait_for(detail::Job& job);
+  void worker_loop(int id);
+  void wake_one();
+
+  std::vector<std::unique_ptr<Deque>> deques_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<int> pending_{0};  // jobs pushed but not yet claimed
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+
+  static std::unique_ptr<Scheduler> global_;
+  static std::mutex global_mu_;
+};
+
+// ---------------------------------------------------------------------------
+// Free-function interface used throughout the library.
+// ---------------------------------------------------------------------------
+
+inline int num_workers() { return Scheduler::instance().num_workers(); }
+inline int worker_id() { return Scheduler::worker_id(); }
+
+// Run f() and g() in parallel.
+template <typename F, typename G>
+inline void par_do(F&& f, G&& g) {
+  Scheduler::instance().par_do(std::forward<F>(f), std::forward<G>(g));
+}
+
+// Run three closures in parallel (used by tree algorithms that recurse on
+// two children plus a pivot-side task).
+template <typename F1, typename F2, typename F3>
+inline void par_do3(F1&& f1, F2&& f2, F3&& f3) {
+  par_do([&] { f1(); }, [&] { par_do(f2, f3); });
+}
+
+// Parallel loop over [lo, hi). `granularity` = number of iterations executed
+// sequentially per task; 0 selects an automatic grain of ~8 tasks/worker.
+template <typename F>
+void parallel_for(std::size_t lo, std::size_t hi, F&& f,
+                  std::size_t granularity = 0) {
+  if (hi <= lo) return;
+  const std::size_t n = hi - lo;
+  const int p = num_workers();
+  if (granularity == 0) {
+    granularity = 1 + n / (static_cast<std::size_t>(p) * 8);
+  }
+  if (p <= 1 || n <= granularity) {
+    for (std::size_t i = lo; i < hi; ++i) f(i);
+    return;
+  }
+  // Recursive binary splitting down to the grain (binary forking model).
+  struct Rec {
+    F& body;
+    std::size_t grain;
+    void operator()(std::size_t l, std::size_t h) {
+      if (h - l <= grain) {
+        for (std::size_t i = l; i < h; ++i) body(i);
+      } else {
+        const std::size_t mid = l + (h - l) / 2;
+        par_do([&] { (*this)(l, mid); }, [&] { (*this)(mid, h); });
+      }
+    }
+  } rec{f, granularity};
+  rec(lo, hi);
+}
+
+// Parallel loop over blocks: calls f(block_index, block_lo, block_hi) for
+// ceil(n / block_size) contiguous blocks covering [0, n).
+template <typename F>
+void parallel_for_blocked(std::size_t n, std::size_t block_size, F&& f) {
+  if (n == 0) return;
+  const std::size_t num_blocks = (n + block_size - 1) / block_size;
+  parallel_for(
+      0, num_blocks,
+      [&](std::size_t b) {
+        const std::size_t lo = b * block_size;
+        const std::size_t hi = std::min(n, lo + block_size);
+        f(b, lo, hi);
+      },
+      1);
+}
+
+}  // namespace psi

@@ -1,0 +1,207 @@
+// PSI-Lib: parallel comparison sorts.
+//
+//  * sample_sort      — parallel sample sort (the backbone of HybridSort,
+//                       paper Alg 3): sample → pivots → blocked classify →
+//                       transpose scatter → per-bucket sort.
+//  * sample_sort_transform — the HybridSort generalisation: the input is a
+//                       sequence of source elements, and the sort key record
+//                       (e.g. the ⟨SFC code, id⟩ pair) is *computed on first
+//                       touch* inside the classification pass, saving one
+//                       round of reads/writes over precompute-then-sort.
+//  * merge_sort       — stable parallel merge sort with parallel merge,
+//                       used where stability matters and in tests.
+//
+// All sorts fall back to std::sort / std::stable_sort below a threshold.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <iterator>
+#include <type_traits>
+#include <vector>
+
+#include "psi/parallel/counting_sort.h"
+#include "psi/parallel/primitives.h"
+#include "psi/parallel/random.h"
+#include "psi/parallel/scheduler.h"
+
+namespace psi {
+
+namespace detail_sort {
+
+inline constexpr std::size_t kSortSeqThreshold = 1 << 13;
+inline constexpr std::size_t kOversample = 24;
+
+// Number of sample-sort buckets for input size n.
+inline std::size_t num_sort_buckets(std::size_t n) {
+  std::size_t k = 2;
+  while (k * k * kSortSeqThreshold < n && k < 512) k *= 2;
+  return k;
+}
+
+}  // namespace detail_sort
+
+// ---------------------------------------------------------------------------
+// sample_sort_transform (HybridSort core)
+// ---------------------------------------------------------------------------
+
+// Produce the sorted sequence {make(i) : i in [0, n)} under `less`, computing
+// make(i) exactly once, during the classification pass (first touch).
+template <typename R, typename MakeFn, typename Less>
+std::vector<R> sample_sort_transform(std::size_t n, MakeFn&& make, Less&& less) {
+  std::vector<R> out;
+  out.reserve(n);
+  if (n == 0) return out;
+
+  if (n <= detail_sort::kSortSeqThreshold || num_workers() <= 1) {
+    for (std::size_t i = 0; i < n; ++i) out.push_back(make(i));
+    std::sort(out.begin(), out.end(), less);
+    return out;
+  }
+
+  // Step 1: sample and select pivots (paper Alg 3 lines 6-7).
+  const std::size_t num_buckets = detail_sort::num_sort_buckets(n);
+  const std::size_t sample_size = num_buckets * detail_sort::kOversample;
+  Rng rng(0x5a17e50);
+  std::vector<R> sample(sample_size);
+  parallel_for(0, sample_size,
+               [&](std::size_t i) { sample[i] = make(rng.ith_bounded(i, n)); });
+  std::sort(sample.begin(), sample.end(), less);
+  std::vector<R> pivots(num_buckets - 1);
+  for (std::size_t i = 0; i + 1 < num_buckets; ++i) {
+    pivots[i] = sample[(i + 1) * detail_sort::kOversample];
+  }
+
+  // Steps 2-3: blocked classification with on-first-touch record creation,
+  // then transpose scatter (Alg 3 lines 8-16). We materialise the records
+  // into `made` in input order while counting, then counting_sort_into
+  // scatters them bucket-contiguously.
+  std::vector<R> made(n);
+  parallel_for(0, n, [&](std::size_t i) { made[i] = make(i); });
+  out.resize(n);
+  std::vector<std::size_t> bucket_of(n);
+  parallel_for(0, n, [&](std::size_t i) {
+    bucket_of[i] = static_cast<std::size_t>(
+        std::upper_bound(pivots.begin(), pivots.end(), made[i], less) -
+        pivots.begin());
+  });
+  BucketOffsets offsets = counting_sort_into(
+      made.data(), out.data(), n, num_buckets,
+      [&](std::size_t i) { return bucket_of[i]; });
+
+  // Step 4: sort each bucket in parallel (Alg 3 lines 17-18).
+  parallel_for(
+      0, num_buckets,
+      [&](std::size_t k) {
+        auto first = out.begin() + static_cast<std::ptrdiff_t>(offsets[k]);
+        auto last = out.begin() + static_cast<std::ptrdiff_t>(offsets[k + 1]);
+        std::sort(first, last, less);
+      },
+      1);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// sample_sort (in place, by value)
+// ---------------------------------------------------------------------------
+
+template <typename T, typename Less = std::less<T>>
+void sample_sort(std::vector<T>& v, Less&& less = Less{}) {
+  if (v.size() <= detail_sort::kSortSeqThreshold || num_workers() <= 1) {
+    std::sort(v.begin(), v.end(), less);
+    return;
+  }
+  std::vector<T> sorted = sample_sort_transform<T>(
+      v.size(), [&](std::size_t i) { return v[i]; }, less);
+  v.swap(sorted);
+}
+
+// ---------------------------------------------------------------------------
+// merge_sort (stable)
+// ---------------------------------------------------------------------------
+
+namespace detail_sort {
+
+// Parallel merge of [a_lo,a_hi) and [b_lo,b_hi) from src into dst at d_lo,
+// splitting the larger run at its midpoint and binary-searching the other.
+template <typename T, typename Less>
+void parallel_merge(const std::vector<T>& src, std::vector<T>& dst,
+                    std::size_t a_lo, std::size_t a_hi, std::size_t b_lo,
+                    std::size_t b_hi, std::size_t d_lo, Less& less) {
+  const std::size_t na = a_hi - a_lo;
+  const std::size_t nb = b_hi - b_lo;
+  if (na + nb <= kSortSeqThreshold || num_workers() <= 1) {
+    std::merge(src.begin() + static_cast<std::ptrdiff_t>(a_lo),
+               src.begin() + static_cast<std::ptrdiff_t>(a_hi),
+               src.begin() + static_cast<std::ptrdiff_t>(b_lo),
+               src.begin() + static_cast<std::ptrdiff_t>(b_hi),
+               dst.begin() + static_cast<std::ptrdiff_t>(d_lo), less);
+    return;
+  }
+  if (na < nb) {
+    // Split B at its midpoint; find the stable split point in A
+    // (first element NOT less than the B pivot keeps A-before-B order).
+    const std::size_t b_mid = b_lo + nb / 2;
+    const std::size_t a_mid = static_cast<std::size_t>(
+        std::upper_bound(src.begin() + static_cast<std::ptrdiff_t>(a_lo),
+                         src.begin() + static_cast<std::ptrdiff_t>(a_hi),
+                         src[b_mid], less) -
+        src.begin());
+    const std::size_t d_mid = d_lo + (a_mid - a_lo) + (b_mid - b_lo);
+    par_do(
+        [&] { parallel_merge(src, dst, a_lo, a_mid, b_lo, b_mid, d_lo, less); },
+        [&] { parallel_merge(src, dst, a_mid, a_hi, b_mid, b_hi, d_mid, less); });
+  } else {
+    const std::size_t a_mid = a_lo + na / 2;
+    const std::size_t b_mid = static_cast<std::size_t>(
+        std::lower_bound(src.begin() + static_cast<std::ptrdiff_t>(b_lo),
+                         src.begin() + static_cast<std::ptrdiff_t>(b_hi),
+                         src[a_mid], less) -
+        src.begin());
+    const std::size_t d_mid = d_lo + (a_mid - a_lo) + (b_mid - b_lo);
+    par_do(
+        [&] { parallel_merge(src, dst, a_lo, a_mid, b_lo, b_mid, d_lo, less); },
+        [&] { parallel_merge(src, dst, a_mid, a_hi, b_mid, b_hi, d_mid, less); });
+  }
+}
+
+// Sort src[lo,hi); result lands in src if !to_buf, else in buf.
+template <typename T, typename Less>
+void merge_sort_rec(std::vector<T>& src, std::vector<T>& buf, std::size_t lo,
+                    std::size_t hi, bool to_buf, Less& less) {
+  const std::size_t n = hi - lo;
+  if (n <= kSortSeqThreshold || num_workers() <= 1) {
+    std::stable_sort(src.begin() + static_cast<std::ptrdiff_t>(lo),
+                     src.begin() + static_cast<std::ptrdiff_t>(hi), less);
+    if (to_buf) {
+      std::copy(src.begin() + static_cast<std::ptrdiff_t>(lo),
+                src.begin() + static_cast<std::ptrdiff_t>(hi),
+                buf.begin() + static_cast<std::ptrdiff_t>(lo));
+    }
+    return;
+  }
+  const std::size_t mid = lo + n / 2;
+  par_do([&] { merge_sort_rec(src, buf, lo, mid, !to_buf, less); },
+         [&] { merge_sort_rec(src, buf, mid, hi, !to_buf, less); });
+  // Children left their results in the *other* buffer; merge into ours.
+  if (to_buf) {
+    parallel_merge(src, buf, lo, mid, mid, hi, lo, less);
+  } else {
+    parallel_merge(buf, src, lo, mid, mid, hi, lo, less);
+  }
+}
+
+}  // namespace detail_sort
+
+template <typename T, typename Less = std::less<T>>
+void merge_sort(std::vector<T>& v, Less&& less = Less{}) {
+  if (v.size() <= detail_sort::kSortSeqThreshold || num_workers() <= 1) {
+    std::stable_sort(v.begin(), v.end(), less);
+    return;
+  }
+  std::vector<T> buf(v.size());
+  detail_sort::merge_sort_rec(v, buf, 0, v.size(), false, less);
+}
+
+}  // namespace psi

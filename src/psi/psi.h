@@ -1,0 +1,42 @@
+// PSI-Lib (Ψ-Lib): Parallel Spatial Index Library — umbrella header.
+//
+// Reproduction of "Parallel Dynamic Spatial Indexes" (PPoPP 2026).
+//
+// Index structures (all share the same interface: build / batch_insert /
+// batch_delete / knn / range_count / range_list / size):
+//
+//   psi::POrthTree<Coord, D>            paper contribution #1 (Sec 3)
+//   psi::SpacHTree<Coord, D>            paper contribution #2, Hilbert curve
+//   psi::SpacZTree<Coord, D>            paper contribution #2, Morton curve
+//   psi::SpacTree<...>(cpam_params())   CPAM-H / CPAM-Z baseline behaviour
+//   psi::PkdTree<Coord, D>              parallel kd-tree baseline
+//   psi::ZdTree<Coord, D>               Morton-sorted orth-tree baseline
+//   psi::RTree<Coord, D>                sequential quadratic R-tree baseline
+//   psi::BruteForceIndex<Coord, D>      O(n) oracle (tests)
+//
+// Substrates: psi::parallel (fork-join scheduler + primitives), psi::sfc
+// (Morton/Hilbert codecs), psi::datagen (paper workload generators).
+
+#pragma once
+
+#include "psi/baselines/brute_force.h"
+#include "psi/baselines/log_structured.h"
+#include "psi/bench/batch_queries.h"
+#include "psi/bench/index_stats.h"
+#include "psi/baselines/pkd_tree.h"
+#include "psi/baselines/rtree.h"
+#include "psi/baselines/zd_tree.h"
+#include "psi/core/porth/porth_tree.h"
+#include "psi/core/spac/spac_tree.h"
+#include "psi/datagen/generators.h"
+#include "psi/geometry/box.h"
+#include "psi/geometry/knn_buffer.h"
+#include "psi/geometry/point.h"
+#include "psi/geometry/region.h"
+#include "psi/io/dataset_io.h"
+#include "psi/parallel/counting_sort.h"
+#include "psi/parallel/primitives.h"
+#include "psi/parallel/random.h"
+#include "psi/parallel/scheduler.h"
+#include "psi/parallel/sort.h"
+#include "psi/sfc/codec.h"

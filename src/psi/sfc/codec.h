@@ -1,0 +1,84 @@
+// PSI-Lib: point -> SFC code codecs.
+//
+// A Codec maps a point with non-negative integer coordinates to a 64-bit
+// code whose order along the space-filling curve is the code's integer
+// order. The SFC-based indexes (SPaC-tree, Zd-tree, CPAM baseline) are
+// templated on a codec; the P-Orth tree uses none (its point of the paper).
+//
+// Precision: bits-per-dimension = 64 / D (2D: 32 bits, 3D: 21 bits), the
+// limits discussed in paper Sec 3. Coordinates outside [0, 2^bits) are
+// masked; callers (the data generators and loaders) are responsible for
+// scaling into range, as the paper does for its 3D datasets.
+
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+
+#include "psi/geometry/point.h"
+#include "psi/sfc/hilbert.h"
+#include "psi/sfc/morton.h"
+
+namespace psi::sfc {
+
+template <int D>
+constexpr int bits_per_dim() {
+  return 64 / D;
+}
+
+template <typename Coord, int D>
+constexpr std::array<std::uint64_t, D> to_unsigned(const Point<Coord, D>& p) {
+  constexpr std::uint64_t mask =
+      (bits_per_dim<D>() == 64) ? ~std::uint64_t{0}
+                                : ((std::uint64_t{1} << bits_per_dim<D>()) - 1);
+  std::array<std::uint64_t, D> u{};
+  for (int d = 0; d < D; ++d) {
+    assert(p[d] >= 0 && "SFC codecs require non-negative coordinates");
+    u[static_cast<std::size_t>(d)] = static_cast<std::uint64_t>(p[d]) & mask;
+  }
+  return u;
+}
+
+template <typename Coord, int D>
+struct MortonCodec {
+  using point_t = Point<Coord, D>;
+  static constexpr const char* name() { return "Z"; }
+
+  static constexpr std::uint64_t encode(const point_t& p) {
+    const auto u = to_unsigned(p);
+    if constexpr (D == 2) {
+      return morton2d(u[0], u[1]);
+    } else if constexpr (D == 3) {
+      return morton3d(u[0], u[1], u[2]);
+    } else {
+      // Generic bit-interleave for other dimensions.
+      constexpr int bits = bits_per_dim<D>();
+      std::uint64_t code = 0;
+      for (int j = bits - 1; j >= 0; --j) {
+        for (int i = 0; i < D; ++i) {
+          code = (code << 1) |
+                 ((u[static_cast<std::size_t>(i)] >> j) & std::uint64_t{1});
+        }
+      }
+      return code;
+    }
+  }
+};
+
+template <typename Coord, int D>
+struct HilbertCodec {
+  using point_t = Point<Coord, D>;
+  static constexpr const char* name() { return "H"; }
+
+  static std::uint64_t encode(const point_t& p) {
+    const auto u = to_unsigned(p);
+    if constexpr (D == 2) {
+      return hilbert2d_lut(u[0], u[1]);
+    } else {
+      return hilbert_encode<D>(u, bits_per_dim<D>());
+    }
+  }
+};
+
+}  // namespace psi::sfc

@@ -1,0 +1,81 @@
+// PSI-Lib: Morton (Z-order) curve encoding.
+//
+// Bit-interleaving via parallel-prefix magic masks (no BMI2 dependency).
+// 2D: 32 bits per dimension -> 64-bit code.
+// 3D: 21 bits per dimension -> 63-bit code.
+// These are the precision limits the paper discusses in Sec 3 ("64-bit words
+// suffice for 2D, 3D support is constrained to 21 bits per dimension").
+
+#pragma once
+
+#include <cstdint>
+
+namespace psi::sfc {
+
+// Spread the low 32 bits of x so there is one zero bit between consecutive
+// bits: ...b3 0 b2 0 b1 0 b0.
+constexpr std::uint64_t spread_bits_2d(std::uint64_t x) {
+  x &= 0xffffffffULL;
+  x = (x | (x << 16)) & 0x0000ffff0000ffffULL;
+  x = (x | (x << 8)) & 0x00ff00ff00ff00ffULL;
+  x = (x | (x << 4)) & 0x0f0f0f0f0f0f0f0fULL;
+  x = (x | (x << 2)) & 0x3333333333333333ULL;
+  x = (x | (x << 1)) & 0x5555555555555555ULL;
+  return x;
+}
+
+constexpr std::uint64_t compact_bits_2d(std::uint64_t x) {
+  x &= 0x5555555555555555ULL;
+  x = (x | (x >> 1)) & 0x3333333333333333ULL;
+  x = (x | (x >> 2)) & 0x0f0f0f0f0f0f0f0fULL;
+  x = (x | (x >> 4)) & 0x00ff00ff00ff00ffULL;
+  x = (x | (x >> 8)) & 0x0000ffff0000ffffULL;
+  x = (x | (x >> 16)) & 0x00000000ffffffffULL;
+  return x;
+}
+
+// Spread the low 21 bits of x with two zero bits between consecutive bits.
+constexpr std::uint64_t spread_bits_3d(std::uint64_t x) {
+  x &= 0x1fffffULL;
+  x = (x | (x << 32)) & 0x1f00000000ffffULL;
+  x = (x | (x << 16)) & 0x1f0000ff0000ffULL;
+  x = (x | (x << 8)) & 0x100f00f00f00f00fULL;
+  x = (x | (x << 4)) & 0x10c30c30c30c30c3ULL;
+  x = (x | (x << 2)) & 0x1249249249249249ULL;
+  return x;
+}
+
+constexpr std::uint64_t compact_bits_3d(std::uint64_t x) {
+  x &= 0x1249249249249249ULL;
+  x = (x | (x >> 2)) & 0x10c30c30c30c30c3ULL;
+  x = (x | (x >> 4)) & 0x100f00f00f00f00fULL;
+  x = (x | (x >> 8)) & 0x1f0000ff0000ffULL;
+  x = (x | (x >> 16)) & 0x1f00000000ffffULL;
+  x = (x | (x >> 32)) & 0x1fffffULL;
+  return x;
+}
+
+// code = y1 x1 y0 x0 ... (x contributes the low interleaved bit).
+constexpr std::uint64_t morton2d(std::uint64_t x, std::uint64_t y) {
+  return spread_bits_2d(x) | (spread_bits_2d(y) << 1);
+}
+
+constexpr void morton2d_decode(std::uint64_t code, std::uint64_t& x,
+                               std::uint64_t& y) {
+  x = compact_bits_2d(code);
+  y = compact_bits_2d(code >> 1);
+}
+
+constexpr std::uint64_t morton3d(std::uint64_t x, std::uint64_t y,
+                                 std::uint64_t z) {
+  return spread_bits_3d(x) | (spread_bits_3d(y) << 1) | (spread_bits_3d(z) << 2);
+}
+
+constexpr void morton3d_decode(std::uint64_t code, std::uint64_t& x,
+                               std::uint64_t& y, std::uint64_t& z) {
+  x = compact_bits_3d(code);
+  y = compact_bits_3d(code >> 1);
+  z = compact_bits_3d(code >> 2);
+}
+
+}  // namespace psi::sfc

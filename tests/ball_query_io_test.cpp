@@ -1,0 +1,204 @@
+// Tests for the ball (radius) queries on every index that supports them,
+// and for the dataset I/O round trips.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "psi/io/dataset_io.h"
+#include "psi/psi.h"
+#include "test_util.h"
+
+namespace psi {
+namespace {
+
+constexpr std::int64_t kMax = 1'000'000'000;
+
+class BallRadius : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(Radii, BallRadius,
+                         ::testing::Values(0.0, 1e6, 2e7, 1e8, 2e9));
+
+TEST_P(BallRadius, AllIndexesMatchOracle) {
+  const double radius = GetParam();
+  auto pts = datagen::varden<2>(6000, 1, kMax);
+  BruteForceIndex<std::int64_t, 2> oracle;
+  oracle.build(pts);
+  auto qs = datagen::ind_queries(pts, 10, 1, kMax);
+  auto qs_ood = datagen::ood_queries<2>(10, 1, kMax);
+  qs.insert(qs.end(), qs_ood.begin(), qs_ood.end());
+
+  POrthTree2 porth({}, Box2{{{0, 0}}, {{kMax, kMax}}});
+  porth.build(pts);
+  SpacHTree2 spach;
+  spach.build(pts);
+  SpacZTree2 spacz;
+  spacz.build(pts);
+  PkdTree2 pkd;
+  pkd.build(pts);
+  ZdTree2 zd;
+  zd.build(pts);
+
+  for (const auto& q : qs) {
+    const std::size_t expect = oracle.ball_count(q, radius);
+    EXPECT_EQ(porth.ball_count(q, radius), expect);
+    EXPECT_EQ(spach.ball_count(q, radius), expect);
+    EXPECT_EQ(spacz.ball_count(q, radius), expect);
+    EXPECT_EQ(pkd.ball_count(q, radius), expect);
+    EXPECT_EQ(zd.ball_count(q, radius), expect);
+    testutil::expect_same_multiset(porth.ball_list(q, radius),
+                                   oracle.ball_list(q, radius));
+    testutil::expect_same_multiset(spach.ball_list(q, radius),
+                                   oracle.ball_list(q, radius));
+    testutil::expect_same_multiset(pkd.ball_list(q, radius),
+                                   oracle.ball_list(q, radius));
+  }
+}
+
+TEST(BallQuery, CountAndListConsistentAfterUpdates) {
+  auto pts = datagen::uniform<2>(4000, 2, kMax);
+  SpacHTree2 tree;
+  tree.build(pts);
+  tree.batch_delete({pts.begin(), pts.begin() + 1000});
+  BruteForceIndex<std::int64_t, 2> oracle;
+  oracle.build(pts);
+  oracle.batch_delete({pts.begin(), pts.begin() + 1000});
+  const Point2 q{{kMax / 3, kMax / 3}};
+  for (double r : {5e6, 5e7, 5e8}) {
+    EXPECT_EQ(tree.ball_count(q, r), oracle.ball_count(q, r));
+    EXPECT_EQ(tree.ball_list(q, r).size(), tree.ball_count(q, r));
+  }
+}
+
+TEST(BallQuery, ZeroRadiusHitsExactPointOnly) {
+  std::vector<Point2> pts = {{{10, 10}}, {{10, 11}}, {{10, 10}}};
+  POrthTree2 tree({}, Box2{{{0, 0}}, {{100, 100}}});
+  tree.build(pts);
+  EXPECT_EQ(tree.ball_count(Point2{{10, 10}}, 0.0), 2u);  // both duplicates
+  EXPECT_EQ(tree.ball_count(Point2{{10, 12}}, 0.0), 0u);
+  EXPECT_EQ(tree.ball_count(Point2{{10, 12}}, 1.0), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel bulk-query helpers
+// ---------------------------------------------------------------------------
+
+TEST(BatchQueries, MatchPerQueryCalls) {
+  auto pts = datagen::uniform<2>(5000, 8, kMax);
+  SpacHTree2 tree;
+  tree.build(pts);
+  auto qs = datagen::ood_queries<2>(50, 8, kMax);
+  auto ranges = datagen::range_boxes(qs, 60'000'000, kMax);
+
+  auto knns = batch_knn(tree, qs, 5);
+  ASSERT_EQ(knns.size(), qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_EQ(knns[i], tree.knn(qs[i], 5));
+  }
+
+  auto counts = batch_range_count(tree, ranges);
+  auto lists = batch_range_list(tree, ranges);
+  ASSERT_EQ(counts.size(), ranges.size());
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    EXPECT_EQ(counts[i], tree.range_count(ranges[i]));
+    EXPECT_EQ(lists[i].size(), counts[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dataset I/O
+// ---------------------------------------------------------------------------
+
+TEST(DatasetIo, BinaryRoundTrip2D) {
+  auto pts = datagen::uniform<2>(10000, 3, kMax);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "psi_io_test.bin").string();
+  io::save_binary(path, pts);
+  auto loaded = io::load_binary<std::int64_t, 2>(path);
+  EXPECT_EQ(loaded, pts);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, BinaryRoundTrip3D) {
+  auto pts = datagen::cosmo_sim(5000, 4);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "psi_io_test3.bin").string();
+  io::save_binary(path, pts);
+  auto loaded = io::load_binary<std::int64_t, 3>(path);
+  EXPECT_EQ(loaded, pts);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, BinaryRejectsDimensionMismatch) {
+  auto pts = datagen::uniform<2>(100, 5, kMax);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "psi_io_mismatch.bin").string();
+  io::save_binary(path, pts);
+  EXPECT_THROW((io::load_binary<std::int64_t, 3>(path)), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, CsvRoundTrip) {
+  auto pts = datagen::varden<2>(2000, 6, kMax);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "psi_io_test.csv").string();
+  io::save_csv(path, pts);
+  auto loaded = io::load_csv<std::int64_t, 2>(path);
+  EXPECT_EQ(loaded, pts);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Index diagnostics
+// ---------------------------------------------------------------------------
+
+TEST(IndexStats, ReflectsBalanceQuality) {
+  auto pts = datagen::uniform<2>(30000, 9, kMax);
+
+  // A freshly built SPaC tree is near-perfectly balanced.
+  SpacHTree2 spac;
+  spac.build(pts);
+  auto s = index_stats(spac, 2.0, 40.0);
+  EXPECT_EQ(s.size, pts.size());
+  EXPECT_GE(s.height_ratio, 0.8);
+  EXPECT_LE(s.height_ratio, 1.6);
+
+  // A P-Orth tree on uniform data is close to a balanced 4-ary tree.
+  POrthTree2 porth({}, Box2{{{0, 0}}, {{kMax, kMax}}});
+  porth.build(pts);
+  auto p = index_stats(porth, 4.0, 32.0);
+  EXPECT_EQ(p.size, pts.size());
+  EXPECT_GE(p.height_ratio, 0.8);
+  EXPECT_LE(p.height_ratio, 2.5);
+
+  // On heavily clustered data the orth-tree's ratio visibly degrades
+  // relative to uniform (the skew sensitivity of Sec 5.1.1).
+  auto skewed = datagen::varden<2>(30000, 9, kMax);
+  POrthTree2 porth_skew({}, Box2{{{0, 0}}, {{kMax, kMax}}});
+  porth_skew.build(skewed);
+  EXPECT_GT(index_stats(porth_skew, 4.0, 32.0).height_ratio, p.height_ratio);
+}
+
+TEST(IndexStats, SmallAndEmptyTrees) {
+  SpacHTree2 empty;
+  auto e = index_stats(empty, 2.0, 40.0);
+  EXPECT_EQ(e.size, 0u);
+  EXPECT_EQ(e.height, 0u);
+  SpacHTree2 tiny;
+  tiny.batch_insert({Point2{{1, 1}}, Point2{{2, 2}}});
+  auto t = index_stats(tiny, 2.0, 40.0);
+  EXPECT_EQ(t.size, 2u);
+  EXPECT_EQ(t.height, 1u);
+}
+
+TEST(DatasetIo, MissingFileThrows) {
+  EXPECT_THROW((io::load_binary<std::int64_t, 2>("/nonexistent/psi.bin")),
+               std::runtime_error);
+  EXPECT_THROW((io::load_csv<std::int64_t, 2>("/nonexistent/psi.csv")),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace psi

@@ -1,0 +1,167 @@
+// Tests for the dataset generators: determinism, bounds, and the statistical
+// shape each distribution is supposed to have (uniform spread, sweepline
+// order, varden/osm/cosmo clustering).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "psi/datagen/generators.h"
+
+namespace psi::datagen {
+namespace {
+
+constexpr std::int64_t kMax = 1'000'000'000;
+
+template <typename P>
+void expect_in_bounds(const std::vector<P>& pts, std::int64_t coord_max) {
+  for (const auto& p : pts) {
+    for (int d = 0; d < P::kDim; ++d) {
+      ASSERT_GE(p[d], 0);
+      ASSERT_LE(p[d], coord_max);
+    }
+  }
+}
+
+TEST(Datagen, UniformDeterministicAndBounded) {
+  auto a = uniform<2>(10000, 42, kMax);
+  auto b = uniform<2>(10000, 42, kMax);
+  auto c = uniform<2>(10000, 43, kMax);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  expect_in_bounds(a, kMax);
+}
+
+TEST(Datagen, UniformCoversAllQuadrantsEvenly) {
+  auto pts = uniform<2>(40000, 1, kMax);
+  std::array<int, 4> quad{};
+  for (const auto& p : pts) {
+    const int qi = (p[0] > kMax / 2 ? 1 : 0) + (p[1] > kMax / 2 ? 2 : 0);
+    ++quad[static_cast<std::size_t>(qi)];
+  }
+  for (int q : quad) {
+    EXPECT_GT(q, 9000);
+    EXPECT_LT(q, 11000);
+  }
+}
+
+TEST(Datagen, SweeplineSortedOnDim0) {
+  auto pts = sweepline<2>(20000, 7, kMax);
+  EXPECT_TRUE(std::is_sorted(pts.begin(), pts.end(),
+                             [](const auto& a, const auto& b) { return a[0] < b[0]; }));
+  expect_in_bounds(pts, kMax);
+  // Still uniform overall on dim 1.
+  std::size_t above = 0;
+  for (const auto& p : pts) above += p[1] > kMax / 2 ? 1 : 0;
+  EXPECT_GT(above, pts.size() * 2 / 5);
+  EXPECT_LT(above, pts.size() * 3 / 5);
+}
+
+TEST(Datagen, VardenIsClustered) {
+  // Clustering proxy: the average nearest-consecutive-point distance within
+  // a segment is tiny relative to the space, while uniform data is not.
+  const std::size_t n = 50000;
+  auto v = varden<2>(n, 11, kMax);
+  auto u = uniform<2>(n, 11, kMax);
+  expect_in_bounds(v, kMax);
+  auto mean_step = [](const std::vector<Point2>& pts) {
+    double acc = 0;
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+      acc += std::sqrt(squared_distance(pts[i - 1], pts[i]));
+    }
+    return acc / static_cast<double>(pts.size() - 1);
+  };
+  EXPECT_LT(mean_step(v) * 100, mean_step(u));
+}
+
+TEST(Datagen, VardenDeterministic) {
+  EXPECT_EQ((varden<3>(5000, 3, 1000000)), (varden<3>(5000, 3, 1000000)));
+}
+
+TEST(Datagen, OsmSimClusteredAndBounded) {
+  const std::size_t n = 50000;
+  auto pts = osm_sim(n, 5);
+  ASSERT_EQ(pts.size(), n);
+  expect_in_bounds(pts, kDefaultMax2D);
+  // Clustered: the occupied fraction of a coarse grid is well below uniform.
+  auto occupied = [](const std::vector<Point2>& ps, std::int64_t mx) {
+    std::set<std::pair<int, int>> cells;
+    for (const auto& p : ps) {
+      cells.insert({static_cast<int>(p[0] * 64 / (mx + 1)),
+                    static_cast<int>(p[1] * 64 / (mx + 1))});
+    }
+    return cells.size();
+  };
+  const auto occ_osm = occupied(pts, kDefaultMax2D);
+  const auto occ_uni = occupied(uniform<2>(n, 5, kDefaultMax2D), kDefaultMax2D);
+  EXPECT_LT(occ_osm, occ_uni);
+}
+
+TEST(Datagen, CosmoSimClusteredAndBounded) {
+  const std::size_t n = 50000;
+  auto pts = cosmo_sim(n, 9);
+  ASSERT_EQ(pts.size(), n);
+  expect_in_bounds(pts, kDefaultMax3D);
+  // Heavy clustering: median pairwise-consecutive distances are small.
+  double small = 0;
+  for (std::size_t i = 1; i < n; i += 7) {
+    if (squared_distance(pts[i - 1], pts[i]) <
+        1e-4 * static_cast<double>(kDefaultMax3D) *
+            static_cast<double>(kDefaultMax3D)) {
+      ++small;
+    }
+  }
+  EXPECT_GT(small, 0);
+}
+
+TEST(Datagen, DedupRemovesDuplicatesOnly) {
+  std::vector<Point2> pts = {{{1, 1}}, {{2, 2}}, {{1, 1}}, {{3, 3}}, {{2, 2}}};
+  auto d = dedup(pts);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(d.begin(), d.end()));
+}
+
+TEST(Datagen, IndQueriesNearData) {
+  auto data = varden<2>(20000, 13, kMax);
+  auto qs = ind_queries(data, 500, 13, kMax);
+  ASSERT_EQ(qs.size(), 500u);
+  expect_in_bounds(qs, kMax);
+  // Each InD query must be close to *some* data point (it was jittered from
+  // one by <= kMax/100000 per axis).
+  const double max_jit = 2.0 * (kMax / 100000.0) * (kMax / 100000.0) * 2;
+  for (std::size_t i = 0; i < 20; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& p : data) best = std::min(best, squared_distance(qs[i], p));
+    EXPECT_LE(best, max_jit);
+  }
+}
+
+TEST(Datagen, OodQueriesUniform) {
+  auto qs = ood_queries<2>(10000, 17, kMax);
+  expect_in_bounds(qs, kMax);
+  std::size_t above = 0;
+  for (const auto& q : qs) above += q[0] > kMax / 2 ? 1 : 0;
+  EXPECT_GT(above, 4000u);
+  EXPECT_LT(above, 6000u);
+}
+
+TEST(Datagen, RangeBoxesClampedAndSized) {
+  std::vector<Point2> anchors = {{{0, 0}}, {{kMax, kMax}}, {{kMax / 2, kMax / 2}}};
+  auto boxes = range_boxes(anchors, 1000, kMax);
+  ASSERT_EQ(boxes.size(), 3u);
+  EXPECT_EQ(boxes[0].lo, (Point2{{0, 0}}));
+  EXPECT_EQ(boxes[1].hi, (Point2{{kMax, kMax}}));
+  EXPECT_EQ(boxes[2].hi[0] - boxes[2].lo[0], 1000);
+  for (const auto& b : boxes) {
+    EXPECT_FALSE(b.is_empty());
+    EXPECT_TRUE(b.contains(Point2{{b.lo[0], b.lo[1]}}));
+  }
+}
+
+}  // namespace
+}  // namespace psi::datagen

@@ -1,0 +1,164 @@
+// Tests for points, boxes (containment, intersection, min-distance), and
+// the kNN buffer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "psi/geometry/box.h"
+#include "psi/geometry/knn_buffer.h"
+#include "psi/geometry/point.h"
+#include "psi/parallel/random.h"
+
+namespace psi {
+namespace {
+
+TEST(Point, ComparisonAndAccess) {
+  Point2 a{{1, 2}}, b{{1, 3}}, c{{1, 2}};
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a[1], 2);
+  a[1] = 9;
+  EXPECT_EQ(a[1], 9);
+}
+
+TEST(Point, SquaredDistance) {
+  Point2 a{{0, 0}}, b{{3, 4}};
+  EXPECT_DOUBLE_EQ(squared_distance(a, b), 25.0);
+  Point3 c{{1, 1, 1}}, d{{2, 2, 2}};
+  EXPECT_DOUBLE_EQ(squared_distance(c, d), 3.0);
+}
+
+TEST(Point, SquaredDistanceNoOverflowAtCoordinateExtremes) {
+  Point2 a{{0, 0}}, b{{1'000'000'000, 1'000'000'000}};
+  EXPECT_DOUBLE_EQ(squared_distance(a, b), 2e18);
+}
+
+TEST(Box, EmptyBoxProperties) {
+  auto e = Box2::empty();
+  EXPECT_TRUE(e.is_empty());
+  EXPECT_FALSE(e.contains(Point2{{0, 0}}));
+  auto b = Box2::of_point(Point2{{5, 5}});
+  EXPECT_FALSE(b.is_empty());
+  // Merging with empty is identity.
+  auto m = merged(e, b);
+  EXPECT_EQ(m, b);
+}
+
+TEST(Box, ExpandAndContains) {
+  auto b = Box2::of_point(Point2{{0, 0}});
+  b.expand(Point2{{10, -5}});
+  EXPECT_TRUE(b.contains(Point2{{5, -2}}));
+  EXPECT_TRUE(b.contains(Point2{{10, 0}}));  // boundary inclusive
+  EXPECT_FALSE(b.contains(Point2{{11, 0}}));
+  EXPECT_FALSE(b.contains(Point2{{5, 1}}));
+}
+
+TEST(Box, BoxContainsBox) {
+  Box2 outer{{{0, 0}}, {{10, 10}}};
+  Box2 inner{{{2, 2}}, {{8, 8}}};
+  EXPECT_TRUE(outer.contains(inner));
+  EXPECT_FALSE(inner.contains(outer));
+  Box2 straddle{{{5, 5}}, {{15, 15}}};
+  EXPECT_FALSE(outer.contains(straddle));
+  EXPECT_TRUE(outer.intersects(straddle));
+}
+
+TEST(Box, IntersectsIsSymmetricAndBoundaryInclusive) {
+  Box2 a{{{0, 0}}, {{5, 5}}};
+  Box2 b{{{5, 5}}, {{9, 9}}};  // touch at a corner
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_TRUE(b.intersects(a));
+  Box2 c{{{6, 0}}, {{9, 4}}};
+  EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(Box, MinSquaredDistanceRegions) {
+  Box2 b{{{0, 0}}, {{10, 10}}};
+  EXPECT_DOUBLE_EQ(min_squared_distance(b, Point2{{5, 5}}), 0.0);    // inside
+  EXPECT_DOUBLE_EQ(min_squared_distance(b, Point2{{10, 10}}), 0.0);  // corner
+  EXPECT_DOUBLE_EQ(min_squared_distance(b, Point2{{13, 14}}), 25.0);  // corner out
+  EXPECT_DOUBLE_EQ(min_squared_distance(b, Point2{{-3, 5}}), 9.0);    // face out
+}
+
+TEST(Box, MinSquaredDistanceMatchesBruteForceOverGrid) {
+  Box2 b{{{3, 4}}, {{7, 9}}};
+  Rng rng(5);
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    Point2 q{{static_cast<std::int64_t>(rng.ith_bounded(2 * i, 20)) - 5,
+              static_cast<std::int64_t>(rng.ith_bounded(2 * i + 1, 20)) - 5}};
+    double best = std::numeric_limits<double>::infinity();
+    for (std::int64_t x = b.lo[0]; x <= b.hi[0]; ++x) {
+      for (std::int64_t y = b.lo[1]; y <= b.hi[1]; ++y) {
+        best = std::min(best, squared_distance(q, Point2{{x, y}}));
+      }
+    }
+    EXPECT_DOUBLE_EQ(min_squared_distance(b, q), best) << q;
+  }
+}
+
+TEST(Box, AreaAndEnlargement) {
+  Box2 b{{{0, 0}}, {{4, 5}}};
+  EXPECT_DOUBLE_EQ(box_area(b), 20.0);
+  EXPECT_DOUBLE_EQ(enlargement(b, Point2{{2, 2}}), 0.0);
+  EXPECT_DOUBLE_EQ(enlargement(b, Point2{{8, 5}}), 20.0);  // 8*5 - 4*5
+  Box2 o{{{4, 0}}, {{6, 5}}};
+  EXPECT_DOUBLE_EQ(enlargement(b, o), 10.0);
+}
+
+TEST(KnnBuffer, KeepsKSmallest) {
+  KnnBuffer<Point2> buf(3);
+  EXPECT_EQ(buf.worst(), std::numeric_limits<double>::infinity());
+  buf.offer(9, Point2{{3, 0}});
+  buf.offer(1, Point2{{1, 0}});
+  buf.offer(16, Point2{{4, 0}});
+  EXPECT_TRUE(buf.full());
+  EXPECT_DOUBLE_EQ(buf.worst(), 16.0);
+  buf.offer(4, Point2{{2, 0}});  // evicts 16
+  EXPECT_DOUBLE_EQ(buf.worst(), 9.0);
+  buf.offer(25, Point2{{5, 0}});  // ignored
+  auto sorted = buf.sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_DOUBLE_EQ(sorted[0].dist2, 1.0);
+  EXPECT_DOUBLE_EQ(sorted[1].dist2, 4.0);
+  EXPECT_DOUBLE_EQ(sorted[2].dist2, 9.0);
+}
+
+TEST(KnnBuffer, MatchesSortOracleOnRandomStream) {
+  Rng rng(6);
+  const std::size_t k = 10, n = 5000;
+  KnnBuffer<Point2> buf(k);
+  std::vector<double> all;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(rng.ith_bounded(i, 1000000));
+    buf.offer(d, Point2{{static_cast<std::int64_t>(i), 0}});
+    all.push_back(d);
+  }
+  std::sort(all.begin(), all.end());
+  auto sorted = buf.sorted();
+  ASSERT_EQ(sorted.size(), k);
+  for (std::size_t i = 0; i < k; ++i) {
+    EXPECT_DOUBLE_EQ(sorted[i].dist2, all[i]);
+  }
+}
+
+TEST(KnnBuffer, CapacityOneAndUnderfill) {
+  KnnBuffer<Point2> one(1);
+  one.offer(5, Point2{{1, 1}});
+  one.offer(2, Point2{{2, 2}});
+  one.offer(7, Point2{{3, 3}});
+  ASSERT_EQ(one.sorted().size(), 1u);
+  EXPECT_DOUBLE_EQ(one.sorted()[0].dist2, 2.0);
+
+  KnnBuffer<Point2> big(100);
+  big.offer(1, Point2{{0, 0}});
+  EXPECT_FALSE(big.full());
+  EXPECT_EQ(big.size(), 1u);
+  EXPECT_EQ(big.worst(), std::numeric_limits<double>::infinity());
+}
+
+}  // namespace
+}  // namespace psi

@@ -1,0 +1,159 @@
+// Cross-index integration tests: every index in the library runs the same
+// randomized mixed workload (build, interleaved batch inserts/deletes, kNN
+// and range queries) and must agree with the brute-force oracle —
+// parameterized over distribution × dimension.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "psi/psi.h"
+#include "test_util.h"
+
+namespace psi {
+namespace {
+
+constexpr std::int64_t kMax2 = 1'000'000'000;
+
+struct MixCase {
+  const char* name;
+  int dist;           // 0 uniform, 1 varden, 2 sweepline, 3 osm
+  std::size_t batch;  // update batch size
+};
+
+class MixedWorkload : public ::testing::TestWithParam<MixCase> {
+ protected:
+  std::vector<Point2> make_points(std::size_t n, std::uint64_t seed) const {
+    switch (GetParam().dist) {
+      case 1:
+        return datagen::varden<2>(n, seed, kMax2);
+      case 2:
+        return datagen::sweepline<2>(n, seed, kMax2);
+      case 3:
+        return datagen::osm_sim(n, seed, kMax2);
+      default:
+        return datagen::uniform<2>(n, seed, kMax2);
+    }
+  }
+
+  // Drives `index` and the oracle through the same update stream, checking
+  // agreement after every round and full query agreement at the end.
+  template <typename Index>
+  void run(Index& index) const {
+    const std::size_t n = 4000;
+    const std::size_t batch = GetParam().batch;
+    auto pts = make_points(n, 42);
+    BruteForceIndex<std::int64_t, 2> oracle;
+    std::vector<Point2> live;
+    for (std::size_t lo = 0; lo < pts.size(); lo += batch) {
+      const auto hi = std::min(pts.size(), lo + batch);
+      std::vector<Point2> ins(pts.begin() + static_cast<std::ptrdiff_t>(lo),
+                              pts.begin() + static_cast<std::ptrdiff_t>(hi));
+      index.batch_insert(ins);
+      oracle.batch_insert(ins);
+      live.insert(live.end(), ins.begin(), ins.end());
+      if ((lo / batch) % 2 == 1) {
+        std::vector<Point2> dels;
+        for (std::size_t i = 0; i < live.size(); i += 6) dels.push_back(live[i]);
+        index.batch_delete(dels);
+        oracle.batch_delete(dels);
+        for (const auto& d : dels) {
+          auto it = std::find(live.begin(), live.end(), d);
+          if (it != live.end()) {
+            *it = live.back();
+            live.pop_back();
+          }
+        }
+      }
+      ASSERT_EQ(index.size(), oracle.size());
+    }
+    auto ind = datagen::ind_queries(oracle.points(), 15, 42, kMax2);
+    auto ood = datagen::ood_queries<2>(15, 42, kMax2);
+    auto ranges = datagen::range_boxes(ood, 90'000'000, kMax2);
+    testutil::expect_queries_match(index, oracle, ind, 10, ranges);
+    testutil::expect_queries_match(index, oracle, ood, 10, ranges);
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, MixedWorkload,
+    ::testing::Values(MixCase{"uniform_large", 0, 800},
+                      MixCase{"uniform_small", 0, 80},
+                      MixCase{"varden_large", 1, 800},
+                      MixCase{"varden_small", 1, 80},
+                      MixCase{"sweepline", 2, 400},
+                      MixCase{"osm", 3, 400}),
+    [](const auto& info) { return info.param.name; });
+
+TEST_P(MixedWorkload, POrth) {
+  POrthTree2 tree({}, Box2{{{0, 0}}, {{kMax2, kMax2}}});
+  run(tree);
+  EXPECT_NO_THROW(tree.check_invariants());
+}
+
+TEST_P(MixedWorkload, SpacHilbert) {
+  SpacHTree2 tree;
+  run(tree);
+  EXPECT_NO_THROW(tree.check_invariants());
+}
+
+TEST_P(MixedWorkload, SpacMorton) {
+  SpacZTree2 tree;
+  run(tree);
+  EXPECT_NO_THROW(tree.check_invariants());
+}
+
+TEST_P(MixedWorkload, CpamHilbert) {
+  SpacHTree2 tree(cpam_params());
+  run(tree);
+  EXPECT_NO_THROW(tree.check_invariants());
+}
+
+TEST_P(MixedWorkload, Pkd) {
+  PkdTree2 tree;
+  run(tree);
+  EXPECT_NO_THROW(tree.check_invariants());
+}
+
+TEST_P(MixedWorkload, Zd) {
+  ZdTree2 tree;
+  run(tree);
+  EXPECT_NO_THROW(tree.check_invariants());
+}
+
+TEST_P(MixedWorkload, RTreeSequential) {
+  RTree2 tree;
+  run(tree);
+  EXPECT_NO_THROW(tree.check_invariants());
+}
+
+// 3D smoke version of the same drill for the primary indexes.
+TEST(MixedWorkload3D, AllPrimaryIndexes) {
+  auto pts = datagen::cosmo_sim(3000, 7);
+  BruteForceIndex<std::int64_t, 3> oracle;
+  oracle.build(pts);
+  auto qs = datagen::ood_queries<3>(10, 7, datagen::kDefaultMax3D);
+  auto ranges = datagen::range_boxes(qs, 120'000, datagen::kDefaultMax3D);
+
+  POrthTree3 porth({}, Box3{{{0, 0, 0}},
+                            {{datagen::kDefaultMax3D, datagen::kDefaultMax3D,
+                              datagen::kDefaultMax3D}}});
+  porth.build(pts);
+  testutil::expect_queries_match(porth, oracle, qs, 10, ranges);
+
+  SpacHTree3 spach;
+  spach.build(pts);
+  testutil::expect_queries_match(spach, oracle, qs, 10, ranges);
+
+  PkdTree3 pkd;
+  pkd.build(pts);
+  testutil::expect_queries_match(pkd, oracle, qs, 10, ranges);
+
+  ZdTree3 zd;
+  zd.build(pts);
+  testutil::expect_queries_match(zd, oracle, qs, 10, ranges);
+}
+
+}  // namespace
+}  // namespace psi

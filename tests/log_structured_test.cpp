@@ -1,0 +1,139 @@
+// Tests for the Log-tree (logarithmic method) and BHL-tree (rebuild-on-
+// update) baselines: component structure invariants, query correctness vs
+// the oracle, incremental updates. Both treat the index as a set of
+// distinct points (paper datasets are deduplicated).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "psi/baselines/brute_force.h"
+#include "psi/baselines/log_structured.h"
+#include "psi/datagen/generators.h"
+#include "test_util.h"
+
+namespace psi {
+namespace {
+
+constexpr std::int64_t kMax = 1'000'000'000;
+
+std::vector<Point2> distinct_points(std::size_t n, std::uint64_t seed) {
+  auto pts = datagen::dedup(datagen::uniform<2>(n + n / 10, seed, kMax));
+  pts.resize(std::min(pts.size(), n));
+  return pts;
+}
+
+TEST(LogTree, BuildAndComponentInvariants) {
+  auto pts = distinct_points(20000, 1);
+  LogTree2 tree;
+  tree.build(pts);
+  EXPECT_EQ(tree.size(), pts.size());
+  EXPECT_NO_THROW(tree.check_invariants());
+  testutil::expect_same_multiset(tree.flatten(), pts);
+}
+
+TEST(LogTree, IncrementalInsertGrowsLogarithmicComponents) {
+  auto pts = distinct_points(16000, 2);
+  LogTree2 tree;
+  const std::size_t batch = 500;
+  for (std::size_t lo = 0; lo < pts.size(); lo += batch) {
+    const auto hi = std::min(pts.size(), lo + batch);
+    tree.batch_insert({pts.begin() + static_cast<std::ptrdiff_t>(lo),
+                       pts.begin() + static_cast<std::ptrdiff_t>(hi)});
+    ASSERT_EQ(tree.size(), hi);
+    ASSERT_NO_THROW(tree.check_invariants());
+  }
+  // The binary-counter invariant bounds the number of components by
+  // log2(n / base) + O(1).
+  EXPECT_LE(tree.num_components(), 12u);
+}
+
+TEST(LogTree, QueriesMatchOracleAcrossComponents) {
+  auto pts = distinct_points(8000, 3);
+  LogTree2 tree;
+  // Insert in uneven chunks so several components of different levels
+  // coexist — the case where per-component kNN merging matters.
+  std::size_t lo = 0;
+  for (std::size_t chunk : {4000u, 100u, 2000u, 300u, 1600u}) {
+    const auto hi = std::min(pts.size(), lo + chunk);
+    tree.batch_insert({pts.begin() + static_cast<std::ptrdiff_t>(lo),
+                       pts.begin() + static_cast<std::ptrdiff_t>(hi)});
+    lo = hi;
+  }
+  EXPECT_GE(tree.num_components(), 2u);
+  BruteForceIndex<std::int64_t, 2> oracle;
+  oracle.build({pts.begin(), pts.begin() + static_cast<std::ptrdiff_t>(lo)});
+  auto qs = datagen::ood_queries<2>(25, 3, kMax);
+  auto ranges = datagen::range_boxes(qs, 80'000'000, kMax);
+  testutil::expect_queries_match(tree, oracle, qs, 10, ranges);
+}
+
+TEST(LogTree, DeleteAcrossComponentsAndCompaction) {
+  auto pts = distinct_points(8000, 4);
+  LogTree2 tree;
+  const std::size_t batch = 1000;
+  for (std::size_t lo = 0; lo < pts.size(); lo += batch) {
+    const auto hi = std::min(pts.size(), lo + batch);
+    tree.batch_insert({pts.begin() + static_cast<std::ptrdiff_t>(lo),
+                       pts.begin() + static_cast<std::ptrdiff_t>(hi)});
+  }
+  // Delete 3/4 of everything: compaction must kick in.
+  std::vector<Point2> dels;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (i % 4 != 0) dels.push_back(pts[i]);
+  }
+  tree.batch_delete(dels);
+  EXPECT_EQ(tree.size(), pts.size() - dels.size());
+  EXPECT_NO_THROW(tree.check_invariants());
+  BruteForceIndex<std::int64_t, 2> oracle;
+  oracle.build(pts);
+  oracle.batch_delete(dels);
+  auto qs = datagen::ood_queries<2>(20, 4, kMax);
+  auto ranges = datagen::range_boxes(qs, 80'000'000, kMax);
+  testutil::expect_queries_match(tree, oracle, qs, 10, ranges);
+}
+
+TEST(LogTree, DeleteEverythingEmptiesAllComponents) {
+  auto pts = distinct_points(3000, 5);
+  LogTree2 tree;
+  tree.build(pts);
+  tree.batch_delete(pts);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.num_components(), 0u);
+  tree.batch_insert(pts);
+  EXPECT_EQ(tree.size(), pts.size());
+}
+
+TEST(BhlTree, RebuildOnEveryBatchKeepsPerfectQuality) {
+  auto pts = distinct_points(8000, 6);
+  const std::size_t half = pts.size() / 2;
+  BhlTree2 tree;
+  tree.build({pts.begin(), pts.begin() + static_cast<std::ptrdiff_t>(half)});
+  tree.batch_insert({pts.begin() + static_cast<std::ptrdiff_t>(half), pts.end()});
+  EXPECT_EQ(tree.size(), pts.size());
+  EXPECT_NO_THROW(tree.check_invariants());
+  BruteForceIndex<std::int64_t, 2> oracle;
+  oracle.build(pts);
+  auto qs = datagen::ood_queries<2>(20, 6, kMax);
+  auto ranges = datagen::range_boxes(qs, 80'000'000, kMax);
+  testutil::expect_queries_match(tree, oracle, qs, 10, ranges);
+
+  std::vector<Point2> dels(pts.begin(),
+                           pts.begin() + static_cast<std::ptrdiff_t>(half));
+  tree.batch_delete(dels);
+  oracle.batch_delete(dels);
+  EXPECT_EQ(tree.size(), oracle.size());
+  testutil::expect_queries_match(tree, oracle, qs, 10, ranges);
+}
+
+TEST(BhlTree, EmptyAndSmall) {
+  BhlTree2 tree;
+  EXPECT_TRUE(tree.empty());
+  tree.batch_insert({Point2{{1, 2}}});
+  EXPECT_EQ(tree.size(), 1u);
+  tree.batch_delete({Point2{{1, 2}}});
+  EXPECT_TRUE(tree.empty());
+}
+
+}  // namespace
+}  // namespace psi

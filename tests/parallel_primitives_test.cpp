@@ -1,0 +1,130 @@
+// Tests for reduce / scan / pack / tabulate / flatten against serial oracles,
+// parameterized over input sizes to cover sequential fast paths and the
+// blocked parallel paths.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "psi/parallel/primitives.h"
+#include "psi/parallel/random.h"
+
+namespace psi {
+namespace {
+
+class PrimitivesSizes : public ::testing::TestWithParam<std::size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PrimitivesSizes,
+                         ::testing::Values(0, 1, 2, 100, 2047, 2048, 2049,
+                                           10000, 100001));
+
+std::vector<std::int64_t> random_values(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int64_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::int64_t>(rng.ith_bounded(i, 1000)) - 500;
+  }
+  return v;
+}
+
+TEST_P(PrimitivesSizes, ReduceSumMatchesAccumulate) {
+  auto v = random_values(GetParam(), 1);
+  const auto expect = std::accumulate(v.begin(), v.end(), std::int64_t{0});
+  EXPECT_EQ(reduce_sum(v.begin(), v.end()), expect);
+}
+
+TEST_P(PrimitivesSizes, ReduceMaxMatchesOracle) {
+  auto v = random_values(GetParam(), 2);
+  const std::int64_t id = std::numeric_limits<std::int64_t>::min();
+  std::int64_t expect = id;
+  for (auto x : v) expect = std::max(expect, x);
+  const auto got = psi::reduce(
+      v.begin(), v.end(), id,
+      [](std::int64_t a, std::int64_t b) { return std::max(a, b); });
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(PrimitivesSizes, ScanExclusiveMatchesOracle) {
+  auto v = random_values(GetParam(), 3);
+  auto expect = v;
+  std::int64_t acc = 0;
+  for (auto& x : expect) {
+    const auto nxt = acc + x;
+    x = acc;
+    acc = nxt;
+  }
+  auto got = v;
+  const auto total = scan_exclusive(got);
+  EXPECT_EQ(total, acc);
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(PrimitivesSizes, PackKeepsOrderAndElements) {
+  auto v = random_values(GetParam(), 4);
+  auto got = pack(v.begin(), v.end(), [&](std::size_t i) { return v[i] % 3 == 0; });
+  std::vector<std::int64_t> expect;
+  for (auto x : v) {
+    if (x % 3 == 0) expect.push_back(x);
+  }
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(PrimitivesSizes, FilterByValue) {
+  auto v = random_values(GetParam(), 5);
+  auto got = filter(v, [](std::int64_t x) { return x > 0; });
+  std::vector<std::int64_t> expect;
+  for (auto x : v) {
+    if (x > 0) expect.push_back(x);
+  }
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(PrimitivesSizes, TabulateIdentity) {
+  const std::size_t n = GetParam();
+  auto v = tabulate<std::size_t>(n, [](std::size_t i) { return i * 2; });
+  ASSERT_EQ(v.size(), n);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(v[i], 2 * i);
+}
+
+TEST(Primitives, FlattenConcatenatesInOrder) {
+  std::vector<std::vector<int>> parts = {{1, 2}, {}, {3}, {4, 5, 6}, {}};
+  EXPECT_EQ(flatten(parts), (std::vector<int>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(Primitives, FlattenManyParts) {
+  std::vector<std::vector<int>> parts(1000);
+  std::vector<int> expect;
+  for (int i = 0; i < 1000; ++i) {
+    for (int j = 0; j < i % 5; ++j) {
+      parts[static_cast<std::size_t>(i)].push_back(i);
+      expect.push_back(i);
+    }
+  }
+  EXPECT_EQ(flatten(parts), expect);
+}
+
+TEST(Primitives, MapAppliesFunction) {
+  std::vector<int> v = {1, 2, 3};
+  auto doubled = map(v, [](int x) { return x * 2.5; });
+  ASSERT_EQ(doubled.size(), 3u);
+  EXPECT_DOUBLE_EQ(doubled[2], 7.5);
+}
+
+TEST(Rng, DeterministicAndSplittable) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.ith(7), b.ith(7));
+  EXPECT_NE(a.ith(7), c.ith(7));
+  EXPECT_NE(a.split(1).ith(0), a.split(2).ith(0));
+  // Bounded draws stay in range.
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_LT(a.ith_bounded(i, 17), 17u);
+    const double d = a.ith_double(i);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace psi

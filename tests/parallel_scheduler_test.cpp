@@ -1,0 +1,121 @@
+// Tests for the fork-join scheduler: nesting, determinism of results,
+// exception propagation, and parallel_for partitioning.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "psi/parallel/scheduler.h"
+
+namespace psi {
+namespace {
+
+TEST(Scheduler, ParDoRunsBothSides) {
+  int a = 0, b = 0;
+  par_do([&] { a = 1; }, [&] { b = 2; });
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+}
+
+TEST(Scheduler, ParDo3RunsAllThree) {
+  int a = 0, b = 0, c = 0;
+  par_do3([&] { a = 1; }, [&] { b = 2; }, [&] { c = 3; });
+  EXPECT_EQ(a + b + c, 6);
+}
+
+// Deep nesting must not deadlock (stealing joins).
+std::uint64_t parallel_fib(int n) {
+  if (n < 2) return static_cast<std::uint64_t>(n);
+  std::uint64_t x = 0, y = 0;
+  if (n < 12) return parallel_fib(n - 1) + parallel_fib(n - 2);
+  par_do([&] { x = parallel_fib(n - 1); }, [&] { y = parallel_fib(n - 2); });
+  return x + y;
+}
+
+TEST(Scheduler, NestedForkJoinFib) { EXPECT_EQ(parallel_fib(28), 317811u); }
+
+TEST(Scheduler, ExceptionPropagatesFromForkedTask) {
+  EXPECT_THROW(
+      par_do([] {}, [] { throw std::runtime_error("forked"); }),
+      std::runtime_error);
+  EXPECT_THROW(
+      par_do([] { throw std::runtime_error("inline"); }, [] {}),
+      std::runtime_error);
+}
+
+TEST(Scheduler, SchedulerUsableAfterException) {
+  try {
+    par_do([] {}, [] { throw std::runtime_error("x"); });
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<int> count{0};
+  parallel_for(0, 1000, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  const std::size_t n = 100000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(0, n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, EmptyAndSingletonRanges) {
+  int count = 0;
+  parallel_for(5, 5, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  parallel_for(7, 8, [&](std::size_t i) {
+    EXPECT_EQ(i, 7u);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ParallelFor, ExplicitGranularityStillCovers) {
+  const std::size_t n = 12345;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(0, n, [&](std::size_t i) { hits[i].fetch_add(1); }, 7);
+  long total = 0;
+  for (auto& h : hits) total += h.load();
+  EXPECT_EQ(total, static_cast<long>(n));
+}
+
+TEST(ParallelForBlocked, BlocksPartitionTheRange) {
+  const std::size_t n = 10001, bs = 97;
+  std::vector<std::atomic<int>> hits(n);
+  std::atomic<std::size_t> blocks{0};
+  parallel_for_blocked(n, bs, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    EXPECT_LE(hi - lo, bs);
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+    blocks.fetch_add(1);
+  });
+  EXPECT_EQ(blocks.load(), (n + bs - 1) / bs);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(Scheduler, WorkerCountRespectsEnvironment) {
+  // When run under the _mt ctest variant PSI_NUM_WORKERS=4.
+  if (const char* s = std::getenv("PSI_NUM_WORKERS")) {
+    EXPECT_EQ(num_workers(), std::atoi(s));
+  } else {
+    EXPECT_GE(num_workers(), 1);
+  }
+}
+
+TEST(Scheduler, ManySmallForks) {
+  // Stress the deques with a large number of tiny tasks.
+  std::atomic<long> sum{0};
+  parallel_for(0, 50000, [&](std::size_t i) { sum.fetch_add(static_cast<long>(i % 7)); }, 1);
+  long expect = 0;
+  for (std::size_t i = 0; i < 50000; ++i) expect += static_cast<long>(i % 7);
+  EXPECT_EQ(sum.load(), expect);
+}
+
+}  // namespace
+}  // namespace psi

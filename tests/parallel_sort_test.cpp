@@ -1,0 +1,172 @@
+// Tests for counting sort (the sieve), sample sort, sample_sort_transform
+// (the HybridSort core), and merge sort — all against std::sort /
+// std::stable_sort oracles across sizes and key distributions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "psi/parallel/counting_sort.h"
+#include "psi/parallel/random.h"
+#include "psi/parallel/sort.h"
+
+namespace psi {
+namespace {
+
+struct SortCase {
+  std::size_t n;
+  std::uint64_t key_range;  // values drawn from [0, key_range)
+};
+
+class SortSizes : public ::testing::TestWithParam<SortCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SortSizes,
+    ::testing::Values(SortCase{0, 10}, SortCase{1, 10}, SortCase{10, 3},
+                      SortCase{1000, 1000000}, SortCase{8192, 2},
+                      SortCase{8193, 1000}, SortCase{50000, 50},
+                      SortCase{200000, 1u << 31}, SortCase{100000, 1}));
+
+std::vector<std::uint64_t> random_keys(std::size_t n, std::uint64_t range,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = rng.ith_bounded(i, range);
+  return v;
+}
+
+TEST_P(SortSizes, SampleSortMatchesStdSort) {
+  auto v = random_keys(GetParam().n, GetParam().key_range, 1);
+  auto expect = v;
+  std::sort(expect.begin(), expect.end());
+  sample_sort(v);
+  EXPECT_EQ(v, expect);
+}
+
+TEST_P(SortSizes, MergeSortMatchesStdSort) {
+  auto v = random_keys(GetParam().n, GetParam().key_range, 2);
+  auto expect = v;
+  std::sort(expect.begin(), expect.end());
+  merge_sort(v);
+  EXPECT_EQ(v, expect);
+}
+
+TEST_P(SortSizes, MergeSortIsStable) {
+  // Sort pairs by first only; second records original index.
+  const std::size_t n = GetParam().n;
+  auto keys = random_keys(n, GetParam().key_range, 3);
+  std::vector<std::pair<std::uint64_t, std::size_t>> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = {keys[i], i};
+  auto expect = v;
+  std::stable_sort(expect.begin(), expect.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  merge_sort(v, [](const auto& a, const auto& b) { return a.first < b.first; });
+  EXPECT_EQ(v, expect);
+}
+
+TEST_P(SortSizes, SampleSortTransformComputesEachOnce) {
+  const std::size_t n = GetParam().n;
+  auto keys = random_keys(n, GetParam().key_range, 4);
+  std::vector<std::atomic<int>> touched(n);
+  auto out = sample_sort_transform<std::pair<std::uint64_t, std::size_t>>(
+      n,
+      [&](std::size_t i) {
+        // Samples may touch an index more than once; the main pass touches
+        // each exactly once. We only check that every index was touched.
+        touched[i].fetch_add(1);
+        return std::pair<std::uint64_t, std::size_t>{keys[i], i};
+      },
+      [](const auto& a, const auto& b) { return a < b; });
+  ASSERT_EQ(out.size(), n);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  for (std::size_t i = 0; i < n; ++i) ASSERT_GE(touched[i].load(), 1);
+  // Result is a permutation: all ids present.
+  std::vector<bool> seen(n, false);
+  for (const auto& [k, id] : out) {
+    EXPECT_EQ(k, keys[id]);
+    EXPECT_FALSE(seen[id]);
+    seen[id] = true;
+  }
+}
+
+TEST_P(SortSizes, CountingSortBucketsContiguousAndStable) {
+  const std::size_t n = GetParam().n;
+  const std::size_t num_buckets = 16;
+  auto keys = random_keys(n, num_buckets, 5);
+  std::vector<std::pair<std::uint64_t, std::size_t>> in(n);
+  for (std::size_t i = 0; i < n; ++i) in[i] = {keys[i], i};
+  std::vector<std::pair<std::uint64_t, std::size_t>> out(n);
+  auto offsets = counting_sort_into(in.data(), out.data(), n, num_buckets,
+                                    [&](std::size_t i) { return keys[i]; });
+  ASSERT_EQ(offsets.size(), num_buckets + 1);
+  EXPECT_EQ(offsets[0], 0u);
+  EXPECT_EQ(offsets[num_buckets], n);
+  for (std::size_t k = 0; k < num_buckets; ++k) {
+    ASSERT_LE(offsets[k], offsets[k + 1]);
+    for (std::size_t i = offsets[k]; i < offsets[k + 1]; ++i) {
+      ASSERT_EQ(out[i].first, k);
+      if (i > offsets[k]) {
+        // Stability: original indices increase within a bucket.
+        ASSERT_LT(out[i - 1].second, out[i].second);
+      }
+    }
+  }
+}
+
+TEST_P(SortSizes, SieveInPlaceMatchesCountingSort) {
+  const std::size_t n = GetParam().n;
+  const std::size_t num_buckets = 8;
+  auto keys = random_keys(n, num_buckets, 6);
+  std::vector<std::pair<std::uint64_t, std::size_t>> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = {keys[i], i};
+  auto offsets =
+      sieve(v.data(), n, num_buckets, [&](std::size_t i) { return keys[i]; });
+  for (std::size_t k = 0; k < num_buckets; ++k) {
+    for (std::size_t i = offsets[k]; i < offsets[k + 1]; ++i) {
+      ASSERT_EQ(v[i].first, k);
+    }
+  }
+}
+
+TEST(Sort, SieveKeyByIndexLazyClassification) {
+  // The sieve classifies by *index*, letting callers avoid materialising
+  // keys — exactly how the P-Orth tree uses it.
+  std::vector<int> v(100000);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<int>(i);
+  auto offsets = sieve(v.data(), v.size(), 4,
+                       [&](std::size_t i) { return static_cast<std::size_t>(v[i]) % 4; });
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(offsets[k + 1] - offsets[k], v.size() / 4);
+  }
+}
+
+TEST(Sort, AllEqualKeys) {
+  std::vector<std::uint64_t> v(100000, 7);
+  sample_sort(v);
+  EXPECT_TRUE(std::all_of(v.begin(), v.end(), [](auto x) { return x == 7u; }));
+}
+
+TEST(Sort, AlreadySortedAndReversed) {
+  std::vector<std::uint64_t> v(100000);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = i;
+  auto sorted = v;
+  sample_sort(v);
+  EXPECT_EQ(v, sorted);
+  std::reverse(v.begin(), v.end());
+  sample_sort(v);
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Sort, CustomComparatorDescending) {
+  auto v = random_keys(50000, 1000, 9);
+  auto expect = v;
+  std::sort(expect.begin(), expect.end(), std::greater<>());
+  sample_sort(v, std::greater<>());
+  EXPECT_EQ(v, expect);
+}
+
+}  // namespace
+}  // namespace psi

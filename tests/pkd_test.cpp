@@ -1,0 +1,140 @@
+// Tests for the Pkd-tree baseline: splitter invariants, balance after
+// partial reconstruction, query correctness vs the oracle, update stress.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "psi/baselines/brute_force.h"
+#include "psi/baselines/pkd_tree.h"
+#include "psi/datagen/generators.h"
+#include "test_util.h"
+
+namespace psi {
+namespace {
+
+constexpr std::int64_t kMax = 1'000'000'000;
+
+struct PkdCase {
+  const char* name;
+  int which;
+};
+
+class PkdWorkloads : public ::testing::TestWithParam<PkdCase> {
+ protected:
+  std::vector<Point2> make_points(std::size_t n, std::uint64_t seed) const {
+    switch (GetParam().which) {
+      case 1:
+        return datagen::varden<2>(n, seed, kMax);
+      case 2:
+        return datagen::sweepline<2>(n, seed, kMax);
+      default:
+        return datagen::uniform<2>(n, seed, kMax);
+    }
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Distributions, PkdWorkloads,
+                         ::testing::Values(PkdCase{"uniform", 0},
+                                           PkdCase{"varden", 1},
+                                           PkdCase{"sweepline", 2}),
+                         [](const auto& info) { return info.param.name; });
+
+TEST_P(PkdWorkloads, BuildInvariantsSizeAndContents) {
+  auto pts = make_points(20000, 1);
+  PkdTree2 tree;
+  tree.build(pts);
+  EXPECT_EQ(tree.size(), pts.size());
+  EXPECT_NO_THROW(tree.check_invariants());
+  testutil::expect_same_multiset(tree.flatten(), pts);
+}
+
+TEST_P(PkdWorkloads, QueriesMatchOracle) {
+  auto pts = make_points(8000, 2);
+  PkdTree2 tree;
+  tree.build(pts);
+  BruteForceIndex<std::int64_t, 2> oracle;
+  oracle.build(pts);
+  auto ind = datagen::ind_queries(pts, 25, 2, kMax);
+  auto ood = datagen::ood_queries<2>(25, 2, kMax);
+  auto ranges = datagen::range_boxes(ind, 50'000'000, kMax);
+  testutil::expect_queries_match(tree, oracle, ind, 10, ranges);
+  testutil::expect_queries_match(tree, oracle, ood, 10, ranges);
+}
+
+TEST_P(PkdWorkloads, UpdatesKeepInvariantsAndAnswers) {
+  auto pts = make_points(6000, 3);
+  const std::size_t half = pts.size() / 2;
+  PkdTree2 tree;
+  tree.build({pts.begin(), pts.begin() + half});
+  tree.batch_insert({pts.begin() + half, pts.end()});
+  EXPECT_EQ(tree.size(), pts.size());
+  EXPECT_NO_THROW(tree.check_invariants());
+  std::vector<Point2> dels;
+  for (std::size_t i = 0; i < pts.size(); i += 2) dels.push_back(pts[i]);
+  tree.batch_delete(dels);
+  EXPECT_NO_THROW(tree.check_invariants());
+  BruteForceIndex<std::int64_t, 2> oracle;
+  oracle.build(pts);
+  oracle.batch_delete(dels);
+  EXPECT_EQ(tree.size(), oracle.size());
+  auto qs = datagen::ood_queries<2>(20, 3, kMax);
+  auto ranges = datagen::range_boxes(qs, 80'000'000, kMax);
+  testutil::expect_queries_match(tree, oracle, qs, 10, ranges);
+}
+
+TEST_P(PkdWorkloads, BalanceMaintainedUnderSkewedIncrementalInsert) {
+  // Inserting sweep-ordered batches into a kd-tree is the adversarial case
+  // for splitters; partial reconstruction must keep the height logarithmic.
+  auto pts = make_points(20000, 4);
+  PkdTree2 tree;
+  const std::size_t batch = 1000;
+  for (std::size_t lo = 0; lo < pts.size(); lo += batch) {
+    const auto hi = std::min(pts.size(), lo + batch);
+    tree.batch_insert({pts.begin() + static_cast<std::ptrdiff_t>(lo),
+                       pts.begin() + static_cast<std::ptrdiff_t>(hi)});
+    ASSERT_NO_THROW(tree.check_invariants());
+  }
+  EXPECT_EQ(tree.size(), pts.size());
+  // log2(20000/32) ~ 9.3; allow generous slack for α=0.3 imbalance.
+  EXPECT_LE(tree.height(), 24u);
+}
+
+TEST(Pkd, EmptySingletonAndDuplicates) {
+  PkdTree2 tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.knn(Point2{{0, 0}}, 5).empty());
+  tree.build(std::vector<Point2>(300, Point2{{9, 9}}));
+  EXPECT_EQ(tree.size(), 300u);
+  EXPECT_NO_THROW(tree.check_invariants());
+  auto nn = tree.knn(Point2{{0, 0}}, 3);
+  ASSERT_EQ(nn.size(), 3u);
+  tree.batch_delete(std::vector<Point2>(100, Point2{{9, 9}}));
+  EXPECT_EQ(tree.size(), 200u);
+}
+
+TEST(Pkd, DeleteAllThenReinsert) {
+  auto pts = datagen::uniform<2>(4000, 5, kMax);
+  PkdTree2 tree;
+  tree.build(pts);
+  tree.batch_delete(pts);
+  EXPECT_TRUE(tree.empty());
+  tree.batch_insert(pts);
+  EXPECT_EQ(tree.size(), pts.size());
+  EXPECT_NO_THROW(tree.check_invariants());
+}
+
+TEST(Pkd, ThreeDimensional) {
+  auto pts = datagen::cosmo_sim(6000, 6);
+  PkdTree3 tree;
+  tree.build(pts);
+  EXPECT_NO_THROW(tree.check_invariants());
+  BruteForceIndex<std::int64_t, 3> oracle;
+  oracle.build(pts);
+  auto qs = datagen::ood_queries<3>(15, 6, datagen::kDefaultMax3D);
+  auto ranges = datagen::range_boxes(qs, 150'000, datagen::kDefaultMax3D);
+  testutil::expect_queries_match(tree, oracle, qs, 10, ranges);
+}
+
+}  // namespace
+}  // namespace psi

@@ -1,0 +1,355 @@
+// Tests for the P-Orth tree: structural invariants, query correctness vs
+// the brute-force oracle, batch update semantics, history independence,
+// and degenerate inputs (duplicates, unsplittable regions, empty trees).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "psi/baselines/brute_force.h"
+#include "psi/core/porth/porth_tree.h"
+#include "psi/datagen/generators.h"
+#include "psi/parallel/random.h"
+#include "test_util.h"
+
+namespace psi {
+namespace {
+
+constexpr std::int64_t kMax = 1'000'000'000;
+
+Box2 universe2() { return Box2{{{0, 0}}, {{kMax, kMax}}}; }
+Box3 universe3() {
+  return Box3{{{0, 0, 0}},
+              {{datagen::kDefaultMax3D, datagen::kDefaultMax3D,
+                datagen::kDefaultMax3D}}};
+}
+
+struct WorkloadCase {
+  const char* name;
+  int which;  // 0 uniform, 1 varden, 2 sweepline
+};
+
+class POrthWorkloads : public ::testing::TestWithParam<WorkloadCase> {
+ protected:
+  std::vector<Point2> make_points(std::size_t n, std::uint64_t seed) const {
+    switch (GetParam().which) {
+      case 1:
+        return datagen::varden<2>(n, seed, kMax);
+      case 2:
+        return datagen::sweepline<2>(n, seed, kMax);
+      default:
+        return datagen::uniform<2>(n, seed, kMax);
+    }
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Distributions, POrthWorkloads,
+                         ::testing::Values(WorkloadCase{"uniform", 0},
+                                           WorkloadCase{"varden", 1},
+                                           WorkloadCase{"sweepline", 2}),
+                         [](const auto& info) { return info.param.name; });
+
+TEST_P(POrthWorkloads, BuildInvariantsAndSize) {
+  auto pts = make_points(20000, 1);
+  POrthTree2 tree({}, universe2());
+  tree.build(pts);
+  EXPECT_EQ(tree.size(), pts.size());
+  EXPECT_NO_THROW(tree.check_invariants());
+  testutil::expect_same_multiset(tree.flatten(), pts);
+}
+
+TEST_P(POrthWorkloads, QueriesMatchOracleAfterBuild) {
+  auto pts = make_points(8000, 2);
+  POrthTree2 tree({}, universe2());
+  tree.build(pts);
+  BruteForceIndex<std::int64_t, 2> oracle;
+  oracle.build(pts);
+  auto ind = datagen::ind_queries(pts, 30, 2, kMax);
+  auto ood = datagen::ood_queries<2>(30, 2, kMax);
+  auto ranges = datagen::range_boxes(ind, 50'000'000, kMax);
+  testutil::expect_queries_match(tree, oracle, ind, 10, ranges);
+  testutil::expect_queries_match(tree, oracle, ood, 10, ranges);
+}
+
+TEST_P(POrthWorkloads, BatchInsertMatchesOracle) {
+  auto pts = make_points(6000, 3);
+  const std::size_t half = pts.size() / 2;
+  std::vector<Point2> first(pts.begin(), pts.begin() + half);
+  std::vector<Point2> second(pts.begin() + half, pts.end());
+
+  POrthTree2 tree({}, universe2());
+  tree.build(first);
+  tree.batch_insert(second);
+  EXPECT_EQ(tree.size(), pts.size());
+  EXPECT_NO_THROW(tree.check_invariants());
+
+  BruteForceIndex<std::int64_t, 2> oracle;
+  oracle.build(pts);
+  auto qs = datagen::ood_queries<2>(25, 3, kMax);
+  auto ranges = datagen::range_boxes(qs, 100'000'000, kMax);
+  testutil::expect_queries_match(tree, oracle, qs, 5, ranges);
+}
+
+TEST_P(POrthWorkloads, BatchDeleteMatchesOracle) {
+  auto pts = make_points(6000, 4);
+  // Delete a scattered third of the points.
+  std::vector<Point2> dels;
+  for (std::size_t i = 0; i < pts.size(); i += 3) dels.push_back(pts[i]);
+
+  POrthTree2 tree({}, universe2());
+  tree.build(pts);
+  tree.batch_delete(dels);
+  EXPECT_NO_THROW(tree.check_invariants());
+
+  BruteForceIndex<std::int64_t, 2> oracle;
+  oracle.build(pts);
+  oracle.batch_delete(dels);
+  EXPECT_EQ(tree.size(), oracle.size());
+  auto qs = datagen::ood_queries<2>(25, 4, kMax);
+  auto ranges = datagen::range_boxes(qs, 100'000'000, kMax);
+  testutil::expect_queries_match(tree, oracle, qs, 8, ranges);
+}
+
+TEST_P(POrthWorkloads, HistoryIndependenceInsert) {
+  // build(P1 ∪ P2) must be structurally identical to build(P1)+insert(P2):
+  // orth-trees are history-independent modulo leaf point order (Sec 5.1.3).
+  auto pts = make_points(10000, 5);
+  const std::size_t half = pts.size() / 2;
+  POrthTree2 direct({}, universe2());
+  direct.build(pts);
+
+  POrthTree2 incr({}, universe2());
+  incr.build({pts.begin(), pts.begin() + half});
+  incr.batch_insert({pts.begin() + half, pts.end()});
+
+  EXPECT_TRUE(structurally_equal(direct, incr));
+}
+
+TEST_P(POrthWorkloads, HistoryIndependenceDelete) {
+  auto pts = make_points(10000, 6);
+  const std::size_t half = pts.size() / 2;
+  std::vector<Point2> keep(pts.begin(), pts.begin() + half);
+  std::vector<Point2> extra(pts.begin() + half, pts.end());
+
+  POrthTree2 direct({}, universe2());
+  direct.build(keep);
+
+  POrthTree2 incr({}, universe2());
+  incr.build(pts);
+  incr.batch_delete(extra);
+
+  EXPECT_TRUE(structurally_equal(direct, incr));
+  EXPECT_NO_THROW(incr.check_invariants());
+}
+
+TEST_P(POrthWorkloads, IncrementalManySmallBatches) {
+  auto pts = make_points(5000, 7);
+  POrthTree2 tree({}, universe2());
+  const std::size_t batch = 250;
+  for (std::size_t lo = 0; lo < pts.size(); lo += batch) {
+    const auto hi = std::min(pts.size(), lo + batch);
+    tree.batch_insert({pts.begin() + static_cast<std::ptrdiff_t>(lo),
+                       pts.begin() + static_cast<std::ptrdiff_t>(hi)});
+    ASSERT_EQ(tree.size(), hi);
+  }
+  EXPECT_NO_THROW(tree.check_invariants());
+  // Then delete everything in batches; tree must end empty.
+  for (std::size_t lo = 0; lo < pts.size(); lo += batch) {
+    const auto hi = std::min(pts.size(), lo + batch);
+    tree.batch_delete({pts.begin() + static_cast<std::ptrdiff_t>(lo),
+                       pts.begin() + static_cast<std::ptrdiff_t>(hi)});
+    EXPECT_NO_THROW(tree.check_invariants());
+  }
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(POrth, EmptyTreeQueries) {
+  POrthTree2 tree({}, universe2());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.knn(Point2{{1, 2}}, 5).empty());
+  EXPECT_EQ(tree.range_count(universe2()), 0u);
+  EXPECT_TRUE(tree.range_list(universe2()).empty());
+  EXPECT_NO_THROW(tree.check_invariants());
+  tree.batch_delete({Point2{{1, 1}}});  // delete from empty: no-op
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(POrth, SinglePointAndSmallTrees) {
+  POrthTree2 tree({}, universe2());
+  tree.build({Point2{{5, 5}}});
+  EXPECT_EQ(tree.size(), 1u);
+  auto nn = tree.knn(Point2{{0, 0}}, 3);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0], (Point2{{5, 5}}));
+  tree.batch_insert({Point2{{6, 6}}, Point2{{7, 7}}});
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_EQ(tree.range_count(Box2{{{5, 5}}, {{6, 6}}}), 2u);
+}
+
+TEST(POrth, DuplicatePointsTerminateInOversizedLeaf) {
+  // 1000 copies of the same point: the region becomes unsplittable and the
+  // tree must terminate with an oversized leaf rather than recurse forever.
+  std::vector<Point2> pts(1000, Point2{{123, 456}});
+  POrthTree2 tree({}, universe2());
+  tree.build(pts);
+  EXPECT_EQ(tree.size(), 1000u);
+  EXPECT_NO_THROW(tree.check_invariants());
+  EXPECT_EQ(tree.range_count(Box2{{{123, 456}}, {{123, 456}}}), 1000u);
+  // Deleting 400 instances removes exactly 400.
+  std::vector<Point2> dels(400, Point2{{123, 456}});
+  tree.batch_delete(dels);
+  EXPECT_EQ(tree.size(), 600u);
+}
+
+TEST(POrth, DeleteNonexistentIsNoop) {
+  auto pts = datagen::uniform<2>(2000, 8, kMax);
+  POrthTree2 tree({}, universe2());
+  tree.build(pts);
+  tree.batch_delete({Point2{{-1, -1}}, Point2{{kMax, kMax}}});
+  // (kMax,kMax) is almost surely absent; size drops by at most the number
+  // of actually-present points.
+  EXPECT_GE(tree.size(), pts.size() - 2);
+  EXPECT_NO_THROW(tree.check_invariants());
+}
+
+TEST(POrth, DeleteEverythingThenReuse) {
+  auto pts = datagen::uniform<2>(3000, 9, kMax);
+  POrthTree2 tree({}, universe2());
+  tree.build(pts);
+  tree.batch_delete(pts);
+  EXPECT_TRUE(tree.empty());
+  tree.batch_insert(pts);
+  EXPECT_EQ(tree.size(), pts.size());
+  EXPECT_NO_THROW(tree.check_invariants());
+}
+
+TEST(POrth, KnnKLargerThanTree) {
+  auto pts = datagen::uniform<2>(50, 10, kMax);
+  POrthTree2 tree({}, universe2());
+  tree.build(pts);
+  auto nn = tree.knn(Point2{{kMax / 2, kMax / 2}}, 100);
+  EXPECT_EQ(nn.size(), 50u);
+}
+
+TEST(POrth, RangeCountWholeUniverseAndEmptyBox) {
+  auto pts = datagen::uniform<2>(4000, 11, kMax);
+  POrthTree2 tree({}, universe2());
+  tree.build(pts);
+  EXPECT_EQ(tree.range_count(universe2()), pts.size());
+  // A degenerate box far from data.
+  EXPECT_EQ(tree.range_count(Box2{{{-10, -10}}, {{-5, -5}}}), 0u);
+}
+
+TEST(POrth, ThreeDimensionalBuildAndQueries) {
+  auto pts = datagen::uniform<3>(6000, 12, datagen::kDefaultMax3D);
+  POrthTree<std::int64_t, 3> tree({}, universe3());
+  tree.build(pts);
+  EXPECT_NO_THROW(tree.check_invariants());
+  BruteForceIndex<std::int64_t, 3> oracle;
+  oracle.build(pts);
+  auto qs = datagen::ood_queries<3>(20, 12, datagen::kDefaultMax3D);
+  auto ranges = datagen::range_boxes(qs, 200'000, datagen::kDefaultMax3D);
+  testutil::expect_queries_match(tree, oracle, qs, 10, ranges);
+}
+
+TEST(POrth, ThreeDimensionalUpdates) {
+  auto pts = datagen::varden<3>(6000, 13, datagen::kDefaultMax3D);
+  const std::size_t half = pts.size() / 2;
+  POrthTree<std::int64_t, 3> tree({}, universe3());
+  tree.build({pts.begin(), pts.begin() + half});
+  tree.batch_insert({pts.begin() + half, pts.end()});
+  EXPECT_NO_THROW(tree.check_invariants());
+  tree.batch_delete({pts.begin(), pts.begin() + static_cast<std::ptrdiff_t>(half)});
+  EXPECT_EQ(tree.size(), pts.size() - half);
+  EXPECT_NO_THROW(tree.check_invariants());
+}
+
+TEST(POrth, SkeletonDepthParameterSweep) {
+  // λ ∈ {1,2,3,4} must all produce the same query answers (the skeleton
+  // depth is a data-movement knob, not a semantic one). Note λ changes the
+  // rebuild granularity so structures may legitimately differ.
+  auto pts = datagen::uniform<2>(5000, 14, kMax);
+  BruteForceIndex<std::int64_t, 2> oracle;
+  oracle.build(pts);
+  auto qs = datagen::ood_queries<2>(15, 14, kMax);
+  auto ranges = datagen::range_boxes(qs, 80'000'000, kMax);
+  for (int lambda = 1; lambda <= 4; ++lambda) {
+    POrthParams params;
+    params.skeleton_levels = lambda;
+    POrthTree2 tree(params, universe2());
+    tree.build(pts);
+    EXPECT_NO_THROW(tree.check_invariants());
+    testutil::expect_queries_match(tree, oracle, qs, 10, ranges);
+  }
+}
+
+TEST(POrth, LeafWrapParameterSweep) {
+  auto pts = datagen::uniform<2>(5000, 15, kMax);
+  for (std::size_t wrap : {2, 8, 32, 128}) {
+    POrthParams params;
+    params.leaf_wrap = wrap;
+    POrthTree2 tree(params, universe2());
+    tree.build(pts);
+    EXPECT_EQ(tree.size(), pts.size());
+    EXPECT_NO_THROW(tree.check_invariants());
+  }
+}
+
+TEST(POrth, HeightLogarithmicOnUniform) {
+  auto pts = datagen::uniform<2>(50000, 16, kMax);
+  POrthTree2 tree({}, universe2());
+  tree.build(pts);
+  // Uniform data has bounded aspect ratio: height = O(log n) (Lemma A.1).
+  EXPECT_LE(tree.height(), 20u);
+}
+
+TEST(POrth, UniverseDefaultsToDataBoundingBox) {
+  auto pts = datagen::uniform<2>(3000, 17, kMax);
+  POrthTree2 tree;  // no universe given
+  tree.build(pts);
+  EXPECT_EQ(tree.size(), pts.size());
+  EXPECT_NO_THROW(tree.check_invariants());
+  // Inserting points inside the same region keeps working.
+  tree.batch_insert(datagen::uniform<2>(1000, 18, kMax));
+  EXPECT_EQ(tree.size(), 4000u);
+}
+
+TEST(POrth, MixedInsertDeleteStress) {
+  Rng rng(19);
+  auto pts = datagen::varden<2>(4000, 19, kMax);
+  POrthTree2 tree({}, universe2());
+  BruteForceIndex<std::int64_t, 2> oracle;
+  std::vector<Point2> live;
+  const std::size_t batch = 500;
+  for (std::size_t round = 0; round < 8; ++round) {
+    const std::size_t lo = round * batch;
+    std::vector<Point2> ins(pts.begin() + static_cast<std::ptrdiff_t>(lo),
+                            pts.begin() + static_cast<std::ptrdiff_t>(lo + batch));
+    tree.batch_insert(ins);
+    oracle.batch_insert(ins);
+    live.insert(live.end(), ins.begin(), ins.end());
+    if (round % 2 == 1 && !live.empty()) {
+      std::vector<Point2> dels;
+      for (std::size_t i = 0; i < live.size(); i += 4) dels.push_back(live[i]);
+      tree.batch_delete(dels);
+      oracle.batch_delete(dels);
+      // Remove the same elements from `live`.
+      for (const auto& d : dels) {
+        auto it = std::find(live.begin(), live.end(), d);
+        if (it != live.end()) {
+          *it = live.back();
+          live.pop_back();
+        }
+      }
+    }
+    ASSERT_EQ(tree.size(), oracle.size());
+    ASSERT_NO_THROW(tree.check_invariants());
+  }
+  auto qs = datagen::ood_queries<2>(20, 19, kMax);
+  auto ranges = datagen::range_boxes(qs, 60'000'000, kMax);
+  testutil::expect_queries_match(tree, oracle, qs, 10, ranges);
+}
+
+}  // namespace
+}  // namespace psi

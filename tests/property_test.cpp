@@ -1,0 +1,251 @@
+// Property-style randomized tests across the whole library:
+//  * randomized operation sequences (seeded) driving every index against
+//    the oracle, parameterized over seeds;
+//  * batch_diff ≡ batch_delete; batch_insert for every index that has it;
+//  * P-Orth with floating-point coordinates (the paper's "flexible to any
+//    coordinate types" claim);
+//  * SPaC balance parameter α sweep;
+//  * scheduler reconfiguration (set_num_workers) mid-session.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "psi/psi.h"
+#include "test_util.h"
+
+namespace psi {
+namespace {
+
+constexpr std::int64_t kMax = 1'000'000'000;
+
+// ---------------------------------------------------------------------------
+// Randomized op sequences, parameterized over seeds
+// ---------------------------------------------------------------------------
+
+class RandomOps : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  // A deterministic random schedule of inserts/deletes with varying batch
+  // sizes; checks size and (periodically) full query agreement.
+  template <typename Index>
+  void drive(Index& index) const {
+    const std::uint64_t seed = GetParam();
+    Rng rng(seed);
+    BruteForceIndex<std::int64_t, 2> oracle;
+    std::vector<Point2> live;
+    std::uint64_t tick = 0;
+    for (int round = 0; round < 12; ++round) {
+      const bool do_insert =
+          live.size() < 500 || rng.ith_bounded(tick++, 3) > 0;
+      if (do_insert) {
+        const std::size_t b = 1 + rng.ith_bounded(tick++, 700);
+        auto pts = datagen::uniform<2>(b, hash64(seed, tick++), kMax);
+        index.batch_insert(pts);
+        oracle.batch_insert(pts);
+        live.insert(live.end(), pts.begin(), pts.end());
+      } else {
+        const std::size_t b = 1 + rng.ith_bounded(tick++, live.size());
+        std::vector<Point2> dels;
+        for (std::size_t i = 0; i < b; ++i) {
+          dels.push_back(live[rng.ith_bounded(tick + i, live.size())]);
+        }
+        tick += b;
+        index.batch_delete(dels);
+        oracle.batch_delete(dels);
+        for (const auto& d : dels) {
+          auto it = std::find(live.begin(), live.end(), d);
+          if (it != live.end()) {
+            *it = live.back();
+            live.pop_back();
+          }
+        }
+      }
+      ASSERT_EQ(index.size(), oracle.size()) << "round " << round;
+      if (round % 4 == 3) {
+        auto qs = datagen::ood_queries<2>(10, hash64(seed, 1000 + tick), kMax);
+        auto ranges = datagen::range_boxes(qs, 120'000'000, kMax);
+        testutil::expect_queries_match(index, oracle, qs, 7, ranges);
+      }
+    }
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomOps,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+TEST_P(RandomOps, POrth) {
+  POrthTree2 t({}, Box2{{{0, 0}}, {{kMax, kMax}}});
+  drive(t);
+  EXPECT_NO_THROW(t.check_invariants());
+}
+
+TEST_P(RandomOps, SpacH) {
+  SpacHTree2 t;
+  drive(t);
+  EXPECT_NO_THROW(t.check_invariants());
+}
+
+TEST_P(RandomOps, SpacZ) {
+  SpacZTree2 t;
+  drive(t);
+  EXPECT_NO_THROW(t.check_invariants());
+}
+
+TEST_P(RandomOps, CpamH) {
+  SpacHTree2 t(cpam_params());
+  drive(t);
+  EXPECT_NO_THROW(t.check_invariants());
+}
+
+TEST_P(RandomOps, Pkd) {
+  PkdTree2 t;
+  drive(t);
+  EXPECT_NO_THROW(t.check_invariants());
+}
+
+TEST_P(RandomOps, Zd) {
+  ZdTree2 t;
+  drive(t);
+  EXPECT_NO_THROW(t.check_invariants());
+}
+
+// ---------------------------------------------------------------------------
+// batch_diff ≡ delete-then-insert
+// ---------------------------------------------------------------------------
+
+template <typename Index>
+void check_batch_diff(Index&& a, Index&& b) {
+  auto pts = datagen::uniform<2>(5000, 1, kMax);
+  std::vector<Point2> dels(pts.begin(), pts.begin() + 1500);
+  auto ins = datagen::uniform<2>(1500, 2, kMax);
+  a.build(pts);
+  b.build(pts);
+  a.batch_diff(ins, dels);
+  b.batch_delete(dels);
+  b.batch_insert(ins);
+  ASSERT_EQ(a.size(), b.size());
+  testutil::expect_same_multiset(a.flatten(), b.flatten());
+}
+
+TEST(BatchDiff, AllIndexesMatchComposition) {
+  check_batch_diff(POrthTree2({}, Box2{{{0, 0}}, {{kMax, kMax}}}),
+                   POrthTree2({}, Box2{{{0, 0}}, {{kMax, kMax}}}));
+  check_batch_diff(SpacHTree2(), SpacHTree2());
+  check_batch_diff(SpacZTree2(), SpacZTree2());
+  check_batch_diff(PkdTree2(), PkdTree2());
+  check_batch_diff(ZdTree2(), ZdTree2());
+}
+
+TEST(BatchDiff, MoveWorkloadKeepsSizeConstant) {
+  auto pts = datagen::uniform<2>(4000, 3, kMax);
+  SpacHTree2 tree;
+  tree.build(pts);
+  for (int round = 0; round < 5; ++round) {
+    // Move the first quarter of the points by a small offset.
+    std::vector<Point2> old_pos(pts.begin(), pts.begin() + 1000);
+    std::vector<Point2> new_pos = old_pos;
+    for (auto& p : new_pos) {
+      p[0] = std::min<std::int64_t>(kMax, p[0] + 1000);
+    }
+    tree.batch_diff(new_pos, old_pos);
+    std::copy(new_pos.begin(), new_pos.end(), pts.begin());
+    ASSERT_EQ(tree.size(), pts.size());
+    ASSERT_NO_THROW(tree.check_invariants());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// P-Orth with floating-point coordinates
+// ---------------------------------------------------------------------------
+
+TEST(POrthFloat, BuildQueryUpdateWithDoubles) {
+  Rng rng(5);
+  const std::size_t n = 5000;
+  std::vector<Point2f> pts(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts[i] = Point2f{{rng.ith_double(2 * i) * 1000.0 - 500.0,
+                      rng.ith_double(2 * i + 1) * 1000.0 - 500.0}};
+  }
+  POrthTree<double, 2> tree(
+      {}, Box<double, 2>{{{-500.0, -500.0}}, {{500.0, 500.0}}});
+  tree.build(pts);
+  EXPECT_EQ(tree.size(), n);
+  EXPECT_NO_THROW(tree.check_invariants());
+
+  // kNN against brute force.
+  BruteForceIndex<double, 2> oracle;
+  oracle.build(pts);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    Point2f q{{rng.ith_double(10000 + 2 * i) * 1000.0 - 500.0,
+               rng.ith_double(10001 + 2 * i) * 1000.0 - 500.0}};
+    testutil::expect_knn_equivalent(tree.knn(q, 5), q,
+                                    oracle.knn_distances(q, 5));
+  }
+
+  // Updates.
+  std::vector<Point2f> dels(pts.begin(), pts.begin() + 2000);
+  tree.batch_delete(dels);
+  EXPECT_EQ(tree.size(), n - 2000);
+  EXPECT_NO_THROW(tree.check_invariants());
+  tree.batch_insert(dels);
+  EXPECT_EQ(tree.size(), n);
+}
+
+TEST(POrthFloat, NearDuplicateDoublesTerminate) {
+  // Points within a denormal-scale cluster must not loop the builder.
+  std::vector<Point2f> pts;
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back(Point2f{{1.0 + i * 1e-13, 2.0 - i * 1e-13}});
+  }
+  POrthTree<double, 2> tree({}, Box<double, 2>{{{0, 0}}, {{4, 4}}});
+  tree.build(pts);
+  EXPECT_EQ(tree.size(), 200u);
+  EXPECT_NO_THROW(tree.check_invariants());
+}
+
+// ---------------------------------------------------------------------------
+// SPaC balance parameter sweep
+// ---------------------------------------------------------------------------
+
+TEST(SpacAlpha, BalanceSweepKeepsInvariants) {
+  auto pts = datagen::varden<2>(8000, 6, kMax);
+  for (double alpha : {0.18, 0.2, 0.25, 0.29}) {
+    SpacParams p;
+    p.alpha = alpha;
+    SpacHTree2 tree(p);
+    tree.build(pts);
+    tree.batch_delete({pts.begin(), pts.begin() + 4000});
+    tree.batch_insert({pts.begin(), pts.begin() + 4000});
+    EXPECT_EQ(tree.size(), pts.size());
+    EXPECT_NO_THROW(tree.check_invariants()) << "alpha " << alpha;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler reconfiguration
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerReconfig, SetNumWorkersMidSession) {
+  auto pts = datagen::uniform<2>(20000, 7, kMax);
+  std::vector<std::size_t> sizes;
+  for (int workers : {1, 3, 2}) {
+    Scheduler::set_num_workers(workers);
+    EXPECT_EQ(num_workers(), workers);
+    SpacHTree2 tree;
+    tree.build(pts);
+    tree.batch_delete({pts.begin(), pts.begin() + 5000});
+    sizes.push_back(tree.size());
+    EXPECT_NO_THROW(tree.check_invariants());
+  }
+  for (auto s : sizes) EXPECT_EQ(s, pts.size() - 5000);
+  // Restore the environment-configured default for any subsequent tests.
+  if (const char* s = std::getenv("PSI_NUM_WORKERS")) {
+    Scheduler::set_num_workers(std::atoi(s));
+  } else {
+    Scheduler::set_num_workers(1);
+  }
+}
+
+}  // namespace
+}  // namespace psi

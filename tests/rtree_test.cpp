@@ -1,0 +1,136 @@
+// Tests for the sequential Guttman quadratic R-tree baseline: node fill
+// invariants (m..M), uniform leaf depth, query correctness, deletion with
+// condense-tree reinsertion.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "psi/baselines/brute_force.h"
+#include "psi/baselines/rtree.h"
+#include "psi/datagen/generators.h"
+#include "test_util.h"
+
+namespace psi {
+namespace {
+
+constexpr std::int64_t kMax = 1'000'000'000;
+
+TEST(RTreeBase, InsertInvariantsAndSize) {
+  auto pts = datagen::uniform<2>(5000, 1, kMax);
+  RTree2 tree;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    tree.insert(pts[i]);
+    if (i % 500 == 0) {
+      ASSERT_NO_THROW(tree.check_invariants());
+    }
+  }
+  EXPECT_EQ(tree.size(), pts.size());
+  EXPECT_NO_THROW(tree.check_invariants());
+}
+
+TEST(RTreeBase, QueriesMatchOracle) {
+  auto pts = datagen::varden<2>(4000, 2, kMax);
+  RTree2 tree;
+  tree.build(pts);
+  BruteForceIndex<std::int64_t, 2> oracle;
+  oracle.build(pts);
+  auto ind = datagen::ind_queries(pts, 25, 2, kMax);
+  auto ood = datagen::ood_queries<2>(25, 2, kMax);
+  auto ranges = datagen::range_boxes(ind, 50'000'000, kMax);
+  testutil::expect_queries_match(tree, oracle, ind, 10, ranges);
+  testutil::expect_queries_match(tree, oracle, ood, 10, ranges);
+}
+
+TEST(RTreeBase, EraseCondensesAndMatchesOracle) {
+  auto pts = datagen::uniform<2>(3000, 3, kMax);
+  RTree2 tree;
+  tree.build(pts);
+  BruteForceIndex<std::int64_t, 2> oracle;
+  oracle.build(pts);
+  for (std::size_t i = 0; i < pts.size(); i += 2) {
+    ASSERT_TRUE(tree.erase(pts[i]));
+    if (i % 300 == 0) {
+      ASSERT_NO_THROW(tree.check_invariants());
+    }
+  }
+  std::vector<Point2> dels;
+  for (std::size_t i = 0; i < pts.size(); i += 2) dels.push_back(pts[i]);
+  oracle.batch_delete(dels);
+  EXPECT_EQ(tree.size(), oracle.size());
+  EXPECT_NO_THROW(tree.check_invariants());
+  auto qs = datagen::ood_queries<2>(20, 3, kMax);
+  auto ranges = datagen::range_boxes(qs, 80'000'000, kMax);
+  testutil::expect_queries_match(tree, oracle, qs, 10, ranges);
+}
+
+TEST(RTreeBase, EraseMissingReturnsFalse) {
+  RTree2 tree;
+  EXPECT_FALSE(tree.erase(Point2{{1, 1}}));
+  tree.insert(Point2{{5, 5}});
+  EXPECT_FALSE(tree.erase(Point2{{1, 1}}));
+  EXPECT_TRUE(tree.erase(Point2{{5, 5}}));
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(RTreeBase, DeleteEverythingThenReuse) {
+  auto pts = datagen::uniform<2>(1500, 4, kMax);
+  RTree2 tree;
+  tree.build(pts);
+  for (const auto& p : pts) ASSERT_TRUE(tree.erase(p));
+  EXPECT_TRUE(tree.empty());
+  tree.build(pts);
+  EXPECT_EQ(tree.size(), pts.size());
+  EXPECT_NO_THROW(tree.check_invariants());
+}
+
+TEST(RTreeBase, DuplicatesSupported) {
+  RTree2 tree;
+  for (int i = 0; i < 100; ++i) tree.insert(Point2{{3, 3}});
+  EXPECT_EQ(tree.size(), 100u);
+  EXPECT_NO_THROW(tree.check_invariants());
+  EXPECT_EQ(tree.range_count(Box2{{{3, 3}}, {{3, 3}}}), 100u);
+  for (int i = 0; i < 40; ++i) ASSERT_TRUE(tree.erase(Point2{{3, 3}}));
+  EXPECT_EQ(tree.size(), 60u);
+}
+
+TEST(RTreeBase, KnnBestFirstMatchesOracleOnClusteredData) {
+  auto pts = datagen::osm_sim(3000, 5);
+  RTree2 tree;
+  tree.build(pts);
+  BruteForceIndex<std::int64_t, 2> oracle;
+  oracle.build(pts);
+  auto qs = datagen::ind_queries(pts, 30, 5, datagen::kDefaultMax2D);
+  for (const auto& q : qs) {
+    testutil::expect_knn_equivalent(tree.knn(q, 7), q,
+                                    oracle.knn_distances(q, 7));
+  }
+}
+
+TEST(RTreeBase, NodeCapacitySweep) {
+  auto pts = datagen::uniform<2>(2000, 6, kMax);
+  for (std::size_t cap : {4, 8, 16, 32}) {
+    RTreeParams params;
+    params.max_entries = cap;
+    params.min_entries = cap / 2 - cap / 4;
+    RTree2 tree(params);
+    tree.build(pts);
+    EXPECT_EQ(tree.size(), pts.size());
+    EXPECT_NO_THROW(tree.check_invariants());
+  }
+}
+
+TEST(RTreeBase, ThreeDimensional) {
+  auto pts = datagen::cosmo_sim(2500, 7);
+  RTree3 tree;
+  tree.build(pts);
+  EXPECT_NO_THROW(tree.check_invariants());
+  BruteForceIndex<std::int64_t, 3> oracle;
+  oracle.build(pts);
+  auto qs = datagen::ood_queries<3>(15, 7, datagen::kDefaultMax3D);
+  auto ranges = datagen::range_boxes(qs, 150'000, datagen::kDefaultMax3D);
+  testutil::expect_queries_match(tree, oracle, qs, 10, ranges);
+}
+
+}  // namespace
+}  // namespace psi

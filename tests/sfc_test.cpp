@@ -1,0 +1,316 @@
+// Tests for the space-filling-curve substrate: Morton bit interleaving,
+// Hilbert (Skilling transform) bijectivity and locality, and the codec
+// wrappers' order properties.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "psi/parallel/random.h"
+#include "psi/sfc/codec.h"
+#include "psi/sfc/hilbert.h"
+#include "psi/sfc/morton.h"
+
+namespace psi::sfc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Morton
+// ---------------------------------------------------------------------------
+
+TEST(Morton, SpreadCompactRoundTrip2D) {
+  Rng rng(1);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    const std::uint64_t x = rng.ith(i) & 0xffffffffULL;
+    EXPECT_EQ(compact_bits_2d(spread_bits_2d(x)), x);
+  }
+}
+
+TEST(Morton, SpreadCompactRoundTrip3D) {
+  Rng rng(2);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    const std::uint64_t x = rng.ith(i) & 0x1fffffULL;
+    EXPECT_EQ(compact_bits_3d(spread_bits_3d(x)), x);
+  }
+}
+
+TEST(Morton, EncodeDecodeRoundTrip2D) {
+  Rng rng(3);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    const std::uint64_t x = rng.ith(2 * i) & 0xffffffffULL;
+    const std::uint64_t y = rng.ith(2 * i + 1) & 0xffffffffULL;
+    std::uint64_t dx, dy;
+    morton2d_decode(morton2d(x, y), dx, dy);
+    EXPECT_EQ(dx, x);
+    EXPECT_EQ(dy, y);
+  }
+}
+
+TEST(Morton, EncodeDecodeRoundTrip3D) {
+  Rng rng(4);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    const std::uint64_t x = rng.ith(3 * i) & 0x1fffffULL;
+    const std::uint64_t y = rng.ith(3 * i + 1) & 0x1fffffULL;
+    const std::uint64_t z = rng.ith(3 * i + 2) & 0x1fffffULL;
+    std::uint64_t dx, dy, dz;
+    morton3d_decode(morton3d(x, y, z), dx, dy, dz);
+    EXPECT_EQ(dx, x);
+    EXPECT_EQ(dy, y);
+    EXPECT_EQ(dz, z);
+  }
+}
+
+TEST(Morton, KnownSmallValues) {
+  // Interleave of (x=1, y=0) -> bit 0; (x=0, y=1) -> bit 1.
+  EXPECT_EQ(morton2d(0, 0), 0u);
+  EXPECT_EQ(morton2d(1, 0), 1u);
+  EXPECT_EQ(morton2d(0, 1), 2u);
+  EXPECT_EQ(morton2d(1, 1), 3u);
+  EXPECT_EQ(morton2d(2, 0), 4u);
+  EXPECT_EQ(morton3d(1, 0, 0), 1u);
+  EXPECT_EQ(morton3d(0, 1, 0), 2u);
+  EXPECT_EQ(morton3d(0, 0, 1), 4u);
+}
+
+TEST(Morton, ZOrderVisitsQuadrantsInOrder) {
+  // All points of quadrant (x<2^31, y<2^31) come before any point with the
+  // top y bit set — the defining prefix property of the Z curve.
+  const std::uint64_t half = 1ULL << 31;
+  EXPECT_LT(morton2d(half - 1, half - 1), morton2d(0, half));
+  EXPECT_LT(morton2d(0, half), morton2d(half, half));
+}
+
+// ---------------------------------------------------------------------------
+// Hilbert
+// ---------------------------------------------------------------------------
+
+TEST(Hilbert, FirstOrder2DCurveIsUShape) {
+  // The 4 cells of the order-1 2D Hilbert curve in visit order:
+  // (0,0) (0,1) (1,1) (1,0).
+  std::vector<std::array<std::uint64_t, 2>> visit(4);
+  for (std::uint64_t c = 0; c < 4; ++c) visit[c] = hilbert_decode<2>(c, 1);
+  EXPECT_EQ(visit[0], (std::array<std::uint64_t, 2>{0, 0}));
+  EXPECT_EQ(visit[3][0] + visit[3][1], 1u);  // ends adjacent to start quadrant
+  // All distinct.
+  std::set<std::pair<std::uint64_t, std::uint64_t>> cells;
+  for (auto& v : visit) cells.insert({v[0], v[1]});
+  EXPECT_EQ(cells.size(), 4u);
+}
+
+class HilbertBits : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Bits, HilbertBits, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST_P(HilbertBits, Bijection2DOnFullGrid) {
+  const int bits = GetParam();
+  const std::uint64_t side = 1ULL << bits;
+  std::set<std::uint64_t> codes;
+  for (std::uint64_t x = 0; x < side; ++x) {
+    for (std::uint64_t y = 0; y < side; ++y) {
+      const std::uint64_t c = hilbert_encode<2>({x, y}, bits);
+      EXPECT_LT(c, side * side);
+      codes.insert(c);
+      const auto back = hilbert_decode<2>(c, bits);
+      EXPECT_EQ(back[0], x);
+      EXPECT_EQ(back[1], y);
+    }
+  }
+  EXPECT_EQ(codes.size(), side * side);
+}
+
+TEST_P(HilbertBits, Adjacency2D) {
+  // Consecutive Hilbert indexes are 4-neighbours on the grid: the locality
+  // property that makes Hilbert better for queries than Morton (Sec 5.1.3).
+  const int bits = GetParam();
+  const std::uint64_t total = 1ULL << (2 * bits);
+  auto prev = hilbert_decode<2>(0, bits);
+  for (std::uint64_t c = 1; c < total; ++c) {
+    const auto cur = hilbert_decode<2>(c, bits);
+    const std::uint64_t manhattan =
+        (cur[0] > prev[0] ? cur[0] - prev[0] : prev[0] - cur[0]) +
+        (cur[1] > prev[1] ? cur[1] - prev[1] : prev[1] - cur[1]);
+    ASSERT_EQ(manhattan, 1u) << "at code " << c;
+    prev = cur;
+  }
+}
+
+TEST(Hilbert, Adjacency3D) {
+  const int bits = 3;
+  const std::uint64_t total = 1ULL << (3 * bits);
+  auto prev = hilbert_decode<3>(0, bits);
+  for (std::uint64_t c = 1; c < total; ++c) {
+    const auto cur = hilbert_decode<3>(c, bits);
+    std::uint64_t manhattan = 0;
+    for (int d = 0; d < 3; ++d) {
+      manhattan += cur[static_cast<std::size_t>(d)] > prev[static_cast<std::size_t>(d)]
+                       ? cur[static_cast<std::size_t>(d)] - prev[static_cast<std::size_t>(d)]
+                       : prev[static_cast<std::size_t>(d)] - cur[static_cast<std::size_t>(d)];
+    }
+    ASSERT_EQ(manhattan, 1u) << "at code " << c;
+    prev = cur;
+  }
+}
+
+TEST(Hilbert, Bijection3DSample) {
+  const int bits = 21;
+  Rng rng(7);
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    std::array<std::uint64_t, 3> p = {rng.ith(3 * i) & 0x1fffffULL,
+                                      rng.ith(3 * i + 1) & 0x1fffffULL,
+                                      rng.ith(3 * i + 2) & 0x1fffffULL};
+    const std::uint64_t c = hilbert_encode<3>(p, bits);
+    EXPECT_EQ(hilbert_decode<3>(c, bits), p);
+  }
+}
+
+TEST(Hilbert, Bijection2DFullPrecisionSample) {
+  const int bits = 32;
+  Rng rng(8);
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    std::array<std::uint64_t, 2> p = {rng.ith(2 * i) & 0xffffffffULL,
+                                      rng.ith(2 * i + 1) & 0xffffffffULL};
+    const std::uint64_t c = hilbert_encode<2>(p, bits);
+    EXPECT_EQ(hilbert_decode<2>(c, bits), p);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fast 2D Hilbert path (used by the 2D codecs)
+// ---------------------------------------------------------------------------
+
+TEST_P(HilbertBits, Fast2DBijectionOnFullGrid) {
+  const int bits = GetParam();
+  const std::uint64_t side = 1ULL << bits;
+  std::set<std::uint64_t> codes;
+  for (std::uint64_t x = 0; x < side; ++x) {
+    for (std::uint64_t y = 0; y < side; ++y) {
+      const std::uint64_t c = hilbert2d_fast(x, y, bits);
+      EXPECT_LT(c, side * side);
+      codes.insert(c);
+      std::uint64_t dx, dy;
+      hilbert2d_fast_decode(c, bits, dx, dy);
+      EXPECT_EQ(dx, x);
+      EXPECT_EQ(dy, y);
+    }
+  }
+  EXPECT_EQ(codes.size(), side * side);
+}
+
+TEST_P(HilbertBits, Fast2DAdjacency) {
+  const int bits = GetParam();
+  const std::uint64_t total = 1ULL << (2 * bits);
+  std::uint64_t px, py;
+  hilbert2d_fast_decode(0, bits, px, py);
+  for (std::uint64_t c = 1; c < total; ++c) {
+    std::uint64_t x, y;
+    hilbert2d_fast_decode(c, bits, x, y);
+    const std::uint64_t manhattan =
+        (x > px ? x - px : px - x) + (y > py ? y - py : py - y);
+    ASSERT_EQ(manhattan, 1u) << "at code " << c;
+    px = x;
+    py = y;
+  }
+}
+
+TEST(Hilbert, LutMatchesRotateFormulationExhaustiveSmall) {
+  // The table-driven encoder must trace the exact same curve as the
+  // rotate-and-accumulate formulation (hilbert2d_fast at 32 bits).
+  for (std::uint64_t x = 0; x < 64; ++x) {
+    for (std::uint64_t y = 0; y < 64; ++y) {
+      ASSERT_EQ(hilbert2d_lut(x, y), hilbert2d_fast(x, y, 32))
+          << "(" << x << "," << y << ")";
+    }
+  }
+}
+
+TEST(Hilbert, LutMatchesRotateFormulationRandom) {
+  Rng rng(21);
+  for (std::uint64_t i = 0; i < 50000; ++i) {
+    const std::uint64_t x = rng.ith(2 * i) & 0xffffffffULL;
+    const std::uint64_t y = rng.ith(2 * i + 1) & 0xffffffffULL;
+    ASSERT_EQ(hilbert2d_lut(x, y), hilbert2d_fast(x, y, 32));
+  }
+}
+
+TEST(Hilbert, Fast2DFullPrecisionRoundTrip) {
+  Rng rng(12);
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    const std::uint64_t x = rng.ith(2 * i) & 0xffffffffULL;
+    const std::uint64_t y = rng.ith(2 * i + 1) & 0xffffffffULL;
+    const std::uint64_t c = hilbert2d_fast(x, y, 32);
+    std::uint64_t dx, dy;
+    hilbert2d_fast_decode(c, 32, dx, dy);
+    EXPECT_EQ(dx, x);
+    EXPECT_EQ(dy, y);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Codecs
+// ---------------------------------------------------------------------------
+
+TEST(Codec, MortonCodecMatchesRawMorton) {
+  Rng rng(9);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    Point2 p{{static_cast<std::int64_t>(rng.ith_bounded(2 * i, 1000000000)),
+              static_cast<std::int64_t>(rng.ith_bounded(2 * i + 1, 1000000000))}};
+    EXPECT_EQ((MortonCodec<std::int64_t, 2>::encode(p)),
+              morton2d(static_cast<std::uint64_t>(p[0]),
+                       static_cast<std::uint64_t>(p[1])));
+  }
+}
+
+TEST(Codec, HilbertCodecInjectiveOnSample) {
+  Rng rng(10);
+  std::set<std::uint64_t> codes;
+  const std::size_t n = 10000;
+  std::set<std::pair<std::int64_t, std::int64_t>> pts;
+  for (std::uint64_t i = 0; pts.size() < n; ++i) {
+    Point2 p{{static_cast<std::int64_t>(rng.ith_bounded(2 * i, 1000000000)),
+              static_cast<std::int64_t>(rng.ith_bounded(2 * i + 1, 1000000000))}};
+    if (!pts.insert({p[0], p[1]}).second) continue;
+    codes.insert((HilbertCodec<std::int64_t, 2>::encode(p)));
+  }
+  EXPECT_EQ(codes.size(), n);  // distinct points -> distinct codes
+}
+
+TEST(Codec, LocalityHilbertBeatsMortonOnAverage) {
+  // Average grid distance between consecutive codes over a random code walk:
+  // Hilbert consecutive codes are always adjacent; Morton jumps. We verify
+  // the qualitative claim used in Sec 5.1.3.
+  const int bits = 8;
+  const std::uint64_t total = 1ULL << (2 * bits);
+  double morton_jump = 0, hilbert_jump = 0;
+  std::uint64_t px_m = 0, py_m = 0;
+  auto ph = hilbert_decode<2>(0, bits);
+  for (std::uint64_t c = 1; c < total; ++c) {
+    std::uint64_t x, y;
+    morton2d_decode(c, x, y);
+    morton_jump += std::abs(static_cast<double>(x) - static_cast<double>(px_m)) +
+                   std::abs(static_cast<double>(y) - static_cast<double>(py_m));
+    px_m = x;
+    py_m = y;
+    const auto cur = hilbert_decode<2>(c, bits);
+    hilbert_jump += std::abs(static_cast<double>(cur[0]) - static_cast<double>(ph[0])) +
+                    std::abs(static_cast<double>(cur[1]) - static_cast<double>(ph[1]));
+    ph = cur;
+  }
+  EXPECT_LT(hilbert_jump, morton_jump);
+  EXPECT_DOUBLE_EQ(hilbert_jump, static_cast<double>(total - 1));
+}
+
+TEST(Codec, ThreeDimensionalCodecsRoundTripOrder) {
+  // Codes must be monotone along each axis within a fixed cell for the
+  // prefix property used by the Zd-tree; spot-check Morton 3D prefix order.
+  Point3 a{{0, 0, 0}}, b{{1, 0, 0}}, c{{0, 0, 1}};
+  const auto ca = (MortonCodec<std::int64_t, 3>::encode(a));
+  const auto cb = (MortonCodec<std::int64_t, 3>::encode(b));
+  const auto cc = (MortonCodec<std::int64_t, 3>::encode(c));
+  EXPECT_LT(ca, cb);
+  EXPECT_LT(cb, cc);
+}
+
+}  // namespace
+}  // namespace psi::sfc

@@ -1,0 +1,353 @@
+// Tests for the SPaC-tree family and the CPAM (total-order) baseline:
+// balance/order/leaf-wrap invariants under arbitrary update sequences,
+// query correctness vs the brute-force oracle, pivot deletion, relaxed vs
+// total order equivalence, and both SFC curves.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "psi/baselines/brute_force.h"
+#include "psi/core/spac/spac_tree.h"
+#include "psi/datagen/generators.h"
+#include "test_util.h"
+
+namespace psi {
+namespace {
+
+constexpr std::int64_t kMax = 1'000'000'000;
+
+// The tests run over {Hilbert, Morton} × {Relaxed, Total order}.
+struct SpacCase {
+  const char* name;
+  bool hilbert;
+  bool relaxed;
+};
+
+class SpacMatrix : public ::testing::TestWithParam<SpacCase> {
+ protected:
+  SpacParams params() const {
+    SpacParams p;
+    if (!GetParam().relaxed) p = cpam_params();
+    return p;
+  }
+
+  template <typename F>
+  void with_tree(F&& f) const {
+    if (GetParam().hilbert) {
+      SpacHTree2 tree(params());
+      f(tree);
+    } else {
+      SpacZTree2 tree(params());
+      f(tree);
+    }
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Curves, SpacMatrix,
+    ::testing::Values(SpacCase{"SPaC_H", true, true},
+                      SpacCase{"SPaC_Z", false, true},
+                      SpacCase{"CPAM_H", true, false},
+                      SpacCase{"CPAM_Z", false, false}),
+    [](const auto& info) { return info.param.name; });
+
+TEST_P(SpacMatrix, BuildInvariantsAndContents) {
+  auto pts = datagen::uniform<2>(20000, 1, kMax);
+  with_tree([&](auto& tree) {
+    tree.build(pts);
+    EXPECT_EQ(tree.size(), pts.size());
+    EXPECT_NO_THROW(tree.check_invariants());
+    testutil::expect_same_multiset(tree.flatten(), pts);
+  });
+}
+
+TEST_P(SpacMatrix, QueriesMatchOracleAfterBuild) {
+  auto pts = datagen::varden<2>(8000, 2, kMax);
+  BruteForceIndex<std::int64_t, 2> oracle;
+  oracle.build(pts);
+  auto ind = datagen::ind_queries(pts, 25, 2, kMax);
+  auto ood = datagen::ood_queries<2>(25, 2, kMax);
+  auto ranges = datagen::range_boxes(ind, 50'000'000, kMax);
+  with_tree([&](auto& tree) {
+    tree.build(pts);
+    testutil::expect_queries_match(tree, oracle, ind, 10, ranges);
+    testutil::expect_queries_match(tree, oracle, ood, 10, ranges);
+  });
+}
+
+TEST_P(SpacMatrix, BatchInsertKeepsInvariantsAndAnswers) {
+  auto pts = datagen::uniform<2>(6000, 3, kMax);
+  const std::size_t half = pts.size() / 2;
+  BruteForceIndex<std::int64_t, 2> oracle;
+  oracle.build(pts);
+  auto qs = datagen::ood_queries<2>(20, 3, kMax);
+  auto ranges = datagen::range_boxes(qs, 100'000'000, kMax);
+  with_tree([&](auto& tree) {
+    tree.build({pts.begin(), pts.begin() + half});
+    tree.batch_insert({pts.begin() + half, pts.end()});
+    EXPECT_EQ(tree.size(), pts.size());
+    EXPECT_NO_THROW(tree.check_invariants());
+    testutil::expect_queries_match(tree, oracle, qs, 10, ranges);
+  });
+}
+
+TEST_P(SpacMatrix, BatchDeleteKeepsInvariantsAndAnswers) {
+  auto pts = datagen::sweepline<2>(6000, 4, kMax);
+  std::vector<Point2> dels;
+  for (std::size_t i = 0; i < pts.size(); i += 3) dels.push_back(pts[i]);
+  BruteForceIndex<std::int64_t, 2> oracle;
+  oracle.build(pts);
+  oracle.batch_delete(dels);
+  auto qs = datagen::ood_queries<2>(20, 4, kMax);
+  auto ranges = datagen::range_boxes(qs, 100'000'000, kMax);
+  with_tree([&](auto& tree) {
+    tree.build(pts);
+    tree.batch_delete(dels);
+    EXPECT_EQ(tree.size(), oracle.size());
+    EXPECT_NO_THROW(tree.check_invariants());
+    testutil::expect_queries_match(tree, oracle, qs, 10, ranges);
+  });
+}
+
+TEST_P(SpacMatrix, ManySmallBatchesInsertThenDeleteAll) {
+  auto pts = datagen::varden<2>(5000, 5, kMax);
+  const std::size_t batch = 200;
+  with_tree([&](auto& tree) {
+    for (std::size_t lo = 0; lo < pts.size(); lo += batch) {
+      const auto hi = std::min(pts.size(), lo + batch);
+      tree.batch_insert({pts.begin() + static_cast<std::ptrdiff_t>(lo),
+                         pts.begin() + static_cast<std::ptrdiff_t>(hi)});
+      ASSERT_EQ(tree.size(), hi);
+      ASSERT_NO_THROW(tree.check_invariants());
+    }
+    for (std::size_t lo = 0; lo < pts.size(); lo += batch) {
+      const auto hi = std::min(pts.size(), lo + batch);
+      tree.batch_delete({pts.begin() + static_cast<std::ptrdiff_t>(lo),
+                         pts.begin() + static_cast<std::ptrdiff_t>(hi)});
+      ASSERT_NO_THROW(tree.check_invariants());
+    }
+    EXPECT_TRUE(tree.empty());
+  });
+}
+
+TEST_P(SpacMatrix, PivotDeletion) {
+  // Deleting every other point forces many interior pivots to be deleted,
+  // exercising join2/split_last.
+  auto pts = datagen::uniform<2>(4000, 6, kMax);
+  std::vector<Point2> dels;
+  for (std::size_t i = 0; i < pts.size(); i += 2) dels.push_back(pts[i]);
+  with_tree([&](auto& tree) {
+    tree.build(pts);
+    tree.batch_delete(dels);
+    EXPECT_EQ(tree.size(), pts.size() - dels.size());
+    EXPECT_NO_THROW(tree.check_invariants());
+    testutil::expect_same_multiset(tree.flatten(), [&] {
+      BruteForceIndex<std::int64_t, 2> o;
+      o.build(pts);
+      o.batch_delete(dels);
+      return o.points();
+    }());
+  });
+}
+
+TEST_P(SpacMatrix, HeightStaysLogarithmicUnderChurn) {
+  auto pts = datagen::uniform<2>(30000, 7, kMax);
+  with_tree([&](auto& tree) {
+    tree.build(pts);
+    const std::size_t h0 = tree.height();
+    // Churn: delete/insert alternating slices.
+    for (int round = 0; round < 5; ++round) {
+      std::vector<Point2> slice;
+      for (std::size_t i = static_cast<std::size_t>(round); i < pts.size();
+           i += 5) {
+        slice.push_back(pts[i]);
+      }
+      tree.batch_delete(slice);
+      tree.batch_insert(slice);
+      ASSERT_NO_THROW(tree.check_invariants());
+    }
+    // Weight balance bounds the height: churn must not blow it up.
+    EXPECT_LE(tree.height(), h0 + 6);
+  });
+}
+
+TEST(Spac, EmptyAndSingleton) {
+  SpacHTree2 tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.knn(Point2{{0, 0}}, 3).empty());
+  EXPECT_EQ(tree.range_count(Box2{{{0, 0}}, {{kMax, kMax}}}), 0u);
+  tree.batch_insert({Point2{{7, 9}}});
+  EXPECT_EQ(tree.size(), 1u);
+  auto nn = tree.knn(Point2{{0, 0}}, 1);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0], (Point2{{7, 9}}));
+  tree.batch_delete({Point2{{7, 9}}});
+  EXPECT_TRUE(tree.empty());
+  EXPECT_NO_THROW(tree.check_invariants());
+}
+
+TEST(Spac, InsertIntoEmptyTreeBuilds) {
+  auto pts = datagen::uniform<2>(3000, 8, kMax);
+  SpacHTree2 tree;
+  tree.batch_insert(pts);
+  EXPECT_EQ(tree.size(), pts.size());
+  EXPECT_NO_THROW(tree.check_invariants());
+}
+
+TEST(Spac, DuplicatePointsSupported) {
+  std::vector<Point2> pts(500, Point2{{42, 43}});
+  SpacZTree2 tree;
+  tree.build(pts);
+  EXPECT_EQ(tree.size(), 500u);
+  EXPECT_NO_THROW(tree.check_invariants());
+  EXPECT_EQ(tree.range_count(Box2{{{42, 43}}, {{42, 43}}}), 500u);
+  tree.batch_delete(std::vector<Point2>(200, Point2{{42, 43}}));
+  EXPECT_EQ(tree.size(), 300u);
+  EXPECT_NO_THROW(tree.check_invariants());
+}
+
+TEST(Spac, DeleteNonexistentIsNoop) {
+  auto pts = datagen::uniform<2>(2000, 9, kMax);
+  SpacHTree2 tree;
+  tree.build(pts);
+  tree.batch_delete({Point2{{1, 1}}, Point2{{2, 2}}, Point2{{3, 3}}});
+  EXPECT_GE(tree.size(), pts.size() - 3);
+  EXPECT_NO_THROW(tree.check_invariants());
+}
+
+TEST(Spac, RelaxedLeavesActuallyGoUnsorted) {
+  // The defining behaviour of the SPaC-tree vs CPAM: after *small* batch
+  // updates (the highly-dynamic regime of the paper), appended-to leaves
+  // stay unsorted in relaxed mode and never in total mode. Large batches
+  // overflow leaves and rebuild them sorted, so use a ~1% batch.
+  auto pts = datagen::uniform<2>(20000, 10, kMax);
+  const std::size_t batch = 200;
+  const std::size_t base = pts.size() - batch;
+
+  SpacHTree2 relaxed;  // default params: relaxed
+  relaxed.build({pts.begin(), pts.begin() + base});
+  relaxed.batch_insert({pts.begin() + base, pts.end()});
+  EXPECT_GT(relaxed.unsorted_leaf_fraction(), 0.0);
+  EXPECT_NO_THROW(relaxed.check_invariants());
+
+  SpacHTree2 total(cpam_params());
+  total.build({pts.begin(), pts.begin() + base});
+  total.batch_insert({pts.begin() + base, pts.end()});
+  EXPECT_EQ(total.unsorted_leaf_fraction(), 0.0);
+}
+
+TEST(Spac, RelaxedAndTotalAgreeOnAllQueries) {
+  auto pts = datagen::varden<2>(8000, 11, kMax);
+  const std::size_t half = pts.size() / 2;
+  SpacHTree2 relaxed;
+  SpacHTree2 total(cpam_params());
+  for (auto* t : {&relaxed, &total}) {
+    t->build({pts.begin(), pts.begin() + half});
+    t->batch_insert({pts.begin() + half, pts.end()});
+  }
+  auto qs = datagen::ood_queries<2>(30, 11, kMax);
+  for (const auto& q : qs) {
+    auto a = relaxed.knn(q, 10);
+    auto b = total.knn(q, 10);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_DOUBLE_EQ(squared_distance(a[i], q), squared_distance(b[i], q));
+    }
+  }
+  auto ranges = datagen::range_boxes(qs, 70'000'000, kMax);
+  for (const auto& r : ranges) {
+    EXPECT_EQ(relaxed.range_count(r), total.range_count(r));
+  }
+}
+
+TEST(Spac, FusedAndUnfusedBuildsProduceSameTreeAnswers) {
+  auto pts = datagen::uniform<2>(10000, 12, kMax);
+  SpacParams fused;  // default: fused HybridSort
+  SpacParams unfused;
+  unfused.fused_build = false;
+  SpacHTree2 a(fused), b(unfused);
+  a.build(pts);
+  b.build(pts);
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.height(), b.height());
+  auto qs = datagen::ood_queries<2>(20, 12, kMax);
+  for (const auto& q : qs) {
+    EXPECT_EQ(a.knn(q, 5), b.knn(q, 5));
+  }
+}
+
+TEST(Spac, ThreeDimensionalHilbertAndMorton) {
+  auto pts = datagen::cosmo_sim(6000, 13);
+  BruteForceIndex<std::int64_t, 3> oracle;
+  oracle.build(pts);
+  auto qs = datagen::ood_queries<3>(15, 13, datagen::kDefaultMax3D);
+  auto ranges = datagen::range_boxes(qs, 100'000, datagen::kDefaultMax3D);
+  {
+    SpacHTree3 tree;
+    tree.build(pts);
+    EXPECT_NO_THROW(tree.check_invariants());
+    testutil::expect_queries_match(tree, oracle, qs, 10, ranges);
+    tree.batch_delete({pts.begin(), pts.begin() + 2000});
+    EXPECT_NO_THROW(tree.check_invariants());
+  }
+  {
+    SpacZTree3 tree;
+    tree.build(pts);
+    EXPECT_NO_THROW(tree.check_invariants());
+    testutil::expect_queries_match(tree, oracle, qs, 10, ranges);
+  }
+}
+
+TEST(Spac, MixedWorkloadAgainstOracle) {
+  auto pts = datagen::osm_sim(6000, 14);
+  SpacHTree2 tree;
+  BruteForceIndex<std::int64_t, 2> oracle;
+  std::vector<Point2> live;
+  const std::size_t batch = 600;
+  for (std::size_t round = 0; round * batch < pts.size(); ++round) {
+    const std::size_t lo = round * batch;
+    const std::size_t hi = std::min(pts.size(), lo + batch);
+    std::vector<Point2> ins(pts.begin() + static_cast<std::ptrdiff_t>(lo),
+                            pts.begin() + static_cast<std::ptrdiff_t>(hi));
+    tree.batch_insert(ins);
+    oracle.batch_insert(ins);
+    live.insert(live.end(), ins.begin(), ins.end());
+    if (round % 2 == 1) {
+      std::vector<Point2> dels;
+      for (std::size_t i = 0; i < live.size(); i += 5) dels.push_back(live[i]);
+      tree.batch_delete(dels);
+      oracle.batch_delete(dels);
+      for (const auto& d : dels) {
+        auto it = std::find(live.begin(), live.end(), d);
+        if (it != live.end()) {
+          *it = live.back();
+          live.pop_back();
+        }
+      }
+    }
+    ASSERT_EQ(tree.size(), oracle.size());
+    ASSERT_NO_THROW(tree.check_invariants());
+  }
+  auto qs = datagen::ood_queries<2>(20, 14, datagen::kDefaultMax2D);
+  auto ranges = datagen::range_boxes(qs, 60'000'000, datagen::kDefaultMax2D);
+  testutil::expect_queries_match(tree, oracle, qs, 10, ranges);
+}
+
+TEST(Spac, LeafWrapSweep) {
+  auto pts = datagen::uniform<2>(5000, 15, kMax);
+  for (std::size_t wrap : {2, 8, 40, 160}) {
+    SpacParams p;
+    p.leaf_wrap = wrap;
+    SpacHTree2 tree(p);
+    tree.build(pts);
+    EXPECT_EQ(tree.size(), pts.size());
+    EXPECT_NO_THROW(tree.check_invariants());
+    tree.batch_delete({pts.begin(), pts.begin() + 2500});
+    EXPECT_NO_THROW(tree.check_invariants());
+  }
+}
+
+}  // namespace
+}  // namespace psi

@@ -1,0 +1,52 @@
+// Shared helpers for index correctness tests: tie-insensitive kNN
+// comparison, multiset range comparison, and a generic index-vs-oracle
+// workout used by several suites.
+
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "psi/baselines/brute_force.h"
+#include "psi/geometry/point.h"
+
+namespace psi::testutil {
+
+// kNN answers may differ in tie order / tied membership; distances must
+// match exactly.
+template <typename PointT>
+void expect_knn_equivalent(const std::vector<PointT>& got, const PointT& q,
+                           const std::vector<double>& oracle_dists) {
+  ASSERT_EQ(got.size(), oracle_dists.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_DOUBLE_EQ(squared_distance(got[i], q), oracle_dists[i])
+        << "rank " << i << " query " << q;
+  }
+}
+
+template <typename PointT>
+void expect_same_multiset(std::vector<PointT> a, std::vector<PointT> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+// Cross-check an index against the brute-force oracle on a set of kNN and
+// range queries.
+template <typename Index, typename Oracle, typename PointT, typename BoxT>
+void expect_queries_match(const Index& index, const Oracle& oracle,
+                          const std::vector<PointT>& knn_queries, std::size_t k,
+                          const std::vector<BoxT>& ranges) {
+  ASSERT_EQ(index.size(), oracle.size());
+  for (const auto& q : knn_queries) {
+    expect_knn_equivalent(index.knn(q, k), q, oracle.knn_distances(q, k));
+  }
+  for (const auto& r : ranges) {
+    EXPECT_EQ(index.range_count(r), oracle.range_count(r));
+    expect_same_multiset(index.range_list(r), oracle.range_list(r));
+  }
+}
+
+}  // namespace psi::testutil

@@ -1,0 +1,119 @@
+// Tests for the Zd-tree baseline: Morton prefix invariants (with path
+// compression), query correctness, history independence of updates.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "psi/baselines/brute_force.h"
+#include "psi/baselines/zd_tree.h"
+#include "psi/datagen/generators.h"
+#include "test_util.h"
+
+namespace psi {
+namespace {
+
+constexpr std::int64_t kMax = 1'000'000'000;
+
+TEST(Zd, BuildInvariantsAndContents) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    auto pts = seed == 1 ? datagen::uniform<2>(20000, seed, kMax)
+               : seed == 2 ? datagen::varden<2>(20000, seed, kMax)
+                           : datagen::sweepline<2>(20000, seed, kMax);
+    ZdTree2 tree;
+    tree.build(pts);
+    EXPECT_EQ(tree.size(), pts.size());
+    EXPECT_NO_THROW(tree.check_invariants());
+    testutil::expect_same_multiset(tree.flatten(), pts);
+  }
+}
+
+TEST(Zd, QueriesMatchOracle) {
+  auto pts = datagen::varden<2>(8000, 4, kMax);
+  ZdTree2 tree;
+  tree.build(pts);
+  BruteForceIndex<std::int64_t, 2> oracle;
+  oracle.build(pts);
+  auto ind = datagen::ind_queries(pts, 25, 4, kMax);
+  auto ood = datagen::ood_queries<2>(25, 4, kMax);
+  auto ranges = datagen::range_boxes(ind, 50'000'000, kMax);
+  testutil::expect_queries_match(tree, oracle, ind, 10, ranges);
+  testutil::expect_queries_match(tree, oracle, ood, 10, ranges);
+}
+
+TEST(Zd, InsertMatchesOracleAndKeepsPrefixInvariant) {
+  auto pts = datagen::uniform<2>(6000, 5, kMax);
+  const std::size_t half = pts.size() / 2;
+  ZdTree2 tree;
+  tree.build({pts.begin(), pts.begin() + half});
+  tree.batch_insert({pts.begin() + half, pts.end()});
+  EXPECT_EQ(tree.size(), pts.size());
+  EXPECT_NO_THROW(tree.check_invariants());
+  BruteForceIndex<std::int64_t, 2> oracle;
+  oracle.build(pts);
+  auto qs = datagen::ood_queries<2>(20, 5, kMax);
+  auto ranges = datagen::range_boxes(qs, 80'000'000, kMax);
+  testutil::expect_queries_match(tree, oracle, qs, 10, ranges);
+}
+
+TEST(Zd, DeleteMatchesOracle) {
+  auto pts = datagen::sweepline<2>(6000, 6, kMax);
+  std::vector<Point2> dels;
+  for (std::size_t i = 0; i < pts.size(); i += 3) dels.push_back(pts[i]);
+  ZdTree2 tree;
+  tree.build(pts);
+  tree.batch_delete(dels);
+  EXPECT_NO_THROW(tree.check_invariants());
+  BruteForceIndex<std::int64_t, 2> oracle;
+  oracle.build(pts);
+  oracle.batch_delete(dels);
+  EXPECT_EQ(tree.size(), oracle.size());
+  auto qs = datagen::ood_queries<2>(20, 6, kMax);
+  auto ranges = datagen::range_boxes(qs, 80'000'000, kMax);
+  testutil::expect_queries_match(tree, oracle, qs, 10, ranges);
+}
+
+TEST(Zd, IncrementalSmallBatchesEndToEmpty) {
+  auto pts = datagen::varden<2>(5000, 7, kMax);
+  ZdTree2 tree;
+  const std::size_t batch = 250;
+  for (std::size_t lo = 0; lo < pts.size(); lo += batch) {
+    const auto hi = std::min(pts.size(), lo + batch);
+    tree.batch_insert({pts.begin() + static_cast<std::ptrdiff_t>(lo),
+                       pts.begin() + static_cast<std::ptrdiff_t>(hi)});
+    ASSERT_EQ(tree.size(), hi);
+    ASSERT_NO_THROW(tree.check_invariants());
+  }
+  for (std::size_t lo = 0; lo < pts.size(); lo += batch) {
+    const auto hi = std::min(pts.size(), lo + batch);
+    tree.batch_delete({pts.begin() + static_cast<std::ptrdiff_t>(lo),
+                       pts.begin() + static_cast<std::ptrdiff_t>(hi)});
+    ASSERT_NO_THROW(tree.check_invariants());
+  }
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(Zd, DuplicatesAndDegenerates) {
+  ZdTree2 tree;
+  tree.build(std::vector<Point2>(200, Point2{{77, 88}}));
+  EXPECT_EQ(tree.size(), 200u);
+  EXPECT_NO_THROW(tree.check_invariants());
+  tree.batch_delete(std::vector<Point2>(50, Point2{{77, 88}}));
+  EXPECT_EQ(tree.size(), 150u);
+  EXPECT_NO_THROW(tree.check_invariants());
+}
+
+TEST(Zd, ThreeDimensional) {
+  auto pts = datagen::uniform<3>(6000, 8, datagen::kDefaultMax3D);
+  ZdTree3 tree;
+  tree.build(pts);
+  EXPECT_NO_THROW(tree.check_invariants());
+  BruteForceIndex<std::int64_t, 3> oracle;
+  oracle.build(pts);
+  auto qs = datagen::ood_queries<3>(15, 8, datagen::kDefaultMax3D);
+  auto ranges = datagen::range_boxes(qs, 150'000, datagen::kDefaultMax3D);
+  testutil::expect_queries_match(tree, oracle, qs, 10, ranges);
+}
+
+}  // namespace
+}  // namespace psi
