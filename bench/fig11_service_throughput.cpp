@@ -1,0 +1,172 @@
+// Fig 11 (extension, not in the paper): psi::service throughput.
+//
+// Measures SpatialService<SpacZTree2> end-to-end ops/sec as a function of
+// shard count K and read/write mix, over an OSM-like base dataset. Client
+// threads submit updates through the queue (background group committer
+// enabled) and run queries through snapshots — the production read path.
+//
+// Output: a fixed-width table for humans plus one JSON line per cell
+// (prefix "BENCH_JSON ") in the flat shape of ServiceStats::json(), so
+// BENCH_*.json trajectories can track service throughput across PRs:
+//
+//   BENCH_JSON {"bench":"fig11_service_throughput","backend":"SPaC-Z",
+//               "shards":8,"read_pct":90,"clients":4,"n":...,"ops":...,
+//               "seconds":...,"ops_per_sec":...,"stats":{...}}
+//
+// Knobs: PSI_BENCH_N (base points), PSI_BENCH_Q (ops per cell),
+// PSI_BENCH_CLIENTS (client threads), PSI_NUM_WORKERS (scheduler).
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace psi;
+using namespace psi::bench;
+using namespace psi::service;
+
+int bench_clients(int fallback) {
+  if (const char* s = std::getenv("PSI_BENCH_CLIENTS")) {
+    const int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+struct Cell {
+  std::size_t shards;
+  int read_pct;
+  std::size_t ops;
+  double seconds;
+  ServiceStats stats;
+
+  double ops_per_sec() const { return seconds > 0 ? static_cast<double>(ops) / seconds : 0; }
+};
+
+// One client's slice of a mixed workload: `read_pct`% snapshot queries
+// (alternating 10-NN and range_count), the rest queued inserts/deletes
+// (2:1). Updates go through futures; the last batch is awaited so the cell
+// measures committed work, not queue depth.
+void run_client(SpatialService<SpacZTree2>& svc, int id, std::size_t ops,
+                int read_pct, const std::vector<Point2>& fresh,
+                std::atomic<std::uint64_t>& sink) {
+  Rng rng(static_cast<std::uint64_t>(id) * 7919 + 13);
+  std::vector<std::future<Result<std::int64_t, 2>>> futs;
+  futs.reserve(ops);
+  std::uint64_t local = 0;
+  std::size_t next_fresh = 0;
+  for (std::size_t i = 0; i < ops; ++i) {
+    const bool read =
+        static_cast<int>(rng.ith_bounded(2 * i, 100)) < read_pct;
+    if (read) {
+      auto snap = svc.snapshot();
+      Point2 q{{static_cast<std::int64_t>(rng.ith_bounded(4 * i, kMax2)),
+                static_cast<std::int64_t>(rng.ith_bounded(4 * i + 1, kMax2))}};
+      if (i % 2 == 0) {
+        local += snap.knn(q, 10).size();
+      } else {
+        Box2 b;
+        const std::int64_t half = kMax2 / 100;
+        for (int d = 0; d < 2; ++d) {
+          b.lo[d] = std::max<std::int64_t>(0, q[d] - half);
+          b.hi[d] = std::min<std::int64_t>(kMax2, q[d] + half);
+        }
+        local += snap.range_count(b);
+      }
+    } else {
+      const Point2& p = fresh[next_fresh++ % fresh.size()];
+      if (next_fresh % 3 == 0) {
+        futs.push_back(svc.submit_delete(p));
+      } else {
+        futs.push_back(svc.submit_insert(p));
+      }
+    }
+  }
+  for (auto& f : futs) local += f.get().epoch != 0 ? 1 : 0;
+  sink.fetch_add(local, std::memory_order_relaxed);
+}
+
+Cell run_cell(std::size_t shards, int read_pct, std::size_t n,
+              std::size_t ops_per_client, int clients,
+              const std::vector<Point2>& base) {
+  ServiceConfig cfg;
+  cfg.initial_shards = shards;
+  // Keep the topology fixed so the cell isolates shard-count scaling.
+  cfg.split_threshold = n * 8;
+  cfg.merge_threshold = 1;
+  SpatialService<SpacZTree2> svc(cfg);
+  svc.build(base);
+  svc.start();
+
+  // Per-client fresh points (disjoint from base and each other).
+  std::vector<std::vector<Point2>> fresh(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    fresh[static_cast<std::size_t>(c)] = datagen::uniform<2>(
+        ops_per_client, 0xf00d + static_cast<std::uint64_t>(c), kMax2);
+  }
+
+  std::atomic<std::uint64_t> sink{0};
+  Timer t;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      run_client(svc, c, ops_per_client, read_pct,
+                 fresh[static_cast<std::size_t>(c)], sink);
+    });
+  }
+  for (auto& th : threads) th.join();
+  svc.flush();
+  const double secs = t.seconds();
+  svc.stop();
+
+  Cell cell;
+  cell.shards = shards;
+  cell.read_pct = read_pct;
+  cell.ops = ops_per_client * static_cast<std::size_t>(clients);
+  cell.seconds = secs;
+  cell.stats = svc.stats();
+  if (sink.load() == 0) std::printf("(unexpected zero sink)\n");
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = bench_n(200000);
+  const std::size_t ops = bench_queries(20000);
+  const int clients = bench_clients(4);
+  const auto base = psi::datagen::osm_sim(n, 1);
+
+  std::printf("Fig 11: service throughput — SPaC-Z backend, %zu base points, "
+              "%d clients, %zu ops/client, %d scheduler workers\n",
+              n, clients, ops, psi::num_workers());
+  std::printf("(shard-count scaling comes from the per-shard parallel apply "
+              "and per-query fan-out;\n expect K>1 gains only with multiple "
+              "scheduler workers / cores)\n");
+  Table table({"read%", "K=1", "K=2", "K=4", "K=8"});
+  const std::size_t shard_counts[] = {1, 2, 4, 8};
+
+  for (int read_pct : {90, 50, 10}) {
+    std::vector<std::string> row{std::to_string(read_pct)};
+    for (std::size_t k : shard_counts) {
+      Cell cell = run_cell(k, read_pct, n, ops, clients, base);
+      row.push_back(Table::fmt(cell.ops_per_sec()));
+      std::printf("BENCH_JSON {\"bench\":\"fig11_service_throughput\","
+                  "\"backend\":\"SPaC-Z\",\"shards\":%zu,\"read_pct\":%d,"
+                  "\"clients\":%d,\"workers\":%d,\"n\":%zu,\"ops\":%zu,"
+                  "\"seconds\":%.4f,\"ops_per_sec\":%.1f,\"stats\":%s}\n",
+                  cell.shards, cell.read_pct, clients, psi::num_workers(), n,
+                  cell.ops, cell.seconds, cell.ops_per_sec(),
+                  cell.stats.json().c_str());
+    }
+    table.row(row);
+  }
+  return 0;
+}

@@ -103,6 +103,10 @@ class RTree {
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  // Tight bounding box of all stored points (empty box when empty). The
+  // service layer prunes cross-shard fan-out with it.
+  box_t bounds() const { return root_ ? root_->bbox : box_t::empty(); }
+
   std::vector<point_t> knn(const point_t& q, std::size_t k) const {
     // Best-first search over a priority queue of (mindist, node).
     KnnBuffer<point_t> buf(k);

@@ -123,6 +123,10 @@ class POrthTree {
   bool empty() const { return size() == 0; }
   const box_t& universe() const { return universe_; }
 
+  // Tight bounding box of all stored points (empty box when empty). The
+  // service layer prunes cross-shard fan-out with it.
+  box_t bounds() const { return root_ ? root_->bbox : box_t::empty(); }
+
   // k nearest neighbours of q, sorted by increasing distance.
   std::vector<point_t> knn(const point_t& q, std::size_t k) const {
     KnnBuffer<point_t> buf(k);

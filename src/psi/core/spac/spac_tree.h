@@ -127,6 +127,10 @@ class SpacTree {
   std::size_t size() const { return count(root_.get()); }
   bool empty() const { return size() == 0; }
 
+  // Tight bounding box of all stored points (empty box when empty). The
+  // service layer prunes cross-shard fan-out with it.
+  box_t bounds() const { return root_ ? root_->bbox : box_t::empty(); }
+
   std::vector<point_t> knn(const point_t& q, std::size_t k) const {
     KnnBuffer<point_t> buf(k);
     if (root_) knn_rec(root_.get(), q, buf);

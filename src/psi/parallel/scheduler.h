@@ -198,6 +198,16 @@ void parallel_for(std::size_t lo, std::size_t hi, F&& f,
   rec(lo, hi);
 }
 
+// Parallel loop with one task per index, regardless of trip count. The
+// service layer's per-shard apply uses this: shard counts are small (≤ a
+// few hundred) and per-shard work is a whole batch update, so the automatic
+// grain of parallel_for — tuned for million-element data loops — would
+// serialise the shards instead of spreading them across workers.
+template <typename F>
+void parallel_for_shards(std::size_t num_shards, F&& f) {
+  parallel_for(0, num_shards, std::forward<F>(f), 1);
+}
+
 // Parallel loop over blocks: calls f(block_index, block_lo, block_hi) for
 // ceil(n / block_size) contiguous blocks covering [0, n).
 template <typename F>

@@ -14,6 +14,10 @@
 //   psi::RTree<Coord, D>                sequential quadratic R-tree baseline
 //   psi::BruteForceIndex<Coord, D>      O(n) oracle (tests)
 //
+// Service layer (psi::service): SpatialService<Index> — a sharded,
+// epoch-versioned concurrent façade over any of the indexes above
+// (submit()/flush()/snapshot()/stats(); see src/psi/service/service.h).
+//
 // Substrates: psi::parallel (fork-join scheduler + primitives), psi::sfc
 // (Morton/Hilbert codecs), psi::datagen (paper workload generators).
 
@@ -39,4 +43,11 @@
 #include "psi/parallel/random.h"
 #include "psi/parallel/scheduler.h"
 #include "psi/parallel/sort.h"
+#include "psi/service/epoch.h"
+#include "psi/service/group_commit.h"
+#include "psi/service/request_queue.h"
+#include "psi/service/service.h"
+#include "psi/service/service_stats.h"
+#include "psi/service/shard_map.h"
+#include "psi/service/snapshot.h"
 #include "psi/sfc/codec.h"

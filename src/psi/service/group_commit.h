@@ -1,0 +1,428 @@
+// PSI-Lib service layer: the group-commit writer.
+//
+// A GroupCommitter turns single-writer batch-dynamic indexes into an
+// epoch-published, sharded store. It is the only component that mutates
+// index state, and callers must serialise calls into it (SpatialService
+// does, with one commit mutex); everything else — readers, producers — is
+// wait-free with respect to it.
+//
+// Commit protocol for one drained request group:
+//   1. Route updates: every insert/delete goes to exactly one shard through
+//      the ShardMap (by SFC code of the point), coalescing maximal runs of
+//      same-kind ops so FIFO submission order is preserved exactly (a
+//      delete-then-insert of the same point nets to present, and vice
+//      versa).
+//   2. Apply: for each touched shard, take the *standby* replica, wait for
+//      it to become quiescent (epoch.h grace period), replay the pending
+//      log (the runs the replica missed last time), apply this group's
+//      runs in order, and swap the replica in as the shard's live
+//      instance. Shards apply in parallel on the fork-join scheduler
+//      (parallel_for_shards).
+//   3. Rebalance: split any shard whose population exceeds the split
+//      threshold at the median SFC code of its contents, and merge adjacent
+//      underfull shards — bp-forest's seat split/merge, on curve ranges.
+//      Rebuilt shards get two fresh replicas and an empty pending log.
+//   4. Publish: a new View (map + live handles) is stamped with the next
+//      epoch and swapped in atomically. Update futures resolve with this
+//      epoch.
+//   5. Answer the group's queries against the just-published view, in
+//      parallel over queries. A query drained in group G therefore observes
+//      every update of groups <= G and nothing later — group-commit
+//      linearisation.
+//
+// The ping-pong standby costs 2x memory and applies every batch twice, and
+// in exchange updates never copy a tree and readers never take a lock; the
+// replay is batched work on a tree of the same size the live apply just
+// handled, so write throughput stays within ~2x of the raw index.
+
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "psi/parallel/primitives.h"
+#include "psi/parallel/scheduler.h"
+#include "psi/parallel/sort.h"
+#include "psi/service/epoch.h"
+#include "psi/service/request_queue.h"
+#include "psi/service/service_stats.h"
+#include "psi/service/shard_map.h"
+#include "psi/service/snapshot.h"
+
+namespace psi::service {
+
+struct ServiceConfig {
+  std::size_t initial_shards = 4;
+  // Drain at most this many requests per commit group (0 = unbounded).
+  std::size_t max_group = 0;
+  // Split a shard above this many points; merge two adjacent shards whose
+  // combined population falls below merge_threshold (0 = split_threshold/4).
+  std::size_t split_threshold = std::size_t{1} << 21;
+  std::size_t merge_threshold = 0;
+  // Never merge below this many shards; 0 = initial_shards, so an explicit
+  // shard count acts as a floor and small datasets don't silently collapse
+  // to one shard under the (large-scale) default merge threshold.
+  std::size_t min_shards = 0;
+  std::size_t max_shards = 1024;
+  // Background committer wake-up interval (service.h).
+  int commit_interval_ms = 1;
+
+  std::size_t effective_merge_threshold() const {
+    return merge_threshold != 0 ? merge_threshold : split_threshold / 4;
+  }
+  std::size_t effective_min_shards() const {
+    return std::max<std::size_t>(1, min_shards != 0 ? min_shards
+                                                    : initial_shards);
+  }
+};
+
+template <typename Index, typename Codec>
+class GroupCommitter {
+ public:
+  using view_t = View<Index, Codec>;
+  using point_t = typename view_t::point_t;
+  using box_t = typename view_t::box_t;
+  using coord_t = typename view_t::coord_t;
+  static constexpr int kDim = view_t::kDim;
+  using map_t = typename view_t::map_t;
+  using request_t = Request<coord_t, kDim>;
+  using result_t = Result<coord_t, kDim>;
+  using snapshot_t = Snapshot<Index, Codec>;
+  using factory_t = std::function<Index()>;
+
+  GroupCommitter(ServiceConfig cfg, factory_t factory)
+      : cfg_(cfg),
+        factory_(std::move(factory)),
+        map_(map_t::uniform(std::max<std::size_t>(1, cfg.initial_shards))) {
+    slots_.resize(map_.num_shards());
+    for (auto& s : slots_) {
+      s.live = make_index();
+      s.standby = make_index();
+    }
+    publish();
+  }
+
+  // Reader entry point: pin the current view.
+  std::shared_ptr<const view_t> acquire() const { return slot_.acquire(); }
+
+  // Bulk load (replaces current contents). The shard map is recomputed
+  // with equal-population boundaries at the code quantiles of the data —
+  // the static analogue of what split/merge converges to under streaming
+  // updates. One encode pass + one parallel sort yields both the
+  // boundaries and contiguous per-shard slices, from which both replicas
+  // of each shard are built.
+  void load(const std::vector<point_t>& pts) {
+    const std::size_t n = pts.size();
+    std::vector<Coded> coded = tabulate<Coded>(n, [&](std::size_t i) {
+      return Coded{Codec::encode(pts[i]), pts[i]};
+    });
+    sample_sort(coded, [](const Coded& a, const Coded& b) {
+      if (a.code != b.code) return a.code < b.code;
+      return a.pt < b.pt;
+    });
+    std::vector<std::uint64_t> codes = tabulate<std::uint64_t>(
+        n, [&](std::size_t i) { return coded[i].code; });
+    map_ = map_t::from_sorted_codes(
+        codes, std::max<std::size_t>(1, cfg_.initial_shards));
+    const std::size_t k = map_.num_shards();
+    slots_.assign(k, ShardSlot{});
+    parallel_for_shards(k, [&](std::size_t i) {
+      // Shard i owns the contiguous sorted slice of codes in its range.
+      const auto lo = std::lower_bound(codes.begin(), codes.end(),
+                                       map_.lower_bound_of(i)) -
+                      codes.begin();
+      const auto hi = std::upper_bound(codes.begin(), codes.end(),
+                                       map_.upper_bound_of(i)) -
+                      codes.begin();
+      std::vector<point_t> part = tabulate<point_t>(
+          static_cast<std::size_t>(hi - lo), [&](std::size_t j) {
+            return coded[static_cast<std::size_t>(lo) + j].pt;
+          });
+      slots_[i].live = make_index();
+      slots_[i].live->build(part);
+      slots_[i].standby = make_index();
+      slots_[i].standby->build(part);
+    });
+    rebalance();
+    publish();
+  }
+
+  // Apply one drained FIFO group. Must be externally serialised.
+  void commit(std::vector<request_t> group) {
+    if (group.empty()) return;
+    const std::size_t k = map_.num_shards();
+    // Per-shard ordered runs of same-kind ops: coalesces into batches while
+    // preserving each shard's FIFO op order exactly.
+    std::vector<std::vector<OpRun>> runs(k);
+    std::vector<request_t*> queries;
+    bool has_updates = false;
+    for (auto& req : group) {
+      switch (req.kind) {
+        case RequestKind::kInsert:
+        case RequestKind::kDelete: {
+          const bool is_delete = req.kind == RequestKind::kDelete;
+          ++(is_delete ? stats_.ops_delete : stats_.ops_insert);
+          auto& shard_runs = runs[map_.shard_of(req.pt)];
+          if (shard_runs.empty() || shard_runs.back().is_delete != is_delete) {
+            shard_runs.push_back(OpRun{is_delete, {}});
+          }
+          shard_runs.back().pts.push_back(req.pt);
+          has_updates = true;
+          break;
+        }
+        case RequestKind::kKnn:
+          ++stats_.ops_knn;
+          queries.push_back(&req);
+          break;
+        case RequestKind::kRangeCount:
+          ++stats_.ops_range_count;
+          queries.push_back(&req);
+          break;
+        case RequestKind::kRangeList:
+          ++stats_.ops_range_list;
+          queries.push_back(&req);
+          break;
+      }
+    }
+
+    if (has_updates) {
+      std::vector<std::uint64_t> yields(k, 0);
+      parallel_for_shards(k, [&](std::size_t i) {
+        if (runs[i].empty()) return;
+        yields[i] = apply_shard(i, std::move(runs[i]));
+      });
+      for (auto y : yields) stats_.grace_yields += y;
+      rebalance();
+      publish();
+    }
+
+    const std::uint64_t epoch = stats_.epoch;
+    // Answer queries against the (possibly just republished) current view.
+    snapshot_t snap(acquire());
+    parallel_for(
+        0, queries.size(),
+        [&](std::size_t qi) {
+          request_t& req = *queries[qi];
+          result_t res;
+          res.epoch = epoch;
+          switch (req.kind) {
+            case RequestKind::kKnn:
+              res.points = snap.knn(req.pt, req.k);
+              break;
+            case RequestKind::kRangeCount:
+              res.count = snap.range_count(req.box);
+              break;
+            case RequestKind::kRangeList:
+              res.points = snap.range_list(req.box);
+              res.count = res.points.size();
+              break;
+            default:
+              break;
+          }
+          req.promise.set_value(std::move(res));
+        },
+        1);
+    // Update futures resolve after publication: when the future is ready,
+    // the op is visible to every subsequent snapshot.
+    for (auto& req : group) {
+      if (req.kind == RequestKind::kInsert || req.kind == RequestKind::kDelete) {
+        result_t res;
+        res.epoch = epoch;
+        req.promise.set_value(std::move(res));
+      }
+    }
+  }
+
+  ServiceStats stats() const {
+    ServiceStats s = stats_;
+    s.replica_rebuilds = replica_rebuilds_.load(std::memory_order_relaxed);
+    s.num_shards = slots_.size();
+    s.shard_sizes.clear();
+    s.shard_sizes.reserve(slots_.size());
+    s.size_total = 0;
+    for (const auto& slot : slots_) {
+      s.shard_sizes.push_back(slot.live->size());
+      s.size_total += slot.live->size();
+    }
+    return s;
+  }
+
+ private:
+  // A maximal run of same-kind update ops, in FIFO order.
+  struct OpRun {
+    bool is_delete = false;
+    std::vector<point_t> pts;
+  };
+
+  // A point with its routing code, the unit load() and split_shard() sort.
+  struct Coded {
+    std::uint64_t code;
+    point_t pt;
+  };
+
+  struct ShardSlot {
+    std::shared_ptr<Index> live;     // state as of the last published epoch
+    std::shared_ptr<Index> standby;  // lags live by exactly the pending log
+    std::vector<OpRun> pending;      // runs applied to live but not standby
+    // Size at which the last split attempt failed (one giant equal-code
+    // run). Skips re-paying flatten+sort every commit until the shard's
+    // population actually changes.
+    std::size_t unsplittable_at = 0;
+  };
+
+  std::shared_ptr<Index> make_index() const {
+    return std::make_shared<Index>(factory_());
+  }
+
+  // Replay + apply on the standby replica, then swap it live.
+  std::uint64_t apply_shard(std::size_t i, std::vector<OpRun> group_runs) {
+    ShardSlot& s = slots_[i];
+    const GraceResult grace = await_quiescent(s.standby);
+    if (!grace.quiesced) {
+      // A stale reader (possibly this very thread, holding a Snapshot
+      // across a flush) pins the replica: abandon it and clone live, which
+      // already contains the pending log.
+      s.standby = make_index();
+      s.standby->build(s.live->flatten());
+      s.pending.clear();
+      ++replica_rebuilds_;
+    }
+    Index& idx = *s.standby;
+    for (const OpRun& run : s.pending) apply_run(idx, run);
+    for (const OpRun& run : group_runs) apply_run(idx, run);
+    std::swap(s.live, s.standby);
+    s.pending = std::move(group_runs);
+    return grace.iters;
+  }
+
+  static void apply_run(Index& idx, const OpRun& run) {
+    if (run.pts.empty()) return;
+    if (run.is_delete) {
+      idx.batch_delete(run.pts);
+    } else {
+      idx.batch_insert(run.pts);
+    }
+  }
+
+  // bp-forest style seat management: split overgrown shards at the median
+  // code of their contents, merge adjacent underfull neighbours.
+  void rebalance() {
+    for (std::size_t i = 0; i < slots_.size();) {
+      if (slots_[i].live->size() > cfg_.split_threshold &&
+          slots_[i].live->size() != slots_[i].unsplittable_at &&
+          map_.num_shards() < cfg_.max_shards) {
+        if (split_shard(i)) {
+          ++stats_.splits;
+          continue;  // re-examine the left half (may still be overgrown)
+        }
+        slots_[i].unsplittable_at = slots_[i].live->size();
+      }
+      ++i;
+    }
+    const std::size_t merge_at = cfg_.effective_merge_threshold();
+    const std::size_t min_shards = cfg_.effective_min_shards();
+    for (std::size_t i = 0; i + 1 < slots_.size();) {
+      const std::size_t combined =
+          slots_[i].live->size() + slots_[i + 1].live->size();
+      if (combined < merge_at && slots_.size() > min_shards) {
+        merge_shards(i);
+        ++stats_.merges;
+        continue;  // the merged shard may absorb the next neighbour too
+      }
+      ++i;
+    }
+  }
+
+  bool split_shard(std::size_t i) {
+    const std::vector<point_t> pts = slots_[i].live->flatten();
+    const std::size_t n = pts.size();
+    if (n < 2) return false;
+    // Codes are computed once and sorted with the parallel sample sort:
+    // this runs under the commit lock on a threshold-sized shard, so a
+    // sequential comparison sort (encoding per comparison) would stall
+    // every queued client.
+    std::vector<Coded> coded = tabulate<Coded>(n, [&](std::size_t j) {
+      return Coded{Codec::encode(pts[j]), pts[j]};
+    });
+    sample_sort(coded, [](const Coded& a, const Coded& b) {
+      if (a.code != b.code) return a.code < b.code;
+      return a.pt < b.pt;
+    });
+    // Cut at the median code; push the cut right past an equal-code run so
+    // the boundary separates (all codes <= boundary go left). If the run
+    // reaches the end of the shard, cut just before the run instead — a
+    // hot duplicated key keeps its own (new) shard and the rest splits
+    // off. Only a shard that is one single equal-code run cannot split.
+    std::size_t mid = n / 2;
+    std::uint64_t boundary = coded[mid - 1].code;
+    while (mid < n && coded[mid].code == boundary) ++mid;
+    if (mid == n) {
+      std::size_t run_start = n / 2;
+      while (run_start > 0 && coded[run_start - 1].code == boundary) {
+        --run_start;
+      }
+      if (run_start == 0) return false;  // whole shard is one code
+      mid = run_start;
+      boundary = coded[mid - 1].code;
+    }
+    if (!map_.split(i, boundary)) return false;
+    std::vector<point_t> left = tabulate<point_t>(
+        mid, [&](std::size_t j) { return coded[j].pt; });
+    std::vector<point_t> right = tabulate<point_t>(
+        n - mid, [&](std::size_t j) { return coded[mid + j].pt; });
+    ShardSlot ls = build_slot(left), rs = build_slot(right);
+    slots_[i] = std::move(ls);
+    slots_.insert(slots_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                  std::move(rs));
+    return true;
+  }
+
+  void merge_shards(std::size_t i) {
+    std::vector<point_t> pts = slots_[i].live->flatten();
+    std::vector<point_t> rhs = slots_[i + 1].live->flatten();
+    pts.insert(pts.end(), rhs.begin(), rhs.end());
+    map_.merge(i);
+    slots_[i] = build_slot(pts);
+    slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+  }
+
+  ShardSlot build_slot(const std::vector<point_t>& pts) const {
+    ShardSlot s;
+    s.live = make_index();
+    s.live->build(pts);
+    s.standby = make_index();
+    s.standby->build(pts);
+    return s;
+  }
+
+  std::uint64_t publish() {
+    auto v = std::make_shared<view_t>();
+    v->epoch = epoch_.advance();
+    v->map = map_;
+    v->shards.reserve(slots_.size());
+    for (const auto& s : slots_) v->shards.push_back(s.live);
+    slot_.publish(std::move(v));
+    stats_.epoch = epoch_.current();
+    ++stats_.commits;
+    return stats_.epoch;
+  }
+
+  ServiceConfig cfg_;
+  factory_t factory_;
+  map_t map_;
+  std::vector<ShardSlot> slots_;
+  EpochCounter epoch_;
+  SnapshotSlot<view_t> slot_;
+  ServiceStats stats_;
+  // Incremented from the parallel per-shard apply, hence atomic.
+  std::atomic<std::uint64_t> replica_rebuilds_{0};
+};
+
+}  // namespace psi::service

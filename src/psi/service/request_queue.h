@@ -1,0 +1,209 @@
+// PSI-Lib service layer: MPMC request queue.
+//
+// Client threads push mixed update/query requests; the single group-commit
+// writer drains them in FIFO batches (see group_commit.h). Each request
+// carries a promise; the client holds the matching future and is woken when
+// the committer resolves it:
+//
+//   * Insert / Delete  -> resolves with the epoch that made the op visible.
+//   * Knn / RangeList  -> resolves with the result points.
+//   * RangeCount       -> resolves with the count.
+//
+// A mutex + condition-variable deque is deliberate: producers enqueue one
+// small struct per op while the consumer amortises the lock over an entire
+// drained group, so the queue is never the bottleneck — the indexes are.
+
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "psi/geometry/box.h"
+#include "psi/geometry/point.h"
+
+namespace psi::service {
+
+enum class RequestKind : std::uint8_t {
+  kInsert,
+  kDelete,
+  kKnn,
+  kRangeCount,
+  kRangeList,
+};
+
+inline const char* kind_name(RequestKind k) {
+  switch (k) {
+    case RequestKind::kInsert: return "insert";
+    case RequestKind::kDelete: return "delete";
+    case RequestKind::kKnn: return "knn";
+    case RequestKind::kRangeCount: return "range_count";
+    case RequestKind::kRangeList: return "range_list";
+  }
+  return "?";
+}
+
+// One result type for every request kind keeps the promise machinery
+// monomorphic; unused fields stay empty.
+template <typename Coord, int D>
+struct Result {
+  std::uint64_t epoch = 0;             // epoch that answered / committed
+  std::size_t count = 0;               // range_count
+  std::vector<Point<Coord, D>> points; // knn / range_list
+};
+
+template <typename Coord, int D>
+struct Request {
+  using point_t = Point<Coord, D>;
+  using box_t = Box<Coord, D>;
+  using result_t = Result<Coord, D>;
+
+  RequestKind kind = RequestKind::kInsert;
+  point_t pt{};        // insert / delete / knn centre
+  box_t box{};         // range_count / range_list
+  std::size_t k = 0;   // knn
+  std::promise<result_t> promise;
+
+  static Request insert(point_t p) {
+    Request r;
+    r.kind = RequestKind::kInsert;
+    r.pt = p;
+    return r;
+  }
+  static Request remove(point_t p) {
+    Request r;
+    r.kind = RequestKind::kDelete;
+    r.pt = p;
+    return r;
+  }
+  static Request knn(point_t q, std::size_t k) {
+    Request r;
+    r.kind = RequestKind::kKnn;
+    r.pt = q;
+    r.k = k;
+    return r;
+  }
+  static Request range_count(box_t b) {
+    Request r;
+    r.kind = RequestKind::kRangeCount;
+    r.box = b;
+    return r;
+  }
+  static Request range_list(box_t b) {
+    Request r;
+    r.kind = RequestKind::kRangeList;
+    r.box = b;
+    return r;
+  }
+};
+
+template <typename Coord, int D>
+class RequestQueue {
+ public:
+  using request_t = Request<Coord, D>;
+  using result_t = Result<Coord, D>;
+
+  // Producer side. Returns the future paired with the request's promise.
+  std::future<result_t> push(request_t req) {
+    std::future<result_t> fut = req.promise.get_future();
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      q_.push_back(std::move(req));
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  // Bulk producer path: one lock acquisition for a whole client batch.
+  std::vector<std::future<result_t>> push_bulk(std::vector<request_t> reqs) {
+    std::vector<std::future<result_t>> futs;
+    futs.reserve(reqs.size());
+    for (auto& r : reqs) futs.push_back(r.promise.get_future());
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      for (auto& r : reqs) q_.push_back(std::move(r));
+    }
+    cv_.notify_one();
+    return futs;
+  }
+
+  // Consumer side: move up to `max_batch` requests out in FIFO order
+  // (0 = no limit). Never blocks.
+  std::vector<request_t> drain(std::size_t max_batch = 0) {
+    std::lock_guard<std::mutex> g(mu_);
+    return drain_locked(max_batch);
+  }
+
+  // Consumer side: block until a request arrives or the queue is closed,
+  // then drain. Returns an empty vector only once closed and empty.
+  std::vector<request_t> wait_drain(std::size_t max_batch = 0) {
+    std::unique_lock<std::mutex> g(mu_);
+    cv_.wait(g, [&] { return !q_.empty() || closed_; });
+    return drain_locked(max_batch);
+  }
+
+  // Block until a request is available, the queue is closed, or `timeout`
+  // elapses; true iff the queue is non-empty. Lets the background committer
+  // sleep without holding any lock that drain/commit needs (service.h).
+  bool wait_nonempty(std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> g(mu_);
+    cv_.wait_for(g, timeout, [&] { return !q_.empty() || closed_; });
+    return !q_.empty();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return q_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+  // Wake the consumer for shutdown; subsequent pushes are still accepted
+  // (flush drains them), but wait_drain no longer blocks.
+  void close() {
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return closed_;
+  }
+
+  // Undo close(): a restarted consumer blocks in wait_* again instead of
+  // spinning on the closed flag.
+  void reopen() {
+    std::lock_guard<std::mutex> g(mu_);
+    closed_ = false;
+  }
+
+ private:
+  std::vector<request_t> drain_locked(std::size_t max_batch) {
+    const std::size_t n =
+        max_batch == 0 ? q_.size() : std::min(max_batch, q_.size());
+    std::vector<request_t> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(q_.front()));
+      q_.pop_front();
+    }
+    return out;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<request_t> q_;
+  bool closed_ = false;
+};
+
+}  // namespace psi::service

@@ -1,0 +1,206 @@
+// PSI-Lib service layer: the façade.
+//
+// SpatialService<Index> turns any single-writer batch-dynamic index of the
+// library (SpacHTree, SpacZTree, POrthTree, PkdTree, ZdTree, ...) into a
+// concurrent, sharded service:
+//
+//   * any number of client threads submit() mixed updates and queries and
+//     get std::futures back;
+//   * one group-commit writer drains the queue, coalesces the updates into
+//     per-shard batches, applies them through the index's own batch_insert /
+//     batch_delete on the fork-join scheduler, and publishes a new epoch
+//     (group_commit.h);
+//   * readers can bypass the queue entirely: snapshot() pins the current
+//     epoch with one atomic load and serves knn/range queries lock-free
+//     against it (snapshot.h) — readers never block the writer and vice
+//     versa.
+//
+// Two driving modes:
+//   * background (start()/stop()): a dedicated committer thread batches
+//     whatever accumulates between wake-ups — the production shape;
+//   * manual (no start()): clients call flush() to pump the queue
+//     synchronously — deterministic, used by the unit tests.
+//
+// Consistency contract: a query submitted through the queue observes every
+// update drained in its own commit group and all earlier groups (updates of
+// one group apply before its queries, in FIFO submission order per shard).
+// A snapshot() observes exactly the last published epoch. Update futures
+// resolve with the epoch that made the op visible.
+//
+// Caveat: holding a Snapshot pins its epoch's replicas. The writer never
+// blocks on that (bounded grace period, then replica rebuild), but pinning
+// snapshots across many commits costs rebuild work — prefer short-lived
+// snapshots under write-heavy traffic.
+
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "psi/service/group_commit.h"
+#include "psi/service/request_queue.h"
+#include "psi/service/service_stats.h"
+#include "psi/service/snapshot.h"
+#include "psi/sfc/codec.h"
+
+namespace psi::service {
+
+template <typename Index,
+          typename Codec = sfc::MortonCodec<typename Index::point_t::coord_t,
+                                            Index::point_t::kDim>>
+class SpatialService {
+ public:
+  using committer_t = GroupCommitter<Index, Codec>;
+  using point_t = typename committer_t::point_t;
+  using box_t = typename committer_t::box_t;
+  using coord_t = typename committer_t::coord_t;
+  static constexpr int kDim = committer_t::kDim;
+  using request_t = Request<coord_t, kDim>;
+  using result_t = Result<coord_t, kDim>;
+  using future_t = std::future<result_t>;
+  using snapshot_t = Snapshot<Index, Codec>;
+  using factory_t = typename committer_t::factory_t;
+
+  explicit SpatialService(ServiceConfig cfg = {},
+                          factory_t factory = [] { return Index(); })
+      : cfg_(cfg), committer_(cfg, std::move(factory)) {}
+
+  ~SpatialService() {
+    stop();
+    flush();  // resolve every outstanding future before promises die
+  }
+
+  SpatialService(const SpatialService&) = delete;
+  SpatialService& operator=(const SpatialService&) = delete;
+
+  // -------------------------------------------------------------------
+  // Lifecycle
+  // -------------------------------------------------------------------
+
+  // Bulk-load initial contents (replaces current data). Call before
+  // serving traffic.
+  void build(const std::vector<point_t>& pts) {
+    std::lock_guard<std::mutex> g(commit_mu_);
+    committer_.load(pts);
+  }
+
+  // Launch the background committer thread. Idempotent; restartable after
+  // stop(). start/stop may be called from any thread: lifecycle_mu_ is
+  // held across the whole transition (including the join), so a racing
+  // start() cannot overwrite a still-joinable thread handle. The commit
+  // loop itself only reads the atomic flag — it never takes lifecycle_mu_,
+  // so holding it across join cannot deadlock.
+  void start() {
+    std::lock_guard<std::mutex> g(lifecycle_mu_);
+    if (running_.load(std::memory_order_acquire)) return;
+    queue_.reopen();  // a prior stop() closed it; wait_* must block again
+    running_.store(true, std::memory_order_release);
+    committer_thread_ = std::thread([this] { commit_loop(); });
+  }
+
+  // Stop the background committer and drain whatever is still queued.
+  void stop() {
+    std::lock_guard<std::mutex> g(lifecycle_mu_);
+    if (!running_.load(std::memory_order_acquire)) return;
+    running_.store(false, std::memory_order_release);
+    queue_.close();  // wakes the committer out of wait_nonempty
+    committer_thread_.join();
+    flush();
+  }
+
+  // Synchronously commit everything queued so far. Safe concurrently with
+  // the background thread (one commit mutex serialises all writers); on
+  // return, every request submitted happens-before flush() has resolved.
+  void flush() {
+    std::lock_guard<std::mutex> g(commit_mu_);
+    for (;;) {
+      auto group = queue_.drain(cfg_.max_group);
+      if (group.empty()) break;
+      committer_.commit(std::move(group));
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Client API (any thread)
+  // -------------------------------------------------------------------
+
+  future_t submit(request_t req) { return queue_.push(std::move(req)); }
+
+  future_t submit_insert(const point_t& p) {
+    return submit(request_t::insert(p));
+  }
+  future_t submit_delete(const point_t& p) {
+    return submit(request_t::remove(p));
+  }
+  future_t submit_knn(const point_t& q, std::size_t k) {
+    return submit(request_t::knn(q, k));
+  }
+  future_t submit_range_count(const box_t& b) {
+    return submit(request_t::range_count(b));
+  }
+  future_t submit_range_list(const box_t& b) {
+    return submit(request_t::range_list(b));
+  }
+
+  // Bulk submission: one queue lock for the whole client batch.
+  std::vector<future_t> submit_insert_batch(const std::vector<point_t>& pts) {
+    std::vector<request_t> reqs;
+    reqs.reserve(pts.size());
+    for (const auto& p : pts) reqs.push_back(request_t::insert(p));
+    return queue_.push_bulk(std::move(reqs));
+  }
+  std::vector<future_t> submit_delete_batch(const std::vector<point_t>& pts) {
+    std::vector<request_t> reqs;
+    reqs.reserve(pts.size());
+    for (const auto& p : pts) reqs.push_back(request_t::remove(p));
+    return queue_.push_bulk(std::move(reqs));
+  }
+
+  // Lock-free read path: pin the current epoch and query it directly.
+  snapshot_t snapshot() const { return snapshot_t(committer_.acquire()); }
+
+  std::size_t size() const { return snapshot().size(); }
+  std::uint64_t epoch() const { return snapshot().epoch(); }
+  std::size_t queued() const { return queue_.size(); }
+
+  ServiceStats stats() const {
+    std::lock_guard<std::mutex> g(commit_mu_);
+    return committer_.stats();
+  }
+
+ private:
+  void commit_loop() {
+    const auto interval =
+        std::chrono::milliseconds(std::max(1, cfg_.commit_interval_ms));
+    while (running_.load(std::memory_order_acquire)) {
+      if (!queue_.wait_nonempty(interval)) continue;
+      std::lock_guard<std::mutex> g(commit_mu_);
+      auto group = queue_.drain(cfg_.max_group);
+      if (!group.empty()) committer_.commit(std::move(group));
+    }
+  }
+
+  ServiceConfig cfg_;
+  RequestQueue<coord_t, kDim> queue_;
+  // Serialises every writer into the committer: the background thread,
+  // flush() callers, build(), stats().
+  mutable std::mutex commit_mu_;
+  committer_t committer_;
+
+  // Serialises whole start()/stop() transitions; never taken by the
+  // committer thread itself.
+  std::mutex lifecycle_mu_;
+  std::atomic<bool> running_{false};
+  std::thread committer_thread_;
+};
+
+}  // namespace psi::service

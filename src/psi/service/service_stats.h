@@ -1,0 +1,50 @@
+// PSI-Lib service layer: observable counters.
+//
+// A ServiceStats value is a consistent sample taken by the writer under the
+// commit lock; `json()` renders the flat JSON object the benches emit (one
+// line per sample, same shape as bench/fig11_service_throughput.cpp) so
+// BENCH_*.json trajectories can track the service across PRs.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace psi::service {
+
+struct ServiceStats {
+  std::uint64_t epoch = 0;        // published commit epochs
+  std::uint64_t commits = 0;      // commit groups applied (== epoch)
+  std::uint64_t splits = 0;       // shard splits performed
+  std::uint64_t merges = 0;       // shard merges performed
+  std::uint64_t grace_yields = 0; // scheduler yields spent in grace periods
+  std::uint64_t replica_rebuilds = 0;  // standbys abandoned to pinned readers
+
+  std::uint64_t ops_insert = 0;
+  std::uint64_t ops_delete = 0;
+  std::uint64_t ops_knn = 0;
+  std::uint64_t ops_range_count = 0;
+  std::uint64_t ops_range_list = 0;
+
+  std::size_t num_shards = 0;
+  std::size_t size_total = 0;            // points currently indexed
+  std::vector<std::size_t> shard_sizes;  // per-shard populations
+
+  std::uint64_t ops_updates() const { return ops_insert + ops_delete; }
+  std::uint64_t ops_queries() const {
+    return ops_knn + ops_range_count + ops_range_list;
+  }
+
+  std::size_t max_shard_size() const;
+  std::size_t min_shard_size() const;
+
+  // Shard-population imbalance: max/mean (1.0 = perfectly even).
+  double imbalance() const;
+
+  // One-line JSON object with every counter above.
+  std::string json() const;
+};
+
+}  // namespace psi::service

@@ -1,0 +1,179 @@
+// PSI-Lib service layer: SFC-range shard partitioner.
+//
+// A ShardMap carves the 64-bit space-filling-curve code space into K
+// contiguous, disjoint ranges ("shards"). Every point routes to exactly one
+// shard through its SFC code, so batch updates partition cleanly, duplicates
+// of a point always land in the same shard (multiset delete semantics stay
+// exact), and neighbouring points tend to share a shard (curve locality).
+//
+// Shard boundaries are *dynamic*, bp-forest style: the service splits a
+// shard whose population outgrows its target at the median code of its
+// contents, and merges adjacent underfull shards — the seat split/merge of
+// bp-forest's binary-counter management, applied to curve ranges instead of
+// DPU seats. The map itself is an immutable value inside a published view
+// (see epoch.h); the writer mutates a private copy and republishes.
+//
+// Box routing: for a *monotone* codec (Morton: the code is a sum of
+// per-dimension monotone spreads) every point inside an axis-aligned box has
+// a code within [encode(box.lo), encode(box.hi)], so a box query visits only
+// the contiguous run of shards overlapping that interval. Hilbert codes are
+// not monotone, so under a Hilbert-routed map a box query conservatively
+// visits all shards — each shard still prunes in O(1) through its root
+// bounding box, so the broadcast costs K pointer chases, not K scans.
+
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "psi/geometry/box.h"
+#include "psi/geometry/point.h"
+#include "psi/sfc/codec.h"
+
+namespace psi::service {
+
+// Trait: does code order bound box contents by corner codes?
+template <typename Codec>
+struct is_monotone_codec : std::false_type {};
+template <typename Coord, int D>
+struct is_monotone_codec<sfc::MortonCodec<Coord, D>> : std::true_type {};
+
+template <typename Coord, int D, typename Codec = sfc::MortonCodec<Coord, D>>
+class ShardMap {
+ public:
+  using point_t = Point<Coord, D>;
+  using box_t = Box<Coord, D>;
+  using codec_t = Codec;
+
+  static constexpr bool kMonotone = is_monotone_codec<Codec>::value;
+
+  // K shards of equal code-space width (the population may still be skewed;
+  // split/merge adapts the boundaries to the data as it arrives).
+  static ShardMap uniform(std::size_t k) {
+    assert(k >= 1);
+    ShardMap m;
+    m.upper_.resize(k);
+    const std::uint64_t kMaxCode = ~std::uint64_t{0};
+    for (std::size_t i = 0; i + 1 < k; ++i) {
+      // Evenly spaced upper bounds; the last shard always covers the rest.
+      m.upper_[i] =
+          static_cast<std::uint64_t>((static_cast<unsigned __int128>(kMaxCode) *
+                                      (i + 1)) /
+                                     k);
+    }
+    m.upper_[k - 1] = kMaxCode;
+    return m;
+  }
+
+  // Equal-population partition: boundaries at the code quantiles of a
+  // sorted code sample. This is how bulk load picks its initial map —
+  // uniform() would put an entire real-world dataset in shard 0, because
+  // in-range coordinates only populate the bottom slice of the 64-bit code
+  // space. Duplicate quantiles collapse, so the result may have fewer than
+  // `k` shards (degenerate, heavily duplicated data).
+  static ShardMap from_sorted_codes(const std::vector<std::uint64_t>& codes,
+                                    std::size_t k) {
+    assert(std::is_sorted(codes.begin(), codes.end()));
+    if (codes.empty() || k <= 1) return uniform(k);
+    ShardMap m;
+    const std::size_t n = codes.size();
+    for (std::size_t i = 1; i < k; ++i) {
+      const std::uint64_t b = codes[i * n / k];
+      // Boundaries are inclusive upper bounds and must strictly increase.
+      if ((m.upper_.empty() && b > 0) ||
+          (!m.upper_.empty() && b > m.upper_.back() + 1)) {
+        m.upper_.push_back(b - 1);
+      }
+    }
+    m.upper_.push_back(~std::uint64_t{0});
+    return m;
+  }
+
+  std::size_t num_shards() const { return upper_.size(); }
+
+  // Shard covering `code`: the first shard whose inclusive upper bound is
+  // >= code.
+  std::size_t shard_of_code(std::uint64_t code) const {
+    const auto it = std::lower_bound(upper_.begin(), upper_.end(), code);
+    return it == upper_.end() ? upper_.size() - 1
+                              : static_cast<std::size_t>(it - upper_.begin());
+  }
+
+  std::size_t shard_of(const point_t& p) const {
+    return shard_of_code(Codec::encode(p));
+  }
+
+  // Inclusive shard-index range a box query must visit. Corner coordinates
+  // are clamped into the codec domain [0, 2^bits) first: stored points are
+  // in-domain, so clamping keeps the interval conservative, whereas raw
+  // encoding of an out-of-domain corner (negative, or beyond the curve
+  // precision) would wrap under the codec's masking and skip shards that
+  // do hold matches.
+  std::pair<std::size_t, std::size_t> shard_range_for_box(
+      const box_t& query) const {
+    if constexpr (kMonotone) {
+      point_t lo = query.lo, hi = query.hi;
+      constexpr int bits = sfc::bits_per_dim<D>();
+      constexpr std::uint64_t dom_max =
+          bits >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+      for (int d = 0; d < D; ++d) {
+        lo[d] = clamp_coord(lo[d], dom_max);
+        hi[d] = clamp_coord(hi[d], dom_max);
+      }
+      return {shard_of_code(Codec::encode(lo)),
+              shard_of_code(Codec::encode(hi))};
+    } else {
+      (void)query;
+      return {0, upper_.size() - 1};
+    }
+  }
+
+  // Split shard `i` so that codes <= `mid_code` stay in shard i and larger
+  // codes move to a new shard i+1. No-op if the cut does not separate the
+  // range.
+  bool split(std::size_t i, std::uint64_t mid_code) {
+    assert(i < upper_.size());
+    const std::uint64_t lo = lower_bound_of(i);
+    if (mid_code < lo || mid_code >= upper_[i]) return false;
+    upper_.insert(upper_.begin() + static_cast<std::ptrdiff_t>(i), mid_code);
+    return true;
+  }
+
+  // Merge shard i with shard i+1 (the merged shard keeps index i).
+  bool merge(std::size_t i) {
+    if (upper_.size() <= 1 || i + 1 >= upper_.size()) return false;
+    upper_.erase(upper_.begin() + static_cast<std::ptrdiff_t>(i));
+    return true;
+  }
+
+  // Inclusive lower bound of shard i's code range.
+  std::uint64_t lower_bound_of(std::size_t i) const {
+    return i == 0 ? 0 : upper_[i - 1] + 1;
+  }
+  // Inclusive upper bound of shard i's code range.
+  std::uint64_t upper_bound_of(std::size_t i) const { return upper_[i]; }
+
+  friend bool operator==(const ShardMap& a, const ShardMap& b) {
+    return a.upper_ == b.upper_;
+  }
+
+ private:
+  static Coord clamp_coord(Coord c, std::uint64_t dom_max) {
+    if (c < Coord{0}) return Coord{0};
+    if (static_cast<std::uint64_t>(c) > dom_max) {
+      return static_cast<Coord>(dom_max);
+    }
+    return c;
+  }
+
+  // upper_[i] = inclusive upper code bound of shard i; strictly increasing,
+  // upper_.back() == 2^64-1 so every code routes somewhere.
+  std::vector<std::uint64_t> upper_;
+};
+
+}  // namespace psi::service

@@ -1,0 +1,139 @@
+// PSI-Lib service layer: published views and lock-free reads.
+//
+// A View is the immutable unit of publication: one shard map plus one
+// read-only index handle per shard, stamped with the epoch that produced
+// it. Readers acquire the current View with a single atomic load (see
+// epoch.h) and run whole queries against it — a reader observes either all
+// of a commit group or none of it, never a torn mix.
+//
+// Snapshot is the reader-facing wrapper: it pins a View alive and exposes
+// the standard query API (knn / range_count / range_list / size) by fanning
+// out over the View's shards and combining per-shard answers. Fan-out uses
+// the shard map's box routing where the codec allows it; every shard also
+// prunes through its own root bounding box, so over-broad routing costs
+// O(1) per extra shard.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "psi/geometry/knn_buffer.h"
+#include "psi/geometry/point.h"
+#include "psi/service/shard_map.h"
+
+namespace psi::service {
+
+template <typename Index, typename Codec>
+struct View {
+  using index_t = Index;
+  using point_t = typename Index::point_t;
+  using box_t = typename Index::box_t;
+  using coord_t = typename point_t::coord_t;
+  static constexpr int kDim = point_t::kDim;
+  using map_t = ShardMap<coord_t, kDim, Codec>;
+
+  std::uint64_t epoch = 0;
+  map_t map;
+  std::vector<std::shared_ptr<const Index>> shards;
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& s : shards) n += s->size();
+    return n;
+  }
+};
+
+template <typename Index, typename Codec>
+class Snapshot {
+ public:
+  using view_t = View<Index, Codec>;
+  using point_t = typename view_t::point_t;
+  using box_t = typename view_t::box_t;
+
+  explicit Snapshot(std::shared_ptr<const view_t> view)
+      : view_(std::move(view)) {}
+
+  std::uint64_t epoch() const { return view_->epoch; }
+  std::size_t num_shards() const { return view_->shards.size(); }
+  std::size_t size() const { return view_->size(); }
+
+  // k nearest neighbours across all shards, merged through one bounded
+  // buffer. Shards are visited in order of root-box distance and a shard
+  // is skipped once the buffer is full and the shard's box cannot beat the
+  // current k-th distance — with balanced shards a query typically touches
+  // one or two of them, so the fan-out cost stays near K=1. Backends
+  // without bounds() fall back to visiting every shard (each still prunes
+  // internally from its own root).
+  std::vector<point_t> knn(const point_t& q, std::size_t k) const {
+    struct Cand {
+      double dist2;
+      const Index* shard;
+    };
+    std::vector<Cand> order;
+    order.reserve(view_->shards.size());
+    for (const auto& shard : view_->shards) {
+      if (shard->size() == 0) continue;
+      double d = 0;
+      if constexpr (requires { shard->bounds(); }) {
+        d = min_squared_distance(shard->bounds(), q);
+      }
+      order.push_back(Cand{d, shard.get()});
+    }
+    std::sort(order.begin(), order.end(),
+              [](const Cand& a, const Cand& b) { return a.dist2 < b.dist2; });
+    KnnBuffer<point_t> buf(k);
+    for (const Cand& c : order) {
+      if (buf.full() && c.dist2 >= buf.worst()) break;  // sorted: all done
+      for (const auto& p : c.shard->knn(q, k)) {
+        buf.offer(squared_distance(p, q), p);
+      }
+    }
+    auto entries = buf.sorted();
+    std::vector<point_t> out;
+    out.reserve(entries.size());
+    for (const auto& e : entries) out.push_back(e.point);
+    return out;
+  }
+
+  std::size_t range_count(const box_t& query) const {
+    const auto [lo, hi] = view_->map.shard_range_for_box(query);
+    std::size_t total = 0;
+    for (std::size_t i = lo; i <= hi; ++i) {
+      total += view_->shards[i]->range_count(query);
+    }
+    return total;
+  }
+
+  std::vector<point_t> range_list(const box_t& query) const {
+    const auto [lo, hi] = view_->map.shard_range_for_box(query);
+    std::vector<point_t> out;
+    for (std::size_t i = lo; i <= hi; ++i) {
+      auto part = view_->shards[i]->range_list(query);
+      out.insert(out.end(), part.begin(), part.end());
+    }
+    return out;
+  }
+
+  // Multiset of all indexed points (test support; O(n)).
+  std::vector<point_t> flatten() const {
+    std::vector<point_t> out;
+    out.reserve(size());
+    for (const auto& shard : view_->shards) {
+      auto part = shard->flatten();
+      out.insert(out.end(), part.begin(), part.end());
+    }
+    return out;
+  }
+
+  const view_t& view() const { return *view_; }
+
+ private:
+  std::shared_ptr<const view_t> view_;
+};
+
+}  // namespace psi::service

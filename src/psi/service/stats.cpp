@@ -1,0 +1,47 @@
+#include "psi/service/service_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace psi::service {
+
+std::size_t ServiceStats::max_shard_size() const {
+  if (shard_sizes.empty()) return 0;
+  return *std::max_element(shard_sizes.begin(), shard_sizes.end());
+}
+
+std::size_t ServiceStats::min_shard_size() const {
+  if (shard_sizes.empty()) return 0;
+  return *std::min_element(shard_sizes.begin(), shard_sizes.end());
+}
+
+double ServiceStats::imbalance() const {
+  if (shard_sizes.empty() || size_total == 0) return 1.0;
+  const double mean = static_cast<double>(size_total) /
+                      static_cast<double>(shard_sizes.size());
+  if (mean == 0) return 1.0;
+  return static_cast<double>(max_shard_size()) / mean;
+}
+
+std::string ServiceStats::json() const {
+  std::ostringstream os;
+  os << "{\"epoch\":" << epoch << ",\"commits\":" << commits
+     << ",\"splits\":" << splits << ",\"merges\":" << merges
+     << ",\"grace_yields\":" << grace_yields
+     << ",\"replica_rebuilds\":" << replica_rebuilds
+     << ",\"ops_insert\":" << ops_insert << ",\"ops_delete\":" << ops_delete
+     << ",\"ops_knn\":" << ops_knn
+     << ",\"ops_range_count\":" << ops_range_count
+     << ",\"ops_range_list\":" << ops_range_list
+     << ",\"num_shards\":" << num_shards << ",\"size_total\":" << size_total
+     << ",\"max_shard\":" << max_shard_size()
+     << ",\"min_shard\":" << min_shard_size() << ",\"shard_sizes\":[";
+  for (std::size_t i = 0; i < shard_sizes.size(); ++i) {
+    if (i) os << ',';
+    os << shard_sizes[i];
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace psi::service

@@ -1,0 +1,192 @@
+// psi::service concurrency stress: N writer threads + M reader threads over
+// SpatialService<SpacZTree2> with the background committer running,
+// validated against a mutex-guarded BruteForceIndex oracle at quiesce
+// points.
+//
+// Oracle protocol: each writer owns a disjoint slice of the point stream,
+// inserts from it, and deletes only points it previously submitted (each at
+// most once). Deletes follow their inserts in queue FIFO order and the
+// group committer applies inserts before deletes within a group, so the
+// final multiset is exactly (all inserts) minus (all deletes) regardless of
+// commit interleaving — which is what the oracle computes under its mutex.
+//
+// Readers run concurrently and cannot be checked against a moving oracle;
+// instead they assert *internal* consistency of each pinned snapshot
+// (range_count == |range_list| on the same epoch, kNN sorted by distance,
+// monotone epochs), which fails loudly on torn views or broken publication.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "psi/psi.h"
+#include "test_util.h"
+
+namespace {
+
+using namespace psi;
+using namespace psi::service;
+
+constexpr std::int64_t kMax = 1'000'000'000;
+constexpr int kWriters = 4;
+constexpr int kReaders = 4;
+constexpr int kRounds = 3;          // quiesce/validate points
+constexpr std::size_t kPerRound = 4000;  // inserts per writer per round
+
+Box2 box_around(const Point2& c, std::int64_t half) {
+  return testutil::box_around(c, half, kMax);
+}
+
+class Oracle {
+ public:
+  void insert(const std::vector<Point2>& pts) {
+    std::lock_guard<std::mutex> g(mu_);
+    index_.batch_insert(pts);
+  }
+  void remove(const std::vector<Point2>& pts) {
+    std::lock_guard<std::mutex> g(mu_);
+    index_.batch_delete(pts);
+  }
+  BruteForceIndex<std::int64_t, 2> copy() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return index_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  BruteForceIndex<std::int64_t, 2> index_;
+};
+
+TEST(ServiceStress, WritersAndReadersAgainstOracle) {
+  ServiceConfig cfg;
+  cfg.initial_shards = 4;
+  cfg.split_threshold = 6000;  // force splits mid-flight
+  cfg.merge_threshold = 64;
+  cfg.commit_interval_ms = 1;
+  SpatialService<SpacZTree2> svc(cfg);
+  svc.start();
+
+  Oracle oracle;
+  std::atomic<bool> stop_readers{false};
+  std::atomic<std::uint64_t> reader_queries{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(static_cast<std::uint64_t>(1000 + r));
+      std::uint64_t i = 0;
+      std::uint64_t last_epoch = 0;
+      while (!stop_readers.load(std::memory_order_relaxed)) {
+        auto snap = svc.snapshot();
+        // Epochs only move forward.
+        ASSERT_GE(snap.epoch(), last_epoch);
+        last_epoch = snap.epoch();
+        Point2 q{{static_cast<std::int64_t>(rng.ith_bounded(2 * i, kMax)),
+                  static_cast<std::int64_t>(rng.ith_bounded(2 * i + 1, kMax))}};
+        ++i;
+        // A snapshot is internally consistent: the two range flavours agree
+        // on the same pinned epoch.
+        const Box2 b = box_around(q, kMax / 25);
+        const std::size_t cnt = snap.range_count(b);
+        ASSERT_EQ(cnt, snap.range_list(b).size());
+        // kNN results come back sorted by distance.
+        auto nn = snap.knn(q, 8);
+        for (std::size_t j = 1; j < nn.size(); ++j) {
+          ASSERT_LE(squared_distance(nn[j - 1], q), squared_distance(nn[j], q));
+        }
+        reader_queries.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Writers also funnel queued queries through the service to exercise the
+  // mixed path under concurrency.
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<std::thread> writers;
+    writers.reserve(kWriters);
+    for (int w = 0; w < kWriters; ++w) {
+      writers.emplace_back([&, w, round] {
+        const std::uint64_t seed =
+            static_cast<std::uint64_t>(round * kWriters + w + 1);
+        auto mine = datagen::uniform<2>(kPerRound, seed, kMax);
+        const std::size_t chunk = 250;
+        std::vector<std::future<Result<std::int64_t, 2>>> futs;
+        for (std::size_t lo = 0; lo < mine.size(); lo += chunk) {
+          const std::size_t hi = std::min(mine.size(), lo + chunk);
+          std::vector<Point2> ins(
+              mine.begin() + static_cast<std::ptrdiff_t>(lo),
+              mine.begin() + static_cast<std::ptrdiff_t>(hi));
+          auto fs = svc.submit_insert_batch(ins);
+          oracle.insert(ins);
+          futs.insert(futs.end(), std::make_move_iterator(fs.begin()),
+                      std::make_move_iterator(fs.end()));
+          // Delete the first half of the chunk we just inserted: FIFO
+          // guarantees the deletes commit at or after their inserts.
+          std::vector<Point2> del(
+              ins.begin(), ins.begin() + static_cast<std::ptrdiff_t>(chunk / 2));
+          auto fs2 = svc.submit_delete_batch(del);
+          oracle.remove(del);
+          futs.insert(futs.end(), std::make_move_iterator(fs2.begin()),
+                      std::make_move_iterator(fs2.end()));
+          // Sprinkle queued queries through the same path.
+          if (lo % (4 * chunk) == 0) {
+            futs.push_back(svc.submit_knn(ins[0], 4));
+            futs.push_back(svc.submit_range_count(box_around(ins[0], kMax / 50)));
+          }
+        }
+        for (auto& f : futs) f.get();  // every op committed and visible
+      });
+    }
+    for (auto& t : writers) t.join();
+
+    // Quiesce: writers joined (their futures resolved, so their ops are
+    // committed), queue may still hold reader-independent noise — flush it,
+    // then compare multisets with the oracle.
+    svc.flush();
+    auto snap = svc.snapshot();
+    auto ref = oracle.copy();
+    ASSERT_EQ(snap.size(), ref.size());
+    testutil::expect_same_multiset(snap.flatten(), ref.points());
+
+    // Spot-check queries at the quiesce point too.
+    auto knn_q = datagen::ind_queries(ref.points(), 8,
+                                      static_cast<std::uint64_t>(round), kMax);
+    std::vector<Box2> ranges;
+    for (const auto& q : knn_q) ranges.push_back(box_around(q, kMax / 30));
+    testutil::expect_queries_match(snap, ref, knn_q, 10, ranges);
+  }
+
+  stop_readers.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_GT(reader_queries.load(), 0u);
+
+  const auto st = svc.stats();
+  EXPECT_GT(st.splits, 0u);  // growth forced topology changes mid-traffic
+  EXPECT_EQ(st.ops_insert, static_cast<std::uint64_t>(kWriters) * kRounds * kPerRound);
+  EXPECT_EQ(st.ops_delete, st.ops_insert / 2);
+  svc.stop();
+}
+
+// Background mode with tiny commit interval: shutdown during traffic still
+// resolves every future (the destructor drains).
+TEST(ServiceStress, CleanShutdownResolvesEverything) {
+  std::vector<std::future<Result<std::int64_t, 2>>> futs;
+  {
+    SpatialService<SpacZTree2> svc(ServiceConfig{.initial_shards = 2});
+    svc.start();
+    auto pts = datagen::uniform<2>(2000, 91, kMax);
+    futs = svc.submit_insert_batch(pts);
+    futs.push_back(svc.submit_knn(pts[0], 3));
+    // svc destroyed here: stop() + flush() must resolve all promises.
+  }
+  for (auto& f : futs) {
+    EXPECT_GT(f.get().epoch, 0u);
+  }
+}
+
+}  // namespace

@@ -10,9 +10,22 @@
 #include <vector>
 
 #include "psi/baselines/brute_force.h"
+#include "psi/geometry/box.h"
 #include "psi/geometry/point.h"
 
 namespace psi::testutil {
+
+// Axis-aligned box of side 2*half centred on c, clamped to [0, coord_max].
+template <typename Coord, int D>
+Box<Coord, D> box_around(const Point<Coord, D>& c, Coord half,
+                         Coord coord_max) {
+  Box<Coord, D> b;
+  for (int d = 0; d < D; ++d) {
+    b.lo[d] = std::max<Coord>(0, c[d] - half);
+    b.hi[d] = std::min<Coord>(coord_max, c[d] + half);
+  }
+  return b;
+}
 
 // kNN answers may differ in tie order / tied membership; distances must
 // match exactly.
