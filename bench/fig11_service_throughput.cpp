@@ -1,9 +1,17 @@
 // Fig 11 (extension, not in the paper): psi::service throughput.
 //
-// Measures SpatialService<SpacZTree2> end-to-end ops/sec as a function of
-// shard count K and read/write mix, over an OSM-like base dataset. Client
-// threads submit updates through the queue (background group committer
-// enabled) and run queries through snapshots — the production read path.
+// Measures SpatialService end-to-end ops/sec as a function of shard count K
+// and read/write mix, over an OSM-like base dataset. Client threads submit
+// updates through the queue (background group committer enabled) and run
+// queries through snapshots — the production read path.
+//
+// Backend selection (registry-driven):
+//   ./fig11_service_throughput                  # templated SPaC-Z fast path
+//   ./fig11_service_throughput --backend pkd    # any BackendRegistry name,
+//                                               # via the AnyIndex service
+//   ./fig11_service_throughput --backend mixed  # heterogeneous: SPaC-Z hot
+//                                               # shards + log cold shards
+// (PSI_BENCH_BACKEND env is an alternative to the flag.)
 //
 // Output: a fixed-width table for humans plus one JSON line per cell
 // (prefix "BENCH_JSON ") in the flat shape of ServiceStats::json(), so
@@ -19,6 +27,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -53,8 +62,9 @@ struct Cell {
 // (alternating 10-NN and range_count), the rest queued inserts/deletes
 // (2:1). Updates go through futures; the last batch is awaited so the cell
 // measures committed work, not queue depth.
-void run_client(SpatialService<SpacZTree2>& svc, int id, std::size_t ops,
-                int read_pct, const std::vector<Point2>& fresh,
+template <typename Service>
+void run_client(Service& svc, int id, std::size_t ops, int read_pct,
+                const std::vector<Point2>& fresh,
                 std::atomic<std::uint64_t>& sink) {
   Rng rng(static_cast<std::uint64_t>(id) * 7919 + 13);
   std::vector<std::future<Result<std::int64_t, 2>>> futs;
@@ -92,15 +102,16 @@ void run_client(SpatialService<SpacZTree2>& svc, int id, std::size_t ops,
   sink.fetch_add(local, std::memory_order_relaxed);
 }
 
-Cell run_cell(std::size_t shards, int read_pct, std::size_t n,
-              std::size_t ops_per_client, int clients,
+template <typename Service, typename MakeService>
+Cell run_cell(MakeService&& make_service, std::size_t shards, int read_pct,
+              std::size_t n, std::size_t ops_per_client, int clients,
               const std::vector<Point2>& base) {
   ServiceConfig cfg;
   cfg.initial_shards = shards;
   // Keep the topology fixed so the cell isolates shard-count scaling.
   cfg.split_threshold = n * 8;
   cfg.merge_threshold = 1;
-  SpatialService<SpacZTree2> svc(cfg);
+  Service svc = make_service(cfg);
   svc.build(base);
   svc.start();
 
@@ -136,17 +147,32 @@ Cell run_cell(std::size_t shards, int read_pct, std::size_t n,
   return cell;
 }
 
+std::string backend_choice(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--backend") == 0) return argv[i + 1];
+  }
+  if (const char* s = std::getenv("PSI_BENCH_BACKEND")) return s;
+  return "";
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const std::size_t n = bench_n(200000);
   const std::size_t ops = bench_queries(20000);
   const int clients = bench_clients(4);
+  const std::string backend = backend_choice(argc, argv);
   const auto base = psi::datagen::osm_sim(n, 1);
 
-  std::printf("Fig 11: service throughput — SPaC-Z backend, %zu base points, "
+  // Default: the fully templated SPaC-Z fast path (zero virtual dispatch).
+  // --backend <name>: that registry backend on every shard, through the
+  // AnyIndex service. --backend mixed: heterogeneous hot/cold split —
+  // SPaC-Z on the first half of the initial shards (low curve ranges,
+  // where osm_sim concentrates), the log-structured baseline on the rest.
+  const std::string label = backend.empty() ? "SPaC-Z" : backend;
+  std::printf("Fig 11: service throughput — %s backend, %zu base points, "
               "%d clients, %zu ops/client, %d scheduler workers\n",
-              n, clients, ops, psi::num_workers());
+              label.c_str(), n, clients, ops, psi::num_workers());
   std::printf("(shard-count scaling comes from the per-shard parallel apply "
               "and per-query fan-out;\n expect K>1 gains only with multiple "
               "scheduler workers / cores)\n");
@@ -156,15 +182,43 @@ int main() {
   for (int read_pct : {90, 50, 10}) {
     std::vector<std::string> row{std::to_string(read_pct)};
     for (std::size_t k : shard_counts) {
-      Cell cell = run_cell(k, read_pct, n, ops, clients, base);
+      Cell cell;
+      if (backend.empty()) {
+        cell = run_cell<SpatialService<SpacZTree2>>(
+            [](const ServiceConfig& cfg) {
+              return SpatialService<SpacZTree2>(cfg);
+            },
+            k, read_pct, n, ops, clients, base);
+      } else if (backend == "mixed") {
+        cell = run_cell<SpatialService<api::AnyIndex2>>(
+            [k](const ServiceConfig& cfg) {
+              const std::size_t hot = std::max<std::size_t>(1, k / 2);
+              return SpatialService<api::AnyIndex2>(
+                  cfg, [hot](std::size_t shard_id) {
+                    auto& reg = api::BackendRegistry2::instance();
+                    return shard_id < hot ? reg.make("spac-z")
+                                          : reg.make("log");
+                  });
+            },
+            k, read_pct, n, ops, clients, base);
+      } else {
+        cell = run_cell<SpatialService<api::AnyIndex2>>(
+            [&backend](const ServiceConfig& cfg) {
+              return SpatialService<api::AnyIndex2>(
+                  cfg, [&backend](std::size_t) {
+                    return api::BackendRegistry2::instance().make(backend);
+                  });
+            },
+            k, read_pct, n, ops, clients, base);
+      }
       row.push_back(Table::fmt(cell.ops_per_sec()));
       std::printf("BENCH_JSON {\"bench\":\"fig11_service_throughput\","
-                  "\"backend\":\"SPaC-Z\",\"shards\":%zu,\"read_pct\":%d,"
+                  "\"backend\":\"%s\",\"shards\":%zu,\"read_pct\":%d,"
                   "\"clients\":%d,\"workers\":%d,\"n\":%zu,\"ops\":%zu,"
                   "\"seconds\":%.4f,\"ops_per_sec\":%.1f,\"stats\":%s}\n",
-                  cell.shards, cell.read_pct, clients, psi::num_workers(), n,
-                  cell.ops, cell.seconds, cell.ops_per_sec(),
-                  cell.stats.json().c_str());
+                  label.c_str(), cell.shards, cell.read_pct, clients,
+                  psi::num_workers(), n, cell.ops, cell.seconds,
+                  cell.ops_per_sec(), cell.stats.json().c_str());
     }
     table.row(row);
   }

@@ -1,8 +1,12 @@
 // Index advisor: measure the query/update tradeoff of every index on a
 // user-described workload mix and print a recommendation — an executable
-// version of the paper's summary guidance (Sec 5.4, Tab 2, Fig 8).
+// version of the paper's summary guidance (Sec 5.4, Tab 2, Fig 8) — then
+// push the analysis one level down: a *per-shard* backend recommendation
+// (hot shards get the update-optimal index, cold shards the query-optimal
+// one) and a live demo of a heterogeneous SpatialService<api::AnyIndex>
+// wired from that recommendation through the BackendRegistry.
 //
-//   $ ./index_advisor [n] [updates_per_100_queries] [skew]
+//   $ ./index_advisor [n] [updates_per_100_queries] [skew] [shards]
 //
 // skew: 0 = uniform data, 1 = clustered (varden).
 
@@ -25,10 +29,12 @@ struct Score {
   double blended;
 };
 
-template <typename Index>
-Score profile(const char* name, Index& index, const std::vector<psi::Point2>& pts,
+Score profile(const std::string& name, const std::vector<psi::Point2>& pts,
               const std::vector<psi::Point2>& queries,
               const std::vector<psi::Box2>& ranges, double update_weight) {
+  // Registry-driven: every candidate is exercised through the same
+  // type-erased handle the mixed service below will use.
+  auto index = psi::api::BackendRegistry2::instance().make(name);
   index.build(pts);
   const std::size_t b = pts.size() / 100;
   std::vector<psi::Point2> batch(pts.begin(),
@@ -50,12 +56,26 @@ Score profile(const char* name, Index& index, const std::vector<psi::Point2>& pt
                update_weight * update_s + (1.0 - update_weight) * query_s};
 }
 
+const Score* best_for_weight(const std::vector<Score>& scores, double w) {
+  const Score* best = &scores[0];
+  double best_val = w * best->update_s + (1.0 - w) * best->query_s;
+  for (const auto& s : scores) {
+    const double v = w * s.update_s + (1.0 - w) * s.query_s;
+    if (v < best_val) {
+      best = &s;
+      best_val = v;
+    }
+  }
+  return best;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200'000;
   const double upd_per_100q = argc > 2 ? std::atof(argv[2]) : 50.0;
   const bool skewed = argc > 3 && std::atoi(argv[3]) == 1;
+  const std::size_t shards = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 4;
   const double w = upd_per_100q / (100.0 + upd_per_100q);
 
   std::printf(
@@ -68,30 +88,13 @@ int main(int argc, char** argv) {
   auto ranges = psi::datagen::range_boxes(
       psi::datagen::ood_queries<2>(50, 3, kMax), 30'000'000, kMax);
 
+  const std::vector<std::string> candidates{"porth", "spac-h", "spac-z",
+                                            "cpam-z", "pkd",    "zd",
+                                            "log",   "bhl"};
   std::vector<Score> scores;
-  {
-    psi::POrthTree2 t({}, psi::Box2{{{0, 0}}, {{kMax, kMax}}});
-    scores.push_back(profile("P-Orth", t, pts, queries, ranges, w));
-  }
-  {
-    psi::SpacHTree2 t;
-    scores.push_back(profile("SPaC-H", t, pts, queries, ranges, w));
-  }
-  {
-    psi::SpacZTree2 t;
-    scores.push_back(profile("SPaC-Z", t, pts, queries, ranges, w));
-  }
-  {
-    psi::SpacHTree2 t(psi::cpam_params());
-    scores.push_back(profile("CPAM-H", t, pts, queries, ranges, w));
-  }
-  {
-    psi::PkdTree2 t;
-    scores.push_back(profile("Pkd", t, pts, queries, ranges, w));
-  }
-  {
-    psi::ZdTree2 t;
-    scores.push_back(profile("Zd", t, pts, queries, ranges, w));
+  scores.reserve(candidates.size());
+  for (const auto& name : candidates) {
+    scores.push_back(profile(name, pts, queries, ranges, w));
   }
 
   std::printf("%-8s %14s %14s %14s\n", "index", "1% update (s)", "queries (s)",
@@ -102,6 +105,90 @@ int main(int argc, char** argv) {
                 s.query_s, s.blended);
     if (s.blended < best->blended) best = &s;
   }
-  std::printf("\nrecommended index for this mix: %s\n", best->name.c_str());
+  std::printf("\nrecommended uniform index for this mix: %s\n",
+              best->name.c_str());
+
+  // -----------------------------------------------------------------------
+  // Per-shard recommendation (Sec 5.4 taken to the service layer): shards
+  // covering curve ranges where the *recent* stream concentrates are
+  // update-hot; quiet shards serve mostly queries. Each shard gets its own
+  // update weight and therefore possibly its own backend.
+  // -----------------------------------------------------------------------
+  using Codec = psi::sfc::MortonCodec<std::int64_t, 2>;
+  std::vector<std::uint64_t> codes(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) codes[i] = Codec::encode(pts[i]);
+  std::sort(codes.begin(), codes.end());
+  auto map = psi::service::ShardMap<std::int64_t, 2, Codec>::from_sorted_codes(
+      codes, shards);
+  const std::size_t k = map.num_shards();
+
+  // Recent-activity proxy: where the last 10% of the stream landed.
+  const std::size_t recent_n = std::max<std::size_t>(1, pts.size() / 10);
+  std::vector<std::size_t> recent(k, 0);
+  for (std::size_t i = pts.size() - recent_n; i < pts.size(); ++i) {
+    ++recent[map.shard_of(pts[i])];
+  }
+
+  std::printf("\nper-shard recommendation (%zu shards, update stream = last "
+              "10%% of arrivals):\n", k);
+  std::printf("%-6s %9s %9s %-10s\n", "shard", "hotness", "upd wt", "backend");
+  std::vector<std::string> shard_backend(k);
+  for (std::size_t s = 0; s < k; ++s) {
+    // hotness 1.0 = shard sees its uniform share of recent updates.
+    const double hotness = static_cast<double>(recent[s]) *
+                           static_cast<double>(k) /
+                           static_cast<double>(recent_n);
+    // Queries are OOD-uniform across shards; updates follow the stream.
+    const double ws = (hotness * w) / (hotness * w + (1.0 - w));
+    const Score* rec = best_for_weight(scores, ws);
+    shard_backend[s] = rec->name;
+    std::printf("%-6zu %9.2f %9.2f %-10s\n", s, hotness, ws,
+                rec->name.c_str());
+  }
+
+  // -----------------------------------------------------------------------
+  // Demo: run the recommendation as one heterogeneous service. The shard
+  // factory consults the per-shard table (slots created later by
+  // split/merge reuse the recommendation of the range they came from,
+  // modulo k).
+  // -----------------------------------------------------------------------
+  psi::service::ServiceConfig cfg;
+  cfg.initial_shards = k;
+  psi::service::SpatialService<psi::api::AnyIndex2> svc(
+      cfg, [&shard_backend, k](std::size_t shard_id) {
+        return psi::api::BackendRegistry2::instance().make(
+            shard_backend[shard_id % k]);
+      });
+  svc.build(pts);
+
+  psi::bench::Timer t;
+  const std::size_t b = pts.size() / 100;
+  std::vector<psi::Point2> batch(pts.begin(),
+                                 pts.begin() + static_cast<std::ptrdiff_t>(b));
+  svc.submit_delete_batch(batch);
+  svc.submit_insert_batch(batch);
+  svc.flush();
+  std::size_t sink = 0;
+  {
+    auto snap = svc.snapshot();
+    for (const auto& q : queries) {
+      // Stream through the sink API: no result vectors materialised.
+      snap.knn_visit(q, 10, [&](const psi::Point2&) { ++sink; });
+    }
+    for (const auto& r : ranges) sink += snap.range_count(r);
+  }
+  const double mixed_s = t.seconds();
+
+  std::printf("\nmixed service demo: %zu points over %zu shards [", svc.size(),
+              svc.stats().num_shards);
+  {
+    auto snap = svc.snapshot();
+    for (std::size_t s = 0; s < snap.view().shards.size(); ++s) {
+      std::printf("%s%s", s ? " " : "",
+                  snap.view().shards[s]->backend_name().c_str());
+    }
+  }
+  std::printf("]\n1%% update round + query block: %.4f s (visited %zu)\n",
+              mixed_s, sink);
   return 0;
 }

@@ -1,0 +1,214 @@
+// PSI-Lib api layer: AnyIndex — a type-erased batch-dynamic index handle.
+//
+// AnyIndex<Coord, D> wraps any backend satisfying BatchDynamicIndex behind
+// one concrete type, so runtime-chosen and *heterogeneous* backends can
+// flow through code compiled once — most importantly the service layer: a
+// SpatialService<AnyIndex<...>> can run SPaC-Z on its hot shards and the
+// log-structured baseline on its cold shards from a single per-shard
+// factory (see service.h), and shard split/merge migrates points across
+// backend types through the common flatten()/build() surface.
+//
+// Dispatch is one hand-rolled vtable shared per wrapped type (a static
+// constexpr table of plain function pointers) and one heap allocation per
+// wrapped index — no std::function, no per-operation allocation, no RTTI.
+// Streaming queries cross the virtual boundary as PointSink (query.h), a
+// two-word function_ref, so a range_visit through AnyIndex costs one
+// indirect call per *visit* plus one per *match*, and still terminates
+// early when the sink asks to.
+//
+// Cost model: the virtual hop is ~1 indirect call per operation — noise for
+// batch updates and whole queries, measurable only for per-point hot loops
+// (which the sink API batches away). Monomorphic services
+// (SpatialService<SpacZTree2>) keep the fully templated zero-overhead path;
+// AnyIndex is the flexibility tier, not a replacement.
+//
+// AnyIndex itself models BatchDynamicIndex (checked in conformance.h), so
+// every generic layer treats it exactly like a concrete backend. It is
+// move-only; a default-constructed AnyIndex wraps an empty BruteForceIndex
+// so that default-constructed services stay safe (production factories
+// always install a real backend).
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "psi/api/concepts.h"
+#include "psi/api/query.h"
+#include "psi/baselines/brute_force.h"
+#include "psi/geometry/box.h"
+#include "psi/geometry/point.h"
+
+namespace psi::api {
+
+template <typename Coord, int D>
+class AnyIndex {
+ public:
+  using point_t = Point<Coord, D>;
+  using box_t = Box<Coord, D>;
+  using sink_t = PointSink<Coord, D>;
+
+  AnyIndex() : AnyIndex(BruteForceIndex<Coord, D>{}, "brute") {}
+
+  template <typename Index>
+    requires BatchDynamicIndex<std::remove_cvref_t<Index>> &&
+             (!std::same_as<std::remove_cvref_t<Index>, AnyIndex>)
+  explicit AnyIndex(Index&& index, std::string backend_name = "index")
+      : self_(new std::remove_cvref_t<Index>(std::forward<Index>(index))),
+        vt_(&kVTable<std::remove_cvref_t<Index>>),
+        name_(std::move(backend_name)) {}
+
+  ~AnyIndex() { reset(); }
+
+  AnyIndex(AnyIndex&& o) noexcept
+      : self_(std::exchange(o.self_, nullptr)),
+        vt_(std::exchange(o.vt_, nullptr)),
+        name_(std::move(o.name_)) {}
+  AnyIndex& operator=(AnyIndex&& o) noexcept {
+    if (this != &o) {
+      reset();
+      self_ = std::exchange(o.self_, nullptr);
+      vt_ = std::exchange(o.vt_, nullptr);
+      name_ = std::move(o.name_);
+    }
+    return *this;
+  }
+  AnyIndex(const AnyIndex&) = delete;
+  AnyIndex& operator=(const AnyIndex&) = delete;
+
+  // Name the index was registered/wrapped under ("spac-z", "log", ...).
+  const std::string& backend_name() const { return name_; }
+
+  // ---- maintenance ----------------------------------------------------
+  void build(const std::vector<point_t>& pts) { vt_->build(self_, pts); }
+  void batch_insert(const std::vector<point_t>& pts) {
+    vt_->batch_insert(self_, pts);
+  }
+  void batch_delete(const std::vector<point_t>& pts) {
+    vt_->batch_delete(self_, pts);
+  }
+
+  // ---- cardinality / bounds -------------------------------------------
+  std::size_t size() const { return vt_->size(self_); }
+  bool empty() const { return size() == 0; }
+  box_t bounds() const { return vt_->bounds(self_); }
+
+  // ---- streaming queries ----------------------------------------------
+  template <typename Sink>
+  void range_visit(const box_t& query, Sink&& sink) const {
+    vt_->range_visit(self_, query, sink_t(sink));
+  }
+  template <typename Sink>
+  void ball_visit(const point_t& q, double radius, Sink&& sink) const {
+    vt_->ball_visit(self_, q, radius, sink_t(sink));
+  }
+  template <typename Sink>
+  void knn_visit(const point_t& q, std::size_t k, Sink&& sink) const {
+    vt_->knn_visit(self_, q, k, sink_t(sink));
+  }
+
+  // ---- materialising adapters -----------------------------------------
+  std::size_t range_count(const box_t& query) const {
+    return vt_->range_count(self_, query);
+  }
+  std::vector<point_t> range_list(const box_t& query) const {
+    std::vector<point_t> out;
+    range_visit(query, collect_into(out));
+    return out;
+  }
+  std::size_t ball_count(const point_t& q, double radius) const {
+    return vt_->ball_count(self_, q, radius);
+  }
+  std::vector<point_t> ball_list(const point_t& q, double radius) const {
+    std::vector<point_t> out;
+    ball_visit(q, radius, collect_into(out));
+    return out;
+  }
+  std::vector<point_t> knn(const point_t& q, std::size_t k) const {
+    std::vector<point_t> out;
+    out.reserve(k);
+    knn_visit(q, k, collect_into(out));
+    return out;
+  }
+
+  std::vector<point_t> flatten() const { return vt_->flatten(self_); }
+
+ private:
+  struct VTable {
+    void (*destroy)(void*) noexcept;
+    void (*build)(void*, const std::vector<point_t>&);
+    void (*batch_insert)(void*, const std::vector<point_t>&);
+    void (*batch_delete)(void*, const std::vector<point_t>&);
+    std::size_t (*size)(const void*);
+    box_t (*bounds)(const void*);
+    std::size_t (*range_count)(const void*, const box_t&);
+    std::size_t (*ball_count)(const void*, const point_t&, double);
+    void (*range_visit)(const void*, const box_t&, sink_t);
+    void (*ball_visit)(const void*, const point_t&, double, sink_t);
+    void (*knn_visit)(const void*, const point_t&, std::size_t, sink_t);
+    std::vector<point_t> (*flatten)(const void*);
+  };
+
+  template <typename Index>
+  static const Index& as(const void* p) {
+    return *static_cast<const Index*>(p);
+  }
+  template <typename Index>
+  static Index& as(void* p) {
+    return *static_cast<Index*>(p);
+  }
+
+  template <typename Index>
+  static constexpr VTable kVTable = {
+      /*destroy=*/[](void* p) noexcept { delete static_cast<Index*>(p); },
+      /*build=*/
+      [](void* p, const std::vector<point_t>& pts) { as<Index>(p).build(pts); },
+      /*batch_insert=*/
+      [](void* p, const std::vector<point_t>& pts) {
+        as<Index>(p).batch_insert(pts);
+      },
+      /*batch_delete=*/
+      [](void* p, const std::vector<point_t>& pts) {
+        as<Index>(p).batch_delete(pts);
+      },
+      /*size=*/[](const void* p) { return as<Index>(p).size(); },
+      /*bounds=*/[](const void* p) { return as<Index>(p).bounds(); },
+      /*range_count=*/
+      [](const void* p, const box_t& b) { return as<Index>(p).range_count(b); },
+      /*ball_count=*/
+      [](const void* p, const point_t& q, double r) {
+        return as<Index>(p).ball_count(q, r);
+      },
+      /*range_visit=*/
+      [](const void* p, const box_t& b, sink_t sink) {
+        as<Index>(p).range_visit(b, sink);
+      },
+      /*ball_visit=*/
+      [](const void* p, const point_t& q, double r, sink_t sink) {
+        as<Index>(p).ball_visit(q, r, sink);
+      },
+      /*knn_visit=*/
+      [](const void* p, const point_t& q, std::size_t k, sink_t sink) {
+        as<Index>(p).knn_visit(q, k, sink);
+      },
+      /*flatten=*/[](const void* p) { return as<Index>(p).flatten(); },
+  };
+
+  void reset() noexcept {
+    if (self_ != nullptr) vt_->destroy(self_);
+    self_ = nullptr;
+    vt_ = nullptr;
+  }
+
+  void* self_ = nullptr;
+  const VTable* vt_ = nullptr;
+  std::string name_;
+};
+
+using AnyIndex2 = AnyIndex<std::int64_t, 2>;
+using AnyIndex3 = AnyIndex<std::int64_t, 3>;
+
+}  // namespace psi::api

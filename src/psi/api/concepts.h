@@ -1,0 +1,85 @@
+// PSI-Lib api layer: the formal index contract.
+//
+// `BatchDynamicIndex` pins down, as a C++20 concept, the surface every
+// PSI-Lib backend provides and every generic layer (service, bench harness,
+// AnyIndex) is allowed to rely on:
+//
+//   maintenance   build / batch_insert / batch_delete
+//   cardinality   size / empty
+//   bounds        bounds() — tight bbox of the contents (shard pruning)
+//   queries       knn / range_count / range_list / ball_count / ball_list
+//   streaming     range_visit / ball_visit / knn_visit into a sink
+//                 (query.h; the *_list/knn forms are adapters over these)
+//   extraction    flatten() — multiset of stored points (rebuilds, tests)
+//
+// The concept is deliberately expression-based: `build(pts)` must accept a
+// const lvalue vector, but backends are free to take it by value (and move
+// from a copy) or by const reference. Every backend in the library is
+// static_assert-checked against this concept in conformance.h, so drift
+// between an index and the service layer is a compile error, not a runtime
+// surprise in a sharded store.
+
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <vector>
+
+#include "psi/api/query.h"
+#include "psi/geometry/box.h"
+#include "psi/geometry/point.h"
+
+namespace psi::api {
+
+namespace detail {
+template <typename I>
+using point_of = typename I::point_t;
+template <typename I>
+using box_of = typename I::box_t;
+template <typename I>
+using sink_of =
+    PointSink<typename I::point_t::coord_t, I::point_t::kDim>;
+}  // namespace detail
+
+// The batch-dynamic spatial index contract (see header comment).
+template <typename I>
+concept BatchDynamicIndex =
+    std::movable<I> &&
+    requires(I& x, const I& c, const std::vector<detail::point_of<I>>& pts,
+             const detail::point_of<I>& q, const detail::box_of<I>& b,
+             std::size_t k, double radius, detail::sink_of<I> sink) {
+      typename I::point_t;
+      typename I::box_t;
+
+      // Maintenance.
+      x.build(pts);
+      x.batch_insert(pts);
+      x.batch_delete(pts);
+
+      // Cardinality and bounds.
+      { c.size() } -> std::convertible_to<std::size_t>;
+      { c.empty() } -> std::convertible_to<bool>;
+      { c.bounds() } -> std::convertible_to<detail::box_of<I>>;
+
+      // Materialising queries (adapters over the visits below).
+      { c.knn(q, k) } -> std::convertible_to<std::vector<detail::point_of<I>>>;
+      { c.range_count(b) } -> std::convertible_to<std::size_t>;
+      {
+        c.range_list(b)
+      } -> std::convertible_to<std::vector<detail::point_of<I>>>;
+      { c.ball_count(q, radius) } -> std::convertible_to<std::size_t>;
+      {
+        c.ball_list(q, radius)
+      } -> std::convertible_to<std::vector<detail::point_of<I>>>;
+
+      // Streaming queries: results flow into the sink, which may stop the
+      // traversal early by returning false (query.h).
+      c.range_visit(b, sink);
+      c.ball_visit(q, radius, sink);
+      c.knn_visit(q, k, sink);
+
+      // Extraction.
+      { c.flatten() } -> std::convertible_to<std::vector<detail::point_of<I>>>;
+    };
+
+}  // namespace psi::api

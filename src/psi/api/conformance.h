@@ -1,0 +1,50 @@
+// PSI-Lib api layer: compile-time conformance checks.
+//
+// Every backend in the library is asserted against the BatchDynamicIndex
+// concept here, in 2D and 3D, plus AnyIndex itself (the contract must
+// survive type erasure). Including psi.h therefore proves, at compile time,
+// that every index the service layer might shard over still speaks the
+// full contract — adding a backend or evolving the contract breaks the
+// build here, not a downstream user at runtime.
+
+#pragma once
+
+#include <cstdint>
+
+#include "psi/api/any_index.h"
+#include "psi/api/concepts.h"
+#include "psi/baselines/brute_force.h"
+#include "psi/baselines/log_structured.h"
+#include "psi/baselines/pkd_tree.h"
+#include "psi/baselines/rtree.h"
+#include "psi/baselines/zd_tree.h"
+#include "psi/core/porth/porth_tree.h"
+#include "psi/core/spac/spac_tree.h"
+
+namespace psi::api {
+
+// The paper's two contributions.
+static_assert(BatchDynamicIndex<POrthTree<std::int64_t, 2>>);
+static_assert(BatchDynamicIndex<POrthTree<std::int64_t, 3>>);
+static_assert(BatchDynamicIndex<SpacHTree<std::int64_t, 2>>);
+static_assert(BatchDynamicIndex<SpacHTree<std::int64_t, 3>>);
+static_assert(BatchDynamicIndex<SpacZTree<std::int64_t, 2>>);
+static_assert(BatchDynamicIndex<SpacZTree<std::int64_t, 3>>);
+
+// Baselines.
+static_assert(BatchDynamicIndex<PkdTree<std::int64_t, 2>>);
+static_assert(BatchDynamicIndex<PkdTree<std::int64_t, 3>>);
+static_assert(BatchDynamicIndex<ZdTree<std::int64_t, 2>>);
+static_assert(BatchDynamicIndex<ZdTree<std::int64_t, 3>>);
+static_assert(BatchDynamicIndex<RTree<std::int64_t, 2>>);
+static_assert(BatchDynamicIndex<RTree<std::int64_t, 3>>);
+static_assert(BatchDynamicIndex<LogTree<std::int64_t, 2>>);
+static_assert(BatchDynamicIndex<BhlTree<std::int64_t, 2>>);
+
+// Oracle and the type-erased handle.
+static_assert(BatchDynamicIndex<BruteForceIndex<std::int64_t, 2>>);
+static_assert(BatchDynamicIndex<BruteForceIndex<std::int64_t, 3>>);
+static_assert(BatchDynamicIndex<AnyIndex<std::int64_t, 2>>);
+static_assert(BatchDynamicIndex<AnyIndex<std::int64_t, 3>>);
+
+}  // namespace psi::api

@@ -1,0 +1,106 @@
+// PSI-Lib api layer: the streaming query-sink model.
+//
+// Every index answers its listing queries (range, ball, kNN) by *streaming*
+// matches into a caller-supplied sink instead of materialising a
+// std::vector. A sink is any callable taking a point; it may return
+//
+//   * void  — consume every match, or
+//   * bool  — `false` stops the traversal early (top-N, existence tests,
+//             paginated reads), `true` continues.
+//
+// `sink_accept` normalises the two shapes so backend traversal code is
+// written once. The materialising entry points (`range_list`, `ball_list`,
+// `knn`) survive everywhere as thin adapters over the visits, so existing
+// callers are untouched while new callers (the service snapshot path, the
+// examples) stream with zero intermediate copies.
+//
+// PointSink is the type-erased face of the same idea: a non-owning
+// function_ref (one context pointer + one function pointer, no allocation,
+// no std::function) used across AnyIndex's virtual dispatch boundary where
+// a template parameter cannot pass. Sinks are only invoked synchronously
+// during the visit call, so the non-owning reference is always valid.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "psi/geometry/point.h"
+
+namespace psi::api {
+
+// Feed one point to a sink; true = keep going. Accepts both void- and
+// bool-returning sinks (see header comment).
+template <typename Sink, typename PointT>
+constexpr bool sink_accept(Sink& sink, const PointT& p) {
+  if constexpr (std::is_void_v<decltype(sink(p))>) {
+    sink(p);
+    return true;
+  } else {
+    return static_cast<bool>(sink(p));
+  }
+}
+
+// Non-owning type-erased sink reference: the sink signature AnyIndex's
+// vtable speaks. Constructible from any lvalue callable compatible with
+// sink_accept; copying copies the reference, not the callable.
+template <typename Coord, int D>
+class PointSink {
+ public:
+  using point_t = Point<Coord, D>;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, PointSink>>>
+  PointSink(F&& f)  // NOLINT(google-explicit-constructor): sink adaptor
+      : ctx_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        fn_([](void* ctx, const point_t& p) {
+          return sink_accept(*static_cast<std::remove_reference_t<F>*>(ctx),
+                             p);
+        }) {}
+
+  bool operator()(const point_t& p) const { return fn_(ctx_, p); }
+
+ private:
+  void* ctx_;
+  bool (*fn_)(void*, const point_t&);
+};
+
+// Collecting adaptor: the one-liner behind every materialising `*_list`.
+template <typename PointT>
+struct CollectSink {
+  std::vector<PointT>& out;
+  void operator()(const PointT& p) const { out.push_back(p); }
+};
+
+template <typename PointT>
+CollectSink<PointT> collect_into(std::vector<PointT>& out) {
+  return CollectSink<PointT>{out};
+}
+
+// Counting adaptor (ball_count on backends without a native counting walk).
+template <typename PointT>
+struct CountSink {
+  std::size_t count = 0;
+  void operator()(const PointT&) { ++count; }
+};
+
+// Fan-out adaptor: wraps a sink for callers that visit several sources
+// (shards, log components) in sequence. Remembers the sink's stop request
+// in `alive` so the caller can skip the remaining sources.
+template <typename Sink>
+struct StopGuard {
+  Sink& sink;
+  bool alive = true;
+  template <typename PointT>
+  bool operator()(const PointT& p) {
+    alive = sink_accept(sink, p);
+    return alive;
+  }
+};
+
+}  // namespace psi::api

@@ -1,0 +1,117 @@
+// PSI-Lib api layer: name-based backend construction.
+//
+// BackendRegistry<Coord, D> maps backend names to AnyIndex factories, so
+// callers pick index structures at *runtime* — a bench flag
+// (`--backend spac-h`), a config file, or the index advisor's per-shard
+// recommendation feeding a heterogeneous SpatialService. The built-in
+// catalogue mirrors psi.h:
+//
+//   porth    P-Orth tree (paper Sec 3)
+//   spac-h   SPaC tree, Hilbert curve (paper Sec 4)
+//   spac-z   SPaC tree, Morton curve (paper Sec 4)
+//   cpam-z   SPaC tree in CPAM-baseline mode (total order, unfused build)
+//   pkd      parallel kd-tree baseline
+//   zd       Morton-sorted orth-tree baseline
+//   rtree    sequential quadratic R-tree baseline
+//   log      log-structured (logarithmic method) baseline
+//   bhl      rebuild-on-update static kd-tree baseline
+//   brute    O(n) oracle
+//
+// `add` installs or overrides an entry (projects can register their own
+// backends or parameterised variants). The registry is a process-wide
+// singleton per <Coord, D>; mutation is expected at startup, before
+// concurrent use.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "psi/api/any_index.h"
+#include "psi/baselines/brute_force.h"
+#include "psi/baselines/log_structured.h"
+#include "psi/baselines/pkd_tree.h"
+#include "psi/baselines/rtree.h"
+#include "psi/baselines/zd_tree.h"
+#include "psi/core/porth/porth_tree.h"
+#include "psi/core/spac/spac_tree.h"
+
+namespace psi::api {
+
+template <typename Coord, int D>
+class BackendRegistry {
+ public:
+  using any_index_t = AnyIndex<Coord, D>;
+  using factory_t = std::function<any_index_t()>;
+
+  static BackendRegistry& instance() {
+    static BackendRegistry reg;
+    return reg;
+  }
+
+  // Install (or override) a named backend factory.
+  void add(std::string name, factory_t factory) {
+    factories_[std::move(name)] = std::move(factory);
+  }
+
+  bool contains(const std::string& name) const {
+    return factories_.count(name) != 0;
+  }
+
+  // Construct a fresh index of the named backend; throws std::out_of_range
+  // with the catalogue in the message for unknown names.
+  any_index_t make(const std::string& name) const {
+    auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      std::string known;
+      for (const auto& [n, f] : factories_) {
+        if (!known.empty()) known += ", ";
+        known += n;
+      }
+      throw std::out_of_range("psi::api::BackendRegistry: unknown backend '" +
+                              name + "' (known: " + known + ")");
+    }
+    return it->second();
+  }
+
+  std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto& [n, f] : factories_) out.push_back(n);
+    return out;
+  }
+
+ private:
+  BackendRegistry() {
+    add("porth", [] { return any_index_t(POrthTree<Coord, D>{}, "porth"); });
+    add("spac-h", [] {
+      return any_index_t(SpacHTree<Coord, D>{}, "spac-h");
+    });
+    add("spac-z", [] {
+      return any_index_t(SpacZTree<Coord, D>{}, "spac-z");
+    });
+    add("cpam-z", [] {
+      return any_index_t(SpacZTree<Coord, D>(cpam_params()), "cpam-z");
+    });
+    add("pkd", [] { return any_index_t(PkdTree<Coord, D>{}, "pkd"); });
+    add("zd", [] { return any_index_t(ZdTree<Coord, D>{}, "zd"); });
+    add("rtree", [] { return any_index_t(RTree<Coord, D>{}, "rtree"); });
+    add("log", [] { return any_index_t(LogTree<Coord, D>{}, "log"); });
+    add("bhl", [] { return any_index_t(BhlTree<Coord, D>{}, "bhl"); });
+    add("brute", [] {
+      return any_index_t(BruteForceIndex<Coord, D>{}, "brute");
+    });
+  }
+
+  std::map<std::string, factory_t> factories_;
+};
+
+using BackendRegistry2 = BackendRegistry<std::int64_t, 2>;
+using BackendRegistry3 = BackendRegistry<std::int64_t, 3>;
+
+}  // namespace psi::api

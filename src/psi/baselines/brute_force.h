@@ -1,7 +1,9 @@
 // PSI-Lib: brute-force oracle index.
 //
 // A flat multiset of points with O(n) queries. Used as the ground truth the
-// real indexes are checked against in unit/integration tests.
+// real indexes are checked against in unit/integration tests. Conforms to
+// psi::api::BatchDynamicIndex like every real backend, so it also serves as
+// the null/default backend behind api::AnyIndex.
 
 #pragma once
 
@@ -9,6 +11,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "psi/api/query.h"
 #include "psi/geometry/box.h"
 #include "psi/geometry/knn_buffer.h"
 #include "psi/geometry/point.h"
@@ -39,14 +42,47 @@ class BruteForceIndex {
   }
 
   std::size_t size() const { return pts_.size(); }
+  bool empty() const { return pts_.empty(); }
 
-  std::vector<point_t> knn(const point_t& q, std::size_t k) const {
+  // Tight bounding box of all stored points (empty box when empty).
+  box_t bounds() const {
+    box_t b = box_t::empty();
+    for (const auto& p : pts_) b.expand(p);
+    return b;
+  }
+
+  // ---- streaming queries (the native implementations) -----------------
+
+  template <typename Sink>
+  void range_visit(const box_t& query, Sink&& sink) const {
+    for (const auto& p : pts_) {
+      if (query.contains(p) && !api::sink_accept(sink, p)) return;
+    }
+  }
+
+  template <typename Sink>
+  void ball_visit(const point_t& q, double radius, Sink&& sink) const {
+    const double r2 = radius * radius;
+    for (const auto& p : pts_) {
+      if (squared_distance(p, q) <= r2 && !api::sink_accept(sink, p)) return;
+    }
+  }
+
+  template <typename Sink>
+  void knn_visit(const point_t& q, std::size_t k, Sink&& sink) const {
     KnnBuffer<point_t> buf(k);
     for (const auto& p : pts_) buf.offer(squared_distance(p, q), p);
-    auto entries = buf.sorted();
+    for (const auto& e : buf.sorted()) {
+      if (!api::sink_accept(sink, e.point)) return;
+    }
+  }
+
+  // ---- materialising adapters -----------------------------------------
+
+  std::vector<point_t> knn(const point_t& q, std::size_t k) const {
     std::vector<point_t> out;
-    out.reserve(entries.size());
-    for (const auto& e : entries) out.push_back(e.point);
+    out.reserve(k);
+    knn_visit(q, k, api::collect_into(out));
     return out;
   }
 
@@ -67,9 +103,7 @@ class BruteForceIndex {
 
   std::vector<point_t> range_list(const box_t& query) const {
     std::vector<point_t> out;
-    for (const auto& p : pts_) {
-      if (query.contains(p)) out.push_back(p);
-    }
+    range_visit(query, api::collect_into(out));
     return out;
   }
 
@@ -81,13 +115,12 @@ class BruteForceIndex {
   }
 
   std::vector<point_t> ball_list(const point_t& q, double radius) const {
-    const double r2 = radius * radius;
     std::vector<point_t> out;
-    for (const auto& p : pts_) {
-      if (squared_distance(p, q) <= r2) out.push_back(p);
-    }
+    ball_visit(q, radius, api::collect_into(out));
     return out;
   }
+
+  std::vector<point_t> flatten() const { return pts_; }
 
   const std::vector<point_t>& points() const { return pts_; }
 

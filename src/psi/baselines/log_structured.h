@@ -27,6 +27,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "psi/api/query.h"
 #include "psi/baselines/brute_force.h"
 #include "psi/baselines/pkd_tree.h"
 #include "psi/geometry/knn_buffer.h"
@@ -66,12 +67,31 @@ class BhlTree {
 
   std::size_t size() const { return tree_.size(); }
   bool empty() const { return tree_.empty(); }
+  box_t bounds() const { return tree_.bounds(); }
   std::vector<point_t> knn(const point_t& q, std::size_t k) const {
     return tree_.knn(q, k);
   }
   std::size_t range_count(const box_t& b) const { return tree_.range_count(b); }
   std::vector<point_t> range_list(const box_t& b) const {
     return tree_.range_list(b);
+  }
+  std::size_t ball_count(const point_t& q, double radius) const {
+    return tree_.ball_count(q, radius);
+  }
+  std::vector<point_t> ball_list(const point_t& q, double radius) const {
+    return tree_.ball_list(q, radius);
+  }
+  template <typename Sink>
+  void range_visit(const box_t& b, Sink&& sink) const {
+    tree_.range_visit(b, sink);
+  }
+  template <typename Sink>
+  void ball_visit(const point_t& q, double radius, Sink&& sink) const {
+    tree_.ball_visit(q, radius, sink);
+  }
+  template <typename Sink>
+  void knn_visit(const point_t& q, std::size_t k, Sink&& sink) const {
+    tree_.knn_visit(q, k, sink);
   }
   std::vector<point_t> flatten() const { return tree_.flatten(); }
   void check_invariants() const { tree_.check_invariants(); }
@@ -123,19 +143,52 @@ class LogTree {
   }
   bool empty() const { return size() == 0; }
 
-  std::vector<point_t> knn(const point_t& q, std::size_t k) const {
-    // Merge the per-component k-NN candidate sets: the true k nearest are
-    // among the k nearest of each component.
+  box_t bounds() const {
+    box_t b = box_t::empty();
+    for (const auto& c : components_) b.merge(c.tree.bounds());
+    return b;
+  }
+
+  // ---- streaming queries: every component is consulted (the logarithmic
+  // method's query overhead, Sec 2.3); a sink stop aborts the whole scan.
+
+  template <typename Sink>
+  void range_visit(const box_t& b, Sink&& sink) const {
+    api::StopGuard<Sink> guard{sink};
+    for (const auto& c : components_) {
+      if (!guard.alive) return;
+      c.tree.range_visit(b, guard);
+    }
+  }
+
+  template <typename Sink>
+  void ball_visit(const point_t& q, double radius, Sink&& sink) const {
+    api::StopGuard<Sink> guard{sink};
+    for (const auto& c : components_) {
+      if (!guard.alive) return;
+      c.tree.ball_visit(q, radius, guard);
+    }
+  }
+
+  // Merge the per-component k-NN candidate sets: the true k nearest are
+  // among the k nearest of each component.
+  template <typename Sink>
+  void knn_visit(const point_t& q, std::size_t k, Sink&& sink) const {
     KnnBuffer<point_t> buf(k);
     for (const auto& c : components_) {
-      for (const auto& p : c.tree.knn(q, k)) {
+      c.tree.knn_visit(q, k, [&](const point_t& p) {
         buf.offer(squared_distance(p, q), p);
-      }
+      });
     }
-    auto entries = buf.sorted();
+    for (const auto& e : buf.sorted()) {
+      if (!api::sink_accept(sink, e.point)) return;
+    }
+  }
+
+  std::vector<point_t> knn(const point_t& q, std::size_t k) const {
     std::vector<point_t> out;
-    out.reserve(entries.size());
-    for (const auto& e : entries) out.push_back(e.point);
+    out.reserve(k);
+    knn_visit(q, k, api::collect_into(out));
     return out;
   }
 
@@ -147,10 +200,19 @@ class LogTree {
 
   std::vector<point_t> range_list(const box_t& b) const {
     std::vector<point_t> out;
-    for (const auto& c : components_) {
-      auto part = c.tree.range_list(b);
-      out.insert(out.end(), part.begin(), part.end());
-    }
+    range_visit(b, api::collect_into(out));
+    return out;
+  }
+
+  std::size_t ball_count(const point_t& q, double radius) const {
+    std::size_t total = 0;
+    for (const auto& c : components_) total += c.tree.ball_count(q, radius);
+    return total;
+  }
+
+  std::vector<point_t> ball_list(const point_t& q, double radius) const {
+    std::vector<point_t> out;
+    ball_visit(q, radius, api::collect_into(out));
     return out;
   }
 

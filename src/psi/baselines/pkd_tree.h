@@ -27,6 +27,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "psi/api/query.h"
 #include "psi/geometry/box.h"
 #include "psi/geometry/knn_buffer.h"
 #include "psi/geometry/point.h"
@@ -89,13 +90,34 @@ class PkdTree {
   // service layer prunes cross-shard fan-out with it.
   box_t bounds() const { return root_ ? root_->bbox : box_t::empty(); }
 
-  std::vector<point_t> knn(const point_t& q, std::size_t k) const {
+  // ---- streaming queries (psi::api sink model; native traversals) -----
+
+  // Stream every point inside `query`; a sink returning false stops early.
+  template <typename Sink>
+  void range_visit(const box_t& query, Sink&& sink) const {
+    if (root_) range_visit_rec(root_.get(), query, sink);
+  }
+
+  template <typename Sink>
+  void ball_visit(const point_t& q, double radius, Sink&& sink) const {
+    if (root_) ball_visit_rec(root_.get(), q, radius * radius, sink);
+  }
+
+  // k nearest in increasing distance order; the bounded buffer is the
+  // algorithm's working state, not a materialised result.
+  template <typename Sink>
+  void knn_visit(const point_t& q, std::size_t k, Sink&& sink) const {
     KnnBuffer<point_t> buf(k);
     if (root_) knn_rec(root_.get(), q, buf);
-    auto entries = buf.sorted();
+    for (const auto& e : buf.sorted()) {
+      if (!api::sink_accept(sink, e.point)) return;
+    }
+  }
+
+  std::vector<point_t> knn(const point_t& q, std::size_t k) const {
     std::vector<point_t> out;
-    out.reserve(entries.size());
-    for (const auto& e : entries) out.push_back(e.point);
+    out.reserve(k);
+    knn_visit(q, k, api::collect_into(out));
     return out;
   }
 
@@ -105,7 +127,7 @@ class PkdTree {
 
   std::vector<point_t> range_list(const box_t& query) const {
     std::vector<point_t> out;
-    if (root_) list_rec(root_.get(), query, out);
+    range_visit(query, api::collect_into(out));
     return out;
   }
 
@@ -116,7 +138,7 @@ class PkdTree {
 
   std::vector<point_t> ball_list(const point_t& q, double radius) const {
     std::vector<point_t> out;
-    if (root_) ball_list_rec(root_.get(), q, radius * radius, out);
+    ball_visit(q, radius, api::collect_into(out));
     return out;
   }
 
@@ -237,7 +259,10 @@ class PkdTree {
 
   void fill_skeleton(SampledSkeleton& sk, point_t* sample, std::size_t n,
                      std::size_t node, int levels_left) const {
-    if (levels_left == 0) return;
+    // An empty sample slice keeps the pre-assigned default splitters for
+    // its whole subtree (dim 0, value 0 — everything routes one way);
+    // computing a width on the empty bbox would overflow.
+    if (levels_left == 0 || n == 0) return;
     // Widest dimension of the sample bounding box.
     const box_t bb = compute_bbox(sample, n);
     int dim = 0;
@@ -249,20 +274,15 @@ class PkdTree {
         dim = d;
       }
     }
-    Coord value;
     std::size_t m = n / 2;
-    if (n == 0) {
-      value = Coord{};
-    } else {
-      std::nth_element(sample, sample + m, sample + n,
-                       [dim](const point_t& a, const point_t& b) {
-                         return a[dim] < b[dim];
-                       });
-      value = sample[m][dim];
-      // Clamp so neither side is empty when the sample median coincides
-      // with the minimum (duplicate-heavy dimension).
-      if (value <= bb.lo[dim]) value = bb.lo[dim] + 1;
-    }
+    std::nth_element(sample, sample + m, sample + n,
+                     [dim](const point_t& a, const point_t& b) {
+                       return a[dim] < b[dim];
+                     });
+    Coord value = sample[m][dim];
+    // Clamp so neither side is empty when the sample median coincides
+    // with the minimum (duplicate-heavy dimension).
+    if (value <= bb.lo[dim]) value = bb.lo[dim] + 1;
     sk.dim[node] = dim;
     sk.value[node] = value;
     // Partition the sample and recurse (sequential: samples are small).
@@ -474,21 +494,31 @@ class PkdTree {
     return total;
   }
 
-  void list_rec(const Node* t, const box_t& query,
-                std::vector<point_t>& out) const {
-    if (!query.intersects(t->bbox)) return;
-    if (query.contains(t->bbox)) {
-      collect(t, out);
-      return;
-    }
+  // Stream every point of the subtree; false = sink stopped the walk.
+  template <typename Sink>
+  static bool visit_all_rec(const Node* t, Sink& sink) {
     if (t->leaf) {
       for (const auto& p : t->points) {
-        if (query.contains(p)) out.push_back(p);
+        if (!api::sink_accept(sink, p)) return false;
       }
-      return;
+      return true;
     }
-    if (t->l) list_rec(t->l.get(), query, out);
-    if (t->r) list_rec(t->r.get(), query, out);
+    if (t->l && !visit_all_rec(t->l.get(), sink)) return false;
+    return !t->r || visit_all_rec(t->r.get(), sink);
+  }
+
+  template <typename Sink>
+  bool range_visit_rec(const Node* t, const box_t& query, Sink& sink) const {
+    if (!query.intersects(t->bbox)) return true;
+    if (query.contains(t->bbox)) return visit_all_rec(t, sink);
+    if (t->leaf) {
+      for (const auto& p : t->points) {
+        if (query.contains(p) && !api::sink_accept(sink, p)) return false;
+      }
+      return true;
+    }
+    if (t->l && !range_visit_rec(t->l.get(), query, sink)) return false;
+    return !t->r || range_visit_rec(t->r.get(), query, sink);
   }
 
   std::size_t ball_count_rec(const Node* t, const point_t& q,
@@ -506,21 +536,21 @@ class PkdTree {
     return total;
   }
 
-  void ball_list_rec(const Node* t, const point_t& q, double r2,
-                     std::vector<point_t>& out) const {
-    if (min_squared_distance(t->bbox, q) > r2) return;
-    if (max_squared_distance(t->bbox, q) <= r2) {
-      collect(t, out);
-      return;
-    }
+  template <typename Sink>
+  bool ball_visit_rec(const Node* t, const point_t& q, double r2,
+                      Sink& sink) const {
+    if (min_squared_distance(t->bbox, q) > r2) return true;
+    if (max_squared_distance(t->bbox, q) <= r2) return visit_all_rec(t, sink);
     if (t->leaf) {
       for (const auto& p : t->points) {
-        if (squared_distance(p, q) <= r2) out.push_back(p);
+        if (squared_distance(p, q) <= r2 && !api::sink_accept(sink, p)) {
+          return false;
+        }
       }
-      return;
+      return true;
     }
-    if (t->l) ball_list_rec(t->l.get(), q, r2, out);
-    if (t->r) ball_list_rec(t->r.get(), q, r2, out);
+    if (t->l && !ball_visit_rec(t->l.get(), q, r2, sink)) return false;
+    return !t->r || ball_visit_rec(t->r.get(), q, r2, sink);
   }
 
   static std::size_t height_rec(const Node* t) {

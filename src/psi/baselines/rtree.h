@@ -17,6 +17,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "psi/api/query.h"
 #include "psi/geometry/box.h"
 #include "psi/geometry/knn_buffer.h"
 #include "psi/geometry/point.h"
@@ -107,10 +108,23 @@ class RTree {
   // service layer prunes cross-shard fan-out with it.
   box_t bounds() const { return root_ ? root_->bbox : box_t::empty(); }
 
-  std::vector<point_t> knn(const point_t& q, std::size_t k) const {
+  // ---- streaming queries (psi::api sink model; native traversals) -----
+
+  template <typename Sink>
+  void range_visit(const box_t& query, Sink&& sink) const {
+    if (root_) range_visit_rec(root_.get(), query, sink);
+  }
+
+  template <typename Sink>
+  void ball_visit(const point_t& q, double radius, Sink&& sink) const {
+    if (root_) ball_visit_rec(root_.get(), q, radius * radius, sink);
+  }
+
+  template <typename Sink>
+  void knn_visit(const point_t& q, std::size_t k, Sink&& sink) const {
     // Best-first search over a priority queue of (mindist, node).
     KnnBuffer<point_t> buf(k);
-    if (!root_) return {};
+    if (!root_) return;
     using Item = std::pair<double, const Node*>;
     std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
     pq.push({min_squared_distance(root_->bbox, q), root_.get()});
@@ -129,10 +143,15 @@ class RTree {
         }
       }
     }
-    auto entries = buf.sorted();
+    for (const auto& e : buf.sorted()) {
+      if (!api::sink_accept(sink, e.point)) return;
+    }
+  }
+
+  std::vector<point_t> knn(const point_t& q, std::size_t k) const {
     std::vector<point_t> out;
-    out.reserve(entries.size());
-    for (const auto& e : entries) out.push_back(e.point);
+    out.reserve(k);
+    knn_visit(q, k, api::collect_into(out));
     return out;
   }
 
@@ -142,7 +161,27 @@ class RTree {
 
   std::vector<point_t> range_list(const box_t& query) const {
     std::vector<point_t> out;
-    if (root_) list_rec(root_.get(), query, out);
+    range_visit(query, api::collect_into(out));
+    return out;
+  }
+
+  // Ball (radius) queries: points within Euclidean distance `radius` of q.
+  std::size_t ball_count(const point_t& q, double radius) const {
+    api::CountSink<point_t> counter;
+    ball_visit(q, radius, counter);
+    return counter.count;
+  }
+
+  std::vector<point_t> ball_list(const point_t& q, double radius) const {
+    std::vector<point_t> out;
+    ball_visit(q, radius, api::collect_into(out));
+    return out;
+  }
+
+  std::vector<point_t> flatten() const {
+    std::vector<point_t> out;
+    out.reserve(size_);
+    if (root_) collect_points(root_.get(), out);
     return out;
   }
 
@@ -402,20 +441,54 @@ class RTree {
     return total;
   }
 
-  void list_rec(const Node* t, const box_t& query,
-                std::vector<point_t>& out) const {
-    if (!query.intersects(t->bbox)) return;
-    if (query.contains(t->bbox)) {
-      collect_points(t, out);
-      return;
-    }
+  // Stream every point of the subtree; false = sink stopped the walk.
+  template <typename Sink>
+  static bool visit_all_rec(const Node* t, Sink& sink) {
     if (t->leaf) {
       for (const auto& p : t->points) {
-        if (query.contains(p)) out.push_back(p);
+        if (!api::sink_accept(sink, p)) return false;
       }
-      return;
+      return true;
     }
-    for (const auto& c : t->children) list_rec(c.get(), query, out);
+    for (const auto& c : t->children) {
+      if (!visit_all_rec(c.get(), sink)) return false;
+    }
+    return true;
+  }
+
+  template <typename Sink>
+  bool range_visit_rec(const Node* t, const box_t& query, Sink& sink) const {
+    if (!query.intersects(t->bbox)) return true;
+    if (query.contains(t->bbox)) return visit_all_rec(t, sink);
+    if (t->leaf) {
+      for (const auto& p : t->points) {
+        if (query.contains(p) && !api::sink_accept(sink, p)) return false;
+      }
+      return true;
+    }
+    for (const auto& c : t->children) {
+      if (!range_visit_rec(c.get(), query, sink)) return false;
+    }
+    return true;
+  }
+
+  template <typename Sink>
+  bool ball_visit_rec(const Node* t, const point_t& q, double r2,
+                      Sink& sink) const {
+    if (min_squared_distance(t->bbox, q) > r2) return true;
+    if (max_squared_distance(t->bbox, q) <= r2) return visit_all_rec(t, sink);
+    if (t->leaf) {
+      for (const auto& p : t->points) {
+        if (squared_distance(p, q) <= r2 && !api::sink_accept(sink, p)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    for (const auto& c : t->children) {
+      if (!ball_visit_rec(c.get(), q, r2, sink)) return false;
+    }
+    return true;
   }
 
   std::size_t check_rec(const Node* t, bool is_root) const {

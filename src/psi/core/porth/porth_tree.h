@@ -41,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "psi/api/query.h"
 #include "psi/geometry/box.h"
 #include "psi/geometry/knn_buffer.h"
 #include "psi/geometry/point.h"
@@ -127,14 +128,32 @@ class POrthTree {
   // service layer prunes cross-shard fan-out with it.
   box_t bounds() const { return root_ ? root_->bbox : box_t::empty(); }
 
-  // k nearest neighbours of q, sorted by increasing distance.
-  std::vector<point_t> knn(const point_t& q, std::size_t k) const {
+  // ---- streaming queries (psi::api sink model; native traversals) -----
+
+  template <typename Sink>
+  void range_visit(const box_t& query, Sink&& sink) const {
+    if (root_) range_visit_rec(root_.get(), query, sink);
+  }
+
+  template <typename Sink>
+  void ball_visit(const point_t& q, double radius, Sink&& sink) const {
+    if (root_) ball_visit_rec(root_.get(), q, radius * radius, sink);
+  }
+
+  template <typename Sink>
+  void knn_visit(const point_t& q, std::size_t k, Sink&& sink) const {
     KnnBuffer<point_t> buf(k);
     if (root_) knn_rec(root_.get(), q, buf);
-    auto entries = buf.sorted();
+    for (const auto& e : buf.sorted()) {
+      if (!api::sink_accept(sink, e.point)) return;
+    }
+  }
+
+  // k nearest neighbours of q, sorted by increasing distance.
+  std::vector<point_t> knn(const point_t& q, std::size_t k) const {
     std::vector<point_t> out;
-    out.reserve(entries.size());
-    for (const auto& e : entries) out.push_back(e.point);
+    out.reserve(k);
+    knn_visit(q, k, api::collect_into(out));
     return out;
   }
 
@@ -144,7 +163,7 @@ class POrthTree {
 
   std::vector<point_t> range_list(const box_t& query) const {
     std::vector<point_t> out;
-    if (root_) list_rec(root_.get(), query, out);
+    range_visit(query, api::collect_into(out));
     return out;
   }
 
@@ -155,7 +174,7 @@ class POrthTree {
 
   std::vector<point_t> ball_list(const point_t& q, double radius) const {
     std::vector<point_t> out;
-    if (root_) ball_list_rec(root_.get(), q, radius * radius, out);
+    ball_visit(q, radius, api::collect_into(out));
     return out;
   }
 
@@ -597,22 +616,35 @@ class POrthTree {
     return total;
   }
 
-  void list_rec(const Node* t, const box_t& query,
-                std::vector<point_t>& out) const {
-    if (!query.intersects(t->bbox)) return;
-    if (query.contains(t->bbox)) {
-      collect(t, out);
-      return;
-    }
+  // Stream every point of the subtree; false = sink stopped the walk.
+  template <typename Sink>
+  static bool visit_all_rec(const Node* t, Sink& sink) {
     if (t->leaf) {
       for (const auto& p : t->points) {
-        if (query.contains(p)) out.push_back(p);
+        if (!api::sink_accept(sink, p)) return false;
       }
-      return;
+      return true;
     }
     for (const auto& c : t->child) {
-      if (c) list_rec(c.get(), query, out);
+      if (c && !visit_all_rec(c.get(), sink)) return false;
     }
+    return true;
+  }
+
+  template <typename Sink>
+  bool range_visit_rec(const Node* t, const box_t& query, Sink& sink) const {
+    if (!query.intersects(t->bbox)) return true;
+    if (query.contains(t->bbox)) return visit_all_rec(t, sink);
+    if (t->leaf) {
+      for (const auto& p : t->points) {
+        if (query.contains(p) && !api::sink_accept(sink, p)) return false;
+      }
+      return true;
+    }
+    for (const auto& c : t->child) {
+      if (c && !range_visit_rec(c.get(), query, sink)) return false;
+    }
+    return true;
   }
 
   std::size_t ball_count_rec(const Node* t, const point_t& q,
@@ -631,22 +663,23 @@ class POrthTree {
     return total;
   }
 
-  void ball_list_rec(const Node* t, const point_t& q, double r2,
-                     std::vector<point_t>& out) const {
-    if (min_squared_distance(t->bbox, q) > r2) return;
-    if (max_squared_distance(t->bbox, q) <= r2) {
-      collect(t, out);
-      return;
-    }
+  template <typename Sink>
+  bool ball_visit_rec(const Node* t, const point_t& q, double r2,
+                      Sink& sink) const {
+    if (min_squared_distance(t->bbox, q) > r2) return true;
+    if (max_squared_distance(t->bbox, q) <= r2) return visit_all_rec(t, sink);
     if (t->leaf) {
       for (const auto& p : t->points) {
-        if (squared_distance(p, q) <= r2) out.push_back(p);
+        if (squared_distance(p, q) <= r2 && !api::sink_accept(sink, p)) {
+          return false;
+        }
       }
-      return;
+      return true;
     }
     for (const auto& c : t->child) {
-      if (c) ball_list_rec(c.get(), q, r2, out);
+      if (c && !ball_visit_rec(c.get(), q, r2, sink)) return false;
     }
+    return true;
   }
 
   static std::size_t height_rec(const Node* t) {

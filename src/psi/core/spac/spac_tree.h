@@ -37,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "psi/api/query.h"
 #include "psi/geometry/box.h"
 #include "psi/geometry/knn_buffer.h"
 #include "psi/geometry/point.h"
@@ -131,13 +132,31 @@ class SpacTree {
   // service layer prunes cross-shard fan-out with it.
   box_t bounds() const { return root_ ? root_->bbox : box_t::empty(); }
 
-  std::vector<point_t> knn(const point_t& q, std::size_t k) const {
+  // ---- streaming queries (psi::api sink model; native traversals) -----
+
+  template <typename Sink>
+  void range_visit(const box_t& query, Sink&& sink) const {
+    if (root_) range_visit_rec(root_.get(), query, sink);
+  }
+
+  template <typename Sink>
+  void ball_visit(const point_t& q, double radius, Sink&& sink) const {
+    if (root_) ball_visit_rec(root_.get(), q, radius * radius, sink);
+  }
+
+  template <typename Sink>
+  void knn_visit(const point_t& q, std::size_t k, Sink&& sink) const {
     KnnBuffer<point_t> buf(k);
     if (root_) knn_rec(root_.get(), q, buf);
-    auto entries = buf.sorted();
+    for (const auto& e : buf.sorted()) {
+      if (!api::sink_accept(sink, e.point)) return;
+    }
+  }
+
+  std::vector<point_t> knn(const point_t& q, std::size_t k) const {
     std::vector<point_t> out;
-    out.reserve(entries.size());
-    for (const auto& e : entries) out.push_back(e.point);
+    out.reserve(k);
+    knn_visit(q, k, api::collect_into(out));
     return out;
   }
 
@@ -147,7 +166,7 @@ class SpacTree {
 
   std::vector<point_t> range_list(const box_t& query) const {
     std::vector<point_t> out;
-    if (root_) list_rec(root_.get(), query, out);
+    range_visit(query, api::collect_into(out));
     return out;
   }
 
@@ -158,7 +177,7 @@ class SpacTree {
 
   std::vector<point_t> ball_list(const point_t& q, double radius) const {
     std::vector<point_t> out;
-    if (root_) ball_list_rec(root_.get(), q, radius * radius, out);
+    ball_visit(q, radius, api::collect_into(out));
     return out;
   }
 
@@ -853,22 +872,37 @@ class SpacTree {
     return total;
   }
 
-  void list_rec(const Node* t, const box_t& query,
-                std::vector<point_t>& out) const {
-    if (!query.intersects(t->bbox)) return;
-    if (query.contains(t->bbox)) {
-      collect_points(t, out);
-      return;
-    }
+  // Stream every point of the subtree; false = sink stopped the walk.
+  template <typename Sink>
+  static bool visit_all_rec(const Node* t, Sink& sink) {
     if (t->leaf) {
       for (const auto& e : t->items) {
-        if (query.contains(e.pt)) out.push_back(e.pt);
+        if (!api::sink_accept(sink, e.pt)) return false;
       }
-      return;
+      return true;
     }
-    if (query.contains(t->pivot.pt)) out.push_back(t->pivot.pt);
-    if (t->l) list_rec(t->l.get(), query, out);
-    if (t->r) list_rec(t->r.get(), query, out);
+    if (t->l && !visit_all_rec(t->l.get(), sink)) return false;
+    if (!api::sink_accept(sink, t->pivot.pt)) return false;
+    return !t->r || visit_all_rec(t->r.get(), sink);
+  }
+
+  template <typename Sink>
+  bool range_visit_rec(const Node* t, const box_t& query, Sink& sink) const {
+    if (!query.intersects(t->bbox)) return true;
+    if (query.contains(t->bbox)) return visit_all_rec(t, sink);
+    if (t->leaf) {
+      for (const auto& e : t->items) {
+        if (query.contains(e.pt) && !api::sink_accept(sink, e.pt)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    if (query.contains(t->pivot.pt) && !api::sink_accept(sink, t->pivot.pt)) {
+      return false;
+    }
+    if (t->l && !range_visit_rec(t->l.get(), query, sink)) return false;
+    return !t->r || range_visit_rec(t->r.get(), query, sink);
   }
 
   std::size_t ball_count_rec(const Node* t, const point_t& q,
@@ -888,22 +922,26 @@ class SpacTree {
     return total;
   }
 
-  void ball_list_rec(const Node* t, const point_t& q, double r2,
-                     std::vector<point_t>& out) const {
-    if (min_squared_distance(t->bbox, q) > r2) return;
-    if (max_squared_distance(t->bbox, q) <= r2) {
-      collect_points(t, out);
-      return;
-    }
+  template <typename Sink>
+  bool ball_visit_rec(const Node* t, const point_t& q, double r2,
+                      Sink& sink) const {
+    if (min_squared_distance(t->bbox, q) > r2) return true;
+    if (max_squared_distance(t->bbox, q) <= r2) return visit_all_rec(t, sink);
     if (t->leaf) {
       for (const auto& e : t->items) {
-        if (squared_distance(e.pt, q) <= r2) out.push_back(e.pt);
+        if (squared_distance(e.pt, q) <= r2 &&
+            !api::sink_accept(sink, e.pt)) {
+          return false;
+        }
       }
-      return;
+      return true;
     }
-    if (squared_distance(t->pivot.pt, q) <= r2) out.push_back(t->pivot.pt);
-    if (t->l) ball_list_rec(t->l.get(), q, r2, out);
-    if (t->r) ball_list_rec(t->r.get(), q, r2, out);
+    if (squared_distance(t->pivot.pt, q) <= r2 &&
+        !api::sink_accept(sink, t->pivot.pt)) {
+      return false;
+    }
+    if (t->l && !ball_visit_rec(t->l.get(), q, r2, sink)) return false;
+    return !t->r || ball_visit_rec(t->r.get(), q, r2, sink);
   }
 
   static std::size_t height_rec(const Node* t) {

@@ -30,13 +30,16 @@ class KnnBuffer {
   bool full() const { return heap_.size() == k_; }
 
   // Current pruning radius: squared distance of the k-th best so far, or
-  // +inf while fewer than k candidates have been seen.
+  // +inf while fewer than k candidates have been seen. A k == 0 buffer is
+  // permanently full with radius -inf, so every traversal prunes at once.
   double worst() const {
+    if (k_ == 0) return -std::numeric_limits<double>::infinity();
     return full() ? heap_.front().dist2 : std::numeric_limits<double>::infinity();
   }
 
   // Offer a candidate; keeps the k smallest.
   void offer(double dist2, const PointT& p) {
+    if (k_ == 0) return;
     if (heap_.size() < k_) {
       heap_.push_back(Entry{dist2, p});
       std::push_heap(heap_.begin(), heap_.end());

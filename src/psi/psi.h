@@ -2,8 +2,12 @@
 //
 // Reproduction of "Parallel Dynamic Spatial Indexes" (PPoPP 2026).
 //
-// Index structures (all share the same interface: build / batch_insert /
-// batch_delete / knn / range_count / range_list / size):
+// Index structures — all conform to the psi::api::BatchDynamicIndex
+// concept (src/psi/api/concepts.h): build / batch_insert / batch_delete /
+// size / bounds / knn / range_count / range_list / ball_count / ball_list /
+// flatten, plus the streaming sink queries range_visit / ball_visit /
+// knn_visit (src/psi/api/query.h). Conformance of every backend is
+// static_assert-checked in src/psi/api/conformance.h:
 //
 //   psi::POrthTree<Coord, D>            paper contribution #1 (Sec 3)
 //   psi::SpacHTree<Coord, D>            paper contribution #2, Hilbert curve
@@ -12,17 +16,41 @@
 //   psi::PkdTree<Coord, D>              parallel kd-tree baseline
 //   psi::ZdTree<Coord, D>               Morton-sorted orth-tree baseline
 //   psi::RTree<Coord, D>                sequential quadratic R-tree baseline
+//   psi::LogTree / psi::BhlTree         log-structured baselines (Fig 8)
 //   psi::BruteForceIndex<Coord, D>      O(n) oracle (tests)
 //
+// The streaming-sink query model: listing queries stream matches into a
+// caller-supplied sink (any callable; returning false stops the traversal
+// early) instead of materialising vectors. The classic materialising forms
+// (range_list / ball_list / knn) remain as thin adapters over the visits.
+//
+// Type erasure (psi::api): AnyIndex<Coord, D> wraps any conforming backend
+// behind one concrete type via a small hand-rolled vtable (one indirect
+// call per operation — no std::function, no RTTI); BackendRegistry maps
+// names ("spac-z", "log", ...) to AnyIndex factories for runtime backend
+// choice. Monomorphic instantiations keep the fully templated
+// zero-overhead path; AnyIndex buys flexibility for one virtual hop.
+//
 // Service layer (psi::service): SpatialService<Index> — a sharded,
-// epoch-versioned concurrent façade over any of the indexes above
+// epoch-versioned concurrent façade over any conforming index
 // (submit()/flush()/snapshot()/stats(); see src/psi/service/service.h).
+// Snapshots expose the same streaming queries, fanning sinks across shards
+// with no intermediate per-shard vectors. The shard factory takes the
+// shard id, so SpatialService<api::AnyIndex<...>> runs *heterogeneous*
+// backends per shard — e.g. SPaC-Z hot shards and log-structured cold
+// shards in one service — and shard split/merge migrates points across
+// backend types.
 //
 // Substrates: psi::parallel (fork-join scheduler + primitives), psi::sfc
 // (Morton/Hilbert codecs), psi::datagen (paper workload generators).
 
 #pragma once
 
+#include "psi/api/any_index.h"
+#include "psi/api/concepts.h"
+#include "psi/api/conformance.h"
+#include "psi/api/query.h"
+#include "psi/api/registry.h"
 #include "psi/baselines/brute_force.h"
 #include "psi/baselines/log_structured.h"
 #include "psi/bench/batch_queries.h"

@@ -95,22 +95,36 @@ class GroupCommitter {
   using request_t = Request<coord_t, kDim>;
   using result_t = Result<coord_t, kDim>;
   using snapshot_t = Snapshot<Index, Codec>;
-  using factory_t = std::function<Index()>;
+  // The shard factory receives the shard's slot index at creation time, so
+  // one service can run *heterogeneous* backends per shard (Index =
+  // api::AnyIndex; e.g. SPaC-Z for hot low-id shards, the log-structured
+  // baseline for cold ones). Slots created by split/merge ask the factory
+  // with the index the new slot will occupy; a slot's replicas always come
+  // from the same factory id, so live and standby stay the same backend.
+  using factory_t = std::function<Index(std::size_t)>;
 
   GroupCommitter(ServiceConfig cfg, factory_t factory)
       : cfg_(cfg),
         factory_(std::move(factory)),
         map_(map_t::uniform(std::max<std::size_t>(1, cfg.initial_shards))) {
     slots_.resize(map_.num_shards());
-    for (auto& s : slots_) {
-      s.live = make_index();
-      s.standby = make_index();
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      slots_[i].origin = i;
+      slots_[i].live = make_index(i);
+      slots_[i].standby = make_index(i);
     }
     publish();
   }
 
   // Reader entry point: pin the current view.
   std::shared_ptr<const view_t> acquire() const { return slot_.acquire(); }
+
+  // Cheap observers: one relaxed atomic load each, no epoch pin, no
+  // replica refcount traffic — the values of the last published view.
+  std::uint64_t epoch() const { return epoch_.current(); }
+  std::size_t size() const {
+    return published_size_.load(std::memory_order_relaxed);
+  }
 
   // Bulk load (replaces current contents). The shard map is recomputed
   // with equal-population boundaries at the code quantiles of the data —
@@ -145,9 +159,10 @@ class GroupCommitter {
           static_cast<std::size_t>(hi - lo), [&](std::size_t j) {
             return coded[static_cast<std::size_t>(lo) + j].pt;
           });
-      slots_[i].live = make_index();
+      slots_[i].origin = i;
+      slots_[i].live = make_index(i);
       slots_[i].live->build(part);
-      slots_[i].standby = make_index();
+      slots_[i].standby = make_index(i);
       slots_[i].standby->build(part);
     });
     rebalance();
@@ -189,6 +204,10 @@ class GroupCommitter {
           ++stats_.ops_range_list;
           queries.push_back(&req);
           break;
+        case RequestKind::kBall:
+          ++stats_.ops_ball;
+          queries.push_back(&req);
+          break;
       }
     }
 
@@ -221,6 +240,10 @@ class GroupCommitter {
               break;
             case RequestKind::kRangeList:
               res.points = snap.range_list(req.box);
+              res.count = res.points.size();
+              break;
+            case RequestKind::kBall:
+              res.points = snap.ball_list(req.pt, req.radius);
               res.count = res.points.size();
               break;
             default:
@@ -271,14 +294,18 @@ class GroupCommitter {
     std::shared_ptr<Index> live;     // state as of the last published epoch
     std::shared_ptr<Index> standby;  // lags live by exactly the pending log
     std::vector<OpRun> pending;      // runs applied to live but not standby
+    // Factory id this slot's replicas were created with; replica rebuilds
+    // reuse it so live and standby stay the same backend type even after
+    // later splits/merges shifted the slot's position.
+    std::size_t origin = 0;
     // Size at which the last split attempt failed (one giant equal-code
     // run). Skips re-paying flatten+sort every commit until the shard's
     // population actually changes.
     std::size_t unsplittable_at = 0;
   };
 
-  std::shared_ptr<Index> make_index() const {
-    return std::make_shared<Index>(factory_());
+  std::shared_ptr<Index> make_index(std::size_t factory_id) const {
+    return std::make_shared<Index>(factory_(factory_id));
   }
 
   // Replay + apply on the standby replica, then swap it live.
@@ -289,7 +316,7 @@ class GroupCommitter {
       // A stale reader (possibly this very thread, holding a Snapshot
       // across a flush) pins the replica: abandon it and clone live, which
       // already contains the pending log.
-      s.standby = make_index();
+      s.standby = make_index(s.origin);
       s.standby->build(s.live->flatten());
       s.pending.clear();
       ++replica_rebuilds_;
@@ -377,7 +404,10 @@ class GroupCommitter {
         mid, [&](std::size_t j) { return coded[j].pt; });
     std::vector<point_t> right = tabulate<point_t>(
         n - mid, [&](std::size_t j) { return coded[mid + j].pt; });
-    ShardSlot ls = build_slot(left), rs = build_slot(right);
+    // Fresh backends from the factory at the slots' new positions: with a
+    // heterogeneous factory a split migrates points across backend types
+    // through the common flatten()/build() surface.
+    ShardSlot ls = build_slot(left, i), rs = build_slot(right, i + 1);
     slots_[i] = std::move(ls);
     slots_.insert(slots_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
                   std::move(rs));
@@ -389,27 +419,42 @@ class GroupCommitter {
     std::vector<point_t> rhs = slots_[i + 1].live->flatten();
     pts.insert(pts.end(), rhs.begin(), rhs.end());
     map_.merge(i);
-    slots_[i] = build_slot(pts);
+    slots_[i] = build_slot(pts, i);
     slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(i) + 1);
   }
 
-  ShardSlot build_slot(const std::vector<point_t>& pts) const {
+  ShardSlot build_slot(const std::vector<point_t>& pts,
+                       std::size_t factory_id) const {
     ShardSlot s;
-    s.live = make_index();
+    s.origin = factory_id;
+    s.live = make_index(factory_id);
     s.live->build(pts);
-    s.standby = make_index();
+    s.standby = make_index(factory_id);
     s.standby->build(pts);
     return s;
   }
 
   std::uint64_t publish() {
     auto v = std::make_shared<view_t>();
-    v->epoch = epoch_.advance();
+    // The writer is externally serialised, so current()+1 is the epoch
+    // advance() will return below.
+    const std::uint64_t next = epoch_.current() + 1;
+    v->epoch = next;
     v->map = map_;
     v->shards.reserve(slots_.size());
-    for (const auto& s : slots_) v->shards.push_back(s.live);
+    std::size_t total = 0;
+    for (const auto& s : slots_) {
+      total += s.live->size();
+      v->shards.push_back(s.live);
+    }
+    // Publish the view first, then bump the cheap observers: a reader that
+    // sees epoch()/size() report commit N is guaranteed snapshot() returns
+    // view N or newer, never older (the converse — a snapshot briefly
+    // newer than epoch() — is benign: both are monotone).
     slot_.publish(std::move(v));
-    stats_.epoch = epoch_.current();
+    epoch_.advance();
+    published_size_.store(total, std::memory_order_relaxed);
+    stats_.epoch = next;
     ++stats_.commits;
     return stats_.epoch;
   }
@@ -423,6 +468,9 @@ class GroupCommitter {
   ServiceStats stats_;
   // Incremented from the parallel per-shard apply, hence atomic.
   std::atomic<std::uint64_t> replica_rebuilds_{0};
+  // Total population of the last published view; read lock-free by
+  // SpatialService::size() without constructing a Snapshot.
+  std::atomic<std::size_t> published_size_{0};
 };
 
 }  // namespace psi::service

@@ -37,6 +37,7 @@ enum class RequestKind : std::uint8_t {
   kKnn,
   kRangeCount,
   kRangeList,
+  kBall,  // radius query: points within Euclidean distance `radius` of pt
 };
 
 inline const char* kind_name(RequestKind k) {
@@ -46,6 +47,7 @@ inline const char* kind_name(RequestKind k) {
     case RequestKind::kKnn: return "knn";
     case RequestKind::kRangeCount: return "range_count";
     case RequestKind::kRangeList: return "range_list";
+    case RequestKind::kBall: return "ball";
   }
   return "?";
 }
@@ -66,9 +68,10 @@ struct Request {
   using result_t = Result<Coord, D>;
 
   RequestKind kind = RequestKind::kInsert;
-  point_t pt{};        // insert / delete / knn centre
+  point_t pt{};        // insert / delete / knn centre / ball centre
   box_t box{};         // range_count / range_list
   std::size_t k = 0;   // knn
+  double radius = 0;   // ball
   std::promise<result_t> promise;
 
   static Request insert(point_t p) {
@@ -100,6 +103,14 @@ struct Request {
     Request r;
     r.kind = RequestKind::kRangeList;
     r.box = b;
+    return r;
+  }
+  // Ball (radius) query: resolves with the matching points and their count.
+  static Request ball(point_t q, double radius) {
+    Request r;
+    r.kind = RequestKind::kBall;
+    r.pt = q;
+    r.radius = radius;
     return r;
   }
 };

@@ -1,8 +1,9 @@
 // PSI-Lib service layer: the façade.
 //
 // SpatialService<Index> turns any single-writer batch-dynamic index of the
-// library (SpacHTree, SpacZTree, POrthTree, PkdTree, ZdTree, ...) into a
-// concurrent, sharded service:
+// library (anything satisfying psi::api::BatchDynamicIndex — SpacHTree,
+// SpacZTree, POrthTree, PkdTree, ZdTree, ..., or the type-erased
+// api::AnyIndex) into a concurrent, sharded service:
 //
 //   * any number of client threads submit() mixed updates and queries and
 //     get std::futures back;
@@ -31,6 +32,12 @@
 // blocks on that (bounded grace period, then replica rebuild), but pinning
 // snapshots across many commits costs rebuild work — prefer short-lived
 // snapshots under write-heavy traffic.
+//
+// Heterogeneous services: the shard factory receives the shard id, so with
+// Index = api::AnyIndex different shards can run different backends from
+// one factory (hot shards on SPaC-Z, cold shards on the log-structured
+// baseline; see examples/index_advisor.cpp). Nullary factories keep
+// working — they are adapted to ignore the id.
 
 #pragma once
 
@@ -43,6 +50,7 @@
 #include <future>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -68,11 +76,19 @@ class SpatialService {
   using result_t = Result<coord_t, kDim>;
   using future_t = std::future<result_t>;
   using snapshot_t = Snapshot<Index, Codec>;
+  // Per-shard factory: Index(std::size_t shard_id). See group_commit.h.
   using factory_t = typename committer_t::factory_t;
 
-  explicit SpatialService(ServiceConfig cfg = {},
-                          factory_t factory = [] { return Index(); })
-      : cfg_(cfg), committer_(cfg, std::move(factory)) {}
+  explicit SpatialService(ServiceConfig cfg = {})
+      : cfg_(cfg), committer_(cfg, [](std::size_t) { return Index(); }) {}
+
+  // Accepts either a per-shard factory Index(std::size_t) or a legacy
+  // nullary factory Index() (adapted to ignore the shard id).
+  template <typename Factory>
+    requires std::is_invocable_r_v<Index, Factory&, std::size_t> ||
+             std::is_invocable_r_v<Index, Factory&>
+  SpatialService(ServiceConfig cfg, Factory factory)
+      : cfg_(cfg), committer_(cfg, adapt_factory(std::move(factory))) {}
 
   ~SpatialService() {
     stop();
@@ -150,6 +166,10 @@ class SpatialService {
   future_t submit_range_list(const box_t& b) {
     return submit(request_t::range_list(b));
   }
+  // Ball (radius) query: resolves with the points within `radius` of q.
+  future_t submit_ball(const point_t& q, double radius) {
+    return submit(request_t::ball(q, radius));
+  }
 
   // Bulk submission: one queue lock for the whole client batch.
   std::vector<future_t> submit_insert_batch(const std::vector<point_t>& pts) {
@@ -168,8 +188,10 @@ class SpatialService {
   // Lock-free read path: pin the current epoch and query it directly.
   snapshot_t snapshot() const { return snapshot_t(committer_.acquire()); }
 
-  std::size_t size() const { return snapshot().size(); }
-  std::uint64_t epoch() const { return snapshot().epoch(); }
+  // Cheap observers: one atomic load on the committer — no epoch pin, no
+  // replica refcount traffic, no Snapshot construction.
+  std::size_t size() const { return committer_.size(); }
+  std::uint64_t epoch() const { return committer_.epoch(); }
   std::size_t queued() const { return queue_.size(); }
 
   ServiceStats stats() const {
@@ -178,6 +200,15 @@ class SpatialService {
   }
 
  private:
+  template <typename Factory>
+  static factory_t adapt_factory(Factory f) {
+    if constexpr (std::is_invocable_r_v<Index, Factory&, std::size_t>) {
+      return factory_t(std::move(f));
+    } else {
+      return [g = std::move(f)](std::size_t) { return g(); };
+    }
+  }
+
   void commit_loop() {
     const auto interval =
         std::chrono::milliseconds(std::max(1, cfg_.commit_interval_ms));

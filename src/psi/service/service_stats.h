@@ -27,6 +27,7 @@ struct ServiceStats {
   std::uint64_t ops_knn = 0;
   std::uint64_t ops_range_count = 0;
   std::uint64_t ops_range_list = 0;
+  std::uint64_t ops_ball = 0;
 
   std::size_t num_shards = 0;
   std::size_t size_total = 0;            // points currently indexed
@@ -34,7 +35,7 @@ struct ServiceStats {
 
   std::uint64_t ops_updates() const { return ops_insert + ops_delete; }
   std::uint64_t ops_queries() const {
-    return ops_knn + ops_range_count + ops_range_list;
+    return ops_knn + ops_range_count + ops_range_list + ops_ball;
   }
 
   std::size_t max_shard_size() const;

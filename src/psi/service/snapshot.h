@@ -7,21 +7,31 @@
 // of a commit group or none of it, never a torn mix.
 //
 // Snapshot is the reader-facing wrapper: it pins a View alive and exposes
-// the standard query API (knn / range_count / range_list / size) by fanning
-// out over the View's shards and combining per-shard answers. Fan-out uses
-// the shard map's box routing where the codec allows it; every shard also
-// prunes through its own root bounding box, so over-broad routing costs
-// O(1) per extra shard.
+// the psi::api query surface by fanning out over the View's shards. The
+// primary read path is *streaming* (range_visit / ball_visit / knn_visit,
+// see src/psi/api/query.h): matches flow straight from each shard's native
+// traversal into the caller's sink, shard by shard, with no intermediate
+// per-shard vector — a sink returning false stops mid-shard and skips the
+// remaining shards. The materialising forms (range_list / ball_list / knn)
+// are thin adapters over the visits. Fan-out uses the shard map's box
+// routing where the codec allows it; every shard also prunes through its
+// own root bounding box, so over-broad routing costs O(1) per extra shard.
+//
+// The Index parameter is anything satisfying api::BatchDynamicIndex —
+// including api::AnyIndex, in which case the View's shards may be
+// *different backend types* at runtime (see group_commit.h).
 
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <utility>
 #include <vector>
 
+#include "psi/api/query.h"
 #include "psi/geometry/knn_buffer.h"
 #include "psi/geometry/point.h"
 #include "psi/service/shard_map.h"
@@ -54,6 +64,8 @@ class Snapshot {
   using view_t = View<Index, Codec>;
   using point_t = typename view_t::point_t;
   using box_t = typename view_t::box_t;
+  using coord_t = typename view_t::coord_t;
+  static constexpr int kDim = view_t::kDim;
 
   explicit Snapshot(std::shared_ptr<const view_t> view)
       : view_(std::move(view)) {}
@@ -62,14 +74,41 @@ class Snapshot {
   std::size_t num_shards() const { return view_->shards.size(); }
   std::size_t size() const { return view_->size(); }
 
-  // k nearest neighbours across all shards, merged through one bounded
-  // buffer. Shards are visited in order of root-box distance and a shard
-  // is skipped once the buffer is full and the shard's box cannot beat the
-  // current k-th distance — with balanced shards a query typically touches
-  // one or two of them, so the fan-out cost stays near K=1. Backends
-  // without bounds() fall back to visiting every shard (each still prunes
-  // internally from its own root).
-  std::vector<point_t> knn(const point_t& q, std::size_t k) const {
+  // -------------------------------------------------------------------
+  // Streaming read path (primary)
+  // -------------------------------------------------------------------
+
+  // Stream every point inside `query` to the sink, shard by shard. No
+  // intermediate vectors; a sink returning false stops the whole fan-out.
+  template <typename Sink>
+  void range_visit(const box_t& query, Sink&& sink) const {
+    const auto [lo, hi] = view_->map.shard_range_for_box(query);
+    api::StopGuard<Sink> guard{sink};
+    for (std::size_t i = lo; i <= hi && guard.alive; ++i) {
+      view_->shards[i]->range_visit(query, guard);
+    }
+  }
+
+  // Stream every point within Euclidean distance `radius` of q. Routed
+  // through the ball's bounding box; each shard prunes from its own root.
+  template <typename Sink>
+  void ball_visit(const point_t& q, double radius, Sink&& sink) const {
+    const auto [lo, hi] = view_->map.shard_range_for_box(ball_box(q, radius));
+    api::StopGuard<Sink> guard{sink};
+    for (std::size_t i = lo; i <= hi && guard.alive; ++i) {
+      view_->shards[i]->ball_visit(q, radius, guard);
+    }
+  }
+
+  // k nearest neighbours across all shards, streamed in increasing
+  // distance order. Shards are visited in order of root-box distance and a
+  // shard is skipped once the buffer is full and the shard's box cannot
+  // beat the current k-th distance — with balanced shards a query
+  // typically touches one or two of them, so the fan-out cost stays near
+  // K=1. The bounded buffer is the algorithm's working state; only the
+  // final ranked stream reaches the sink.
+  template <typename Sink>
+  void knn_visit(const point_t& q, std::size_t k, Sink&& sink) const {
     struct Cand {
       double dist2;
       const Index* shard;
@@ -78,25 +117,31 @@ class Snapshot {
     order.reserve(view_->shards.size());
     for (const auto& shard : view_->shards) {
       if (shard->size() == 0) continue;
-      double d = 0;
-      if constexpr (requires { shard->bounds(); }) {
-        d = min_squared_distance(shard->bounds(), q);
-      }
-      order.push_back(Cand{d, shard.get()});
+      order.push_back(
+          Cand{min_squared_distance(shard->bounds(), q), shard.get()});
     }
     std::sort(order.begin(), order.end(),
               [](const Cand& a, const Cand& b) { return a.dist2 < b.dist2; });
     KnnBuffer<point_t> buf(k);
     for (const Cand& c : order) {
       if (buf.full() && c.dist2 >= buf.worst()) break;  // sorted: all done
-      for (const auto& p : c.shard->knn(q, k)) {
+      c.shard->knn_visit(q, k, [&](const point_t& p) {
         buf.offer(squared_distance(p, q), p);
-      }
+      });
     }
-    auto entries = buf.sorted();
+    for (const auto& e : buf.sorted()) {
+      if (!api::sink_accept(sink, e.point)) return;
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Materialising adapters
+  // -------------------------------------------------------------------
+
+  std::vector<point_t> knn(const point_t& q, std::size_t k) const {
     std::vector<point_t> out;
-    out.reserve(entries.size());
-    for (const auto& e : entries) out.push_back(e.point);
+    out.reserve(k);
+    knn_visit(q, k, api::collect_into(out));
     return out;
   }
 
@@ -110,12 +155,23 @@ class Snapshot {
   }
 
   std::vector<point_t> range_list(const box_t& query) const {
-    const auto [lo, hi] = view_->map.shard_range_for_box(query);
     std::vector<point_t> out;
+    range_visit(query, api::collect_into(out));
+    return out;
+  }
+
+  std::size_t ball_count(const point_t& q, double radius) const {
+    const auto [lo, hi] = view_->map.shard_range_for_box(ball_box(q, radius));
+    std::size_t total = 0;
     for (std::size_t i = lo; i <= hi; ++i) {
-      auto part = view_->shards[i]->range_list(query);
-      out.insert(out.end(), part.begin(), part.end());
+      total += view_->shards[i]->ball_count(q, radius);
     }
+    return total;
+  }
+
+  std::vector<point_t> ball_list(const point_t& q, double radius) const {
+    std::vector<point_t> out;
+    ball_visit(q, radius, api::collect_into(out));
     return out;
   }
 
@@ -133,6 +189,18 @@ class Snapshot {
   const view_t& view() const { return *view_; }
 
  private:
+  // Axis-aligned bounding box of the ball, for shard routing. Corners may
+  // leave the codec domain; shard_range_for_box clamps them conservatively.
+  static box_t ball_box(const point_t& q, double radius) {
+    const double r = std::ceil(std::max(0.0, radius));
+    box_t b;
+    for (int d = 0; d < kDim; ++d) {
+      b.lo[d] = static_cast<coord_t>(static_cast<double>(q[d]) - r);
+      b.hi[d] = static_cast<coord_t>(static_cast<double>(q[d]) + r);
+    }
+    return b;
+  }
+
   std::shared_ptr<const view_t> view_;
 };
 

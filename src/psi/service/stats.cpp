@@ -33,6 +33,7 @@ std::string ServiceStats::json() const {
      << ",\"ops_knn\":" << ops_knn
      << ",\"ops_range_count\":" << ops_range_count
      << ",\"ops_range_list\":" << ops_range_list
+     << ",\"ops_ball\":" << ops_ball
      << ",\"num_shards\":" << num_shards << ",\"size_total\":" << size_total
      << ",\"max_shard\":" << max_shard_size()
      << ",\"min_shard\":" << min_shard_size() << ",\"shard_sizes\":[";

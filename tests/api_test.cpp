@@ -1,0 +1,251 @@
+// psi::api unit tests: the streaming query-sink model, the
+// BatchDynamicIndex concept, the type-erased AnyIndex, and the
+// BackendRegistry.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "psi/psi.h"
+#include "test_util.h"
+
+namespace {
+
+using namespace psi;
+
+constexpr std::int64_t kMax = 1'000'000'000;
+
+// ---------------------------------------------------------------------------
+// Concept: negative case (the positive cases are the static_asserts in
+// src/psi/api/conformance.h, compiled into every TU including psi.h).
+// ---------------------------------------------------------------------------
+
+struct NotAnIndex {
+  using point_t = Point2;
+  using box_t = Box2;
+  std::size_t size() const { return 0; }
+};
+static_assert(!api::BatchDynamicIndex<NotAnIndex>);
+static_assert(api::BatchDynamicIndex<api::AnyIndex2>);
+
+// ---------------------------------------------------------------------------
+// Sink plumbing
+// ---------------------------------------------------------------------------
+
+TEST(QuerySinks, AcceptsVoidAndBoolSinks) {
+  std::size_t n = 0;
+  auto void_sink = [&](const Point2&) { ++n; };
+  auto bool_sink = [&](const Point2&) { return ++n < 3; };
+  EXPECT_TRUE(api::sink_accept(void_sink, Point2{{1, 1}}));
+  EXPECT_TRUE(api::sink_accept(bool_sink, Point2{{1, 1}}));
+  EXPECT_FALSE(api::sink_accept(bool_sink, Point2{{1, 1}}));
+  EXPECT_EQ(n, 3u);
+}
+
+TEST(QuerySinks, PointSinkErasesBothShapes) {
+  std::vector<Point2> got;
+  auto collector = [&](const Point2& p) { got.push_back(p); };
+  api::PointSink<std::int64_t, 2> sink(collector);
+  EXPECT_TRUE(sink(Point2{{1, 2}}));
+  std::size_t budget = 1;
+  auto limited = [&](const Point2&) { return budget-- > 1; };
+  api::PointSink<std::int64_t, 2> sink2(limited);
+  EXPECT_FALSE(sink2(Point2{{3, 4}}));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], (Point2{{1, 2}}));
+}
+
+// ---------------------------------------------------------------------------
+// Streaming queries vs the materialising adapters, on every backend the
+// registry knows.
+// ---------------------------------------------------------------------------
+
+TEST(StreamingQueries, VisitMatchesListOnEveryBackend) {
+  auto pts = datagen::varden<2>(4000, 7, kMax);
+  const Point2 centre = pts[123];
+  const Box2 range = testutil::box_around(centre, kMax / 20, kMax);
+  const double radius = static_cast<double>(kMax) / 30;
+
+  for (const auto& name : api::BackendRegistry2::instance().names()) {
+    SCOPED_TRACE(name);
+    auto idx = api::BackendRegistry2::instance().make(name);
+    idx.build(pts);
+    ASSERT_EQ(idx.size(), pts.size());
+
+    // range
+    std::vector<Point2> streamed;
+    idx.range_visit(range, [&](const Point2& p) { streamed.push_back(p); });
+    testutil::expect_same_multiset(streamed, idx.range_list(range));
+    EXPECT_EQ(streamed.size(), idx.range_count(range));
+
+    // ball
+    streamed.clear();
+    idx.ball_visit(centre, radius,
+                   [&](const Point2& p) { streamed.push_back(p); });
+    testutil::expect_same_multiset(streamed, idx.ball_list(centre, radius));
+    EXPECT_EQ(streamed.size(), idx.ball_count(centre, radius));
+
+    // knn: streamed in increasing distance order, same set as knn()
+    streamed.clear();
+    idx.knn_visit(centre, 16, [&](const Point2& p) { streamed.push_back(p); });
+    auto direct = idx.knn(centre, 16);
+    ASSERT_EQ(streamed.size(), direct.size());
+    for (std::size_t i = 0; i < streamed.size(); ++i) {
+      EXPECT_DOUBLE_EQ(squared_distance(streamed[i], centre),
+                       squared_distance(direct[i], centre));
+    }
+    for (std::size_t i = 1; i < streamed.size(); ++i) {
+      EXPECT_LE(squared_distance(streamed[i - 1], centre),
+                squared_distance(streamed[i], centre));
+    }
+  }
+}
+
+TEST(StreamingQueries, ZeroKKnnIsEmptyOnEveryBackend) {
+  auto pts = datagen::uniform<2>(300, 29, kMax);
+  for (const auto& name : api::BackendRegistry2::instance().names()) {
+    SCOPED_TRACE(name);
+    auto idx = api::BackendRegistry2::instance().make(name);
+    idx.build(pts);
+    EXPECT_TRUE(idx.knn(pts[0], 0).empty());
+    std::size_t seen = 0;
+    idx.knn_visit(pts[0], 0, [&](const Point2&) { ++seen; });
+    EXPECT_EQ(seen, 0u);
+  }
+}
+
+TEST(StreamingQueries, SinkReturningFalseStopsEarly) {
+  auto pts = datagen::uniform<2>(5000, 11, kMax);
+  const Box2 everything{{{0, 0}}, {{kMax, kMax}}};
+
+  for (const auto& name : api::BackendRegistry2::instance().names()) {
+    SCOPED_TRACE(name);
+    auto idx = api::BackendRegistry2::instance().make(name);
+    idx.build(pts);
+
+    std::size_t seen = 0;
+    idx.range_visit(everything, [&](const Point2&) { return ++seen < 10; });
+    EXPECT_EQ(seen, 10u);
+
+    seen = 0;
+    idx.ball_visit(pts[0], 2.0 * kMax, [&](const Point2&) {
+      return ++seen < 7;
+    });
+    EXPECT_EQ(seen, 7u);
+
+    seen = 0;
+    idx.knn_visit(pts[0], 50, [&](const Point2&) { return ++seen < 3; });
+    EXPECT_EQ(seen, 3u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AnyIndex: type erasure preserves semantics
+// ---------------------------------------------------------------------------
+
+TEST(AnyIndex, MatchesOracleThroughFullUpdateCycle) {
+  api::AnyIndex2 idx(SpacZTree2{}, "spac-z");
+  EXPECT_EQ(idx.backend_name(), "spac-z");
+  BruteForceIndex<std::int64_t, 2> oracle;
+
+  auto pts = datagen::varden<2>(6000, 13, kMax);
+  idx.build(pts);
+  oracle.build(pts);
+
+  auto extra = datagen::uniform<2>(1500, 17, kMax);
+  idx.batch_insert(extra);
+  oracle.batch_insert(extra);
+  std::vector<Point2> del(pts.begin(), pts.begin() + 800);
+  idx.batch_delete(del);
+  oracle.batch_delete(del);
+
+  ASSERT_EQ(idx.size(), oracle.size());
+  EXPECT_FALSE(idx.empty());
+  testutil::expect_same_multiset(idx.flatten(), oracle.points());
+
+  auto knn_q = datagen::ind_queries(oracle.points(), 12, 19, kMax);
+  std::vector<Box2> ranges;
+  for (const auto& q : knn_q) {
+    ranges.push_back(testutil::box_around(q, kMax / 30, kMax));
+  }
+  testutil::expect_queries_match(idx, oracle, knn_q, 10, ranges);
+
+  const double radius = static_cast<double>(kMax) / 40;
+  for (const auto& q : knn_q) {
+    EXPECT_EQ(idx.ball_count(q, radius), oracle.ball_count(q, radius));
+    testutil::expect_same_multiset(idx.ball_list(q, radius),
+                                   oracle.ball_list(q, radius));
+  }
+}
+
+TEST(AnyIndex, BoundsMatchWrappedBackend) {
+  SpacZTree2 raw;
+  std::vector<Point2> pts{{{10, 20}}, {{300, 5}}, {{40, 400}}};
+  raw.build(pts);
+  api::AnyIndex2 idx(SpacZTree2{}, "spac-z");
+  idx.build(pts);
+  EXPECT_TRUE(idx.bounds() == raw.bounds());
+}
+
+TEST(AnyIndex, MoveTransfersOwnership) {
+  api::AnyIndex2 a(PkdTree2{}, "pkd");
+  a.build({{{1, 1}}, {{2, 2}}, {{3, 3}}});
+  api::AnyIndex2 b(std::move(a));
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.backend_name(), "pkd");
+  api::AnyIndex2 c;
+  c = std::move(b);
+  EXPECT_EQ(c.size(), 3u);
+  // Default-constructed AnyIndex is a usable empty index.
+  api::AnyIndex2 d;
+  EXPECT_TRUE(d.empty());
+  d.batch_insert({{{5, 5}}});
+  EXPECT_EQ(d.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// BackendRegistry
+// ---------------------------------------------------------------------------
+
+TEST(BackendRegistry, CataloguesEveryBuiltin) {
+  auto& reg = api::BackendRegistry2::instance();
+  for (const char* name : {"porth", "spac-h", "spac-z", "cpam-z", "pkd", "zd",
+                           "rtree", "log", "bhl", "brute"}) {
+    EXPECT_TRUE(reg.contains(name)) << name;
+    auto idx = reg.make(name);
+    EXPECT_EQ(idx.backend_name(), name);
+    idx.build({{{1, 2}}, {{3, 4}}});
+    EXPECT_EQ(idx.size(), 2u);
+    EXPECT_EQ(idx.range_count(Box2{{{0, 0}}, {{10, 10}}}), 2u);
+  }
+}
+
+TEST(BackendRegistry, UnknownNameThrowsWithCatalogue) {
+  auto& reg = api::BackendRegistry2::instance();
+  try {
+    reg.make("no-such-backend");
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no-such-backend"), std::string::npos);
+    EXPECT_NE(msg.find("spac-z"), std::string::npos);  // lists the catalogue
+  }
+}
+
+TEST(BackendRegistry, CustomRegistrationsOverride) {
+  auto& reg = api::BackendRegistry2::instance();
+  reg.add("custom-wide-leaf", [] {
+    SpacParams p;
+    p.leaf_wrap = 128;
+    return api::AnyIndex2(SpacZTree2(p), "custom-wide-leaf");
+  });
+  EXPECT_TRUE(reg.contains("custom-wide-leaf"));
+  auto idx = reg.make("custom-wide-leaf");
+  idx.build(datagen::uniform<2>(500, 23, kMax));
+  EXPECT_EQ(idx.size(), 500u);
+}
+
+}  // namespace

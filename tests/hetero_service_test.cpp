@@ -1,0 +1,380 @@
+// psi::service over psi::api::AnyIndex: heterogeneous per-shard backends.
+//
+// One SpatialService runs *different index structures on different shards*
+// (the per-shard factory receives the shard id): SPaC-Z on hot shards, a
+// log-structured baseline on cold shards. These tests drive such services
+// through skewed (varden) insert streams that force shard split/merge —
+// migrating points across backend types — and validate against the
+// brute-force oracle, including the 4-writer/4-reader concurrency stress
+// and the ball-query + streaming-sink read paths.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "psi/psi.h"
+#include "test_util.h"
+
+namespace {
+
+using namespace psi;
+using namespace psi::service;
+
+constexpr std::int64_t kMax = 1'000'000'000;
+
+using AnyService = SpatialService<api::AnyIndex2>;
+
+Box2 box_around(const Point2& c, std::int64_t half) {
+  return testutil::box_around(c, half, kMax);
+}
+
+// Even shard ids run SPaC-Z, odd ids the given cold backend — after any
+// split/merge history the service keeps a mix of both types.
+AnyService::factory_t mixed_factory(const std::string& cold) {
+  return [cold](std::size_t shard_id) {
+    auto& reg = api::BackendRegistry2::instance();
+    return shard_id % 2 == 0 ? reg.make("spac-z") : reg.make(cold);
+  };
+}
+
+// Distinct backend names across the current view's shards.
+std::set<std::string> backend_mix(const AnyService& svc) {
+  std::set<std::string> names;
+  auto snap = svc.snapshot();
+  for (const auto& shard : snap.view().shards) {
+    names.insert(shard->backend_name());
+  }
+  return names;
+}
+
+// De-duplicated varden stream: keeps the skew, removes duplicate points so
+// the set-semantics LogTree backend stays oracle-exact under deletes.
+std::vector<Point2> unique_varden(std::size_t n, std::uint64_t seed) {
+  auto pts = datagen::varden<2>(n, seed, kMax);
+  std::sort(pts.begin(), pts.end());
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  return pts;
+}
+
+// ---------------------------------------------------------------------------
+// Two backend types in one service
+// ---------------------------------------------------------------------------
+
+TEST(HeteroService, RunsTwoBackendTypesAndMatchesOracle) {
+  AnyService svc(ServiceConfig{.initial_shards = 4}, mixed_factory("log"));
+  auto pts = unique_varden(12000, 3);
+  svc.build(pts);
+
+  const auto mix = backend_mix(svc);
+  ASSERT_GE(mix.size(), 2u) << "service is not heterogeneous";
+  EXPECT_TRUE(mix.count("spac-z"));
+  EXPECT_TRUE(mix.count("log"));
+
+  BruteForceIndex<std::int64_t, 2> oracle;
+  oracle.build(pts);
+  auto snap = svc.snapshot();
+  auto knn_q = datagen::ind_queries(pts, 16, 7, kMax);
+  std::vector<Box2> ranges;
+  for (const auto& q : knn_q) ranges.push_back(box_around(q, kMax / 30));
+  testutil::expect_queries_match(snap, oracle, knn_q, 10, ranges);
+}
+
+TEST(HeteroService, SkewedStreamSplitsAndMergesAcrossBackendTypes) {
+  ServiceConfig cfg;
+  cfg.initial_shards = 2;
+  cfg.split_threshold = 1500;  // force splits on a skewed stream
+  cfg.merge_threshold = 400;
+  cfg.min_shards = 1;
+  AnyService svc(cfg, mixed_factory("log"));
+  BruteForceIndex<std::int64_t, 2> oracle;
+
+  // Skewed (varden) insert stream in FIFO batches, with rolling deletes of
+  // earlier points: shards covering dense curve ranges overflow and split,
+  // migrating points between SPaC-Z and LogTree instances.
+  auto pts = unique_varden(16000, 41);
+  const std::size_t batch = 2000;
+  for (std::size_t lo = 0; lo < pts.size(); lo += batch) {
+    const std::size_t hi = std::min(pts.size(), lo + batch);
+    std::vector<Point2> ins(pts.begin() + static_cast<std::ptrdiff_t>(lo),
+                            pts.begin() + static_cast<std::ptrdiff_t>(hi));
+    svc.submit_insert_batch(ins);
+    oracle.batch_insert(ins);
+    if (lo >= batch) {
+      std::vector<Point2> del(
+          pts.begin() + static_cast<std::ptrdiff_t>(lo - batch),
+          pts.begin() + static_cast<std::ptrdiff_t>(lo - batch / 2));
+      svc.submit_delete_batch(del);
+      oracle.batch_delete(del);
+    }
+    svc.flush();
+    ASSERT_EQ(svc.size(), oracle.size());
+  }
+
+  auto st = svc.stats();
+  EXPECT_GT(st.splits, 0u);
+  EXPECT_GE(backend_mix(svc).size(), 2u)
+      << "split/merge history erased the heterogeneity";
+  {
+    auto snap = svc.snapshot();
+    testutil::expect_same_multiset(snap.flatten(), oracle.points());
+    auto knn_q = datagen::ind_queries(oracle.points(), 12, 43, kMax);
+    std::vector<Box2> ranges;
+    for (const auto& q : knn_q) ranges.push_back(box_around(q, kMax / 30));
+    testutil::expect_queries_match(snap, oracle, knn_q, 10, ranges);
+  }  // drop the snapshot before the delete-heavy phase pins replicas
+
+  // Shrink: deletes collapse underfull shards (merges migrate points too).
+  std::vector<Point2> survivors = oracle.points();
+  std::vector<Point2> del(survivors.begin(), survivors.end() - 200);
+  svc.submit_delete_batch(del);
+  oracle.batch_delete(del);
+  svc.flush();
+  st = svc.stats();
+  EXPECT_GT(st.merges, 0u);
+  ASSERT_EQ(svc.size(), 200u);
+  testutil::expect_same_multiset(svc.snapshot().flatten(), oracle.points());
+}
+
+// ---------------------------------------------------------------------------
+// Ball queries end-to-end (queued dispatch + snapshot path)
+// ---------------------------------------------------------------------------
+
+TEST(HeteroService, BallQueriesEndToEnd) {
+  AnyService svc(ServiceConfig{.initial_shards = 4}, mixed_factory("bhl"));
+  auto pts = datagen::varden<2>(8000, 11, kMax);
+  BruteForceIndex<std::int64_t, 2> oracle;
+  oracle.build(pts);
+
+  // Queued path: the ball query drains in the same group as the inserts
+  // and must observe them.
+  svc.submit_insert_batch(pts);
+  const Point2 centre = pts[100];
+  const double radius = static_cast<double>(kMax) / 25;
+  auto fut = svc.submit_ball(centre, radius);
+  svc.flush();
+
+  auto res = fut.get();
+  EXPECT_GT(res.epoch, 0u);
+  EXPECT_EQ(res.count, res.points.size());
+  testutil::expect_same_multiset(res.points, oracle.ball_list(centre, radius));
+
+  // Snapshot path: count, list, and streaming visit agree with the oracle.
+  auto snap = svc.snapshot();
+  for (const auto& q : datagen::ind_queries(pts, 12, 13, kMax)) {
+    EXPECT_EQ(snap.ball_count(q, radius), oracle.ball_count(q, radius));
+    testutil::expect_same_multiset(snap.ball_list(q, radius),
+                                   oracle.ball_list(q, radius));
+    std::vector<Point2> streamed;
+    snap.ball_visit(q, radius, [&](const Point2& p) { streamed.push_back(p); });
+    testutil::expect_same_multiset(streamed, oracle.ball_list(q, radius));
+  }
+
+  // Stats counted the queued ball op.
+  EXPECT_EQ(svc.stats().ops_ball, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming snapshot reads
+// ---------------------------------------------------------------------------
+
+TEST(HeteroService, SnapshotVisitsStreamAndStopEarly) {
+  AnyService svc(ServiceConfig{.initial_shards = 8}, mixed_factory("pkd"));
+  auto pts = datagen::uniform<2>(10000, 17, kMax);
+  svc.build(pts);
+  BruteForceIndex<std::int64_t, 2> oracle;
+  oracle.build(pts);
+
+  auto snap = svc.snapshot();
+  const Box2 big{{{0, 0}}, {{kMax, kMax}}};
+
+  // Full stream covers every shard with no intermediate vectors.
+  std::size_t streamed = 0;
+  snap.range_visit(big, [&](const Point2&) { ++streamed; });
+  EXPECT_EQ(streamed, pts.size());
+
+  // Early termination stops across shard boundaries mid-fan-out.
+  std::size_t seen = 0;
+  snap.range_visit(big, [&](const Point2&) { return ++seen < 100; });
+  EXPECT_EQ(seen, 100u);
+
+  // Parity with the materialising adapter on a selective box.
+  const Box2 sel = box_around(pts[4], kMax / 20);
+  std::vector<Point2> got;
+  snap.range_visit(sel, [&](const Point2& p) { got.push_back(p); });
+  testutil::expect_same_multiset(got, oracle.range_list(sel));
+
+  // knn_visit streams ranked results.
+  const Point2 q = pts[9];
+  std::vector<Point2> nn;
+  snap.knn_visit(q, 10, [&](const Point2& p) { nn.push_back(p); });
+  testutil::expect_knn_equivalent(nn, q, oracle.knn_distances(q, 10));
+}
+
+// ---------------------------------------------------------------------------
+// Cheap accessors
+// ---------------------------------------------------------------------------
+
+TEST(HeteroService, SizeAndEpochAreCheapAndConsistent) {
+  AnyService svc(ServiceConfig{.initial_shards = 4}, mixed_factory("log"));
+  EXPECT_EQ(svc.size(), 0u);
+  const std::uint64_t e0 = svc.epoch();
+
+  auto pts = datagen::uniform<2>(3000, 19, kMax);
+  svc.submit_insert_batch(pts);
+  EXPECT_EQ(svc.size(), 0u);  // not visible before the commit
+  svc.flush();
+  EXPECT_EQ(svc.epoch(), e0 + 1);
+  EXPECT_EQ(svc.size(), pts.size());
+
+  // The atomic observers agree with a full snapshot, without pinning one.
+  auto snap = svc.snapshot();
+  EXPECT_EQ(svc.size(), snap.size());
+  EXPECT_EQ(svc.epoch(), snap.epoch());
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency stress: 4 writers + 4 readers over a mixed-backend service
+// (same oracle protocol as service_stress_test.cpp).
+// ---------------------------------------------------------------------------
+
+class Oracle {
+ public:
+  void insert(const std::vector<Point2>& pts) {
+    std::lock_guard<std::mutex> g(mu_);
+    index_.batch_insert(pts);
+  }
+  void remove(const std::vector<Point2>& pts) {
+    std::lock_guard<std::mutex> g(mu_);
+    index_.batch_delete(pts);
+  }
+  BruteForceIndex<std::int64_t, 2> copy() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return index_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  BruteForceIndex<std::int64_t, 2> index_;
+};
+
+TEST(HeteroServiceStress, WritersAndReadersAgainstOracle) {
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 4;
+  constexpr int kRounds = 2;
+  constexpr std::size_t kPerRound = 3000;
+
+  ServiceConfig cfg;
+  cfg.initial_shards = 4;
+  cfg.split_threshold = 5000;  // force splits (and type migration) mid-flight
+  cfg.merge_threshold = 64;
+  cfg.commit_interval_ms = 1;
+  // bhl keeps exact multiset semantics under concurrent duplicate-free
+  // streams while exercising a rebuild-on-update backend next to SPaC-Z.
+  AnyService svc(cfg, mixed_factory("bhl"));
+  svc.start();
+
+  Oracle oracle;
+  std::atomic<bool> stop_readers{false};
+  std::atomic<std::uint64_t> reader_queries{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(static_cast<std::uint64_t>(2000 + r));
+      std::uint64_t i = 0;
+      std::uint64_t last_epoch = 0;
+      while (!stop_readers.load(std::memory_order_relaxed)) {
+        auto snap = svc.snapshot();
+        ASSERT_GE(snap.epoch(), last_epoch);
+        last_epoch = snap.epoch();
+        Point2 q{{static_cast<std::int64_t>(rng.ith_bounded(2 * i, kMax)),
+                  static_cast<std::int64_t>(rng.ith_bounded(2 * i + 1, kMax))}};
+        ++i;
+        // Internal consistency of one pinned epoch, across the streaming
+        // and materialising read paths.
+        const Box2 b = box_around(q, kMax / 25);
+        const std::size_t cnt = snap.range_count(b);
+        std::size_t streamed = 0;
+        snap.range_visit(b, [&](const Point2&) { ++streamed; });
+        ASSERT_EQ(cnt, streamed);
+        auto nn = snap.knn(q, 8);
+        for (std::size_t j = 1; j < nn.size(); ++j) {
+          ASSERT_LE(squared_distance(nn[j - 1], q),
+                    squared_distance(nn[j], q));
+        }
+        reader_queries.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<std::thread> writers;
+    writers.reserve(kWriters);
+    for (int w = 0; w < kWriters; ++w) {
+      writers.emplace_back([&, w, round] {
+        const std::uint64_t seed =
+            static_cast<std::uint64_t>(round * kWriters + w + 101);
+        auto mine = datagen::uniform<2>(kPerRound, seed, kMax);
+        const std::size_t chunk = 250;
+        std::vector<std::future<Result<std::int64_t, 2>>> futs;
+        for (std::size_t lo = 0; lo < mine.size(); lo += chunk) {
+          const std::size_t hi = std::min(mine.size(), lo + chunk);
+          std::vector<Point2> ins(
+              mine.begin() + static_cast<std::ptrdiff_t>(lo),
+              mine.begin() + static_cast<std::ptrdiff_t>(hi));
+          auto fs = svc.submit_insert_batch(ins);
+          oracle.insert(ins);
+          futs.insert(futs.end(), std::make_move_iterator(fs.begin()),
+                      std::make_move_iterator(fs.end()));
+          std::vector<Point2> del(
+              ins.begin(),
+              ins.begin() + static_cast<std::ptrdiff_t>(chunk / 2));
+          auto fs2 = svc.submit_delete_batch(del);
+          oracle.remove(del);
+          futs.insert(futs.end(), std::make_move_iterator(fs2.begin()),
+                      std::make_move_iterator(fs2.end()));
+          if (lo % (4 * chunk) == 0) {
+            futs.push_back(svc.submit_knn(ins[0], 4));
+            futs.push_back(svc.submit_ball(ins[0], kMax / 50.0));
+          }
+        }
+        for (auto& f : futs) f.get();
+      });
+    }
+    for (auto& t : writers) t.join();
+
+    svc.flush();
+    auto snap = svc.snapshot();
+    auto ref = oracle.copy();
+    ASSERT_EQ(snap.size(), ref.size());
+    testutil::expect_same_multiset(snap.flatten(), ref.points());
+    auto knn_q = datagen::ind_queries(ref.points(), 8,
+                                      static_cast<std::uint64_t>(round), kMax);
+    std::vector<Box2> ranges;
+    for (const auto& q : knn_q) ranges.push_back(box_around(q, kMax / 30));
+    testutil::expect_queries_match(snap, ref, knn_q, 10, ranges);
+  }
+
+  stop_readers.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_GT(reader_queries.load(), 0u);
+
+  const auto st = svc.stats();
+  EXPECT_GT(st.splits, 0u);
+  EXPECT_GE(backend_mix(svc).size(), 2u);
+  EXPECT_EQ(st.ops_insert,
+            static_cast<std::uint64_t>(kWriters) * kRounds * kPerRound);
+  EXPECT_EQ(st.ops_delete, st.ops_insert / 2);
+  EXPECT_GT(st.ops_ball, 0u);
+  svc.stop();
+}
+
+}  // namespace

@@ -368,7 +368,11 @@ TEST(SpatialService, StatsCountOpsAndRenderJson) {
   svc.submit_knn(Point2{{1, 1}}, 1);
   svc.submit_range_count(box_around(Point2{{1, 1}}, 10));
   svc.submit_range_list(box_around(Point2{{1, 1}}, 10));
+  auto ball_fut = svc.submit_ball(Point2{{1, 1}}, 5.0);
   svc.flush();
+
+  // The queued ball query observed the surviving insert.
+  EXPECT_EQ(ball_fut.get().count, 1u);
 
   const auto st = svc.stats();
   EXPECT_EQ(st.ops_insert, 2u);
@@ -376,12 +380,14 @@ TEST(SpatialService, StatsCountOpsAndRenderJson) {
   EXPECT_EQ(st.ops_knn, 1u);
   EXPECT_EQ(st.ops_range_count, 1u);
   EXPECT_EQ(st.ops_range_list, 1u);
+  EXPECT_EQ(st.ops_ball, 1u);
   EXPECT_EQ(st.ops_updates(), 3u);
-  EXPECT_EQ(st.ops_queries(), 3u);
+  EXPECT_EQ(st.ops_queries(), 4u);
   EXPECT_EQ(st.size_total, 1u);
 
   const std::string j = st.json();
   EXPECT_NE(j.find("\"ops_insert\":2"), std::string::npos);
+  EXPECT_NE(j.find("\"ops_ball\":1"), std::string::npos);
   EXPECT_NE(j.find("\"num_shards\":"), std::string::npos);
   EXPECT_NE(j.find("\"shard_sizes\":["), std::string::npos);
   EXPECT_EQ(j.front(), '{');
