@@ -19,7 +19,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "psi/bench/harness.h"
@@ -32,6 +34,16 @@ inline constexpr std::int64_t kMax3 = datagen::kDefaultMax3D;
 
 inline Box2 universe2() { return Box2{{{0, 0}}, {{kMax2, kMax2}}}; }
 inline Box3 universe3() { return Box3{{{0, 0, 0}}, {{kMax3, kMax3, kMax3}}}; }
+
+// Top of a worker-count sweep: PSI_MAX_THREADS, else hardware concurrency.
+inline int bench_max_threads() {
+  if (const char* s = std::getenv("PSI_MAX_THREADS")) {
+    const int v = std::atoi(s);
+    if (v >= 1) return v;
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
 
 // ---------------------------------------------------------------------------
 // Workloads (paper Sec 5.1)

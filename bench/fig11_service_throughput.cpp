@@ -11,7 +11,10 @@
 //                                               # via the AnyIndex service
 //   ./fig11_service_throughput --backend mixed  # heterogeneous: SPaC-Z hot
 //                                               # shards + log cold shards
-// (PSI_BENCH_BACKEND env is an alternative to the flag.)
+//   ./fig11_service_throughput --pipeline off   # disable the two-stage
+//                                               # commit pipeline (on by
+//                                               # default; group_commit.h)
+// (PSI_BENCH_BACKEND env is an alternative to the --backend flag.)
 //
 // Output: a fixed-width table for humans plus one JSON line per cell
 // (prefix "BENCH_JSON ") in the flat shape of ServiceStats::json(), so
@@ -105,12 +108,13 @@ void run_client(Service& svc, int id, std::size_t ops, int read_pct,
 template <typename Service, typename MakeService>
 Cell run_cell(MakeService&& make_service, std::size_t shards, int read_pct,
               std::size_t n, std::size_t ops_per_client, int clients,
-              const std::vector<Point2>& base) {
+              const std::vector<Point2>& base, bool pipeline) {
   ServiceConfig cfg;
   cfg.initial_shards = shards;
   // Keep the topology fixed so the cell isolates shard-count scaling.
   cfg.split_threshold = n * 8;
   cfg.merge_threshold = 1;
+  cfg.pipelined_commits = pipeline;
   Service svc = make_service(cfg);
   svc.build(base);
   svc.start();
@@ -155,6 +159,15 @@ std::string backend_choice(int argc, char** argv) {
   return "";
 }
 
+bool pipeline_choice(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--pipeline") == 0) {
+      return std::strcmp(argv[i + 1], "off") != 0;
+    }
+  }
+  return true;  // group_commit.h default
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -162,6 +175,7 @@ int main(int argc, char** argv) {
   const std::size_t ops = bench_queries(20000);
   const int clients = bench_clients(4);
   const std::string backend = backend_choice(argc, argv);
+  const bool pipeline = pipeline_choice(argc, argv);
   const auto base = psi::datagen::osm_sim(n, 1);
 
   // Default: the fully templated SPaC-Z fast path (zero virtual dispatch).
@@ -171,8 +185,10 @@ int main(int argc, char** argv) {
   // where osm_sim concentrates), the log-structured baseline on the rest.
   const std::string label = backend.empty() ? "SPaC-Z" : backend;
   std::printf("Fig 11: service throughput — %s backend, %zu base points, "
-              "%d clients, %zu ops/client, %d scheduler workers\n",
-              label.c_str(), n, clients, ops, psi::num_workers());
+              "%d clients, %zu ops/client, %d scheduler workers, "
+              "pipeline %s\n",
+              label.c_str(), n, clients, ops, psi::num_workers(),
+              pipeline ? "on" : "off");
   std::printf("(shard-count scaling comes from the per-shard parallel apply "
               "and per-query fan-out;\n expect K>1 gains only with multiple "
               "scheduler workers / cores)\n");
@@ -188,7 +204,7 @@ int main(int argc, char** argv) {
             [](const ServiceConfig& cfg) {
               return SpatialService<SpacZTree2>(cfg);
             },
-            k, read_pct, n, ops, clients, base);
+            k, read_pct, n, ops, clients, base, pipeline);
       } else if (backend == "mixed") {
         cell = run_cell<SpatialService<api::AnyIndex2>>(
             [k](const ServiceConfig& cfg) {
@@ -200,7 +216,7 @@ int main(int argc, char** argv) {
                                           : reg.make("log");
                   });
             },
-            k, read_pct, n, ops, clients, base);
+            k, read_pct, n, ops, clients, base, pipeline);
       } else {
         cell = run_cell<SpatialService<api::AnyIndex2>>(
             [&backend](const ServiceConfig& cfg) {
@@ -209,14 +225,16 @@ int main(int argc, char** argv) {
                     return api::BackendRegistry2::instance().make(backend);
                   });
             },
-            k, read_pct, n, ops, clients, base);
+            k, read_pct, n, ops, clients, base, pipeline);
       }
       row.push_back(Table::fmt(cell.ops_per_sec()));
       std::printf("BENCH_JSON {\"bench\":\"fig11_service_throughput\","
-                  "\"backend\":\"%s\",\"shards\":%zu,\"read_pct\":%d,"
+                  "\"backend\":\"%s\",\"pipeline\":%s,\"shards\":%zu,"
+                  "\"read_pct\":%d,"
                   "\"clients\":%d,\"workers\":%d,\"n\":%zu,\"ops\":%zu,"
                   "\"seconds\":%.4f,\"ops_per_sec\":%.1f,\"stats\":%s}\n",
-                  label.c_str(), cell.shards, cell.read_pct, clients,
+                  label.c_str(), pipeline ? "true" : "false", cell.shards,
+                  cell.read_pct, clients,
                   psi::num_workers(), n, cell.ops, cell.seconds,
                   cell.ops_per_sec(), cell.stats.json().c_str());
     }

@@ -18,25 +18,12 @@
 using namespace psi;
 using namespace psi::bench;
 
-namespace {
-
-int max_threads() {
-  if (const char* s = std::getenv("PSI_MAX_THREADS")) {
-    const int v = std::atoi(s);
-    if (v >= 1) return v;
-  }
-  const unsigned hc = std::thread::hardware_concurrency();
-  return hc == 0 ? 1 : static_cast<int>(hc);
-}
-
-}  // namespace
-
 int main() {
   const std::size_t n = bench_n(200'000);
   const std::size_t batch = std::max<std::size_t>(1, n / 100);
   std::vector<int> threads;
-  for (int p = 1; p <= max_threads(); p *= 2) threads.push_back(p);
-  if (threads.back() != max_threads()) threads.push_back(max_threads());
+  for (int p = 1; p <= bench_max_threads(); p *= 2) threads.push_back(p);
+  if (threads.back() != bench_max_threads()) threads.push_back(bench_max_threads());
 
   std::printf("Fig 7: scalability, n=%zu, batch=%zu (1%%)\n", n, batch);
 
@@ -78,7 +65,7 @@ int main() {
     if (spach_build_1t > 0) {
       std::printf("(SPaC-H 1-worker build reference: %.4fs)\n", spach_build_1t);
     }
-    Scheduler::set_num_workers(max_threads());
+    Scheduler::set_num_workers(bench_max_threads());
   }
   return 0;
 }

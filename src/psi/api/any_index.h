@@ -50,6 +50,7 @@ class AnyIndex {
   using point_t = Point<Coord, D>;
   using box_t = Box<Coord, D>;
   using sink_t = PointSink<Coord, D>;
+  using par_sink_t = ConcurrentSink<Coord, D>;
 
   AnyIndex() : AnyIndex(BruteForceIndex<Coord, D>{}, "brute") {}
 
@@ -110,6 +111,20 @@ class AnyIndex {
     vt_->knn_visit(self_, q, k, sink_t(sink));
   }
 
+  // ---- parallel streaming queries -------------------------------------
+  // ConcurrentSink is a concrete type, so it crosses the vtable boundary
+  // directly (by pointer); the wrapped backend's native fan-out is used
+  // when it has one, the sequential shim (query.h) otherwise — AnyIndex
+  // therefore always models ParallelQueryIndex, with backend-dependent
+  // parallelism underneath.
+  void range_visit_par(const box_t& query, par_sink_t& sink) const {
+    vt_->range_visit_par(self_, query, &sink);
+  }
+  void ball_visit_par(const point_t& q, double radius,
+                      par_sink_t& sink) const {
+    vt_->ball_visit_par(self_, q, radius, &sink);
+  }
+
   // ---- materialising adapters -----------------------------------------
   std::size_t range_count(const box_t& query) const {
     return vt_->range_count(self_, query);
@@ -149,6 +164,8 @@ class AnyIndex {
     void (*range_visit)(const void*, const box_t&, sink_t);
     void (*ball_visit)(const void*, const point_t&, double, sink_t);
     void (*knn_visit)(const void*, const point_t&, std::size_t, sink_t);
+    void (*range_visit_par)(const void*, const box_t&, par_sink_t*);
+    void (*ball_visit_par)(const void*, const point_t&, double, par_sink_t*);
     std::vector<point_t> (*flatten)(const void*);
   };
 
@@ -193,6 +210,14 @@ class AnyIndex {
       /*knn_visit=*/
       [](const void* p, const point_t& q, std::size_t k, sink_t sink) {
         as<Index>(p).knn_visit(q, k, sink);
+      },
+      /*range_visit_par=*/
+      [](const void* p, const box_t& b, par_sink_t* sink) {
+        api::range_visit_par(as<Index>(p), b, *sink);
+      },
+      /*ball_visit_par=*/
+      [](const void* p, const point_t& q, double r, par_sink_t* sink) {
+        api::ball_visit_par(as<Index>(p), q, r, *sink);
       },
       /*flatten=*/[](const void* p) { return as<Index>(p).flatten(); },
   };

@@ -39,6 +39,9 @@ using box_of = typename I::box_t;
 template <typename I>
 using sink_of =
     PointSink<typename I::point_t::coord_t, I::point_t::kDim>;
+template <typename I>
+using par_sink_of =
+    ConcurrentSink<typename I::point_t::coord_t, I::point_t::kDim>;
 }  // namespace detail
 
 // The batch-dynamic spatial index contract (see header comment).
@@ -80,6 +83,22 @@ concept BatchDynamicIndex =
 
       // Extraction.
       { c.flatten() } -> std::convertible_to<std::vector<detail::point_of<I>>>;
+    };
+
+// Optional capability: native parallel subtree fan-out for the listing
+// queries, feeding a ConcurrentSink from many workers at once (query.h).
+// Backends without it are served by the sequential shim in query.h
+// (range_visit_par/ball_visit_par free functions), so generic layers call
+// the shim and never branch on this concept themselves — it exists so
+// conformance.h can pin down *which* backends carry the native fan-out.
+template <typename I>
+concept ParallelQueryIndex =
+    BatchDynamicIndex<I> &&
+    requires(const I& c, const detail::point_of<I>& q,
+             const detail::box_of<I>& b, double radius,
+             detail::par_sink_of<I>& sink) {
+      c.range_visit_par(b, sink);
+      c.ball_visit_par(q, radius, sink);
     };
 
 }  // namespace psi::api

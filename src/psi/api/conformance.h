@@ -47,4 +47,22 @@ static_assert(BatchDynamicIndex<BruteForceIndex<std::int64_t, 3>>);
 static_assert(BatchDynamicIndex<AnyIndex<std::int64_t, 2>>);
 static_assert(BatchDynamicIndex<AnyIndex<std::int64_t, 3>>);
 
+// Native parallel subtree fan-out (ParallelQueryIndex): the paper's two
+// contributions and the two tree baselines carry it; the remaining
+// backends are served by the sequential shim in query.h. AnyIndex always
+// models the capability — its vtable routes through the shim, so the
+// wrapped backend's native fan-out is used exactly when it exists.
+static_assert(ParallelQueryIndex<POrthTree<std::int64_t, 2>>);
+static_assert(ParallelQueryIndex<POrthTree<std::int64_t, 3>>);
+static_assert(ParallelQueryIndex<SpacHTree<std::int64_t, 2>>);
+static_assert(ParallelQueryIndex<SpacHTree<std::int64_t, 3>>);
+static_assert(ParallelQueryIndex<SpacZTree<std::int64_t, 2>>);
+static_assert(ParallelQueryIndex<SpacZTree<std::int64_t, 3>>);
+static_assert(ParallelQueryIndex<ZdTree<std::int64_t, 2>>);
+static_assert(ParallelQueryIndex<ZdTree<std::int64_t, 3>>);
+static_assert(ParallelQueryIndex<PkdTree<std::int64_t, 2>>);
+static_assert(ParallelQueryIndex<PkdTree<std::int64_t, 3>>);
+static_assert(ParallelQueryIndex<AnyIndex<std::int64_t, 2>>);
+static_assert(ParallelQueryIndex<AnyIndex<std::int64_t, 3>>);
+
 }  // namespace psi::api

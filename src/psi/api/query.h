@@ -22,6 +22,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <type_traits>
@@ -29,6 +30,7 @@
 #include <vector>
 
 #include "psi/geometry/point.h"
+#include "psi/parallel/scheduler.h"
 
 namespace psi::api {
 
@@ -102,5 +104,130 @@ struct StopGuard {
     return alive;
   }
 };
+
+// ---------------------------------------------------------------------------
+// The parallel sink contract.
+// ---------------------------------------------------------------------------
+//
+// A ConcurrentSink is the one sink type that may be fed from several workers
+// at once, which is what lets a traversal fork over subtrees/shards instead
+// of streaming through a single callable. Matches land in per-worker buffers
+// (cache-line padded, no locks) that the caller merges with take() *after*
+// the fork-join completed; early termination is a relaxed atomic stop flag —
+// parallel traversals poll stopped() at node granularity and the sequential
+// fallback stops on the usual false return. With `limit` set, exactly
+// min(limit, matches) points are retained even under concurrent emission
+// (the atomic ticket counter admits the first `limit` and flips the stop
+// flag), so top-N queries keep their semantics on the parallel path.
+//
+// Delivery order is unspecified — parallel callers that need an order sort
+// the merged result. One foreign (non-pool) thread may drive a sink (it
+// gets a dedicated slot); two foreign threads must not share one.
+
+template <typename Coord, int D>
+class ConcurrentSink {
+ public:
+  using point_t = Point<Coord, D>;
+
+  // limit == 0: unbounded collection.
+  explicit ConcurrentSink(std::size_t limit = 0)
+      : limit_(limit),
+        buffers_(static_cast<std::size_t>(num_workers()) + 1) {}
+
+  // Thread-safe emit; false = the traversal should stop.
+  bool operator()(const point_t& p) {
+    if (stopped()) return false;
+    if (limit_ != 0) {
+      const std::size_t ticket =
+          accepted_.fetch_add(1, std::memory_order_relaxed);
+      if (ticket >= limit_) {
+        request_stop();
+        return false;
+      }
+      buffers_[slot()].pts.push_back(p);
+      if (ticket + 1 == limit_) {
+        request_stop();
+        return false;
+      }
+      return true;
+    }
+    buffers_[slot()].pts.push_back(p);
+    return true;
+  }
+
+  bool stopped() const { return stop_.load(std::memory_order_relaxed); }
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  // Total matches retained so far. Only stable after the traversal joined.
+  std::size_t count() const {
+    std::size_t n = 0;
+    for (const auto& b : buffers_) n += b.pts.size();
+    return n;
+  }
+
+  // Merge the per-worker buffers (moving out of the largest one). Call
+  // after the traversal joined; the sink is empty afterwards.
+  std::vector<point_t> take() {
+    const std::size_t total = count();
+    std::size_t largest = 0;
+    for (std::size_t i = 1; i < buffers_.size(); ++i) {
+      if (buffers_[i].pts.size() > buffers_[largest].pts.size()) largest = i;
+    }
+    std::vector<point_t> out = std::move(buffers_[largest].pts);
+    buffers_[largest].pts.clear();
+    out.reserve(total);
+    for (std::size_t i = 0; i < buffers_.size(); ++i) {
+      if (i == largest) continue;
+      out.insert(out.end(), buffers_[i].pts.begin(), buffers_[i].pts.end());
+      buffers_[i].pts.clear();
+    }
+    return out;
+  }
+
+ private:
+  struct alignas(64) Buffer {
+    std::vector<point_t> pts;
+  };
+
+  // Workers 0..P-1 use slots 1..P; the (single) foreign driver gets slot 0.
+  std::size_t slot() const {
+    return static_cast<std::size_t>(worker_id() + 1);
+  }
+
+  std::size_t limit_;
+  std::vector<Buffer> buffers_;
+  std::atomic<std::size_t> accepted_{0};
+  std::atomic<bool> stop_{false};
+};
+
+// Trait for generic callers (Snapshot) that choose the parallel fan-out
+// when handed a ConcurrentSink and the sequential stream otherwise.
+template <typename T>
+inline constexpr bool is_concurrent_sink_v = false;
+template <typename Coord, int D>
+inline constexpr bool is_concurrent_sink_v<ConcurrentSink<Coord, D>> = true;
+
+// Parallel-visit dispatch: the backend's native subtree fan-out when it has
+// one, its sequential traversal into the same sink otherwise. This is the
+// shim that makes the parallel contract an *optional* backend capability.
+template <typename Index, typename Coord, int D>
+void range_visit_par(const Index& index, const typename Index::box_t& query,
+                     ConcurrentSink<Coord, D>& sink) {
+  if constexpr (requires { index.range_visit_par(query, sink); }) {
+    index.range_visit_par(query, sink);
+  } else {
+    index.range_visit(query, sink);
+  }
+}
+
+template <typename Index, typename Coord, int D>
+void ball_visit_par(const Index& index, const typename Index::point_t& q,
+                    double radius, ConcurrentSink<Coord, D>& sink) {
+  if constexpr (requires { index.ball_visit_par(q, radius, sink); }) {
+    index.ball_visit_par(q, radius, sink);
+  } else {
+    index.ball_visit(q, radius, sink);
+  }
+}
 
 }  // namespace psi::api

@@ -103,6 +103,20 @@ class PkdTree {
     if (root_) ball_visit_rec(root_.get(), q, radius * radius, sink);
   }
 
+  // ---- parallel traversals (psi::api ParallelQueryIndex capability) ---
+  // Binary fork over subtrees above the fork grain; sequential visit below
+  // it. The sink must tolerate concurrent emission (api::ConcurrentSink).
+
+  template <typename ParSink>
+  void range_visit_par(const box_t& query, ParSink& sink) const {
+    if (root_) range_visit_par_rec(root_.get(), query, sink);
+  }
+
+  template <typename ParSink>
+  void ball_visit_par(const point_t& q, double radius, ParSink& sink) const {
+    if (root_) ball_visit_par_rec(root_.get(), q, radius * radius, sink);
+  }
+
   // k nearest in increasing distance order; the bounded buffer is the
   // algorithm's working state, not a materialised result.
   template <typename Sink>
@@ -170,8 +184,6 @@ class PkdTree {
 
   PkdParams params_;
   std::unique_ptr<Node> root_;
-
-  static constexpr std::size_t kParallelCutoff = 4096;
 
   // -------------------------------------------------------------------
   // Helpers
@@ -331,7 +343,7 @@ class PkdTree {
         offsets[bucket_lo + width] - offsets[bucket_lo];
     if (span_n == 0) return nullptr;
     std::unique_ptr<Node> l, r;
-    if (span_n >= kParallelCutoff) {
+    if (span_n >= update_fork_cutoff()) {
       par_do([&] { l = assemble(base, offsets, sk, 2 * node, level + 1); },
              [&] { r = assemble(base, offsets, sk, 2 * node + 1, level + 1); });
     } else {
@@ -389,7 +401,7 @@ class PkdTree {
     auto* mid = partition_batch(t.get(), pts, n);
     const auto left_n = static_cast<std::size_t>(mid - pts);
     std::unique_ptr<Node> nl = std::move(t->l), nr = std::move(t->r);
-    if (n >= kParallelCutoff) {
+    if (n >= update_fork_cutoff()) {
       par_do([&] { nl = insert_rec(std::move(nl), pts, left_n); },
              [&] { nr = insert_rec(std::move(nr), mid, n - left_n); });
     } else {
@@ -425,7 +437,7 @@ class PkdTree {
     auto* mid = partition_batch(t.get(), pts, n);
     const auto left_n = static_cast<std::size_t>(mid - pts);
     std::unique_ptr<Node> nl = std::move(t->l), nr = std::move(t->r);
-    if (n >= kParallelCutoff) {
+    if (n >= update_fork_cutoff()) {
       par_do([&] { nl = delete_rec(std::move(nl), pts, left_n); },
              [&] { nr = delete_rec(std::move(nr), mid, n - left_n); });
     } else {
@@ -534,6 +546,30 @@ class PkdTree {
     if (t->l) total += ball_count_rec(t->l.get(), q, r2);
     if (t->r) total += ball_count_rec(t->r.get(), q, r2);
     return total;
+  }
+
+  template <typename ParSink>
+  void range_visit_par_rec(const Node* t, const box_t& query,
+                           ParSink& sink) const {
+    if (sink.stopped() || !query.intersects(t->bbox)) return;
+    if (t->leaf || t->count < fork_grain()) {
+      range_visit_rec(t, query, sink);
+      return;
+    }
+    par_do([&] { if (t->l) range_visit_par_rec(t->l.get(), query, sink); },
+           [&] { if (t->r) range_visit_par_rec(t->r.get(), query, sink); });
+  }
+
+  template <typename ParSink>
+  void ball_visit_par_rec(const Node* t, const point_t& q, double r2,
+                          ParSink& sink) const {
+    if (sink.stopped() || min_squared_distance(t->bbox, q) > r2) return;
+    if (t->leaf || t->count < fork_grain()) {
+      ball_visit_rec(t, q, r2, sink);
+      return;
+    }
+    par_do([&] { if (t->l) ball_visit_par_rec(t->l.get(), q, r2, sink); },
+           [&] { if (t->r) ball_visit_par_rec(t->r.get(), q, r2, sink); });
   }
 
   template <typename Sink>

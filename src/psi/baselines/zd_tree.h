@@ -101,6 +101,20 @@ class ZdTree {
     if (root_) ball_visit_rec(root_.get(), q, radius * radius, sink);
   }
 
+  // ---- parallel traversals (psi::api ParallelQueryIndex capability) ---
+  // Binary fork over subtrees above the fork grain; sequential visit below
+  // it. The sink must tolerate concurrent emission (api::ConcurrentSink).
+
+  template <typename ParSink>
+  void range_visit_par(const box_t& query, ParSink& sink) const {
+    if (root_) range_visit_par_rec(root_.get(), query, sink);
+  }
+
+  template <typename ParSink>
+  void ball_visit_par(const point_t& q, double radius, ParSink& sink) const {
+    if (root_) ball_visit_par_rec(root_.get(), q, radius * radius, sink);
+  }
+
   template <typename Sink>
   void knn_visit(const point_t& q, std::size_t k, Sink&& sink) const {
     KnnBuffer<point_t> buf(k);
@@ -169,8 +183,6 @@ class ZdTree {
   ZdParams params_;
   std::unique_ptr<Node> root_;
 
-  static constexpr std::size_t kParallelCutoff = 4096;
-
   static bool entry_less(const Entry& a, const Entry& b) {
     if (a.code != b.code) return a.code < b.code;
     return a.pt < b.pt;
@@ -228,7 +240,7 @@ class ZdTree {
     auto t = std::make_unique<Node>();
     t->leaf = false;
     t->bit = bit;
-    if (n >= kParallelCutoff) {
+    if (n >= update_fork_cutoff()) {
       par_do([&] { t->l = build_rec(e, m, bit - 1); },
              [&] { t->r = build_rec(e + m, n - m, bit - 1); });
     } else {
@@ -293,7 +305,7 @@ class ZdTree {
     }
     const std::size_t m = split_at_bit(batch, n, t->bit);
     std::unique_ptr<Node> nl = std::move(t->l), nr = std::move(t->r);
-    if (n >= kParallelCutoff) {
+    if (n >= update_fork_cutoff()) {
       par_do([&] { nl = insert_rec(std::move(nl), batch, m, t->bit - 1); },
              [&] {
                nr = insert_rec(std::move(nr), batch + m, n - m, t->bit - 1);
@@ -346,7 +358,7 @@ class ZdTree {
     }
     const std::size_t m = split_at_bit(batch, n, t->bit);
     std::unique_ptr<Node> nl = std::move(t->l), nr = std::move(t->r);
-    if (n >= kParallelCutoff) {
+    if (n >= update_fork_cutoff()) {
       par_do([&] { nl = delete_rec(std::move(nl), batch, m); },
              [&] { nr = delete_rec(std::move(nr), batch + m, n - m); });
     } else {
@@ -468,6 +480,30 @@ class ZdTree {
     if (t->l) total += ball_count_rec(t->l.get(), q, r2);
     if (t->r) total += ball_count_rec(t->r.get(), q, r2);
     return total;
+  }
+
+  template <typename ParSink>
+  void range_visit_par_rec(const Node* t, const box_t& query,
+                           ParSink& sink) const {
+    if (sink.stopped() || !query.intersects(t->bbox)) return;
+    if (t->leaf || t->count < fork_grain()) {
+      range_visit_rec(t, query, sink);
+      return;
+    }
+    par_do([&] { if (t->l) range_visit_par_rec(t->l.get(), query, sink); },
+           [&] { if (t->r) range_visit_par_rec(t->r.get(), query, sink); });
+  }
+
+  template <typename ParSink>
+  void ball_visit_par_rec(const Node* t, const point_t& q, double r2,
+                          ParSink& sink) const {
+    if (sink.stopped() || min_squared_distance(t->bbox, q) > r2) return;
+    if (t->leaf || t->count < fork_grain()) {
+      ball_visit_rec(t, q, r2, sink);
+      return;
+    }
+    par_do([&] { if (t->l) ball_visit_par_rec(t->l.get(), q, r2, sink); },
+           [&] { if (t->r) ball_visit_par_rec(t->r.get(), q, r2, sink); });
   }
 
   template <typename Sink>

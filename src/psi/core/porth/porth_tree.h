@@ -140,6 +140,22 @@ class POrthTree {
     if (root_) ball_visit_rec(root_.get(), q, radius * radius, sink);
   }
 
+  // ---- parallel traversals (psi::api ParallelQueryIndex capability) ---
+  // Fork across the 2^D children of interior nodes above the fork grain
+  // (a one-task-per-child parallel_for, i.e. binary forking over the
+  // orthants); the sequential visit handles subtrees below the grain. The
+  // sink must tolerate concurrent emission (api::ConcurrentSink).
+
+  template <typename ParSink>
+  void range_visit_par(const box_t& query, ParSink& sink) const {
+    if (root_) range_visit_par_rec(root_.get(), query, sink);
+  }
+
+  template <typename ParSink>
+  void ball_visit_par(const point_t& q, double radius, ParSink& sink) const {
+    if (root_) ball_visit_par_rec(root_.get(), q, radius * radius, sink);
+  }
+
   template <typename Sink>
   void knn_visit(const point_t& q, std::size_t k, Sink&& sink) const {
     KnnBuffer<point_t> buf(k);
@@ -217,8 +233,6 @@ class POrthTree {
   box_t universe_ = Box<Coord, D>::empty();
   bool have_universe_ = false;
   std::unique_ptr<Node> root_;
-
-  static constexpr std::size_t kParallelCutoff = 4096;
 
   // -------------------------------------------------------------------
   // Shared helpers
@@ -325,7 +339,7 @@ class POrthTree {
               assemble(base, offsets, level + 1, (prefix << D) + c,
                        Reg::child(region, static_cast<int>(c)), levels);
         },
-        span_n >= kParallelCutoff ? 1 : kFanout);
+        span_n >= update_fork_cutoff() ? 1 : kFanout);
     refresh(node.get());
     if (node->count <= params_.leaf_wrap) {
       return flatten_to_leaf(std::move(node));
@@ -511,7 +525,7 @@ class POrthTree {
                 delete_rec(std::move(*slot.link), pts + lo, cnt, slot.region);
           }
         },
-        n >= kParallelCutoff ? 1 : sk.slots.size());
+        n >= update_fork_cutoff() ? 1 : sk.slots.size());
   }
 
   // -------------------------------------------------------------------
@@ -661,6 +675,38 @@ class POrthTree {
       if (c) total += ball_count_rec(c.get(), q, r2);
     }
     return total;
+  }
+
+  template <typename ParSink>
+  void range_visit_par_rec(const Node* t, const box_t& query,
+                           ParSink& sink) const {
+    if (sink.stopped() || !query.intersects(t->bbox)) return;
+    if (t->leaf || t->count < fork_grain()) {
+      range_visit_rec(t, query, sink);
+      return;
+    }
+    parallel_for(
+        0, kFanout,
+        [&](std::size_t c) {
+          if (t->child[c]) range_visit_par_rec(t->child[c].get(), query, sink);
+        },
+        1);
+  }
+
+  template <typename ParSink>
+  void ball_visit_par_rec(const Node* t, const point_t& q, double r2,
+                          ParSink& sink) const {
+    if (sink.stopped() || min_squared_distance(t->bbox, q) > r2) return;
+    if (t->leaf || t->count < fork_grain()) {
+      ball_visit_rec(t, q, r2, sink);
+      return;
+    }
+    parallel_for(
+        0, kFanout,
+        [&](std::size_t c) {
+          if (t->child[c]) ball_visit_par_rec(t->child[c].get(), q, r2, sink);
+        },
+        1);
   }
 
   template <typename Sink>

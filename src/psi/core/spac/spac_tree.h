@@ -144,6 +144,22 @@ class SpacTree {
     if (root_) ball_visit_rec(root_.get(), q, radius * radius, sink);
   }
 
+  // ---- parallel traversals (psi::api ParallelQueryIndex capability) ---
+  // Fork at interior nodes above the fork grain, reuse the sequential
+  // visit below it. The sink is fed from many workers at once, so it must
+  // be a ConcurrentSink (or equivalent: thread-safe operator() plus a
+  // stopped() flag polled at node granularity for early termination).
+
+  template <typename ParSink>
+  void range_visit_par(const box_t& query, ParSink& sink) const {
+    if (root_) range_visit_par_rec(root_.get(), query, sink);
+  }
+
+  template <typename ParSink>
+  void ball_visit_par(const point_t& q, double radius, ParSink& sink) const {
+    if (root_) ball_visit_par_rec(root_.get(), q, radius * radius, sink);
+  }
+
   template <typename Sink>
   void knn_visit(const point_t& q, std::size_t k, Sink&& sink) const {
     KnnBuffer<point_t> buf(k);
@@ -251,7 +267,7 @@ class SpacTree {
   // Fork only when the subproblem is big enough to amortise task overhead.
   template <typename F, typename G>
   static void maybe_par_do(std::size_t n, F&& f, G&& g) {
-    if (n >= 2048) {
+    if (n >= fork_grain()) {
       par_do(f, g);
     } else {
       f();
@@ -920,6 +936,35 @@ class SpacTree {
     if (t->l) total += ball_count_rec(t->l.get(), q, r2);
     if (t->r) total += ball_count_rec(t->r.get(), q, r2);
     return total;
+  }
+
+  // Parallel counterparts: binary fork over subtrees above the grain; the
+  // sequential recursion (which re-applies the same pruning) handles the
+  // rest. The sink's own false return covers mid-leaf stops.
+  template <typename ParSink>
+  void range_visit_par_rec(const Node* t, const box_t& query,
+                           ParSink& sink) const {
+    if (sink.stopped() || !query.intersects(t->bbox)) return;
+    if (t->leaf || t->count < fork_grain()) {
+      range_visit_rec(t, query, sink);
+      return;
+    }
+    if (query.contains(t->pivot.pt)) sink(t->pivot.pt);
+    par_do([&] { if (t->l) range_visit_par_rec(t->l.get(), query, sink); },
+           [&] { if (t->r) range_visit_par_rec(t->r.get(), query, sink); });
+  }
+
+  template <typename ParSink>
+  void ball_visit_par_rec(const Node* t, const point_t& q, double r2,
+                          ParSink& sink) const {
+    if (sink.stopped() || min_squared_distance(t->bbox, q) > r2) return;
+    if (t->leaf || t->count < fork_grain()) {
+      ball_visit_rec(t, q, r2, sink);
+      return;
+    }
+    if (squared_distance(t->pivot.pt, q) <= r2) sink(t->pivot.pt);
+    par_do([&] { if (t->l) ball_visit_par_rec(t->l.get(), q, r2, sink); },
+           [&] { if (t->r) ball_visit_par_rec(t->r.get(), q, r2, sink); });
   }
 
   template <typename Sink>

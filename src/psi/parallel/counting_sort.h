@@ -41,7 +41,7 @@ BucketOffsets counting_sort_into(const T* in, T* out, std::size_t n,
   // picks the chunk so that 2^{λD} counters fit in cache (Sec A).
   const std::size_t p = static_cast<std::size_t>(num_workers());
   const std::size_t block =
-      std::max<std::size_t>(kSeqThreshold, (n + 8 * p - 1) / (8 * p));
+      std::max<std::size_t>(fork_grain(), (n + 8 * p - 1) / (8 * p));
   const std::size_t num_blocks = (n + block - 1) / block;
 
   // counts is bucket-major: counts[k * num_blocks + b] so the exclusive scan

@@ -19,7 +19,8 @@
 
 namespace psi {
 
-inline constexpr std::size_t kSeqThreshold = 2048;
+// Sequential cutoff for the primitives: the shared fork grain
+// (scheduler.h; default 2048, overridable via PSI_GRAIN / set_fork_grain).
 
 // ---------------------------------------------------------------------------
 // reduce
@@ -31,7 +32,7 @@ template <typename T, typename F, typename Combine>
 T reduce_map(std::size_t lo, std::size_t hi, F&& f, T id, Combine&& combine) {
   const std::size_t n = hi - lo;
   if (n == 0) return id;
-  if (n <= kSeqThreshold || num_workers() <= 1) {
+  if (n <= fork_grain() || num_workers() <= 1) {
     T acc = id;
     for (std::size_t i = lo; i < hi; ++i) acc = combine(acc, f(i));
     return acc;
@@ -68,7 +69,7 @@ template <typename T>
 T scan_exclusive(std::vector<T>& v) {
   const std::size_t n = v.size();
   if (n == 0) return T{};
-  if (n <= kSeqThreshold || num_workers() <= 1) {
+  if (n <= fork_grain() || num_workers() <= 1) {
     T acc{};
     for (std::size_t i = 0; i < n; ++i) {
       T next = acc + v[i];
@@ -78,8 +79,8 @@ T scan_exclusive(std::vector<T>& v) {
     return acc;
   }
   const std::size_t block = std::max<std::size_t>(
-      kSeqThreshold, (n + 8 * static_cast<std::size_t>(num_workers()) - 1) /
-                         (8 * static_cast<std::size_t>(num_workers())));
+      fork_grain(), (n + 8 * static_cast<std::size_t>(num_workers()) - 1) /
+                        (8 * static_cast<std::size_t>(num_workers())));
   const std::size_t num_blocks = (n + block - 1) / block;
   std::vector<T> sums(num_blocks);
   parallel_for_blocked(n, block, [&](std::size_t b, std::size_t lo, std::size_t hi) {
@@ -115,15 +116,15 @@ auto pack(It first, It last, Flag&& flag) {
   const std::size_t n = static_cast<std::size_t>(last - first);
   std::vector<T> out;
   if (n == 0) return out;
-  if (n <= kSeqThreshold || num_workers() <= 1) {
+  if (n <= fork_grain() || num_workers() <= 1) {
     for (std::size_t i = 0; i < n; ++i) {
       if (flag(i)) out.push_back(*(first + static_cast<std::ptrdiff_t>(i)));
     }
     return out;
   }
   const std::size_t block = std::max<std::size_t>(
-      kSeqThreshold, (n + 8 * static_cast<std::size_t>(num_workers()) - 1) /
-                         (8 * static_cast<std::size_t>(num_workers())));
+      fork_grain(), (n + 8 * static_cast<std::size_t>(num_workers()) - 1) /
+                        (8 * static_cast<std::size_t>(num_workers())));
   const std::size_t num_blocks = (n + block - 1) / block;
   std::vector<std::size_t> counts(num_blocks);
   parallel_for_blocked(n, block, [&](std::size_t b, std::size_t lo, std::size_t hi) {

@@ -1,6 +1,7 @@
 #include "psi/parallel/scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <random>
 #include <string>
@@ -20,7 +21,33 @@ int env_num_workers() {
   return hc == 0 ? 1 : static_cast<int>(hc);
 }
 
+std::size_t env_grain() {
+  if (const char* s = std::getenv("PSI_GRAIN")) {
+    const long v = std::atol(s);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  return kDefaultGrain;
+}
+
+// 0 = not yet resolved from the environment.
+std::atomic<std::size_t> g_fork_grain{0};
+
 }  // namespace
+
+std::size_t fork_grain() {
+  std::size_t g = g_fork_grain.load(std::memory_order_relaxed);
+  if (g == 0) {
+    g = env_grain();
+    g_fork_grain.store(g, std::memory_order_relaxed);
+  }
+  return g;
+}
+
+void set_fork_grain(std::size_t n) {
+  g_fork_grain.store(n == 0 ? env_grain() : n, std::memory_order_relaxed);
+}
+
+std::size_t update_fork_cutoff() { return 2 * fork_grain(); }
 
 std::unique_ptr<Scheduler> Scheduler::global_;
 std::mutex Scheduler::global_mu_;
@@ -66,9 +93,9 @@ Scheduler::~Scheduler() {
   tl_worker_id = -1;
 }
 
-void Scheduler::push_local(detail::Job* job) {
+void Scheduler::submit(detail::Job* job) {
   const int id = worker_id();
-  Deque& d = *deques_[static_cast<std::size_t>(id)];
+  Deque& d = *deques_[id >= 0 ? static_cast<std::size_t>(id) : 0];
   {
     std::lock_guard<std::mutex> lock(d.mu);
     d.jobs.push_back(job);
@@ -79,9 +106,9 @@ void Scheduler::push_local(detail::Job* job) {
 
 void Scheduler::wake_one() { sleep_cv_.notify_one(); }
 
-bool Scheduler::try_remove_back(detail::Job* job) {
+bool Scheduler::try_claim(detail::Job* job) {
   const int id = worker_id();
-  Deque& d = *deques_[static_cast<std::size_t>(id)];
+  Deque& d = *deques_[id >= 0 ? static_cast<std::size_t>(id) : 0];
   std::lock_guard<std::mutex> lock(d.mu);
   if (!d.jobs.empty() && d.jobs.back() == job) {
     d.jobs.pop_back();
@@ -122,18 +149,27 @@ detail::Job* Scheduler::steal() {
   return nullptr;
 }
 
-void Scheduler::wait_for(detail::Job& job) {
-  // Stealing join: keep making progress on other tasks while the forked
-  // task is executed elsewhere.
+void Scheduler::help_until(detail::Job& job) {
+  // Stealing join for pool threads: keep making progress on other tasks
+  // while the forked task is executed elsewhere. Foreign threads wait
+  // passively (see the header comment).
+  const bool pool = worker_id() >= 0;
   int idle_spins = 0;
   while (!job.done.load(std::memory_order_acquire)) {
-    detail::Job* other = pop_local();
-    if (other == nullptr) other = steal();
+    detail::Job* other = nullptr;
+    if (pool) {
+      other = pop_local();
+      if (other == nullptr) other = steal();
+    }
     if (other != nullptr) {
       other->run();
       idle_spins = 0;
     } else if (++idle_spins > 64) {
-      std::this_thread::yield();
+      if (pool) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+      }
     }
   }
 }

@@ -97,23 +97,49 @@ class Scheduler {
       return;
     }
     detail::JobImpl<G> job(g);
-    push_local(&job);
+    submit(&job);
     try {
       f();
     } catch (...) {
       // Exception-safe join: the deque must not retain a pointer to this
       // frame once we unwind. Reclaim the fork or wait for its thief.
-      if (!try_remove_back(&job)) wait_for(job);
+      if (!try_claim(&job)) help_until(job);
       throw;
     }
-    if (try_remove_back(&job)) {
+    if (try_claim(&job)) {
       // Nobody stole it: run inline.
       job.run();
     } else {
-      wait_for(job);
+      help_until(job);
     }
     if (job.error) std::rethrow_exception(job.error);
   }
+
+  // ---- low-level task interface (task_group.h builds on these) --------
+  //
+  // submit/try_claim/help_until generalise the par_do fork/join pair to
+  // detached tasks with caller-owned lifetimes. Pool threads push to their
+  // own deque; foreign threads (the service's background committer, client
+  // reader threads) borrow deque 0, whose jobs the workers pick up via
+  // stealing — this is what lets a non-pool thread fan work out instead of
+  // silently serialising like a foreign par_do does.
+
+  // Enqueue a job for execution by the pool. The caller keeps ownership of
+  // the job and must join it (try_claim+run, or help_until) before the job
+  // is destroyed. Only meaningful when num_workers() > 1.
+  void submit(detail::Job* job);
+
+  // Pop `job` if it is still unclaimed at the back of the calling thread's
+  // deque (deque 0 for foreign threads). On success the caller runs it
+  // inline; the back==job check means a thread can only ever claim a job
+  // it submitted itself.
+  bool try_claim(detail::Job* job);
+
+  // Block until `job` has run. Pool threads execute other tasks while
+  // waiting (stealing join, deadlock-free under nesting); foreign threads
+  // just wait — they must not run arbitrary pool jobs, since sinks with
+  // per-worker state map every foreign thread to the same slot.
+  void help_until(detail::Job& job);
 
   ~Scheduler();
 
@@ -128,11 +154,8 @@ class Scheduler {
     std::deque<detail::Job*> jobs;
   };
 
-  void push_local(detail::Job* job);
-  bool try_remove_back(detail::Job* job);
   detail::Job* pop_local();
   detail::Job* steal();
-  void wait_for(detail::Job& job);
   void worker_loop(int id);
   void wake_one();
 
@@ -153,6 +176,28 @@ class Scheduler {
 
 inline int num_workers() { return Scheduler::instance().num_workers(); }
 inline int worker_id() { return Scheduler::worker_id(); }
+
+// ---------------------------------------------------------------------------
+// Fork grain: the subproblem size below which recursive algorithms stop
+// forking and run sequentially. One global knob shared by the parallel
+// primitives and the tree traversals/updates, so 1-core CI can force the
+// parallel code paths onto tiny inputs (PSI_GRAIN=1) and big-iron runs can
+// coarsen task granularity, both without recompiling.
+// ---------------------------------------------------------------------------
+
+inline constexpr std::size_t kDefaultGrain = 2048;
+
+// Current grain: set_fork_grain() override, else PSI_GRAIN env, else
+// kDefaultGrain.
+std::size_t fork_grain();
+
+// Runtime override (tests, benches). 0 restores the env/default value.
+void set_fork_grain(std::size_t n);
+
+// Fork cutoff for the tree *update* paths (batch insert/delete, skeleton
+// dispatch): coarser than query traversals since update tasks carry
+// sort/merge work. 2x the grain — the historical 4096 at the default.
+std::size_t update_fork_cutoff();
 
 // Run f() and g() in parallel.
 template <typename F, typename G>

@@ -71,8 +71,10 @@
 #include "psi/parallel/random.h"
 #include "psi/parallel/scheduler.h"
 #include "psi/parallel/sort.h"
+#include "psi/parallel/task_group.h"
 #include "psi/service/epoch.h"
 #include "psi/service/group_commit.h"
+#include "psi/service/query_cache.h"
 #include "psi/service/request_queue.h"
 #include "psi/service/service.h"
 #include "psi/service/service_stats.h"

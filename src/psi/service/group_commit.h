@@ -34,6 +34,23 @@
 // in exchange updates never copy a tree and readers never take a lock; the
 // replay is batched work on a tree of the same size the live apply just
 // handled, so write throughput stays within ~2x of the raw index.
+//
+// Pipelined commits (cfg.pipelined_commits, default on): the standby
+// replay is taken off the commit critical path. Right after publishing
+// epoch i, each touched shard spawns a detached replay task (AsyncTask)
+// that waits out the grace period and replays batch i onto the new standby
+// on pool workers — overlapping with the answering of group i's queries,
+// with any number of query-only groups, and (since the join is per shard,
+// at the moment that shard is next written) with the live apply of batch
+// i+1 on *other* shards. Epoch publication order, the grace-period
+// protocol, and the observable commit semantics are unchanged: a commit
+// that reaches a shard whose replay is still running simply joins it
+// first, which is exactly the work the unpipelined writer would have done
+// inline. Replay tasks never hold pointers into their slot (they own
+// copies of the standby handle and the runs), so slots may move freely
+// while a task runs; a rebuild that overwrites or drops a slot joins that
+// slot's task through AsyncTask's move-assign/destructor, and load()
+// settles everything before replacing the slot array.
 
 #pragma once
 
@@ -50,6 +67,7 @@
 #include "psi/parallel/primitives.h"
 #include "psi/parallel/scheduler.h"
 #include "psi/parallel/sort.h"
+#include "psi/parallel/task_group.h"
 #include "psi/service/epoch.h"
 #include "psi/service/request_queue.h"
 #include "psi/service/service_stats.h"
@@ -73,6 +91,10 @@ struct ServiceConfig {
   std::size_t max_shards = 1024;
   // Background committer wake-up interval (service.h).
   int commit_interval_ms = 1;
+  // Two-stage commit pipeline: replay the standby asynchronously after
+  // publish instead of on the next commit's critical path (see the header
+  // comment). Off = the strictly sequential replay-then-apply writer.
+  bool pipelined_commits = true;
 
   std::size_t effective_merge_threshold() const {
     return merge_threshold != 0 ? merge_threshold : split_threshold / 4;
@@ -116,6 +138,17 @@ class GroupCommitter {
     publish();
   }
 
+  ~GroupCommitter() {
+    // Outstanding replay tasks reference replica handles; join them before
+    // the slots go away. Task exceptions die with the committer.
+    for (auto& s : slots_) {
+      try {
+        s.replay.join();
+      } catch (...) {
+      }
+    }
+  }
+
   // Reader entry point: pin the current view.
   std::shared_ptr<const view_t> acquire() const { return slot_.acquire(); }
 
@@ -133,6 +166,7 @@ class GroupCommitter {
   // boundaries and contiguous per-shard slices, from which both replicas
   // of each shard are built.
   void load(const std::vector<point_t>& pts) {
+    settle_all_replays();  // slots are about to be replaced wholesale
     const std::size_t n = pts.size();
     std::vector<Coded> coded = tabulate<Coded>(n, [&](std::size_t i) {
       return Coded{Codec::encode(pts[i]), pts[i]};
@@ -146,7 +180,8 @@ class GroupCommitter {
     map_ = map_t::from_sorted_codes(
         codes, std::max<std::size_t>(1, cfg_.initial_shards));
     const std::size_t k = map_.num_shards();
-    slots_.assign(k, ShardSlot{});
+    slots_.clear();
+    slots_.resize(k);  // move-only slots: no copy-fill
     parallel_for_shards(k, [&](std::size_t i) {
       // Shard i owns the contiguous sorted slice of codes in its range.
       const auto lo = std::lower_bound(codes.begin(), codes.end(),
@@ -218,8 +253,15 @@ class GroupCommitter {
         yields[i] = apply_shard(i, std::move(runs[i]));
       });
       for (auto y : yields) stats_.grace_yields += y;
+      // Untouched shards may still be replaying batch i-1 — that is the
+      // pipeline's overlap, so they are NOT joined here. Moving a slot is
+      // safe while its task runs (the task owns copies, never slot
+      // pointers), and a split/merge that overwrites or erases a slot
+      // joins that one task implicitly through AsyncTask's move-assign /
+      // destructor.
       rebalance();
       publish();
+      if (cfg_.pipelined_commits) spawn_replays();
     }
 
     const std::uint64_t epoch = stats_.epoch;
@@ -290,6 +332,13 @@ class GroupCommitter {
     point_t pt;
   };
 
+  // What a detached replay task reports back (shared with the slot so the
+  // task stays self-contained if the slot moves in the meantime).
+  struct ReplayOutcome {
+    bool replayed = false;
+    std::uint64_t yields = 0;
+  };
+
   struct ShardSlot {
     std::shared_ptr<Index> live;     // state as of the last published epoch
     std::shared_ptr<Index> standby;  // lags live by exactly the pending log
@@ -302,6 +351,18 @@ class GroupCommitter {
     // run). Skips re-paying flatten+sort every commit until the shard's
     // population actually changes.
     std::size_t unsplittable_at = 0;
+    // Pipeline stage 2: the in-flight asynchronous replay of the pending
+    // runs onto the standby, spawned right after publish. While a task is
+    // in flight the runs live in `replay_runs` (shared with the closure —
+    // moved there, not copied, and moved back into `pending` if the
+    // replay fails); the task never holds a pointer into this slot, so a
+    // slot is free to move while its task runs. `standby_caught_up`
+    // records a successful replay: the standby equals live and is
+    // quiescent.
+    AsyncTask replay;
+    std::shared_ptr<std::vector<OpRun>> replay_runs;
+    std::shared_ptr<ReplayOutcome> replay_out;
+    bool standby_caught_up = false;
   };
 
   std::shared_ptr<Index> make_index(std::size_t factory_id) const {
@@ -311,22 +372,101 @@ class GroupCommitter {
   // Replay + apply on the standby replica, then swap it live.
   std::uint64_t apply_shard(std::size_t i, std::vector<OpRun> group_runs) {
     ShardSlot& s = slots_[i];
-    const GraceResult grace = await_quiescent(s.standby);
-    if (!grace.quiesced) {
-      // A stale reader (possibly this very thread, holding a Snapshot
-      // across a flush) pins the replica: abandon it and clone live, which
-      // already contains the pending log.
-      s.standby = make_index(s.origin);
-      s.standby->build(s.live->flatten());
-      s.pending.clear();
-      ++replica_rebuilds_;
+    std::uint64_t yields = settle_replay(s);
+    if (!s.standby_caught_up) {
+      const GraceResult grace = await_quiescent(s.standby);
+      yields += grace.iters;
+      if (!grace.quiesced) {
+        // A stale reader (possibly this very thread, holding a Snapshot
+        // across a flush) pins the replica: abandon it and clone live,
+        // which already contains the pending log.
+        s.standby = make_index(s.origin);
+        s.standby->build(s.live->flatten());
+        s.pending.clear();
+        ++replica_rebuilds_;
+      }
     }
     Index& idx = *s.standby;
     for (const OpRun& run : s.pending) apply_run(idx, run);
     for (const OpRun& run : group_runs) apply_run(idx, run);
     std::swap(s.live, s.standby);
     s.pending = std::move(group_runs);
-    return grace.iters;
+    s.standby_caught_up = false;  // the new standby is the just-retired live
+    return yields;
+  }
+
+  // Join the slot's in-flight replay task (if any) and fold its outcome
+  // into the slot: on success the pending log is already on the standby
+  // and the grace period has passed; on failure the runs move back into
+  // `pending` for the inline slow path. Returns the task's yields.
+  std::uint64_t settle_replay(ShardSlot& s) {
+    if (!s.replay.valid()) return 0;
+    // Fold the outcome into the slot before rethrowing a task exception:
+    // the pending log must survive a failed replay (same post-exception
+    // state as the inline writer — live intact, pending intact, standby
+    // possibly part-applied) instead of being silently dropped.
+    std::exception_ptr err;
+    try {
+      s.replay.join();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    std::uint64_t yields = 0;
+    if (s.replay_out) {
+      yields = s.replay_out->yields;
+      if (!err && s.replay_out->replayed) {
+        s.standby_caught_up = true;
+      } else if (s.replay_runs) {
+        s.pending = std::move(*s.replay_runs);
+      }
+      s.replay_out.reset();
+    }
+    s.replay_runs.reset();
+    if (err) std::rethrow_exception(err);
+    return yields;
+  }
+
+  // Join every in-flight replay task. Only needed when the slot *array*
+  // is replaced wholesale (load); individual slot rebuilds join their own
+  // task through AsyncTask move-assign/destruction.
+  void settle_all_replays() {
+    for (auto& s : slots_) stats_.grace_yields += settle_replay(s);
+  }
+
+  // Pipeline stage 2: spawn the asynchronous standby replays for every
+  // shard the just-published commit touched. Runs after publish() so the
+  // grace period the tasks wait out is the one the publication started.
+  // With a sequential pool a spawn would execute inline — all cost (an
+  // eager grace wait per commit), no overlap — so the writer falls back to
+  // the classic lazy replay-on-next-commit there.
+  void spawn_replays() {
+    if (num_workers() <= 1) return;
+    for (auto& s : slots_) {
+      if (s.pending.empty() || s.replay.valid() || s.standby_caught_up) {
+        continue;
+      }
+      s.replay_out = std::make_shared<ReplayOutcome>();
+      // The runs MOVE into shared ownership (settle_replay moves them back
+      // on failure); the standby handle is copied, so the grace wait
+      // allows exactly one extra reference — the task's own.
+      s.replay_runs =
+          std::make_shared<std::vector<OpRun>>(std::move(s.pending));
+      s.pending.clear();  // moved-from; make the empty state explicit
+      s.replay = AsyncTask([out = s.replay_out, standby = s.standby,
+                            runs = s.replay_runs] {
+        // Smaller grace budget than the inline path (4096): a task that
+        // cannot quiesce is parking a pool *worker* in the sleep loop, so
+        // give up after ~50ms and let the next write retry inline with
+        // the full budget. Uncontended replays exit in a few iterations
+        // either way.
+        const GraceResult grace =
+            await_quiescent(standby, 1024, /*allowed_refs=*/2);
+        out->yields = grace.iters;
+        if (!grace.quiesced) return;
+        for (const OpRun& run : *runs) apply_run(*standby, run);
+        out->replayed = true;
+      });
+    }
   }
 
   static void apply_run(Index& idx, const OpRun& run) {

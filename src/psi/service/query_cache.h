@@ -1,0 +1,134 @@
+// PSI-Lib service layer: a small epoch-keyed query cache.
+//
+// Memoizes the last few range results against the epoch that produced
+// them. Entries are only ever returned for the *current* epoch, so a
+// commit invalidates the whole cache implicitly — no invalidation walk,
+// no stale reads: the epoch is the version tag. Hot dashboards and
+// polling readers that re-issue the same box between commits hit; any
+// write traffic naturally bounds staleness to zero.
+//
+// Structure: a fixed-size ring of entries under one mutex (lookups copy a
+// shared_ptr, so the critical sections are a few words), replaced
+// round-robin. List results are shared_ptr<const vector> — concurrent
+// hitters share one materialised result instead of copying it. Counts are
+// cached alongside, either from a dedicated count query or derived from a
+// cached list.
+//
+// This is deliberately the miniature of ROADMAP's "service-level caching"
+// item: (epoch, range)-keyed, bounded, observable (hit/miss counters
+// surface in ServiceStats::json()).
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "psi/geometry/box.h"
+#include "psi/geometry/point.h"
+
+namespace psi::service {
+
+template <typename Coord, int D>
+class QueryCache {
+ public:
+  using point_t = Point<Coord, D>;
+  using box_t = Box<Coord, D>;
+  using list_t = std::shared_ptr<const std::vector<point_t>>;
+
+  explicit QueryCache(std::size_t capacity = 16)
+      : entries_(capacity == 0 ? 1 : capacity) {}
+
+  // Cached range_list result for (epoch, box), or nullptr on miss.
+  list_t find_list(std::uint64_t epoch, const box_t& box) const {
+    std::lock_guard<std::mutex> g(mu_);
+    for (const auto& e : entries_) {
+      if (e.valid && e.epoch == epoch && e.box == box && e.pts) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return e.pts;
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+
+  // Cached range_count for (epoch, box) — served from either a cached
+  // count or a cached list.
+  std::optional<std::size_t> find_count(std::uint64_t epoch,
+                                        const box_t& box) const {
+    std::lock_guard<std::mutex> g(mu_);
+    for (const auto& e : entries_) {
+      if (e.valid && e.epoch == epoch && e.box == box) {
+        if (e.has_count) {
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          return e.count;
+        }
+        if (e.pts) {
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          return e.pts->size();
+        }
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+
+  void put_list(std::uint64_t epoch, const box_t& box, list_t pts) {
+    std::lock_guard<std::mutex> g(mu_);
+    Entry& e = slot_for(epoch, box);
+    e.pts = std::move(pts);
+    e.count = e.pts->size();
+    e.has_count = true;
+  }
+
+  void put_count(std::uint64_t epoch, const box_t& box, std::size_t count) {
+    std::lock_guard<std::mutex> g(mu_);
+    Entry& e = slot_for(epoch, box);
+    e.count = count;
+    e.has_count = true;
+  }
+
+  std::uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    bool valid = false;
+    std::uint64_t epoch = 0;
+    box_t box = box_t::empty();
+    list_t pts;
+    std::size_t count = 0;
+    bool has_count = false;
+  };
+
+  // Reuse the key's existing entry, else claim the next ring slot. Caller
+  // holds mu_.
+  Entry& slot_for(std::uint64_t epoch, const box_t& box) {
+    for (auto& e : entries_) {
+      if (e.valid && e.epoch == epoch && e.box == box) return e;
+    }
+    Entry& e = entries_[next_++ % entries_.size()];
+    e = Entry{};
+    e.valid = true;
+    e.epoch = epoch;
+    e.box = box;
+    return e;
+  }
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  std::size_t next_ = 0;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace psi::service

@@ -55,6 +55,7 @@
 #include <vector>
 
 #include "psi/service/group_commit.h"
+#include "psi/service/query_cache.h"
 #include "psi/service/request_queue.h"
 #include "psi/service/service_stats.h"
 #include "psi/service/snapshot.h"
@@ -188,6 +189,34 @@ class SpatialService {
   // Lock-free read path: pin the current epoch and query it directly.
   snapshot_t snapshot() const { return snapshot_t(committer_.acquire()); }
 
+  // -------------------------------------------------------------------
+  // Cached read path (epoch-keyed query cache, query_cache.h)
+  // -------------------------------------------------------------------
+  //
+  // Memoized variants of the snapshot range queries: results are keyed on
+  // (epoch, box), so every commit invalidates them wholesale and a hit is
+  // always exactly what an uncached snapshot query would return. List hits
+  // share one materialised vector across callers. Hit/miss counters
+  // surface in stats().
+
+  std::shared_ptr<const std::vector<point_t>> range_list_cached(
+      const box_t& query) const {
+    if (auto hit = cache_.find_list(committer_.epoch(), query)) return hit;
+    auto snap = snapshot();
+    auto pts =
+        std::make_shared<const std::vector<point_t>>(snap.range_list(query));
+    cache_.put_list(snap.epoch(), query, pts);
+    return pts;
+  }
+
+  std::size_t range_count_cached(const box_t& query) const {
+    if (auto hit = cache_.find_count(committer_.epoch(), query)) return *hit;
+    auto snap = snapshot();
+    const std::size_t count = snap.range_count(query);
+    cache_.put_count(snap.epoch(), query, count);
+    return count;
+  }
+
   // Cheap observers: one atomic load on the committer — no epoch pin, no
   // replica refcount traffic, no Snapshot construction.
   std::size_t size() const { return committer_.size(); }
@@ -196,7 +225,10 @@ class SpatialService {
 
   ServiceStats stats() const {
     std::lock_guard<std::mutex> g(commit_mu_);
-    return committer_.stats();
+    ServiceStats s = committer_.stats();
+    s.cache_hits = cache_.hits();
+    s.cache_misses = cache_.misses();
+    return s;
   }
 
  private:
@@ -226,6 +258,8 @@ class SpatialService {
   // flush() callers, build(), stats().
   mutable std::mutex commit_mu_;
   committer_t committer_;
+  // Epoch-keyed result cache for the *_cached read path (thread-safe).
+  mutable QueryCache<coord_t, kDim> cache_;
 
   // Serialises whole start()/stop() transitions; never taken by the
   // committer thread itself.

@@ -29,6 +29,10 @@ struct ServiceStats {
   std::uint64_t ops_range_list = 0;
   std::uint64_t ops_ball = 0;
 
+  // Service-level query cache (query_cache.h; the *_cached read path).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+
   std::size_t num_shards = 0;
   std::size_t size_total = 0;            // points currently indexed
   std::vector<std::size_t> shard_sizes;  // per-shard populations

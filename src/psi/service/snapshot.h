@@ -12,10 +12,22 @@
 // see src/psi/api/query.h): matches flow straight from each shard's native
 // traversal into the caller's sink, shard by shard, with no intermediate
 // per-shard vector — a sink returning false stops mid-shard and skips the
-// remaining shards. The materialising forms (range_list / ball_list / knn)
-// are thin adapters over the visits. Fan-out uses the shard map's box
-// routing where the codec allows it; every shard also prunes through its
-// own root bounding box, so over-broad routing costs O(1) per extra shard.
+// remaining shards. Fan-out uses the shard map's box routing where the
+// codec allows it; every shard also prunes through its own root bounding
+// box, so over-broad routing costs O(1) per extra shard.
+//
+// Handing range_visit/ball_visit an api::ConcurrentSink selects the
+// *parallel* read path instead: shards run concurrently (a TaskGroup, so
+// the fan-out is real even from non-pool reader threads) and each shard
+// uses its native parallel subtree traversal when it has one
+// (api::range_visit_par shim). Delivery order is unspecified; early
+// termination degrades from exact-prefix to "stop flag at node
+// granularity", which ConcurrentSink's limit machinery turns back into an
+// exact result count. The materialising forms (range_list / ball_list /
+// knn) are thin adapters over the visits; range_list/ball_list/range_count/
+// ball_count take the parallel path automatically when the scheduler has
+// more than one worker and the routed shard run is big enough to pay for
+// the fan-out (parallel_worth_it).
 //
 // The Index parameter is anything satisfying api::BatchDynamicIndex —
 // including api::AnyIndex, in which case the View's shards may be
@@ -24,16 +36,19 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "psi/api/query.h"
 #include "psi/geometry/knn_buffer.h"
 #include "psi/geometry/point.h"
+#include "psi/parallel/task_group.h"
 #include "psi/service/shard_map.h"
 
 namespace psi::service {
@@ -80,12 +95,20 @@ class Snapshot {
 
   // Stream every point inside `query` to the sink, shard by shard. No
   // intermediate vectors; a sink returning false stops the whole fan-out.
+  // With an api::ConcurrentSink, shards are traversed concurrently (see
+  // the header comment).
   template <typename Sink>
   void range_visit(const box_t& query, Sink&& sink) const {
     const auto [lo, hi] = view_->map.shard_range_for_box(query);
-    api::StopGuard<Sink> guard{sink};
-    for (std::size_t i = lo; i <= hi && guard.alive; ++i) {
-      view_->shards[i]->range_visit(query, guard);
+    if constexpr (api::is_concurrent_sink_v<std::remove_cvref_t<Sink>>) {
+      visit_shards_par(lo, hi, sink, [&](const Index& shard) {
+        api::range_visit_par(shard, query, sink);
+      });
+    } else {
+      api::StopGuard<Sink> guard{sink};
+      for (std::size_t i = lo; i <= hi && guard.alive; ++i) {
+        view_->shards[i]->range_visit(query, guard);
+      }
     }
   }
 
@@ -94,9 +117,15 @@ class Snapshot {
   template <typename Sink>
   void ball_visit(const point_t& q, double radius, Sink&& sink) const {
     const auto [lo, hi] = view_->map.shard_range_for_box(ball_box(q, radius));
-    api::StopGuard<Sink> guard{sink};
-    for (std::size_t i = lo; i <= hi && guard.alive; ++i) {
-      view_->shards[i]->ball_visit(q, radius, guard);
+    if constexpr (api::is_concurrent_sink_v<std::remove_cvref_t<Sink>>) {
+      visit_shards_par(lo, hi, sink, [&](const Index& shard) {
+        api::ball_visit_par(shard, q, radius, sink);
+      });
+    } else {
+      api::StopGuard<Sink> guard{sink};
+      for (std::size_t i = lo; i <= hi && guard.alive; ++i) {
+        view_->shards[i]->ball_visit(q, radius, guard);
+      }
     }
   }
 
@@ -146,32 +175,68 @@ class Snapshot {
   }
 
   std::size_t range_count(const box_t& query) const {
-    const auto [lo, hi] = view_->map.shard_range_for_box(query);
+    const auto run = view_->map.shard_range_for_box(query);
+    // Counts have no intra-shard parallelism, so a single-shard run gains
+    // nothing from a task; multi-shard runs still go through the size gate.
+    if (run.second > run.first && parallel_worth_it(run)) {
+      return count_shards_par(run.first, run.second, [&](const Index& shard) {
+        return shard.range_count(query);
+      });
+    }
     std::size_t total = 0;
-    for (std::size_t i = lo; i <= hi; ++i) {
+    for (std::size_t i = run.first; i <= run.second; ++i) {
       total += view_->shards[i]->range_count(query);
     }
     return total;
   }
 
   std::vector<point_t> range_list(const box_t& query) const {
+    const auto run = view_->map.shard_range_for_box(query);
+    if (parallel_worth_it(run)) {
+      api::ConcurrentSink<coord_t, kDim> sink;
+      visit_shards_par(run.first, run.second, sink, [&](const Index& shard) {
+        api::range_visit_par(shard, query, sink);
+      });
+      return sink.take();
+    }
     std::vector<point_t> out;
-    range_visit(query, api::collect_into(out));
+    auto collect = api::collect_into(out);
+    api::StopGuard<decltype(collect)> guard{collect};
+    for (std::size_t i = run.first; i <= run.second; ++i) {
+      view_->shards[i]->range_visit(query, guard);
+    }
     return out;
   }
 
   std::size_t ball_count(const point_t& q, double radius) const {
-    const auto [lo, hi] = view_->map.shard_range_for_box(ball_box(q, radius));
+    const auto run = view_->map.shard_range_for_box(ball_box(q, radius));
+    if (run.second > run.first && parallel_worth_it(run)) {
+      return count_shards_par(run.first, run.second, [&](const Index& shard) {
+        return shard.ball_count(q, radius);
+      });
+    }
     std::size_t total = 0;
-    for (std::size_t i = lo; i <= hi; ++i) {
+    for (std::size_t i = run.first; i <= run.second; ++i) {
       total += view_->shards[i]->ball_count(q, radius);
     }
     return total;
   }
 
   std::vector<point_t> ball_list(const point_t& q, double radius) const {
+    const auto run = view_->map.shard_range_for_box(ball_box(q, radius));
+    if (parallel_worth_it(run)) {
+      api::ConcurrentSink<coord_t, kDim> sink;
+      visit_shards_par(run.first, run.second, sink, [&](const Index& shard) {
+        api::ball_visit_par(shard, q, radius, sink);
+      });
+      return sink.take();
+    }
     std::vector<point_t> out;
-    ball_visit(q, radius, api::collect_into(out));
+    auto collect = api::collect_into(out);
+    api::StopGuard<decltype(collect)> guard{collect};
+    for (std::size_t i = run.first; i <= run.second; ++i) {
+      view_->shards[i]->ball_visit(q, radius, guard);
+    }
     return out;
   }
 
@@ -189,6 +254,52 @@ class Snapshot {
   const view_t& view() const { return *view_; }
 
  private:
+  // TaskGroup fan-out over the routed shard run [lo, hi]: `visit(shard)`
+  // runs concurrently per shard; a stopped sink short-circuits the
+  // remaining spawns.
+  template <typename ParSink, typename Visit>
+  void visit_shards_par(std::size_t lo, std::size_t hi, const ParSink& sink,
+                        Visit visit) const {
+    TaskGroup tasks;
+    for (std::size_t i = lo; i <= hi && !sink.stopped(); ++i) {
+      const Index* shard = view_->shards[i].get();
+      tasks.spawn([shard, visit] { visit(*shard); });
+    }
+    tasks.wait();
+  }
+
+  // TaskGroup fan-out accumulating `count(shard)` over the routed run.
+  template <typename Count>
+  std::size_t count_shards_par(std::size_t lo, std::size_t hi,
+                               Count count) const {
+    std::atomic<std::size_t> total{0};
+    TaskGroup tasks;
+    for (std::size_t i = lo; i <= hi; ++i) {
+      const Index* shard = view_->shards[i].get();
+      tasks.spawn([shard, count, &total] {
+        total.fetch_add(count(*shard), std::memory_order_relaxed);
+      });
+    }
+    tasks.wait();
+    return total.load(std::memory_order_relaxed);
+  }
+
+  // Is the parallel engine worth its setup (sink buffers, task spawns) for
+  // this routed shard run? Only when the run holds at least a grain's
+  // worth of points — below that the fan-out degenerates to the
+  // sequential visit plus pure overhead, exactly the hot small-query case
+  // to keep lean.
+  bool parallel_worth_it(std::pair<std::size_t, std::size_t> run) const {
+    if (num_workers() <= 1) return false;
+    const auto [lo, hi] = run;
+    std::size_t total = 0;
+    for (std::size_t i = lo; i <= hi; ++i) {
+      total += view_->shards[i]->size();
+      if (total >= fork_grain()) return true;
+    }
+    return false;
+  }
+
   // Axis-aligned bounding box of the ball, for shard routing. Corners may
   // leave the codec domain; shard_range_for_box clamps them conservatively.
   static box_t ball_box(const point_t& q, double radius) {

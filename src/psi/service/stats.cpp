@@ -34,6 +34,8 @@ std::string ServiceStats::json() const {
      << ",\"ops_range_count\":" << ops_range_count
      << ",\"ops_range_list\":" << ops_range_list
      << ",\"ops_ball\":" << ops_ball
+     << ",\"cache_hits\":" << cache_hits
+     << ",\"cache_misses\":" << cache_misses
      << ",\"num_shards\":" << num_shards << ",\"size_total\":" << size_total
      << ",\"max_shard\":" << max_shard_size()
      << ",\"min_shard\":" << min_shard_size() << ",\"shard_sizes\":[";
