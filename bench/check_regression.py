@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over BENCH_JSON lines.
+
+The benchmarks print one machine-readable line per measured cell:
+
+    BENCH_JSON {"bench":"fig12_parallel_query","workload":"Uniform", ...}
+
+This script extracts those lines from one or more bench logs, keys each
+cell on its identity fields (bench/workload/op/k/mode/workers), and
+compares the throughput metric (`qps`) against a committed baseline.
+A cell regressing by more than --threshold (default 25%) fails the gate;
+cells *above* baseline never fail (runner speedups are fine and do not
+auto-raise the bar). Cells whose `matches` field is false fail
+unconditionally — a fast wrong answer is not a pass.
+
+Usage:
+    check_regression.py --baseline bench/baselines/ci_baseline.json \
+        --log fig12.log [--log fig13.log ...] [--threshold 0.25]
+
+Refreshing the baseline (after an intentional perf change, or to pin a
+new runner class): run the same pinned commands (see
+bench/baselines/README.md), then re-run with --update to overwrite the
+baseline from the logs, and commit the result. Baselines are
+machine-class-specific: numbers measured on one box only gate runs on
+comparable hardware.
+"""
+
+import argparse
+import json
+import sys
+
+MARKER = "BENCH_JSON "
+KEY_FIELDS = ("bench", "workload", "op", "k", "mode", "workers")
+METRIC = "qps"
+
+
+def cell_key(obj):
+    parts = []
+    for field in KEY_FIELDS:
+        if field in obj:
+            parts.append(f"{field}={obj[field]}")
+    return "/".join(parts)
+
+
+def parse_logs(paths):
+    """Max qps per cell across all lines: the gate compares best-of-N, so
+    feeding it several runs of the same bench damps shared-runner noise."""
+    cells = {}
+    bad = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                idx = line.find(MARKER)
+                if idx < 0:
+                    continue
+                payload = line[idx + len(MARKER):].strip()
+                try:
+                    obj = json.loads(payload)
+                except json.JSONDecodeError:
+                    print(f"warning: unparseable BENCH_JSON line in {path}: "
+                          f"{payload[:120]}", file=sys.stderr)
+                    continue
+                key = cell_key(obj)
+                qps = float(obj.get(METRIC, 0.0))
+                cells[key] = max(qps, cells.get(key, 0.0))
+                if obj.get("matches") is False:
+                    bad.append(key)
+    return cells, bad
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--log", action="append", required=True,
+                    help="bench output file (repeatable)")
+    ap.add_argument("--baseline", required=True,
+                    help="committed baseline JSON (key -> qps)")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="max allowed fractional regression (default 0.25)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from the logs and exit")
+    args = ap.parse_args()
+
+    current, bad = parse_logs(args.log)
+    if not current:
+        print("error: no BENCH_JSON lines found in the logs", file=sys.stderr)
+        return 2
+
+    if args.update:
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(dict(sorted(current.items())), fh, indent=2)
+            fh.write("\n")
+        print(f"baseline updated: {args.baseline} ({len(current)} cells)")
+        return 0
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    except FileNotFoundError:
+        print(f"error: baseline {args.baseline} not found "
+              f"(generate one with --update)", file=sys.stderr)
+        return 2
+
+    failures = []
+    width = max(len(k) for k in sorted(set(baseline) | set(current)))
+    print(f"{'cell':<{width}}  {'base qps':>12}  {'now qps':>12}  delta")
+    for key in sorted(baseline):
+        base = float(baseline[key])
+        if key not in current:
+            failures.append(f"missing cell: {key}")
+            print(f"{key:<{width}}  {base:>12.1f}  {'MISSING':>12}")
+            continue
+        now = current[key]
+        delta = (now - base) / base if base > 0 else 0.0
+        flag = ""
+        if base > 0 and now < base * (1.0 - args.threshold):
+            failures.append(
+                f"regression: {key} qps {now:.1f} < {base:.1f} "
+                f"({delta:+.1%} > -{args.threshold:.0%} allowed)")
+            flag = "  << FAIL"
+        print(f"{key:<{width}}  {base:>12.1f}  {now:>12.1f}  "
+              f"{delta:+7.1%}{flag}")
+    for key in sorted(set(current) - set(baseline)):
+        print(f"{key:<{width}}  {'(new)':>12}  {current[key]:>12.1f}  "
+              f"(not gated; --update to adopt)")
+    for key in bad:
+        failures.append(f"correctness: {key} reported matches=false")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} problem(s)", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"\nOK: {len(baseline)} cells within {args.threshold:.0%} "
+          f"of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

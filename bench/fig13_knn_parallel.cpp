@@ -1,0 +1,147 @@
+// Fig 13 (extension, not in the paper): parallel kNN over one snapshot.
+//
+// Sweeps scheduler workers over k-NN queries against a pinned Snapshot of
+// a sharded SpatialService, comparing the sequential nearest-shard-first
+// path (Snapshot::knn_visit_seq) with the parallel engine
+// (Snapshot::knn_visit_par: TaskGroup shard fan-out + native kNN subtree
+// forking, all seeded by one shared api::ConcurrentKnnBuffer radius
+// bound). Every cell first verifies par/seq equivalence on ranked
+// distances (the `matches` field), then times both modes — this is the
+// kNN half of the read pipeline; fig12 covers range/ball.
+//
+// Output: a table plus one JSON line per cell:
+//   BENCH_JSON {"bench":"fig13_knn_parallel","workload":"Uniform",
+//               "op":"knn","k":10,"mode":"par","workers":2,"shards":4,
+//               "queries":..,"hits":..,"matches":true,"seconds":..,
+//               "qps":..}
+//
+// Knobs: PSI_BENCH_N (base points), PSI_BENCH_Q (queries per cell),
+// PSI_MAX_THREADS (top of the worker sweep), PSI_GRAIN (fork grain).
+// On a 1-core container the sweep still exercises the parallel code paths
+// (oversubscribed threads); speedups need real cores.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace psi;
+using namespace psi::bench;
+using namespace psi::service;
+
+namespace {
+
+struct Cell {
+  std::size_t queries = 0;
+  std::size_t hits = 0;
+  bool matches = true;
+  double seconds = 0;
+  double qps() const {
+    return seconds > 0 ? static_cast<double>(queries) / seconds : 0;
+  }
+};
+
+void emit(const std::string& workload, std::size_t k, const char* mode,
+          int workers, std::size_t shards, const Cell& c) {
+  std::printf("BENCH_JSON {\"bench\":\"fig13_knn_parallel\","
+              "\"workload\":\"%s\",\"op\":\"knn\",\"k\":%zu,\"mode\":\"%s\","
+              "\"workers\":%d,\"shards\":%zu,\"queries\":%zu,\"hits\":%zu,"
+              "\"matches\":%s,\"seconds\":%.4f,\"qps\":%.1f}\n",
+              workload.c_str(), k, mode, workers, shards, c.queries, c.hits,
+              c.matches ? "true" : "false", c.seconds, c.qps());
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = bench_n(200'000);
+  const std::size_t q = bench_queries(200);
+  const std::size_t shards = 4;
+
+  std::vector<int> threads;
+  for (int p = 1; p <= bench_max_threads(); p *= 2) threads.push_back(p);
+  if (threads.back() != bench_max_threads()) threads.push_back(bench_max_threads());
+
+  std::printf("Fig 13: single-snapshot kNN parallelism, n=%zu, q=%zu, "
+              "K=%zu, grain=%zu\n",
+              n, q, shards, fork_grain());
+
+  for (const std::string workload : {"Uniform", "Varden"}) {
+    const auto base = make_workload_2d(workload, n, 1);
+    const auto centres = datagen::ind_queries(base, q, 99, kMax2);
+
+    ServiceConfig cfg;
+    cfg.initial_shards = shards;
+    cfg.split_threshold = n * 8;  // fixed topology isolates the read path
+    cfg.merge_threshold = 1;
+    SpatialService<SpacZTree2> svc(cfg);
+    svc.build(base);
+    auto snap = svc.snapshot();
+
+    std::printf("\n=== Fig 13 | %s ===\n", workload.c_str());
+    Table table({"k", "mode", "p=..", "qps", "matches"});
+    for (int p : threads) {
+      Scheduler::set_num_workers(p);
+      for (std::size_t k : {std::size_t{1}, std::size_t{10},
+                            std::size_t{100}}) {
+        // Equivalence first (untimed): ranked distances must be identical
+        // between the two paths on a prefix of the query set.
+        bool matches = true;
+        const std::size_t probe = std::min<std::size_t>(centres.size(), 32);
+        for (std::size_t i = 0; i < probe && matches; ++i) {
+          const Point2& c = centres[i];
+          std::vector<double> seq, par;
+          snap.knn_visit_seq(c, k, [&](const Point2& pt) {
+            seq.push_back(squared_distance(pt, c));
+          });
+          snap.knn_visit_par(c, k, [&](const Point2& pt) {
+            par.push_back(squared_distance(pt, c));
+          });
+          matches = seq.size() == par.size();
+          for (std::size_t r = 0; matches && r < seq.size(); ++r) {
+            matches = seq[r] == par[r];
+          }
+        }
+
+        Cell seq_cell, par_cell;
+        seq_cell.queries = par_cell.queries = centres.size();
+        seq_cell.matches = par_cell.matches = matches;
+        {
+          Timer t;
+          for (const auto& c : centres) {
+            std::size_t got = 0;
+            snap.knn_visit_seq(c, k, [&](const Point2&) { ++got; });
+            seq_cell.hits += got;
+          }
+          seq_cell.seconds = t.seconds();
+        }
+        {
+          Timer t;
+          for (const auto& c : centres) {
+            std::size_t got = 0;
+            snap.knn_visit_par(c, k, [&](const Point2&) { ++got; });
+            par_cell.hits += got;
+          }
+          par_cell.seconds = t.seconds();
+        }
+        table.row({std::to_string(k), "seq", std::to_string(p),
+                   Table::fmt(seq_cell.qps()), matches ? "yes" : "NO"});
+        table.row({std::to_string(k), "par", std::to_string(p),
+                   Table::fmt(par_cell.qps()), matches ? "yes" : "NO"});
+        emit(workload, k, "seq", p, shards, seq_cell);
+        emit(workload, k, "par", p, shards, par_cell);
+        if (!matches) {
+          std::fprintf(stderr,
+                       "fig13: par/seq kNN mismatch (%s, k=%zu, p=%d)\n",
+                       workload.c_str(), k, p);
+          return 1;
+        }
+      }
+    }
+    Scheduler::set_num_workers(bench_max_threads());
+  }
+  return 0;
+}

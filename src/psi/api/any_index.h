@@ -51,6 +51,7 @@ class AnyIndex {
   using box_t = Box<Coord, D>;
   using sink_t = PointSink<Coord, D>;
   using par_sink_t = ConcurrentSink<Coord, D>;
+  using par_knn_t = ConcurrentKnnBuffer<Coord, D>;
 
   AnyIndex() : AnyIndex(BruteForceIndex<Coord, D>{}, "brute") {}
 
@@ -124,6 +125,9 @@ class AnyIndex {
                       par_sink_t& sink) const {
     vt_->ball_visit_par(self_, q, radius, &sink);
   }
+  void knn_visit_par(const point_t& q, std::size_t k, par_knn_t& buf) const {
+    vt_->knn_visit_par(self_, q, k, &buf);
+  }
 
   // ---- materialising adapters -----------------------------------------
   std::size_t range_count(const box_t& query) const {
@@ -166,6 +170,8 @@ class AnyIndex {
     void (*knn_visit)(const void*, const point_t&, std::size_t, sink_t);
     void (*range_visit_par)(const void*, const box_t&, par_sink_t*);
     void (*ball_visit_par)(const void*, const point_t&, double, par_sink_t*);
+    void (*knn_visit_par)(const void*, const point_t&, std::size_t,
+                          par_knn_t*);
     std::vector<point_t> (*flatten)(const void*);
   };
 
@@ -218,6 +224,10 @@ class AnyIndex {
       /*ball_visit_par=*/
       [](const void* p, const point_t& q, double r, par_sink_t* sink) {
         api::ball_visit_par(as<Index>(p), q, r, *sink);
+      },
+      /*knn_visit_par=*/
+      [](const void* p, const point_t& q, std::size_t k, par_knn_t* buf) {
+        api::knn_visit_par(as<Index>(p), q, k, *buf);
       },
       /*flatten=*/[](const void* p) { return as<Index>(p).flatten(); },
   };

@@ -42,6 +42,9 @@ using sink_of =
 template <typename I>
 using par_sink_of =
     ConcurrentSink<typename I::point_t::coord_t, I::point_t::kDim>;
+template <typename I>
+using par_knn_of =
+    ConcurrentKnnBuffer<typename I::point_t::coord_t, I::point_t::kDim>;
 }  // namespace detail
 
 // The batch-dynamic spatial index contract (see header comment).
@@ -86,19 +89,22 @@ concept BatchDynamicIndex =
     };
 
 // Optional capability: native parallel subtree fan-out for the listing
-// queries, feeding a ConcurrentSink from many workers at once (query.h).
-// Backends without it are served by the sequential shim in query.h
-// (range_visit_par/ball_visit_par free functions), so generic layers call
-// the shim and never branch on this concept themselves — it exists so
-// conformance.h can pin down *which* backends carry the native fan-out.
+// and kNN queries, feeding a ConcurrentSink (listing) or a shared
+// ConcurrentKnnBuffer (kNN) from many workers at once (query.h).
+// Backends without it are served by the sequential shims in query.h
+// (range_visit_par/ball_visit_par/knn_visit_par free functions), so
+// generic layers call the shim and never branch on this concept
+// themselves — it exists so conformance.h can pin down *which* backends
+// carry the native fan-out.
 template <typename I>
 concept ParallelQueryIndex =
     BatchDynamicIndex<I> &&
     requires(const I& c, const detail::point_of<I>& q,
-             const detail::box_of<I>& b, double radius,
-             detail::par_sink_of<I>& sink) {
+             const detail::box_of<I>& b, double radius, std::size_t k,
+             detail::par_sink_of<I>& sink, detail::par_knn_of<I>& kbuf) {
       c.range_visit_par(b, sink);
       c.ball_visit_par(q, radius, sink);
+      c.knn_visit_par(q, k, kbuf);
     };
 
 }  // namespace psi::api

@@ -47,11 +47,12 @@ static_assert(BatchDynamicIndex<BruteForceIndex<std::int64_t, 3>>);
 static_assert(BatchDynamicIndex<AnyIndex<std::int64_t, 2>>);
 static_assert(BatchDynamicIndex<AnyIndex<std::int64_t, 3>>);
 
-// Native parallel subtree fan-out (ParallelQueryIndex): the paper's two
-// contributions and the two tree baselines carry it; the remaining
-// backends are served by the sequential shim in query.h. AnyIndex always
-// models the capability — its vtable routes through the shim, so the
-// wrapped backend's native fan-out is used exactly when it exists.
+// Native parallel subtree fan-out (ParallelQueryIndex — range/ball sinks
+// plus the shared-bound kNN buffer): the paper's two contributions and the
+// two tree baselines carry it; the remaining backends are served by the
+// sequential shims in query.h. AnyIndex always models the capability — its
+// vtable routes through the shims, so the wrapped backend's native fan-out
+// is used exactly when it exists.
 static_assert(ParallelQueryIndex<POrthTree<std::int64_t, 2>>);
 static_assert(ParallelQueryIndex<POrthTree<std::int64_t, 3>>);
 static_assert(ParallelQueryIndex<SpacHTree<std::int64_t, 2>>);

@@ -22,13 +22,16 @@
 
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <limits>
 #include <memory>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "psi/geometry/knn_buffer.h"
 #include "psi/geometry/point.h"
 #include "psi/parallel/scheduler.h"
 
@@ -200,6 +203,90 @@ class ConcurrentSink {
   std::atomic<bool> stop_{false};
 };
 
+// ---------------------------------------------------------------------------
+// The parallel kNN contract.
+// ---------------------------------------------------------------------------
+//
+// A ConcurrentKnnBuffer is the kNN analogue of ConcurrentSink: the one top-k
+// accumulator that may be fed from several workers at once, which is what
+// lets a kNN traversal fork over subtrees (and shards) instead of streaming
+// through a single bounded heap. Candidates land in per-worker padded
+// KnnBuffers (no locks); the *pruning* state is shared — one relaxed-atomic
+// squared-distance bound, tightened by CAS-min whenever some worker's local
+// heap fills. Any single full heap's worst is already an upper bound on the
+// true global k-th distance (it holds k candidates), so pruning a subtree
+// whose min distance reaches bound() never drops a true neighbour, and
+// sharing the bound across shards seeds every shard's search with the best
+// radius found anywhere so far. merged_sorted() merges the per-worker heaps
+// after the fork-join completed: the exact k smallest candidates offered,
+// in increasing distance order. Tie *membership* at the k-th distance is
+// unspecified (as on the sequential path); distances are exact.
+//
+// Slot model as ConcurrentSink: workers use their own slot, one foreign
+// (non-pool) driver gets slot 0; two foreign threads must not share one.
+
+template <typename Coord, int D>
+class ConcurrentKnnBuffer {
+ public:
+  using point_t = Point<Coord, D>;
+  using entry_t = typename KnnBuffer<point_t>::Entry;
+
+  explicit ConcurrentKnnBuffer(std::size_t k)
+      : k_(k),
+        bound_(k == 0 ? -std::numeric_limits<double>::infinity()
+                      : std::numeric_limits<double>::infinity()),
+        slots_(static_cast<std::size_t>(num_workers()) + 1,
+               Slot{KnnBuffer<point_t>(k)}) {}
+
+  std::size_t capacity() const { return k_; }
+
+  // Current global pruning radius (squared distance). Traversals skip any
+  // subtree whose min squared distance is >= bound(). Starts at +inf
+  // (-inf for k == 0, so everything prunes) and only ever tightens.
+  double bound() const { return bound_.load(std::memory_order_relaxed); }
+
+  // Thread-safe offer of one candidate.
+  void offer(double dist2, const point_t& p) {
+    if (dist2 >= bound()) return;
+    KnnBuffer<point_t>& local = slots_[slot()].heap;
+    local.offer(dist2, p);
+    if (local.full()) tighten(local.worst());
+  }
+
+  // Exact merge of the per-worker heaps: the k smallest candidates overall,
+  // sorted by increasing distance. Only call after the traversal joined.
+  std::vector<entry_t> merged_sorted() const {
+    std::vector<entry_t> all;
+    for (const auto& s : slots_) {
+      all.insert(all.end(), s.heap.raw().begin(), s.heap.raw().end());
+    }
+    std::sort(all.begin(), all.end());
+    if (all.size() > k_) all.resize(k_);
+    return all;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    KnnBuffer<point_t> heap;
+  };
+
+  // Workers 0..P-1 use slots 1..P; the (single) foreign driver gets slot 0.
+  std::size_t slot() const {
+    return static_cast<std::size_t>(worker_id() + 1);
+  }
+
+  void tighten(double cand) {
+    double cur = bound_.load(std::memory_order_relaxed);
+    while (cand < cur && !bound_.compare_exchange_weak(
+                             cur, cand, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::size_t k_;
+  std::atomic<double> bound_;
+  std::vector<Slot> slots_;
+};
+
 // Trait for generic callers (Snapshot) that choose the parallel fan-out
 // when handed a ConcurrentSink and the sequential stream otherwise.
 template <typename T>
@@ -228,6 +315,34 @@ void ball_visit_par(const Index& index, const typename Index::point_t& q,
   } else {
     index.ball_visit(q, radius, sink);
   }
+}
+
+// kNN dispatch: the backend's native subtree fan-out into the shared
+// buffer when it has one; otherwise the backend's own sequential
+// bounded-heap search, its (at most k) ranked results offered into the
+// shared buffer — correct, just without intra-shard parallelism or
+// global-bound pruning inside the backend.
+template <typename Index, typename Coord, int D>
+void knn_visit_par(const Index& index, const typename Index::point_t& q,
+                   std::size_t k, ConcurrentKnnBuffer<Coord, D>& buf) {
+  if constexpr (requires { index.knn_visit_par(q, k, buf); }) {
+    index.knn_visit_par(q, k, buf);
+  } else {
+    index.knn_visit(q, k, [&](const typename Index::point_t& p) {
+      buf.offer(squared_distance(p, q), p);
+    });
+  }
+}
+
+// Count-only kNN: |result| = min(k, population) through the streaming
+// visit, with no materialised vector — the knn() adapters reserve and copy
+// k points even when the caller only wants the count (bench loops do).
+template <typename Index>
+std::size_t knn_count(const Index& index, const typename Index::point_t& q,
+                      std::size_t k) {
+  std::size_t n = 0;
+  index.knn_visit(q, k, [&](const typename Index::point_t&) { ++n; });
+  return n;
 }
 
 }  // namespace psi::api

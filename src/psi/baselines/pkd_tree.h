@@ -117,6 +117,14 @@ class PkdTree {
     if (root_) ball_visit_par_rec(root_.get(), q, radius * radius, sink);
   }
 
+  // kNN fan-out: fork over both children above the fork grain when each
+  // child's bbox can still beat the buffer's shared pruning bound
+  // (api::ConcurrentKnnBuffer); sequential nearest-first descent below.
+  template <typename ParKnn>
+  void knn_visit_par(const point_t& q, std::size_t /*k*/, ParKnn& buf) const {
+    if (root_) knn_par_rec(root_.get(), q, buf);
+  }
+
   // k nearest in increasing distance order; the bounded buffer is the
   // algorithm's working state, not a materialised result.
   template <typename Sink>
@@ -570,6 +578,36 @@ class PkdTree {
     }
     par_do([&] { if (t->l) ball_visit_par_rec(t->l.get(), q, r2, sink); },
            [&] { if (t->r) ball_visit_par_rec(t->r.get(), q, r2, sink); });
+  }
+
+  // Parallel kNN: bound re-read at every node so forked subtrees keep
+  // pruning against the best radius found anywhere (see spac_tree.h).
+  template <typename ParKnn>
+  void knn_par_rec(const Node* t, const point_t& q, ParKnn& buf) const {
+    if (min_squared_distance(t->bbox, q) >= buf.bound()) return;
+    if (t->leaf) {
+      for (const auto& p : t->points) buf.offer(squared_distance(p, q), p);
+      return;
+    }
+    const Node* kids[2] = {t->l.get(), t->r.get()};
+    double dist[2] = {kids[0] ? min_squared_distance(kids[0]->bbox, q) : 0,
+                      kids[1] ? min_squared_distance(kids[1]->bbox, q) : 0};
+    int order[2] = {0, 1};
+    if (kids[0] && kids[1] && dist[1] < dist[0]) {
+      order[0] = 1;
+      order[1] = 0;
+    }
+    if (t->count >= fork_grain() && kids[0] && kids[1] &&
+        dist[0] < buf.bound() && dist[1] < buf.bound()) {
+      par_do([&] { knn_par_rec(kids[order[0]], q, buf); },
+             [&] { knn_par_rec(kids[order[1]], q, buf); });
+      return;
+    }
+    for (int i : order) {
+      const Node* c = kids[i];
+      if (c == nullptr || dist[i] >= buf.bound()) continue;
+      knn_par_rec(c, q, buf);
+    }
   }
 
   template <typename Sink>

@@ -156,6 +156,14 @@ class POrthTree {
     if (root_) ball_visit_par_rec(root_.get(), q, radius * radius, sink);
   }
 
+  // kNN fan-out: one task per viable orthant above the fork grain, each
+  // pruning against the buffer's shared bound (api::ConcurrentKnnBuffer);
+  // sequential nearest-orthant-first descent below the grain.
+  template <typename ParKnn>
+  void knn_visit_par(const point_t& q, std::size_t /*k*/, ParKnn& buf) const {
+    if (root_) knn_par_rec(root_.get(), q, buf);
+  }
+
   template <typename Sink>
   void knn_visit(const point_t& q, std::size_t k, Sink&& sink) const {
     KnnBuffer<point_t> buf(k);
@@ -707,6 +715,47 @@ class POrthTree {
           if (t->child[c]) ball_visit_par_rec(t->child[c].get(), q, r2, sink);
         },
         1);
+  }
+
+  // Parallel kNN: bound re-read at every node so forked subtrees keep
+  // pruning against the best radius found anywhere (see spac_tree.h).
+  template <typename ParKnn>
+  void knn_par_rec(const Node* t, const point_t& q, ParKnn& buf) const {
+    if (min_squared_distance(t->bbox, q) >= buf.bound()) return;
+    if (t->leaf) {
+      for (const auto& p : t->points) buf.offer(squared_distance(p, q), p);
+      return;
+    }
+    std::array<std::pair<double, const Node*>, kFanout> order;
+    int m = 0;
+    for (const auto& c : t->child) {
+      if (!c) continue;
+      std::pair<double, const Node*> entry{min_squared_distance(c->bbox, q),
+                                           c.get()};
+      int i = m++;
+      while (i > 0 && entry.first < order[static_cast<std::size_t>(i - 1)].first) {
+        order[static_cast<std::size_t>(i)] = order[static_cast<std::size_t>(i - 1)];
+        --i;
+      }
+      order[static_cast<std::size_t>(i)] = entry;
+    }
+    if (t->count >= fork_grain() && m > 1) {
+      parallel_for(
+          0, static_cast<std::size_t>(m),
+          [&](std::size_t i) {
+            const auto& [dist, child] = order[i];
+            if (dist >= buf.bound()) return;
+            knn_par_rec(child, q, buf);
+          },
+          1);
+      return;
+    }
+    for (int i = 0; i < m; ++i) {
+      const auto& [dist, child] = order[static_cast<std::size_t>(i)];
+      // Sorted ascending and the bound only tightens: all done.
+      if (dist >= buf.bound()) break;
+      knn_par_rec(child, q, buf);
+    }
   }
 
   template <typename Sink>

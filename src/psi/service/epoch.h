@@ -123,6 +123,17 @@ GraceResult await_quiescent(const std::shared_ptr<T>& handle,
       std::this_thread::sleep_for(std::chrono::microseconds(50));
     }
   }
+  // The poll above observes the departed readers' release-decrements with
+  // a plain load, which does NOT synchronize — without an acquire edge the
+  // caller's subsequent mutation of *handle formally races with the
+  // readers' final accesses (ThreadSanitizer flags exactly this). A
+  // copy+drop of the handle is an acq-rel RMW pair on the same refcount,
+  // so it reads the tail of the readers' release sequence and acquires it:
+  // everything a departed reader did before releasing now happens-before
+  // the mutation. (An atomic_thread_fence(acquire) would also be correct,
+  // but TSan does not reliably model bare fences.)
+  std::shared_ptr<T> acquire_edge = handle;
+  acquire_edge.reset();
   return r;
 }
 

@@ -95,6 +95,11 @@ struct ServiceConfig {
   // publish instead of on the next commit's critical path (see the header
   // comment). Off = the strictly sequential replay-then-apply writer.
   bool pipelined_commits = true;
+  // Query-cache shape (service.h / query_cache.h): number of memo slots,
+  // and the size-aware admission budget — list results above this many
+  // bytes are answered but not cached.
+  std::size_t cache_entries = 16;
+  std::size_t cache_max_entry_bytes = std::size_t{1} << 20;
 
   std::size_t effective_merge_threshold() const {
     return merge_threshold != 0 ? merge_threshold : split_threshold / 4;
@@ -130,10 +135,12 @@ class GroupCommitter {
         factory_(std::move(factory)),
         map_(map_t::uniform(std::max<std::size_t>(1, cfg.initial_shards))) {
     slots_.resize(map_.num_shards());
+    shard_versions_.resize(slots_.size());
     for (std::size_t i = 0; i < slots_.size(); ++i) {
       slots_[i].origin = i;
       slots_[i].live = make_index(i);
       slots_[i].standby = make_index(i);
+      shard_versions_[i] = fresh_version();
     }
     publish();
   }
@@ -200,6 +207,11 @@ class GroupCommitter {
       slots_[i].standby = make_index(i);
       slots_[i].standby->build(part);
     });
+    // Wholesale replacement: every shard gets a fresh version and the
+    // topology generation advances, invalidating all cached results.
+    shard_versions_.resize(k);
+    for (std::size_t i = 0; i < k; ++i) shard_versions_[i] = fresh_version();
+    ++map_stamp_;
     rebalance();
     publish();
   }
@@ -251,6 +263,8 @@ class GroupCommitter {
       parallel_for_shards(k, [&](std::size_t i) {
         if (runs[i].empty()) return;
         yields[i] = apply_shard(i, std::move(runs[i]));
+        // Distinct indices per task; fresh_version() is atomic.
+        shard_versions_[i] = fresh_version();
       });
       for (auto y : yields) stats_.grace_yields += y;
       // Untouched shards may still be replaying batch i-1 — that is the
@@ -551,6 +565,11 @@ class GroupCommitter {
     slots_[i] = std::move(ls);
     slots_.insert(slots_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
                   std::move(rs));
+    shard_versions_[i] = fresh_version();
+    shard_versions_.insert(
+        shard_versions_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+        fresh_version());
+    ++map_stamp_;  // topology changed: positional versions mean new ranges
     return true;
   }
 
@@ -561,6 +580,10 @@ class GroupCommitter {
     map_.merge(i);
     slots_[i] = build_slot(pts, i);
     slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+    shard_versions_[i] = fresh_version();
+    shard_versions_.erase(shard_versions_.begin() +
+                          static_cast<std::ptrdiff_t>(i) + 1);
+    ++map_stamp_;
   }
 
   ShardSlot build_slot(const std::vector<point_t>& pts,
@@ -581,6 +604,8 @@ class GroupCommitter {
     const std::uint64_t next = epoch_.current() + 1;
     v->epoch = next;
     v->map = map_;
+    v->shard_versions = shard_versions_;
+    v->map_stamp = map_stamp_;
     v->shards.reserve(slots_.size());
     std::size_t total = 0;
     for (const auto& s : slots_) {
@@ -599,10 +624,21 @@ class GroupCommitter {
     return stats_.epoch;
   }
 
+  // A fresh, never-reused shard version. Atomic because the parallel
+  // per-shard apply stamps touched shards concurrently.
+  std::uint64_t fresh_version() {
+    return next_version_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
   ServiceConfig cfg_;
   factory_t factory_;
   map_t map_;
   std::vector<ShardSlot> slots_;
+  // Per-shard content versions (parallel to slots_) and the topology
+  // generation — published with every view, keyed on by the query cache.
+  std::vector<std::uint64_t> shard_versions_;
+  std::uint64_t map_stamp_ = 0;
+  std::atomic<std::uint64_t> next_version_{0};
   EpochCounter epoch_;
   SnapshotSlot<view_t> slot_;
   ServiceStats stats_;

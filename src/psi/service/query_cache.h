@@ -1,22 +1,28 @@
-// PSI-Lib service layer: a small epoch-keyed query cache.
+// PSI-Lib service layer: the version-keyed query cache.
 //
-// Memoizes the last few range results against the epoch that produced
-// them. Entries are only ever returned for the *current* epoch, so a
-// commit invalidates the whole cache implicitly — no invalidation walk,
-// no stale reads: the epoch is the version tag. Hot dashboards and
-// polling readers that re-issue the same box between commits hit; any
-// write traffic naturally bounds staleness to zero.
+// Memoizes range, ball, and kNN results against the *contents* they were
+// computed from, not just the epoch. Every published view carries a
+// per-shard version vector (bumped only for shards a commit actually
+// touched) plus a map stamp (bumped on split/merge/load — see
+// group_commit.h); a cached entry records the versions of exactly the
+// shards its query was routed to. A lookup hits when the current view
+// shows the same map stamp and the same versions over that run — so a
+// commit only invalidates the entries whose covering shards changed, and
+// results survive any number of epochs of write traffic to *other* shards
+// (bp-forest's per-subtree versioning, applied to shard runs). Hits across
+// an epoch boundary are counted separately (cross_epoch_hits).
+//
+// Admission is size-aware: list results above `max_entry_bytes` are not
+// cached (the caller still gets its answer; oversize_skips counts them),
+// so one megabyte scan cannot evict a ring of hot dashboard queries, and
+// `bytes()` reports the lists currently held for observability.
 //
 // Structure: a fixed-size ring of entries under one mutex (lookups copy a
 // shared_ptr, so the critical sections are a few words), replaced
 // round-robin. List results are shared_ptr<const vector> — concurrent
 // hitters share one materialised result instead of copying it. Counts are
 // cached alongside, either from a dedicated count query or derived from a
-// cached list.
-//
-// This is deliberately the miniature of ROADMAP's "service-level caching"
-// item: (epoch, range)-keyed, bounded, observable (hit/miss counters
-// surface in ServiceStats::json()).
+// cached list. All counters surface in ServiceStats::json().
 
 #pragma once
 
@@ -34,22 +40,89 @@
 
 namespace psi::service {
 
+// What a cached result depends on: the shard-map generation and the
+// content versions of exactly the shards the query was routed to. Two
+// lookups with the same coverage observed identical routing and identical
+// shard contents, so the memoized answer is exact even across epochs.
+struct CacheCoverage {
+  std::uint64_t epoch = 0;      // epoch at fill time (cross-epoch accounting)
+  std::uint64_t map_stamp = 0;  // shard topology generation
+  std::size_t lo = 0, hi = 0;   // inclusive routed shard run
+  std::vector<std::uint64_t> versions;  // versions of shards [lo, hi]
+
+  bool same_contents(const CacheCoverage& o) const {
+    return map_stamp == o.map_stamp && lo == o.lo && hi == o.hi &&
+           versions == o.versions;
+  }
+};
+
+// One memo key: a range box, a ball, or a kNN query.
+template <typename Coord, int D>
+struct QueryKey {
+  using point_t = Point<Coord, D>;
+  using box_t = Box<Coord, D>;
+  enum class Kind : std::uint8_t { kRange, kBall, kKnn };
+
+  Kind kind = Kind::kRange;
+  box_t box = box_t::empty();  // kRange
+  point_t pt{};                // kBall / kKnn centre
+  double radius = 0;           // kBall
+  std::size_t k = 0;           // kKnn
+
+  static QueryKey range(const box_t& b) {
+    QueryKey key;
+    key.kind = Kind::kRange;
+    key.box = b;
+    return key;
+  }
+  static QueryKey ball(const point_t& q, double radius) {
+    QueryKey key;
+    key.kind = Kind::kBall;
+    key.pt = q;
+    key.radius = radius;
+    return key;
+  }
+  static QueryKey knn(const point_t& q, std::size_t k) {
+    QueryKey key;
+    key.kind = Kind::kKnn;
+    key.pt = q;
+    key.k = k;
+    return key;
+  }
+
+  friend bool operator==(const QueryKey& a, const QueryKey& b) {
+    if (a.kind != b.kind) return false;
+    switch (a.kind) {
+      case Kind::kRange:
+        return a.box == b.box;
+      case Kind::kBall:
+        return a.pt == b.pt && a.radius == b.radius;
+      case Kind::kKnn:
+        return a.pt == b.pt && a.k == b.k;
+    }
+    return false;
+  }
+};
+
 template <typename Coord, int D>
 class QueryCache {
  public:
   using point_t = Point<Coord, D>;
   using box_t = Box<Coord, D>;
+  using key_t = QueryKey<Coord, D>;
   using list_t = std::shared_ptr<const std::vector<point_t>>;
 
-  explicit QueryCache(std::size_t capacity = 16)
-      : entries_(capacity == 0 ? 1 : capacity) {}
+  explicit QueryCache(std::size_t capacity = 16,
+                      std::size_t max_entry_bytes = std::size_t{1} << 20)
+      : entries_(capacity == 0 ? 1 : capacity),
+        max_entry_bytes_(max_entry_bytes) {}
 
-  // Cached range_list result for (epoch, box), or nullptr on miss.
-  list_t find_list(std::uint64_t epoch, const box_t& box) const {
+  // Cached list result for the key, valid under `cov`, or nullptr on miss.
+  list_t find_list(const key_t& key, const CacheCoverage& cov) const {
     std::lock_guard<std::mutex> g(mu_);
     for (const auto& e : entries_) {
-      if (e.valid && e.epoch == epoch && e.box == box && e.pts) {
-        hits_.fetch_add(1, std::memory_order_relaxed);
+      if (e.valid && e.key == key && e.cov.same_contents(cov) && e.pts) {
+        count_hit(e.cov, cov);
         return e.pts;
       }
     }
@@ -57,19 +130,19 @@ class QueryCache {
     return nullptr;
   }
 
-  // Cached range_count for (epoch, box) — served from either a cached
-  // count or a cached list.
-  std::optional<std::size_t> find_count(std::uint64_t epoch,
-                                        const box_t& box) const {
+  // Cached count for the key — served from either a cached count or a
+  // cached list.
+  std::optional<std::size_t> find_count(const key_t& key,
+                                        const CacheCoverage& cov) const {
     std::lock_guard<std::mutex> g(mu_);
     for (const auto& e : entries_) {
-      if (e.valid && e.epoch == epoch && e.box == box) {
+      if (e.valid && e.key == key && e.cov.same_contents(cov)) {
         if (e.has_count) {
-          hits_.fetch_add(1, std::memory_order_relaxed);
+          count_hit(e.cov, cov);
           return e.count;
         }
         if (e.pts) {
-          hits_.fetch_add(1, std::memory_order_relaxed);
+          count_hit(e.cov, cov);
           return e.pts->size();
         }
       }
@@ -78,57 +151,101 @@ class QueryCache {
     return std::nullopt;
   }
 
-  void put_list(std::uint64_t epoch, const box_t& box, list_t pts) {
+  void put_list(const key_t& key, const CacheCoverage& cov, list_t pts) {
+    const std::size_t entry_bytes =
+        pts ? pts->size() * sizeof(point_t) : 0;
+    if (entry_bytes > max_entry_bytes_) {
+      oversize_skips_.fetch_add(1, std::memory_order_relaxed);
+      return;  // too big to admit; the caller keeps its result
+    }
     std::lock_guard<std::mutex> g(mu_);
-    Entry& e = slot_for(epoch, box);
+    Entry& e = slot_for(key, cov);
+    set_bytes(e, entry_bytes);
     e.pts = std::move(pts);
     e.count = e.pts->size();
     e.has_count = true;
   }
 
-  void put_count(std::uint64_t epoch, const box_t& box, std::size_t count) {
+  void put_count(const key_t& key, const CacheCoverage& cov,
+                 std::size_t count) {
     std::lock_guard<std::mutex> g(mu_);
-    Entry& e = slot_for(epoch, box);
+    Entry& e = slot_for(key, cov);
     e.count = count;
     e.has_count = true;
   }
 
-  std::uint64_t hits() const {
-    return hits_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   std::uint64_t misses() const {
     return misses_.load(std::memory_order_relaxed);
   }
+  // Hits served across an epoch boundary: the payoff of version keying —
+  // commits happened, but none touched the entry's covering shards.
+  std::uint64_t cross_epoch_hits() const {
+    return cross_epoch_hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t oversize_skips() const {
+    return oversize_skips_.load(std::memory_order_relaxed);
+  }
+  // Bytes currently held by cached list results.
+  std::size_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
 
  private:
   struct Entry {
     bool valid = false;
-    std::uint64_t epoch = 0;
-    box_t box = box_t::empty();
+    key_t key;
+    CacheCoverage cov;
     list_t pts;
     std::size_t count = 0;
     bool has_count = false;
+    std::size_t bytes = 0;
   };
 
-  // Reuse the key's existing entry, else claim the next ring slot. Caller
-  // holds mu_.
-  Entry& slot_for(std::uint64_t epoch, const box_t& box) {
-    for (auto& e : entries_) {
-      if (e.valid && e.epoch == epoch && e.box == box) return e;
+  void count_hit(const CacheCoverage& entry_cov,
+                 const CacheCoverage& now) const {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (entry_cov.epoch != now.epoch) {
+      cross_epoch_hits_.fetch_add(1, std::memory_order_relaxed);
     }
-    Entry& e = entries_[next_++ % entries_.size()];
-    e = Entry{};
-    e.valid = true;
-    e.epoch = epoch;
-    e.box = box;
-    return e;
+  }
+
+  // Reuse the key's existing entry (resetting it when its coverage went
+  // stale), else claim the next ring slot. Caller holds mu_.
+  Entry& slot_for(const key_t& key, const CacheCoverage& cov) {
+    Entry* e = nullptr;
+    for (auto& cand : entries_) {
+      if (cand.valid && cand.key == key) {
+        e = &cand;
+        break;
+      }
+    }
+    if (e == nullptr) e = &entries_[next_++ % entries_.size()];
+    if (!e->valid || !(e->key == key) || !e->cov.same_contents(cov)) {
+      set_bytes(*e, 0);
+      *e = Entry{};
+    }
+    e->valid = true;
+    e->key = key;
+    e->cov = cov;
+    return *e;
+  }
+
+  // Keep the bytes ledger in step with an entry's payload. Caller holds
+  // mu_; the ledger itself is atomic only so bytes() reads lock-free.
+  void set_bytes(Entry& e, std::size_t b) {
+    bytes_.fetch_add(b, std::memory_order_relaxed);
+    bytes_.fetch_sub(e.bytes, std::memory_order_relaxed);
+    e.bytes = b;
   }
 
   mutable std::mutex mu_;
   std::vector<Entry> entries_;
+  std::size_t max_entry_bytes_;
   std::size_t next_ = 0;
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> cross_epoch_hits_{0};
+  mutable std::atomic<std::uint64_t> oversize_skips_{0};
+  std::atomic<std::size_t> bytes_{0};
 };
 
 }  // namespace psi::service

@@ -81,7 +81,9 @@ class SpatialService {
   using factory_t = typename committer_t::factory_t;
 
   explicit SpatialService(ServiceConfig cfg = {})
-      : cfg_(cfg), committer_(cfg, [](std::size_t) { return Index(); }) {}
+      : cfg_(cfg),
+        committer_(cfg, [](std::size_t) { return Index(); }),
+        cache_(cfg.cache_entries, cfg.cache_max_entry_bytes) {}
 
   // Accepts either a per-shard factory Index(std::size_t) or a legacy
   // nullary factory Index() (adapted to ignore the shard id).
@@ -89,7 +91,9 @@ class SpatialService {
     requires std::is_invocable_r_v<Index, Factory&, std::size_t> ||
              std::is_invocable_r_v<Index, Factory&>
   SpatialService(ServiceConfig cfg, Factory factory)
-      : cfg_(cfg), committer_(cfg, adapt_factory(std::move(factory))) {}
+      : cfg_(cfg),
+        committer_(cfg, adapt_factory(std::move(factory))),
+        cache_(cfg.cache_entries, cfg.cache_max_entry_bytes) {}
 
   ~SpatialService() {
     stop();
@@ -190,31 +194,84 @@ class SpatialService {
   snapshot_t snapshot() const { return snapshot_t(committer_.acquire()); }
 
   // -------------------------------------------------------------------
-  // Cached read path (epoch-keyed query cache, query_cache.h)
+  // Cached read path (version-keyed query cache, query_cache.h)
   // -------------------------------------------------------------------
   //
-  // Memoized variants of the snapshot range queries: results are keyed on
-  // (epoch, box), so every commit invalidates them wholesale and a hit is
-  // always exactly what an uncached snapshot query would return. List hits
-  // share one materialised vector across callers. Hit/miss counters
+  // Memoized variants of the snapshot queries. Entries are keyed on the
+  // query plus the *versions of the shards it was routed to* (and the
+  // shard-map generation), so a commit only invalidates the entries whose
+  // covering shards it touched — repeat queries over cold regions keep
+  // hitting across epochs of write traffic elsewhere. A hit is always
+  // exactly what an uncached snapshot query would return right now. List
+  // hits share one materialised vector across callers; results above the
+  // admission budget (cfg.cache_max_entry_bytes) are answered but not
+  // cached. Counters (hits/misses/cross-epoch hits/oversize skips/bytes)
   // surface in stats().
 
   std::shared_ptr<const std::vector<point_t>> range_list_cached(
       const box_t& query) const {
-    if (auto hit = cache_.find_list(committer_.epoch(), query)) return hit;
     auto snap = snapshot();
+    const auto key = cache_key_t::range(query);
+    const CacheCoverage cov = coverage(snap, snap.shard_run_for_box(query));
+    if (auto hit = cache_.find_list(key, cov)) return hit;
     auto pts =
         std::make_shared<const std::vector<point_t>>(snap.range_list(query));
-    cache_.put_list(snap.epoch(), query, pts);
+    cache_.put_list(key, cov, pts);
     return pts;
   }
 
   std::size_t range_count_cached(const box_t& query) const {
-    if (auto hit = cache_.find_count(committer_.epoch(), query)) return *hit;
     auto snap = snapshot();
+    const auto key = cache_key_t::range(query);
+    const CacheCoverage cov = coverage(snap, snap.shard_run_for_box(query));
+    if (auto hit = cache_.find_count(key, cov)) return *hit;
     const std::size_t count = snap.range_count(query);
-    cache_.put_count(snap.epoch(), query, count);
+    cache_.put_count(key, cov, count);
     return count;
+  }
+
+  std::shared_ptr<const std::vector<point_t>> ball_list_cached(
+      const point_t& q, double radius) const {
+    auto snap = snapshot();
+    const auto key = cache_key_t::ball(q, radius);
+    const CacheCoverage cov =
+        coverage(snap, snap.shard_run_for_ball(q, radius));
+    if (auto hit = cache_.find_list(key, cov)) return hit;
+    auto pts = std::make_shared<const std::vector<point_t>>(
+        snap.ball_list(q, radius));
+    cache_.put_list(key, cov, pts);
+    return pts;
+  }
+
+  std::size_t ball_count_cached(const point_t& q, double radius) const {
+    auto snap = snapshot();
+    const auto key = cache_key_t::ball(q, radius);
+    const CacheCoverage cov =
+        coverage(snap, snap.shard_run_for_ball(q, radius));
+    if (auto hit = cache_.find_count(key, cov)) return *hit;
+    const std::size_t count = snap.ball_count(q, radius);
+    cache_.put_count(key, cov, count);
+    return count;
+  }
+
+  // Cached kNN. A kNN query can reach any shard (pruned by distance, not
+  // routing), so its coverage is the whole version vector — any commit
+  // that changed any shard invalidates it.
+  std::shared_ptr<const std::vector<point_t>> knn_cached(
+      const point_t& q, std::size_t k) const {
+    auto snap = snapshot();
+    const auto key = cache_key_t::knn(q, k);
+    // A shardless view (not constructible today) must yield an *inverted*
+    // run — the same empty-coverage shape degenerate boxes produce — not
+    // {0,0}, which would slice one element out of an empty version vector.
+    const std::size_t n = snap.num_shards();
+    const CacheCoverage cov =
+        coverage(snap, n == 0 ? std::pair<std::size_t, std::size_t>{1, 0}
+                              : std::pair<std::size_t, std::size_t>{0, n - 1});
+    if (auto hit = cache_.find_list(key, cov)) return hit;
+    auto pts = std::make_shared<const std::vector<point_t>>(snap.knn(q, k));
+    cache_.put_list(key, cov, pts);
+    return pts;
   }
 
   // Cheap observers: one atomic load on the committer — no epoch pin, no
@@ -228,10 +285,37 @@ class SpatialService {
     ServiceStats s = committer_.stats();
     s.cache_hits = cache_.hits();
     s.cache_misses = cache_.misses();
+    s.cache_cross_epoch_hits = cache_.cross_epoch_hits();
+    s.cache_oversize_skips = cache_.oversize_skips();
+    s.cache_bytes = cache_.bytes();
     return s;
   }
 
  private:
+  using cache_key_t = QueryKey<coord_t, kDim>;
+
+  // The validity key of a cached result: the snapshot's map generation and
+  // the versions of the routed shard run (query_cache.h). A degenerate
+  // query (empty/inverted box, so the codec's corner clamp inverts the
+  // run) covers no shards: its result is empty whatever the contents, so
+  // the version slice stays empty and the entry is valid under any epoch
+  // with the same topology.
+  static CacheCoverage coverage(const snapshot_t& snap,
+                                std::pair<std::size_t, std::size_t> run) {
+    CacheCoverage cov;
+    cov.epoch = snap.epoch();
+    cov.map_stamp = snap.map_stamp();
+    cov.lo = run.first;
+    cov.hi = run.second;
+    if (run.first <= run.second) {
+      const auto& versions = snap.shard_versions();
+      cov.versions.assign(
+          versions.begin() + static_cast<std::ptrdiff_t>(run.first),
+          versions.begin() + static_cast<std::ptrdiff_t>(run.second) + 1);
+    }
+    return cov;
+  }
+
   template <typename Factory>
   static factory_t adapt_factory(Factory f) {
     if constexpr (std::is_invocable_r_v<Index, Factory&, std::size_t>) {

@@ -32,6 +32,12 @@ struct ServiceStats {
   // Service-level query cache (query_cache.h; the *_cached read path).
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  // Hits served across an epoch boundary — commits happened, but none
+  // touched the entry's covering shards (per-shard version keying).
+  std::uint64_t cache_cross_epoch_hits = 0;
+  // List results answered but not admitted (size-aware admission).
+  std::uint64_t cache_oversize_skips = 0;
+  std::size_t cache_bytes = 0;  // bytes currently held by cached lists
 
   std::size_t num_shards = 0;
   std::size_t size_total = 0;            // points currently indexed

@@ -29,6 +29,13 @@
 // more than one worker and the routed shard run is big enough to pay for
 // the fan-out (parallel_worth_it).
 //
+// kNN parallelises differently: there is no per-match sink fan-out but a
+// shared api::ConcurrentKnnBuffer — shards run concurrently, all seeded by
+// one global radius bound that tightens as any of them fills its heap, and
+// the exact top-k merge happens at the join (knn_visit_par; knn_visit
+// routes there automatically at >1 workers, knn_visit_seq keeps the
+// nearest-shard-first sequential walk).
+//
 // The Index parameter is anything satisfying api::BatchDynamicIndex —
 // including api::AnyIndex, in which case the View's shards may be
 // *different backend types* at runtime (see group_commit.h).
@@ -65,6 +72,12 @@ struct View {
   std::uint64_t epoch = 0;
   map_t map;
   std::vector<std::shared_ptr<const Index>> shards;
+  // Per-shard content versions and the shard-map generation that produced
+  // them (maintained by the group committer): the query cache's
+  // cross-epoch validity key — a commit only changes the versions of the
+  // shards it touched, so results covering other shards stay reusable.
+  std::vector<std::uint64_t> shard_versions;
+  std::uint64_t map_stamp = 0;
 
   std::size_t size() const {
     std::size_t n = 0;
@@ -88,6 +101,23 @@ class Snapshot {
   std::uint64_t epoch() const { return view_->epoch; }
   std::size_t num_shards() const { return view_->shards.size(); }
   std::size_t size() const { return view_->size(); }
+
+  // Version observability (query_cache.h keys entries on these).
+  std::uint64_t map_stamp() const { return view_->map_stamp; }
+  const std::vector<std::uint64_t>& shard_versions() const {
+    return view_->shard_versions;
+  }
+
+  // Inclusive shard run a box / ball query is routed to under this view's
+  // map — the shards whose versions a cached result depends on.
+  std::pair<std::size_t, std::size_t> shard_run_for_box(
+      const box_t& query) const {
+    return view_->map.shard_range_for_box(query);
+  }
+  std::pair<std::size_t, std::size_t> shard_run_for_ball(
+      const point_t& q, double radius) const {
+    return view_->map.shard_range_for_box(ball_box(q, radius));
+  }
 
   // -------------------------------------------------------------------
   // Streaming read path (primary)
@@ -130,35 +160,64 @@ class Snapshot {
   }
 
   // k nearest neighbours across all shards, streamed in increasing
-  // distance order. Shards are visited in order of root-box distance and a
+  // distance order. Routes to the parallel fan-out when the scheduler has
+  // more than one worker and the view holds at least a grain's worth of
+  // points (knn_visit_par below), and to the sequential nearest-shard-first
+  // walk otherwise. Tie membership at the k-th distance may differ between
+  // the two paths; distances are exact on both.
+  template <typename Sink>
+  void knn_visit(const point_t& q, std::size_t k, Sink&& sink) const {
+    if (knn_parallel_worth_it(k)) {
+      knn_visit_par(q, k, sink);
+    } else {
+      knn_visit_seq(q, k, sink);
+    }
+  }
+
+  // Sequential kNN: shards are visited in order of root-box distance and a
   // shard is skipped once the buffer is full and the shard's box cannot
   // beat the current k-th distance — with balanced shards a query
   // typically touches one or two of them, so the fan-out cost stays near
   // K=1. The bounded buffer is the algorithm's working state; only the
   // final ranked stream reaches the sink.
   template <typename Sink>
-  void knn_visit(const point_t& q, std::size_t k, Sink&& sink) const {
-    struct Cand {
-      double dist2;
-      const Index* shard;
-    };
-    std::vector<Cand> order;
-    order.reserve(view_->shards.size());
-    for (const auto& shard : view_->shards) {
-      if (shard->size() == 0) continue;
-      order.push_back(
-          Cand{min_squared_distance(shard->bounds(), q), shard.get()});
-    }
-    std::sort(order.begin(), order.end(),
-              [](const Cand& a, const Cand& b) { return a.dist2 < b.dist2; });
+  void knn_visit_seq(const point_t& q, std::size_t k, Sink&& sink) const {
+    std::vector<KnnCand> order = knn_shard_order(q);
     KnnBuffer<point_t> buf(k);
-    for (const Cand& c : order) {
+    for (const KnnCand& c : order) {
       if (buf.full() && c.dist2 >= buf.worst()) break;  // sorted: all done
       c.shard->knn_visit(q, k, [&](const point_t& p) {
         buf.offer(squared_distance(p, q), p);
       });
     }
     for (const auto& e : buf.sorted()) {
+      if (!api::sink_accept(sink, e.point)) return;
+    }
+  }
+
+  // Parallel kNN: shards run concurrently (TaskGroup, so the fan-out is
+  // real from non-pool reader threads) and all feed one shared
+  // api::ConcurrentKnnBuffer — every shard's search is seeded with the
+  // running global radius bound instead of starting from scratch, and each
+  // spawned task re-checks its shard's root-box distance against the bound
+  // at execution time, so far shards reached after near shards filled the
+  // buffer are skipped in O(1). Inside a shard the backend's native kNN
+  // subtree fan-out runs when it has one (api::knn_visit_par shim). The
+  // exact merge happens at the join; the sink then receives the ranked
+  // stream, same contract as the sequential path.
+  template <typename Sink>
+  void knn_visit_par(const point_t& q, std::size_t k, Sink&& sink) const {
+    std::vector<KnnCand> order = knn_shard_order(q);
+    api::ConcurrentKnnBuffer<coord_t, kDim> buf(k);
+    TaskGroup tasks;
+    for (const KnnCand& c : order) {
+      tasks.spawn([c, q, k, &buf] {
+        if (c.dist2 >= buf.bound()) return;
+        api::knn_visit_par(*c.shard, q, k, buf);
+      });
+    }
+    tasks.wait();
+    for (const auto& e : buf.merged_sorted()) {
       if (!api::sink_accept(sink, e.point)) return;
     }
   }
@@ -171,6 +230,26 @@ class Snapshot {
     std::vector<point_t> out;
     out.reserve(k);
     knn_visit(q, k, api::collect_into(out));
+    return out;
+  }
+
+  // Count-only kNN (= min(k, population)): runs the bounded search without
+  // materialising a point vector — for callers that only want |result|.
+  std::size_t knn_count(const point_t& q, std::size_t k) const {
+    std::size_t n = 0;
+    knn_visit(q, k, [&](const point_t&) { ++n; });
+    return n;
+  }
+
+  // Distance-only kNN: increasing squared distances, no point vector.
+  // Tie-insensitive, so it is also the right shape for equivalence checks
+  // between the sequential and parallel paths.
+  std::vector<double> knn_dist2(const point_t& q, std::size_t k) const {
+    std::vector<double> out;
+    out.reserve(k);
+    knn_visit(q, k, [&](const point_t& p) {
+      out.push_back(squared_distance(p, q));
+    });
     return out;
   }
 
@@ -254,6 +333,40 @@ class Snapshot {
   const view_t& view() const { return *view_; }
 
  private:
+  // A kNN shard candidate: the shard and its root-box distance to q.
+  struct KnnCand {
+    double dist2;
+    const Index* shard;
+  };
+
+  // Non-empty shards sorted by increasing root-box distance to q.
+  std::vector<KnnCand> knn_shard_order(const point_t& q) const {
+    std::vector<KnnCand> order;
+    order.reserve(view_->shards.size());
+    for (const auto& shard : view_->shards) {
+      if (shard->size() == 0) continue;
+      order.push_back(
+          KnnCand{min_squared_distance(shard->bounds(), q), shard.get()});
+    }
+    std::sort(
+        order.begin(), order.end(),
+        [](const KnnCand& a, const KnnCand& b) { return a.dist2 < b.dist2; });
+    return order;
+  }
+
+  // Same gate as parallel_worth_it, for kNN: every shard is a candidate
+  // (the query point prunes by distance, not by routing), so the whole
+  // view's population is what must pay for the fan-out.
+  bool knn_parallel_worth_it(std::size_t k) const {
+    if (k == 0 || num_workers() <= 1) return false;
+    std::size_t total = 0;
+    for (const auto& shard : view_->shards) {
+      total += shard->size();
+      if (total >= fork_grain()) return true;
+    }
+    return false;
+  }
+
   // TaskGroup fan-out over the routed shard run [lo, hi]: `visit(shard)`
   // runs concurrently per shard; a stopped sink short-circuits the
   // remaining spawns.

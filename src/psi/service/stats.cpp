@@ -36,6 +36,9 @@ std::string ServiceStats::json() const {
      << ",\"ops_ball\":" << ops_ball
      << ",\"cache_hits\":" << cache_hits
      << ",\"cache_misses\":" << cache_misses
+     << ",\"cache_cross_epoch_hits\":" << cache_cross_epoch_hits
+     << ",\"cache_oversize_skips\":" << cache_oversize_skips
+     << ",\"cache_bytes\":" << cache_bytes
      << ",\"num_shards\":" << num_shards << ",\"size_total\":" << size_total
      << ",\"max_shard\":" << max_shard_size()
      << ",\"min_shard\":" << min_shard_size() << ",\"shard_sizes\":[";

@@ -1,0 +1,427 @@
+// The parallel kNN engine and the version-keyed query cache, end to end:
+//
+//  * parallel vs sequential kNN equivalence — every registry backend
+//    (native subtree fan-out or the sequential shim), uniform and varden
+//    inputs, workers ∈ {1, 2, 4}, fork grain forced tiny so the forking
+//    code paths run on test-sized trees even on 1-core CI;
+//  * duplicate-coordinate ties (distance multisets must match exactly;
+//    tie *membership* at the k-th distance is allowed to differ);
+//  * k > n and k == 0 edge cases;
+//  * Snapshot shard fan-out with the shared radius bound vs the
+//    brute-force oracle, plus the knn_count / knn_dist2 distance-only
+//    paths;
+//  * the version-keyed cache: hits, cross-epoch reuse when commits only
+//    touch other shards, invalidation when a covering shard changes,
+//    size-aware admission, kNN/ball memoization, and cached reads racing
+//    a committing writer.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "psi/psi.h"
+#include "test_util.h"
+
+namespace {
+
+using namespace psi;
+using namespace psi::service;
+
+constexpr std::int64_t kMax = 1'000'000;
+
+// Restore scheduler/grain defaults after each test so suites stay
+// order-independent.
+class ParallelKnnTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    set_fork_grain(0);
+    Scheduler::set_num_workers(1);
+  }
+};
+
+std::vector<Point2> dataset(const std::string& kind, std::size_t n,
+                            std::uint64_t seed) {
+  if (kind == "varden") return datagen::varden<2>(n, seed, kMax);
+  return datagen::uniform<2>(n, seed, kMax);
+}
+
+std::vector<double> dist2s(const std::vector<Point2>& pts, const Point2& q) {
+  std::vector<double> out;
+  out.reserve(pts.size());
+  for (const auto& p : pts) out.push_back(squared_distance(p, q));
+  return out;
+}
+
+// Ranked distance equality: same size, elementwise identical squared
+// distances (tie membership may differ; distances must not).
+void expect_same_distances(const std::vector<double>& got,
+                           const std::vector<double>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got[i], want[i]) << "rank " << i;
+  }
+}
+
+TEST_F(ParallelKnnTest, AllBackendsParallelEqualsSequential) {
+  set_fork_grain(128);  // force forking on test-sized trees
+  auto& reg = api::BackendRegistry2::instance();
+  const std::vector<Point2> queries = {
+      Point2{{kMax / 2, kMax / 2}},     // centre
+      Point2{{3, 7}},                   // corner
+      Point2{{2 * kMax, 2 * kMax}},     // outside the domain
+  };
+  for (const std::string kind : {"uniform", "varden"}) {
+    const auto pts = dataset(kind, 4000, kind == "varden" ? 7 : 5);
+    for (const auto& name : reg.names()) {
+      auto index = reg.make(name);
+      index.build(pts);
+      for (int workers : {1, 2, 4}) {
+        Scheduler::set_num_workers(workers);
+        for (std::size_t k : {std::size_t{1}, std::size_t{10},
+                              std::size_t{64}}) {
+          for (const auto& q : queries) {
+            const std::vector<double> want = dist2s(index.knn(q, k), q);
+            api::ConcurrentKnnBuffer<std::int64_t, 2> buf(k);
+            index.knn_visit_par(q, k, buf);
+            std::vector<double> got;
+            for (const auto& e : buf.merged_sorted()) got.push_back(e.dist2);
+            SCOPED_TRACE(name + "/" + kind + " workers=" +
+                         std::to_string(workers) + " k=" + std::to_string(k));
+            expect_same_distances(got, want);
+          }
+        }
+      }
+      Scheduler::set_num_workers(1);
+    }
+  }
+}
+
+// The native (fully templated) kNN fan-outs, bypassing AnyIndex.
+TEST_F(ParallelKnnTest, NativeTreeParallelKnn) {
+  set_fork_grain(64);
+  Scheduler::set_num_workers(4);
+  const auto pts = dataset("uniform", 6000, 11);
+  const Point2 q{{kMax / 3, 2 * kMax / 3}};
+
+  auto check = [&](auto index) {
+    index.build(pts);
+    for (std::size_t k : {std::size_t{1}, std::size_t{32}}) {
+      api::ConcurrentKnnBuffer<std::int64_t, 2> buf(k);
+      index.knn_visit_par(q, k, buf);
+      std::vector<double> got;
+      for (const auto& e : buf.merged_sorted()) got.push_back(e.dist2);
+      expect_same_distances(got, dist2s(index.knn(q, k), q));
+    }
+  };
+  check(SpacZTree2{});
+  check(SpacHTree2{});
+  check(POrthTree2{});
+  check(ZdTree2{});
+  check(PkdTree<std::int64_t, 2>{});
+}
+
+// Heavily duplicated coordinates: k cuts through tied groups. The chosen
+// representatives may differ between the paths; the ranked distances and
+// the result size may not.
+TEST_F(ParallelKnnTest, DuplicateCoordinateTies) {
+  set_fork_grain(64);
+  const auto coords = dataset("uniform", 12, 99);  // 12 distinct positions
+  std::vector<Point2> pts;
+  for (int copy = 0; copy < 300; ++copy) {
+    pts.insert(pts.end(), coords.begin(), coords.end());
+  }
+  SpacZTree2 tree;
+  tree.build(pts);
+  const Point2 q{{kMax / 2, kMax / 2}};
+  for (int workers : {1, 2, 4}) {
+    Scheduler::set_num_workers(workers);
+    for (std::size_t k : {std::size_t{25}, std::size_t{301}}) {
+      const std::vector<double> want = dist2s(tree.knn(q, k), q);
+      api::ConcurrentKnnBuffer<std::int64_t, 2> buf(k);
+      tree.knn_visit_par(q, k, buf);
+      std::vector<double> got;
+      for (const auto& e : buf.merged_sorted()) got.push_back(e.dist2);
+      SCOPED_TRACE("workers=" + std::to_string(workers) +
+                   " k=" + std::to_string(k));
+      expect_same_distances(got, want);
+    }
+  }
+}
+
+TEST_F(ParallelKnnTest, KGreaterThanNAndKZero) {
+  set_fork_grain(8);
+  Scheduler::set_num_workers(2);
+  const auto pts = dataset("uniform", 37, 3);
+  SpacZTree2 tree;
+  tree.build(pts);
+  const Point2 q{{kMax / 2, kMax / 2}};
+
+  api::ConcurrentKnnBuffer<std::int64_t, 2> big(100);
+  tree.knn_visit_par(q, 100, big);
+  EXPECT_EQ(big.merged_sorted().size(), pts.size());
+
+  api::ConcurrentKnnBuffer<std::int64_t, 2> zero(0);
+  tree.knn_visit_par(q, 0, zero);
+  EXPECT_TRUE(zero.merged_sorted().empty());
+
+  // Same edges through the snapshot.
+  ServiceConfig cfg;
+  cfg.initial_shards = 2;
+  SpatialService<SpacZTree2> svc(cfg);
+  svc.build(pts);
+  auto snap = svc.snapshot();
+  EXPECT_EQ(snap.knn_count(q, 100), pts.size());
+  EXPECT_EQ(snap.knn_count(q, 0), 0u);
+  EXPECT_EQ(snap.knn(q, 100).size(), pts.size());
+}
+
+// Snapshot fan-out: shards run concurrently, all seeded by one shared
+// radius bound; results must match the brute-force oracle at every worker
+// count, and the distance-only paths must agree.
+TEST_F(ParallelKnnTest, SnapshotKnnFanOutMatchesOracle) {
+  set_fork_grain(128);
+  ServiceConfig cfg;
+  cfg.initial_shards = 4;
+  SpatialService<SpacZTree2> svc(cfg);
+  const auto pts = dataset("varden", 20000, 23);
+  svc.build(pts);
+  BruteForceIndex<std::int64_t, 2> oracle;
+  oracle.build(pts);
+
+  auto snap = svc.snapshot();
+  const auto queries = datagen::ind_queries(pts, 12, 77, kMax);
+  for (int workers : {1, 2, 4}) {
+    Scheduler::set_num_workers(workers);
+    for (const auto& q : queries) {
+      for (std::size_t k : {std::size_t{1}, std::size_t{10},
+                            std::size_t{50}}) {
+        SCOPED_TRACE("workers=" + std::to_string(workers) +
+                     " k=" + std::to_string(k));
+        const auto want = oracle.knn_distances(q, k);
+        testutil::expect_knn_equivalent(snap.knn(q, k), q, want);
+        expect_same_distances(snap.knn_dist2(q, k), want);
+        EXPECT_EQ(snap.knn_count(q, k), want.size());
+
+        // The explicit par and seq entry points agree with each other.
+        std::vector<Point2> par_pts, seq_pts;
+        snap.knn_visit_par(q, k, api::collect_into(par_pts));
+        snap.knn_visit_seq(q, k, api::collect_into(seq_pts));
+        expect_same_distances(dist2s(par_pts, q), dist2s(seq_pts, q));
+      }
+    }
+  }
+}
+
+// Version keying: a commit that only touches other shards leaves entries
+// valid (cross-epoch reuse); a commit into a covering shard invalidates.
+TEST_F(ParallelKnnTest, CacheCrossEpochReuseAndInvalidation) {
+  ServiceConfig cfg;
+  cfg.initial_shards = 4;
+  SpatialService<SpacZTree2> svc(cfg);
+  svc.build(dataset("uniform", 8000, 42));
+
+  auto snap = svc.snapshot();
+  ASSERT_GE(snap.num_shards(), 2u);
+  const Box2 low_box{{{0, 0}}, {{kMax / 8, kMax / 8}}};
+  const Point2 far{{kMax - 1, kMax - 1}};
+  const auto run_box = snap.shard_run_for_box(low_box);
+  const auto run_far = snap.shard_run_for_box(Box2{far, far});
+  ASSERT_GT(run_far.first, run_box.second)
+      << "dataset/shard layout no longer separates the probes";
+
+  const auto first = svc.range_list_cached(low_box);
+  const auto again = svc.range_list_cached(low_box);
+  EXPECT_EQ(first.get(), again.get());  // shared materialised result
+
+  // Commit into the far shard only: epoch advances, coverage unchanged.
+  const std::uint64_t before = svc.epoch();
+  svc.submit_insert(far);
+  svc.flush();
+  ASSERT_GT(svc.epoch(), before);
+  const auto cross = svc.range_list_cached(low_box);
+  EXPECT_EQ(cross.get(), first.get());
+  auto st = svc.stats();
+  EXPECT_GE(st.cache_cross_epoch_hits, 1u);
+  EXPECT_GT(st.cache_bytes, 0u);
+  EXPECT_NE(st.json().find("\"cache_bytes\":"), std::string::npos);
+
+  // Commit into a covering shard: the entry must die.
+  const Point2 inside{{kMax / 16, kMax / 16}};
+  svc.submit_insert(inside);
+  svc.flush();
+  const auto after = svc.range_list_cached(low_box);
+  EXPECT_NE(after.get(), first.get());
+  EXPECT_EQ(after->size(), first->size() + 1);
+  testutil::expect_same_multiset(*after, svc.snapshot().range_list(low_box));
+}
+
+// kNN and ball memoization: hits share the vector; kNN coverage is the
+// whole version vector, so any commit invalidates it.
+TEST_F(ParallelKnnTest, CacheKnnAndBall) {
+  ServiceConfig cfg;
+  cfg.initial_shards = 4;
+  SpatialService<SpacZTree2> svc(cfg);
+  const auto pts = dataset("uniform", 6000, 17);
+  svc.build(pts);
+  BruteForceIndex<std::int64_t, 2> oracle;
+  oracle.build(pts);
+
+  const Point2 q{{kMax / 2, kMax / 2}};
+  const double radius = kMax / 10.0;
+
+  const auto knn1 = svc.knn_cached(q, 10);
+  const auto knn2 = svc.knn_cached(q, 10);
+  EXPECT_EQ(knn1.get(), knn2.get());
+  testutil::expect_knn_equivalent(*knn1, q, oracle.knn_distances(q, 10));
+
+  const auto ball1 = svc.ball_list_cached(q, radius);
+  const auto ball2 = svc.ball_list_cached(q, radius);
+  EXPECT_EQ(ball1.get(), ball2.get());
+  testutil::expect_same_multiset(*ball1, oracle.ball_list(q, radius));
+  EXPECT_EQ(svc.ball_count_cached(q, radius), ball1->size());
+
+  // Any commit invalidates the kNN entry (full coverage).
+  const Point2 extra{{kMax / 2 + 1, kMax / 2 + 1}};
+  svc.submit_insert(extra);
+  svc.flush();
+  oracle.batch_insert({extra});
+  const auto knn3 = svc.knn_cached(q, 10);
+  EXPECT_NE(knn3.get(), knn1.get());
+  testutil::expect_knn_equivalent(*knn3, q, oracle.knn_distances(q, 10));
+}
+
+// Degenerate queries through the cached paths: an empty/inverted box
+// clamps to an inverted shard run, which must yield an empty coverage —
+// not an inverted iterator range (UB) — and an empty, cacheable result.
+TEST_F(ParallelKnnTest, CacheDegenerateQueries) {
+  ServiceConfig cfg;
+  cfg.initial_shards = 4;
+  SpatialService<SpacZTree2> svc(cfg);
+  svc.build(dataset("uniform", 2000, 4));
+
+  const Box2 empty_box = Box2::empty();
+  const Box2 inverted{{{kMax, kMax}}, {{0, 0}}};
+  for (const Box2& b : {empty_box, inverted}) {
+    const auto lst = svc.range_list_cached(b);
+    EXPECT_TRUE(lst->empty());
+    EXPECT_EQ(svc.range_list_cached(b).get(), lst.get());  // hit, no UB
+    EXPECT_EQ(svc.range_count_cached(b), 0u);
+  }
+  // Negative radius: whatever the uncached semantics, cached must agree.
+  const Point2 origin{{0, 0}};
+  testutil::expect_same_multiset(*svc.ball_list_cached(origin, -1.0),
+                                 svc.snapshot().ball_list(origin, -1.0));
+}
+
+// Size-aware admission: oversized lists are answered but never cached.
+TEST_F(ParallelKnnTest, CacheSizeAwareAdmission) {
+  ServiceConfig cfg;
+  cfg.initial_shards = 2;
+  cfg.cache_max_entry_bytes = 4 * sizeof(Point2);  // admit <= 4 points
+  SpatialService<SpacZTree2> svc(cfg);
+  svc.build(dataset("uniform", 3000, 8));
+
+  const Box2 everything{{{0, 0}}, {{kMax, kMax}}};
+  const auto big1 = svc.range_list_cached(everything);
+  const auto big2 = svc.range_list_cached(everything);
+  EXPECT_EQ(big1->size(), 3000u);
+  EXPECT_NE(big1.get(), big2.get());  // recomputed: never admitted
+  auto st = svc.stats();
+  EXPECT_GE(st.cache_oversize_skips, 2u);
+  EXPECT_EQ(st.cache_bytes, 0u);
+  EXPECT_EQ(st.cache_hits, 0u);
+
+  // A small result is admitted and shared.
+  const Point2 q{{kMax / 2, kMax / 2}};
+  const auto small1 = svc.knn_cached(q, 2);
+  const auto small2 = svc.knn_cached(q, 2);
+  EXPECT_EQ(small1.get(), small2.get());
+  st = svc.stats();
+  EXPECT_EQ(st.cache_bytes, small1->size() * sizeof(Point2));
+  EXPECT_GE(st.cache_hits, 1u);
+}
+
+// Deterministic commit rounds: every cached read must match the
+// brute-force oracle right after each commit, and repeats must hit.
+TEST_F(ParallelKnnTest, CacheUnderCommitsMatchesOracle) {
+  ServiceConfig cfg;
+  cfg.initial_shards = 4;
+  SpatialService<SpacZTree2> svc(cfg);
+  BruteForceIndex<std::int64_t, 2> oracle;
+
+  const Box2 box{{{kMax / 4, kMax / 4}}, {{3 * kMax / 4, 3 * kMax / 4}}};
+  const Point2 q{{kMax / 2, kMax / 2}};
+  const double radius = kMax / 8.0;
+
+  for (int round = 0; round < 6; ++round) {
+    const auto batch =
+        datagen::uniform<2>(500, 300 + static_cast<std::uint64_t>(round),
+                            kMax);
+    auto futs = svc.submit_insert_batch(batch);
+    oracle.batch_insert(batch);
+    svc.flush();
+    for (auto& f : futs) f.get();
+
+    const auto lst = svc.range_list_cached(box);
+    testutil::expect_same_multiset(*lst, oracle.range_list(box));
+    EXPECT_EQ(svc.range_count_cached(box), oracle.range_count(box));
+    const auto knn = svc.knn_cached(q, 10);
+    testutil::expect_knn_equivalent(*knn, q, oracle.knn_distances(q, 10));
+    const auto ball = svc.ball_list_cached(q, radius);
+    testutil::expect_same_multiset(*ball, oracle.ball_list(q, radius));
+
+    // Unchanged contents: immediate repeats share the entry.
+    EXPECT_EQ(svc.range_list_cached(box).get(), lst.get());
+    EXPECT_EQ(svc.knn_cached(q, 10).get(), knn.get());
+  }
+  const auto st = svc.stats();
+  EXPECT_GE(st.cache_hits, 12u);   // 2 per round
+  EXPECT_GE(st.cache_misses, 18u); // 3+ fresh entries per round
+}
+
+// Cached reads racing a committing writer: results must always be
+// internally consistent (subset of the query region, ranked kNN) even
+// though entries are filled and invalidated concurrently.
+TEST_F(ParallelKnnTest, CachedReadsRaceCommits) {
+  Scheduler::set_num_workers(2);
+  ServiceConfig cfg;
+  cfg.initial_shards = 4;
+  cfg.commit_interval_ms = 1;
+  SpatialService<SpacZTree2> svc(cfg);
+  svc.build(dataset("uniform", 4000, 21));
+  svc.start();
+
+  std::atomic<bool> stop{false};
+  const Box2 box{{{kMax / 4, kMax / 4}}, {{3 * kMax / 4, 3 * kMax / 4}}};
+  const Point2 q{{kMax / 2, kMax / 2}};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto lst = svc.range_list_cached(box);
+      for (const auto& p : *lst) ASSERT_TRUE(box.contains(p));
+      const auto knn = svc.knn_cached(q, 8);
+      ASSERT_LE(knn->size(), 8u);
+      double last = 0;
+      for (const auto& p : *knn) {
+        const double d = squared_distance(p, q);
+        ASSERT_GE(d, last);
+        last = d;
+      }
+    }
+  });
+  for (int round = 0; round < 20; ++round) {
+    auto futs = svc.submit_insert_batch(
+        datagen::uniform<2>(200, 900 + static_cast<std::uint64_t>(round),
+                            kMax));
+    for (auto& f : futs) f.get();
+  }
+  stop.store(true);
+  reader.join();
+  svc.stop();
+  EXPECT_EQ(svc.size(), 4000u + 20u * 200u);
+}
+
+}  // namespace
