@@ -30,7 +30,8 @@ import json
 import sys
 
 MARKER = "BENCH_JSON "
-KEY_FIELDS = ("bench", "workload", "op", "k", "mode", "workers")
+KEY_FIELDS = ("bench", "workload", "op", "k", "mode", "transport", "nodes",
+              "workers")
 METRIC = "qps"
 
 

@@ -1,0 +1,180 @@
+// Fig 14 (extension, not in the paper): distributed sharding.
+//
+// Sweeps node counts over the DistributedService (src/psi/net/): the same
+// ShardMap + group-commit protocol as the in-process service, with shard
+// replicas hosted on N ShardHosts behind a Transport. Two fabrics:
+//
+//   * loopback — zero-copy in-process delivery: isolates the protocol and
+//     fan-out/merge cost from socket I/O (and is the single-node
+//     deployment shape, so nodes=1/transport=loopback is the overhead of
+//     the distributed core over a direct snapshot read);
+//   * tcp — real sockets on 127.0.0.1: adds the full serialise/send/
+//     receive/decode path per sub-query.
+//
+// Ops: write throughput (insert batches through the remote group commit),
+// range_count / range_list / knn query fan-outs. Each query cell
+// cross-checks its hit total against the nodes=1 loopback reference and
+// reports "matches" in the JSON — a disagreement exits 1, so the perf
+// gate doubles as an equivalence check.
+//
+// Output: one JSON line per cell:
+//   BENCH_JSON {"bench":"fig14_distributed","transport":"loopback",
+//               "nodes":2,"op":"range_count","queries":..,"hits":..,
+//               "seconds":..,"qps":..,"matches":true}
+//
+// Knobs: PSI_BENCH_N (points), PSI_BENCH_Q (queries per cell). On a
+// 1-core container the numbers prove the code paths, not speedups.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace psi;
+using namespace psi::bench;
+using namespace psi::net;
+
+namespace {
+
+struct Cell {
+  std::size_t queries = 0;
+  std::size_t hits = 0;
+  double seconds = 0;
+  bool matches = true;
+  double qps() const {
+    return seconds > 0 ? static_cast<double>(queries) / seconds : 0;
+  }
+};
+
+void emit(const char* transport, std::size_t nodes, const char* op,
+          const Cell& c) {
+  std::printf("BENCH_JSON {\"bench\":\"fig14_distributed\","
+              "\"transport\":\"%s\",\"nodes\":%zu,\"op\":\"%s\","
+              "\"queries\":%zu,\"hits\":%zu,\"seconds\":%.4f,\"qps\":%.1f,"
+              "\"matches\":%s}\n",
+              transport, nodes, op, c.queries, c.hits, c.seconds, c.qps(),
+              c.matches ? "true" : "false");
+}
+
+using Service = DistributedService<SpacZTree2>;
+
+struct RunResult {
+  std::map<std::string, Cell> cells;
+};
+
+RunResult run_cells(Transport& fabric, std::size_t nodes,
+                    const std::vector<Point2>& pts,
+                    const std::vector<Point2>& centres, std::int64_t half) {
+  DistributedConfig cfg;
+  cfg.initial_shards = 4;
+  cfg.split_threshold = pts.size() * 8;  // fixed topology: measure the paths
+  cfg.merge_threshold = 1;
+  Service svc(fabric, nodes, cfg);
+
+  RunResult out;
+  {
+    // Write path: remote group commit in batches of 1000.
+    Cell c;
+    c.queries = pts.size();
+    Timer t;
+    std::vector<Point2> batch;
+    for (const auto& p : pts) {
+      batch.push_back(p);
+      if (batch.size() == 1000) {
+        svc.insert_batch(batch);
+        batch.clear();
+      }
+    }
+    if (!batch.empty()) svc.insert_batch(batch);
+    c.seconds = t.seconds();
+    c.hits = svc.size();
+    out.cells["insert"] = c;
+  }
+  {
+    Cell c;
+    c.queries = centres.size();
+    Timer t;
+    for (const auto& q : centres) {
+      const Box2 box{{{q[0] - half, q[1] - half}}, {{q[0] + half, q[1] + half}}};
+      c.hits += svc.range_count(box);
+    }
+    c.seconds = t.seconds();
+    out.cells["range_count"] = c;
+  }
+  {
+    Cell c;
+    c.queries = centres.size();
+    Timer t;
+    for (const auto& q : centres) {
+      const Box2 box{{{q[0] - half, q[1] - half}}, {{q[0] + half, q[1] + half}}};
+      c.hits += svc.range_list(box).size();
+    }
+    c.seconds = t.seconds();
+    out.cells["range_list"] = c;
+  }
+  {
+    Cell c;
+    c.queries = centres.size();
+    Timer t;
+    for (const auto& q : centres) {
+      // Accumulate the ranked squared distances, not the result count: a
+      // broken distributed merge still returns k points per query, so a
+      // count-based check would be vacuous (fig13 learnt the same).
+      for (const auto& p : svc.knn(q, 10)) {
+        c.hits += static_cast<std::size_t>(squared_distance(p, q));
+      }
+    }
+    c.seconds = t.seconds();
+    out.cells["knn"] = c;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = bench_n(100'000);
+  const std::size_t q = bench_queries(200);
+  const std::int64_t half = side_for_output<2>(n, n / 50, kMax2) / 2;
+
+  const auto pts = make_workload_2d("Uniform", n, 1);
+  const auto centres = datagen::ind_queries(pts, q, 99, kMax2);
+
+  std::printf("Fig 14: distributed sharding, n=%zu, q=%zu, workers=%d\n", n, q,
+              num_workers());
+
+  bool all_match = true;
+  RunResult reference;
+  for (const std::size_t nodes : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{4}}) {
+    LoopbackTransport fabric;
+    RunResult r = run_cells(fabric, nodes, pts, centres, half);
+    if (nodes == 1) reference = r;
+    for (auto& [op, cell] : r.cells) {
+      cell.matches = cell.hits == reference.cells[op].hits;
+      all_match = all_match && cell.matches;
+      emit("loopback", nodes, op.c_str(), cell);
+    }
+  }
+  {
+    TcpTransport fabric;
+    RunResult r = run_cells(fabric, 2, pts, centres, half);
+    for (auto& [op, cell] : r.cells) {
+      cell.matches = cell.hits == reference.cells[op].hits;
+      all_match = all_match && cell.matches;
+      emit("tcp", 2, op.c_str(), cell);
+    }
+  }
+
+  if (!all_match) {
+    std::fprintf(stderr,
+                 "fig14: node-count sweep disagreed with the single-node "
+                 "reference\n");
+    return 1;
+  }
+  return 0;
+}

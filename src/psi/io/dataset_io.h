@@ -5,6 +5,12 @@
 // Sec F.4) can be loaded. The binary format is a small header (magic,
 // version, dimension, coordinate width, count) followed by row-major
 // little-endian coordinates.
+//
+// Error contract: every failure path throws std::runtime_error with the
+// offending path (and line number for CSV) in the message — a nonexistent
+// file, a short/truncated read, a corrupt or wrong-version header, and a
+// header whose count disagrees with the actual file size all fail loudly
+// instead of returning truncated data or allocating from a garbage count.
 
 #pragma once
 
@@ -21,6 +27,7 @@
 namespace psi::io {
 
 inline constexpr std::uint32_t kMagic = 0x50534931;  // "PSI1"
+inline constexpr std::uint32_t kFormatVersion = 1;
 
 struct BinaryHeader {
   std::uint32_t magic;
@@ -35,7 +42,7 @@ void save_binary(const std::string& path,
                  const std::vector<Point<Coord, D>>& pts) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) throw std::runtime_error("io: cannot open for write: " + path);
-  BinaryHeader h{kMagic, 1, static_cast<std::uint32_t>(D),
+  BinaryHeader h{kMagic, kFormatVersion, static_cast<std::uint32_t>(D),
                  static_cast<std::uint32_t>(sizeof(Coord)),
                  static_cast<std::uint64_t>(pts.size())};
   out.write(reinterpret_cast<const char*>(&h), sizeof(h));
@@ -50,17 +57,45 @@ std::vector<Point<Coord, D>> load_binary(const std::string& path) {
   if (!in) throw std::runtime_error("io: cannot open for read: " + path);
   BinaryHeader h{};
   in.read(reinterpret_cast<char*>(&h), sizeof(h));
-  if (!in || h.magic != kMagic) {
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(h))) {
+    throw std::runtime_error("io: truncated header (file shorter than " +
+                             std::to_string(sizeof(h)) + " bytes): " + path);
+  }
+  if (h.magic != kMagic) {
     throw std::runtime_error("io: bad magic in " + path);
+  }
+  if (h.version != kFormatVersion) {
+    throw std::runtime_error("io: unsupported format version " +
+                             std::to_string(h.version) + " (expected " +
+                             std::to_string(kFormatVersion) + ") in " + path);
   }
   if (h.dimension != static_cast<std::uint32_t>(D) ||
       h.coord_bytes != sizeof(Coord)) {
     throw std::runtime_error("io: dimension/coordinate mismatch in " + path);
   }
+  // Validate the declared count against the actual payload size BEFORE
+  // allocating: a corrupt header must not trigger a multi-gigabyte
+  // allocation (or a silent short read), and count * point_size is checked
+  // for overflow before it is formed.
+  constexpr std::uint64_t point_bytes = sizeof(Point<Coord, D>);
+  in.seekg(0, std::ios::end);
+  const auto end_pos = in.tellg();
+  if (end_pos < 0) throw std::runtime_error("io: cannot stat: " + path);
+  const std::uint64_t payload =
+      static_cast<std::uint64_t>(end_pos) - sizeof(h);
+  if (h.count > payload / point_bytes) {
+    throw std::runtime_error(
+        "io: truncated file: header declares " + std::to_string(h.count) +
+        " points of " + std::to_string(point_bytes) + " bytes but only " +
+        std::to_string(payload) + " payload bytes are present: " + path);
+  }
+  in.seekg(static_cast<std::streamoff>(sizeof(h)), std::ios::beg);
   std::vector<Point<Coord, D>> pts(h.count);
   in.read(reinterpret_cast<char*>(pts.data()),
-          static_cast<std::streamsize>(h.count * sizeof(Point<Coord, D>)));
-  if (!in) throw std::runtime_error("io: truncated file: " + path);
+          static_cast<std::streamsize>(h.count * point_bytes));
+  if (in.gcount() != static_cast<std::streamsize>(h.count * point_bytes)) {
+    throw std::runtime_error("io: truncated file: " + path);
+  }
   return pts;
 }
 
@@ -85,19 +120,40 @@ std::vector<Point<Coord, D>> load_csv(const std::string& path) {
   if (!in) throw std::runtime_error("io: cannot open for read: " + path);
   std::vector<Point<Coord, D>> pts;
   std::string line;
+  std::size_t lineno = 0;
   while (std::getline(in, line)) {
+    ++lineno;
     if (line.empty() || line[0] == '#') continue;
     std::istringstream ss(line);
     Point<Coord, D> p;
     std::string cell;
     for (int d = 0; d < D; ++d) {
       if (!std::getline(ss, cell, ',')) {
-        throw std::runtime_error("io: short row in " + path);
+        throw std::runtime_error("io: short row (expected " +
+                                 std::to_string(D) + " coordinates) at " +
+                                 path + ":" + std::to_string(lineno));
       }
-      if constexpr (std::is_integral_v<Coord>) {
-        p[d] = static_cast<Coord>(std::stoll(cell));
-      } else {
-        p[d] = static_cast<Coord>(std::stod(cell));
+      // Strict cell parse: stoll/stod alone would accept trailing junk
+      // ("12;3" parses as 12) and throw bare invalid_argument with no
+      // location on garbage.
+      try {
+        std::size_t used = 0;
+        if constexpr (std::is_integral_v<Coord>) {
+          p[d] = static_cast<Coord>(std::stoll(cell, &used));
+        } else {
+          p[d] = static_cast<Coord>(std::stod(cell, &used));
+        }
+        while (used < cell.size() &&
+               (cell[used] == ' ' || cell[used] == '\t' ||
+                cell[used] == '\r')) {
+          ++used;
+        }
+        if (used != cell.size()) {
+          throw std::invalid_argument("trailing characters");
+        }
+      } catch (const std::exception&) {
+        throw std::runtime_error("io: bad coordinate '" + cell + "' at " +
+                                 path + ":" + std::to_string(lineno));
       }
     }
     pts.push_back(p);

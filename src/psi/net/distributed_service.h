@@ -1,0 +1,527 @@
+// PSI-Lib net layer: the distributed service facade.
+//
+// DistributedService<Index> = N ShardHosts + one Coordinator + the query
+// client, over any Transport. With LoopbackTransport this is the
+// single-process deployment (and the test substrate) — protocol-identical
+// to a TcpTransport deployment across real sockets.
+//
+// Write path: build()/insert_batch()/delete_batch() serialise into the
+// coordinator (one writer mutex — the same single-writer discipline as
+// SpatialService), which ships per-node kCommitBatch messages and joins
+// the epoch acks (node.h).
+//
+// Read path: every query plans against the coordinator's lock-free route
+// view, fans sub-queries out to the owning nodes in parallel (TaskGroup —
+// one RPC per node), and merges the replies through the same
+// api::ConcurrentSink / api::ConcurrentKnnBuffer machinery the in-process
+// snapshot fan-out uses: remote points stream straight from the decoder
+// into the shared sink. Handoffs are invisible to callers: a host that no
+// longer owns a queried shard reports the key as missing, and the client
+// re-routes just that shard through the refreshed route (bounded retries;
+// a shard dissolved by split/merge restarts the whole plan).
+//
+// Caching: the client keeps a version-keyed QueryCache exactly like the
+// in-process service — coverage is the routed shard run + its content
+// versions from the route view. Every kQueryResult piggybacks the version
+// of each shard it answered from; a result is admitted to the cache only
+// when every piggybacked version matches the plan (a mid-fan-out commit
+// would otherwise cache a torn result). Commits that touch only other
+// shards leave entries valid — remote readers get cross-epoch hits without
+// re-contacting any node.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "psi/api/query.h"
+#include "psi/net/node.h"
+#include "psi/net/transport.h"
+#include "psi/net/wire.h"
+#include "psi/parallel/task_group.h"
+#include "psi/service/query_cache.h"
+#include "psi/service/snapshot.h"
+
+namespace psi::net {
+
+struct DistributedStats {
+  CoordinatorStats coordinator;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_cross_epoch_hits = 0;
+  // Results answered but not admitted because a commit raced the fan-out
+  // (piggybacked versions disagreed with the plan).
+  std::uint64_t cache_torn_skips = 0;
+};
+
+template <typename Index,
+          typename Codec = sfc::MortonCodec<typename Index::point_t::coord_t,
+                                            Index::point_t::kDim>>
+class DistributedService {
+ public:
+  using point_t = typename Index::point_t;
+  using coord_t = typename point_t::coord_t;
+  static constexpr int kDim = point_t::kDim;
+  using box_t = Box<coord_t, kDim>;
+  using host_t = ShardHost<Index>;
+  using coordinator_t = Coordinator<coord_t, kDim, Codec>;
+  using route_t = typename coordinator_t::route_t;
+  using factory_t = typename host_t::factory_t;
+
+  // Creates and binds `num_nodes` hosts (NodeIds 1..num_nodes) on the
+  // transport, then the coordinator over them. The factory is shared by
+  // all hosts (it receives global factory ids, so heterogeneous per-shard
+  // backends keep working across nodes).
+  DistributedService(Transport& transport, std::size_t num_nodes,
+                     DistributedConfig cfg = {},
+                     factory_t factory = [](std::size_t) { return Index(); })
+      : transport_(transport),
+        cache_(cfg.cache_entries, cfg.cache_max_entry_bytes) {
+    std::vector<NodeId> ids;
+    for (std::size_t i = 0; i < std::max<std::size_t>(1, num_nodes); ++i) {
+      const NodeId id = static_cast<NodeId>(i + 1);
+      hosts_.push_back(std::make_unique<host_t>(id, transport_, factory,
+                                                cfg.pipelined_commits));
+      ids.push_back(id);
+    }
+    coordinator_ =
+        std::make_unique<coordinator_t>(transport_, std::move(ids), cfg);
+  }
+
+  // Hosts unbind from the transport in their destructors (after the
+  // coordinator, which stops issuing RPCs first).
+  ~DistributedService() { coordinator_.reset(); }
+
+  DistributedService(const DistributedService&) = delete;
+  DistributedService& operator=(const DistributedService&) = delete;
+
+  // -------------------------------------------------------------------
+  // Writes (any thread; serialised internally)
+  // -------------------------------------------------------------------
+
+  void build(const std::vector<point_t>& pts) {
+    std::lock_guard<std::mutex> g(write_mu_);
+    coordinator_->load(pts);
+  }
+
+  std::uint64_t insert_batch(const std::vector<point_t>& pts) {
+    return apply_updates(pts, /*is_delete=*/false);
+  }
+
+  std::uint64_t delete_batch(const std::vector<point_t>& pts) {
+    return apply_updates(pts, /*is_delete=*/true);
+  }
+
+  // Mixed FIFO update group (pair = {is_delete, point}).
+  std::uint64_t commit(const std::vector<std::pair<bool, point_t>>& updates) {
+    std::lock_guard<std::mutex> g(write_mu_);
+    coordinator_->commit(updates);
+    return coordinator_->epoch();
+  }
+
+  // Explicitly hand shard `i` (route position) to `node` — the manual
+  // rebalance hook; the automatic policy is cfg.balance_nodes.
+  void migrate(std::size_t shard, NodeId node) {
+    std::lock_guard<std::mutex> g(write_mu_);
+    coordinator_->migrate(shard, node);
+  }
+
+  // -------------------------------------------------------------------
+  // Queries (any thread, lock-free planning)
+  // -------------------------------------------------------------------
+
+  std::vector<point_t> range_list(const box_t& query) const {
+    std::unique_ptr<api::ConcurrentSink<coord_t, kDim>> sink;
+    fan_out(
+        QueryKind::kRangeList,
+        [&](WireWriter& w) { w.put_box(query); },
+        [&](const route_t& rt) { return rt.map.shard_range_for_box(query); },
+        [&] { sink = std::make_unique<api::ConcurrentSink<coord_t, kDim>>(); },
+        [&](const point_t& p) { (*sink)(p); });
+    return sink->take();
+  }
+
+  std::size_t range_count(const box_t& query) const {
+    const Fanned f = fan_out(
+        QueryKind::kRangeCount,
+        [&](WireWriter& w) { w.put_box(query); },
+        [&](const route_t& rt) { return rt.map.shard_range_for_box(query); },
+        [] {}, [](const point_t&) {});
+    return static_cast<std::size_t>(f.count);
+  }
+
+  std::vector<point_t> ball_list(const point_t& q, double radius) const {
+    std::unique_ptr<api::ConcurrentSink<coord_t, kDim>> sink;
+    fan_out(
+        QueryKind::kBallList,
+        [&](WireWriter& w) {
+          w.put_point(q);
+          w.put_f64(radius);
+        },
+        [&](const route_t& rt) {
+          return rt.map.shard_range_for_box(
+              service::ball_bounding_box(q, radius));
+        },
+        [&] { sink = std::make_unique<api::ConcurrentSink<coord_t, kDim>>(); },
+        [&](const point_t& p) { (*sink)(p); });
+    return sink->take();
+  }
+
+  std::size_t ball_count(const point_t& q, double radius) const {
+    const Fanned f = fan_out(
+        QueryKind::kBallCount,
+        [&](WireWriter& w) {
+          w.put_point(q);
+          w.put_f64(radius);
+        },
+        [&](const route_t& rt) {
+          return rt.map.shard_range_for_box(
+              service::ball_bounding_box(q, radius));
+        },
+        [] {}, [](const point_t&) {});
+    return static_cast<std::size_t>(f.count);
+  }
+
+  // k nearest neighbours across every node, in increasing distance order.
+  // Each node returns its local top-k (over the shards it owns); the exact
+  // global top-k is the ConcurrentKnnBuffer merge at the join.
+  std::vector<point_t> knn(const point_t& q, std::size_t k) const {
+    std::unique_ptr<api::ConcurrentKnnBuffer<coord_t, kDim>> buf;
+    fan_out(
+        QueryKind::kKnn,
+        [&](WireWriter& w) {
+          w.put_point(q);
+          w.put_u64(k);
+        },
+        [&](const route_t& rt) {
+          // kNN prunes by distance, not routing: every shard is in scope.
+          // A shardless route yields an *inverted* run — the shape
+          // make_coverage treats as empty — never {0, 0}, which would
+          // slice one element out of an empty version vector.
+          return rt.keys.empty()
+                     ? std::pair<std::size_t, std::size_t>{1, 0}
+                     : std::pair<std::size_t, std::size_t>{0,
+                                                           rt.keys.size() - 1};
+        },
+        [&] {
+          buf = std::make_unique<api::ConcurrentKnnBuffer<coord_t, kDim>>(k);
+        },
+        [&](const point_t& p) { buf->offer(squared_distance(p, q), p); });
+    std::vector<point_t> out;
+    for (const auto& e : buf->merged_sorted()) out.push_back(e.point);
+    return out;
+  }
+
+  // -------------------------------------------------------------------
+  // Cached queries (version-keyed client cache; see the header comment)
+  // -------------------------------------------------------------------
+
+  std::shared_ptr<const std::vector<point_t>> range_list_cached(
+      const box_t& query) const {
+    const auto key = cache_key_t::range(query);
+    if (auto hit = cache_.find_list(key, plan_coverage([&](const route_t& rt) {
+          return rt.map.shard_range_for_box(query);
+        }))) {
+      return hit;
+    }
+    std::unique_ptr<api::ConcurrentSink<coord_t, kDim>> sink;
+    const Fanned f = fan_out(
+        QueryKind::kRangeList,
+        [&](WireWriter& w) { w.put_box(query); },
+        [&](const route_t& rt) { return rt.map.shard_range_for_box(query); },
+        [&] { sink = std::make_unique<api::ConcurrentSink<coord_t, kDim>>(); },
+        [&](const point_t& p) { (*sink)(p); }, /*for_cache=*/true);
+    auto pts =
+        std::make_shared<const std::vector<point_t>>(sink->take());
+    admit_list(key, f, pts);
+    return pts;
+  }
+
+  std::size_t range_count_cached(const box_t& query) const {
+    const auto key = cache_key_t::range(query);
+    if (auto hit = cache_.find_count(key, plan_coverage([&](const route_t& rt) {
+          return rt.map.shard_range_for_box(query);
+        }))) {
+      return *hit;
+    }
+    const Fanned f = fan_out(
+        QueryKind::kRangeCount,
+        [&](WireWriter& w) { w.put_box(query); },
+        [&](const route_t& rt) { return rt.map.shard_range_for_box(query); },
+        [] {}, [](const point_t&) {}, /*for_cache=*/true);
+    if (f.clean) {
+      cache_.put_count(key, f.cov, static_cast<std::size_t>(f.count));
+    } else {
+      ++torn_skips_;
+    }
+    return static_cast<std::size_t>(f.count);
+  }
+
+  std::shared_ptr<const std::vector<point_t>> ball_list_cached(
+      const point_t& q, double radius) const {
+    const auto key = cache_key_t::ball(q, radius);
+    const auto run_of = [&](const route_t& rt) {
+      return rt.map.shard_range_for_box(service::ball_bounding_box(q, radius));
+    };
+    if (auto hit = cache_.find_list(key, plan_coverage(run_of))) return hit;
+    std::unique_ptr<api::ConcurrentSink<coord_t, kDim>> sink;
+    const Fanned f = fan_out(
+        QueryKind::kBallList,
+        [&](WireWriter& w) {
+          w.put_point(q);
+          w.put_f64(radius);
+        },
+        run_of,
+        [&] { sink = std::make_unique<api::ConcurrentSink<coord_t, kDim>>(); },
+        [&](const point_t& p) { (*sink)(p); }, /*for_cache=*/true);
+    auto pts = std::make_shared<const std::vector<point_t>>(sink->take());
+    admit_list(key, f, pts);
+    return pts;
+  }
+
+  // -------------------------------------------------------------------
+  // Observers
+  // -------------------------------------------------------------------
+
+  std::uint64_t epoch() const { return coordinator_->epoch(); }
+  std::size_t num_shards() const { return coordinator_->route()->keys.size(); }
+  std::size_t num_nodes() const { return hosts_.size(); }
+
+  // Lock-free: the acked population total published with the route (never
+  // blocks behind an in-flight commit or bulk load).
+  std::size_t size() const { return coordinator_->route()->total_points; }
+
+  DistributedStats stats() const {
+    std::lock_guard<std::mutex> g(write_mu_);
+    DistributedStats s;
+    s.coordinator = coordinator_->stats();
+    s.cache_hits = cache_.hits();
+    s.cache_misses = cache_.misses();
+    s.cache_cross_epoch_hits = cache_.cross_epoch_hits();
+    s.cache_torn_skips = torn_skips_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  // Test support: the full multiset, fetched shard by shard over the
+  // transport (serialised with writers — a consistent cut).
+  std::vector<point_t> flatten() const {
+    std::lock_guard<std::mutex> g(write_mu_);
+    return coordinator_->flatten();
+  }
+
+ private:
+  using cache_key_t = service::QueryKey<coord_t, kDim>;
+
+  struct Fanned {
+    std::uint64_t count = 0;            // count kinds
+    service::CacheCoverage cov;          // coverage of the plan that ran
+    bool clean = true;                   // piggyback matched the plan
+  };
+
+  std::uint64_t apply_updates(const std::vector<point_t>& pts,
+                              bool is_delete) {
+    std::vector<std::pair<bool, point_t>> updates;
+    updates.reserve(pts.size());
+    for (const auto& p : pts) updates.emplace_back(is_delete, p);
+    return commit(updates);
+  }
+
+  // Coverage of the *current* plan for a query — the cache lookup key.
+  template <typename RunOf>
+  service::CacheCoverage plan_coverage(RunOf run_of) const {
+    const auto route = coordinator_->route();
+    return service::make_coverage(route->epoch, route->stamp, run_of(*route),
+                                  route->versions);
+  }
+
+  void admit_list(const cache_key_t& key, const Fanned& f,
+                  const std::shared_ptr<const std::vector<point_t>>& pts) const {
+    if (f.clean) {
+      cache_.put_list(key, f.cov, pts);
+    } else {
+      ++torn_skips_;
+    }
+  }
+
+  // The fan-out core. Plans against the current route, issues one kQuery
+  // per owning node in parallel, streams decoded points into `emit`
+  // (thread-safe via the caller's concurrent sink), and accumulates count
+  // payloads. Shards reported missing (handoff raced the plan) re-route
+  // through the refreshed route; a shard key that vanished entirely
+  // (split/merge/load) restarts the whole plan with `reset`.
+  //
+  // `for_cache` turns on the admission bookkeeping — coverage slicing and
+  // piggyback-vs-plan validation. The uncached entry points skip it: they
+  // discard Fanned.cov/clean, so sorting a per-shard version index per
+  // query would be pure overhead on the hot path.
+  Fanned fan_out(
+      QueryKind kind, const std::function<void(WireWriter&)>& put_params,
+      const std::function<std::pair<std::size_t, std::size_t>(const route_t&)>&
+          run_of,
+      const std::function<void()>& reset,
+      const std::function<void(const point_t&)>& emit,
+      bool for_cache = false) const {
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const auto route = coordinator_->route();
+      const auto run = run_of(*route);
+      Fanned out;
+      // Empty plan (degenerate query run / shardless route): the run is
+      // already inverted here, so make_coverage keeps the version slice
+      // empty — and using the RAW run (not a normalised one) means the
+      // stored coverage equals what plan_coverage computes on lookup, so
+      // repeat degenerate queries hit instead of churning the ring.
+      if (route->keys.empty() || run.first > run.second) {
+        if (for_cache) {
+          out.cov = service::make_coverage(route->epoch, route->stamp, run,
+                                           route->versions);
+        }
+        reset();
+        return out;
+      }
+      if (for_cache) {
+        out.cov = service::make_coverage(route->epoch, route->stamp, run,
+                                         route->versions);
+      }
+      reset();
+
+      // The work list: (key, destination node), re-filled by re-routes.
+      std::vector<std::pair<std::uint64_t, NodeId>> work;
+      // Sorted (key -> planned version) index for reply validation: a kNN
+      // plan spans every shard, so per-piggyback linear scans of the run
+      // would cost O(shards^2) per query.
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> plan_versions;
+      for (std::size_t i = run.first; i <= run.second; ++i) {
+        work.emplace_back(route->keys[i], route->owners[i]);
+        if (for_cache) {
+          plan_versions.emplace_back(route->keys[i], route->versions[i]);
+        }
+      }
+      std::sort(plan_versions.begin(), plan_versions.end());
+
+      std::atomic<std::uint64_t> count{0};
+      std::atomic<bool> clean{true};
+      std::mutex miss_mu;
+      std::vector<std::uint64_t> missing;
+      bool restart = false;
+
+      for (int round = 0; !work.empty() && !restart; ++round) {
+        if (round >= 8) {
+          throw TransportError("query could not settle: shards kept moving");
+        }
+        // Group this round's shards by destination node.
+        struct Sub {
+          NodeId node;
+          std::vector<std::uint64_t> keys;
+        };
+        std::vector<Sub> subs;
+        for (const auto& [key, node] : work) {
+          auto it = std::find_if(subs.begin(), subs.end(), [&](const Sub& s) {
+            return s.node == node;
+          });
+          if (it == subs.end()) {
+            subs.push_back(Sub{node, {key}});
+          } else {
+            it->keys.push_back(key);
+          }
+        }
+        work.clear();
+        missing.clear();
+
+        TaskGroup tasks;
+        for (const Sub& sub : subs) {
+          tasks.spawn([&, sub] {
+            WireWriter w;
+            w.put_u8(static_cast<std::uint8_t>(kind));
+            put_params(w);
+            w.put_u32(static_cast<std::uint32_t>(sub.keys.size()));
+            for (std::uint64_t key : sub.keys) w.put_u64(key);
+            Message reply = expect_ok(
+                transport_.call(sub.node, std::move(w).finish(MsgType::kQuery)),
+                "query");
+            WireReader r(reply);
+            const std::uint32_t n_present = r.get_u32();
+            for (std::uint32_t j = 0; j < n_present; ++j) {
+              const std::uint64_t key = r.get_u64();
+              const std::uint64_t version = r.get_u64();
+              if (!for_cache) continue;  // piggyback read, not validated
+              // Compare against the plan: any drift means a commit or
+              // reload landed mid-fan-out — the result is still a valid
+              // read-committed answer, but must not be cached.
+              const auto it = std::lower_bound(
+                  plan_versions.begin(), plan_versions.end(),
+                  std::pair<std::uint64_t, std::uint64_t>{key, 0});
+              if (it == plan_versions.end() || it->first != key ||
+                  it->second != version) {
+                clean.store(false, std::memory_order_relaxed);
+              }
+            }
+            const std::uint32_t n_missing = r.get_u32();
+            if (n_missing != 0) {
+              std::lock_guard<std::mutex> g(miss_mu);
+              for (std::uint32_t j = 0; j < n_missing; ++j) {
+                missing.push_back(r.get_u64());
+              }
+            }
+            switch (kind) {
+              case QueryKind::kRangeList:
+              case QueryKind::kBallList:
+              case QueryKind::kKnn: {
+                const std::vector<point_t> pts =
+                    r.template get_points<coord_t, kDim>();
+                for (const point_t& p : pts) emit(p);
+                break;
+              }
+              case QueryKind::kRangeCount:
+              case QueryKind::kBallCount:
+                count.fetch_add(r.get_u64(), std::memory_order_relaxed);
+                break;
+            }
+          });
+        }
+        tasks.wait();
+
+        // Re-route every missing shard through the freshest route; a key
+        // that no longer exists anywhere means the topology changed under
+        // us — replan from scratch.
+        if (!missing.empty()) {
+          const auto fresh = coordinator_->route();
+          for (std::uint64_t key : missing) {
+            std::size_t idx = fresh->keys.size();
+            for (std::size_t i = 0; i < fresh->keys.size(); ++i) {
+              if (fresh->keys[i] == key) {
+                idx = i;
+                break;
+              }
+            }
+            if (idx == fresh->keys.size()) {
+              restart = true;
+              break;
+            }
+            work.emplace_back(key, fresh->owners[idx]);
+            clean.store(false, std::memory_order_relaxed);  // moved mid-plan
+          }
+        }
+      }
+      if (restart) continue;
+      out.count = count.load(std::memory_order_relaxed);
+      out.clean = clean.load(std::memory_order_relaxed);
+      return out;
+    }
+    throw TransportError("query could not settle: topology kept changing");
+  }
+
+  Transport& transport_;
+  std::vector<std::unique_ptr<host_t>> hosts_;
+  std::unique_ptr<coordinator_t> coordinator_;
+  mutable std::mutex write_mu_;
+  mutable service::QueryCache<coord_t, kDim> cache_;
+  mutable std::atomic<std::uint64_t> torn_skips_{0};
+};
+
+}  // namespace psi::net

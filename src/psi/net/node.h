@@ -1,0 +1,883 @@
+// PSI-Lib net layer: nodes of the distributed service.
+//
+// Two roles, connected only through a Transport (transport.h) speaking the
+// wire format (wire.h) — never through shared pointers:
+//
+//   * ShardHost — one per node. Owns the *replicas* of the shards placed on
+//     it (a service::ShardStore keyed by stable shard key) and acts as the
+//     node-local group committer: a kCommitBatch lands in exactly the
+//     settle-replay / grace-period / pending-log / swap discipline the
+//     in-process writer uses, followed by an atomic publication of the
+//     node-local read view. Queries execute lock-free against that view —
+//     a host serves reads at full speed while a commit is in flight, and a
+//     reply piggybacks the content version of every shard it answered
+//     from, which is what lets remote clients reuse cached results across
+//     epochs (query_cache.h).
+//
+//   * Coordinator — exactly one. Owns the authoritative ShardDirectory
+//     (shard ranges, stable keys, placements, content versions, topology
+//     stamp — shard_map.h) and every write: it routes update batches into
+//     per-shard runs, ships one kCommitBatch per touched node (in
+//     parallel), joins the epoch acks, and then rebalances — splitting
+//     overgrown shards, merging underfull neighbours, and *migrating*
+//     shards between nodes (fetch → install → atomic route flip → drop;
+//     the RCU grace discipline of the host's published views keeps
+//     in-flight readers of the old location safe, and readers that race
+//     the drop retry through the refreshed route).
+//
+// The message protocol is strictly coordinator/client -> host; hosts never
+// call out. That acyclicity is what makes the blocking RPC transport safe:
+// no cycle of threads waiting on each other's handlers can form.
+//
+// Consistency contract (the distributed read path): each *shard* is
+// answered from exactly one host-published view — per-shard atomicity —
+// but a query fanning out across nodes may observe different commits on
+// different shards if a commit lands mid-fan-out (read-committed, not
+// snapshot isolation; the in-process Snapshot gives the stronger
+// guarantee). The piggybacked version vector makes this detectable: the
+// client only admits a result to its cache when every piggybacked version
+// matches the route view it planned with.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "psi/geometry/knn_buffer.h"
+#include "psi/net/transport.h"
+#include "psi/net/wire.h"
+#include "psi/parallel/task_group.h"
+#include "psi/service/epoch.h"
+#include "psi/service/group_commit.h"  // ServiceConfig
+#include "psi/service/shard_map.h"
+#include "psi/service/shard_store.h"
+#include "psi/service/snapshot.h"
+#include "psi/sfc/codec.h"
+
+namespace psi::net {
+
+// ---------------------------------------------------------------------------
+// ShardHost
+// ---------------------------------------------------------------------------
+
+template <typename Index>
+class ShardHost {
+ public:
+  using point_t = typename Index::point_t;
+  using coord_t = typename point_t::coord_t;
+  static constexpr int kDim = point_t::kDim;
+  using box_t = Box<coord_t, kDim>;
+  using store_t = service::ShardStore<Index>;
+  using run_t = typename store_t::run_t;
+  using factory_t = typename store_t::factory_t;
+
+  // Binds itself on the transport; unbound (and hence quiescent) again in
+  // the destructor. The host must outlive any in-flight call to it —
+  // Transport::unbind guarantees that by completing in-flight handlers.
+  ShardHost(NodeId id, Transport& transport, factory_t factory,
+            bool pipelined_commits = true)
+      : id_(id),
+        transport_(transport),
+        store_(std::move(factory), pipelined_commits) {
+    publish();
+    transport_.bind(id_, [this](NodeId from, Message req) {
+      return handle(from, std::move(req));
+    });
+  }
+
+  ~ShardHost() { transport_.unbind(id_); }
+
+  ShardHost(const ShardHost&) = delete;
+  ShardHost& operator=(const ShardHost&) = delete;
+
+  NodeId id() const { return id_; }
+
+  // Diagnostic observers (tests). Reads the published view — safe from any
+  // thread.
+  std::size_t hosted_shards() const { return view_slot_.acquire()->size(); }
+  std::size_t hosted_points() const {
+    // Bind the view first: a range-for over `*acquire()` would destroy the
+    // temporary shared_ptr before the loop body runs (C++20 — P2718's
+    // lifetime extension is C++23), letting a concurrent publish free the
+    // vector mid-iteration.
+    const std::shared_ptr<const view_t> view = view_slot_.acquire();
+    std::size_t n = 0;
+    for (const auto& e : *view) n += e.index->size();
+    return n;
+  }
+
+ private:
+  // The node-local read view: one immutable entry per hosted shard,
+  // published atomically after every mutation. Queries bind to one view
+  // for their whole execution — per-shard read atomicity, and the RCU
+  // grace discipline (readers pin replicas via shared_ptr; the store's
+  // standby mutation waits out old views) carries over unchanged.
+  struct Entry {
+    std::uint64_t key = 0;
+    std::uint64_t version = 0;
+    std::shared_ptr<const Index> index;
+  };
+  using view_t = std::vector<Entry>;
+
+  Message handle(NodeId /*from*/, Message req) {
+    try {
+      switch (req.type) {
+        case MsgType::kCommitBatch:
+          return on_commit(req);
+        case MsgType::kQuery:
+          return on_query(req);
+        case MsgType::kInstallShard:
+          return on_install(req);
+        case MsgType::kFetchShard:
+          return on_fetch(req);
+        case MsgType::kDropShard:
+          return on_drop(req);
+        case MsgType::kStat:
+          return on_stat();
+        default:
+          return make_error("host: unexpected message type");
+      }
+    } catch (const std::exception& e) {
+      return make_error(std::string("host ") + std::to_string(id_) + ": " +
+                        e.what());
+    }
+  }
+
+  // kCommitBatch: [u64 epoch][u32 n]{u64 key, u64 version, runs}*
+  // -> kCommitAck: [u64 epoch][u32 n]{u64 key, u64 size}*
+  Message on_commit(Message& req) {
+    WireReader r(req);
+    const std::uint64_t epoch = r.get_u64();
+    const std::uint32_t n = r.get_u32();
+    struct Batch {
+      std::size_t slot;
+      std::uint64_t key, version;
+      std::vector<run_t> runs;
+    };
+    std::vector<Batch> batches;
+    batches.reserve(n);
+    std::lock_guard<std::mutex> g(mu_);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      Batch b;
+      b.key = r.get_u64();
+      b.version = r.get_u64();
+      b.runs = r.template get_runs<point_t>();
+      b.slot = slot_of(b.key);
+      if (b.slot == npos) {
+        throw WireError("commit addressed unknown shard key " +
+                        std::to_string(b.key));
+      }
+      // The parallel apply below requires distinct slots; a frame naming
+      // one shard twice is corrupt (the coordinator coalesces per shard).
+      for (const Batch& prev : batches) {
+        if (prev.slot == b.slot) {
+          throw WireError("commit names shard key " + std::to_string(b.key) +
+                          " twice");
+        }
+      }
+      batches.push_back(std::move(b));
+    }
+    // Apply in parallel over distinct slots — the same fork the in-process
+    // writer uses — then publish the new node view once.
+    TaskGroup tasks;
+    for (auto& b : batches) {
+      tasks.spawn([this, &b] { store_.apply(b.slot, std::move(b.runs)); });
+    }
+    tasks.wait();
+    for (const auto& b : batches) versions_[b.slot] = b.version;
+    publish();
+    store_.spawn_replays();
+
+    WireWriter w;
+    w.put_u64(epoch);
+    w.put_u32(n);
+    for (const auto& b : batches) {
+      w.put_u64(b.key);
+      w.put_u64(store_.size_of(b.slot));
+    }
+    return std::move(w).finish(MsgType::kCommitAck);
+  }
+
+  // kQuery: [u8 kind][params][u32 nkeys]{u64 key}* -> kQueryResult:
+  // [u32 n_present]{u64 key, u64 version}* [u32 n_missing]{u64 key}*
+  // [payload: points (list/knn) | u64 (count)]
+  // Lock-free: executes entirely against one acquired view.
+  Message on_query(Message& req) {
+    WireReader r(req);
+    const auto kind = static_cast<QueryKind>(r.get_u8());
+    box_t box{};
+    point_t q{};
+    double radius = 0;
+    std::uint64_t k = 0;
+    switch (kind) {
+      case QueryKind::kRangeList:
+      case QueryKind::kRangeCount:
+        box = r.template get_box<coord_t, kDim>();
+        break;
+      case QueryKind::kBallList:
+      case QueryKind::kBallCount:
+        q = r.template get_point<coord_t, kDim>();
+        radius = r.get_f64();
+        break;
+      case QueryKind::kKnn:
+        q = r.template get_point<coord_t, kDim>();
+        k = r.get_u64();
+        break;
+    }
+    const std::uint32_t nkeys = r.get_u32();
+    const std::shared_ptr<const view_t> view = view_slot_.acquire();
+    // One sorted (key -> entry) index per request: a kNN fan-out asks for
+    // every hosted shard, so per-key linear scans over the view would be
+    // O(h^2) on the hot read path.
+    std::vector<std::pair<std::uint64_t, const Entry*>> by_key;
+    by_key.reserve(view->size());
+    for (const Entry& e : *view) by_key.emplace_back(e.key, &e);
+    std::sort(by_key.begin(), by_key.end());
+    std::vector<const Entry*> present;
+    std::vector<std::uint64_t> missing;
+    for (std::uint32_t i = 0; i < nkeys; ++i) {
+      const std::uint64_t key = r.get_u64();
+      const auto it = std::lower_bound(
+          by_key.begin(), by_key.end(), key,
+          [](const auto& kv, std::uint64_t k) { return kv.first < k; });
+      if (it != by_key.end() && it->first == key) {
+        present.push_back(it->second);
+      } else {
+        missing.push_back(key);  // migrated away: the client re-routes
+      }
+    }
+
+    WireWriter w;
+    w.put_u32(static_cast<std::uint32_t>(present.size()));
+    for (const Entry* e : present) {
+      w.put_u64(e->key);
+      w.put_u64(e->version);
+    }
+    w.put_u32(static_cast<std::uint32_t>(missing.size()));
+    for (std::uint64_t key : missing) w.put_u64(key);
+
+    switch (kind) {
+      case QueryKind::kRangeList: {
+        std::vector<point_t> out;
+        auto collect = [&](const point_t& p) { out.push_back(p); };
+        for (const Entry* e : present) e->index->range_visit(box, collect);
+        w.put_points(out);
+        break;
+      }
+      case QueryKind::kRangeCount: {
+        std::uint64_t total = 0;
+        for (const Entry* e : present) total += e->index->range_count(box);
+        w.put_u64(total);
+        break;
+      }
+      case QueryKind::kBallList: {
+        std::vector<point_t> out;
+        auto collect = [&](const point_t& p) { out.push_back(p); };
+        for (const Entry* e : present) {
+          e->index->ball_visit(q, radius, collect);
+        }
+        w.put_points(out);
+        break;
+      }
+      case QueryKind::kBallCount: {
+        std::uint64_t total = 0;
+        for (const Entry* e : present) total += e->index->ball_count(q, radius);
+        w.put_u64(total);
+        break;
+      }
+      case QueryKind::kKnn: {
+        // Node-local top-k across the hosted shards, nearest shard first
+        // with root-box pruning — the same walk Snapshot::knn_visit_seq
+        // does over a view. The client merges the per-node top-k lists.
+        struct Cand {
+          double dist2;
+          const Entry* e;
+        };
+        std::vector<Cand> order;
+        order.reserve(present.size());
+        std::uint64_t population = 0;
+        for (const Entry* e : present) {
+          population += e->index->size();
+          if (e->index->size() == 0) continue;
+          order.push_back(Cand{min_squared_distance(e->index->bounds(), q), e});
+        }
+        std::sort(order.begin(), order.end(),
+                  [](const Cand& a, const Cand& b) { return a.dist2 < b.dist2; });
+        // Clamp k to the queried population before anything reserves:
+        // this node can never return more candidates than it holds, and a
+        // corrupt frame's k = 2^60 must not turn into a huge allocation
+        // (same discipline as the reader's count checks, wire.h).
+        const auto keff =
+            static_cast<std::size_t>(std::min<std::uint64_t>(k, population));
+        KnnBuffer<point_t> buf(keff);
+        for (const Cand& c : order) {
+          if (buf.full() && c.dist2 >= buf.worst()) break;
+          c.e->index->knn_visit(q, keff, [&](const point_t& p) {
+            buf.offer(squared_distance(p, q), p);
+          });
+        }
+        std::vector<point_t> out;
+        out.reserve(buf.sorted().size());
+        for (const auto& entry : buf.sorted()) out.push_back(entry.point);
+        w.put_points(out);
+        break;
+      }
+    }
+    return std::move(w).finish(MsgType::kQueryResult);
+  }
+
+  // kInstallShard: [u64 key][u64 version][u64 factory_id][points]
+  // -> kOk: [u64 size]. Adopts (or replaces) a shard — bulk load, split
+  // output, and handoff destination all land here.
+  Message on_install(Message& req) {
+    WireReader r(req);
+    const std::uint64_t key = r.get_u64();
+    const std::uint64_t version = r.get_u64();
+    const auto factory_id = static_cast<std::size_t>(r.get_u64());
+    const std::vector<point_t> pts = r.template get_points<coord_t, kDim>();
+    std::lock_guard<std::mutex> g(mu_);
+    const std::size_t slot = slot_of(key);
+    // Fallible store mutation FIRST (Index::build can throw), metadata
+    // second: an exception must leave keys_/versions_ aligned with the
+    // slot array and must not stamp a new version onto old contents.
+    if (slot == npos) {
+      store_.insert_slot(store_.num_slots(), pts, factory_id);
+      keys_.push_back(key);
+      versions_.push_back(version);
+    } else {
+      store_.replace_slot(slot, pts, factory_id);
+      versions_[slot] = version;
+    }
+    publish();
+    WireWriter w;
+    w.put_u64(pts.size());
+    return std::move(w).finish(MsgType::kOk);
+  }
+
+  // kFetchShard: [u64 key] -> kShardData:
+  // [u64 key][u64 version][u64 factory_id][points]
+  Message on_fetch(Message& req) {
+    WireReader r(req);
+    const std::uint64_t key = r.get_u64();
+    std::lock_guard<std::mutex> g(mu_);
+    const std::size_t slot = slot_of(key);
+    if (slot == npos) {
+      throw WireError("fetch of unknown shard key " + std::to_string(key));
+    }
+    WireWriter w;
+    w.put_u64(key);
+    w.put_u64(versions_[slot]);
+    w.put_u64(store_.origin_of(slot));
+    w.put_points(store_.flatten(slot));
+    return std::move(w).finish(MsgType::kShardData);
+  }
+
+  // kDropShard: [u64 key] -> kOk. Releases a shard after handoff/merge.
+  // In-flight readers of older views keep the replicas alive through their
+  // shared_ptrs — dropping is a publication event, not a free.
+  Message on_drop(Message& req) {
+    WireReader r(req);
+    const std::uint64_t key = r.get_u64();
+    std::lock_guard<std::mutex> g(mu_);
+    const std::size_t slot = slot_of(key);
+    if (slot != npos) {
+      store_.erase_slot(slot);
+      keys_.erase(keys_.begin() + static_cast<std::ptrdiff_t>(slot));
+      versions_.erase(versions_.begin() + static_cast<std::ptrdiff_t>(slot));
+      publish();
+    }
+    return Message{MsgType::kOk, {}};
+  }
+
+  // kStat -> kStatReply: [u32 n]{u64 key, u64 version, u64 size}*
+  Message on_stat() {
+    const std::shared_ptr<const view_t> view = view_slot_.acquire();
+    WireWriter w;
+    w.put_u32(static_cast<std::uint32_t>(view->size()));
+    for (const Entry& e : *view) {
+      w.put_u64(e.key);
+      w.put_u64(e.version);
+      w.put_u64(e.index->size());
+    }
+    return std::move(w).finish(MsgType::kStatReply);
+  }
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  std::size_t slot_of(std::uint64_t key) const {
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] == key) return i;
+    }
+    return npos;
+  }
+
+  // Publish the current slot state as a fresh immutable view. Caller holds
+  // mu_ (or is the constructor).
+  void publish() {
+    auto v = std::make_shared<view_t>();
+    v->reserve(keys_.size());
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      v->push_back(Entry{keys_[i], versions_[i], store_.live(i)});
+    }
+    view_slot_.publish(std::move(v));
+  }
+
+  NodeId id_;
+  Transport& transport_;
+  // Serialises mutations (commit/install/drop arrive from the single
+  // coordinator writer already, but fetch may race a commit under the
+  // loopback transport's caller-thread execution).
+  std::mutex mu_;
+  store_t store_;
+  std::vector<std::uint64_t> keys_;      // parallel to store_ slots
+  std::vector<std::uint64_t> versions_;  // parallel to store_ slots
+  service::SnapshotSlot<view_t> view_slot_;
+};
+
+// ---------------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------------
+
+// The route table published to query clients: everything needed to plan a
+// fan-out without touching the coordinator — the shard map for routing,
+// keys for addressing, owners for destination nodes, versions + stamp for
+// cache coverage (query_cache.h).
+template <typename Coord, int D, typename Codec>
+struct RouteView {
+  using map_t = service::ShardMap<Coord, D, Codec>;
+  std::uint64_t epoch = 0;
+  std::uint64_t stamp = 0;
+  map_t map;
+  std::vector<std::uint64_t> keys;
+  std::vector<std::uint64_t> versions;
+  std::vector<NodeId> owners;
+  // Total acked population as of this publication — lock-free size()
+  // observer (the facade must not block behind in-flight commits).
+  std::size_t total_points = 0;
+};
+
+struct CoordinatorStats {
+  std::uint64_t epoch = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t splits = 0;
+  std::uint64_t merges = 0;
+  std::uint64_t migrations = 0;
+  std::size_t num_shards = 0;
+  std::vector<std::size_t> shard_sizes;
+  std::vector<NodeId> shard_owners;
+};
+
+// Write-side configuration of the distributed service. Inherits the
+// in-process knobs (split/merge thresholds, shard floors, cache shape —
+// pipelining applies on each host).
+struct DistributedConfig : service::ServiceConfig {
+  // Keep per-node shard counts within one of each other by migrating
+  // shards off the most loaded node after every commit's rebalance.
+  bool balance_nodes = true;
+};
+
+template <typename Coord, int D,
+          typename Codec = sfc::MortonCodec<Coord, D>>
+class Coordinator {
+ public:
+  using point_t = Point<Coord, D>;
+  using box_t = Box<Coord, D>;
+  using map_t = service::ShardMap<Coord, D, Codec>;
+  using route_t = RouteView<Coord, D, Codec>;
+  using run_t = service::OpRun<point_t>;
+
+  // `nodes` are the ShardHost ids this coordinator may place shards on
+  // (already bound on `transport`). The initial uniform map is placed
+  // round-robin and shipped as empty installs so every shard exists
+  // somewhere from epoch 1.
+  Coordinator(Transport& transport, std::vector<NodeId> nodes,
+              DistributedConfig cfg = {})
+      : transport_(transport), nodes_(std::move(nodes)), cfg_(cfg),
+        dir_(std::max<std::size_t>(1, cfg.initial_shards)) {
+    if (nodes_.empty()) {
+      throw TransportError("coordinator needs at least one node");
+    }
+    place_round_robin();
+    sizes_.assign(dir_.num_shards(), 0);
+    for (std::size_t i = 0; i < dir_.num_shards(); ++i) {
+      install_shard(i, dir_.owner_of(i), {});
+    }
+    publish();
+  }
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  // Lock-free route acquisition for query clients.
+  std::shared_ptr<const route_t> route() const { return route_slot_.acquire(); }
+
+  std::uint64_t epoch() const { return epoch_.current(); }
+
+  // -------------------------------------------------------------------
+  // Writes (externally serialised by the facade)
+  // -------------------------------------------------------------------
+
+  // Bulk load: recompute equal-population boundaries, place round-robin,
+  // and ship every shard's slice to its owner.
+  void load(const std::vector<point_t>& pts) {
+    using service::CodedPoint;
+    std::vector<CodedPoint<point_t>> coded =
+        service::code_and_sort<Codec>(pts);
+    std::vector<std::uint64_t> codes(coded.size());
+    for (std::size_t i = 0; i < coded.size(); ++i) codes[i] = coded[i].code;
+    // Old shards (possibly under old keys on many nodes) are dropped
+    // after the new topology is installed and published.
+    const auto old_keys = dir_.keys();
+    const auto old_owners = dir_.owners();
+    dir_.reset(map_t::from_sorted_codes(
+        codes, std::max<std::size_t>(1, cfg_.initial_shards)));
+    place_round_robin();
+    const std::size_t k = dir_.num_shards();
+    sizes_.assign(k, 0);
+    TaskGroup tasks;
+    for (std::size_t i = 0; i < k; ++i) {
+      tasks.spawn([this, i, &coded, &codes] {
+        const std::vector<point_t> part =
+            service::shard_slice(coded, codes, dir_.map(), i);
+        sizes_[i] = part.size();
+        install_shard(i, dir_.owner_of(i), part);
+      });
+    }
+    tasks.wait();
+    rebalance();
+    publish();
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      drop_shard_key(old_keys[i], old_owners[i]);
+    }
+  }
+
+  // One commit group of updates: route to per-shard runs, ship one
+  // kCommitBatch per touched node in parallel, join the epoch acks, then
+  // rebalance and publish the next route. `updates` preserves FIFO order
+  // per shard (is_delete, point).
+  void commit(const std::vector<std::pair<bool, point_t>>& updates) {
+    if (updates.empty()) return;
+    const std::size_t k = dir_.num_shards();
+    std::vector<std::vector<run_t>> runs(k);
+    for (const auto& [is_delete, pt] : updates) {
+      auto& shard_runs = runs[dir_.map().shard_of(pt)];
+      if (shard_runs.empty() || shard_runs.back().is_delete != is_delete) {
+        shard_runs.push_back(run_t{is_delete, {}});
+      }
+      shard_runs.back().pts.push_back(pt);
+    }
+    // Stamp fresh versions for the touched shards, then group them by
+    // owning node into one batch message each.
+    struct NodeBatch {
+      NodeId node;
+      std::vector<std::size_t> shards;
+    };
+    std::vector<NodeBatch> batches;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (runs[i].empty()) continue;
+      dir_.touch(i);
+      const NodeId owner = dir_.owner_of(i);
+      auto it = std::find_if(batches.begin(), batches.end(),
+                             [&](const NodeBatch& b) { return b.node == owner; });
+      if (it == batches.end()) {
+        batches.push_back(NodeBatch{owner, {i}});
+      } else {
+        it->shards.push_back(i);
+      }
+    }
+    const std::uint64_t next_epoch = epoch_.current() + 1;
+    TaskGroup tasks;
+    for (const NodeBatch& b : batches) {
+      tasks.spawn([this, &b, &runs, next_epoch] {
+        WireWriter w;
+        w.put_u64(next_epoch);
+        w.put_u32(static_cast<std::uint32_t>(b.shards.size()));
+        for (std::size_t i : b.shards) {
+          w.put_u64(dir_.key_of(i));
+          w.put_u64(dir_.version_of(i));
+          w.put_runs(runs[i]);
+        }
+        Message ack = expect_ok(
+            transport_.call(b.node, std::move(w).finish(MsgType::kCommitBatch)),
+            "commit");
+        WireReader r(ack);
+        (void)r.get_u64();  // echoed epoch
+        const std::uint32_t n = r.get_u32();
+        for (std::uint32_t j = 0; j < n; ++j) {
+          const std::uint64_t key = r.get_u64();
+          const std::uint64_t size = r.get_u64();
+          const std::size_t idx = dir_.index_of_key(key);
+          if (idx != decltype(dir_)::npos) sizes_[idx] = size;
+        }
+      });
+    }
+    try {
+      tasks.wait();
+    } catch (...) {
+      // Partial commit: some hosts applied (and published node views with
+      // the new versions), some did not. Republish the route before
+      // surfacing the error so the bumped directory versions reach
+      // clients — cached entries keyed on the old versions stop hitting,
+      // and a shard whose host did NOT apply simply mismatches the route
+      // version in its piggyback, so its results are answered but never
+      // cached. Without this, caches would keep serving pre-commit data
+      // that direct fan-outs contradict. The epoch is not counted as a
+      // commit; the next successful commit realigns versions.
+      publish();
+      throw;
+    }
+    ++stats_.commits;
+    rebalance();
+    publish();
+  }
+
+  // Migrate shard `i` to `dest`: fetch the frozen replica (no commit can
+  // interleave — the coordinator is the single writer), install it under
+  // the same key and version, flip the route atomically, then drop the old
+  // copy. Readers that raced the drop see a missing key and retry through
+  // the refreshed route; readers already inside the old host's view finish
+  // safely on the pinned replicas (RCU grace).
+  void migrate(std::size_t i, NodeId dest) {
+    // The index may come from a route acquired before an interleaved
+    // commit changed the topology (split/merge): a stale position past the
+    // end is a no-op, not an out-of-bounds read.
+    if (i >= dir_.num_shards()) return;
+    const NodeId src = dir_.owner_of(i);
+    if (src == dest) return;
+    const std::uint64_t key = dir_.key_of(i);
+    auto [pts, version, origin] = fetch_shard(key, src);
+    install_raw(key, version, origin, pts, dest);
+    dir_.move_owner(i, dest);
+    ++stats_.migrations;
+    publish();  // new route first: late readers route to dest...
+    drop_shard_key(key, src);  // ...then the old copy goes away
+  }
+
+  CoordinatorStats stats() const {
+    CoordinatorStats s = stats_;
+    s.epoch = epoch_.current();
+    s.num_shards = dir_.num_shards();
+    s.shard_sizes = sizes_;
+    s.shard_owners = dir_.owners();
+    return s;
+  }
+
+  // Test support: the full multiset, one kFetchShard per shard. Must be
+  // serialised with writes (the facade's writer mutex) for a consistent
+  // cut.
+  std::vector<point_t> flatten() {
+    std::vector<point_t> out;
+    for (std::size_t i = 0; i < dir_.num_shards(); ++i) {
+      auto [pts, version, origin] = fetch_shard(dir_.key_of(i),
+                                                dir_.owner_of(i));
+      (void)version;
+      (void)origin;
+      out.insert(out.end(), pts.begin(), pts.end());
+    }
+    return out;
+  }
+
+  const std::vector<NodeId>& nodes() const { return nodes_; }
+
+ private:
+  void place_round_robin() {
+    for (std::size_t i = 0; i < dir_.num_shards(); ++i) {
+      dir_.move_owner(i, nodes_[i % nodes_.size()]);
+    }
+  }
+
+  // Ship `pts` as shard i to `node` under shard i's current identity.
+  void install_shard(std::size_t i, NodeId node,
+                     const std::vector<point_t>& pts) {
+    install_raw(dir_.key_of(i), dir_.version_of(i), i, pts, node);
+  }
+
+  void install_raw(std::uint64_t key, std::uint64_t version,
+                   std::size_t factory_id, const std::vector<point_t>& pts,
+                   NodeId node) {
+    WireWriter w;
+    w.put_u64(key);
+    w.put_u64(version);
+    w.put_u64(factory_id);
+    w.put_points(pts);
+    expect_ok(transport_.call(node, std::move(w).finish(MsgType::kInstallShard)),
+              "install");
+  }
+
+  std::tuple<std::vector<point_t>, std::uint64_t, std::size_t> fetch_shard(
+      std::uint64_t key, NodeId node) {
+    WireWriter w;
+    w.put_u64(key);
+    Message reply = expect_ok(
+        transport_.call(node, std::move(w).finish(MsgType::kFetchShard)),
+        "fetch");
+    WireReader r(reply);
+    (void)r.get_u64();  // echoed key
+    const std::uint64_t version = r.get_u64();
+    const auto origin = static_cast<std::size_t>(r.get_u64());
+    std::vector<point_t> pts = r.template get_points<Coord, D>();
+    return {std::move(pts), version, origin};
+  }
+
+  void drop_shard_key(std::uint64_t key, NodeId node) {
+    WireWriter w;
+    w.put_u64(key);
+    expect_ok(transport_.call(node, std::move(w).finish(MsgType::kDropShard)),
+              "drop");
+  }
+
+  // Split / merge / node-balance — the bp-forest seat discipline, with
+  // data movement over the transport instead of pointer swaps.
+  void rebalance() {
+    for (std::size_t i = 0; i < dir_.num_shards();) {
+      if (sizes_[i] > cfg_.split_threshold &&
+          dir_.num_shards() < cfg_.max_shards && splittable(i)) {
+        if (split_shard(i)) {
+          ++stats_.splits;
+          continue;  // re-examine the left half
+        }
+        // One giant equal-code run: remember the size so the next commits
+        // don't re-fetch and re-sort the whole shard over the wire until
+        // its population actually changes (the in-process writer's
+        // unsplittable_at memo, keyed by stable shard key here).
+        unsplittable_at_[dir_.key_of(i)] = sizes_[i];
+      }
+      ++i;
+    }
+    const std::size_t merge_at = cfg_.effective_merge_threshold();
+    const std::size_t min_shards = cfg_.effective_min_shards();
+    for (std::size_t i = 0; i + 1 < dir_.num_shards();) {
+      if (sizes_[i] + sizes_[i + 1] < merge_at &&
+          dir_.num_shards() > min_shards) {
+        merge_shards(i);
+        ++stats_.merges;
+        continue;
+      }
+      ++i;
+    }
+    if (cfg_.balance_nodes) balance_nodes();
+  }
+
+  bool splittable(std::size_t i) const {
+    const auto it = unsplittable_at_.find(dir_.key_of(i));
+    return it == unsplittable_at_.end() || it->second != sizes_[i];
+  }
+
+  bool split_shard(std::size_t i) {
+    const NodeId owner = dir_.owner_of(i);
+    const std::uint64_t old_key = dir_.key_of(i);
+    auto [pts, version, origin] = fetch_shard(old_key, owner);
+    (void)version;
+    std::vector<service::CodedPoint<point_t>> coded =
+        service::code_and_sort<Codec>(pts);
+    const auto cut = service::split_position(coded);
+    if (!cut) return false;
+    const auto [mid, boundary] = *cut;
+    if (!dir_.split(i, boundary)) return false;
+    std::vector<point_t> left, right;
+    left.reserve(mid);
+    right.reserve(coded.size() - mid);
+    for (std::size_t j = 0; j < mid; ++j) left.push_back(coded[j].pt);
+    for (std::size_t j = mid; j < coded.size(); ++j) {
+      right.push_back(coded[j].pt);
+    }
+    sizes_[i] = left.size();
+    sizes_.insert(sizes_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                  right.size());
+    // Both halves stay on the owner (splits never move data between nodes
+    // on their own — balance_nodes migrates whole shards afterwards).
+    install_raw(dir_.key_of(i), dir_.version_of(i), origin, left, owner);
+    install_raw(dir_.key_of(i + 1), dir_.version_of(i + 1), origin, right,
+                owner);
+    publish();
+    drop_shard_key(old_key, owner);
+    return true;
+  }
+
+  void merge_shards(std::size_t i) {
+    const NodeId left_owner = dir_.owner_of(i);
+    const NodeId right_owner = dir_.owner_of(i + 1);
+    const std::uint64_t left_key = dir_.key_of(i);
+    const std::uint64_t right_key = dir_.key_of(i + 1);
+    auto [pts, lv, origin] = fetch_shard(left_key, left_owner);
+    (void)lv;
+    auto [rhs, rv, rorigin] = fetch_shard(right_key, right_owner);
+    (void)rv;
+    (void)rorigin;
+    pts.insert(pts.end(), rhs.begin(), rhs.end());
+    dir_.merge(i, left_owner);
+    sizes_[i] = pts.size();
+    sizes_.erase(sizes_.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+    // A cross-node merge is an implicit handoff of the right half.
+    install_raw(dir_.key_of(i), dir_.version_of(i), origin, pts, left_owner);
+    publish();
+    drop_shard_key(left_key, left_owner);
+    drop_shard_key(right_key, right_owner);
+  }
+
+  // Even out per-node shard counts: migrate one shard at a time from the
+  // most to the least loaded node until they differ by at most one.
+  void balance_nodes() {
+    if (nodes_.size() < 2) return;
+    for (;;) {
+      std::vector<std::size_t> counts(nodes_.size(), 0);
+      for (std::size_t i = 0; i < dir_.num_shards(); ++i) {
+        const auto it =
+            std::find(nodes_.begin(), nodes_.end(), dir_.owner_of(i));
+        counts[static_cast<std::size_t>(it - nodes_.begin())]++;
+      }
+      const auto max_it = std::max_element(counts.begin(), counts.end());
+      const auto min_it = std::min_element(counts.begin(), counts.end());
+      if (*max_it <= *min_it + 1) return;
+      const NodeId from = nodes_[static_cast<std::size_t>(
+          max_it - counts.begin())];
+      const NodeId to = nodes_[static_cast<std::size_t>(
+          min_it - counts.begin())];
+      // Move the smallest shard of the overloaded node: least data shipped.
+      std::size_t pick = dir_.num_shards();
+      for (std::size_t i = 0; i < dir_.num_shards(); ++i) {
+        if (dir_.owner_of(i) != from) continue;
+        if (pick == dir_.num_shards() || sizes_[i] < sizes_[pick]) pick = i;
+      }
+      if (pick == dir_.num_shards()) return;
+      migrate(pick, to);
+    }
+  }
+
+  std::uint64_t publish() {
+    auto v = std::make_shared<route_t>();
+    const std::uint64_t next = epoch_.current() + 1;
+    v->epoch = next;
+    v->stamp = dir_.stamp();
+    v->map = dir_.map();
+    v->keys = dir_.keys();
+    v->versions = dir_.versions();
+    v->owners = dir_.owners();
+    for (std::size_t s : sizes_) v->total_points += s;
+    route_slot_.publish(std::move(v));
+    epoch_.advance();
+    return next;
+  }
+
+  Transport& transport_;
+  std::vector<NodeId> nodes_;
+  DistributedConfig cfg_;
+  service::ShardDirectory<Coord, D, Codec> dir_;
+  std::vector<std::size_t> sizes_;  // last acked per-shard populations
+  // Shard key -> size at which its last split attempt failed (single
+  // equal-code run); stale keys are harmless (splits/merges re-key).
+  std::map<std::uint64_t, std::size_t> unsplittable_at_;
+  service::EpochCounter epoch_;
+  service::SnapshotSlot<route_t> route_slot_;
+  CoordinatorStats stats_;
+};
+
+}  // namespace psi::net

@@ -1,0 +1,373 @@
+// TcpTransport: blocking sockets + a per-node poll loop. POSIX only (the
+// library targets Linux; see transport.h for the contract).
+//
+// Server side: every bound node owns one listening socket and one server
+// thread. The thread polls the listen socket plus all accepted
+// connections; a readable connection delivers exactly one length-prefixed
+// frame (wire.h), whose decoded Message is handed to the node's handler
+// inline — replies are written back on the same connection before the next
+// frame is read. One node's requests therefore serialise on its server
+// thread; concurrency across nodes comes from each node having its own
+// thread, and handlers stay free of cross-node calls (node.h's protocol is
+// strictly coordinator->host), so no cycle of blocked server threads can
+// form.
+//
+// Client side: call() keeps a small pool of idle connections per
+// destination, so concurrent callers use distinct sockets instead of
+// serialising on one. A connection that errors mid-call is closed and the
+// error surfaces as TransportError; the next call opens a fresh one.
+
+#include "psi/net/transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace psi::net {
+
+namespace {
+
+// Loop a full read; false on clean EOF before any byte, throws on error or
+// EOF mid-object.
+bool read_full(int fd, void* buf, std::size_t n, bool eof_ok_at_start) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r == 0) {
+      if (got == 0 && eof_ok_at_start) return false;
+      throw TransportError("connection closed mid-frame");
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw TransportError(std::string("read failed: ") + std::strerror(errno));
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+void write_full(int fd, const void* buf, std::size_t n) {
+  auto* p = static_cast<const std::uint8_t*>(buf);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::write(fd, p + sent, n - sent);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw TransportError(std::string("write failed: ") +
+                           std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+}
+
+// Read one frame (length word + body) and decode it. False on clean EOF.
+bool read_frame(int fd, Message& out) {
+  std::uint8_t len_bytes[4];
+  if (!read_full(fd, len_bytes, 4, /*eof_ok_at_start=*/true)) return false;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(len_bytes[i]) << (8 * i);
+  }
+  if (len < kFramePreludeBytes || len > kMaxFrameBytes) {
+    throw WireError("bad frame length");
+  }
+  std::vector<std::uint8_t> body(len);
+  read_full(fd, body.data(), body.size(), /*eof_ok_at_start=*/false);
+  out = decode_frame_body(std::move(body));
+  return true;
+}
+
+void write_frame(int fd, const Message& m) {
+  const std::vector<std::uint8_t> bytes = encode_frame(m);
+  write_full(fd, bytes.data(), bytes.size());
+}
+
+void close_quietly(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace
+
+struct TcpTransport::Server {
+  NodeId id = 0;
+  int listen_fd = -1;
+  std::uint16_t port = 0;
+  handler_t handler;
+  std::atomic<bool> stop{false};
+  std::thread thread;
+  std::vector<int> conns;
+
+  void run() {
+    while (!stop.load(std::memory_order_acquire)) {
+      std::vector<pollfd> fds;
+      fds.reserve(conns.size() + 1);
+      fds.push_back(pollfd{listen_fd, POLLIN, 0});
+      for (int fd : conns) fds.push_back(pollfd{fd, POLLIN, 0});
+      const int rc = ::poll(fds.data(), fds.size(), /*timeout_ms=*/50);
+      if (rc <= 0) continue;  // timeout (stop re-check) or EINTR
+      if (fds[0].revents & POLLIN) {
+        const int conn = ::accept(listen_fd, nullptr, nullptr);
+        if (conn >= 0) {
+          const int one = 1;
+          ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          // Bound mid-frame reads: a peer that sends a frame prefix and
+          // stalls must not wedge this node's (single) server thread —
+          // read_full fails with EAGAIN after 5s and the connection is
+          // dropped. Clients write whole frames in one call(), so an
+          // honest peer never trips this.
+          timeval rcv_timeout{5, 0};
+          ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &rcv_timeout,
+                       sizeof(rcv_timeout));
+          conns.push_back(conn);
+        }
+      }
+      // Iterate over the polled snapshot; closed connections are removed
+      // from `conns` as they are discovered.
+      for (std::size_t i = 1; i < fds.size(); ++i) {
+        if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+        const int fd = fds[i].fd;
+        if (!serve_one(fd)) {
+          close_quietly(fd);
+          conns.erase(std::find(conns.begin(), conns.end(), fd));
+        }
+      }
+    }
+    for (int fd : conns) close_quietly(fd);
+    conns.clear();
+    close_quietly(listen_fd);
+    listen_fd = -1;
+  }
+
+  // Handle one request frame on `fd`; false when the connection is done.
+  bool serve_one(int fd) {
+    Message req;
+    try {
+      if (!read_frame(fd, req)) return false;  // clean EOF
+    } catch (const std::exception&) {
+      return false;  // torn frame / protocol mismatch: drop the connection
+    }
+    Message reply;
+    try {
+      reply = handler(Transport::kUnknownPeer, std::move(req));
+    } catch (const std::exception& e) {
+      reply = make_error(e.what());
+    }
+    try {
+      write_frame(fd, reply);
+    } catch (const std::exception&) {
+      return false;
+    }
+    return true;
+  }
+};
+
+TcpTransport::TcpTransport() = default;
+
+TcpTransport::~TcpTransport() { shutdown(); }
+
+void TcpTransport::bind(NodeId node, handler_t handler) {
+  auto server = std::make_unique<Server>();
+  server->id = node;
+  server->handler = std::move(handler);
+
+  server->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (server->listen_fd < 0) {
+    throw TransportError(std::string("socket failed: ") +
+                         std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(server->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(server->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) < 0 ||
+      ::listen(server->listen_fd, 64) < 0) {
+    const std::string err = std::strerror(errno);
+    close_quietly(server->listen_fd);
+    throw TransportError("bind/listen failed: " + err);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(server->listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  server->port = ntohs(addr.sin_port);
+
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (down_) {
+      close_quietly(server->listen_fd);
+      throw TransportError("transport is shut down");
+    }
+    if (servers_.count(node) != 0) {
+      close_quietly(server->listen_fd);
+      throw TransportError("node " + std::to_string(node) + " already bound");
+    }
+    auto pit = peers_.find(node);  // re-bind after unbind/add_peer: no leak
+    if (pit != peers_.end()) {
+      for (int fd : pit->second.idle_fds) close_quietly(fd);
+    }
+    peers_[node] = Peer{"127.0.0.1", server->port, {}};
+    Server* raw = server.get();
+    raw->thread = std::thread([raw] { raw->run(); });
+    servers_[node] = std::move(server);
+  }
+}
+
+void TcpTransport::unbind(NodeId node) {
+  std::unique_ptr<Server> server;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = servers_.find(node);
+    if (it == servers_.end()) return;
+    server = std::move(it->second);
+    servers_.erase(it);
+    auto pit = peers_.find(node);
+    if (pit != peers_.end()) {
+      for (int fd : pit->second.idle_fds) close_quietly(fd);
+      peers_.erase(pit);
+    }
+  }
+  server->stop.store(true, std::memory_order_release);
+  server->thread.join();
+}
+
+void TcpTransport::add_peer(NodeId node, const std::string& host,
+                            std::uint16_t port) {
+  std::lock_guard<std::mutex> g(mu_);
+  // Re-registering a peer (e.g. the remote restarted on a new port) must
+  // not leak the pooled connections to its old address.
+  auto it = peers_.find(node);
+  if (it != peers_.end()) {
+    for (int fd : it->second.idle_fds) close_quietly(fd);
+  }
+  peers_[node] = Peer{host, port, {}};
+}
+
+std::uint16_t TcpTransport::port_of(NodeId node) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = servers_.find(node);
+  if (it == servers_.end()) {
+    throw TransportError("node " + std::to_string(node) +
+                         " not bound locally");
+  }
+  return it->second->port;
+}
+
+int TcpTransport::connect_to(const Peer& peer) const {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw TransportError(std::string("socket failed: ") +
+                         std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(peer.port);
+  if (::inet_pton(AF_INET, peer.host.c_str(), &addr.sin_addr) != 1) {
+    close_quietly(fd);
+    throw TransportError("bad peer address: " + peer.host);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string err = std::strerror(errno);
+    close_quietly(fd);
+    throw TransportError("connect to " + peer.host + ":" +
+                         std::to_string(peer.port) + " failed: " + err);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Message TcpTransport::call(NodeId dest, Message req) {
+  int fd = -1;
+  bool from_pool = false;
+  Peer peer_copy;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (down_) throw TransportError("transport is shut down");
+    auto it = peers_.find(dest);
+    if (it == peers_.end()) {
+      throw TransportError("no route to node " + std::to_string(dest));
+    }
+    peer_copy = it->second;
+    peer_copy.idle_fds.clear();  // address only; the pool stays in the map
+    if (!it->second.idle_fds.empty()) {
+      fd = it->second.idle_fds.back();
+      it->second.idle_fds.pop_back();
+      from_pool = true;
+    }
+  }
+  if (fd < 0) fd = connect_to(peer_copy);
+
+  Message reply;
+  try {
+    write_frame(fd, req);
+    if (!read_frame(fd, reply)) {
+      throw TransportError("peer closed connection before replying");
+    }
+  } catch (...) {
+    close_quietly(fd);
+    // A pooled connection may have died while idle (peer dropped it, RST
+    // on a long-idle socket): one retry on a *fresh* connection before
+    // failing the caller — but ONLY for idempotent messages. A commit
+    // batch may have been applied before the ack was lost; re-sending it
+    // would double-apply the updates, so its failure must surface to the
+    // coordinator (whose partial-commit path republishes the route) for
+    // at-most-once semantics. Queries, fetches, installs (replace by
+    // key+version), drops, and stats are all safe to repeat.
+    const bool idempotent = req.type != MsgType::kCommitBatch;
+    if (!from_pool || !idempotent) throw;
+    fd = connect_to(peer_copy);
+    try {
+      write_frame(fd, req);
+      if (!read_frame(fd, reply)) {
+        throw TransportError("peer closed connection before replying");
+      }
+    } catch (...) {
+      close_quietly(fd);
+      throw;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = peers_.find(dest);
+    if (!down_ && it != peers_.end() && it->second.idle_fds.size() < 8) {
+      it->second.idle_fds.push_back(fd);
+      fd = -1;
+    }
+  }
+  close_quietly(fd);  // pool full / peer gone / shut down
+  return reply;
+}
+
+void TcpTransport::shutdown() {
+  std::map<NodeId, std::unique_ptr<Server>> servers;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (down_) return;
+    down_ = true;
+    servers.swap(servers_);
+    for (auto& [id, peer] : peers_) {
+      for (int fd : peer.idle_fds) close_quietly(fd);
+      peer.idle_fds.clear();
+    }
+  }
+  for (auto& [id, server] : servers) {
+    server->stop.store(true, std::memory_order_release);
+    server->thread.join();
+  }
+}
+
+}  // namespace psi::net

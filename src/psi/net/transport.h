@@ -1,0 +1,208 @@
+// PSI-Lib net layer: the transport abstraction.
+//
+// A Transport is the fabric a set of nodes communicates over. Its contract
+// is deliberately tiny — synchronous request/response RPC:
+//
+//   * bind(node, handler): host a node on this fabric. The handler
+//     receives every request addressed to the node and returns the reply.
+//   * call(dest, msg): deliver one request and block for its reply.
+//
+// Two implementations:
+//
+//   * LoopbackTransport — in-process, zero-copy: call() moves the message
+//     straight into the destination's handler on the *caller's* thread.
+//     No serialisation round-trip is forced on the payload bytes (they
+//     were already encoded by the caller; the handler decodes the same
+//     buffer). This is the single-node deployment shape and the unit-test
+//     substrate — identical protocol code paths, no sockets.
+//   * TcpTransport (transport.cpp) — real sockets on a host network.
+//     Each bound node owns a listening socket (127.0.0.1, ephemeral port
+//     by default) and a server thread running a poll loop over its
+//     accepted connections; callers keep small per-destination connection
+//     pools. Blocking I/O + poll, no external dependencies.
+//
+// Threading contract: call() may be invoked from any number of threads
+// concurrently. Handlers must therefore be thread-safe — over loopback
+// they run on concurrent caller threads; over TCP they run on the node's
+// server thread (which serialises that node's requests, a strictly
+// *weaker* concurrency regime). Handlers must not call() back into a node
+// that is blocked waiting on them — the protocol in node.h is strictly
+// coordinator->host, so the cycle cannot arise there.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "psi/net/wire.h"
+#include "psi/service/shard_map.h"  // NodeId
+
+namespace psi::net {
+
+using service::NodeId;
+
+class Transport {
+ public:
+  // A node's request handler: full Message in, reply Message out. `from`
+  // identifies the calling node when known (loopback tracks it; TCP peers
+  // are identified by connection, reported as kUnknownPeer).
+  using handler_t = std::function<Message(NodeId from, Message req)>;
+
+  static constexpr NodeId kUnknownPeer = ~NodeId{0};
+
+  virtual ~Transport() = default;
+
+  // Host `node` on this fabric. Must not already be bound.
+  virtual void bind(NodeId node, handler_t handler) = 0;
+
+  // Stop serving `node` (its handler will not be invoked again once this
+  // returns). In-flight handler executions complete first.
+  virtual void unbind(NodeId node) = 0;
+
+  // Deliver one request to `dest` and block for the reply. Throws
+  // TransportError if the destination is unknown or unreachable.
+  virtual Message call(NodeId dest, Message req) = 0;
+
+  // Calling-node identity stamped on loopback requests (optional;
+  // diagnostic only).
+  virtual Message call_from(NodeId src, NodeId dest, Message req) {
+    (void)src;
+    return call(dest, std::move(req));
+  }
+};
+
+struct TransportError : std::runtime_error {
+  explicit TransportError(const std::string& what)
+      : std::runtime_error("transport: " + what) {}
+};
+
+// ---------------------------------------------------------------------------
+// LoopbackTransport
+// ---------------------------------------------------------------------------
+
+class LoopbackTransport final : public Transport {
+ public:
+  void bind(NodeId node, handler_t handler) override {
+    std::lock_guard<std::mutex> g(mu_);
+    auto& slot = nodes_[node];
+    if (slot != nullptr) {
+      throw TransportError("loopback: node " + std::to_string(node) +
+                           " already bound");
+    }
+    slot = std::make_shared<Slot>();
+    slot->handler = std::move(handler);
+  }
+
+  // Honours the contract: returns only once every in-flight handler
+  // execution has completed — the handler typically captures the bound
+  // object's `this` (ShardHost), whose destructor calls unbind precisely
+  // to make its teardown safe against racing callers.
+  void unbind(NodeId node) override {
+    std::shared_ptr<Slot> slot;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      auto it = nodes_.find(node);
+      if (it == nodes_.end()) return;
+      slot = std::move(it->second);
+      nodes_.erase(it);
+    }
+    // Callers increment `active` under mu_ before invoking, so once the
+    // node is out of the map this count only decreases.
+    while (slot->active.load(std::memory_order_acquire) != 0) {
+      std::this_thread::yield();
+    }
+  }
+
+  Message call(NodeId dest, Message req) override {
+    return call_from(kUnknownPeer, dest, std::move(req));
+  }
+
+  Message call_from(NodeId src, NodeId dest, Message req) override {
+    std::shared_ptr<Slot> slot;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      auto it = nodes_.find(dest);
+      if (it == nodes_.end()) {
+        throw TransportError("loopback: no node " + std::to_string(dest));
+      }
+      slot = it->second;
+      slot->active.fetch_add(1, std::memory_order_acq_rel);
+    }
+    struct ActiveGuard {
+      Slot& slot;
+      ~ActiveGuard() { slot.active.fetch_sub(1, std::memory_order_acq_rel); }
+    } guard{*slot};
+    // Zero-copy delivery: the encoded payload moves through untouched, on
+    // the caller's thread.
+    return slot->handler(src, std::move(req));
+  }
+
+ private:
+  struct Slot {
+    handler_t handler;
+    std::atomic<int> active{0};  // handler executions in flight
+  };
+
+  std::mutex mu_;
+  std::map<NodeId, std::shared_ptr<Slot>> nodes_;
+};
+
+// ---------------------------------------------------------------------------
+// TcpTransport (implementation in transport.cpp)
+// ---------------------------------------------------------------------------
+
+// Real TCP on a host network. bind() opens a listening socket on
+// `listen_host` (default 127.0.0.1) with an ephemeral port and starts a
+// server thread; the node's address is then discoverable via port_of() —
+// a multi-process deployment exchanges addresses out of band and registers
+// peers with add_peer(). call() uses a small per-destination pool of
+// connections, so concurrent callers do not serialise on one socket.
+class TcpTransport final : public Transport {
+ public:
+  TcpTransport();
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  void bind(NodeId node, handler_t handler) override;
+  void unbind(NodeId node) override;
+  Message call(NodeId dest, Message req) override;
+
+  // Address book for destinations not bound through this instance (other
+  // processes / machines).
+  void add_peer(NodeId node, const std::string& host, std::uint16_t port);
+
+  // Listening port of a locally bound node (test plumbing + address
+  // exchange).
+  std::uint16_t port_of(NodeId node) const;
+
+  // Close all pooled client connections and stop every bound node's
+  // server. Called by the destructor.
+  void shutdown();
+
+ private:
+  struct Server;  // one bound node: listen socket + poll-loop thread
+  struct Peer {   // where to reach a node + pooled idle connections
+    std::string host;
+    std::uint16_t port = 0;
+    std::vector<int> idle_fds;
+  };
+
+  int connect_to(const Peer& peer) const;
+
+  mutable std::mutex mu_;
+  std::map<NodeId, std::unique_ptr<Server>> servers_;
+  std::map<NodeId, Peer> peers_;
+  bool down_ = false;
+};
+
+}  // namespace psi::net

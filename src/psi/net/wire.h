@@ -1,0 +1,367 @@
+// PSI-Lib net layer: the wire format.
+//
+// Length-prefixed binary frames carrying one message each:
+//
+//   [u32 frame_len] [u16 magic "PW"] [u16 version] [u8 type] [payload...]
+//
+// frame_len counts everything after the length word. The magic+version
+// pair is checked on every frame so a node never misinterprets a peer
+// running a different protocol revision: decoding fails loudly (WireError)
+// instead of producing garbage shard data. Bump kWireVersion whenever a
+// message's payload layout changes — there is no in-band negotiation, the
+// deployment upgrades atomically (README "Distributed deployment" notes).
+//
+// All integers are little-endian, written byte-by-byte so the format is
+// independent of host endianness and alignment. Coordinates serialise as
+// their 64-bit pattern: two's-complement for integral Coord, IEEE-754 bits
+// for floating Coord. A reader and writer must agree on Coord/D (they are
+// two ends of the same templated service type).
+//
+// The codec is deliberately allocation-light: WireWriter appends to one
+// growing buffer that becomes the Message payload; WireReader is a
+// non-owning cursor over the received bytes with bounds checks on every
+// read.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "psi/geometry/box.h"
+#include "psi/geometry/point.h"
+#include "psi/service/shard_store.h"
+
+namespace psi::net {
+
+inline constexpr std::uint16_t kWireMagic = 0x5057;  // "PW"
+inline constexpr std::uint16_t kWireVersion = 1;
+
+// One message kind per request/response the distributed service speaks.
+enum class MsgType : std::uint8_t {
+  kOk = 0,           // generic ack: payload depends on the request
+  kError = 1,        // payload: string (diagnostic)
+  kCommitBatch = 2,  // coordinator -> host: per-shard update runs
+  kCommitAck = 3,    // host -> coordinator: new per-shard sizes
+  kQuery = 4,        // client -> host: range/ball/knn over listed shards
+  kQueryResult = 5,  // host -> client: points/count + version piggyback
+  kFetchShard = 6,   // coordinator -> host: flatten one shard
+  kShardData = 7,    // host -> coordinator: the flattened points
+  kInstallShard = 8, // coordinator -> host: adopt a shard (load/split/handoff)
+  kDropShard = 9,    // coordinator -> host: release a shard after handoff
+  kStat = 10,        // client -> host: sizes of hosted shards
+  kStatReply = 11,
+};
+
+// Query kinds inside a kQuery payload.
+enum class QueryKind : std::uint8_t {
+  kRangeList = 0,
+  kRangeCount = 1,
+  kBallList = 2,
+  kBallCount = 3,
+  kKnn = 4,
+};
+
+struct WireError : std::runtime_error {
+  explicit WireError(const std::string& what)
+      : std::runtime_error("wire: " + what) {}
+};
+
+// A decoded message: type tag + owned payload bytes. `offset` is where the
+// payload begins inside `bytes` — a frame decoded off the wire keeps its
+// 5-byte prelude in the buffer instead of memmoving the (possibly
+// shard-sized) payload left; locally built messages use offset 0.
+struct Message {
+  MsgType type = MsgType::kOk;
+  std::vector<std::uint8_t> bytes;
+  std::size_t offset = 0;
+
+  std::size_t payload_size() const { return bytes.size() - offset; }
+  const std::uint8_t* payload_data() const { return bytes.data() + offset; }
+};
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+class WireWriter {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void put_u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+
+  void put_u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void put_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void put_f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_u64(bits);
+  }
+
+  template <typename Coord>
+  void put_coord(Coord c) {
+    if constexpr (std::is_floating_point_v<Coord>) {
+      put_f64(static_cast<double>(c));
+    } else {
+      put_u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(c)));
+    }
+  }
+
+  template <typename Coord, int D>
+  void put_point(const Point<Coord, D>& p) {
+    for (int d = 0; d < D; ++d) put_coord(p[d]);
+  }
+
+  template <typename Coord, int D>
+  void put_box(const Box<Coord, D>& b) {
+    put_point(b.lo);
+    put_point(b.hi);
+  }
+
+  template <typename Coord, int D>
+  void put_points(const std::vector<Point<Coord, D>>& pts) {
+    put_u64(pts.size());
+    for (const auto& p : pts) put_point(p);
+  }
+
+  template <typename PointT>
+  void put_runs(const std::vector<service::OpRun<PointT>>& runs) {
+    put_u32(static_cast<std::uint32_t>(runs.size()));
+    for (const auto& r : runs) {
+      put_u8(r.is_delete ? 1 : 0);
+      put_points(r.pts);
+    }
+  }
+
+  void put_string(const std::string& s) {
+    put_u32(static_cast<std::uint32_t>(s.size()));
+    // Byte loop, not insert(begin, end): GCC 12's -Wstringop-overflow
+    // misfires on the iterator-range insert at -O3, and strings on this
+    // path are short diagnostics.
+    for (const char c : s) buf_.push_back(static_cast<std::uint8_t>(c));
+  }
+
+  Message finish(MsgType type) && {
+    return Message{type, std::move(buf_)};
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+class WireReader {
+ public:
+  explicit WireReader(const Message& m)
+      : data_(m.payload_data()), size_(m.payload_size()) {}
+  WireReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+
+  std::uint8_t get_u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  std::uint16_t get_u16() {
+    need(2);
+    std::uint16_t v = static_cast<std::uint16_t>(
+        data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t get_u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t get_u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  double get_f64() {
+    const std::uint64_t bits = get_u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  template <typename Coord>
+  Coord get_coord() {
+    if constexpr (std::is_floating_point_v<Coord>) {
+      return static_cast<Coord>(get_f64());
+    } else {
+      return static_cast<Coord>(static_cast<std::int64_t>(get_u64()));
+    }
+  }
+
+  template <typename Coord, int D>
+  Point<Coord, D> get_point() {
+    Point<Coord, D> p;
+    for (int d = 0; d < D; ++d) p[d] = get_coord<Coord>();
+    return p;
+  }
+
+  template <typename Coord, int D>
+  Box<Coord, D> get_box() {
+    Box<Coord, D> b;
+    b.lo = get_point<Coord, D>();
+    b.hi = get_point<Coord, D>();
+    return b;
+  }
+
+  template <typename Coord, int D>
+  std::vector<Point<Coord, D>> get_points() {
+    const std::uint64_t n = get_u64();
+    // Each point occupies 8*D payload bytes: reject counts the remaining
+    // bytes cannot back before allocating (a corrupt frame must not
+    // trigger a huge allocation).
+    const std::size_t per = static_cast<std::size_t>(D) * 8;
+    if (n > remaining() / per) {
+      throw WireError("point count exceeds frame payload");
+    }
+    std::vector<Point<Coord, D>> pts(static_cast<std::size_t>(n));
+    for (auto& p : pts) p = get_point<Coord, D>();
+    return pts;
+  }
+
+  template <typename PointT>
+  std::vector<service::OpRun<PointT>> get_runs() {
+    const std::uint32_t n = get_u32();
+    // Each run occupies at least 9 payload bytes (u8 kind + u64 count):
+    // reject counts the frame cannot back before reserving.
+    if (n > remaining() / 9) {
+      throw WireError("run count exceeds frame payload");
+    }
+    std::vector<service::OpRun<PointT>> runs;
+    runs.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      service::OpRun<PointT> r;
+      r.is_delete = get_u8() != 0;
+      r.pts = get_points<typename PointT::coord_t, PointT::kDim>();
+      runs.push_back(std::move(r));
+    }
+    return runs;
+  }
+
+  std::string get_string() {
+    const std::uint32_t n = get_u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (size_ - pos_ < n) throw WireError("truncated frame");
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+inline constexpr std::size_t kFrameHeaderBytes = 4;  // the length word
+inline constexpr std::size_t kFramePreludeBytes = 5; // magic+version+type
+// One frame must fit in memory twice (encode + socket buffer); 1 GiB is
+// far above any shard ship and low enough to reject corrupt length words.
+inline constexpr std::uint32_t kMaxFrameBytes = std::uint32_t{1} << 30;
+
+// Serialise `m` into a self-delimiting byte frame.
+inline std::vector<std::uint8_t> encode_frame(const Message& m) {
+  const std::size_t body = kFramePreludeBytes + m.payload_size();
+  if (body > kMaxFrameBytes) throw WireError("frame too large to encode");
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderBytes + body);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(body >> (8 * i)));
+  }
+  out.push_back(static_cast<std::uint8_t>(kWireMagic));
+  out.push_back(static_cast<std::uint8_t>(kWireMagic >> 8));
+  out.push_back(static_cast<std::uint8_t>(kWireVersion));
+  out.push_back(static_cast<std::uint8_t>(kWireVersion >> 8));
+  out.push_back(static_cast<std::uint8_t>(m.type));
+  out.insert(out.end(), m.payload_data(), m.payload_data() + m.payload_size());
+  return out;
+}
+
+// Decode one frame body (the bytes after the length word) into a Message,
+// verifying magic and version. The payload is not copied or moved — the
+// Message adopts the buffer and marks where the payload starts.
+inline Message decode_frame_body(std::vector<std::uint8_t> body) {
+  if (body.size() < kFramePreludeBytes) throw WireError("short frame");
+  WireReader r(body.data(), kFramePreludeBytes);
+  const std::uint16_t magic = r.get_u16();
+  const std::uint16_t version = r.get_u16();
+  if (magic != kWireMagic) throw WireError("bad magic");
+  if (version != kWireVersion) {
+    throw WireError("protocol version mismatch: peer speaks v" +
+                    std::to_string(version) + ", this build speaks v" +
+                    std::to_string(kWireVersion));
+  }
+  Message m;
+  m.type = static_cast<MsgType>(body[4]);
+  m.bytes = std::move(body);
+  m.offset = kFramePreludeBytes;
+  return m;
+}
+
+// Convenience: an error reply.
+inline Message make_error(const std::string& what) {
+  WireWriter w;
+  w.put_string(what);
+  return std::move(w).finish(MsgType::kError);
+}
+
+// Raise the payload of a kError reply as a WireError; pass anything else
+// through.
+inline Message expect_ok(Message m, const char* context) {
+  if (m.type == MsgType::kError) {
+    WireReader r(m);
+    throw WireError(std::string(context) + ": peer error: " + r.get_string());
+  }
+  return m;
+}
+
+}  // namespace psi::net

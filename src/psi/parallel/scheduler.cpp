@@ -1,6 +1,7 @@
 #include "psi/parallel/scheduler.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <random>
@@ -21,12 +22,23 @@ int env_num_workers() {
   return hc == 0 ? 1 : static_cast<int>(hc);
 }
 
+// Strict PSI_GRAIN parse: the whole string must be a positive decimal
+// number. A malformed ("2k"), empty, zero, or negative value falls back to
+// the default instead of silently becoming 0 or a truncated prefix (atol
+// would accept "12abc" as 12 and map garbage to 0); values beyond
+// kMaxGrain — including out-of-range parses — clamp to kMaxGrain, which
+// already means "never fork".
 std::size_t env_grain() {
-  if (const char* s = std::getenv("PSI_GRAIN")) {
-    const long v = std::atol(s);
-    if (v >= 1) return static_cast<std::size_t>(v);
-  }
-  return kDefaultGrain;
+  const char* s = std::getenv("PSI_GRAIN");
+  if (s == nullptr || *s == '\0') return kDefaultGrain;
+  if (s[0] < '0' || s[0] > '9') return kDefaultGrain;  // strtoull would
+  errno = 0;                                           // skip space / '-'
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return kDefaultGrain;
+  if (errno == ERANGE || v > kMaxGrain) return kMaxGrain;
+  if (v == 0) return kDefaultGrain;
+  return static_cast<std::size_t>(v);
 }
 
 // 0 = not yet resolved from the environment.

@@ -187,8 +187,14 @@ inline int worker_id() { return Scheduler::worker_id(); }
 
 inline constexpr std::size_t kDefaultGrain = 2048;
 
+// Largest accepted grain: above ~a billion elements per task the knob means
+// "never fork" regardless, so PSI_GRAIN values beyond this clamp here
+// instead of silently becoming a nonsense size_t.
+inline constexpr std::size_t kMaxGrain = std::size_t{1} << 30;
+
 // Current grain: set_fork_grain() override, else PSI_GRAIN env, else
-// kDefaultGrain.
+// kDefaultGrain. A malformed, empty, zero, or negative PSI_GRAIN falls
+// back to kDefaultGrain; oversized values clamp to kMaxGrain.
 std::size_t fork_grain();
 
 // Runtime override (tests, benches). 0 restores the env/default value.

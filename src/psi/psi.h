@@ -66,6 +66,10 @@
 #include "psi/geometry/point.h"
 #include "psi/geometry/region.h"
 #include "psi/io/dataset_io.h"
+#include "psi/net/distributed_service.h"
+#include "psi/net/node.h"
+#include "psi/net/transport.h"
+#include "psi/net/wire.h"
 #include "psi/parallel/counting_sort.h"
 #include "psi/parallel/primitives.h"
 #include "psi/parallel/random.h"
@@ -79,5 +83,6 @@
 #include "psi/service/service.h"
 #include "psi/service/service_stats.h"
 #include "psi/service/shard_map.h"
+#include "psi/service/shard_store.h"
 #include "psi/service/snapshot.h"
 #include "psi/sfc/codec.h"

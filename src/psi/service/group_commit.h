@@ -30,27 +30,27 @@
 //      every update of groups <= G and nothing later — group-commit
 //      linearisation.
 //
+// Structure: the committer composes two location-agnostic pieces —
+//
+//   * a ShardDirectory (shard_map.h): the authoritative record of shard
+//     ranges, stable keys, owner nodes, content versions, and the topology
+//     stamp. The in-process committer hosts every shard on node 0; the
+//     distributed coordinator (net/node.h) drives the identical directory
+//     with real placements.
+//   * a ShardStore (shard_store.h): the replica slot mechanics — ping-pong
+//     standby, grace periods, pending-log replay, pipelined asynchronous
+//     replays, replica rebuilds under pinned readers. The same store runs
+//     on every node of the distributed service.
+//
 // The ping-pong standby costs 2x memory and applies every batch twice, and
 // in exchange updates never copy a tree and readers never take a lock; the
 // replay is batched work on a tree of the same size the live apply just
 // handled, so write throughput stays within ~2x of the raw index.
 //
 // Pipelined commits (cfg.pipelined_commits, default on): the standby
-// replay is taken off the commit critical path. Right after publishing
-// epoch i, each touched shard spawns a detached replay task (AsyncTask)
-// that waits out the grace period and replays batch i onto the new standby
-// on pool workers — overlapping with the answering of group i's queries,
-// with any number of query-only groups, and (since the join is per shard,
-// at the moment that shard is next written) with the live apply of batch
-// i+1 on *other* shards. Epoch publication order, the grace-period
-// protocol, and the observable commit semantics are unchanged: a commit
-// that reaches a shard whose replay is still running simply joins it
-// first, which is exactly the work the unpipelined writer would have done
-// inline. Replay tasks never hold pointers into their slot (they own
-// copies of the standby handle and the runs), so slots may move freely
-// while a task runs; a rebuild that overwrites or drops a slot joins that
-// slot's task through AsyncTask's move-assign/destructor, and load()
-// settles everything before replacing the slot array.
+// replay is taken off the commit critical path — see shard_store.h for the
+// task protocol. Epoch publication order, the grace-period protocol, and
+// the observable commit semantics are unchanged.
 
 #pragma once
 
@@ -67,11 +67,11 @@
 #include "psi/parallel/primitives.h"
 #include "psi/parallel/scheduler.h"
 #include "psi/parallel/sort.h"
-#include "psi/parallel/task_group.h"
 #include "psi/service/epoch.h"
 #include "psi/service/request_queue.h"
 #include "psi/service/service_stats.h"
 #include "psi/service/shard_map.h"
+#include "psi/service/shard_store.h"
 #include "psi/service/snapshot.h"
 
 namespace psi::service {
@@ -92,8 +92,8 @@ struct ServiceConfig {
   // Background committer wake-up interval (service.h).
   int commit_interval_ms = 1;
   // Two-stage commit pipeline: replay the standby asynchronously after
-  // publish instead of on the next commit's critical path (see the header
-  // comment). Off = the strictly sequential replay-then-apply writer.
+  // publish instead of on the next commit's critical path (see
+  // shard_store.h). Off = the strictly sequential replay-then-apply writer.
   bool pipelined_commits = true;
   // Query-cache shape (service.h / query_cache.h): number of memo slots,
   // and the size-aware admission budget — list results above this many
@@ -122,38 +122,22 @@ class GroupCommitter {
   using request_t = Request<coord_t, kDim>;
   using result_t = Result<coord_t, kDim>;
   using snapshot_t = Snapshot<Index, Codec>;
+  using store_t = ShardStore<Index>;
+  using run_t = typename store_t::run_t;
   // The shard factory receives the shard's slot index at creation time, so
   // one service can run *heterogeneous* backends per shard (Index =
   // api::AnyIndex; e.g. SPaC-Z for hot low-id shards, the log-structured
   // baseline for cold ones). Slots created by split/merge ask the factory
   // with the index the new slot will occupy; a slot's replicas always come
   // from the same factory id, so live and standby stay the same backend.
-  using factory_t = std::function<Index(std::size_t)>;
+  using factory_t = typename store_t::factory_t;
 
   GroupCommitter(ServiceConfig cfg, factory_t factory)
       : cfg_(cfg),
-        factory_(std::move(factory)),
-        map_(map_t::uniform(std::max<std::size_t>(1, cfg.initial_shards))) {
-    slots_.resize(map_.num_shards());
-    shard_versions_.resize(slots_.size());
-    for (std::size_t i = 0; i < slots_.size(); ++i) {
-      slots_[i].origin = i;
-      slots_[i].live = make_index(i);
-      slots_[i].standby = make_index(i);
-      shard_versions_[i] = fresh_version();
-    }
+        dir_(std::max<std::size_t>(1, cfg.initial_shards)),
+        store_(std::move(factory), cfg.pipelined_commits) {
+    store_.init_empty(dir_.num_shards());
     publish();
-  }
-
-  ~GroupCommitter() {
-    // Outstanding replay tasks reference replica handles; join them before
-    // the slots go away. Task exceptions die with the committer.
-    for (auto& s : slots_) {
-      try {
-        s.replay.join();
-      } catch (...) {
-      }
-    }
   }
 
   // Reader entry point: pin the current view.
@@ -173,45 +157,21 @@ class GroupCommitter {
   // boundaries and contiguous per-shard slices, from which both replicas
   // of each shard are built.
   void load(const std::vector<point_t>& pts) {
-    settle_all_replays();  // slots are about to be replaced wholesale
     const std::size_t n = pts.size();
-    std::vector<Coded> coded = tabulate<Coded>(n, [&](std::size_t i) {
-      return Coded{Codec::encode(pts[i]), pts[i]};
-    });
-    sample_sort(coded, [](const Coded& a, const Coded& b) {
-      if (a.code != b.code) return a.code < b.code;
-      return a.pt < b.pt;
-    });
+    std::vector<CodedPoint<point_t>> coded = code_and_sort<Codec>(pts);
     std::vector<std::uint64_t> codes = tabulate<std::uint64_t>(
         n, [&](std::size_t i) { return coded[i].code; });
-    map_ = map_t::from_sorted_codes(
-        codes, std::max<std::size_t>(1, cfg_.initial_shards));
-    const std::size_t k = map_.num_shards();
-    slots_.clear();
-    slots_.resize(k);  // move-only slots: no copy-fill
+    // Wholesale replacement: every shard gets a fresh key and version and
+    // the topology generation advances, invalidating all cached results.
+    dir_.reset(map_t::from_sorted_codes(
+        codes, std::max<std::size_t>(1, cfg_.initial_shards)));
+    const std::size_t k = dir_.num_shards();
+    // resize_slots settles the in-flight replays of the outgoing slots.
+    stats_.grace_yields += store_.resize_slots(k);
     parallel_for_shards(k, [&](std::size_t i) {
       // Shard i owns the contiguous sorted slice of codes in its range.
-      const auto lo = std::lower_bound(codes.begin(), codes.end(),
-                                       map_.lower_bound_of(i)) -
-                      codes.begin();
-      const auto hi = std::upper_bound(codes.begin(), codes.end(),
-                                       map_.upper_bound_of(i)) -
-                      codes.begin();
-      std::vector<point_t> part = tabulate<point_t>(
-          static_cast<std::size_t>(hi - lo), [&](std::size_t j) {
-            return coded[static_cast<std::size_t>(lo) + j].pt;
-          });
-      slots_[i].origin = i;
-      slots_[i].live = make_index(i);
-      slots_[i].live->build(part);
-      slots_[i].standby = make_index(i);
-      slots_[i].standby->build(part);
+      store_.build_slot_at(i, shard_slice(coded, codes, dir_.map(), i), i);
     });
-    // Wholesale replacement: every shard gets a fresh version and the
-    // topology generation advances, invalidating all cached results.
-    shard_versions_.resize(k);
-    for (std::size_t i = 0; i < k; ++i) shard_versions_[i] = fresh_version();
-    ++map_stamp_;
     rebalance();
     publish();
   }
@@ -219,10 +179,10 @@ class GroupCommitter {
   // Apply one drained FIFO group. Must be externally serialised.
   void commit(std::vector<request_t> group) {
     if (group.empty()) return;
-    const std::size_t k = map_.num_shards();
+    const std::size_t k = dir_.num_shards();
     // Per-shard ordered runs of same-kind ops: coalesces into batches while
     // preserving each shard's FIFO op order exactly.
-    std::vector<std::vector<OpRun>> runs(k);
+    std::vector<std::vector<run_t>> runs(k);
     std::vector<request_t*> queries;
     bool has_updates = false;
     for (auto& req : group) {
@@ -231,9 +191,9 @@ class GroupCommitter {
         case RequestKind::kDelete: {
           const bool is_delete = req.kind == RequestKind::kDelete;
           ++(is_delete ? stats_.ops_delete : stats_.ops_insert);
-          auto& shard_runs = runs[map_.shard_of(req.pt)];
+          auto& shard_runs = runs[dir_.map().shard_of(req.pt)];
           if (shard_runs.empty() || shard_runs.back().is_delete != is_delete) {
-            shard_runs.push_back(OpRun{is_delete, {}});
+            shard_runs.push_back(run_t{is_delete, {}});
           }
           shard_runs.back().pts.push_back(req.pt);
           has_updates = true;
@@ -262,9 +222,9 @@ class GroupCommitter {
       std::vector<std::uint64_t> yields(k, 0);
       parallel_for_shards(k, [&](std::size_t i) {
         if (runs[i].empty()) return;
-        yields[i] = apply_shard(i, std::move(runs[i]));
-        // Distinct indices per task; fresh_version() is atomic.
-        shard_versions_[i] = fresh_version();
+        yields[i] = store_.apply(i, std::move(runs[i]));
+        // Distinct indices per task; the version allocator is atomic.
+        dir_.touch(i);
       });
       for (auto y : yields) stats_.grace_yields += y;
       // Untouched shards may still be replaying batch i-1 — that is the
@@ -275,7 +235,7 @@ class GroupCommitter {
       // destructor.
       rebalance();
       publish();
-      if (cfg_.pipelined_commits) spawn_replays();
+      store_.spawn_replays();
     }
 
     const std::uint64_t epoch = stats_.epoch;
@@ -321,198 +281,39 @@ class GroupCommitter {
 
   ServiceStats stats() const {
     ServiceStats s = stats_;
-    s.replica_rebuilds = replica_rebuilds_.load(std::memory_order_relaxed);
-    s.num_shards = slots_.size();
+    s.replica_rebuilds = store_.replica_rebuilds();
+    s.num_shards = store_.num_slots();
     s.shard_sizes.clear();
-    s.shard_sizes.reserve(slots_.size());
+    s.shard_sizes.reserve(store_.num_slots());
     s.size_total = 0;
-    for (const auto& slot : slots_) {
-      s.shard_sizes.push_back(slot.live->size());
-      s.size_total += slot.live->size();
+    for (std::size_t i = 0; i < store_.num_slots(); ++i) {
+      s.shard_sizes.push_back(store_.size_of(i));
+      s.size_total += store_.size_of(i);
     }
     return s;
   }
 
  private:
-  // A maximal run of same-kind update ops, in FIFO order.
-  struct OpRun {
-    bool is_delete = false;
-    std::vector<point_t> pts;
-  };
-
-  // A point with its routing code, the unit load() and split_shard() sort.
-  struct Coded {
-    std::uint64_t code;
-    point_t pt;
-  };
-
-  // What a detached replay task reports back (shared with the slot so the
-  // task stays self-contained if the slot moves in the meantime).
-  struct ReplayOutcome {
-    bool replayed = false;
-    std::uint64_t yields = 0;
-  };
-
-  struct ShardSlot {
-    std::shared_ptr<Index> live;     // state as of the last published epoch
-    std::shared_ptr<Index> standby;  // lags live by exactly the pending log
-    std::vector<OpRun> pending;      // runs applied to live but not standby
-    // Factory id this slot's replicas were created with; replica rebuilds
-    // reuse it so live and standby stay the same backend type even after
-    // later splits/merges shifted the slot's position.
-    std::size_t origin = 0;
-    // Size at which the last split attempt failed (one giant equal-code
-    // run). Skips re-paying flatten+sort every commit until the shard's
-    // population actually changes.
-    std::size_t unsplittable_at = 0;
-    // Pipeline stage 2: the in-flight asynchronous replay of the pending
-    // runs onto the standby, spawned right after publish. While a task is
-    // in flight the runs live in `replay_runs` (shared with the closure —
-    // moved there, not copied, and moved back into `pending` if the
-    // replay fails); the task never holds a pointer into this slot, so a
-    // slot is free to move while its task runs. `standby_caught_up`
-    // records a successful replay: the standby equals live and is
-    // quiescent.
-    AsyncTask replay;
-    std::shared_ptr<std::vector<OpRun>> replay_runs;
-    std::shared_ptr<ReplayOutcome> replay_out;
-    bool standby_caught_up = false;
-  };
-
-  std::shared_ptr<Index> make_index(std::size_t factory_id) const {
-    return std::make_shared<Index>(factory_(factory_id));
-  }
-
-  // Replay + apply on the standby replica, then swap it live.
-  std::uint64_t apply_shard(std::size_t i, std::vector<OpRun> group_runs) {
-    ShardSlot& s = slots_[i];
-    std::uint64_t yields = settle_replay(s);
-    if (!s.standby_caught_up) {
-      const GraceResult grace = await_quiescent(s.standby);
-      yields += grace.iters;
-      if (!grace.quiesced) {
-        // A stale reader (possibly this very thread, holding a Snapshot
-        // across a flush) pins the replica: abandon it and clone live,
-        // which already contains the pending log.
-        s.standby = make_index(s.origin);
-        s.standby->build(s.live->flatten());
-        s.pending.clear();
-        ++replica_rebuilds_;
-      }
-    }
-    Index& idx = *s.standby;
-    for (const OpRun& run : s.pending) apply_run(idx, run);
-    for (const OpRun& run : group_runs) apply_run(idx, run);
-    std::swap(s.live, s.standby);
-    s.pending = std::move(group_runs);
-    s.standby_caught_up = false;  // the new standby is the just-retired live
-    return yields;
-  }
-
-  // Join the slot's in-flight replay task (if any) and fold its outcome
-  // into the slot: on success the pending log is already on the standby
-  // and the grace period has passed; on failure the runs move back into
-  // `pending` for the inline slow path. Returns the task's yields.
-  std::uint64_t settle_replay(ShardSlot& s) {
-    if (!s.replay.valid()) return 0;
-    // Fold the outcome into the slot before rethrowing a task exception:
-    // the pending log must survive a failed replay (same post-exception
-    // state as the inline writer — live intact, pending intact, standby
-    // possibly part-applied) instead of being silently dropped.
-    std::exception_ptr err;
-    try {
-      s.replay.join();
-    } catch (...) {
-      err = std::current_exception();
-    }
-    std::uint64_t yields = 0;
-    if (s.replay_out) {
-      yields = s.replay_out->yields;
-      if (!err && s.replay_out->replayed) {
-        s.standby_caught_up = true;
-      } else if (s.replay_runs) {
-        s.pending = std::move(*s.replay_runs);
-      }
-      s.replay_out.reset();
-    }
-    s.replay_runs.reset();
-    if (err) std::rethrow_exception(err);
-    return yields;
-  }
-
-  // Join every in-flight replay task. Only needed when the slot *array*
-  // is replaced wholesale (load); individual slot rebuilds join their own
-  // task through AsyncTask move-assign/destruction.
-  void settle_all_replays() {
-    for (auto& s : slots_) stats_.grace_yields += settle_replay(s);
-  }
-
-  // Pipeline stage 2: spawn the asynchronous standby replays for every
-  // shard the just-published commit touched. Runs after publish() so the
-  // grace period the tasks wait out is the one the publication started.
-  // With a sequential pool a spawn would execute inline — all cost (an
-  // eager grace wait per commit), no overlap — so the writer falls back to
-  // the classic lazy replay-on-next-commit there.
-  void spawn_replays() {
-    if (num_workers() <= 1) return;
-    for (auto& s : slots_) {
-      if (s.pending.empty() || s.replay.valid() || s.standby_caught_up) {
-        continue;
-      }
-      s.replay_out = std::make_shared<ReplayOutcome>();
-      // The runs MOVE into shared ownership (settle_replay moves them back
-      // on failure); the standby handle is copied, so the grace wait
-      // allows exactly one extra reference — the task's own.
-      s.replay_runs =
-          std::make_shared<std::vector<OpRun>>(std::move(s.pending));
-      s.pending.clear();  // moved-from; make the empty state explicit
-      s.replay = AsyncTask([out = s.replay_out, standby = s.standby,
-                            runs = s.replay_runs] {
-        // Smaller grace budget than the inline path (4096): a task that
-        // cannot quiesce is parking a pool *worker* in the sleep loop, so
-        // give up after ~50ms and let the next write retry inline with
-        // the full budget. Uncontended replays exit in a few iterations
-        // either way.
-        const GraceResult grace =
-            await_quiescent(standby, 1024, /*allowed_refs=*/2);
-        out->yields = grace.iters;
-        if (!grace.quiesced) return;
-        for (const OpRun& run : *runs) apply_run(*standby, run);
-        out->replayed = true;
-      });
-    }
-  }
-
-  static void apply_run(Index& idx, const OpRun& run) {
-    if (run.pts.empty()) return;
-    if (run.is_delete) {
-      idx.batch_delete(run.pts);
-    } else {
-      idx.batch_insert(run.pts);
-    }
-  }
-
   // bp-forest style seat management: split overgrown shards at the median
   // code of their contents, merge adjacent underfull neighbours.
   void rebalance() {
-    for (std::size_t i = 0; i < slots_.size();) {
-      if (slots_[i].live->size() > cfg_.split_threshold &&
-          slots_[i].live->size() != slots_[i].unsplittable_at &&
-          map_.num_shards() < cfg_.max_shards) {
+    for (std::size_t i = 0; i < store_.num_slots();) {
+      if (store_.size_of(i) > cfg_.split_threshold &&
+          store_.size_of(i) != store_.unsplittable_at(i) &&
+          dir_.num_shards() < cfg_.max_shards) {
         if (split_shard(i)) {
           ++stats_.splits;
           continue;  // re-examine the left half (may still be overgrown)
         }
-        slots_[i].unsplittable_at = slots_[i].live->size();
+        store_.set_unsplittable_at(i, store_.size_of(i));
       }
       ++i;
     }
     const std::size_t merge_at = cfg_.effective_merge_threshold();
     const std::size_t min_shards = cfg_.effective_min_shards();
-    for (std::size_t i = 0; i + 1 < slots_.size();) {
-      const std::size_t combined =
-          slots_[i].live->size() + slots_[i + 1].live->size();
-      if (combined < merge_at && slots_.size() > min_shards) {
+    for (std::size_t i = 0; i + 1 < store_.num_slots();) {
+      const std::size_t combined = store_.size_of(i) + store_.size_of(i + 1);
+      if (combined < merge_at && store_.num_slots() > min_shards) {
         merge_shards(i);
         ++stats_.merges;
         continue;  // the merged shard may absorb the next neighbour too
@@ -522,38 +323,17 @@ class GroupCommitter {
   }
 
   bool split_shard(std::size_t i) {
-    const std::vector<point_t> pts = slots_[i].live->flatten();
-    const std::size_t n = pts.size();
-    if (n < 2) return false;
+    const std::vector<point_t> pts = store_.flatten(i);
     // Codes are computed once and sorted with the parallel sample sort:
     // this runs under the commit lock on a threshold-sized shard, so a
     // sequential comparison sort (encoding per comparison) would stall
     // every queued client.
-    std::vector<Coded> coded = tabulate<Coded>(n, [&](std::size_t j) {
-      return Coded{Codec::encode(pts[j]), pts[j]};
-    });
-    sample_sort(coded, [](const Coded& a, const Coded& b) {
-      if (a.code != b.code) return a.code < b.code;
-      return a.pt < b.pt;
-    });
-    // Cut at the median code; push the cut right past an equal-code run so
-    // the boundary separates (all codes <= boundary go left). If the run
-    // reaches the end of the shard, cut just before the run instead — a
-    // hot duplicated key keeps its own (new) shard and the rest splits
-    // off. Only a shard that is one single equal-code run cannot split.
-    std::size_t mid = n / 2;
-    std::uint64_t boundary = coded[mid - 1].code;
-    while (mid < n && coded[mid].code == boundary) ++mid;
-    if (mid == n) {
-      std::size_t run_start = n / 2;
-      while (run_start > 0 && coded[run_start - 1].code == boundary) {
-        --run_start;
-      }
-      if (run_start == 0) return false;  // whole shard is one code
-      mid = run_start;
-      boundary = coded[mid - 1].code;
-    }
-    if (!map_.split(i, boundary)) return false;
+    std::vector<CodedPoint<point_t>> coded = code_and_sort<Codec>(pts);
+    const auto cut = split_position(coded);
+    if (!cut) return false;
+    const auto [mid, boundary] = *cut;
+    if (!dir_.split(i, boundary)) return false;
+    const std::size_t n = pts.size();
     std::vector<point_t> left = tabulate<point_t>(
         mid, [&](std::size_t j) { return coded[j].pt; });
     std::vector<point_t> right = tabulate<point_t>(
@@ -561,40 +341,18 @@ class GroupCommitter {
     // Fresh backends from the factory at the slots' new positions: with a
     // heterogeneous factory a split migrates points across backend types
     // through the common flatten()/build() surface.
-    ShardSlot ls = build_slot(left, i), rs = build_slot(right, i + 1);
-    slots_[i] = std::move(ls);
-    slots_.insert(slots_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
-                  std::move(rs));
-    shard_versions_[i] = fresh_version();
-    shard_versions_.insert(
-        shard_versions_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
-        fresh_version());
-    ++map_stamp_;  // topology changed: positional versions mean new ranges
+    store_.replace_slot(i, left, i);
+    store_.insert_slot(i + 1, right, i + 1);
     return true;
   }
 
   void merge_shards(std::size_t i) {
-    std::vector<point_t> pts = slots_[i].live->flatten();
-    std::vector<point_t> rhs = slots_[i + 1].live->flatten();
+    std::vector<point_t> pts = store_.flatten(i);
+    std::vector<point_t> rhs = store_.flatten(i + 1);
     pts.insert(pts.end(), rhs.begin(), rhs.end());
-    map_.merge(i);
-    slots_[i] = build_slot(pts, i);
-    slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(i) + 1);
-    shard_versions_[i] = fresh_version();
-    shard_versions_.erase(shard_versions_.begin() +
-                          static_cast<std::ptrdiff_t>(i) + 1);
-    ++map_stamp_;
-  }
-
-  ShardSlot build_slot(const std::vector<point_t>& pts,
-                       std::size_t factory_id) const {
-    ShardSlot s;
-    s.origin = factory_id;
-    s.live = make_index(factory_id);
-    s.live->build(pts);
-    s.standby = make_index(factory_id);
-    s.standby->build(pts);
-    return s;
+    dir_.merge(i, dir_.owner_of(i));
+    store_.replace_slot(i, pts, i);
+    store_.erase_slot(i + 1);
   }
 
   std::uint64_t publish() {
@@ -603,14 +361,16 @@ class GroupCommitter {
     // advance() will return below.
     const std::uint64_t next = epoch_.current() + 1;
     v->epoch = next;
-    v->map = map_;
-    v->shard_versions = shard_versions_;
-    v->map_stamp = map_stamp_;
-    v->shards.reserve(slots_.size());
+    v->map = dir_.map();
+    v->shard_versions = dir_.versions();
+    v->map_stamp = dir_.stamp();
+    v->shard_keys = dir_.keys();
+    v->shard_owners = dir_.owners();
+    v->shards.reserve(store_.num_slots());
     std::size_t total = 0;
-    for (const auto& s : slots_) {
-      total += s.live->size();
-      v->shards.push_back(s.live);
+    for (std::size_t i = 0; i < store_.num_slots(); ++i) {
+      total += store_.size_of(i);
+      v->shards.push_back(store_.live(i));
     }
     // Publish the view first, then bump the cheap observers: a reader that
     // sees epoch()/size() report commit N is guaranteed snapshot() returns
@@ -624,26 +384,14 @@ class GroupCommitter {
     return stats_.epoch;
   }
 
-  // A fresh, never-reused shard version. Atomic because the parallel
-  // per-shard apply stamps touched shards concurrently.
-  std::uint64_t fresh_version() {
-    return next_version_.fetch_add(1, std::memory_order_relaxed) + 1;
-  }
-
   ServiceConfig cfg_;
-  factory_t factory_;
-  map_t map_;
-  std::vector<ShardSlot> slots_;
-  // Per-shard content versions (parallel to slots_) and the topology
-  // generation — published with every view, keyed on by the query cache.
-  std::vector<std::uint64_t> shard_versions_;
-  std::uint64_t map_stamp_ = 0;
-  std::atomic<std::uint64_t> next_version_{0};
+  // The authoritative shard record: ranges, keys, owners, versions, stamp.
+  ShardDirectory<coord_t, kDim, Codec> dir_;
+  // The replica slots, positionally aligned with dir_.
+  store_t store_;
   EpochCounter epoch_;
   SnapshotSlot<view_t> slot_;
   ServiceStats stats_;
-  // Incremented from the parallel per-shard apply, hence atomic.
-  std::atomic<std::uint64_t> replica_rebuilds_{0};
   // Total population of the last published view; read lock-free by
   // SpatialService::size() without constructing a Snapshot.
   std::atomic<std::size_t> published_size_{0};

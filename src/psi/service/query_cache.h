@@ -56,6 +56,30 @@ struct CacheCoverage {
   }
 };
 
+// Coverage of the routed shard run [run.first, run.second] under a view
+// with the given stamp and version vector. A degenerate query (empty or
+// inverted box, so the codec's corner clamp inverts the run) covers no
+// shards: its result is empty whatever the contents, so the version slice
+// stays empty and the entry is valid under any epoch with the same
+// topology. Shared by the in-process cached read path (service.h) and the
+// distributed client (net/distributed_service.h).
+inline CacheCoverage make_coverage(std::uint64_t epoch,
+                                   std::uint64_t map_stamp,
+                                   std::pair<std::size_t, std::size_t> run,
+                                   const std::vector<std::uint64_t>& versions) {
+  CacheCoverage cov;
+  cov.epoch = epoch;
+  cov.map_stamp = map_stamp;
+  cov.lo = run.first;
+  cov.hi = run.second;
+  if (run.first <= run.second) {
+    cov.versions.assign(
+        versions.begin() + static_cast<std::ptrdiff_t>(run.first),
+        versions.begin() + static_cast<std::ptrdiff_t>(run.second) + 1);
+  }
+  return cov;
+}
+
 // One memo key: a range box, a ball, or a kNN query.
 template <typename Coord, int D>
 struct QueryKey {

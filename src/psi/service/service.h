@@ -295,25 +295,13 @@ class SpatialService {
   using cache_key_t = QueryKey<coord_t, kDim>;
 
   // The validity key of a cached result: the snapshot's map generation and
-  // the versions of the routed shard run (query_cache.h). A degenerate
-  // query (empty/inverted box, so the codec's corner clamp inverts the
-  // run) covers no shards: its result is empty whatever the contents, so
-  // the version slice stays empty and the entry is valid under any epoch
-  // with the same topology.
+  // the versions of the routed shard run (see make_coverage, query_cache.h
+  // — shared with the distributed client, which builds the identical
+  // coverage from its route view + response piggybacks).
   static CacheCoverage coverage(const snapshot_t& snap,
                                 std::pair<std::size_t, std::size_t> run) {
-    CacheCoverage cov;
-    cov.epoch = snap.epoch();
-    cov.map_stamp = snap.map_stamp();
-    cov.lo = run.first;
-    cov.hi = run.second;
-    if (run.first <= run.second) {
-      const auto& versions = snap.shard_versions();
-      cov.versions.assign(
-          versions.begin() + static_cast<std::ptrdiff_t>(run.first),
-          versions.begin() + static_cast<std::ptrdiff_t>(run.second) + 1);
-    }
-    return cov;
+    return make_coverage(snap.epoch(), snap.map_stamp(), run,
+                         snap.shard_versions());
   }
 
   template <typename Factory>

@@ -24,18 +24,29 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "psi/geometry/box.h"
 #include "psi/geometry/point.h"
+#include "psi/parallel/primitives.h"
+#include "psi/parallel/sort.h"
 #include "psi/sfc/codec.h"
 
 namespace psi::service {
+
+// Identity of a node hosting shards. Node 0 is the conventional "local"
+// node of a single-process service; the net layer (src/psi/net/) assigns
+// real ids. Lives here — not in net/ — because shard *location* is a
+// service-layer concept: the directory below places every shard on a node
+// whether or not a transport is attached.
+using NodeId = std::uint32_t;
 
 // Trait: does code order bound box contents by corner codes?
 template <typename Codec>
@@ -174,6 +185,220 @@ class ShardMap {
   // upper_[i] = inclusive upper code bound of shard i; strictly increasing,
   // upper_.back() == 2^64-1 so every code routes somewhere.
   std::vector<std::uint64_t> upper_;
+};
+
+// ---------------------------------------------------------------------------
+// Shared routing-code helpers (bulk load, shard split — in-process and
+// distributed writers alike).
+// ---------------------------------------------------------------------------
+
+// A point with its routing code: the unit of every code-ordered sort.
+template <typename PointT>
+struct CodedPoint {
+  std::uint64_t code;
+  PointT pt;
+};
+
+// Encode every point and sort by (code, point): one parallel encode pass +
+// one parallel sample sort. The point tiebreak makes the order total, so
+// equal-code duplicates partition deterministically.
+template <typename Codec, typename PointT>
+std::vector<CodedPoint<PointT>> code_and_sort(const std::vector<PointT>& pts) {
+  std::vector<CodedPoint<PointT>> coded = tabulate<CodedPoint<PointT>>(
+      pts.size(),
+      [&](std::size_t i) { return CodedPoint<PointT>{Codec::encode(pts[i]), pts[i]}; });
+  sample_sort(coded, [](const CodedPoint<PointT>& a, const CodedPoint<PointT>& b) {
+    if (a.code != b.code) return a.code < b.code;
+    return a.pt < b.pt;
+  });
+  return coded;
+}
+
+// The contiguous slice of a code-sorted dataset that shard `i` of `map`
+// owns. `codes` must be the sorted code column of `coded` (precomputed
+// once so the binary searches don't re-extract it per shard). Bulk load
+// uses this per shard — in-process and distributed writers must partition
+// identically or shard contents would disagree with the map's routing.
+template <typename PointT, typename MapT>
+std::vector<PointT> shard_slice(const std::vector<CodedPoint<PointT>>& coded,
+                                const std::vector<std::uint64_t>& codes,
+                                const MapT& map, std::size_t i) {
+  const auto lo = std::lower_bound(codes.begin(), codes.end(),
+                                   map.lower_bound_of(i)) -
+                  codes.begin();
+  const auto hi = std::upper_bound(codes.begin(), codes.end(),
+                                   map.upper_bound_of(i)) -
+                  codes.begin();
+  std::vector<PointT> part;
+  part.reserve(static_cast<std::size_t>(hi - lo));
+  for (auto j = lo; j < hi; ++j) {
+    part.push_back(coded[static_cast<std::size_t>(j)].pt);
+  }
+  return part;
+}
+
+// Where to cut a code-sorted shard in two. Starts at the median and pushes
+// the cut right past an equal-code run so the boundary separates (all
+// codes <= boundary go left). If the run reaches the end, cuts just before
+// the run instead — a hot duplicated key keeps its own shard and the rest
+// splits off. Returns nullopt only when the whole shard is one equal-code
+// run (unsplittable). `.first` = index of the first right-half element,
+// `.second` = inclusive upper code bound of the left half.
+template <typename PointT>
+std::optional<std::pair<std::size_t, std::uint64_t>> split_position(
+    const std::vector<CodedPoint<PointT>>& coded) {
+  const std::size_t n = coded.size();
+  if (n < 2) return std::nullopt;
+  std::size_t mid = n / 2;
+  std::uint64_t boundary = coded[mid - 1].code;
+  while (mid < n && coded[mid].code == boundary) ++mid;
+  if (mid == n) {
+    std::size_t run_start = n / 2;
+    while (run_start > 0 && coded[run_start - 1].code == boundary) {
+      --run_start;
+    }
+    if (run_start == 0) return std::nullopt;  // whole shard is one code
+    mid = run_start;
+    boundary = coded[mid - 1].code;
+  }
+  return std::make_pair(mid, boundary);
+}
+
+// ---------------------------------------------------------------------------
+// ShardDirectory: the authoritative "where and which version" record.
+// ---------------------------------------------------------------------------
+//
+// Couples a ShardMap with the per-shard metadata every writer must keep
+// aligned with it through splits, merges, and wholesale reloads:
+//
+//   * key     — a stable 64-bit identity that survives positional shifts.
+//     Positional indices renumber on every split/merge; across a transport
+//     a stale position would silently address the wrong shard, so remote
+//     protocols (net/) speak keys. Fresh on every topology event.
+//   * owner   — the NodeId hosting the shard's replicas (always 0 for the
+//     in-process service).
+//   * version — the content version the query cache keys on (query_cache.h):
+//     bumped via touch() for exactly the shards a commit applied to.
+//   * stamp   — the topology generation: bumped on split/merge/reset/move,
+//     i.e. whenever positional coverage stops being comparable.
+//
+// The writer owns the directory and mutates it under its commit lock;
+// published views copy the plain vectors out (the directory itself holds
+// atomics for id allocation and is not copyable).
+template <typename Coord, int D, typename Codec = sfc::MortonCodec<Coord, D>>
+class ShardDirectory {
+ public:
+  using map_t = ShardMap<Coord, D, Codec>;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  explicit ShardDirectory(std::size_t k = 1) {
+    reset(map_t::uniform(std::max<std::size_t>(1, k)));
+  }
+
+  ShardDirectory(const ShardDirectory&) = delete;
+  ShardDirectory& operator=(const ShardDirectory&) = delete;
+
+  // Wholesale replacement (construction, bulk load): every shard gets a
+  // fresh key and version, ownership defaults to node 0, and the topology
+  // generation advances — all cached coverage is invalidated.
+  void reset(map_t map) {
+    map_ = std::move(map);
+    const std::size_t k = map_.num_shards();
+    keys_.resize(k);
+    versions_.resize(k);
+    owners_.assign(k, NodeId{0});
+    for (std::size_t i = 0; i < k; ++i) {
+      keys_[i] = fresh_key();
+      versions_[i] = fresh_version();
+    }
+    ++stamp_;
+  }
+
+  std::size_t num_shards() const { return map_.num_shards(); }
+  const map_t& map() const { return map_; }
+  std::uint64_t stamp() const { return stamp_; }
+
+  std::uint64_t key_of(std::size_t i) const { return keys_[i]; }
+  std::uint64_t version_of(std::size_t i) const { return versions_[i]; }
+  NodeId owner_of(std::size_t i) const { return owners_[i]; }
+  const std::vector<std::uint64_t>& keys() const { return keys_; }
+  const std::vector<std::uint64_t>& versions() const { return versions_; }
+  const std::vector<NodeId>& owners() const { return owners_; }
+
+  // Position of the shard with stable identity `key`, or npos. Linear:
+  // shard counts are at most cfg.max_shards (~1024) and lookups are
+  // per-topology-event, not per-query.
+  std::size_t index_of_key(std::uint64_t key) const {
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] == key) return i;
+    }
+    return npos;
+  }
+
+  // Record that a commit changed shard i's contents. Safe concurrently on
+  // *distinct* shards (the parallel per-shard apply): the allocator is
+  // atomic and each task writes its own element.
+  void touch(std::size_t i) { versions_[i] = fresh_version(); }
+
+  // Split shard i at `boundary` (codes <= boundary stay left). Both halves
+  // get fresh keys and versions; the owner is inherited — a split never
+  // moves data between nodes on its own.
+  bool split(std::size_t i, std::uint64_t boundary) {
+    if (!map_.split(i, boundary)) return false;
+    const NodeId owner = owners_[i];
+    keys_[i] = fresh_key();
+    versions_[i] = fresh_version();
+    const auto at = static_cast<std::ptrdiff_t>(i) + 1;
+    keys_.insert(keys_.begin() + at, fresh_key());
+    versions_.insert(versions_.begin() + at, fresh_version());
+    owners_.insert(owners_.begin() + at, owner);
+    ++stamp_;
+    return true;
+  }
+
+  // Merge shard i with shard i+1; the merged shard keeps position i and
+  // `owner` (merges may pull the right half across nodes — the caller
+  // ships the data, the directory records the outcome).
+  bool merge(std::size_t i, NodeId owner) {
+    if (!map_.merge(i)) return false;
+    keys_[i] = fresh_key();
+    versions_[i] = fresh_version();
+    owners_[i] = owner;
+    const auto at = static_cast<std::ptrdiff_t>(i) + 1;
+    keys_.erase(keys_.begin() + at);
+    versions_.erase(versions_.begin() + at);
+    owners_.erase(owners_.begin() + at);
+    ++stamp_;
+    return true;
+  }
+
+  // Record a shard handoff: same contents, new host. The key and version
+  // survive (contents did not change) but the stamp flips — coverage that
+  // routed to the old owner is no longer comparable, and remote caches
+  // must revalidate.
+  void move_owner(std::size_t i, NodeId node) {
+    owners_[i] = node;
+    ++stamp_;
+  }
+
+  // A fresh, never-reused shard version / key. Atomic because the parallel
+  // per-shard apply may call touch() concurrently.
+  std::uint64_t fresh_version() {
+    return next_version_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  std::uint64_t fresh_key() {
+    return next_key_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+ private:
+  map_t map_;
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint64_t> versions_;
+  std::vector<NodeId> owners_;
+  std::uint64_t stamp_ = 0;
+  std::atomic<std::uint64_t> next_version_{0};
+  std::atomic<std::uint64_t> next_key_{0};
 };
 
 }  // namespace psi::service

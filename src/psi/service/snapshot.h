@@ -60,6 +60,21 @@
 
 namespace psi::service {
 
+// Axis-aligned bounding box of a ball, for shard routing. Corners may
+// leave the codec domain; shard_range_for_box clamps them conservatively.
+// Shared by Snapshot and the distributed query client
+// (net/distributed_service.h), which must route balls identically.
+template <typename Coord, int D>
+Box<Coord, D> ball_bounding_box(const Point<Coord, D>& q, double radius) {
+  const double r = std::ceil(std::max(0.0, radius));
+  Box<Coord, D> b;
+  for (int d = 0; d < D; ++d) {
+    b.lo[d] = static_cast<Coord>(static_cast<double>(q[d]) - r);
+    b.hi[d] = static_cast<Coord>(static_cast<double>(q[d]) + r);
+  }
+  return b;
+}
+
 template <typename Index, typename Codec>
 struct View {
   using index_t = Index;
@@ -78,6 +93,14 @@ struct View {
   // shards it touched, so results covering other shards stay reusable.
   std::vector<std::uint64_t> shard_versions;
   std::uint64_t map_stamp = 0;
+  // Shard *location* metadata, published from the writer's ShardDirectory:
+  // a stable per-shard key (survives positional shifts; what the wire
+  // protocol addresses shards by) and the owning node (always 0 for the
+  // in-process service — `shards[i]` is then the local replica handle; a
+  // distributed deployment routes non-local shards through the transport
+  // instead of holding a pointer).
+  std::vector<std::uint64_t> shard_keys;
+  std::vector<NodeId> shard_owners;
 
   std::size_t size() const {
     std::size_t n = 0;
@@ -106,6 +129,14 @@ class Snapshot {
   std::uint64_t map_stamp() const { return view_->map_stamp; }
   const std::vector<std::uint64_t>& shard_versions() const {
     return view_->shard_versions;
+  }
+  // Location observability: stable shard identities and owning nodes
+  // (single-process views own every shard on node 0).
+  const std::vector<std::uint64_t>& shard_keys() const {
+    return view_->shard_keys;
+  }
+  const std::vector<NodeId>& shard_owners() const {
+    return view_->shard_owners;
   }
 
   // Inclusive shard run a box / ball query is routed to under this view's
@@ -413,16 +444,9 @@ class Snapshot {
     return false;
   }
 
-  // Axis-aligned bounding box of the ball, for shard routing. Corners may
-  // leave the codec domain; shard_range_for_box clamps them conservatively.
+  // Routing box of a ball (see ball_bounding_box above).
   static box_t ball_box(const point_t& q, double radius) {
-    const double r = std::ceil(std::max(0.0, radius));
-    box_t b;
-    for (int d = 0; d < kDim; ++d) {
-      b.lo[d] = static_cast<coord_t>(static_cast<double>(q[d]) - r);
-      b.hi[d] = static_cast<coord_t>(static_cast<double>(q[d]) + r);
-    }
-    return b;
+    return ball_bounding_box(q, radius);
   }
 
   std::shared_ptr<const view_t> view_;

@@ -1,0 +1,165 @@
+// Error-path coverage for io/dataset_io.h: nonexistent files, truncated
+// binaries, corrupt headers, and malformed CSV rows must all surface a
+// clear std::runtime_error naming the file (and line, for CSV) — never a
+// silent short read, a garbage-count allocation, or a bare
+// std::invalid_argument out of std::stoll.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "psi/io/dataset_io.h"
+
+namespace psi::io {
+namespace {
+
+std::vector<Point2> sample_points() {
+  return {{{1, 2}}, {{3, 4}}, {{-5, 600}}, {{7, 8}}};
+}
+
+// Unique-ish scratch path under the build tree's cwd.
+std::string tmp_path(const std::string& tag) {
+  return "dataset_io_test_" + tag + ".tmp";
+}
+
+struct ScopedFile {
+  std::string path;
+  explicit ScopedFile(std::string p) : path(std::move(p)) {}
+  ~ScopedFile() { std::remove(path.c_str()); }
+};
+
+void expect_throw_containing(const std::function<void()>& fn,
+                             const std::string& needle) {
+  try {
+    fn();
+    FAIL() << "expected runtime_error containing '" << needle << "'";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+TEST(DatasetIo, BinaryRoundTrip) {
+  ScopedFile f(tmp_path("roundtrip"));
+  const auto pts = sample_points();
+  save_binary(f.path, pts);
+  const auto back = load_binary<std::int64_t, 2>(f.path);
+  EXPECT_EQ(back, pts);
+}
+
+TEST(DatasetIo, BinaryNonexistentFile) {
+  expect_throw_containing(
+      [] { load_binary<std::int64_t, 2>("no/such/file.bin"); },
+      "cannot open for read");
+}
+
+TEST(DatasetIo, BinaryTruncatedHeader) {
+  ScopedFile f(tmp_path("short_header"));
+  std::ofstream(f.path, std::ios::binary) << "PSI";  // 3 bytes, header is 24
+  expect_throw_containing([&] { load_binary<std::int64_t, 2>(f.path); },
+                          "truncated header");
+}
+
+TEST(DatasetIo, BinaryBadMagic) {
+  ScopedFile f(tmp_path("bad_magic"));
+  BinaryHeader h{0xdeadbeef, kFormatVersion, 2, 8, 0};
+  std::ofstream(f.path, std::ios::binary)
+      .write(reinterpret_cast<const char*>(&h), sizeof(h));
+  expect_throw_containing([&] { load_binary<std::int64_t, 2>(f.path); },
+                          "bad magic");
+}
+
+TEST(DatasetIo, BinaryWrongVersion) {
+  ScopedFile f(tmp_path("bad_version"));
+  BinaryHeader h{kMagic, 999, 2, 8, 0};
+  std::ofstream(f.path, std::ios::binary)
+      .write(reinterpret_cast<const char*>(&h), sizeof(h));
+  expect_throw_containing([&] { load_binary<std::int64_t, 2>(f.path); },
+                          "version 999");
+}
+
+TEST(DatasetIo, BinaryDimensionMismatch) {
+  ScopedFile f(tmp_path("dim"));
+  save_binary(f.path, sample_points());  // 2D
+  expect_throw_containing([&] { load_binary<std::int64_t, 3>(f.path); },
+                          "dimension/coordinate mismatch");
+}
+
+TEST(DatasetIo, BinaryTruncatedPayload) {
+  ScopedFile f(tmp_path("short_payload"));
+  save_binary(f.path, sample_points());
+  // Chop the last point off the payload; the header still claims 4.
+  {
+    std::ifstream in(f.path, std::ios::binary);
+    std::string all((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    all.resize(all.size() - sizeof(Point2) + 3);
+    std::ofstream(f.path, std::ios::binary | std::ios::trunc) << all;
+  }
+  expect_throw_containing([&] { load_binary<std::int64_t, 2>(f.path); },
+                          "truncated file");
+}
+
+TEST(DatasetIo, BinaryGarbageCountDoesNotAllocate) {
+  // A header declaring 2^61 points must be rejected from the file size
+  // check, not by attempting (and possibly succeeding at!) a huge
+  // allocation then silently short-reading.
+  ScopedFile f(tmp_path("garbage_count"));
+  BinaryHeader h{kMagic, kFormatVersion, 2, 8,
+                 std::uint64_t{1} << 61};
+  std::ofstream(f.path, std::ios::binary)
+      .write(reinterpret_cast<const char*>(&h), sizeof(h));
+  expect_throw_containing([&] { load_binary<std::int64_t, 2>(f.path); },
+                          "truncated file");
+}
+
+TEST(DatasetIo, CsvRoundTrip) {
+  ScopedFile f(tmp_path("csv_roundtrip"));
+  const auto pts = sample_points();
+  save_csv(f.path, pts);
+  EXPECT_EQ((load_csv<std::int64_t, 2>(f.path)), pts);
+}
+
+TEST(DatasetIo, CsvNonexistentFile) {
+  expect_throw_containing([] { load_csv<std::int64_t, 2>("nope.csv"); },
+                          "cannot open for read");
+}
+
+TEST(DatasetIo, CsvShortRowNamesLine) {
+  ScopedFile f(tmp_path("csv_short"));
+  std::ofstream(f.path) << "# comment\n1,2\n3\n";
+  expect_throw_containing([&] { load_csv<std::int64_t, 2>(f.path); }, ":3");
+}
+
+TEST(DatasetIo, CsvBadCellNamesLineAndCell) {
+  ScopedFile f(tmp_path("csv_bad"));
+  std::ofstream(f.path) << "1,2\n3,forty\n";
+  expect_throw_containing([&] { load_csv<std::int64_t, 2>(f.path); },
+                          "bad coordinate 'forty'");
+  expect_throw_containing([&] { load_csv<std::int64_t, 2>(f.path); }, ":2");
+}
+
+TEST(DatasetIo, CsvTrailingJunkRejected) {
+  // stoll would happily parse "12;99" as 12 and drop the rest.
+  ScopedFile f(tmp_path("csv_junk"));
+  std::ofstream(f.path) << "12;99,3\n";
+  expect_throw_containing([&] { load_csv<std::int64_t, 2>(f.path); },
+                          "bad coordinate");
+}
+
+TEST(DatasetIo, CsvToleratesWindowsLineEndings) {
+  ScopedFile f(tmp_path("csv_crlf"));
+  std::ofstream(f.path, std::ios::binary) << "1,2\r\n3,4\r\n";
+  const auto pts = load_csv<std::int64_t, 2>(f.path);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_EQ(pts[1], (Point2{{3, 4}}));
+}
+
+}  // namespace
+}  // namespace psi::io

@@ -1,0 +1,550 @@
+// Distributed service tests: the ShardMap + group-commit protocol lifted
+// across nodes (src/psi/net/).
+//
+//  * Wire codec round-trips (points, boxes, runs, frames, version check).
+//  * Oracle equivalence over LoopbackTransport AND TcpTransport on
+//    localhost: multi-node range/ball/kNN results must match a
+//    single-node brute-force oracle exactly.
+//  * Commit path: interleaved inserts/deletes across nodes preserve
+//    multiset semantics (flatten == oracle).
+//  * Rebalance: splits spread shards; balance_nodes migrates them; an
+//    explicit handoff under 2 concurrent writers + 2 readers loses and
+//    duplicates nothing.
+//  * Version piggyback: remote readers get cross-epoch cache hits for
+//    shards untouched by an interleaved commit, and commits touching the
+//    covered shards invalidate.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "psi/baselines/brute_force.h"
+#include "psi/core/spac/spac_tree.h"
+#include "psi/datagen/generators.h"
+#include "psi/net/distributed_service.h"
+#include "psi/net/transport.h"
+#include "psi/net/wire.h"
+
+namespace psi::net {
+namespace {
+
+using Service = DistributedService<SpacZTree2>;
+using point_t = Point2;
+using box_t = Box2;
+
+constexpr std::int64_t kMax = 1 << 16;
+
+std::vector<point_t> uniform_points(std::size_t n, std::uint64_t seed) {
+  return datagen::uniform<2>(n, seed, kMax);
+}
+
+// Multiset compare via sorted vectors.
+void expect_same_multiset(std::vector<point_t> a, std::vector<point_t> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec
+// ---------------------------------------------------------------------------
+
+TEST(Wire, ScalarAndPointRoundTrip) {
+  WireWriter w;
+  w.put_u8(7);
+  w.put_u32(123456789u);
+  w.put_u64(~std::uint64_t{0} - 5);
+  w.put_f64(-2.5);
+  w.put_point(point_t{{-10, 1 << 20}});
+  w.put_box(box_t{{{-1, -2}}, {{3, 4}}});
+  w.put_string("hello");
+  Message m = std::move(w).finish(MsgType::kQuery);
+
+  WireReader r(m);
+  EXPECT_EQ(r.get_u8(), 7);
+  EXPECT_EQ(r.get_u32(), 123456789u);
+  EXPECT_EQ(r.get_u64(), ~std::uint64_t{0} - 5);
+  EXPECT_EQ(r.get_f64(), -2.5);
+  EXPECT_EQ((r.get_point<std::int64_t, 2>()), (point_t{{-10, 1 << 20}}));
+  const auto b = r.get_box<std::int64_t, 2>();
+  EXPECT_EQ(b.lo, (point_t{{-1, -2}}));
+  EXPECT_EQ(b.hi, (point_t{{3, 4}}));
+  EXPECT_EQ(r.get_string(), "hello");
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Wire, RunsRoundTripAndFrame) {
+  std::vector<service::OpRun<point_t>> runs;
+  runs.push_back({false, {{{1, 2}}, {{3, 4}}}});
+  runs.push_back({true, {{{5, 6}}}});
+  WireWriter w;
+  w.put_runs(runs);
+  Message m = std::move(w).finish(MsgType::kCommitBatch);
+
+  const std::vector<std::uint8_t> frame = encode_frame(m);
+  std::vector<std::uint8_t> body(frame.begin() + 4, frame.end());
+  Message back = decode_frame_body(std::move(body));
+  EXPECT_EQ(back.type, MsgType::kCommitBatch);
+  WireReader r(back);
+  const auto rt = r.get_runs<point_t>();
+  ASSERT_EQ(rt.size(), 2u);
+  EXPECT_FALSE(rt[0].is_delete);
+  EXPECT_EQ(rt[0].pts.size(), 2u);
+  EXPECT_TRUE(rt[1].is_delete);
+  EXPECT_EQ(rt[1].pts, runs[1].pts);
+}
+
+TEST(Wire, RejectsTruncationVersionSkewAndGarbageCounts) {
+  WireWriter w;
+  w.put_u64(42);
+  Message m = std::move(w).finish(MsgType::kOk);
+  WireReader r(m);
+  (void)r.get_u32();
+  EXPECT_THROW(r.get_u64(), WireError);  // only 4 bytes left
+
+  // Version skew: rewrite the version half-word in the frame prelude.
+  std::vector<std::uint8_t> frame = encode_frame(m);
+  frame[6] = 99;  // version lo byte (after 4-byte length + 2-byte magic)
+  std::vector<std::uint8_t> body(frame.begin() + 4, frame.end());
+  try {
+    decode_frame_body(std::move(body));
+    FAIL() << "version mismatch not detected";
+  } catch (const WireError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+
+  // A frame declaring 2^40 points must be rejected before allocation.
+  WireWriter w2;
+  w2.put_u64(std::uint64_t{1} << 40);
+  Message corrupt = std::move(w2).finish(MsgType::kQueryResult);
+  WireReader r2(corrupt);
+  EXPECT_THROW((r2.get_points<std::int64_t, 2>()), WireError);
+
+  // Same for a commit batch declaring 2^32-1 runs.
+  WireWriter w3;
+  w3.put_u32(~std::uint32_t{0});
+  Message corrupt_runs = std::move(w3).finish(MsgType::kCommitBatch);
+  WireReader r3(corrupt_runs);
+  EXPECT_THROW(r3.get_runs<point_t>(), WireError);
+}
+
+// ---------------------------------------------------------------------------
+// Loopback: oracle equivalence
+// ---------------------------------------------------------------------------
+
+struct Oracle {
+  BruteForceIndex<std::int64_t, 2> idx;
+  explicit Oracle(const std::vector<point_t>& pts) { idx.build(pts); }
+};
+
+void check_query_equivalence(Service& svc, const Oracle& oracle,
+                             std::uint64_t seed) {
+  const auto queries = uniform_points(24, seed);
+  for (const auto& q : queries) {
+    const box_t box{{{q[0] - 3000, q[1] - 3000}}, {{q[0] + 3000, q[1] + 3000}}};
+    expect_same_multiset(svc.range_list(box), oracle.idx.range_list(box));
+    EXPECT_EQ(svc.range_count(box), oracle.idx.range_count(box));
+    expect_same_multiset(svc.ball_list(q, 2500.0),
+                         oracle.idx.ball_list(q, 2500.0));
+    EXPECT_EQ(svc.ball_count(q, 2500.0), oracle.idx.ball_count(q, 2500.0));
+    // kNN: distances must match exactly (tie membership may differ).
+    const auto got = svc.knn(q, 10);
+    const auto want = oracle.idx.knn(q, 10);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_DOUBLE_EQ(squared_distance(got[i], q),
+                       squared_distance(want[i], q));
+    }
+  }
+}
+
+TEST(DistributedLoopback, OracleEquivalenceAcrossNodeCounts) {
+  const auto pts = uniform_points(6000, 42);
+  const Oracle oracle(pts);
+  for (std::size_t nodes : {1u, 2u, 3u}) {
+    LoopbackTransport fabric;
+    DistributedConfig cfg;
+    cfg.initial_shards = 6;
+    Service svc(fabric, nodes, cfg);
+    svc.build(pts);
+    EXPECT_EQ(svc.size(), pts.size());
+    check_query_equivalence(svc, oracle, 7 + nodes);
+    // Every node hosts ~an equal share of the shards.
+    const auto owners = svc.stats().coordinator.shard_owners;
+    std::map<NodeId, std::size_t> per_node;
+    for (NodeId n : owners) per_node[n]++;
+    EXPECT_EQ(per_node.size(), nodes);
+  }
+}
+
+TEST(DistributedLoopback, CommitsPreserveMultisetSemantics) {
+  LoopbackTransport fabric;
+  DistributedConfig cfg;
+  cfg.initial_shards = 4;
+  Service svc(fabric, 3, cfg);
+
+  const auto initial = uniform_points(2000, 1);
+  svc.build(initial);
+  std::vector<point_t> expected = initial;
+
+  const auto extra = uniform_points(500, 2);
+  svc.insert_batch(extra);
+  expected.insert(expected.end(), extra.begin(), extra.end());
+
+  // Delete an interleaved subset (every 3rd initial point).
+  std::vector<point_t> dels;
+  for (std::size_t i = 0; i < initial.size(); i += 3) dels.push_back(initial[i]);
+  svc.delete_batch(dels);
+  for (const auto& d : dels) {
+    auto it = std::find(expected.begin(), expected.end(), d);
+    ASSERT_NE(it, expected.end());
+    expected.erase(it);
+  }
+
+  // Mixed FIFO group: delete-then-insert of one point nets to present.
+  const point_t probe{{777, 888}};
+  svc.commit({{false, probe}, {true, probe}, {false, probe}});
+  expected.push_back(probe);
+
+  EXPECT_EQ(svc.size(), expected.size());
+  expect_same_multiset(svc.flatten(), expected);
+
+  const Oracle oracle(expected);
+  check_query_equivalence(svc, oracle, 99);
+}
+
+TEST(DistributedLoopback, SplitsAndNodeBalanceSpreadLoad) {
+  LoopbackTransport fabric;
+  DistributedConfig cfg;
+  cfg.initial_shards = 2;
+  cfg.split_threshold = 512;
+  cfg.merge_threshold = 64;
+  cfg.balance_nodes = true;
+  Service svc(fabric, 3, cfg);
+  svc.build(uniform_points(6000, 3));
+
+  const auto stats = svc.stats();
+  EXPECT_GT(stats.coordinator.splits, 0u);
+  EXPECT_GT(svc.num_shards(), 2u);
+  // Node balance: per-node shard counts within 1 of each other.
+  std::map<NodeId, std::size_t> per_node;
+  for (NodeId n : stats.coordinator.shard_owners) per_node[n]++;
+  std::size_t lo = ~std::size_t{0}, hi = 0;
+  for (const auto& [node, cnt] : per_node) {
+    lo = std::min(lo, cnt);
+    hi = std::max(hi, cnt);
+  }
+  EXPECT_LE(hi, lo + 1);
+
+  // Contents survived all the shipping.
+  EXPECT_EQ(svc.size(), 6000u);
+  const Oracle oracle(uniform_points(6000, 3));
+  check_query_equivalence(svc, oracle, 5);
+}
+
+TEST(DistributedLoopback, UnsplittableShardDoesNotThrashTheWire) {
+  // A shard that is one giant equal-code run can never split. The
+  // coordinator must remember that (keyed by stable shard key) instead of
+  // re-fetching and re-sorting the whole shard over the transport on
+  // every subsequent commit.
+  LoopbackTransport fabric;
+  DistributedConfig cfg;
+  cfg.initial_shards = 1;
+  cfg.split_threshold = 100;
+  cfg.merge_threshold = 1;
+  Service svc(fabric, 2, cfg);
+  const std::vector<point_t> dups(500, point_t{{42, 42}});
+  svc.build(dups);
+  for (int i = 0; i < 5; ++i) {
+    svc.insert_batch({point_t{{42, 42}}});  // same code: still unsplittable
+  }
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.coordinator.splits, 0u);
+  EXPECT_EQ(svc.size(), 505u);
+  // Deleting more copies than exist of another point stays a no-op.
+  svc.delete_batch({point_t{{1, 1}}});
+  EXPECT_EQ(svc.size(), 505u);
+  EXPECT_EQ(svc.range_count(box_t{{{0, 0}}, {{100, 100}}}), 505u);
+}
+
+TEST(DistributedLoopback, ExplicitMigrationKeepsServing) {
+  LoopbackTransport fabric;
+  DistributedConfig cfg;
+  cfg.initial_shards = 4;
+  cfg.balance_nodes = false;  // manual control
+  Service svc(fabric, 2, cfg);
+  const auto pts = uniform_points(3000, 11);
+  svc.build(pts);
+  const Oracle oracle(pts);
+
+  // Hand every shard to node 1, then back to node 2, checking queries at
+  // each step.
+  for (std::size_t round = 0; round < 2; ++round) {
+    const NodeId dest = static_cast<NodeId>(1 + round % 2);
+    const std::size_t shards = svc.num_shards();
+    for (std::size_t i = 0; i < shards; ++i) svc.migrate(i, dest);
+    const auto owners = svc.stats().coordinator.shard_owners;
+    for (NodeId o : owners) EXPECT_EQ(o, dest);
+    check_query_equivalence(svc, oracle, 13 + round);
+    expect_same_multiset(svc.flatten(), pts);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance scenario: handoff under concurrent writers + readers
+// ---------------------------------------------------------------------------
+
+TEST(DistributedLoopback, HandoffUnderConcurrentWritersAndReaders) {
+  LoopbackTransport fabric;
+  DistributedConfig cfg;
+  cfg.initial_shards = 4;
+  cfg.balance_nodes = false;
+  Service svc(fabric, 2, cfg);
+  const auto base = uniform_points(2000, 21);
+  svc.build(base);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+
+  // 2 writers: disjoint coordinate stripes, monotone inserts.
+  std::vector<std::vector<point_t>> writer_pts(2);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 40 && !stop.load(); ++i) {
+        std::vector<point_t> batch;
+        for (int j = 0; j < 25; ++j) {
+          // Strictly outside the readers' base box (x > kMax).
+          batch.push_back(point_t{{kMax + 1 + 1000 * t + i, j}});
+        }
+        svc.insert_batch(batch);
+        writer_pts[static_cast<std::size_t>(t)].insert(
+            writer_pts[static_cast<std::size_t>(t)].end(), batch.begin(),
+            batch.end());
+      }
+    });
+  }
+  // 2 readers: range counts over the stable base region must always see
+  // every base point (writers only add outside it, and handoffs must
+  // never lose or duplicate). kNN must always return exactly k.
+  const box_t base_box{{{0, 0}}, {{kMax, kMax}}};
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      while (!stop.load()) {
+        EXPECT_EQ(svc.range_count(base_box), base.size());
+        EXPECT_EQ(svc.knn(point_t{{kMax / 2, kMax / 2}}, 5).size(), 5u);
+        reads.fetch_add(1);
+      }
+    });
+  }
+
+  // Meanwhile: bounce every shard between the two nodes, repeatedly.
+  for (int round = 0; round < 6; ++round) {
+    const NodeId dest = static_cast<NodeId>(1 + round % 2);
+    const std::size_t shards = svc.num_shards();
+    for (std::size_t i = 0; i < shards; ++i) {
+      svc.migrate(i % svc.num_shards(), dest);
+    }
+  }
+  // Let the readers observe the final placement too.
+  while (reads.load() < 20) std::this_thread::yield();
+  stop.store(true);
+  for (auto& th : threads) th.join();
+
+  // No lost or duplicated points anywhere.
+  std::vector<point_t> expected = base;
+  for (const auto& wp : writer_pts) {
+    expected.insert(expected.end(), wp.begin(), wp.end());
+  }
+  EXPECT_EQ(svc.size(), expected.size());
+  expect_same_multiset(svc.flatten(), expected);
+  EXPECT_GT(svc.stats().coordinator.migrations, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Version piggyback + client cache
+// ---------------------------------------------------------------------------
+
+TEST(DistributedLoopback, CrossEpochCacheHitsForUntouchedShards) {
+  LoopbackTransport fabric;
+  DistributedConfig cfg;
+  cfg.initial_shards = 4;
+  cfg.balance_nodes = false;
+  Service svc(fabric, 2, cfg);
+  svc.build(uniform_points(4000, 31));
+
+  // A box confined to the low-code corner: routed to the first shard(s).
+  const box_t cold{{{0, 0}}, {{kMax / 8, kMax / 8}}};
+  const std::size_t count0 = svc.range_count_cached(cold);
+  const auto list0 = svc.range_list_cached(cold);
+  const auto s0 = svc.stats();
+  EXPECT_EQ(s0.cache_hits, 0u);
+
+  // Commit confined to the high-code corner: different shards entirely.
+  std::vector<point_t> hot;
+  for (int i = 0; i < 50; ++i) hot.push_back(point_t{{kMax - 1 - i, kMax - 1}});
+  const std::uint64_t epoch_before = svc.epoch();
+  svc.insert_batch(hot);
+  EXPECT_GT(svc.epoch(), epoch_before);
+
+  // Same queries: served from cache ACROSS the epoch boundary — the
+  // piggybacked/route versions of the cold shards did not change.
+  EXPECT_EQ(svc.range_count_cached(cold), count0);
+  const auto list1 = svc.range_list_cached(cold);
+  EXPECT_EQ(list0.get(), list1.get());  // the very same shared vector
+  const auto s1 = svc.stats();
+  EXPECT_GE(s1.cache_hits, 2u);
+  EXPECT_GE(s1.cache_cross_epoch_hits, 2u);
+
+  // Now touch the cold corner itself: entries must invalidate.
+  svc.insert_batch({point_t{{1, 1}}});
+  EXPECT_EQ(svc.range_count_cached(cold), count0 + 1);
+  const auto s2 = svc.stats();
+  EXPECT_GT(s2.cache_misses, s1.cache_misses);
+}
+
+TEST(DistributedLoopback, BallCacheAndMigrationInvalidation) {
+  LoopbackTransport fabric;
+  DistributedConfig cfg;
+  cfg.initial_shards = 4;
+  cfg.balance_nodes = false;
+  Service svc(fabric, 2, cfg);
+  const auto pts = uniform_points(3000, 41);
+  svc.build(pts);
+  const Oracle oracle(pts);
+
+  const point_t q{{kMax / 2, kMax / 2}};
+  const auto b0 = svc.ball_list_cached(q, 2000.0);
+  expect_same_multiset(*b0, oracle.idx.ball_list(q, 2000.0));
+  const auto b1 = svc.ball_list_cached(q, 2000.0);
+  EXPECT_EQ(b0.get(), b1.get());  // hit
+
+  // A migration flips the topology stamp: coverage is stale, next lookup
+  // misses and recomputes (same result, freshly fetched from new owner).
+  svc.migrate(0, 2);
+  const auto misses_before = svc.stats().cache_misses;
+  const auto b2 = svc.ball_list_cached(q, 2000.0);
+  expect_same_multiset(*b2, oracle.idx.ball_list(q, 2000.0));
+  EXPECT_GT(svc.stats().cache_misses, misses_before);
+}
+
+// ---------------------------------------------------------------------------
+// Real TCP on localhost
+// ---------------------------------------------------------------------------
+
+TEST(DistributedTcp, OracleEquivalenceOverLocalhost) {
+  const auto pts = uniform_points(2500, 51);
+  const Oracle oracle(pts);
+  TcpTransport fabric;
+  DistributedConfig cfg;
+  cfg.initial_shards = 4;
+  Service svc(fabric, 2, cfg);
+  svc.build(pts);
+  EXPECT_EQ(svc.size(), pts.size());
+  check_query_equivalence(svc, oracle, 61);
+}
+
+TEST(DistributedTcp, CommitsQueriesAndHandoffOverLocalhost) {
+  TcpTransport fabric;
+  DistributedConfig cfg;
+  cfg.initial_shards = 4;
+  cfg.balance_nodes = false;
+  Service svc(fabric, 2, cfg);
+  const auto base = uniform_points(1500, 71);
+  svc.build(base);
+
+  std::atomic<bool> stop{false};
+  const box_t base_box{{{0, 0}}, {{kMax, kMax}}};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      EXPECT_EQ(svc.range_count(base_box), base.size());
+    }
+  });
+  std::thread writer([&] {
+    for (int i = 0; i < 20; ++i) {
+      svc.insert_batch({point_t{{kMax + 7, i}}});
+    }
+  });
+
+  for (int round = 0; round < 4; ++round) {
+    const NodeId dest = static_cast<NodeId>(1 + round % 2);
+    for (std::size_t i = 0; i < svc.num_shards(); ++i) svc.migrate(i, dest);
+  }
+  writer.join();
+  stop.store(true);
+  reader.join();
+
+  std::vector<point_t> expected = base;
+  for (int i = 0; i < 20; ++i) expected.push_back(point_t{{kMax + 7, i}});
+  expect_same_multiset(svc.flatten(), expected);
+
+  // Cross-epoch cache over real sockets too.
+  const box_t cold{{{0, 0}}, {{kMax / 8, kMax / 8}}};
+  const auto c0 = svc.range_count_cached(cold);
+  svc.insert_batch({point_t{{kMax - 2, kMax - 2}}});
+  EXPECT_EQ(svc.range_count_cached(cold), c0);
+  EXPECT_GE(svc.stats().cache_cross_epoch_hits, 1u);
+}
+
+TEST(DistributedTcp, ProtocolVersionSkewIsRejected) {
+  TcpTransport fabric;
+  std::atomic<int> calls{0};
+  fabric.bind(9, [&](NodeId, Message m) {
+    ++calls;
+    return m;  // echo
+  });
+  // A well-formed call works.
+  WireWriter w;
+  w.put_string("ping");
+  Message reply = fabric.call(9, std::move(w).finish(MsgType::kOk));
+  WireReader r(reply);
+  EXPECT_EQ(r.get_string(), "ping");
+  EXPECT_EQ(calls.load(), 1);
+
+  // Now a version-skewed frame over the actual socket: the server must
+  // drop the connection without invoking the handler, and keep serving
+  // well-formed peers afterwards.
+  {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(fabric.port_of(9));
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    WireWriter skew;
+    skew.put_string("from the future");
+    std::vector<std::uint8_t> frame =
+        encode_frame(std::move(skew).finish(MsgType::kOk));
+    frame[6] = 99;  // bump the version half-word past kWireVersion
+    ASSERT_EQ(::write(fd, frame.data(), frame.size()),
+              static_cast<ssize_t>(frame.size()));
+    // Server response to skew: connection closed, no reply bytes.
+    std::uint8_t buf[8];
+    EXPECT_EQ(::read(fd, buf, sizeof(buf)), 0);
+    ::close(fd);
+  }
+  EXPECT_EQ(calls.load(), 1);  // the skewed frame never reached the handler
+
+  // The node still answers well-formed calls on fresh connections.
+  WireWriter w2;
+  w2.put_string("still here");
+  Message reply2 = fabric.call(9, std::move(w2).finish(MsgType::kOk));
+  WireReader r2(reply2);
+  EXPECT_EQ(r2.get_string(), "still here");
+  EXPECT_EQ(calls.load(), 2);
+}
+
+}  // namespace
+}  // namespace psi::net

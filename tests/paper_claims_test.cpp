@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -150,11 +151,16 @@ TEST(PaperClaims, HilbertKnnNotSlowerThanMortonByMuch) {
     EXPECT_EQ(sink, qs.size() * 10);
     return t.seconds();
   };
-  // Warm both once, then measure.
+  // Warm both once, then measure best-of-3: a single ~5ms sample is at
+  // the mercy of co-scheduled test binaries (ctest -j on a small box) —
+  // the minimum over a few runs measures the code, not the neighbours.
   time_knn(h);
   time_knn(z);
-  const double th = time_knn(h);
-  const double tz = time_knn(z);
+  double th = time_knn(h), tz = time_knn(z);
+  for (int rep = 0; rep < 2; ++rep) {
+    th = std::min(th, time_knn(h));
+    tz = std::min(tz, time_knn(z));
+  }
   // Paper: SPaC-H is ~2-5x faster than SPaC-Z on kNN. Machine noise on CI
   // is real, so only assert H is not meaningfully slower.
   EXPECT_LT(th, tz * 1.5) << "Hilbert lost its locality advantage";

@@ -5,8 +5,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "psi/parallel/scheduler.h"
@@ -106,6 +108,38 @@ TEST(Scheduler, WorkerCountRespectsEnvironment) {
   } else {
     EXPECT_GE(num_workers(), 1);
   }
+}
+
+TEST(ForkGrain, EnvValidationAndClamp) {
+  // Save the ambient PSI_GRAIN (CI sets it) and restore on every exit path.
+  const char* prev = std::getenv("PSI_GRAIN");
+  const std::string saved = prev ? prev : "";
+  const bool had = prev != nullptr;
+  auto with_env = [&](const char* v) {
+    ::setenv("PSI_GRAIN", v, 1);
+    set_fork_grain(0);  // drop the cached value, re-resolve from the env
+    return fork_grain();
+  };
+
+  EXPECT_EQ(with_env("4096"), 4096u);          // well-formed
+  EXPECT_EQ(with_env("0"), kDefaultGrain);     // zero: meaningless, fall back
+  EXPECT_EQ(with_env("-5"), kDefaultGrain);    // negative
+  EXPECT_EQ(with_env("abc"), kDefaultGrain);   // not a number
+  EXPECT_EQ(with_env("12abc"), kDefaultGrain); // trailing junk (atol took 12)
+  EXPECT_EQ(with_env(""), kDefaultGrain);      // empty string
+  EXPECT_EQ(with_env(" 64"), kDefaultGrain);   // leading space: reject whole
+  // Oversized values (including out-of-range parses) clamp, not wrap.
+  EXPECT_EQ(with_env("99999999999999999999999999"), kMaxGrain);
+  EXPECT_EQ(with_env("2147483648"), kMaxGrain);  // 2^31 > kMaxGrain: clamp
+
+  ::unsetenv("PSI_GRAIN");
+  set_fork_grain(0);
+  EXPECT_EQ(fork_grain(), kDefaultGrain);      // unset: default
+
+  if (had) {
+    ::setenv("PSI_GRAIN", saved.c_str(), 1);
+  }
+  set_fork_grain(0);  // restore the ambient configuration for later suites
 }
 
 TEST(Scheduler, ManySmallForks) {
