@@ -26,6 +26,8 @@
 //
 // Knobs: PSI_BENCH_N (base points), PSI_BENCH_Q (ops per cell),
 // PSI_BENCH_CLIENTS (client threads), PSI_NUM_WORKERS (scheduler).
+// PSI_TRACE_FILE=<path> turns on pipeline tracing and dumps a Chrome-trace
+// JSON of the whole run (commit stages, query fan-out) on exit.
 
 #include <atomic>
 #include <cstdio>
@@ -36,6 +38,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "psi/telemetry/trace.h"
 
 namespace {
 
@@ -176,6 +179,10 @@ int main(int argc, char** argv) {
   const int clients = bench_clients(4);
   const std::string backend = backend_choice(argc, argv);
   const bool pipeline = pipeline_choice(argc, argv);
+  const char* trace_file = std::getenv("PSI_TRACE_FILE");
+  if (psi::telemetry::kEnabled && trace_file != nullptr) {
+    psi::telemetry::Tracer::instance().set_enabled(true);
+  }
   const auto base = psi::datagen::osm_sim(n, 1);
 
   // Default: the fully templated SPaC-Z fast path (zero virtual dispatch).
@@ -239,6 +246,15 @@ int main(int argc, char** argv) {
                   cell.ops_per_sec(), cell.stats.json().c_str());
     }
     table.row(row);
+  }
+  if (psi::telemetry::kEnabled && trace_file != nullptr) {
+    auto& tracer = psi::telemetry::Tracer::instance();
+    if (tracer.write_chrome_trace(trace_file)) {
+      std::printf("trace: %zu events -> %s\n", tracer.event_count(),
+                  trace_file);
+    } else {
+      std::printf("trace: could not open %s\n", trace_file);
+    }
   }
   return 0;
 }

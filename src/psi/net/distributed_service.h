@@ -35,6 +35,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <utility>
@@ -47,8 +48,20 @@
 #include "psi/parallel/task_group.h"
 #include "psi/service/query_cache.h"
 #include "psi/service/snapshot.h"
+#include "psi/telemetry/histogram.h"
+#include "psi/telemetry/metrics.h"
+#include "psi/telemetry/trace.h"
 
 namespace psi::net {
+
+// One host's answer to the kTelemetry stats RPC: its read-path and
+// commit-stage histograms plus raw per-shard heat counters.
+struct HostTelemetry {
+  NodeId node = 0;
+  std::vector<telemetry::HistogramSnapshot> reads;   // by ReadOp index
+  std::vector<telemetry::HistogramSnapshot> stages;  // by Stage index
+  std::vector<telemetry::HeatEntry> heat;            // keyed by shard key
+};
 
 struct DistributedStats {
   CoordinatorStats coordinator;
@@ -58,6 +71,17 @@ struct DistributedStats {
   // Results answered but not admitted because a commit raced the fan-out
   // (piggybacked versions disagreed with the plan).
   std::uint64_t cache_torn_skips = 0;
+  // Per-host telemetry (one kTelemetry RPC each) and its cluster-wide
+  // merge. Histogram merge is bucket-wise and associative, so the merged
+  // snapshots are exactly what one host recording every event would hold —
+  // percentiles over them are true cluster percentiles, not averages of
+  // per-host percentiles. Empty when telemetry is compiled out.
+  std::vector<HostTelemetry> hosts;
+  std::vector<telemetry::HistogramSnapshot> read_hists;   // merged, by ReadOp
+  std::vector<telemetry::HistogramSnapshot> stage_hists;  // merged, by Stage
+  std::vector<telemetry::LatencySummary> read_latency;    // summaries of ^
+  std::vector<telemetry::LatencySummary> stage_latency;
+  std::vector<telemetry::HeatEntry> heat;  // summed across hosts, by key
 };
 
 template <typename Index,
@@ -305,6 +329,7 @@ class DistributedService {
     s.cache_misses = cache_.misses();
     s.cache_cross_epoch_hits = cache_.cross_epoch_hits();
     s.cache_torn_skips = torn_skips_.load(std::memory_order_relaxed);
+    if constexpr (telemetry::kEnabled) collect_telemetry(s);
     return s;
   }
 
@@ -330,6 +355,57 @@ class DistributedService {
     updates.reserve(pts.size());
     for (const auto& p : pts) updates.emplace_back(is_delete, p);
     return commit(updates);
+  }
+
+  // One kTelemetry RPC per host (serialised under write_mu_ with the rest
+  // of stats()), decoded into per-host snapshots and folded into the
+  // cluster-wide merge.
+  void collect_telemetry(DistributedStats& s) const {
+    PSI_TRACE_SPAN("rpc.telemetry");
+    s.read_hists.assign(telemetry::kNumReadOps, {});
+    s.stage_hists.assign(telemetry::kNumStages, {});
+    std::map<std::uint64_t, telemetry::HeatEntry> merged_heat;
+    for (NodeId node : coordinator_->nodes()) {
+      WireWriter w;
+      Message reply = expect_ok(
+          transport_.call(node, std::move(w).finish(MsgType::kTelemetry)),
+          "telemetry");
+      WireReader r(reply);
+      HostTelemetry host;
+      host.node = node;
+      const std::uint32_t n_reads = r.get_u32();
+      for (std::uint32_t i = 0; i < n_reads; ++i) {
+        telemetry::HistogramSnapshot snap = r.get_histogram();
+        if (i < s.read_hists.size()) s.read_hists[i].merge(snap);
+        host.reads.push_back(std::move(snap));
+      }
+      const std::uint32_t n_stages = r.get_u32();
+      for (std::uint32_t i = 0; i < n_stages; ++i) {
+        telemetry::HistogramSnapshot snap = r.get_histogram();
+        if (i < s.stage_hists.size()) s.stage_hists[i].merge(snap);
+        host.stages.push_back(std::move(snap));
+      }
+      const std::uint32_t n_heat = r.get_u32();
+      for (std::uint32_t i = 0; i < n_heat; ++i) {
+        telemetry::HeatEntry e;
+        e.key = r.get_u64();
+        e.reads = r.get_u64();
+        e.writes = r.get_u64();
+        auto& m = merged_heat[e.key];
+        m.key = e.key;
+        m.reads += e.reads;
+        m.writes += e.writes;
+        host.heat.push_back(e);
+      }
+      s.hosts.push_back(std::move(host));
+    }
+    for (const auto& h : s.read_hists) {
+      s.read_latency.push_back(telemetry::summarize(h));
+    }
+    for (const auto& h : s.stage_hists) {
+      s.stage_latency.push_back(telemetry::summarize(h));
+    }
+    for (auto& [key, e] : merged_heat) s.heat.push_back(e);
   }
 
   // Coverage of the *current* plan for a query — the cache lookup key.
@@ -367,6 +443,7 @@ class DistributedService {
       const std::function<void()>& reset,
       const std::function<void(const point_t&)>& emit,
       bool for_cache = false) const {
+    PSI_TRACE_SPAN("client.fan_out");
     for (int attempt = 0; attempt < 8; ++attempt) {
       const auto route = coordinator_->route();
       const auto run = run_of(*route);
@@ -436,6 +513,7 @@ class DistributedService {
         TaskGroup tasks;
         for (const Sub& sub : subs) {
           tasks.spawn([&, sub] {
+            PSI_TRACE_SPAN("rpc.query");
             WireWriter w;
             w.put_u8(static_cast<std::uint8_t>(kind));
             put_params(w);

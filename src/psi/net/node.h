@@ -61,6 +61,8 @@
 #include "psi/service/shard_store.h"
 #include "psi/service/snapshot.h"
 #include "psi/sfc/codec.h"
+#include "psi/telemetry/metrics.h"
+#include "psi/telemetry/trace.h"
 
 namespace psi::net {
 
@@ -87,6 +89,7 @@ class ShardHost {
       : id_(id),
         transport_(transport),
         store_(std::move(factory), pipelined_commits) {
+    store_.set_metrics(metrics_);
     publish();
     transport_.bind(id_, [this](NodeId from, Message req) {
       return handle(from, std::move(req));
@@ -102,15 +105,17 @@ class ShardHost {
 
   // Diagnostic observers (tests). Reads the published view — safe from any
   // thread.
-  std::size_t hosted_shards() const { return view_slot_.acquire()->size(); }
+  std::size_t hosted_shards() const {
+    return view_slot_.acquire()->entries.size();
+  }
   std::size_t hosted_points() const {
-    // Bind the view first: a range-for over `*acquire()` would destroy the
-    // temporary shared_ptr before the loop body runs (C++20 — P2718's
-    // lifetime extension is C++23), letting a concurrent publish free the
-    // vector mid-iteration.
+    // Bind the view first: a range-for over `acquire()->entries` would
+    // destroy the temporary shared_ptr before the loop body runs (C++20 —
+    // P2718's lifetime extension is C++23), letting a concurrent publish
+    // free the vector mid-iteration.
     const std::shared_ptr<const view_t> view = view_slot_.acquire();
     std::size_t n = 0;
-    for (const auto& e : *view) n += e.index->size();
+    for (const auto& e : view->entries) n += e.index->size();
     return n;
   }
 
@@ -125,7 +130,13 @@ class ShardHost {
     std::uint64_t version = 0;
     std::shared_ptr<const Index> index;
   };
-  using view_t = std::vector<Entry>;
+  // Entries plus the heat cells positionally aligned with them: queries
+  // bump the read counter of the entries they actually touch with one
+  // relaxed fetch_add (cells null when telemetry is disabled).
+  struct view_t {
+    std::vector<Entry> entries;
+    std::shared_ptr<telemetry::ShardHeat::cells_t> heat;
+  };
 
   Message handle(NodeId /*from*/, Message req) {
     try {
@@ -142,6 +153,8 @@ class ShardHost {
           return on_drop(req);
         case MsgType::kStat:
           return on_stat();
+        case MsgType::kTelemetry:
+          return on_telemetry();
         default:
           return make_error("host: unexpected message type");
       }
@@ -154,6 +167,7 @@ class ShardHost {
   // kCommitBatch: [u64 epoch][u32 n]{u64 key, u64 version, runs}*
   // -> kCommitAck: [u64 epoch][u32 n]{u64 key, u64 size}*
   Message on_commit(Message& req) {
+    PSI_TRACE_SPAN("host.commit");
     WireReader r(req);
     const std::uint64_t epoch = r.get_u64();
     const std::uint32_t n = r.get_u32();
@@ -189,7 +203,16 @@ class ShardHost {
     // writer uses — then publish the new node view once.
     TaskGroup tasks;
     for (auto& b : batches) {
-      tasks.spawn([this, &b] { store_.apply(b.slot, std::move(b.runs)); });
+      if constexpr (telemetry::kEnabled) {
+        std::uint64_t n_pts = 0;
+        for (const run_t& run : b.runs) n_pts += run.pts.size();
+        host_heat_.record_write(b.slot, n_pts);
+      }
+      tasks.spawn([this, &b] {
+        telemetry::ScopedTimer t(
+            &metrics_->stage_hist(telemetry::Stage::kApply));
+        store_.apply(b.slot, std::move(b.runs));
+      });
     }
     tasks.wait();
     for (const auto& b : batches) versions_[b.slot] = b.version;
@@ -211,8 +234,10 @@ class ShardHost {
   // [payload: points (list/knn) | u64 (count)]
   // Lock-free: executes entirely against one acquired view.
   Message on_query(Message& req) {
+    PSI_TRACE_SPAN("host.query");
     WireReader r(req);
     const auto kind = static_cast<QueryKind>(r.get_u8());
+    telemetry::ScopedTimer timer(&metrics_->read_hist(read_op_of(kind)));
     box_t box{};
     point_t q{};
     double radius = 0;
@@ -234,12 +259,18 @@ class ShardHost {
     }
     const std::uint32_t nkeys = r.get_u32();
     const std::shared_ptr<const view_t> view = view_slot_.acquire();
+    // Heat accounting: an entry's position in the view is its heat cell.
+    const auto heat_of = [&](const Entry* e) {
+      telemetry::record_read(
+          view->heat,
+          static_cast<std::size_t>(e - view->entries.data()));
+    };
     // One sorted (key -> entry) index per request: a kNN fan-out asks for
     // every hosted shard, so per-key linear scans over the view would be
     // O(h^2) on the hot read path.
     std::vector<std::pair<std::uint64_t, const Entry*>> by_key;
-    by_key.reserve(view->size());
-    for (const Entry& e : *view) by_key.emplace_back(e.key, &e);
+    by_key.reserve(view->entries.size());
+    for (const Entry& e : view->entries) by_key.emplace_back(e.key, &e);
     std::sort(by_key.begin(), by_key.end());
     std::vector<const Entry*> present;
     std::vector<std::uint64_t> missing;
@@ -268,13 +299,19 @@ class ShardHost {
       case QueryKind::kRangeList: {
         std::vector<point_t> out;
         auto collect = [&](const point_t& p) { out.push_back(p); };
-        for (const Entry* e : present) e->index->range_visit(box, collect);
+        for (const Entry* e : present) {
+          heat_of(e);
+          e->index->range_visit(box, collect);
+        }
         w.put_points(out);
         break;
       }
       case QueryKind::kRangeCount: {
         std::uint64_t total = 0;
-        for (const Entry* e : present) total += e->index->range_count(box);
+        for (const Entry* e : present) {
+          heat_of(e);
+          total += e->index->range_count(box);
+        }
         w.put_u64(total);
         break;
       }
@@ -282,6 +319,7 @@ class ShardHost {
         std::vector<point_t> out;
         auto collect = [&](const point_t& p) { out.push_back(p); };
         for (const Entry* e : present) {
+          heat_of(e);
           e->index->ball_visit(q, radius, collect);
         }
         w.put_points(out);
@@ -289,7 +327,10 @@ class ShardHost {
       }
       case QueryKind::kBallCount: {
         std::uint64_t total = 0;
-        for (const Entry* e : present) total += e->index->ball_count(q, radius);
+        for (const Entry* e : present) {
+          heat_of(e);
+          total += e->index->ball_count(q, radius);
+        }
         w.put_u64(total);
         break;
       }
@@ -320,6 +361,7 @@ class ShardHost {
         KnnBuffer<point_t> buf(keff);
         for (const Cand& c : order) {
           if (buf.full() && c.dist2 >= buf.worst()) break;
+          heat_of(c.e);  // heat counts shards actually searched
           c.e->index->knn_visit(q, keff, [&](const point_t& p) {
             buf.offer(squared_distance(p, q), p);
           });
@@ -338,6 +380,7 @@ class ShardHost {
   // -> kOk: [u64 size]. Adopts (or replaces) a shard — bulk load, split
   // output, and handoff destination all land here.
   Message on_install(Message& req) {
+    PSI_TRACE_SPAN("host.install");
     WireReader r(req);
     const std::uint64_t key = r.get_u64();
     const std::uint64_t version = r.get_u64();
@@ -365,6 +408,7 @@ class ShardHost {
   // kFetchShard: [u64 key] -> kShardData:
   // [u64 key][u64 version][u64 factory_id][points]
   Message on_fetch(Message& req) {
+    PSI_TRACE_SPAN("host.fetch");
     WireReader r(req);
     const std::uint64_t key = r.get_u64();
     std::lock_guard<std::mutex> g(mu_);
@@ -384,6 +428,7 @@ class ShardHost {
   // In-flight readers of older views keep the replicas alive through their
   // shared_ptrs — dropping is a publication event, not a free.
   Message on_drop(Message& req) {
+    PSI_TRACE_SPAN("host.drop");
     WireReader r(req);
     const std::uint64_t key = r.get_u64();
     std::lock_guard<std::mutex> g(mu_);
@@ -401,13 +446,42 @@ class ShardHost {
   Message on_stat() {
     const std::shared_ptr<const view_t> view = view_slot_.acquire();
     WireWriter w;
-    w.put_u32(static_cast<std::uint32_t>(view->size()));
-    for (const Entry& e : *view) {
+    w.put_u32(static_cast<std::uint32_t>(view->entries.size()));
+    for (const Entry& e : view->entries) {
       w.put_u64(e.key);
       w.put_u64(e.version);
       w.put_u64(e.index->size());
     }
     return std::move(w).finish(MsgType::kStatReply);
+  }
+
+  // kTelemetry -> kTelemetryReply:
+  //   [u32 r]{histogram}*   read-path histograms (telemetry::ReadOp order)
+  //   [u32 s]{histogram}*   stage histograms (telemetry::Stage order)
+  //   [u32 n]{u64 key, u64 reads, u64 writes}*   per-shard heat
+  // All counts are zero-filled histograms when telemetry is disabled, so
+  // a mixed deployment still answers the RPC.
+  Message on_telemetry() {
+    WireWriter w;
+    w.put_u32(static_cast<std::uint32_t>(telemetry::kNumReadOps));
+    for (std::size_t i = 0; i < telemetry::kNumReadOps; ++i) {
+      w.put_histogram(
+          metrics_->read_hist(static_cast<telemetry::ReadOp>(i)).snapshot());
+    }
+    w.put_u32(static_cast<std::uint32_t>(telemetry::kNumStages));
+    for (std::size_t i = 0; i < telemetry::kNumStages; ++i) {
+      w.put_histogram(
+          metrics_->stage_hist(static_cast<telemetry::Stage>(i)).snapshot());
+    }
+    std::lock_guard<std::mutex> g(mu_);  // heat observers writer-serialised
+    const std::vector<telemetry::HeatEntry> heat = host_heat_.entries();
+    w.put_u32(static_cast<std::uint32_t>(heat.size()));
+    for (const auto& h : heat) {
+      w.put_u64(h.key);
+      w.put_u64(h.reads);
+      w.put_u64(h.writes);
+    }
+    return std::move(w).finish(MsgType::kTelemetryReply);
   }
 
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
@@ -419,13 +493,27 @@ class ShardHost {
     return npos;
   }
 
+  // Map a wire query kind to the read-path histogram it lands in.
+  static telemetry::ReadOp read_op_of(QueryKind kind) {
+    switch (kind) {
+      case QueryKind::kRangeList: return telemetry::ReadOp::kRangeList;
+      case QueryKind::kRangeCount: return telemetry::ReadOp::kRangeCount;
+      case QueryKind::kBallList: return telemetry::ReadOp::kBallList;
+      case QueryKind::kBallCount: return telemetry::ReadOp::kBallCount;
+      case QueryKind::kKnn: return telemetry::ReadOp::kKnn;
+    }
+    return telemetry::ReadOp::kKnn;
+  }
+
   // Publish the current slot state as a fresh immutable view. Caller holds
   // mu_ (or is the constructor).
   void publish() {
+    host_heat_.realign(keys_);  // carries counters across installs/drops
     auto v = std::make_shared<view_t>();
-    v->reserve(keys_.size());
+    v->heat = host_heat_.cells();
+    v->entries.reserve(keys_.size());
     for (std::size_t i = 0; i < keys_.size(); ++i) {
-      v->push_back(Entry{keys_[i], versions_[i], store_.live(i)});
+      v->entries.push_back(Entry{keys_[i], versions_[i], store_.live(i)});
     }
     view_slot_.publish(std::move(v));
   }
@@ -440,6 +528,12 @@ class ShardHost {
   std::vector<std::uint64_t> keys_;      // parallel to store_ slots
   std::vector<std::uint64_t> versions_;  // parallel to store_ slots
   service::SnapshotSlot<view_t> view_slot_;
+  // Telemetry: the host's histogram bundle (shared with the store's replay
+  // tasks) and the per-shard heat, keyed by stable shard key and realigned
+  // at every publication.
+  std::shared_ptr<telemetry::ServiceMetrics> metrics_ =
+      std::make_shared<telemetry::ServiceMetrics>();
+  telemetry::ShardHeat host_heat_;
 };
 
 // ---------------------------------------------------------------------------
@@ -597,6 +691,7 @@ class Coordinator {
     TaskGroup tasks;
     for (const NodeBatch& b : batches) {
       tasks.spawn([this, &b, &runs, next_epoch] {
+        PSI_TRACE_SPAN("rpc.commit");
         WireWriter w;
         w.put_u64(next_epoch);
         w.put_u32(static_cast<std::uint32_t>(b.shards.size()));
@@ -652,6 +747,7 @@ class Coordinator {
     if (i >= dir_.num_shards()) return;
     const NodeId src = dir_.owner_of(i);
     if (src == dest) return;
+    PSI_TRACE_SPAN("coord.migrate");
     const std::uint64_t key = dir_.key_of(i);
     auto [pts, version, origin] = fetch_shard(key, src);
     install_raw(key, version, origin, pts, dest);
@@ -703,6 +799,7 @@ class Coordinator {
   void install_raw(std::uint64_t key, std::uint64_t version,
                    std::size_t factory_id, const std::vector<point_t>& pts,
                    NodeId node) {
+    PSI_TRACE_SPAN("rpc.install");
     WireWriter w;
     w.put_u64(key);
     w.put_u64(version);
@@ -714,6 +811,7 @@ class Coordinator {
 
   std::tuple<std::vector<point_t>, std::uint64_t, std::size_t> fetch_shard(
       std::uint64_t key, NodeId node) {
+    PSI_TRACE_SPAN("rpc.fetch");
     WireWriter w;
     w.put_u64(key);
     Message reply = expect_ok(

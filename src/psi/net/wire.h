@@ -36,11 +36,13 @@
 #include "psi/geometry/box.h"
 #include "psi/geometry/point.h"
 #include "psi/service/shard_store.h"
+#include "psi/telemetry/histogram.h"
 
 namespace psi::net {
 
 inline constexpr std::uint16_t kWireMagic = 0x5057;  // "PW"
-inline constexpr std::uint16_t kWireVersion = 1;
+// v2: kTelemetry/kTelemetryReply (cluster-wide stats aggregation).
+inline constexpr std::uint16_t kWireVersion = 2;
 
 // One message kind per request/response the distributed service speaks.
 enum class MsgType : std::uint8_t {
@@ -56,6 +58,8 @@ enum class MsgType : std::uint8_t {
   kDropShard = 9,    // coordinator -> host: release a shard after handoff
   kStat = 10,        // client -> host: sizes of hosted shards
   kStatReply = 11,
+  kTelemetry = 12,   // client -> host: read/stage histograms + shard heat
+  kTelemetryReply = 13,
 };
 
 // Query kinds inside a kQuery payload.
@@ -148,6 +152,25 @@ class WireWriter {
     for (const auto& r : runs) {
       put_u8(r.is_delete ? 1 : 0);
       put_points(r.pts);
+    }
+  }
+
+  // Histogram snapshot, sparse: [u64 count][u64 sum][u64 max][u32 n]
+  // then n (u8 bucket, u64 count) pairs for the non-empty buckets — a
+  // log2 histogram is dense in a handful of buckets and empty elsewhere.
+  void put_histogram(const telemetry::HistogramSnapshot& h) {
+    put_u64(h.count);
+    put_u64(h.sum);
+    put_u64(h.max);
+    std::uint32_t n = 0;
+    for (std::size_t b = 0; b < telemetry::kNumBuckets; ++b) {
+      if (h.buckets[b] != 0) ++n;
+    }
+    put_u32(n);
+    for (std::size_t b = 0; b < telemetry::kNumBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      put_u8(static_cast<std::uint8_t>(b));
+      put_u64(h.buckets[b]);
     }
   }
 
@@ -278,6 +301,27 @@ class WireReader {
       runs.push_back(std::move(r));
     }
     return runs;
+  }
+
+  telemetry::HistogramSnapshot get_histogram() {
+    telemetry::HistogramSnapshot h;
+    h.count = get_u64();
+    h.sum = get_u64();
+    h.max = get_u64();
+    const std::uint32_t n = get_u32();
+    // Each pair occupies 9 payload bytes; reject counts the frame cannot
+    // back, and bucket ids outside the histogram.
+    if (n > remaining() / 9) {
+      throw WireError("histogram bucket count exceeds frame payload");
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint8_t b = get_u8();
+      if (b >= telemetry::kNumBuckets) {
+        throw WireError("histogram bucket index out of range");
+      }
+      h.buckets[b] = get_u64();
+    }
+    return h;
   }
 
   std::string get_string() {

@@ -7,11 +7,72 @@
 #include <random>
 #include <string>
 
+#include "psi/telemetry/registry.h"
+#include "psi/telemetry/telemetry.h"
+
 namespace psi {
 
 namespace {
 
 thread_local int tl_worker_id = -1;
+
+// Worker-behaviour telemetry: file-scope (not per-Scheduler) so the
+// counters are cumulative across set_num_workers restarts and the
+// registry gauges below never dereference a restarted pool. Every member
+// vanishes under PSI_TELEMETRY_DISABLED — the static_assert pins the
+// zero-cost claim at compile time.
+struct SchedTelemetry {
+#ifndef PSI_TELEMETRY_DISABLED
+  std::atomic<std::uint64_t> submits{0};
+  std::atomic<std::uint64_t> foreign_jobs{0};
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> parks{0};
+#endif
+  void on_submit(bool foreign) {
+#ifndef PSI_TELEMETRY_DISABLED
+    submits.fetch_add(1, std::memory_order_relaxed);
+    if (foreign) foreign_jobs.fetch_add(1, std::memory_order_relaxed);
+#else
+    (void)foreign;
+#endif
+  }
+  void on_steal() {
+#ifndef PSI_TELEMETRY_DISABLED
+    steals.fetch_add(1, std::memory_order_relaxed);
+#endif
+  }
+  void on_park() {
+#ifndef PSI_TELEMETRY_DISABLED
+    parks.fetch_add(1, std::memory_order_relaxed);
+#endif
+  }
+};
+static_assert(telemetry::kEnabled || sizeof(SchedTelemetry) == 1,
+              "scheduler telemetry must cost nothing when disabled");
+
+SchedTelemetry g_sched_telemetry;
+
+// Idempotently expose the counters as registry gauges. The callbacks read
+// file-scope atomics only, so they stay valid forever and never lock.
+void register_scheduler_gauges() {
+  if constexpr (!telemetry::kEnabled) return;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    auto& reg = telemetry::StatsRegistry::instance();
+    reg.register_gauge("scheduler.submits", [] {
+      return Scheduler::telemetry_counters().submits;
+    });
+    reg.register_gauge("scheduler.foreign_jobs", [] {
+      return Scheduler::telemetry_counters().foreign_jobs;
+    });
+    reg.register_gauge("scheduler.steals", [] {
+      return Scheduler::telemetry_counters().steals;
+    });
+    reg.register_gauge("scheduler.parks", [] {
+      return Scheduler::telemetry_counters().parks;
+    });
+  });
+}
 
 int env_num_workers() {
   if (const char* s = std::getenv("PSI_NUM_WORKERS")) {
@@ -65,11 +126,24 @@ std::unique_ptr<Scheduler> Scheduler::global_;
 std::mutex Scheduler::global_mu_;
 
 Scheduler& Scheduler::instance() {
+  register_scheduler_gauges();
   std::lock_guard<std::mutex> lock(global_mu_);
   if (!global_) {
     global_.reset(new Scheduler(env_num_workers()));
   }
   return *global_;
+}
+
+SchedulerCounters Scheduler::telemetry_counters() {
+  SchedulerCounters c;
+#ifndef PSI_TELEMETRY_DISABLED
+  c.submits = g_sched_telemetry.submits.load(std::memory_order_relaxed);
+  c.foreign_jobs =
+      g_sched_telemetry.foreign_jobs.load(std::memory_order_relaxed);
+  c.steals = g_sched_telemetry.steals.load(std::memory_order_relaxed);
+  c.parks = g_sched_telemetry.parks.load(std::memory_order_relaxed);
+#endif
+  return c;
 }
 
 void Scheduler::set_num_workers(int p) {
@@ -107,6 +181,7 @@ Scheduler::~Scheduler() {
 
 void Scheduler::submit(detail::Job* job) {
   const int id = worker_id();
+  g_sched_telemetry.on_submit(/*foreign=*/id < 0);
   Deque& d = *deques_[id >= 0 ? static_cast<std::size_t>(id) : 0];
   {
     std::lock_guard<std::mutex> lock(d.mu);
@@ -156,6 +231,7 @@ detail::Job* Scheduler::steal() {
     detail::Job* job = d.jobs.front();
     d.jobs.pop_front();
     pending_.fetch_sub(1, std::memory_order_acq_rel);
+    g_sched_telemetry.on_steal();
     return job;
   }
   return nullptr;
@@ -202,6 +278,7 @@ void Scheduler::worker_loop(int id) {
       continue;
     }
     // Nothing to do: sleep until new work is pushed.
+    g_sched_telemetry.on_park();
     std::unique_lock<std::mutex> lock(sleep_mu_);
     sleep_cv_.wait_for(lock, std::chrono::milliseconds(1), [&] {
       return shutdown_.load(std::memory_order_acquire) ||

@@ -71,6 +71,15 @@ struct JobImpl final : Job {
 
 }  // namespace detail
 
+// Worker-behaviour counters (telemetry): cumulative across pool restarts,
+// process-wide. All zero when built with PSI_TELEMETRY_DISABLED.
+struct SchedulerCounters {
+  std::uint64_t submits = 0;       // jobs enqueued
+  std::uint64_t foreign_jobs = 0;  // jobs enqueued by non-pool threads
+  std::uint64_t steals = 0;        // successful steals between deques
+  std::uint64_t parks = 0;         // worker sleeps after an idle spin run
+};
+
 class Scheduler {
  public:
   // Global scheduler. Constructed on first use with worker count from
@@ -86,6 +95,11 @@ class Scheduler {
 
   // Id of the calling thread within the pool, or -1 for foreign threads.
   static int worker_id();
+
+  // Telemetry: the process-wide worker counters (registered as gauges in
+  // the StatsRegistry on first instance() — telemetry/registry.h). Safe
+  // from any thread; survives set_num_workers restarts.
+  static SchedulerCounters telemetry_counters();
 
   // Fork g, run f inline, then join g (executing it inline if nobody stole
   // it, or stealing other work while waiting otherwise).

@@ -43,6 +43,13 @@
 //
 // Substrates: psi::parallel (fork-join scheduler + primitives), psi::sfc
 // (Morton/Hilbert codecs), psi::datagen (paper workload generators).
+//
+// Observability (psi::telemetry): lock-free log2-bucketed latency
+// histograms at every service entry point and commit stage, per-shard
+// read/write heat with per-epoch EWMA decay, PSI_TRACE_SPAN pipeline
+// tracing with Chrome-trace export, and a StatsRegistry rendering JSON or
+// Prometheus text. Compiles out under PSI_TELEMETRY_DISABLED
+// (-DPSI_TELEMETRY=OFF); see README "Observability".
 
 #pragma once
 
@@ -86,3 +93,8 @@
 #include "psi/service/shard_store.h"
 #include "psi/service/snapshot.h"
 #include "psi/sfc/codec.h"
+#include "psi/telemetry/histogram.h"
+#include "psi/telemetry/metrics.h"
+#include "psi/telemetry/registry.h"
+#include "psi/telemetry/telemetry.h"
+#include "psi/telemetry/trace.h"

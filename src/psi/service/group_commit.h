@@ -73,6 +73,8 @@
 #include "psi/service/shard_map.h"
 #include "psi/service/shard_store.h"
 #include "psi/service/snapshot.h"
+#include "psi/telemetry/metrics.h"
+#include "psi/telemetry/trace.h"
 
 namespace psi::service {
 
@@ -136,6 +138,7 @@ class GroupCommitter {
       : cfg_(cfg),
         dir_(std::max<std::size_t>(1, cfg.initial_shards)),
         store_(std::move(factory), cfg.pipelined_commits) {
+    store_.set_metrics(metrics_);
     store_.init_empty(dir_.num_shards());
     publish();
   }
@@ -157,6 +160,7 @@ class GroupCommitter {
   // boundaries and contiguous per-shard slices, from which both replicas
   // of each shard are built.
   void load(const std::vector<point_t>& pts) {
+    PSI_TRACE_SPAN("commit.load");
     const std::size_t n = pts.size();
     std::vector<CodedPoint<point_t>> coded = code_and_sort<Codec>(pts);
     std::vector<std::uint64_t> codes = tabulate<std::uint64_t>(
@@ -219,27 +223,41 @@ class GroupCommitter {
     }
 
     if (has_updates) {
-      std::vector<std::uint64_t> yields(k, 0);
-      parallel_for_shards(k, [&](std::size_t i) {
-        if (runs[i].empty()) return;
-        yields[i] = store_.apply(i, std::move(runs[i]));
-        // Distinct indices per task; the version allocator is atomic.
-        dir_.touch(i);
-      });
-      for (auto y : yields) stats_.grace_yields += y;
+      {
+        PSI_TRACE_SPAN("commit.apply");
+        std::vector<std::uint64_t> yields(k, 0);
+        parallel_for_shards(k, [&](std::size_t i) {
+          if (runs[i].empty()) return;
+          if constexpr (telemetry::kEnabled) {
+            std::uint64_t n_pts = 0;
+            for (const run_t& r : runs[i]) n_pts += r.pts.size();
+            heat_.record_write(i, n_pts);
+          }
+          telemetry::ScopedTimer t(
+              &metrics_->stage_hist(telemetry::Stage::kApply));
+          yields[i] = store_.apply(i, std::move(runs[i]));
+          // Distinct indices per task; the version allocator is atomic.
+          dir_.touch(i);
+        });
+        for (auto y : yields) stats_.grace_yields += y;
+      }
       // Untouched shards may still be replaying batch i-1 — that is the
       // pipeline's overlap, so they are NOT joined here. Moving a slot is
       // safe while its task runs (the task owns copies, never slot
       // pointers), and a split/merge that overwrites or erases a slot
       // joins that one task implicitly through AsyncTask's move-assign /
       // destructor.
-      rebalance();
+      {
+        PSI_TRACE_SPAN("commit.rebalance");
+        rebalance();
+      }
       publish();
       store_.spawn_replays();
     }
 
     const std::uint64_t epoch = stats_.epoch;
     // Answer queries against the (possibly just republished) current view.
+    PSI_TRACE_SPAN("commit.queries");
     snapshot_t snap(acquire());
     parallel_for(
         0, queries.size(),
@@ -265,6 +283,7 @@ class GroupCommitter {
             default:
               break;
           }
+          record_queued_latency(req);
           req.promise.set_value(std::move(res));
         },
         1);
@@ -274,6 +293,7 @@ class GroupCommitter {
       if (req.kind == RequestKind::kInsert || req.kind == RequestKind::kDelete) {
         result_t res;
         res.epoch = epoch;
+        record_queued_latency(req);
         req.promise.set_value(std::move(res));
       }
     }
@@ -290,7 +310,45 @@ class GroupCommitter {
       s.shard_sizes.push_back(store_.size_of(i));
       s.size_total += store_.size_of(i);
     }
+    if constexpr (telemetry::kEnabled) {
+      using telemetry::QueuedOp;
+      using telemetry::ReadOp;
+      // Per logical op: the queued (end-to-end) recordings merged with the
+      // direct snapshot read-path recordings of the same op, so both API
+      // styles land in one summary. Ball folds its count+list read kinds.
+      auto q = [&](QueuedOp o) { return metrics_->queued_hist(o).snapshot(); };
+      auto r = [&](ReadOp o) { return metrics_->read_hist(o).snapshot(); };
+      s.latency.resize(telemetry::kNumQueuedOps);
+      s.latency[static_cast<std::size_t>(QueuedOp::kInsert)] =
+          telemetry::summarize(q(QueuedOp::kInsert));
+      s.latency[static_cast<std::size_t>(QueuedOp::kDelete)] =
+          telemetry::summarize(q(QueuedOp::kDelete));
+      s.latency[static_cast<std::size_t>(QueuedOp::kKnn)] =
+          telemetry::summarize(q(QueuedOp::kKnn) + r(ReadOp::kKnn));
+      s.latency[static_cast<std::size_t>(QueuedOp::kRangeCount)] =
+          telemetry::summarize(q(QueuedOp::kRangeCount) +
+                               r(ReadOp::kRangeCount));
+      s.latency[static_cast<std::size_t>(QueuedOp::kRangeList)] =
+          telemetry::summarize(q(QueuedOp::kRangeList) +
+                               r(ReadOp::kRangeList));
+      s.latency[static_cast<std::size_t>(QueuedOp::kBall)] =
+          telemetry::summarize(q(QueuedOp::kBall) + r(ReadOp::kBallCount) +
+                               r(ReadOp::kBallList));
+      s.stages.resize(telemetry::kNumStages);
+      for (std::size_t i = 0; i < telemetry::kNumStages; ++i) {
+        s.stages[i] = telemetry::summarize(
+            metrics_->stage_hist(static_cast<telemetry::Stage>(i)).snapshot());
+      }
+      s.shard_heat = heat_.entries();
+      s.shard_heat_decayed = heat_.decayed();
+    }
     return s;
+  }
+
+  // The committer's telemetry bundle (service.h records drain and cache
+  // timings into it; always non-null, histograms no-op when disabled).
+  const std::shared_ptr<telemetry::ServiceMetrics>& metrics() const {
+    return metrics_;
   }
 
  private:
@@ -355,8 +413,31 @@ class GroupCommitter {
     store_.erase_slot(i + 1);
   }
 
+  // Queued-op end-to-end latency: enqueue to promise resolution. Query
+  // kinds therefore include the service time of answering against the
+  // published view; update kinds end at publication.
+  void record_queued_latency(const request_t& req) {
+    if constexpr (!telemetry::kEnabled) return;
+    if (req.enqueue_ns == 0) return;  // committed without passing the queue
+    const std::uint64_t now = telemetry::now_ns();
+    metrics_
+        ->queued_hist(static_cast<telemetry::QueuedOp>(
+            static_cast<std::size_t>(req.kind)))
+        .record(now - req.enqueue_ns);
+  }
+
   std::uint64_t publish() {
+    PSI_TRACE_SPAN("commit.publish");
+    telemetry::ScopedTimer publish_timer(
+        &metrics_->stage_hist(telemetry::Stage::kPublish));
+    // Heat follows the directory: realign to the (possibly restructured)
+    // shard topology by stable key, then fold this epoch's traffic into
+    // the EWMA.
+    heat_.realign(dir_.keys());
+    heat_.decay();
     auto v = std::make_shared<view_t>();
+    v->metrics = metrics_;
+    v->heat_cells = heat_.cells();
     // The writer is externally serialised, so current()+1 is the epoch
     // advance() will return below.
     const std::uint64_t next = epoch_.current() + 1;
@@ -392,6 +473,11 @@ class GroupCommitter {
   EpochCounter epoch_;
   SnapshotSlot<view_t> slot_;
   ServiceStats stats_;
+  // Telemetry: the histogram bundle (shared with the store's replay tasks
+  // and every published view) and the per-shard heat accounting.
+  std::shared_ptr<telemetry::ServiceMetrics> metrics_ =
+      std::make_shared<telemetry::ServiceMetrics>();
+  telemetry::ShardHeat heat_;
   // Total population of the last published view; read lock-free by
   // SpatialService::size() without constructing a Snapshot.
   std::atomic<std::size_t> published_size_{0};

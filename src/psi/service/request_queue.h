@@ -28,6 +28,7 @@
 
 #include "psi/geometry/box.h"
 #include "psi/geometry/point.h"
+#include "psi/telemetry/telemetry.h"
 
 namespace psi::service {
 
@@ -72,6 +73,9 @@ struct Request {
   box_t box{};         // range_count / range_list
   std::size_t k = 0;   // knn
   double radius = 0;   // ball
+  // Enqueue timestamp (telemetry): stamped by the queue, consumed by the
+  // committer to record end-to-end queued-op latency. 0 = never queued.
+  std::uint64_t enqueue_ns = 0;
   std::promise<result_t> promise;
 
   static Request insert(point_t p) {
@@ -124,6 +128,7 @@ class RequestQueue {
   // Producer side. Returns the future paired with the request's promise.
   std::future<result_t> push(request_t req) {
     std::future<result_t> fut = req.promise.get_future();
+    if constexpr (telemetry::kEnabled) req.enqueue_ns = telemetry::now_ns();
     {
       std::lock_guard<std::mutex> g(mu_);
       q_.push_back(std::move(req));
@@ -137,6 +142,11 @@ class RequestQueue {
     std::vector<std::future<result_t>> futs;
     futs.reserve(reqs.size());
     for (auto& r : reqs) futs.push_back(r.promise.get_future());
+    if constexpr (telemetry::kEnabled) {
+      // One clock read for the whole batch: the batch is one enqueue event.
+      const std::uint64_t now = telemetry::now_ns();
+      for (auto& r : reqs) r.enqueue_ns = now;
+    }
     {
       std::lock_guard<std::mutex> g(mu_);
       for (auto& r : reqs) q_.push_back(std::move(r));

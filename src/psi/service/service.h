@@ -60,6 +60,8 @@
 #include "psi/service/service_stats.h"
 #include "psi/service/snapshot.h"
 #include "psi/sfc/codec.h"
+#include "psi/telemetry/metrics.h"
+#include "psi/telemetry/trace.h"
 
 namespace psi::service {
 
@@ -142,9 +144,10 @@ class SpatialService {
   // the background thread (one commit mutex serialises all writers); on
   // return, every request submitted happens-before flush() has resolved.
   void flush() {
+    PSI_TRACE_SPAN("service.flush");
     std::lock_guard<std::mutex> g(commit_mu_);
     for (;;) {
-      auto group = queue_.drain(cfg_.max_group);
+      auto group = drain_timed();
       if (group.empty()) break;
       committer_.commit(std::move(group));
     }
@@ -210,47 +213,71 @@ class SpatialService {
 
   std::shared_ptr<const std::vector<point_t>> range_list_cached(
       const box_t& query) const {
+    const std::uint64_t start =
+        telemetry::kEnabled ? telemetry::now_ns() : 0;
     auto snap = snapshot();
     const auto key = cache_key_t::range(query);
     const CacheCoverage cov = coverage(snap, snap.shard_run_for_box(query));
-    if (auto hit = cache_.find_list(key, cov)) return hit;
+    if (auto hit = cache_.find_list(key, cov)) {
+      record_cache(start, /*hit=*/true);
+      return hit;
+    }
     auto pts =
         std::make_shared<const std::vector<point_t>>(snap.range_list(query));
     cache_.put_list(key, cov, pts);
+    record_cache(start, /*hit=*/false);
     return pts;
   }
 
   std::size_t range_count_cached(const box_t& query) const {
+    const std::uint64_t start =
+        telemetry::kEnabled ? telemetry::now_ns() : 0;
     auto snap = snapshot();
     const auto key = cache_key_t::range(query);
     const CacheCoverage cov = coverage(snap, snap.shard_run_for_box(query));
-    if (auto hit = cache_.find_count(key, cov)) return *hit;
+    if (auto hit = cache_.find_count(key, cov)) {
+      record_cache(start, /*hit=*/true);
+      return *hit;
+    }
     const std::size_t count = snap.range_count(query);
     cache_.put_count(key, cov, count);
+    record_cache(start, /*hit=*/false);
     return count;
   }
 
   std::shared_ptr<const std::vector<point_t>> ball_list_cached(
       const point_t& q, double radius) const {
+    const std::uint64_t start =
+        telemetry::kEnabled ? telemetry::now_ns() : 0;
     auto snap = snapshot();
     const auto key = cache_key_t::ball(q, radius);
     const CacheCoverage cov =
         coverage(snap, snap.shard_run_for_ball(q, radius));
-    if (auto hit = cache_.find_list(key, cov)) return hit;
+    if (auto hit = cache_.find_list(key, cov)) {
+      record_cache(start, /*hit=*/true);
+      return hit;
+    }
     auto pts = std::make_shared<const std::vector<point_t>>(
         snap.ball_list(q, radius));
     cache_.put_list(key, cov, pts);
+    record_cache(start, /*hit=*/false);
     return pts;
   }
 
   std::size_t ball_count_cached(const point_t& q, double radius) const {
+    const std::uint64_t start =
+        telemetry::kEnabled ? telemetry::now_ns() : 0;
     auto snap = snapshot();
     const auto key = cache_key_t::ball(q, radius);
     const CacheCoverage cov =
         coverage(snap, snap.shard_run_for_ball(q, radius));
-    if (auto hit = cache_.find_count(key, cov)) return *hit;
+    if (auto hit = cache_.find_count(key, cov)) {
+      record_cache(start, /*hit=*/true);
+      return *hit;
+    }
     const std::size_t count = snap.ball_count(q, radius);
     cache_.put_count(key, cov, count);
+    record_cache(start, /*hit=*/false);
     return count;
   }
 
@@ -259,6 +286,8 @@ class SpatialService {
   // that changed any shard invalidates it.
   std::shared_ptr<const std::vector<point_t>> knn_cached(
       const point_t& q, std::size_t k) const {
+    const std::uint64_t start =
+        telemetry::kEnabled ? telemetry::now_ns() : 0;
     auto snap = snapshot();
     const auto key = cache_key_t::knn(q, k);
     // A shardless view (not constructible today) must yield an *inverted*
@@ -268,9 +297,13 @@ class SpatialService {
     const CacheCoverage cov =
         coverage(snap, n == 0 ? std::pair<std::size_t, std::size_t>{1, 0}
                               : std::pair<std::size_t, std::size_t>{0, n - 1});
-    if (auto hit = cache_.find_list(key, cov)) return hit;
+    if (auto hit = cache_.find_list(key, cov)) {
+      record_cache(start, /*hit=*/true);
+      return hit;
+    }
     auto pts = std::make_shared<const std::vector<point_t>>(snap.knn(q, k));
     cache_.put_list(key, cov, pts);
+    record_cache(start, /*hit=*/false);
     return pts;
   }
 
@@ -319,9 +352,27 @@ class SpatialService {
     while (running_.load(std::memory_order_acquire)) {
       if (!queue_.wait_nonempty(interval)) continue;
       std::lock_guard<std::mutex> g(commit_mu_);
-      auto group = queue_.drain(cfg_.max_group);
-      if (!group.empty()) committer_.commit(std::move(group));
+      auto group = drain_timed();
+      if (!group.empty()) {
+        PSI_TRACE_SPAN("service.commit_group");
+        committer_.commit(std::move(group));
+      }
     }
+  }
+
+  // Queue drain under the commit lock, timed as the pipeline's drain stage.
+  std::vector<request_t> drain_timed() {
+    telemetry::ScopedTimer t(
+        &committer_.metrics()->stage_hist(telemetry::Stage::kDrain));
+    return queue_.drain(cfg_.max_group);
+  }
+
+  // Record a cached read's service time into the hit or miss histogram.
+  void record_cache(std::uint64_t start_ns, bool hit) const {
+    if constexpr (!telemetry::kEnabled) return;
+    auto& m = *committer_.metrics();
+    (hit ? m.cache_hit : m.cache_miss)
+        .record(telemetry::now_ns() - start_ns);
   }
 
   ServiceConfig cfg_;

@@ -10,11 +10,19 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "psi/telemetry/histogram.h"
+#include "psi/telemetry/metrics.h"
 
 namespace psi::service {
 
 struct ServiceStats {
+  // Schema version of json(). Bump when fields change meaning or move;
+  // adding fields is compatible and does not bump it.
+  std::uint64_t stats_version = 2;
+
   std::uint64_t epoch = 0;        // published commit epochs
   std::uint64_t commits = 0;      // commit groups applied (== epoch)
   std::uint64_t splits = 0;       // shard splits performed
@@ -37,11 +45,31 @@ struct ServiceStats {
   std::uint64_t cache_cross_epoch_hits = 0;
   // List results answered but not admitted (size-aware admission).
   std::uint64_t cache_oversize_skips = 0;
+  // Lookups abandoned because the snapshot's version vector was torn by a
+  // concurrent publish (distributed piggyback validation).
+  std::uint64_t cache_torn_skips = 0;
   std::size_t cache_bytes = 0;  // bytes currently held by cached lists
 
   std::size_t num_shards = 0;
   std::size_t size_total = 0;            // points currently indexed
   std::vector<std::size_t> shard_sizes;  // per-shard populations
+
+  // Telemetry (all empty under PSI_TELEMETRY_DISABLED).
+  // End-to-end queued-op latency per request kind, indexed by
+  // telemetry::QueuedOp; name via telemetry::queued_op_name().
+  std::vector<telemetry::LatencySummary> latency;
+  // Commit-pipeline stage timings, indexed by telemetry::Stage.
+  std::vector<telemetry::LatencySummary> stages;
+  // Per-shard heat, positionally aligned with shard_sizes: raw cumulative
+  // read/write counters (keyed by stable shard key) and the per-epoch
+  // EWMA-decayed rate the autopilot consumes.
+  std::vector<telemetry::HeatEntry> shard_heat;
+  std::vector<double> shard_heat_decayed;
+
+  // The n hottest shards by decayed heat: (shard index, decayed heat),
+  // hottest first.
+  std::vector<std::pair<std::size_t, double>> top_hot_shards(
+      std::size_t n) const;
 
   std::uint64_t ops_updates() const { return ops_insert + ops_delete; }
   std::uint64_t ops_queries() const {

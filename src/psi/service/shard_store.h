@@ -37,6 +37,8 @@
 
 #include "psi/parallel/task_group.h"
 #include "psi/service/epoch.h"
+#include "psi/telemetry/metrics.h"
+#include "psi/telemetry/trace.h"
 
 namespace psi::service {
 
@@ -163,6 +165,13 @@ class ShardStore {
     return replica_rebuilds_.load(std::memory_order_relaxed);
   }
 
+  // Telemetry sink for grace/replay stage timings. Shared (not owned):
+  // detached replay tasks copy the shared_ptr so the histograms outlive
+  // whichever of store and owner dies first.
+  void set_metrics(std::shared_ptr<telemetry::ServiceMetrics> m) {
+    metrics_ = std::move(m);
+  }
+
   // -------------------------------------------------------------------
   // The commit path
   // -------------------------------------------------------------------
@@ -173,6 +182,9 @@ class ShardStore {
     ShardSlot& s = slots_[i];
     std::uint64_t yields = settle_replay(s);
     if (!s.standby_caught_up) {
+      telemetry::ScopedTimer grace_timer(
+          metrics_ ? &metrics_->stage_hist(telemetry::Stage::kGrace)
+                   : nullptr);
       const GraceResult grace = await_quiescent(s.standby);
       yields += grace.iters;
       if (!grace.quiesced) {
@@ -214,7 +226,11 @@ class ShardStore {
           std::make_shared<std::vector<run_t>>(std::move(s.pending));
       s.pending.clear();  // moved-from; make the empty state explicit
       s.replay = AsyncTask([out = s.replay_out, standby = s.standby,
-                            runs = s.replay_runs] {
+                            runs = s.replay_runs, metrics = metrics_] {
+        PSI_TRACE_SPAN("replay");
+        telemetry::ScopedTimer timer(
+            metrics ? &metrics->stage_hist(telemetry::Stage::kReplay)
+                    : nullptr);
         // Smaller grace budget than the inline path (4096): a task that
         // cannot quiesce is parking a pool *worker* in the sleep loop, so
         // give up after ~50ms and let the next write retry inline with
@@ -330,6 +346,7 @@ class ShardStore {
 
   factory_t factory_;
   bool pipelined_ = true;
+  std::shared_ptr<telemetry::ServiceMetrics> metrics_;
   std::vector<ShardSlot> slots_;
   // Incremented from the parallel per-shard apply, hence atomic.
   std::atomic<std::uint64_t> replica_rebuilds_{0};

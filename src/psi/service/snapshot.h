@@ -57,6 +57,7 @@
 #include "psi/geometry/point.h"
 #include "psi/parallel/task_group.h"
 #include "psi/service/shard_map.h"
+#include "psi/telemetry/metrics.h"
 
 namespace psi::service {
 
@@ -101,6 +102,13 @@ struct View {
   // instead of holding a pointer).
   std::vector<std::uint64_t> shard_keys;
   std::vector<NodeId> shard_owners;
+  // Telemetry (both null when telemetry is disabled or the view was built
+  // outside a service): the read-path histograms readers record into, and
+  // the per-shard heat cells — positionally aligned with `shards` — whose
+  // read counters every routed query bumps. Shared so readers of a
+  // superseded view stay safe; see telemetry/metrics.h.
+  std::shared_ptr<telemetry::ServiceMetrics> metrics;
+  std::shared_ptr<telemetry::ShardHeat::cells_t> heat_cells;
 
   std::size_t size() const {
     std::size_t n = 0;
@@ -160,7 +168,9 @@ class Snapshot {
   // the header comment).
   template <typename Sink>
   void range_visit(const box_t& query, Sink&& sink) const {
+    telemetry::ScopedTimer t(read_hist(telemetry::ReadOp::kRangeList));
     const auto [lo, hi] = view_->map.shard_range_for_box(query);
+    telemetry::record_reads(view_->heat_cells, lo, hi);
     if constexpr (api::is_concurrent_sink_v<std::remove_cvref_t<Sink>>) {
       visit_shards_par(lo, hi, sink, [&](const Index& shard) {
         api::range_visit_par(shard, query, sink);
@@ -177,7 +187,9 @@ class Snapshot {
   // through the ball's bounding box; each shard prunes from its own root.
   template <typename Sink>
   void ball_visit(const point_t& q, double radius, Sink&& sink) const {
+    telemetry::ScopedTimer t(read_hist(telemetry::ReadOp::kBallList));
     const auto [lo, hi] = view_->map.shard_range_for_box(ball_box(q, radius));
+    telemetry::record_reads(view_->heat_cells, lo, hi);
     if constexpr (api::is_concurrent_sink_v<std::remove_cvref_t<Sink>>) {
       visit_shards_par(lo, hi, sink, [&](const Index& shard) {
         api::ball_visit_par(shard, q, radius, sink);
@@ -198,6 +210,7 @@ class Snapshot {
   // the two paths; distances are exact on both.
   template <typename Sink>
   void knn_visit(const point_t& q, std::size_t k, Sink&& sink) const {
+    telemetry::ScopedTimer t(read_hist(telemetry::ReadOp::kKnn));
     if (knn_parallel_worth_it(k)) {
       knn_visit_par(q, k, sink);
     } else {
@@ -217,6 +230,8 @@ class Snapshot {
     KnnBuffer<point_t> buf(k);
     for (const KnnCand& c : order) {
       if (buf.full() && c.dist2 >= buf.worst()) break;  // sorted: all done
+      // Heat counts shards actually searched, not every candidate.
+      telemetry::record_read(view_->heat_cells, c.index);
       c.shard->knn_visit(q, k, [&](const point_t& p) {
         buf.offer(squared_distance(p, q), p);
       });
@@ -242,8 +257,9 @@ class Snapshot {
     api::ConcurrentKnnBuffer<coord_t, kDim> buf(k);
     TaskGroup tasks;
     for (const KnnCand& c : order) {
-      tasks.spawn([c, q, k, &buf] {
+      tasks.spawn([c, q, k, &buf, cells = view_->heat_cells] {
         if (c.dist2 >= buf.bound()) return;
+        telemetry::record_read(cells, c.index);
         api::knn_visit_par(*c.shard, q, k, buf);
       });
     }
@@ -285,7 +301,9 @@ class Snapshot {
   }
 
   std::size_t range_count(const box_t& query) const {
+    telemetry::ScopedTimer t(read_hist(telemetry::ReadOp::kRangeCount));
     const auto run = view_->map.shard_range_for_box(query);
+    telemetry::record_reads(view_->heat_cells, run.first, run.second);
     // Counts have no intra-shard parallelism, so a single-shard run gains
     // nothing from a task; multi-shard runs still go through the size gate.
     if (run.second > run.first && parallel_worth_it(run)) {
@@ -301,7 +319,9 @@ class Snapshot {
   }
 
   std::vector<point_t> range_list(const box_t& query) const {
+    telemetry::ScopedTimer t(read_hist(telemetry::ReadOp::kRangeList));
     const auto run = view_->map.shard_range_for_box(query);
+    telemetry::record_reads(view_->heat_cells, run.first, run.second);
     if (parallel_worth_it(run)) {
       api::ConcurrentSink<coord_t, kDim> sink;
       visit_shards_par(run.first, run.second, sink, [&](const Index& shard) {
@@ -319,7 +339,9 @@ class Snapshot {
   }
 
   std::size_t ball_count(const point_t& q, double radius) const {
+    telemetry::ScopedTimer t(read_hist(telemetry::ReadOp::kBallCount));
     const auto run = view_->map.shard_range_for_box(ball_box(q, radius));
+    telemetry::record_reads(view_->heat_cells, run.first, run.second);
     if (run.second > run.first && parallel_worth_it(run)) {
       return count_shards_par(run.first, run.second, [&](const Index& shard) {
         return shard.ball_count(q, radius);
@@ -333,7 +355,9 @@ class Snapshot {
   }
 
   std::vector<point_t> ball_list(const point_t& q, double radius) const {
+    telemetry::ScopedTimer t(read_hist(telemetry::ReadOp::kBallList));
     const auto run = view_->map.shard_range_for_box(ball_box(q, radius));
+    telemetry::record_reads(view_->heat_cells, run.first, run.second);
     if (parallel_worth_it(run)) {
       api::ConcurrentSink<coord_t, kDim> sink;
       visit_shards_par(run.first, run.second, sink, [&](const Index& shard) {
@@ -364,20 +388,23 @@ class Snapshot {
   const view_t& view() const { return *view_; }
 
  private:
-  // A kNN shard candidate: the shard and its root-box distance to q.
+  // A kNN shard candidate: the shard, its root-box distance to q, and its
+  // position in the view (heat accounting).
   struct KnnCand {
     double dist2;
     const Index* shard;
+    std::size_t index;
   };
 
   // Non-empty shards sorted by increasing root-box distance to q.
   std::vector<KnnCand> knn_shard_order(const point_t& q) const {
     std::vector<KnnCand> order;
     order.reserve(view_->shards.size());
-    for (const auto& shard : view_->shards) {
+    for (std::size_t i = 0; i < view_->shards.size(); ++i) {
+      const auto& shard = view_->shards[i];
       if (shard->size() == 0) continue;
       order.push_back(
-          KnnCand{min_squared_distance(shard->bounds(), q), shard.get()});
+          KnnCand{min_squared_distance(shard->bounds(), q), shard.get(), i});
     }
     std::sort(
         order.begin(), order.end(),
@@ -447,6 +474,12 @@ class Snapshot {
   // Routing box of a ball (see ball_bounding_box above).
   static box_t ball_box(const point_t& q, double radius) {
     return ball_bounding_box(q, radius);
+  }
+
+  // The view's read-path histogram for `o`, or null when the view carries
+  // no metrics (telemetry disabled / standalone view).
+  telemetry::Histogram* read_hist(telemetry::ReadOp o) const {
+    return view_->metrics ? &view_->metrics->read_hist(o) : nullptr;
   }
 
   std::shared_ptr<const view_t> view_;

@@ -5,6 +5,18 @@
 
 namespace psi::service {
 
+namespace {
+
+// {"count":..,"p50":..,"p95":..,"p99":..,"max":..,"mean":..} — the keys
+// p50/p95/p99 are load-bearing: CI greps BENCH_JSON lines for them.
+void put_summary(std::ostringstream& os, const telemetry::LatencySummary& s) {
+  os << "{\"count\":" << s.count << ",\"p50\":" << s.p50
+     << ",\"p95\":" << s.p95 << ",\"p99\":" << s.p99 << ",\"max\":" << s.max
+     << ",\"mean\":" << s.mean << '}';
+}
+
+}  // namespace
+
 std::size_t ServiceStats::max_shard_size() const {
   if (shard_sizes.empty()) return 0;
   return *std::max_element(shard_sizes.begin(), shard_sizes.end());
@@ -23,9 +35,24 @@ double ServiceStats::imbalance() const {
   return static_cast<double>(max_shard_size()) / mean;
 }
 
+std::vector<std::pair<std::size_t, double>> ServiceStats::top_hot_shards(
+    std::size_t n) const {
+  std::vector<std::pair<std::size_t, double>> out;
+  out.reserve(shard_heat_decayed.size());
+  for (std::size_t i = 0; i < shard_heat_decayed.size(); ++i) {
+    out.emplace_back(i, shard_heat_decayed[i]);
+  }
+  std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
 std::string ServiceStats::json() const {
   std::ostringstream os;
-  os << "{\"epoch\":" << epoch << ",\"commits\":" << commits
+  os << "{\"stats_version\":" << stats_version << ",\"epoch\":" << epoch
+     << ",\"commits\":" << commits
      << ",\"splits\":" << splits << ",\"merges\":" << merges
      << ",\"grace_yields\":" << grace_yields
      << ",\"replica_rebuilds\":" << replica_rebuilds
@@ -38,6 +65,7 @@ std::string ServiceStats::json() const {
      << ",\"cache_misses\":" << cache_misses
      << ",\"cache_cross_epoch_hits\":" << cache_cross_epoch_hits
      << ",\"cache_oversize_skips\":" << cache_oversize_skips
+     << ",\"cache_torn_skips\":" << cache_torn_skips
      << ",\"cache_bytes\":" << cache_bytes
      << ",\"num_shards\":" << num_shards << ",\"size_total\":" << size_total
      << ",\"max_shard\":" << max_shard_size()
@@ -46,7 +74,50 @@ std::string ServiceStats::json() const {
     if (i) os << ',';
     os << shard_sizes[i];
   }
-  os << "]}";
+  os << ']';
+  if (!latency.empty()) {
+    os << ",\"latency\":{";
+    for (std::size_t i = 0; i < latency.size(); ++i) {
+      if (i) os << ',';
+      os << '"' << telemetry::queued_op_name(i) << "\":";
+      put_summary(os, latency[i]);
+    }
+    os << '}';
+  }
+  if (!stages.empty()) {
+    os << ",\"stages\":{";
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+      if (i) os << ',';
+      os << '"' << telemetry::stage_name(i) << "\":";
+      put_summary(os, stages[i]);
+    }
+    os << '}';
+  }
+  if (!shard_heat.empty()) {
+    os << ",\"shard_heat_reads\":[";
+    for (std::size_t i = 0; i < shard_heat.size(); ++i) {
+      if (i) os << ',';
+      os << shard_heat[i].reads;
+    }
+    os << "],\"shard_heat_writes\":[";
+    for (std::size_t i = 0; i < shard_heat.size(); ++i) {
+      if (i) os << ',';
+      os << shard_heat[i].writes;
+    }
+    os << "],\"shard_heat\":[";
+    for (std::size_t i = 0; i < shard_heat_decayed.size(); ++i) {
+      if (i) os << ',';
+      os << shard_heat_decayed[i];
+    }
+    os << "],\"hot_shards\":[";
+    const auto hot = top_hot_shards(4);
+    for (std::size_t i = 0; i < hot.size(); ++i) {
+      if (i) os << ',';
+      os << hot[i].first;
+    }
+    os << ']';
+  }
+  os << '}';
   return os.str();
 }
 

@@ -1,0 +1,213 @@
+// PSI-Lib telemetry: lock-free log2-bucketed latency histograms.
+//
+// A Histogram is a fixed array of 65 power-of-two buckets (bucket 0 holds
+// the value 0; bucket b holds [2^(b-1), 2^b - 1]) replicated over a small
+// number of cache-line-padded slots. Threads are striped over the slots by
+// a cheap thread-local id, so concurrent record() calls from the service's
+// reader threads, the commit writer, and the pool workers touch disjoint
+// cache lines in the common case and never take a lock — every slot field
+// is a relaxed atomic. Nanosecond-scale values over a 64-bit range fit the
+// scheme exactly: relative bucket error is < 2x everywhere, which is well
+// inside the run-to-run noise of any latency percentile.
+//
+// Reads go through snapshot(): a HistogramSnapshot is a plain value with
+// bucket-wise merge (associative and commutative — the distributed stats
+// RPC merges per-host snapshots into cluster-wide percentiles, node.h /
+// distributed_service.h) and percentile extraction. percentile(p) returns
+// the inclusive upper bound of the bucket containing the rank-p sample,
+// so the reported p50/p95/p99 are exact up to bucket resolution: the true
+// sample provably lies in the same bucket (the oracle test asserts this).
+//
+// With PSI_TELEMETRY_DISABLED the class keeps its interface but drops all
+// storage; record() compiles to nothing.
+
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "psi/telemetry/telemetry.h"
+
+namespace psi::telemetry {
+
+inline constexpr std::size_t kNumBuckets = 65;
+
+// Bucket index of a nanosecond value: bit_width gives 0 for 0 and
+// floor(log2(v)) + 1 otherwise — exactly the [2^(b-1), 2^b) partition.
+inline constexpr std::size_t bucket_of(std::uint64_t v) {
+  return static_cast<std::size_t>(std::bit_width(v));
+}
+
+// Inclusive upper bound of bucket b (the value percentile() reports).
+inline constexpr std::uint64_t bucket_upper(std::size_t b) {
+  if (b == 0) return 0;
+  if (b >= 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << b) - 1;
+}
+
+// A consistent point-in-time copy of a histogram: plain integers, safe to
+// serialise, merge, and ship over the wire.
+struct HistogramSnapshot {
+  std::array<std::uint64_t, kNumBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+
+  bool empty() const { return count == 0; }
+
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  // Bucket-wise merge: associative + commutative, the cluster aggregation
+  // primitive.
+  HistogramSnapshot& merge(const HistogramSnapshot& o) {
+    for (std::size_t b = 0; b < kNumBuckets; ++b) buckets[b] += o.buckets[b];
+    count += o.count;
+    sum += o.sum;
+    max = std::max(max, o.max);
+    return *this;
+  }
+  friend HistogramSnapshot operator+(HistogramSnapshot a,
+                                     const HistogramSnapshot& b) {
+    a.merge(b);
+    return a;
+  }
+
+  // Value at percentile p (0 < p <= 100): the upper bound of the bucket
+  // holding the sample of rank ceil(p/100 * count) — the same rank a
+  // sorted-vector oracle would index. 0 when empty.
+  std::uint64_t percentile(double p) const {
+    if (count == 0) return 0;
+    const double want = p / 100.0 * static_cast<double>(count);
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(want) >= want
+            ? static_cast<std::uint64_t>(want)
+            : static_cast<std::uint64_t>(want) + 1;  // ceil
+    rank = std::clamp<std::uint64_t>(rank, 1, count);
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kNumBuckets; ++b) {
+      seen += buckets[b];
+      if (seen >= rank) return bucket_upper(b);
+    }
+    return max;
+  }
+};
+
+// The flat per-op summary ServiceStats carries (and the benches emit).
+struct LatencySummary {
+  std::uint64_t count = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p95 = 0;
+  std::uint64_t p99 = 0;
+  std::uint64_t max = 0;
+  double mean = 0;
+};
+
+inline LatencySummary summarize(const HistogramSnapshot& s) {
+  LatencySummary out;
+  out.count = s.count;
+  out.p50 = s.percentile(50);
+  out.p95 = s.percentile(95);
+  out.p99 = s.percentile(99);
+  out.max = s.max;
+  out.mean = s.mean();
+  return out;
+}
+
+namespace detail {
+// Threads stripe over the histogram slots by a process-wide thread id:
+// assigned once per thread, shared by every histogram so one hot thread
+// stays on one cache line of each.
+inline constexpr std::size_t kSlots = 8;
+inline std::size_t thread_slot() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kSlots;
+  return slot;
+}
+}  // namespace detail
+
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  // Record one nanosecond sample. Lock-free: relaxed adds on the calling
+  // thread's slot, plus a CAS loop only when the slot max advances.
+  void record(std::uint64_t ns) {
+#ifndef PSI_TELEMETRY_DISABLED
+    Slot& s = slots_[detail::thread_slot()];
+    s.buckets[bucket_of(ns)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(ns, std::memory_order_relaxed);
+    std::uint64_t cur = s.max.load(std::memory_order_relaxed);
+    while (ns > cur &&
+           !s.max.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+    }
+#else
+    (void)ns;
+#endif
+  }
+
+  // Merge every slot into one plain snapshot. Concurrent record()s may or
+  // may not be included — each sample is whole (count/sum/bucket drift
+  // between fields is bounded by the in-flight calls), which is all a
+  // monitoring read needs.
+  HistogramSnapshot snapshot() const {
+    HistogramSnapshot out;
+#ifndef PSI_TELEMETRY_DISABLED
+    for (const Slot& s : slots_) {
+      for (std::size_t b = 0; b < kNumBuckets; ++b) {
+        const std::uint64_t c = s.buckets[b].load(std::memory_order_relaxed);
+        out.buckets[b] += c;
+        out.count += c;
+      }
+      out.sum += s.sum.load(std::memory_order_relaxed);
+      out.max = std::max(out.max, s.max.load(std::memory_order_relaxed));
+    }
+#endif
+    return out;
+  }
+
+ private:
+#ifndef PSI_TELEMETRY_DISABLED
+  struct alignas(64) Slot {
+    std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets{};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> max{0};
+  };
+  std::array<Slot, detail::kSlots> slots_{};
+#endif
+};
+
+// RAII sample: records (destruction - construction) into the histogram.
+// A null histogram makes it a no-op, so call sites can instrument
+// unconditionally against optional metrics (snapshot.h null-guards views
+// published before telemetry wiring).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* h) : hist_(h) {
+    if constexpr (kEnabled) {
+      if (hist_ != nullptr) start_ = now_ns();
+    }
+  }
+  ~ScopedTimer() {
+    if constexpr (kEnabled) {
+      if (hist_ != nullptr) hist_->record(now_ns() - start_);
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::uint64_t start_ = 0;
+};
+
+}  // namespace psi::telemetry

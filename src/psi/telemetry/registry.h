@@ -1,0 +1,183 @@
+// PSI-Lib telemetry: the process-wide stats registry.
+//
+// A StatsRegistry is the export surface: named Counters (relaxed atomics),
+// named Histograms (histogram.h), and gauge callbacks (sampled at snapshot
+// time — the scheduler registers its steal/park counters this way so the
+// registry never holds a pointer into a pool that may be restarted).
+// snapshot() produces a plain value that renders as one-line JSON or as
+// Prometheus text exposition — scrape by running any process endpoint that
+// calls prometheus() (the library is transport-agnostic; see README
+// "Observability").
+//
+// The singleton is leaked deliberately: detached pool tasks may bump
+// counters during static destruction. find-or-create is mutex-guarded and
+// returns stable references — Counter/Histogram addresses never move after
+// creation (node-based map), so hot paths cache the reference and never
+// re-enter the lock.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "psi/telemetry/histogram.h"
+#include "psi/telemetry/telemetry.h"
+
+namespace psi::telemetry {
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) {
+#ifndef PSI_TELEMETRY_DISABLED
+    v_.fetch_add(delta, std::memory_order_relaxed);
+#else
+    (void)delta;
+#endif
+  }
+  std::uint64_t value() const {
+#ifndef PSI_TELEMETRY_DISABLED
+    return v_.load(std::memory_order_relaxed);
+#else
+    return 0;
+#endif
+  }
+
+ private:
+#ifndef PSI_TELEMETRY_DISABLED
+  alignas(64) std::atomic<std::uint64_t> v_{0};
+#endif
+};
+
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;  // + gauges
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  // One-line JSON: {"name":value,...,"hist":{"count":..,"p50":..,...},...}
+  std::string json() const {
+    std::ostringstream os;
+    os << '{';
+    bool first = true;
+    for (const auto& [name, v] : counters) {
+      if (!first) os << ',';
+      first = false;
+      os << '"' << name << "\":" << v;
+    }
+    for (const auto& [name, h] : histograms) {
+      if (!first) os << ',';
+      first = false;
+      const LatencySummary s = summarize(h);
+      os << '"' << name << "\":{\"count\":" << s.count << ",\"p50\":" << s.p50
+         << ",\"p95\":" << s.p95 << ",\"p99\":" << s.p99
+         << ",\"max\":" << s.max << '}';
+    }
+    os << '}';
+    return os.str();
+  }
+
+  // Prometheus text exposition (version 0.0.4): counters as counters,
+  // histograms as cumulative le-buckets + _sum/_count. Metric names are
+  // sanitised to [a-zA-Z0-9_:]; empty buckets are elided (log2 over a
+  // 64-bit range would otherwise emit 65 lines per histogram).
+  std::string prometheus() const {
+    std::ostringstream os;
+    for (const auto& [name, v] : counters) {
+      const std::string n = sanitize(name);
+      os << "# TYPE " << n << " counter\n" << n << ' ' << v << '\n';
+    }
+    for (const auto& [name, h] : histograms) {
+      const std::string n = sanitize(name);
+      os << "# TYPE " << n << " histogram\n";
+      std::uint64_t cum = 0;
+      for (std::size_t b = 0; b < kNumBuckets; ++b) {
+        if (h.buckets[b] == 0) continue;
+        cum += h.buckets[b];
+        os << n << "_bucket{le=\"" << bucket_upper(b) << "\"} " << cum << '\n';
+      }
+      os << n << "_bucket{le=\"+Inf\"} " << h.count << '\n'
+         << n << "_sum " << h.sum << '\n'
+         << n << "_count " << h.count << '\n';
+    }
+    return os.str();
+  }
+
+ private:
+  static std::string sanitize(const std::string& name) {
+    std::string out = name;
+    for (char& c : out) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':';
+      if (!ok) c = '_';
+    }
+    return out;
+  }
+};
+
+class StatsRegistry {
+ public:
+  // Leaked singleton (see header comment).
+  static StatsRegistry& instance() {
+    static StatsRegistry* r = new StatsRegistry();
+    return *r;
+  }
+
+  // Find-or-create; the returned reference is stable forever.
+  Counter& counter(const std::string& name) {
+    std::lock_guard<std::mutex> g(mu_);
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+  }
+
+  Histogram& histogram(const std::string& name) {
+    std::lock_guard<std::mutex> g(mu_);
+    auto& slot = histograms_[name];
+    if (!slot) slot = std::make_unique<Histogram>();
+    return *slot;
+  }
+
+  // Register (or replace) a gauge sampled at snapshot() time. The callback
+  // must be callable forever (capture by value, tolerate torn-down
+  // producers) — it may fire from any thread.
+  void register_gauge(const std::string& name,
+                      std::function<std::uint64_t()> fn) {
+    std::lock_guard<std::mutex> g(mu_);
+    gauges_[name] = std::move(fn);
+  }
+
+  RegistrySnapshot snapshot() const {
+    // Copy the gauge callbacks out first: a gauge may itself create
+    // counters (or take unrelated locks), so it must not run under mu_.
+    std::vector<std::pair<std::string, std::function<std::uint64_t()>>> gauges;
+    RegistrySnapshot out;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      for (const auto& [name, c] : counters_) {
+        out.counters.emplace_back(name, c->value());
+      }
+      for (const auto& [name, h] : histograms_) {
+        out.histograms.emplace_back(name, h->snapshot());
+      }
+      for (const auto& [name, fn] : gauges_) gauges.emplace_back(name, fn);
+    }
+    for (const auto& [name, fn] : gauges) out.counters.emplace_back(name, fn());
+    return out;
+  }
+
+ private:
+  StatsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::function<std::uint64_t()>> gauges_;
+};
+
+}  // namespace psi::telemetry

@@ -1,0 +1,36 @@
+// PSI-Lib telemetry: the substrate shared by every instrument.
+//
+// The observability layer (histogram.h, trace.h, registry.h, metrics.h)
+// has one compile-time switch: building with -DPSI_TELEMETRY_DISABLED
+// turns every record/span/counter into a no-op with zero storage, so a
+// latency-critical deployment pays nothing — the CMake option
+// PSI_TELEMETRY (default ON) maps to it. `kEnabled` lets instrumented
+// code branch with `if constexpr` instead of sprinkling #ifdefs.
+//
+// All timestamps in the telemetry layer are steady-clock nanoseconds
+// (now_ns below): monotone, comparable across threads, never affected by
+// wall-clock adjustments. Chrome-trace export converts to microseconds at
+// dump time (trace.h).
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace psi::telemetry {
+
+#ifdef PSI_TELEMETRY_DISABLED
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+// Monotone nanosecond timestamp.
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace psi::telemetry

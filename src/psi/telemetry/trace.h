@@ -1,0 +1,196 @@
+// PSI-Lib telemetry: pipeline tracing with per-thread ring buffers.
+//
+// A TraceSpan is an RAII complete-event recorder: construction stamps the
+// start, destruction appends {name, start, duration, thread} to the
+// calling thread's ring buffer. When tracing is disabled at runtime (the
+// default) a span costs one relaxed atomic load; when enabled it costs a
+// clock read on each end plus an uncontended lock around the thread's own
+// ring — tens of nanoseconds, cheap enough to leave on the commit pipeline
+// and the query fan-out permanently. Rings are bounded (newest events
+// win), so a tracer left enabled can never exhaust memory.
+//
+// Per-thread rings are each guarded by their own mutex rather than written
+// racily: the writer is always the owning thread, so the lock is
+// uncontended on the hot path, and the dump side (which walks every ring)
+// stays TSan-clean without per-event atomics.
+//
+// Export is Chrome trace format — one JSON object with "traceEvents" "X"
+// (complete) entries, loadable directly in chrome://tracing or Perfetto.
+// Span names must be string literals (the ring stores the pointer).
+//
+// Compiled out entirely under PSI_TELEMETRY_DISABLED: PSI_TRACE_SPAN
+// expands to nothing and the singleton is never instantiated.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "psi/telemetry/telemetry.h"
+
+namespace psi::telemetry {
+
+class Tracer {
+ public:
+  // Leaked singleton: spans may fire from detached pool threads during
+  // static destruction; a leaked instance cannot be destroyed under them.
+  static Tracer& instance() {
+    static Tracer* t = new Tracer();
+    return *t;
+  }
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  // Append one complete event to the calling thread's ring.
+  void record(const char* name, std::uint64_t ts_ns, std::uint64_t dur_ns) {
+    Ring& ring = local_ring();
+    std::lock_guard<std::mutex> g(ring.mu);
+    if (ring.events.size() < kRingCapacity) {
+      ring.events.push_back(Event{name, ts_ns, dur_ns});
+    } else {
+      ring.events[ring.next % kRingCapacity] = Event{name, ts_ns, dur_ns};
+      ++ring.dropped;
+    }
+    ++ring.next;
+  }
+
+  // Events currently buffered across all rings (diagnostics/tests).
+  std::size_t event_count() const {
+    std::lock_guard<std::mutex> g(rings_mu_);
+    std::size_t n = 0;
+    for (const auto& r : rings_) {
+      std::lock_guard<std::mutex> rg(r->mu);
+      n += r->events.size();
+    }
+    return n;
+  }
+
+  // Drop all buffered events (between bench cells).
+  void clear() {
+    std::lock_guard<std::mutex> g(rings_mu_);
+    for (const auto& r : rings_) {
+      std::lock_guard<std::mutex> rg(r->mu);
+      r->events.clear();
+      r->next = 0;
+      r->dropped = 0;
+    }
+  }
+
+  // Chrome trace JSON ("X" complete events, microsecond timestamps).
+  std::string chrome_trace() const {
+    std::ostringstream os;
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    std::lock_guard<std::mutex> g(rings_mu_);
+    for (const auto& r : rings_) {
+      std::lock_guard<std::mutex> rg(r->mu);
+      for (const Event& e : r->events) {
+        if (!first) os << ',';
+        first = false;
+        os << "{\"name\":\"" << e.name << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+           << r->tid << ",\"ts\":" << static_cast<double>(e.ts_ns) / 1000.0
+           << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1000.0 << '}';
+      }
+    }
+    os << "]}";
+    return os.str();
+  }
+
+  // Dump to a file; false (with no partial file) if it cannot be opened.
+  bool write_chrome_trace(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::string json = chrome_trace();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  static constexpr std::size_t kRingCapacity = 8192;
+
+  struct Event {
+    const char* name;
+    std::uint64_t ts_ns;
+    std::uint64_t dur_ns;
+  };
+
+  struct Ring {
+    mutable std::mutex mu;
+    std::vector<Event> events;
+    std::size_t next = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t tid = 0;
+  };
+
+  Tracer() = default;
+
+  Ring& local_ring() {
+    thread_local std::shared_ptr<Ring> ring = [this] {
+      auto r = std::make_shared<Ring>();
+      std::lock_guard<std::mutex> g(rings_mu_);
+      r->tid = ++tid_counter_;
+      rings_.push_back(r);
+      return r;
+    }();
+    return *ring;
+  }
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex rings_mu_;
+  // Rings are never removed: a thread's ring outlives the thread (events
+  // must survive until the dump), and the tracer itself is leaked.
+  std::vector<std::shared_ptr<Ring>> rings_;
+  std::uint64_t tid_counter_ = 0;
+};
+
+// RAII complete-event span. `name` must be a string literal.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if constexpr (kEnabled) {
+      if (Tracer::instance().enabled()) {
+        name_ = name;
+        start_ = now_ns();
+      }
+    } else {
+      (void)name;
+    }
+  }
+  ~TraceSpan() {
+    if constexpr (kEnabled) {
+      if (name_ != nullptr) {
+        Tracer::instance().record(name_, start_, now_ns() - start_);
+      }
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ = 0;
+};
+
+}  // namespace psi::telemetry
+
+// Scoped span covering the rest of the enclosing block.
+#ifndef PSI_TELEMETRY_DISABLED
+#define PSI_TRACE_CONCAT_INNER(a, b) a##b
+#define PSI_TRACE_CONCAT(a, b) PSI_TRACE_CONCAT_INNER(a, b)
+#define PSI_TRACE_SPAN(name)                                       \
+  ::psi::telemetry::TraceSpan PSI_TRACE_CONCAT(psi_trace_span_,    \
+                                               __LINE__) { name }
+#else
+#define PSI_TRACE_SPAN(name) ((void)0)
+#endif

@@ -1,0 +1,464 @@
+// Telemetry tests: histograms, registry, tracer, heat, and the wiring
+// through SpatialService and the distributed stats RPC.
+//
+//  * Bucket boundaries: bucket_of/bucket_upper partition [0, 2^64).
+//  * Percentiles agree with a sorted-vector oracle up to bucket
+//    resolution (the reported value is the upper bound of the bucket
+//    containing the true rank-p sample).
+//  * Concurrent recording loses no samples (also the TSan target).
+//  * Snapshot merge is associative and commutative — the property the
+//    cluster-wide stats aggregation in distributed_service.h relies on.
+//  * Wire codec round-trips histogram snapshots.
+//  * ShardHeat: EWMA decay across epochs, realign carries keys.
+//  * StatsRegistry JSON + Prometheus exposition; scheduler gauges.
+//  * Tracer produces parseable Chrome-trace JSON.
+//  * ServiceStats: stats_version, per-op latency, per-shard heat.
+//  * 2-node loopback cluster: merged histograms equal per-host sums.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "psi/core/spac/spac_tree.h"
+#include "psi/datagen/generators.h"
+#include "psi/net/distributed_service.h"
+#include "psi/net/transport.h"
+#include "psi/net/wire.h"
+#include "psi/parallel/scheduler.h"
+#include "psi/parallel/task_group.h"
+#include "psi/service/service.h"
+#include "psi/telemetry/histogram.h"
+#include "psi/telemetry/metrics.h"
+#include "psi/telemetry/registry.h"
+#include "psi/telemetry/trace.h"
+
+namespace psi::telemetry {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Buckets
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryHistogram, BucketBoundaries) {
+  // bucket 0 holds exactly the value 0; bucket b holds [2^(b-1), 2^b - 1].
+  EXPECT_EQ(bucket_of(0), 0u);
+  EXPECT_EQ(bucket_of(1), 1u);
+  EXPECT_EQ(bucket_of(2), 2u);
+  EXPECT_EQ(bucket_of(3), 2u);
+  EXPECT_EQ(bucket_of(4), 3u);
+  EXPECT_EQ(bucket_of(1023), 10u);
+  EXPECT_EQ(bucket_of(1024), 11u);
+  EXPECT_EQ(bucket_of(~std::uint64_t{0}), 64u);
+
+  EXPECT_EQ(bucket_upper(0), 0u);
+  EXPECT_EQ(bucket_upper(1), 1u);
+  EXPECT_EQ(bucket_upper(10), 1023u);
+  EXPECT_EQ(bucket_upper(64), ~std::uint64_t{0});
+
+  // Every value lies within its bucket's bounds.
+  for (std::uint64_t v : {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{7},
+                          std::uint64_t{4096}, std::uint64_t{1} << 40}) {
+    const std::size_t b = bucket_of(v);
+    EXPECT_LE(v, bucket_upper(b));
+    if (b > 0) EXPECT_GT(v, bucket_upper(b - 1));
+  }
+}
+
+TEST(TelemetryHistogram, RecordLandsInExpectedBucket) {
+  if (!kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  Histogram h;
+  const std::uint64_t vals[] = {0, 1, 2, 3, 1000, 5000};
+  for (std::uint64_t v : vals) h.record(v);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 6u);
+  EXPECT_EQ(s.sum, 0u + 1 + 2 + 3 + 1000 + 5000);
+  EXPECT_EQ(s.max, 5000u);
+  EXPECT_EQ(s.buckets[bucket_of(0)], 1u);
+  EXPECT_EQ(s.buckets[bucket_of(1)], 1u);
+  EXPECT_EQ(s.buckets[bucket_of(2)], 2u);  // 2 and 3 share bucket 2
+  EXPECT_EQ(s.buckets[bucket_of(1000)], 1u);
+  EXPECT_EQ(s.buckets[bucket_of(5000)], 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Percentiles vs a sorted oracle
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryHistogram, PercentileMatchesSortedOracle) {
+  if (!kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  Histogram h;
+  std::vector<std::uint64_t> vals;
+  std::uint64_t x = 88172645463325252ull;  // xorshift64
+  for (int i = 0; i < 2000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const std::uint64_t v = x % 1000000;  // ns-scale spread
+    vals.push_back(v);
+    h.record(v);
+  }
+  std::sort(vals.begin(), vals.end());
+  const HistogramSnapshot s = h.snapshot();
+  ASSERT_EQ(s.count, vals.size());
+  for (double p : {50.0, 90.0, 95.0, 99.0, 100.0}) {
+    // The same rank a sorted oracle uses: ceil(p/100 * n), 1-based.
+    const double want = p / 100.0 * static_cast<double>(vals.size());
+    std::uint64_t rank = static_cast<std::uint64_t>(want) >= want
+                             ? static_cast<std::uint64_t>(want)
+                             : static_cast<std::uint64_t>(want) + 1;
+    rank = std::clamp<std::uint64_t>(rank, 1, vals.size());
+    const std::uint64_t oracle = vals[rank - 1];
+    // Exact up to bucket resolution: the histogram reports the upper bound
+    // of the bucket the true sample lies in.
+    EXPECT_EQ(s.percentile(p), bucket_upper(bucket_of(oracle)))
+        << "p=" << p << " oracle=" << oracle;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (the TSan target)
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryHistogram, ConcurrentRecordingLosesNothing) {
+  if (!kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPer = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPer; ++i) {
+        h.record(static_cast<std::uint64_t>(t) * 1000 + (i % 7));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, kThreads * kPer);
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t b : s.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, kThreads * kPer);
+}
+
+// ---------------------------------------------------------------------------
+// Merge algebra
+// ---------------------------------------------------------------------------
+
+HistogramSnapshot snap_of(std::initializer_list<std::uint64_t> vals) {
+  Histogram h;
+  for (std::uint64_t v : vals) h.record(v);
+  return h.snapshot();
+}
+
+void expect_same(const HistogramSnapshot& a, const HistogramSnapshot& b) {
+  EXPECT_EQ(a.buckets, b.buckets);
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.sum, b.sum);
+  EXPECT_EQ(a.max, b.max);
+}
+
+TEST(TelemetryHistogram, MergeAssociativeCommutative) {
+  if (!kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  const HistogramSnapshot a = snap_of({1, 5, 9});
+  const HistogramSnapshot b = snap_of({100, 200});
+  const HistogramSnapshot c = snap_of({0, 0, 1 << 20});
+  expect_same((a + b) + c, a + (b + c));
+  expect_same(a + b, b + a);
+  const HistogramSnapshot all = a + b + c;
+  EXPECT_EQ(all.count, 8u);
+  // Merging equals recording everything into one histogram.
+  expect_same(all, snap_of({1, 5, 9, 100, 200, 0, 0, 1 << 20}));
+}
+
+TEST(TelemetryWire, HistogramSnapshotRoundTrip) {
+  if (!kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  const HistogramSnapshot s = snap_of({0, 1, 3, 1000, 123456789});
+  net::WireWriter w;
+  w.put_histogram(s);
+  net::Message m = std::move(w).finish(net::MsgType::kTelemetryReply);
+  net::WireReader r(m);
+  expect_same(r.get_histogram(), s);
+}
+
+// ---------------------------------------------------------------------------
+// Shard heat
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryHeat, DecayAcrossEpochsAndRealign) {
+  if (!kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  ShardHeat heat;
+  heat.realign({10, 20});
+  heat.record_write(0, 8);
+  record_read(heat.cells(), 1);
+  record_read(heat.cells(), 1);
+
+  // Epoch 1: EWMA = decay*0 + delta.
+  heat.decay();
+  ASSERT_EQ(heat.decayed().size(), 2u);
+  EXPECT_DOUBLE_EQ(heat.decayed()[0], 8.0);
+  EXPECT_DOUBLE_EQ(heat.decayed()[1], 2.0);
+
+  // Epoch 2, no fresh traffic: heat halves.
+  heat.decay();
+  EXPECT_DOUBLE_EQ(heat.decayed()[0], 4.0);
+  EXPECT_DOUBLE_EQ(heat.decayed()[1], 1.0);
+
+  // Realign: key 20 survives (carries its EWMA and counters to its new
+  // position), key 30 starts cold.
+  heat.realign({20, 30});
+  EXPECT_DOUBLE_EQ(heat.decayed()[0], 1.0);
+  EXPECT_DOUBLE_EQ(heat.decayed()[1], 0.0);
+  const auto entries = heat.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].key, 20u);
+  EXPECT_EQ(entries[0].reads, 2u);
+  EXPECT_EQ(entries[1].key, 30u);
+  EXPECT_EQ(entries[1].reads, 0u);
+
+  // Fresh traffic on the surviving shard folds onto the carried EWMA.
+  heat.record_write(0, 6);
+  heat.decay();
+  EXPECT_DOUBLE_EQ(heat.decayed()[0], 0.5 * 1.0 + 6.0);
+}
+
+// ---------------------------------------------------------------------------
+// Registry + scheduler gauges
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryRegistry, JsonAndPrometheusExposition) {
+  if (!kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  auto& reg = StatsRegistry::instance();
+  reg.counter("test.reg.hits").inc(3);
+  reg.histogram("test.reg.lat").record(1000);
+  reg.register_gauge("test.reg.gauge", [] { return std::uint64_t{42}; });
+  const RegistrySnapshot snap = reg.snapshot();
+
+  const std::string json = snap.json();
+  EXPECT_NE(json.find("\"test.reg.hits\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"test.reg.gauge\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"test.reg.lat\":{\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+
+  const std::string prom = snap.prometheus();
+  EXPECT_NE(prom.find("# TYPE test_reg_hits counter"), std::string::npos);
+  EXPECT_NE(prom.find("test_reg_lat_count 1"), std::string::npos);
+  EXPECT_NE(prom.find("_bucket{le=\"+Inf\"} 1"), std::string::npos);
+}
+
+TEST(TelemetryScheduler, CountersAdvanceUnderForeignSubmits) {
+  if (!kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  Scheduler::set_num_workers(2);
+  const SchedulerCounters before = Scheduler::telemetry_counters();
+  // The scheduler registers the constructing thread as worker 0, so
+  // foreign submits need a thread the pool has never seen.
+  std::atomic<int> ran{0};
+  std::thread outsider([&ran] {
+    TaskGroup tg;
+    for (int i = 0; i < 64; ++i) {
+      tg.spawn([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    tg.wait();
+  });
+  outsider.join();
+  EXPECT_EQ(ran.load(), 64);
+  const SchedulerCounters after = Scheduler::telemetry_counters();
+  EXPECT_GE(after.submits, before.submits + 64);
+  EXPECT_GT(after.foreign_jobs, before.foreign_jobs);
+  // Steals/parks depend on worker timing — monotonicity is all that is
+  // guaranteed on a single-core box.
+  EXPECT_GE(after.steals, before.steals);
+  EXPECT_GE(after.parks, before.parks);
+  // The scheduler registers its counters as registry gauges.
+  const std::string json = StatsRegistry::instance().snapshot().json();
+  EXPECT_NE(json.find("\"scheduler.submits\":"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryTrace, ChromeTraceCapturesSpans) {
+  if (!kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  auto& tracer = Tracer::instance();
+  tracer.clear();
+  tracer.set_enabled(true);
+  {
+    PSI_TRACE_SPAN("test.outer");
+    PSI_TRACE_SPAN("test.inner");
+  }
+  tracer.set_enabled(false);
+  EXPECT_GE(tracer.event_count(), 2u);
+  const std::string json = tracer.chrome_trace();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  tracer.clear();
+}
+
+TEST(TelemetryTrace, DisabledSpansRecordNothing) {
+  auto& tracer = Tracer::instance();
+  tracer.clear();
+  ASSERT_FALSE(tracer.enabled());
+  {
+    PSI_TRACE_SPAN("test.should.not.appear");
+  }
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Service wiring
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryService, StatsCarryLatencyAndHeat) {
+  if (!kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  using namespace psi::service;
+  ServiceConfig cfg;
+  cfg.initial_shards = 4;
+  cfg.split_threshold = 1u << 20;  // fixed topology
+  cfg.merge_threshold = 1;
+  SpatialService<SpacZTree2> svc(cfg);
+  const auto base = datagen::uniform<2>(2000, 1, 1 << 16);
+  svc.build(base);
+  svc.start();
+
+  std::vector<std::future<Result<std::int64_t, 2>>> futs;
+  for (int i = 0; i < 50; ++i) {
+    futs.push_back(svc.submit_insert(
+        Point2{{static_cast<std::int64_t>(i * 37 % (1 << 16)),
+                static_cast<std::int64_t>(i * 101 % (1 << 16))}}));
+  }
+  for (auto& f : futs) f.get();
+  svc.flush();
+
+  auto snap = svc.snapshot();
+  Box2 b;
+  b.lo = Point2{{0, 0}};
+  b.hi = Point2{{1 << 14, 1 << 14}};
+  (void)snap.range_count(b);
+  (void)snap.knn(Point2{{100, 100}}, 5);
+  svc.stop();
+
+  const ServiceStats s = svc.stats();
+  EXPECT_EQ(s.stats_version, 2u);
+  ASSERT_EQ(s.latency.size(), kNumQueuedOps);
+  ASSERT_EQ(s.stages.size(), kNumStages);
+  // 50 inserts went through the queue; their end-to-end latency is in the
+  // insert summary. The snapshot queries land in the read-path histograms
+  // which stats() merges into the per-op summaries.
+  EXPECT_GE(s.latency[static_cast<std::size_t>(QueuedOp::kInsert)].count, 50u);
+  EXPECT_GE(s.latency[static_cast<std::size_t>(QueuedOp::kKnn)].count, 1u);
+  EXPECT_GE(s.latency[static_cast<std::size_t>(QueuedOp::kRangeCount)].count,
+            1u);
+  EXPECT_GT(s.stages[static_cast<std::size_t>(Stage::kPublish)].count, 0u);
+
+  // Heat: 4 shards, all written by build-epoch traffic or the inserts.
+  ASSERT_EQ(s.shard_heat.size(), 4u);
+  ASSERT_EQ(s.shard_heat_decayed.size(), 4u);
+  std::uint64_t writes = 0, reads = 0;
+  for (const auto& h : s.shard_heat) {
+    writes += h.writes;
+    reads += h.reads;
+  }
+  EXPECT_GE(writes, 50u);  // the queued inserts
+  EXPECT_GE(reads, 1u);    // the snapshot queries
+  const auto hot = s.top_hot_shards(2);
+  ASSERT_LE(hot.size(), 2u);
+  ASSERT_GE(hot.size(), 1u);
+  EXPECT_GE(hot[0].second, hot.back().second);
+
+  const std::string json = s.json();
+  EXPECT_NE(json.find("\"stats_version\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"cache_torn_skips\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(json.find("\"shard_heat\":"), std::string::npos);
+  EXPECT_NE(json.find("\"hot_shards\":"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster aggregation
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryCluster, MergedHistogramsEqualPerHostSums) {
+  if (!kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  using Service = net::DistributedService<SpacZTree2>;
+  net::LoopbackTransport fabric;
+  net::DistributedConfig cfg;
+  cfg.initial_shards = 4;
+  cfg.split_threshold = 1u << 20;
+  cfg.merge_threshold = 1;
+  Service svc(fabric, 2, cfg);
+  svc.build(datagen::uniform<2>(2000, 7, 1 << 16));
+  svc.insert_batch(datagen::uniform<2>(100, 9, 1 << 16));
+
+  Box2 b;
+  b.lo = Point2{{0, 0}};
+  b.hi = Point2{{1 << 15, 1 << 15}};
+  for (int i = 0; i < 5; ++i) {
+    (void)svc.range_count(b);
+    (void)svc.knn(Point2{{500, 500}}, 3);
+  }
+
+  const net::DistributedStats s = svc.stats();
+  ASSERT_EQ(s.hosts.size(), 2u);
+  ASSERT_EQ(s.read_hists.size(), kNumReadOps);
+  ASSERT_EQ(s.stage_hists.size(), kNumStages);
+  ASSERT_EQ(s.read_latency.size(), kNumReadOps);
+
+  // The cluster merge must equal the bucket-wise per-host sums — exactly
+  // (histogram merge is associative/commutative, nothing is lost or
+  // double-counted by aggregation).
+  for (std::size_t op = 0; op < kNumReadOps; ++op) {
+    HistogramSnapshot sum;
+    for (const auto& host : s.hosts) {
+      ASSERT_EQ(host.reads.size(), kNumReadOps);
+      sum.merge(host.reads[op]);
+    }
+    expect_same(s.read_hists[op], sum);
+  }
+  for (std::size_t st = 0; st < kNumStages; ++st) {
+    HistogramSnapshot sum;
+    for (const auto& host : s.hosts) {
+      ASSERT_EQ(host.stages.size(), kNumStages);
+      sum.merge(host.stages[st]);
+    }
+    expect_same(s.stage_hists[st], sum);
+  }
+
+  // Something actually got recorded on the read path.
+  EXPECT_GE(
+      s.read_hists[static_cast<std::size_t>(ReadOp::kRangeCount)].count, 5u);
+  EXPECT_GE(s.read_hists[static_cast<std::size_t>(ReadOp::kKnn)].count, 5u);
+  EXPECT_EQ(
+      s.read_latency[static_cast<std::size_t>(ReadOp::kKnn)].count,
+      s.read_hists[static_cast<std::size_t>(ReadOp::kKnn)].count);
+
+  // Heat: the cluster view sums per-host counters key-wise.
+  std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>> by_key;
+  for (const auto& host : s.hosts) {
+    for (const auto& h : host.heat) {
+      by_key[h.key].first += h.reads;
+      by_key[h.key].second += h.writes;
+    }
+  }
+  ASSERT_EQ(s.heat.size(), by_key.size());
+  std::uint64_t total_writes = 0;
+  for (const auto& h : s.heat) {
+    const auto it = by_key.find(h.key);
+    ASSERT_NE(it, by_key.end());
+    EXPECT_EQ(h.reads, it->second.first);
+    EXPECT_EQ(h.writes, it->second.second);
+    total_writes += h.writes;
+  }
+  EXPECT_GE(total_writes, 100u);  // the insert_batch
+}
+
+}  // namespace
+}  // namespace psi::telemetry
