@@ -30,8 +30,10 @@ import json
 import sys
 
 MARKER = "BENCH_JSON "
+# "durability" keeps wal-on cells in their own lane: a wal-on run is never
+# compared against a wal-off baseline (fsync cost is not a regression).
 KEY_FIELDS = ("bench", "workload", "op", "k", "mode", "transport", "nodes",
-              "workers")
+              "workers", "durability")
 METRIC = "qps"
 
 

@@ -14,7 +14,15 @@
 //   ./fig11_service_throughput --pipeline off   # disable the two-stage
 //                                               # commit pipeline (on by
 //                                               # default; group_commit.h)
+//   ./fig11_service_throughput --wal on         # arm the write-ahead log
+//                                               # (fsync'd commit records in
+//                                               # a temp dir) for every cell
 // (PSI_BENCH_BACKEND env is an alternative to the --backend flag.)
+//
+// The default wal-off run appends one wal-on row (read%=50, default
+// backend) so the fsync-before-publish cost is always measured alongside;
+// the regression gate keys on the "durability" JSON field and never
+// compares across modes.
 //
 // Output: a fixed-width table for humans plus one JSON line per cell
 // (prefix "BENCH_JSON ") in the flat shape of ServiceStats::json(), so
@@ -33,6 +41,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -111,13 +120,19 @@ void run_client(Service& svc, int id, std::size_t ops, int read_pct,
 template <typename Service, typename MakeService>
 Cell run_cell(MakeService&& make_service, std::size_t shards, int read_pct,
               std::size_t n, std::size_t ops_per_client, int clients,
-              const std::vector<Point2>& base, bool pipeline) {
+              const std::vector<Point2>& base, bool pipeline,
+              const std::string& wal_dir = {}) {
   ServiceConfig cfg;
   cfg.initial_shards = shards;
   // Keep the topology fixed so the cell isolates shard-count scaling.
   cfg.split_threshold = n * 8;
   cfg.merge_threshold = 1;
   cfg.pipelined_commits = pipeline;
+  if (!wal_dir.empty()) {
+    std::filesystem::remove_all(wal_dir);
+    cfg.durability.enabled = true;
+    cfg.durability.dir = wal_dir;
+  }
   Service svc = make_service(cfg);
   svc.build(base);
   svc.start();
@@ -171,6 +186,22 @@ bool pipeline_choice(int argc, char** argv) {
   return true;  // group_commit.h default
 }
 
+bool wal_choice(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--wal") == 0) {
+      return std::strcmp(argv[i + 1], "on") == 0;
+    }
+  }
+  return false;  // durability is opt-in, same as the service default
+}
+
+std::string wal_dir_for(std::size_t shards, int read_pct) {
+  return (std::filesystem::temp_directory_path() /
+          ("psi_fig11_wal_k" + std::to_string(shards) + "_r" +
+           std::to_string(read_pct)))
+      .string();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -179,6 +210,7 @@ int main(int argc, char** argv) {
   const int clients = bench_clients(4);
   const std::string backend = backend_choice(argc, argv);
   const bool pipeline = pipeline_choice(argc, argv);
+  const bool wal = wal_choice(argc, argv);
   const char* trace_file = std::getenv("PSI_TRACE_FILE");
   if (psi::telemetry::kEnabled && trace_file != nullptr) {
     psi::telemetry::Tracer::instance().set_enabled(true);
@@ -193,25 +225,39 @@ int main(int argc, char** argv) {
   const std::string label = backend.empty() ? "SPaC-Z" : backend;
   std::printf("Fig 11: service throughput — %s backend, %zu base points, "
               "%d clients, %zu ops/client, %d scheduler workers, "
-              "pipeline %s\n",
+              "pipeline %s, wal %s\n",
               label.c_str(), n, clients, ops, psi::num_workers(),
-              pipeline ? "on" : "off");
+              pipeline ? "on" : "off", wal ? "on" : "off");
   std::printf("(shard-count scaling comes from the per-shard parallel apply "
               "and per-query fan-out;\n expect K>1 gains only with multiple "
               "scheduler workers / cores)\n");
   Table table({"read%", "K=1", "K=2", "K=4", "K=8"});
   const std::size_t shard_counts[] = {1, 2, 4, 8};
 
+  const auto emit_cell = [&](const Cell& cell, bool wal_on) {
+    std::printf("BENCH_JSON {\"bench\":\"fig11_service_throughput\","
+                "\"backend\":\"%s\",\"pipeline\":%s,\"durability\":\"%s\","
+                "\"shards\":%zu,\"read_pct\":%d,"
+                "\"clients\":%d,\"workers\":%d,\"n\":%zu,\"ops\":%zu,"
+                "\"seconds\":%.4f,\"ops_per_sec\":%.1f,\"stats\":%s}\n",
+                label.c_str(), pipeline ? "true" : "false",
+                wal_on ? "wal" : "off", cell.shards, cell.read_pct, clients,
+                psi::num_workers(), n, cell.ops, cell.seconds,
+                cell.ops_per_sec(), cell.stats.json().c_str());
+  };
+
   for (int read_pct : {90, 50, 10}) {
     std::vector<std::string> row{std::to_string(read_pct)};
     for (std::size_t k : shard_counts) {
+      const std::string wal_dir =
+          wal ? wal_dir_for(k, read_pct) : std::string{};
       Cell cell;
       if (backend.empty()) {
         cell = run_cell<SpatialService<SpacZTree2>>(
             [](const ServiceConfig& cfg) {
               return SpatialService<SpacZTree2>(cfg);
             },
-            k, read_pct, n, ops, clients, base, pipeline);
+            k, read_pct, n, ops, clients, base, pipeline, wal_dir);
       } else if (backend == "mixed") {
         cell = run_cell<SpatialService<api::AnyIndex2>>(
             [k](const ServiceConfig& cfg) {
@@ -223,7 +269,7 @@ int main(int argc, char** argv) {
                                           : reg.make("log");
                   });
             },
-            k, read_pct, n, ops, clients, base, pipeline);
+            k, read_pct, n, ops, clients, base, pipeline, wal_dir);
       } else {
         cell = run_cell<SpatialService<api::AnyIndex2>>(
             [&backend](const ServiceConfig& cfg) {
@@ -232,18 +278,30 @@ int main(int argc, char** argv) {
                     return api::BackendRegistry2::instance().make(backend);
                   });
             },
-            k, read_pct, n, ops, clients, base, pipeline);
+            k, read_pct, n, ops, clients, base, pipeline, wal_dir);
       }
       row.push_back(Table::fmt(cell.ops_per_sec()));
-      std::printf("BENCH_JSON {\"bench\":\"fig11_service_throughput\","
-                  "\"backend\":\"%s\",\"pipeline\":%s,\"shards\":%zu,"
-                  "\"read_pct\":%d,"
-                  "\"clients\":%d,\"workers\":%d,\"n\":%zu,\"ops\":%zu,"
-                  "\"seconds\":%.4f,\"ops_per_sec\":%.1f,\"stats\":%s}\n",
-                  label.c_str(), pipeline ? "true" : "false", cell.shards,
-                  cell.read_pct, clients,
-                  psi::num_workers(), n, cell.ops, cell.seconds,
-                  cell.ops_per_sec(), cell.stats.json().c_str());
+      emit_cell(cell, wal);
+      if (!wal_dir.empty()) std::filesystem::remove_all(wal_dir);
+    }
+    table.row(row);
+  }
+  if (!wal && backend.empty()) {
+    // One durable row rides along with the default run: same mixed
+    // workload at read%=50 across the shard counts, WAL armed, so the
+    // fsync-before-publish cost is always measured next to the wal-off
+    // numbers (the gate keys on "durability" and never compares across).
+    std::vector<std::string> row{"50+wal"};
+    for (std::size_t k : shard_counts) {
+      const std::string wal_dir = wal_dir_for(k, 50);
+      const Cell cell = run_cell<SpatialService<SpacZTree2>>(
+          [](const ServiceConfig& cfg) {
+            return SpatialService<SpacZTree2>(cfg);
+          },
+          k, 50, n, ops, clients, base, pipeline, wal_dir);
+      row.push_back(Table::fmt(cell.ops_per_sec()));
+      emit_cell(cell, /*wal_on=*/true);
+      std::filesystem::remove_all(wal_dir);
     }
     table.row(row);
   }

@@ -22,11 +22,20 @@
 //               "nodes":2,"op":"range_count","queries":..,"hits":..,
 //               "seconds":..,"qps":..,"matches":true}
 //
+// Durability: `--wal on` runs every cell with the write-ahead log armed
+// (fsync'd commit records + coordinator markers in a temp dir), so the
+// fsync-before-publish cost shows up in the insert numbers. The default
+// run stays wal-off but appends one wal-on loopback run so CI always
+// exercises the durable distributed path; the regression gate keys on the
+// "durability" field and never compares across modes.
+//
 // Knobs: PSI_BENCH_N (points), PSI_BENCH_Q (queries per cell). On a
 // 1-core container the numbers prove the code paths, not speedups.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
@@ -51,13 +60,14 @@ struct Cell {
 };
 
 void emit(const char* transport, std::size_t nodes, const char* op,
-          const Cell& c) {
+          const Cell& c, bool wal) {
   std::printf("BENCH_JSON {\"bench\":\"fig14_distributed\","
               "\"transport\":\"%s\",\"nodes\":%zu,\"op\":\"%s\","
+              "\"durability\":\"%s\","
               "\"queries\":%zu,\"hits\":%zu,\"seconds\":%.4f,\"qps\":%.1f,"
               "\"matches\":%s}\n",
-              transport, nodes, op, c.queries, c.hits, c.seconds, c.qps(),
-              c.matches ? "true" : "false");
+              transport, nodes, op, wal ? "wal" : "off", c.queries, c.hits,
+              c.seconds, c.qps(), c.matches ? "true" : "false");
 }
 
 using Service = DistributedService<SpacZTree2>;
@@ -68,11 +78,17 @@ struct RunResult {
 
 RunResult run_cells(Transport& fabric, std::size_t nodes,
                     const std::vector<Point2>& pts,
-                    const std::vector<Point2>& centres, std::int64_t half) {
+                    const std::vector<Point2>& centres, std::int64_t half,
+                    const std::string& wal_dir = {}) {
   DistributedConfig cfg;
   cfg.initial_shards = 4;
   cfg.split_threshold = pts.size() * 8;  // fixed topology: measure the paths
   cfg.merge_threshold = 1;
+  if (!wal_dir.empty()) {
+    std::filesystem::remove_all(wal_dir);
+    cfg.durability.enabled = true;
+    cfg.durability.dir = wal_dir;
+  }
   Service svc(fabric, nodes, cfg);
 
   RunResult out;
@@ -134,41 +150,74 @@ RunResult run_cells(Transport& fabric, std::size_t nodes,
   return out;
 }
 
+bool wal_choice(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--wal") == 0) {
+      return std::strcmp(argv[i + 1], "on") == 0;
+    }
+  }
+  return false;
+}
+
+std::string wal_root() {
+  return (std::filesystem::temp_directory_path() / "psi_fig14_wal").string();
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const std::size_t n = bench_n(100'000);
   const std::size_t q = bench_queries(200);
+  const bool wal = wal_choice(argc, argv);
   const std::int64_t half = side_for_output<2>(n, n / 50, kMax2) / 2;
 
   const auto pts = make_workload_2d("Uniform", n, 1);
   const auto centres = datagen::ind_queries(pts, q, 99, kMax2);
 
-  std::printf("Fig 14: distributed sharding, n=%zu, q=%zu, workers=%d\n", n, q,
-              num_workers());
+  std::printf("Fig 14: distributed sharding, n=%zu, q=%zu, workers=%d, "
+              "wal %s\n",
+              n, q, num_workers(), wal ? "on" : "off");
 
   bool all_match = true;
   RunResult reference;
   for (const std::size_t nodes : {std::size_t{1}, std::size_t{2},
                                   std::size_t{4}}) {
     LoopbackTransport fabric;
-    RunResult r = run_cells(fabric, nodes, pts, centres, half);
+    RunResult r = run_cells(
+        fabric, nodes, pts, centres, half,
+        wal ? wal_root() + "/n" + std::to_string(nodes) : std::string{});
     if (nodes == 1) reference = r;
     for (auto& [op, cell] : r.cells) {
       cell.matches = cell.hits == reference.cells[op].hits;
       all_match = all_match && cell.matches;
-      emit("loopback", nodes, op.c_str(), cell);
+      emit("loopback", nodes, op.c_str(), cell, wal);
     }
   }
   {
     TcpTransport fabric;
-    RunResult r = run_cells(fabric, 2, pts, centres, half);
+    RunResult r = run_cells(
+        fabric, 2, pts, centres, half,
+        wal ? wal_root() + "/tcp" : std::string{});
     for (auto& [op, cell] : r.cells) {
       cell.matches = cell.hits == reference.cells[op].hits;
       all_match = all_match && cell.matches;
-      emit("tcp", 2, op.c_str(), cell);
+      emit("tcp", 2, op.c_str(), cell, wal);
     }
   }
+  if (!wal) {
+    // One durable run rides along with the default sweep so CI always
+    // exercises the WAL'd distributed commit path and its fsync cost is
+    // visible next to the wal-off rows (never gated against them).
+    LoopbackTransport fabric;
+    RunResult r = run_cells(fabric, 2, pts, centres, half,
+                            wal_root() + "/ride");
+    for (auto& [op, cell] : r.cells) {
+      cell.matches = cell.hits == reference.cells[op].hits;
+      all_match = all_match && cell.matches;
+      emit("loopback", 2, op.c_str(), cell, /*wal=*/true);
+    }
+  }
+  std::filesystem::remove_all(wal_root());
 
   if (!all_match) {
     std::fprintf(stderr,

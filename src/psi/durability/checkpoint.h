@@ -1,0 +1,170 @@
+// Epoch-stamped checkpoints: per-shard point snapshots + a manifest.
+//
+// A checkpoint is taken from a *retained read view* — RCU retention keeps
+// the view's shard snapshots valid while the writer keeps committing, so
+// the only work under the commit lock is pinning the view and rotating the
+// WAL; the (slow) file writes happen against the pinned snapshots with no
+// writer stall.
+//
+// On-disk artifacts in the durability directory:
+//
+//   ckpt-<epoch>-<key>.bin   one dataset_io binary point file per shard
+//   MANIFEST                 [u32 magic "PSIM"][u32 version][u64 epoch]
+//                            [u64 watermark][u32 nshards]
+//                            { [u64 key][u64 version][u64 factory_id]
+//                              [u32 name_len][name bytes] }*
+//                            [u32 crc32 of everything above]
+//
+// Ordering makes the whole thing atomic: shard files are written
+// fsync+rename-atomically FIRST, the manifest is renamed over LAST, and
+// only then are pre-checkpoint WAL segments and stale ckpt files removed.
+// A crash at any point leaves the previous manifest naming the previous
+// (still present) shard files — the new half-written generation is inert
+// garbage that the next successful checkpoint sweeps up.
+//
+// `watermark` is the WAL segment seq returned by the rotate: every record
+// appended before the checkpoint's view was pinned lives in a segment
+// below it. Recovery replays only segments >= watermark, with the
+// manifest's epoch as a second filter (records with epoch <= manifest
+// epoch are already inside the snapshots).
+
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "psi/durability/wal.h"
+#include "psi/geometry/point.h"
+#include "psi/io/dataset_io.h"
+
+namespace psi::durability {
+
+inline constexpr std::uint32_t kManifestMagic = 0x5053494D;  // "PSIM"
+inline constexpr std::uint32_t kManifestVersion = 1;
+
+struct ManifestShard {
+  std::uint64_t key = 0;
+  std::uint64_t version = 0;
+  std::uint64_t factory_id = 0;
+  std::string file;
+};
+
+struct Manifest {
+  std::uint64_t epoch = 0;
+  std::uint64_t watermark = 0;
+  std::vector<ManifestShard> shards;
+};
+
+inline std::string manifest_path(const std::string& dir) {
+  return dir + "/MANIFEST";
+}
+
+inline std::string checkpoint_file(std::uint64_t epoch, std::uint64_t key) {
+  return "ckpt-" + std::to_string(epoch) + "-" + std::to_string(key) + ".bin";
+}
+
+inline void write_manifest(const std::string& dir, const Manifest& m,
+                           bool do_fsync = true) {
+  net::WireWriter w;
+  w.put_u32(kManifestMagic);
+  w.put_u32(kManifestVersion);
+  w.put_u64(m.epoch);
+  w.put_u64(m.watermark);
+  w.put_u32(static_cast<std::uint32_t>(m.shards.size()));
+  for (const auto& s : m.shards) {
+    w.put_u64(s.key);
+    w.put_u64(s.version);
+    w.put_u64(s.factory_id);
+    w.put_string(s.file);
+  }
+  auto bytes = std::move(w).finish(net::MsgType::kOk).bytes;
+  const std::uint32_t crc = crc32(bytes.data(), bytes.size());
+  for (int i = 0; i < 4; ++i) {
+    bytes.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+  io::write_file_atomic(manifest_path(dir), bytes.data(), bytes.size(),
+                        do_fsync);
+}
+
+// nullopt when no manifest exists (fresh directory, or a deployment that
+// crashed before its first checkpoint). A manifest that exists but fails
+// validation throws: rename atomicity means it can only be damaged by
+// something recovery should not paper over.
+inline std::optional<Manifest> read_manifest(const std::string& dir) {
+  std::ifstream in(manifest_path(dir), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (bytes.size() < 4) throw net::WireError("manifest too short");
+  std::uint32_t crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    crc |= static_cast<std::uint32_t>(bytes[bytes.size() - 4 + i]) << (8 * i);
+  }
+  if (crc32(bytes.data(), bytes.size() - 4) != crc) {
+    throw net::WireError("manifest checksum mismatch");
+  }
+  net::WireReader r(bytes.data(), bytes.size() - 4);
+  if (r.get_u32() != kManifestMagic) throw net::WireError("bad manifest magic");
+  if (r.get_u32() != kManifestVersion) {
+    throw net::WireError("unsupported manifest version");
+  }
+  Manifest m;
+  m.epoch = r.get_u64();
+  m.watermark = r.get_u64();
+  const std::uint32_t n = r.get_u32();
+  m.shards.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ManifestShard s;
+    s.key = r.get_u64();
+    s.version = r.get_u64();
+    s.factory_id = r.get_u64();
+    s.file = r.get_string();
+    m.shards.push_back(std::move(s));
+  }
+  return m;
+}
+
+// Remove ckpt files (and orphaned .tmp leftovers) that the durable
+// manifest no longer references.
+inline void remove_stale_checkpoints(const std::string& dir,
+                                     const Manifest& keep) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(dir, ec)) {
+    const std::string name = e.path().filename().string();
+    const bool is_ckpt = name.rfind("ckpt-", 0) == 0;
+    const bool is_tmp = name.size() > 4 &&
+                        name.compare(name.size() - 4, 4, ".tmp") == 0;
+    if (!is_ckpt && !is_tmp) continue;
+    bool referenced = false;
+    for (const auto& s : keep.shards) {
+      if (name == s.file) {
+        referenced = true;
+        break;
+      }
+    }
+    if (!referenced) fs::remove(e.path(), ec);
+  }
+}
+
+// Full checkpoint write: shard files first (atomically, fsync'd), manifest
+// last, stale-generation sweep after. `m.shards[i].file` is filled in here;
+// callers set key/version/factory_id and epoch/watermark.
+template <typename Coord, int D>
+void write_checkpoint(const std::string& dir, Manifest m,
+                      const std::vector<std::vector<Point<Coord, D>>>& pts,
+                      bool do_fsync = true) {
+  std::filesystem::create_directories(dir);
+  for (std::size_t i = 0; i < m.shards.size(); ++i) {
+    m.shards[i].file = checkpoint_file(m.epoch, m.shards[i].key);
+    io::save_binary_atomic<Coord, D>(dir + "/" + m.shards[i].file, pts[i],
+                                     do_fsync);
+  }
+  write_manifest(dir, m, do_fsync);
+  remove_stale_checkpoints(dir, m);
+}
+
+}  // namespace psi::durability

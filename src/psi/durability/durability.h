@@ -1,0 +1,52 @@
+// PSI-Lib durability: configuration and the compile-time gate.
+//
+// The durability subsystem (wal.h / checkpoint.h / recovery.h) makes the
+// service's committed state survive a crash: every commit group is appended
+// to a per-node write-ahead log and fsync'd *before* the epoch publishes
+// (update futures resolve after publication, so an acknowledged commit is
+// always on durable media), and epoch-stamped checkpoints bound the log's
+// replay tail.
+//
+// Everything is off by default (`DurabilityConfig::enabled = false`), so a
+// service without a configured log directory pays exactly one untaken
+// branch per commit. Building with -DPSI_DURABILITY=OFF sets
+// PSI_DURABILITY_DISABLED and folds even that away: `kEnabled` becomes
+// false and every call site guarded by `if constexpr (durability::kEnabled)`
+// compiles out, the same discipline as telemetry::kEnabled.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace psi::durability {
+
+#ifdef PSI_DURABILITY_DISABLED
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+struct DurabilityConfig {
+  // Master switch. Off: no files are touched, no WAL is opened.
+  bool enabled = false;
+  // Log + checkpoint directory (created if absent). For the distributed
+  // service this is the *base*: each host logs under <dir>/node-<id> and
+  // the coordinator's commit markers land under <dir>/coordinator.
+  std::string dir{};
+  // Rotate to a fresh segment once the active one exceeds this many bytes.
+  std::size_t segment_bytes = std::size_t{64} << 20;
+  // fsync appended records before the commit publishes (and checkpoint
+  // files before the manifest renames over). Turning this off keeps the
+  // format and replay machinery testable without paying the media.
+  bool fsync = true;
+  // Auto-checkpoint every N committed epochs (0 = manual checkpoints only).
+  // A checkpoint truncates the log, so this bounds both recovery time and
+  // disk growth.
+  std::uint64_t checkpoint_every = 0;
+
+  bool armed() const { return kEnabled && enabled && !dir.empty(); }
+};
+
+}  // namespace psi::durability

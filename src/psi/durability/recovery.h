@@ -1,0 +1,202 @@
+// Recovery: manifest + checkpoints + WAL-tail replay → recovered state.
+//
+// Startup sequence for one durability directory:
+//   1. Read the MANIFEST (if present) and load each referenced shard
+//      snapshot — that is the state as of `checkpoint_epoch`.
+//   2. Scan WAL segments with seq >= the manifest's watermark, in order,
+//      and apply every valid kCommit record whose epoch is
+//      > checkpoint_epoch and <= epoch_cut. Replay stops at the first
+//      structurally invalid record (torn tail): by construction that is
+//      exactly the longest valid prefix of the log.
+//   3. Shards named by a replayed record but absent from the manifest
+//      (post-checkpoint splits) materialise as empty shards and fill from
+//      the run stream.
+//
+// `epoch_cut` is the distributed-commit cut: a coordinator acknowledges a
+// commit only after appending a marker to its own log, so a host record
+// beyond the last marker belongs to a commit that was never acknowledged
+// and may be missing on sibling hosts — it is dropped uniformly
+// everywhere. Single-node recovery passes no cut (everything fsync'd
+// before publish was acknowledged-able, so everything valid replays).
+//
+// Replay is a multiset evaluation of the op runs (insert = append,
+// delete = remove one matching point), independent of any index backend:
+// recovery rebuilds indexes afterwards by bulk-loading the recovered
+// points, which is both simpler and faster than replaying through a tree.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "psi/durability/checkpoint.h"
+#include "psi/durability/wal.h"
+#include "psi/geometry/point.h"
+#include "psi/io/dataset_io.h"
+
+namespace psi::durability {
+
+template <typename Coord, int D>
+struct RecoveredShard {
+  std::uint64_t key = 0;
+  std::uint64_t version = 0;
+  std::uint64_t factory_id = 0;
+  std::vector<Point<Coord, D>> pts;
+};
+
+template <typename Coord, int D>
+struct RecoveredState {
+  // False when the directory holds neither a manifest nor any WAL record:
+  // nothing was ever made durable here.
+  bool found = false;
+  std::uint64_t checkpoint_epoch = 0;
+  // Highest epoch actually replayed (== checkpoint_epoch if the tail was
+  // empty).
+  std::uint64_t last_epoch = 0;
+  std::size_t records_applied = 0;
+  // Records skipped by the epoch filters (already in the checkpoint, or
+  // beyond the coordinator cut).
+  std::size_t records_skipped = 0;
+  // True when replay ended at a corrupt/torn record instead of clean EOF.
+  bool torn_tail = false;
+  std::vector<RecoveredShard<Coord, D>> shards;
+
+  std::vector<Point<Coord, D>> all_points() const {
+    std::vector<Point<Coord, D>> out;
+    std::size_t total = 0;
+    for (const auto& s : shards) total += s.pts.size();
+    out.reserve(total);
+    for (const auto& s : shards) {
+      out.insert(out.end(), s.pts.begin(), s.pts.end());
+    }
+    return out;
+  }
+};
+
+namespace detail {
+
+// Remove ONE occurrence of p (multiset semantics); false when absent.
+template <typename Coord, int D>
+bool erase_one(std::vector<Point<Coord, D>>& pts, const Point<Coord, D>& p) {
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (pts[i] == p) {
+      pts[i] = pts.back();
+      pts.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace detail
+
+template <typename Coord, int D>
+RecoveredState<Coord, D> recover(
+    const std::string& dir,
+    std::uint64_t epoch_cut = std::numeric_limits<std::uint64_t>::max()) {
+  using point_t = Point<Coord, D>;
+  RecoveredState<Coord, D> out;
+
+  auto manifest = read_manifest(dir);
+  std::uint64_t watermark = 0;
+  if (manifest) {
+    out.found = true;
+    out.checkpoint_epoch = manifest->epoch;
+    out.last_epoch = manifest->epoch;
+    watermark = manifest->watermark;
+    out.shards.reserve(manifest->shards.size());
+    for (const auto& s : manifest->shards) {
+      RecoveredShard<Coord, D> r;
+      r.key = s.key;
+      r.version = s.version;
+      r.factory_id = s.factory_id;
+      r.pts = io::load_binary<Coord, D>(dir + "/" + s.file);
+      out.shards.push_back(std::move(r));
+    }
+  }
+
+  auto slot_of = [&out](std::uint64_t key) -> RecoveredShard<Coord, D>& {
+    for (auto& s : out.shards) {
+      if (s.key == key) return s;
+    }
+    RecoveredShard<Coord, D> fresh;
+    fresh.key = key;
+    out.shards.push_back(std::move(fresh));
+    return out.shards.back();
+  };
+
+  std::vector<std::uint8_t> payload;
+  for (const auto& [seq, path] : list_segments(dir)) {
+    if (seq < watermark) continue;  // truncation raced the crash; skip
+    WalSegmentCursor cur(path);
+    if (!cur.valid()) {
+      out.torn_tail = true;
+      return out;
+    }
+    while (cur.next(payload)) {
+      RecordKind kind;
+      try {
+        kind = record_kind(payload);
+      } catch (const net::WireError&) {
+        out.torn_tail = true;
+        return out;
+      }
+      if (kind == RecordKind::kCommitMark) continue;
+      if (kind != RecordKind::kCommit) {
+        // Unknown kind: a format from the future. Stop, like a tear —
+        // replaying past a record we cannot interpret would reorder ops.
+        out.torn_tail = true;
+        return out;
+      }
+      CommitRecord<point_t> rec;
+      try {
+        rec = decode_commit_record<point_t>(payload);
+      } catch (const net::WireError&) {
+        out.torn_tail = true;
+        return out;
+      }
+      if (rec.epoch <= out.checkpoint_epoch || rec.epoch > epoch_cut) {
+        ++out.records_skipped;
+        continue;
+      }
+      out.found = true;
+      for (auto& sh : rec.shards) {
+        auto& slot = slot_of(sh.key);
+        for (const auto& run : sh.runs) {
+          if (!run.is_delete) {
+            slot.pts.insert(slot.pts.end(), run.pts.begin(), run.pts.end());
+            continue;
+          }
+          for (const auto& p : run.pts) {
+            // Own shard first; then everywhere. Splits and merges between
+            // the checkpoint and the crash re-key shards without logging
+            // the redistribution (installs are not WAL events), so a
+            // post-split delete can target a key whose victim still sits
+            // under the pre-split key in the recovered state. The union is
+            // what recovery promises (callers bulk-load all_points()), and
+            // the union only needs ONE matching occurrence gone.
+            if (!detail::erase_one(slot.pts, p)) {
+              for (auto& other : out.shards) {
+                if (&other != &slot && detail::erase_one(other.pts, p)) break;
+              }
+            }
+          }
+        }
+        if (sh.version > slot.version) slot.version = sh.version;
+      }
+      if (rec.epoch > out.last_epoch) out.last_epoch = rec.epoch;
+      ++out.records_applied;
+    }
+    if (cur.torn()) {
+      out.torn_tail = true;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace psi::durability

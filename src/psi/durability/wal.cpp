@@ -1,0 +1,293 @@
+#include "psi/durability/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "psi/telemetry/registry.h"
+
+namespace psi::durability {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE, reflected, polynomial 0xEDB88320) — table built once.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void put_u32_le(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void put_u64_le(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t get_u32_le(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64_le(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::string segment_name(std::uint64_t seq) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "wal-%016llx.seg",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+// Parses "wal-<16 hex>.seg"; false for anything else in the directory.
+bool parse_segment_name(const std::string& name, std::uint64_t* seq) {
+  if (name.size() != 24 || name.rfind("wal-", 0) != 0 ||
+      name.compare(20, 4, ".seg") != 0) {
+    return false;
+  }
+  std::uint64_t v = 0;
+  for (std::size_t i = 4; i < 20; ++i) {
+    const char c = name[i];
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else return false;
+    v = (v << 4) | static_cast<std::uint64_t>(digit);
+  }
+  *seq = v;
+  return true;
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t n,
+               const char* what) {
+  while (n > 0) {
+    const ::ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("WAL write failed (") + what +
+                               "): " + std::strerror(errno));
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::pair<std::uint64_t, std::string>> list_segments(
+    const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> out;
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(dir, ec)) {
+    std::uint64_t seq = 0;
+    if (parse_segment_name(e.path().filename().string(), &seq)) {
+      out.emplace_back(seq, e.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// WalWriter
+// ---------------------------------------------------------------------------
+
+WalWriter::~WalWriter() { close(); }
+
+void WalWriter::open(const std::string& dir, const DurabilityConfig& cfg) {
+  close();
+  dir_ = dir;
+  cfg_ = cfg;
+  fs::create_directories(dir_);
+  std::uint64_t next = 1;
+  for (const auto& [seq, path] : list_segments(dir_)) {
+    (void)path;
+    next = std::max(next, seq + 1);
+  }
+  open_segment(next);
+}
+
+void WalWriter::open_segment(std::uint64_t seq) {
+  const std::string path = dir_ + "/" + segment_name(seq);
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("WAL segment open failed: " + path + ": " +
+                             std::strerror(errno));
+  }
+  seq_ = seq;
+  std::uint8_t hdr[kSegmentHeaderBytes];
+  put_u32_le(hdr, kWalMagic);
+  put_u32_le(hdr + 4, kWalVersion);
+  put_u64_le(hdr + 8, seq);
+  write_all(fd_, hdr, sizeof(hdr), "segment header");
+  segment_size_ = sizeof(hdr);
+}
+
+void WalWriter::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void WalWriter::append(const std::vector<std::uint8_t>& payload) {
+  if (fd_ < 0) throw std::runtime_error("WAL append on closed writer");
+  if (payload.empty() || payload.size() > kMaxRecordBytes) {
+    throw std::runtime_error("WAL record size out of bounds");
+  }
+  const std::size_t framed = kRecordPreludeBytes + payload.size();
+  if (segment_size_ + framed > cfg_.segment_bytes &&
+      segment_size_ > kSegmentHeaderBytes) {
+    rotate();
+  }
+  std::vector<std::uint8_t> frame(framed);
+  put_u32_le(frame.data(), static_cast<std::uint32_t>(payload.size()));
+  put_u32_le(frame.data() + 4, crc32(payload.data(), payload.size()));
+  std::memcpy(frame.data() + 8, payload.data(), payload.size());
+  write_all(fd_, frame.data(), frame.size(), "record");
+  segment_size_ += framed;
+  ++appends_;
+  bytes_ += framed;
+  telemetry::StatsRegistry::instance().counter("psi_wal_appends_total").inc();
+  telemetry::StatsRegistry::instance()
+      .counter("psi_wal_bytes_total")
+      .inc(framed);
+}
+
+std::uint64_t WalWriter::sync() {
+  if (fd_ < 0) throw std::runtime_error("WAL sync on closed writer");
+  if (!cfg_.fsync) return 0;
+  const std::uint64_t t0 = now_ns();
+  if (::fsync(fd_) != 0) {
+    throw std::runtime_error(std::string("WAL fsync failed: ") +
+                             std::strerror(errno));
+  }
+  const std::uint64_t ns = now_ns() - t0;
+  telemetry::StatsRegistry::instance().histogram("psi_wal_fsync_ns").record(ns);
+  return ns;
+}
+
+std::uint64_t WalWriter::rotate() {
+  if (fd_ < 0) throw std::runtime_error("WAL rotate on closed writer");
+  if (cfg_.fsync) ::fsync(fd_);
+  ::close(fd_);
+  fd_ = -1;
+  open_segment(seq_ + 1);
+  return seq_;
+}
+
+void WalWriter::truncate_below(std::uint64_t watermark) {
+  for (const auto& [seq, path] : list_segments(dir_)) {
+    if (seq < watermark) ::unlink(path.c_str());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WalSegmentCursor
+// ---------------------------------------------------------------------------
+
+WalSegmentCursor::WalSegmentCursor(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    torn_ = true;
+    return;
+  }
+  data_.assign(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+  if (data_.size() < kSegmentHeaderBytes ||
+      get_u32_le(data_.data()) != kWalMagic ||
+      get_u32_le(data_.data() + 4) != kWalVersion) {
+    torn_ = true;
+    return;
+  }
+  seq_ = get_u64_le(data_.data() + 8);
+  pos_ = kSegmentHeaderBytes;
+  valid_ = true;
+}
+
+bool WalSegmentCursor::next(std::vector<std::uint8_t>& payload) {
+  if (!valid_ || torn_) return false;
+  if (pos_ == data_.size()) return false;  // clean end
+  if (data_.size() - pos_ < kRecordPreludeBytes) {
+    torn_ = true;
+    return false;
+  }
+  const std::uint32_t len = get_u32_le(data_.data() + pos_);
+  const std::uint32_t crc = get_u32_le(data_.data() + pos_ + 4);
+  if (len == 0 || len > kMaxRecordBytes ||
+      len > data_.size() - pos_ - kRecordPreludeBytes) {
+    torn_ = true;
+    return false;
+  }
+  const std::uint8_t* body = data_.data() + pos_ + kRecordPreludeBytes;
+  if (crc32(body, len) != crc) {
+    torn_ = true;
+    return false;
+  }
+  payload.assign(body, body + len);
+  pos_ += kRecordPreludeBytes + len;
+  return true;
+}
+
+std::uint64_t last_marker(const std::string& dir) {
+  std::uint64_t cut = 0;
+  std::vector<std::uint8_t> payload;
+  for (const auto& [seq, path] : list_segments(dir)) {
+    (void)seq;
+    WalSegmentCursor cur(path);
+    while (cur.next(payload)) {
+      try {
+        if (record_kind(payload) == RecordKind::kCommitMark) {
+          cut = decode_mark_record(payload);
+        }
+      } catch (const net::WireError&) {
+        return cut;  // structurally valid frame, malformed payload: stop
+      }
+    }
+    if (cur.torn()) return cut;
+  }
+  return cut;
+}
+
+}  // namespace psi::durability

@@ -1,0 +1,233 @@
+// Write-ahead log: length-prefixed, CRC32-framed records in segment files.
+//
+// On-disk layout (all integers little-endian, same codec as net/wire.h):
+//
+//   segment file  wal-<seq>.seg
+//   ┌──────────────────────────────────────────────────────────────┐
+//   │ header: [u32 magic "PSIW"][u32 version][u64 seq]             │
+//   │ record: [u32 len][u32 crc32(payload)][payload: len bytes]    │
+//   │ record: ...                                                  │
+//   └──────────────────────────────────────────────────────────────┘
+//
+//   commit payload  [u8 kind=1][u64 epoch][u32 nshards]
+//                   { [u64 shard_key][u64 shard_version][op runs] }*
+//   marker payload  [u8 kind=2][u64 epoch]
+//
+// One record per commit group: the group is the unit of atomicity, so a
+// torn tail either contains the whole group or none of it — recovery can
+// never observe a partially applied batch. Op runs reuse the wire codec
+// (`WireWriter::put_runs` / `WireReader::get_runs`), so the log speaks the
+// same dialect as the transport.
+//
+// The writer always *rotates to a fresh segment on open* and never appends
+// after a pre-existing (possibly torn) tail; replay stops at the first
+// record whose length or checksum fails, which is exactly the longest
+// valid prefix. Marker records are the coordinator's commit-cut protocol:
+// a distributed commit is acknowledged only after every host fsync'd its
+// records AND the coordinator fsync'd a marker, so recovery drops host
+// records beyond the last marker — either a commit is uniformly present on
+// all hosts or uniformly dropped.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "psi/durability/durability.h"
+#include "psi/net/wire.h"
+#include "psi/service/shard_store.h"
+
+namespace psi::durability {
+
+inline constexpr std::uint32_t kWalMagic = 0x50534957;  // "PSIW"
+inline constexpr std::uint32_t kWalVersion = 1;
+inline constexpr std::size_t kSegmentHeaderBytes = 16;
+inline constexpr std::size_t kRecordPreludeBytes = 8;  // len + crc
+// Sanity bound on a single record; a length above this is treated as a
+// torn/corrupt tail rather than an allocation request.
+inline constexpr std::uint32_t kMaxRecordBytes = 1u << 30;
+
+enum class RecordKind : std::uint8_t {
+  kCommit = 1,      // one committed group: epoch + per-shard op runs
+  kCommitMark = 2,  // coordinator cut marker: this epoch fully acked
+};
+
+// IEEE CRC32 (same polynomial as zip/zlib), table-driven, no dependencies.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n);
+
+// ---------------------------------------------------------------------------
+// Record payload codec
+// ---------------------------------------------------------------------------
+
+template <typename PointT>
+struct CommitShardRef {
+  std::uint64_t key = 0;
+  std::uint64_t version = 0;
+  const std::vector<service::OpRun<PointT>>* runs = nullptr;
+};
+
+template <typename PointT>
+std::vector<std::uint8_t> encode_commit_record(
+    std::uint64_t epoch, const std::vector<CommitShardRef<PointT>>& shards) {
+  net::WireWriter w;
+  w.put_u8(static_cast<std::uint8_t>(RecordKind::kCommit));
+  w.put_u64(epoch);
+  w.put_u32(static_cast<std::uint32_t>(shards.size()));
+  for (const auto& s : shards) {
+    w.put_u64(s.key);
+    w.put_u64(s.version);
+    w.put_runs(*s.runs);
+  }
+  return std::move(w).finish(net::MsgType::kOk).bytes;
+}
+
+inline std::vector<std::uint8_t> encode_mark_record(std::uint64_t epoch) {
+  net::WireWriter w;
+  w.put_u8(static_cast<std::uint8_t>(RecordKind::kCommitMark));
+  w.put_u64(epoch);
+  return std::move(w).finish(net::MsgType::kOk).bytes;
+}
+
+inline RecordKind record_kind(const std::vector<std::uint8_t>& payload) {
+  if (payload.empty()) throw net::WireError("empty WAL record");
+  return static_cast<RecordKind>(payload[0]);
+}
+
+template <typename PointT>
+struct CommitRecord {
+  struct Shard {
+    std::uint64_t key = 0;
+    std::uint64_t version = 0;
+    std::vector<service::OpRun<PointT>> runs;
+  };
+  std::uint64_t epoch = 0;
+  std::vector<Shard> shards;
+};
+
+template <typename PointT>
+CommitRecord<PointT> decode_commit_record(
+    const std::vector<std::uint8_t>& payload) {
+  net::WireReader r(payload.data(), payload.size());
+  if (static_cast<RecordKind>(r.get_u8()) != RecordKind::kCommit) {
+    throw net::WireError("not a commit record");
+  }
+  CommitRecord<PointT> rec;
+  rec.epoch = r.get_u64();
+  const std::uint32_t n = r.get_u32();
+  rec.shards.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    typename CommitRecord<PointT>::Shard s;
+    s.key = r.get_u64();
+    s.version = r.get_u64();
+    s.runs = r.template get_runs<PointT>();
+    rec.shards.push_back(std::move(s));
+  }
+  return rec;
+}
+
+inline std::uint64_t decode_mark_record(
+    const std::vector<std::uint8_t>& payload) {
+  net::WireReader r(payload.data(), payload.size());
+  if (static_cast<RecordKind>(r.get_u8()) != RecordKind::kCommitMark) {
+    throw net::WireError("not a marker record");
+  }
+  return r.get_u64();
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+// Appends framed records to segment files via POSIX fds. Single-writer by
+// design: the group committer (or a ShardHost's handler thread, already
+// serialised under its mutex) is the only appender. Not thread-safe.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  // Creates `dir` if needed, scans existing segments, and opens a FRESH
+  // segment numbered past every existing one. Never appends to an old
+  // segment: its tail may be torn, and a valid record appended after a
+  // torn one would be unreachable by prefix replay.
+  void open(const std::string& dir, const DurabilityConfig& cfg);
+  void close();
+  bool is_open() const { return fd_ >= 0; }
+
+  // Buffered in the kernel only — call sync() before exposing the commit.
+  void append(const std::vector<std::uint8_t>& payload);
+
+  // fsync the active segment; returns nanoseconds spent (0 when cfg.fsync
+  // is off). Also feeds the psi_wal_* registry series.
+  std::uint64_t sync();
+
+  // Close the active segment and open the next one; returns the NEW
+  // segment's seq. Records appended before rotate() live strictly below
+  // the returned watermark — the checkpoint protocol's truncation point.
+  std::uint64_t rotate();
+
+  // Unlink every segment with seq < watermark (checkpoint truncation).
+  void truncate_below(std::uint64_t watermark);
+
+  std::uint64_t appends() const { return appends_; }
+  std::uint64_t bytes() const { return bytes_; }
+  std::uint64_t active_seq() const { return seq_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  void open_segment(std::uint64_t seq);
+
+  int fd_ = -1;
+  std::string dir_;
+  DurabilityConfig cfg_;
+  std::uint64_t seq_ = 0;
+  std::size_t segment_size_ = 0;
+  std::uint64_t appends_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+// Iterates the valid record prefix of one segment file. Any framing
+// violation — short header, bad magic, truncated record, length out of
+// bounds, CRC mismatch — ends iteration with torn() == true; it never
+// throws on corrupt input.
+class WalSegmentCursor {
+ public:
+  explicit WalSegmentCursor(const std::string& path);
+
+  // True while the segment header was intact.
+  bool valid() const { return valid_; }
+  std::uint64_t seq() const { return seq_; }
+  // True once iteration stopped because of a torn/corrupt record (as
+  // opposed to a clean end-of-file).
+  bool torn() const { return torn_; }
+
+  // Fills `payload` with the next record; false at end or first tear.
+  bool next(std::vector<std::uint8_t>& payload);
+
+ private:
+  std::vector<std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  std::uint64_t seq_ = 0;
+  bool valid_ = false;
+  bool torn_ = false;
+};
+
+// Segment files under `dir`, sorted by seq. Missing dir → empty.
+std::vector<std::pair<std::uint64_t, std::string>> list_segments(
+    const std::string& dir);
+
+// Scan every segment in seq order and return the epoch of the last valid
+// kCommitMark record (0 if none). Stops at the first torn record, like
+// replay. This is the coordinator's recovery cut.
+std::uint64_t last_marker(const std::string& dir);
+
+}  // namespace psi::durability

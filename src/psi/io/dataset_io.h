@@ -14,8 +14,14 @@
 
 #pragma once
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -49,6 +55,96 @@ void save_binary(const std::string& path,
   out.write(reinterpret_cast<const char*>(pts.data()),
             static_cast<std::streamsize>(pts.size() * sizeof(Point<Coord, D>)));
   if (!out) throw std::runtime_error("io: write failed: " + path);
+}
+
+// ---------------------------------------------------------------------------
+// Durable variants. `save_binary` above hands bytes to the page cache and
+// returns — fine for datasets, not for recovery artifacts. These reach the
+// media: fsync the file, and for the atomic variant write-then-rename so a
+// crash mid-write leaves either the old file or the new one, never a
+// partial. Used by the durability checkpoint writer.
+// ---------------------------------------------------------------------------
+
+inline void fsync_path(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw std::runtime_error("io: fsync open failed: " + path + ": " +
+                             std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    throw std::runtime_error("io: fsync failed: " + path + ": " +
+                             std::strerror(errno));
+  }
+}
+
+inline void fsync_parent_dir(const std::string& path) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  fsync_path(parent.empty() ? "." : parent.string());
+}
+
+// save_binary + fsync before close: the bytes are on durable media when
+// this returns (or it throws).
+template <typename Coord, int D>
+void save_binary_fsync(const std::string& path,
+                       const std::vector<Point<Coord, D>>& pts) {
+  save_binary(path, pts);
+  fsync_path(path);
+}
+
+// Write to `path.tmp`, fsync, rename over `path`, fsync the directory.
+// POSIX rename is atomic, so a reader (or a post-crash recovery) sees
+// either the previous complete file or the new complete file.
+template <typename Coord, int D>
+void save_binary_atomic(const std::string& path,
+                        const std::vector<Point<Coord, D>>& pts,
+                        bool do_fsync = true) {
+  const std::string tmp = path + ".tmp";
+  try {
+    save_binary(tmp, pts);
+    if (do_fsync) fsync_path(tmp);
+  } catch (...) {
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("io: atomic rename failed: " + path + ": " +
+                             std::strerror(errno));
+  }
+  if (do_fsync) fsync_parent_dir(path);
+}
+
+// Raw-bytes flavour of the same write-then-rename dance (used for the
+// checkpoint manifest, which is not a point file).
+inline void write_file_atomic(const std::string& path,
+                              const std::uint8_t* data, std::size_t n,
+                              bool do_fsync = true) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("io: cannot open for write: " + tmp);
+    out.write(reinterpret_cast<const char*>(data),
+              static_cast<std::streamsize>(n));
+    if (!out) {
+      ::unlink(tmp.c_str());
+      throw std::runtime_error("io: write failed: " + tmp);
+    }
+  }
+  try {
+    if (do_fsync) fsync_path(tmp);
+  } catch (...) {
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("io: atomic rename failed: " + path + ": " +
+                             std::strerror(errno));
+  }
+  if (do_fsync) fsync_parent_dir(path);
 }
 
 template <typename Coord, int D>

@@ -32,10 +32,12 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <string>
 #include <memory>
 #include <mutex>
 #include <utility>
@@ -71,6 +73,8 @@ struct DistributedStats {
   // Results answered but not admitted because a commit raced the fan-out
   // (piggybacked versions disagreed with the plan).
   std::uint64_t cache_torn_skips = 0;
+  // Wall-clock cost of the last recover_from_disk() (0 when never run).
+  double recovery_ms = 0;
   // Per-host telemetry (one kTelemetry RPC each) and its cluster-wide
   // merge. Histogram merge is bucket-wise and associative, so the merged
   // snapshots are exactly what one host recording every event would hold —
@@ -102,16 +106,25 @@ class DistributedService {
   // transport, then the coordinator over them. The factory is shared by
   // all hosts (it receives global factory ids, so heterogeneous per-shard
   // backends keep working across nodes).
+  //
+  // Durability: cfg.durability.dir is the cluster base directory — each
+  // host logs under `<dir>/node-<id>`, the coordinator's commit-cut
+  // markers under `<dir>/coordinator`. A crashed deployment is revived by
+  // constructing a fresh facade over the same base dir and calling
+  // recover_from_disk().
   DistributedService(Transport& transport, std::size_t num_nodes,
                      DistributedConfig cfg = {},
                      factory_t factory = [](std::size_t) { return Index(); })
       : transport_(transport),
-        cache_(cfg.cache_entries, cfg.cache_max_entry_bytes) {
+        cache_(cfg.cache_entries, cfg.cache_max_entry_bytes),
+        cfg_(cfg) {
     std::vector<NodeId> ids;
     for (std::size_t i = 0; i < std::max<std::size_t>(1, num_nodes); ++i) {
       const NodeId id = static_cast<NodeId>(i + 1);
-      hosts_.push_back(std::make_unique<host_t>(id, transport_, factory,
-                                                cfg.pipelined_commits));
+      psi::durability::DurabilityConfig dur = cfg.durability;
+      if (dur.armed()) dur.dir = node_dir(id);
+      hosts_.push_back(std::make_unique<host_t>(
+          id, transport_, factory, cfg.pipelined_commits, std::move(dur)));
       ids.push_back(id);
     }
     coordinator_ =
@@ -132,6 +145,10 @@ class DistributedService {
   void build(const std::vector<point_t>& pts) {
     std::lock_guard<std::mutex> g(write_mu_);
     coordinator_->load(pts);
+    // Bulk loads bypass the commit path and hence every WAL — the loaded
+    // state is only durable through a full checkpoint (same discipline as
+    // the in-process service).
+    if (cfg_.durability.armed()) checkpoint_all_locked();
   }
 
   std::uint64_t insert_batch(const std::vector<point_t>& pts) {
@@ -146,6 +163,7 @@ class DistributedService {
   std::uint64_t commit(const std::vector<std::pair<bool, point_t>>& updates) {
     std::lock_guard<std::mutex> g(write_mu_);
     coordinator_->commit(updates);
+    checkpoint_if_topology_changed();
     return coordinator_->epoch();
   }
 
@@ -154,6 +172,75 @@ class DistributedService {
   void migrate(std::size_t shard, NodeId node) {
     std::lock_guard<std::mutex> g(write_mu_);
     coordinator_->migrate(shard, node);
+    checkpoint_if_topology_changed();
+  }
+
+  // -------------------------------------------------------------------
+  // Durability (no-ops unless cfg.durability is armed)
+  // -------------------------------------------------------------------
+
+  // Snapshot every live host and truncate its WAL, then reset the
+  // coordinator's marker log. Ordering matters: host checkpoints first —
+  // if a crash interrupts the sequence, leftover markers merely point at
+  // epochs the new manifests already absorb (records below a checkpoint
+  // are skipped on replay), whereas resetting markers first could strand
+  // acked-but-not-yet-checkpointed WAL records above a vanished cut.
+  void checkpoint_all() {
+    std::lock_guard<std::mutex> g(write_mu_);
+    checkpoint_all_locked();
+  }
+
+  // Rebuild the cluster's state from the base directory: per-node
+  // checkpoint + WAL tail, cut uniformly at the coordinator's last commit
+  // marker, deduped by shard key (a migrated shard may appear in two
+  // nodes' checkpoints — the higher content version wins). The recovered
+  // multiset is bulk-loaded through the coordinator (fresh topology) and
+  // immediately re-checkpointed. Call on a freshly constructed facade.
+  void recover_from_disk() {
+    std::lock_guard<std::mutex> g(write_mu_);
+    if (!cfg_.durability.armed()) return;
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t cut =
+        psi::durability::last_marker(cfg_.durability.dir + "/coordinator");
+    std::map<std::uint64_t, psi::durability::RecoveredShard<coord_t, kDim>>
+        best;
+    for (std::size_t i = 0; i < hosts_.size(); ++i) {
+      const NodeId id = static_cast<NodeId>(i + 1);
+      auto rec = psi::durability::recover<coord_t, kDim>(node_dir(id), cut);
+      if (!rec.found) continue;
+      for (auto& s : rec.shards) {
+        const auto it = best.find(s.key);
+        if (it == best.end() || s.version > it->second.version) {
+          best[s.key] = std::move(s);
+        }
+      }
+    }
+    std::vector<point_t> pts;
+    for (auto& [key, shard] : best) {
+      pts.insert(pts.end(), shard.pts.begin(), shard.pts.end());
+    }
+    coordinator_->load(pts);
+    checkpoint_all_locked();
+    recovery_ms_ = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  }
+
+  // Crash-test support: destroy host `idx` (0-based) outright — its
+  // transport binding disappears mid-deployment, exactly as a killed
+  // process would. Queries and commits routed at it will fail until
+  // recover_host() re-homes its shards.
+  void crash_host(std::size_t idx) {
+    std::lock_guard<std::mutex> g(write_mu_);
+    hosts_.at(idx).reset();
+  }
+
+  // Re-install the dead host's shards on the survivors from its
+  // durability directory (checkpoint + WAL tail below the marker cut).
+  void recover_host(std::size_t idx) {
+    std::lock_guard<std::mutex> g(write_mu_);
+    const NodeId id = static_cast<NodeId>(idx + 1);
+    coordinator_->recover_host(id, node_dir(id));
   }
 
   // -------------------------------------------------------------------
@@ -329,6 +416,7 @@ class DistributedService {
     s.cache_misses = cache_.misses();
     s.cache_cross_epoch_hits = cache_.cross_epoch_hits();
     s.cache_torn_skips = torn_skips_.load(std::memory_order_relaxed);
+    s.recovery_ms = recovery_ms_;
     if constexpr (telemetry::kEnabled) collect_telemetry(s);
     return s;
   }
@@ -342,6 +430,32 @@ class DistributedService {
 
  private:
   using cache_key_t = service::QueryKey<coord_t, kDim>;
+
+  std::string node_dir(NodeId id) const {
+    return cfg_.durability.dir + "/node-" + std::to_string(id);
+  }
+
+  void checkpoint_all_locked() {
+    for (auto& h : hosts_) {
+      if (h) h->checkpoint();
+    }
+    coordinator_->truncate_marker_log();
+    const auto s = coordinator_->stats();
+    last_topology_events_ = s.splits + s.merges + s.migrations;
+  }
+
+  // Shard splits, merges, and migrations redistribute data through install
+  // RPCs, which are NOT WAL events — a topology change is only durable
+  // once checkpointed. Checkpointing after every commit that rebalanced
+  // shrinks the undurable window to the rebalance itself (documented
+  // caveat; topology changes are rare, so the cost amortises to nothing).
+  void checkpoint_if_topology_changed() {
+    if (!cfg_.durability.armed()) return;
+    const auto s = coordinator_->stats();
+    const std::uint64_t topo = s.splits + s.merges + s.migrations;
+    if (topo == last_topology_events_) return;
+    checkpoint_all_locked();  // refreshes last_topology_events_
+  }
 
   struct Fanned {
     std::uint64_t count = 0;            // count kinds
@@ -600,6 +714,9 @@ class DistributedService {
   mutable std::mutex write_mu_;
   mutable service::QueryCache<coord_t, kDim> cache_;
   mutable std::atomic<std::uint64_t> torn_skips_{0};
+  DistributedConfig cfg_;
+  double recovery_ms_ = 0;
+  std::uint64_t last_topology_events_ = 0;
 };
 
 }  // namespace psi::net

@@ -43,6 +43,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -51,6 +52,8 @@
 #include <utility>
 #include <vector>
 
+#include "psi/durability/checkpoint.h"
+#include "psi/durability/recovery.h"
 #include "psi/geometry/knn_buffer.h"
 #include "psi/net/transport.h"
 #include "psi/net/wire.h"
@@ -84,12 +87,18 @@ class ShardHost {
   // Binds itself on the transport; unbound (and hence quiescent) again in
   // the destructor. The host must outlive any in-flight call to it —
   // Transport::unbind guarantees that by completing in-flight handlers.
+  // With `dur` armed, every kCommitBatch is appended to this node's local
+  // WAL and fsync'd before the ack — the coordinator's commit cut relies
+  // on an acked batch being on this host's durable media.
   ShardHost(NodeId id, Transport& transport, factory_t factory,
-            bool pipelined_commits = true)
+            bool pipelined_commits = true,
+            psi::durability::DurabilityConfig dur = {})
       : id_(id),
         transport_(transport),
-        store_(std::move(factory), pipelined_commits) {
+        store_(std::move(factory), pipelined_commits),
+        dur_(std::move(dur)) {
     store_.set_metrics(metrics_);
+    if (dur_.armed()) wal_.open(dur_.dir, dur_);
     publish();
     transport_.bind(id_, [this](NodeId from, Message req) {
       return handle(from, std::move(req));
@@ -118,6 +127,36 @@ class ShardHost {
     for (const auto& e : view->entries) n += e.index->size();
     return n;
   }
+
+  // Snapshot every hosted shard to this node's durability directory and
+  // truncate the local WAL below it (durability/checkpoint.h). Driven by
+  // the facade's checkpoint_all(); no-op unless constructed durable.
+  // Commits are stalled for the duration — host checkpoints are explicit,
+  // coarse events, not a per-commit cost.
+  void checkpoint() {
+    if (!wal_.is_open()) return;
+    std::lock_guard<std::mutex> g(mu_);
+    psi::durability::Manifest m;
+    m.epoch = last_epoch_;
+    m.watermark = wal_.rotate();
+    const std::uint64_t watermark = m.watermark;
+    std::vector<std::vector<point_t>> pts;
+    m.shards.reserve(keys_.size());
+    pts.reserve(keys_.size());
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      psi::durability::ManifestShard s;
+      s.key = keys_[i];
+      s.version = versions_[i];
+      s.factory_id = store_.origin_of(i);
+      m.shards.push_back(std::move(s));
+      pts.push_back(store_.flatten(i));
+    }
+    psi::durability::write_checkpoint<coord_t, kDim>(dur_.dir, std::move(m),
+                                                     pts, dur_.fsync);
+    wal_.truncate_below(watermark);
+  }
+
+  bool durable() const { return wal_.is_open(); }
 
  private:
   // The node-local read view: one immutable entry per hosted shard,
@@ -199,6 +238,21 @@ class ShardHost {
       }
       batches.push_back(std::move(b));
     }
+    // Log the whole batch as one WAL record *before* apply moves the runs
+    // out, fsync'd below before the ack leaves: the coordinator's commit
+    // cut treats an acked epoch as on this node's durable media.
+    if constexpr (psi::durability::kEnabled) {
+      if (wal_.is_open()) {
+        telemetry::ScopedTimer t(&metrics_->wal_append);
+        std::vector<psi::durability::CommitShardRef<point_t>> entry;
+        entry.reserve(batches.size());
+        for (const Batch& b : batches) {
+          entry.push_back({b.key, b.version, &b.runs});
+        }
+        wal_.append(psi::durability::encode_commit_record(epoch, entry));
+        if (epoch > last_epoch_) last_epoch_ = epoch;
+      }
+    }
     // Apply in parallel over distinct slots — the same fork the in-process
     // writer uses — then publish the new node view once.
     TaskGroup tasks;
@@ -218,6 +272,15 @@ class ShardHost {
     for (const auto& b : batches) versions_[b.slot] = b.version;
     publish();
     store_.spawn_replays();
+
+    if constexpr (psi::durability::kEnabled) {
+      if (wal_.is_open()) {
+        const std::uint64_t ns = wal_.sync();
+        if constexpr (telemetry::kEnabled) {
+          if (ns != 0) metrics_->wal_fsync.record(ns);
+        }
+      }
+    }
 
     WireWriter w;
     w.put_u64(epoch);
@@ -534,6 +597,10 @@ class ShardHost {
   std::shared_ptr<telemetry::ServiceMetrics> metrics_ =
       std::make_shared<telemetry::ServiceMetrics>();
   telemetry::ShardHeat host_heat_;
+  // Durability: local WAL of applied commit batches (idle unless armed).
+  psi::durability::DurabilityConfig dur_;
+  psi::durability::WalWriter wal_;
+  std::uint64_t last_epoch_ = 0;  // highest logged commit epoch (manifest)
 };
 
 // ---------------------------------------------------------------------------
@@ -592,12 +659,21 @@ class Coordinator {
   // (already bound on `transport`). The initial uniform map is placed
   // round-robin and shipped as empty installs so every shard exists
   // somewhere from epoch 1.
+  //
+  // With durability armed, a marker log under `<dir>/coordinator` records
+  // a kCommitMark per fully-acked commit — the *commit cut*. A host WAL
+  // may hold records past the cut (its ack raced a crash elsewhere);
+  // recovery drops everything above the last marker uniformly, so either
+  // every node's effects of a commit survive or none do.
   Coordinator(Transport& transport, std::vector<NodeId> nodes,
               DistributedConfig cfg = {})
       : transport_(transport), nodes_(std::move(nodes)), cfg_(cfg),
         dir_(std::max<std::size_t>(1, cfg.initial_shards)) {
     if (nodes_.empty()) {
       throw TransportError("coordinator needs at least one node");
+    }
+    if (cfg_.durability.armed()) {
+      marker_wal_.open(cfg_.durability.dir + "/coordinator", cfg_.durability);
     }
     place_round_robin();
     sizes_.assign(dir_.num_shards(), 0);
@@ -729,6 +805,15 @@ class Coordinator {
       publish();
       throw;
     }
+    // Every touched host has the batch on durable media (their acks
+    // follow a local fsync) — durably advance the commit cut before the
+    // caller's futures can resolve.
+    if constexpr (psi::durability::kEnabled) {
+      if (marker_wal_.is_open()) {
+        marker_wal_.append(psi::durability::encode_mark_record(next_epoch));
+        marker_wal_.sync();
+      }
+    }
     ++stats_.commits;
     rebalance();
     publish();
@@ -782,6 +867,53 @@ class Coordinator {
   }
 
   const std::vector<NodeId>& nodes() const { return nodes_; }
+
+  // After all hosts checkpoint, their WALs hold nothing below the new
+  // manifests — the marker cut is re-derivable as "everything", so the
+  // marker log itself can be reset. Facade calls this LAST in
+  // checkpoint_all().
+  void truncate_marker_log() {
+    if (!marker_wal_.is_open()) return;
+    marker_wal_.truncate_below(marker_wal_.rotate());
+  }
+
+  // Host-death handling: `dead` is gone (its transport binding included).
+  // Recover its shards from its durability directory — checkpoint + WAL
+  // tail, cut at the last coordinator marker — and re-install them on the
+  // surviving nodes round-robin. Shards whose data did not survive (never
+  // checkpointed, log lost) come back empty rather than wedging the
+  // topology. Externally serialised with writes, like every mutation here.
+  void recover_host(NodeId dead, const std::string& dead_dir) {
+    const std::uint64_t cut =
+        marker_wal_.is_open()
+            ? psi::durability::last_marker(cfg_.durability.dir + "/coordinator")
+            : std::numeric_limits<std::uint64_t>::max();
+    auto rec = psi::durability::recover<Coord, D>(dead_dir, cut);
+    nodes_.erase(std::remove(nodes_.begin(), nodes_.end(), dead),
+                 nodes_.end());
+    if (nodes_.empty()) {
+      throw TransportError("recover_host: no surviving nodes");
+    }
+    std::size_t rr = 0;
+    for (std::size_t i = 0; i < dir_.num_shards(); ++i) {
+      if (dir_.owner_of(i) != dead) continue;
+      const std::uint64_t key = dir_.key_of(i);
+      const auto it = std::find_if(
+          rec.shards.begin(), rec.shards.end(),
+          [&](const auto& s) { return s.key == key; });
+      const NodeId dest = nodes_[rr++ % nodes_.size()];
+      if (it != rec.shards.end()) {
+        install_raw(key, dir_.version_of(i),
+                    static_cast<std::size_t>(it->factory_id), it->pts, dest);
+        sizes_[i] = it->pts.size();
+      } else {
+        install_raw(key, dir_.version_of(i), i, {}, dest);
+        sizes_[i] = 0;
+      }
+      dir_.move_owner(i, dest);
+    }
+    publish();
+  }
 
  private:
   void place_round_robin() {
@@ -976,6 +1108,8 @@ class Coordinator {
   service::EpochCounter epoch_;
   service::SnapshotSlot<route_t> route_slot_;
   CoordinatorStats stats_;
+  // Durability: the commit-cut marker log (see ctor comment).
+  psi::durability::WalWriter marker_wal_;
 };
 
 }  // namespace psi::net

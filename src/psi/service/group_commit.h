@@ -64,6 +64,7 @@
 #include <utility>
 #include <vector>
 
+#include "psi/durability/wal.h"
 #include "psi/parallel/primitives.h"
 #include "psi/parallel/scheduler.h"
 #include "psi/parallel/sort.h"
@@ -102,6 +103,9 @@ struct ServiceConfig {
   // bytes are answered but not cached.
   std::size_t cache_entries = 16;
   std::size_t cache_max_entry_bytes = std::size_t{1} << 20;
+  // Durability (durability/durability.h): off by default — no WAL, no
+  // checkpoints, zero write-path overhead beyond one untaken branch.
+  psi::durability::DurabilityConfig durability{};
 
   std::size_t effective_merge_threshold() const {
     return merge_threshold != 0 ? merge_threshold : split_threshold / 4;
@@ -223,6 +227,26 @@ class GroupCommitter {
     }
 
     if (has_updates) {
+      // Durability: serialise the whole group as ONE record (the group is
+      // the atomicity unit) BEFORE the apply std::moves the runs away, and
+      // before any state mutates. The epoch stamped here is the one
+      // publish() will assign — the writer is externally serialised and
+      // rebalance never publishes.
+      if constexpr (psi::durability::kEnabled) {
+        if (wal_ != nullptr) {
+          telemetry::ScopedTimer t(&metrics_->wal_append);
+          std::vector<psi::durability::CommitShardRef<point_t>> entry;
+          entry.reserve(k);
+          for (std::size_t i = 0; i < k; ++i) {
+            if (!runs[i].empty()) {
+              entry.push_back({dir_.key_of(i), dir_.version_of(i), &runs[i]});
+            }
+          }
+          wal_->append(
+              psi::durability::encode_commit_record(epoch_.current() + 1,
+                                                    entry));
+        }
+      }
       {
         PSI_TRACE_SPAN("commit.apply");
         std::vector<std::uint64_t> yields(k, 0);
@@ -250,6 +274,17 @@ class GroupCommitter {
       {
         PSI_TRACE_SPAN("commit.rebalance");
         rebalance();
+      }
+      // fsync BEFORE publish: update futures resolve after publication, so
+      // when a client observes its ack the record is already on durable
+      // media — an acknowledged commit can never be lost to a crash.
+      if constexpr (psi::durability::kEnabled) {
+        if (wal_ != nullptr) {
+          const std::uint64_t ns = wal_->sync();
+          if constexpr (telemetry::kEnabled) {
+            if (ns != 0) metrics_->wal_fsync.record(ns);
+          }
+        }
       }
       publish();
       store_.spawn_replays();
@@ -310,7 +345,14 @@ class GroupCommitter {
       s.shard_sizes.push_back(store_.size_of(i));
       s.size_total += store_.size_of(i);
     }
+    if constexpr (psi::durability::kEnabled) {
+      if (wal_ != nullptr) {
+        s.wal_appends = wal_->appends();
+        s.wal_bytes = wal_->bytes();
+      }
+    }
     if constexpr (telemetry::kEnabled) {
+      s.wal_fsync = telemetry::summarize(metrics_->wal_fsync.snapshot());
       using telemetry::QueuedOp;
       using telemetry::ReadOp;
       // Per logical op: the queued (end-to-end) recordings merged with the
@@ -350,6 +392,11 @@ class GroupCommitter {
   const std::shared_ptr<telemetry::ServiceMetrics>& metrics() const {
     return metrics_;
   }
+
+  // Arm the write-ahead log. The writer is owned by the caller
+  // (SpatialService), opened AFTER recovery replays the existing log —
+  // replayed commits must not be re-logged. Null disarms.
+  void set_wal(psi::durability::WalWriter* wal) { wal_ = wal; }
 
  private:
   // bp-forest style seat management: split overgrown shards at the median
@@ -481,6 +528,8 @@ class GroupCommitter {
   // Total population of the last published view; read lock-free by
   // SpatialService::size() without constructing a Snapshot.
   std::atomic<std::size_t> published_size_{0};
+  // Write-ahead log, armed by SpatialService after recovery (never owned).
+  psi::durability::WalWriter* wal_ = nullptr;
 };
 
 }  // namespace psi::service

@@ -54,6 +54,8 @@
 #include <utility>
 #include <vector>
 
+#include "psi/durability/checkpoint.h"
+#include "psi/durability/recovery.h"
 #include "psi/service/group_commit.h"
 #include "psi/service/query_cache.h"
 #include "psi/service/request_queue.h"
@@ -61,6 +63,7 @@
 #include "psi/service/snapshot.h"
 #include "psi/sfc/codec.h"
 #include "psi/telemetry/metrics.h"
+#include "psi/telemetry/registry.h"
 #include "psi/telemetry/trace.h"
 
 namespace psi::service {
@@ -85,7 +88,9 @@ class SpatialService {
   explicit SpatialService(ServiceConfig cfg = {})
       : cfg_(cfg),
         committer_(cfg, [](std::size_t) { return Index(); }),
-        cache_(cfg.cache_entries, cfg.cache_max_entry_bytes) {}
+        cache_(cfg.cache_entries, cfg.cache_max_entry_bytes) {
+    init_durability();
+  }
 
   // Accepts either a per-shard factory Index(std::size_t) or a legacy
   // nullary factory Index() (adapted to ignore the shard id).
@@ -95,7 +100,9 @@ class SpatialService {
   SpatialService(ServiceConfig cfg, Factory factory)
       : cfg_(cfg),
         committer_(cfg, adapt_factory(std::move(factory))),
-        cache_(cfg.cache_entries, cfg.cache_max_entry_bytes) {}
+        cache_(cfg.cache_entries, cfg.cache_max_entry_bytes) {
+    init_durability();
+  }
 
   ~SpatialService() {
     stop();
@@ -110,10 +117,54 @@ class SpatialService {
   // -------------------------------------------------------------------
 
   // Bulk-load initial contents (replaces current data). Call before
-  // serving traffic.
+  // serving traffic. With durability armed, a checkpoint follows: the WAL
+  // has no load record kind, so the loaded baseline is made durable as a
+  // snapshot (a crash between load and checkpoint recovers the previous
+  // state — build() hasn't returned yet, so nothing was acknowledged).
   void build(const std::vector<point_t>& pts) {
-    std::lock_guard<std::mutex> g(commit_mu_);
-    committer_.load(pts);
+    {
+      std::lock_guard<std::mutex> g(commit_mu_);
+      committer_.load(pts);
+    }
+    if (wal_.is_open()) checkpoint();
+  }
+
+  // Write an epoch-stamped per-shard snapshot of the current published
+  // view and truncate WAL segments below it (durability/checkpoint.h).
+  // The commit lock is held only to pin the view and rotate the log; the
+  // file writes run against the RCU-retained snapshots with no writer
+  // stall. No-op unless durability is armed.
+  void checkpoint() {
+    if (!wal_.is_open()) return;
+    // One checkpoint at a time: concurrent manual + auto checkpoints would
+    // interleave their shard files and manifests.
+    std::lock_guard<std::mutex> ck(checkpoint_mu_);
+    std::shared_ptr<const typename committer_t::view_t> view;
+    std::uint64_t watermark = 0;
+    {
+      std::lock_guard<std::mutex> g(commit_mu_);
+      view = committer_.acquire();
+      watermark = wal_.rotate();
+    }
+    psi::durability::Manifest m;
+    m.epoch = view->epoch;
+    m.watermark = watermark;
+    const std::size_t k = view->shards.size();
+    std::vector<std::vector<point_t>> pts;
+    m.shards.reserve(k);
+    pts.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      psi::durability::ManifestShard s;
+      s.key = view->shard_keys[i];
+      s.version = view->shard_versions[i];
+      s.factory_id = i;
+      m.shards.push_back(std::move(s));
+      pts.push_back(view->shards[i]->flatten());
+    }
+    psi::durability::write_checkpoint<coord_t, kDim>(
+        cfg_.durability.dir, std::move(m), pts, cfg_.durability.fsync);
+    wal_.truncate_below(watermark);
+    last_checkpoint_epoch_.store(view->epoch, std::memory_order_relaxed);
   }
 
   // Launch the background committer thread. Idempotent; restartable after
@@ -145,12 +196,15 @@ class SpatialService {
   // return, every request submitted happens-before flush() has resolved.
   void flush() {
     PSI_TRACE_SPAN("service.flush");
-    std::lock_guard<std::mutex> g(commit_mu_);
-    for (;;) {
-      auto group = drain_timed();
-      if (group.empty()) break;
-      committer_.commit(std::move(group));
+    {
+      std::lock_guard<std::mutex> g(commit_mu_);
+      for (;;) {
+        auto group = drain_timed();
+        if (group.empty()) break;
+        committer_.commit(std::move(group));
+      }
     }
+    maybe_auto_checkpoint();
   }
 
   // -------------------------------------------------------------------
@@ -316,6 +370,7 @@ class SpatialService {
   ServiceStats stats() const {
     std::lock_guard<std::mutex> g(commit_mu_);
     ServiceStats s = committer_.stats();
+    s.recovery_ms = recovery_ms_;
     s.cache_hits = cache_.hits();
     s.cache_misses = cache_.misses();
     s.cache_cross_epoch_hits = cache_.cross_epoch_hits();
@@ -351,12 +406,47 @@ class SpatialService {
         std::chrono::milliseconds(std::max(1, cfg_.commit_interval_ms));
     while (running_.load(std::memory_order_acquire)) {
       if (!queue_.wait_nonempty(interval)) continue;
-      std::lock_guard<std::mutex> g(commit_mu_);
-      auto group = drain_timed();
-      if (!group.empty()) {
-        PSI_TRACE_SPAN("service.commit_group");
-        committer_.commit(std::move(group));
+      {
+        std::lock_guard<std::mutex> g(commit_mu_);
+        auto group = drain_timed();
+        if (!group.empty()) {
+          PSI_TRACE_SPAN("service.commit_group");
+          committer_.commit(std::move(group));
+        }
       }
+      maybe_auto_checkpoint();
+    }
+  }
+
+  // Startup recovery + WAL arming (no-op unless cfg.durability is armed).
+  // Order matters: recover FIRST (the replayed log must not be re-logged),
+  // then open the writer (always a fresh segment), then checkpoint so the
+  // replayed tail collapses into a snapshot and old segments truncate.
+  void init_durability() {
+    if (!cfg_.durability.armed()) return;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto rec = psi::durability::recover<coord_t, kDim>(cfg_.durability.dir);
+    if (rec.found) {
+      std::lock_guard<std::mutex> g(commit_mu_);
+      committer_.load(rec.all_points());
+    }
+    wal_.open(cfg_.durability.dir, cfg_.durability);
+    committer_.set_wal(&wal_);
+    checkpoint();
+    recovery_ms_ = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    telemetry::StatsRegistry::instance().register_gauge(
+        "psi_recovery_ms",
+        [v = static_cast<std::uint64_t>(recovery_ms_)] { return v; });
+  }
+
+  void maybe_auto_checkpoint() {
+    if (!wal_.is_open() || cfg_.durability.checkpoint_every == 0) return;
+    const std::uint64_t last =
+        last_checkpoint_epoch_.load(std::memory_order_relaxed);
+    if (committer_.epoch() - last >= cfg_.durability.checkpoint_every) {
+      checkpoint();
     }
   }
 
@@ -383,6 +473,14 @@ class SpatialService {
   committer_t committer_;
   // Epoch-keyed result cache for the *_cached read path (thread-safe).
   mutable QueryCache<coord_t, kDim> cache_;
+
+  // Durability (all idle unless cfg_.durability is armed). The committer
+  // holds a raw pointer to wal_; appends/syncs happen under commit_mu_,
+  // rotation takes the same lock, so the single-writer contract holds.
+  psi::durability::WalWriter wal_;
+  std::mutex checkpoint_mu_;
+  std::atomic<std::uint64_t> last_checkpoint_epoch_{0};
+  double recovery_ms_ = 0;
 
   // Serialises whole start()/stop() transitions; never taken by the
   // committer thread itself.

@@ -21,7 +21,7 @@ namespace psi::service {
 struct ServiceStats {
   // Schema version of json(). Bump when fields change meaning or move;
   // adding fields is compatible and does not bump it.
-  std::uint64_t stats_version = 2;
+  std::uint64_t stats_version = 3;
 
   std::uint64_t epoch = 0;        // published commit epochs
   std::uint64_t commits = 0;      // commit groups applied (== epoch)
@@ -53,6 +53,13 @@ struct ServiceStats {
   std::size_t num_shards = 0;
   std::size_t size_total = 0;            // points currently indexed
   std::vector<std::size_t> shard_sizes;  // per-shard populations
+
+  // Durability (all zero when the WAL is not armed).
+  std::uint64_t wal_appends = 0;  // commit records appended
+  std::uint64_t wal_bytes = 0;    // framed bytes written to the log
+  double recovery_ms = 0;         // startup recovery time (load + replay)
+  // Pre-publish fsync latency (empty under PSI_TELEMETRY_DISABLED).
+  telemetry::LatencySummary wal_fsync;
 
   // Telemetry (all empty under PSI_TELEMETRY_DISABLED).
   // End-to-end queued-op latency per request kind, indexed by

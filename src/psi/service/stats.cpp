@@ -67,7 +67,10 @@ std::string ServiceStats::json() const {
      << ",\"cache_oversize_skips\":" << cache_oversize_skips
      << ",\"cache_torn_skips\":" << cache_torn_skips
      << ",\"cache_bytes\":" << cache_bytes
-     << ",\"num_shards\":" << num_shards << ",\"size_total\":" << size_total
+     << ",\"wal_appends\":" << wal_appends << ",\"wal_bytes\":" << wal_bytes
+     << ",\"recovery_ms\":" << recovery_ms << ",\"wal_fsync\":";
+  put_summary(os, wal_fsync);
+  os << ",\"num_shards\":" << num_shards << ",\"size_total\":" << size_total
      << ",\"max_shard\":" << max_shard_size()
      << ",\"min_shard\":" << min_shard_size() << ",\"shard_sizes\":[";
   for (std::size_t i = 0; i < shard_sizes.size(); ++i) {

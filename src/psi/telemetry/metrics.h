@@ -90,6 +90,10 @@ struct ServiceMetrics {
   std::vector<std::unique_ptr<Histogram>> stage = make_hists(kNumStages);
   Histogram cache_hit;
   Histogram cache_miss;
+  // Durability write path: time to serialise+append a commit record and
+  // time spent in the pre-publish fsync.
+  Histogram wal_append;
+  Histogram wal_fsync;
 
   Histogram& queued_hist(QueuedOp o) {
     return *queued[static_cast<std::size_t>(o)];

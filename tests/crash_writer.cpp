@@ -1,0 +1,288 @@
+// Not a gtest suite: the kill -9 half of the durability story, driven by
+// the CI crash-recovery loop (.github/workflows/ci.yml).
+//
+//   crash_writer --dir DIR --mode svc|dist run
+//     Durable writer: build a base set, then stream insert/delete batches,
+//     appending one fsync'd ack line per completed step. Meant to be
+//     killed with SIGKILL at a random point.
+//
+//   crash_writer --dir DIR --mode svc|dist check
+//     Recover from DIR and verify the crash contract: the recovered
+//     multiset equals the writer's state after some whole number of steps
+//     X, with X >= the last acked step (no lost acked commit, no partial
+//     batch, no invented points). Exit 0 on success.
+//
+// The step schedule is deterministic, so the checker re-derives every
+// reachable state without any channel besides the ack file.
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "psi/net/distributed_service.h"
+#include "psi/net/transport.h"
+#include "psi/psi.h"
+
+namespace {
+
+using namespace psi;
+
+using ZService = service::SpatialService<SpacZTree2>;
+using DService = net::DistributedService<SpacZTree2>;
+
+constexpr std::int64_t kMax = 1 << 16;
+constexpr std::size_t kBase = 5000;
+constexpr std::size_t kIters = 600;
+// Pacing between iterations: stretches the run to ~1.5-2s so a killer
+// sleeping a random fraction of a second reliably lands mid-run even on
+// fast disks (on slow ones the fsyncs dominate and the sleep is noise).
+constexpr unsigned kPaceUs = 2500;
+constexpr std::size_t kInsPerIter = 15;
+constexpr std::size_t kDelPerIter = 5;
+constexpr std::size_t kDelLag = 3;  // iteration i deletes from i - kDelLag
+
+struct Step {
+  bool is_delete;
+  std::vector<Point2> pts;
+};
+
+// Step 0 is the build; steps 1.. are the returned plan entries in order.
+std::vector<Step> make_plan() {
+  const auto fresh = datagen::uniform<2>(kInsPerIter * kIters, 7, kMax);
+  std::vector<Step> plan;
+  for (std::size_t i = 0; i < kIters; ++i) {
+    Step ins{false, {}};
+    ins.pts.assign(fresh.begin() + static_cast<std::ptrdiff_t>(kInsPerIter * i),
+                   fresh.begin() +
+                       static_cast<std::ptrdiff_t>(kInsPerIter * (i + 1)));
+    plan.push_back(std::move(ins));
+    if (i >= kDelLag) {
+      const std::size_t at = kInsPerIter * (i - kDelLag);
+      Step del{true, {}};
+      del.pts.assign(fresh.begin() + static_cast<std::ptrdiff_t>(at),
+                     fresh.begin() + static_cast<std::ptrdiff_t>(at +
+                                                                 kDelPerIter));
+      plan.push_back(std::move(del));
+    }
+  }
+  return plan;
+}
+
+durability::DurabilityConfig dur_cfg(const std::string& dir) {
+  durability::DurabilityConfig d;
+  d.enabled = true;
+  d.dir = dir + "/state";
+  d.fsync = true;
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// run
+// ---------------------------------------------------------------------------
+
+int ack_open(const std::string& dir) {
+  const std::string path = dir + "/acks";
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    std::fprintf(stderr, "open %s: %s\n", path.c_str(), std::strerror(errno));
+    std::exit(2);
+  }
+  return fd;
+}
+
+void ack(int fd, std::size_t step) {
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof(buf), "%zu\n", step);
+  if (::write(fd, buf, static_cast<std::size_t>(n)) != n || ::fsync(fd) != 0) {
+    std::fprintf(stderr, "ack write failed: %s\n", std::strerror(errno));
+    std::exit(2);
+  }
+}
+
+int run_svc(const std::string& dir) {
+  service::ServiceConfig cfg;
+  cfg.initial_shards = 4;
+  cfg.durability = dur_cfg(dir);
+  ZService svc(cfg);
+  const int fd = ack_open(dir);
+  svc.build(datagen::uniform<2>(kBase, 1, kMax));
+  ack(fd, 0);
+  const auto plan = make_plan();
+  std::size_t step = 0;
+  while (step < plan.size()) {
+    // One iteration's steps share a flush; both were made durable (WAL
+    // fsync precedes the futures' publication) before the ack goes out.
+    std::vector<std::vector<ZService::future_t>> futs;
+    std::size_t next = step;
+    futs.push_back(!plan[next].is_delete
+                       ? svc.submit_insert_batch(plan[next].pts)
+                       : svc.submit_delete_batch(plan[next].pts));
+    ++next;
+    if (next < plan.size() && plan[next].is_delete) {
+      futs.push_back(svc.submit_delete_batch(plan[next].pts));
+      ++next;
+    }
+    svc.flush();
+    for (auto& batch : futs) {
+      for (auto& f : batch) f.get();
+    }
+    step = next;
+    ack(fd, step);  // step index of the last completed plan entry
+    ::usleep(kPaceUs);
+  }
+  ::close(fd);
+  return 0;
+}
+
+int run_dist(const std::string& dir) {
+  net::LoopbackTransport fabric;
+  net::DistributedConfig cfg;
+  cfg.initial_shards = 4;
+  cfg.durability = dur_cfg(dir);
+  DService svc(fabric, 2, cfg);
+  const int fd = ack_open(dir);
+  svc.build(datagen::uniform<2>(kBase, 1, kMax));
+  ack(fd, 0);
+  const auto plan = make_plan();
+  for (std::size_t s = 0; s < plan.size(); ++s) {
+    // Each call is one commit: hosts fsync before acking, the coordinator
+    // fsyncs its marker before returning — durable when ack() runs.
+    if (plan[s].is_delete) {
+      svc.delete_batch(plan[s].pts);
+    } else {
+      svc.insert_batch(plan[s].pts);
+    }
+    ack(fd, s + 1);
+    if (!plan[s].is_delete) ::usleep(kPaceUs);  // pace per iteration, not step
+  }
+  ::close(fd);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// check
+// ---------------------------------------------------------------------------
+
+// Highest acked step, or -1 when nothing was acked.
+long last_ack(const std::string& dir) {
+  std::FILE* f = std::fopen((dir + "/acks").c_str(), "r");
+  if (f == nullptr) return -1;
+  long last = -1, v = 0;
+  while (std::fscanf(f, "%ld", &v) == 1) last = v;
+  std::fclose(f);
+  return last;
+}
+
+std::vector<Point2> recovered_svc(const std::string& dir) {
+  service::ServiceConfig cfg;
+  cfg.initial_shards = 4;
+  cfg.durability = dur_cfg(dir);
+  ZService svc(cfg);  // recovery runs in the constructor
+  Box2 b;
+  b.lo[0] = b.lo[1] = 0;
+  b.hi[0] = b.hi[1] = kMax;
+  auto fut = svc.submit_range_list(b);
+  svc.flush();
+  return fut.get().points;
+}
+
+std::vector<Point2> recovered_dist(const std::string& dir) {
+  net::LoopbackTransport fabric;
+  net::DistributedConfig cfg;
+  cfg.initial_shards = 4;
+  cfg.durability = dur_cfg(dir);
+  DService svc(fabric, 2, cfg);
+  svc.recover_from_disk();
+  return svc.flatten();
+}
+
+bool erase_one(std::vector<Point2>& pts, const Point2& p) {
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (pts[i] == p) {
+      pts[i] = pts.back();
+      pts.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+int check(const std::string& dir, const std::string& mode) {
+  const long acked = last_ack(dir);
+  std::vector<Point2> got =
+      mode == "svc" ? recovered_svc(dir) : recovered_dist(dir);
+  std::sort(got.begin(), got.end());
+
+  // Walk the reachable states in order: s = -1 (nothing durable yet),
+  // s = 0 (base built), s = k (plan steps 1..k applied).
+  if (acked < 0 && got.empty()) {
+    std::printf("crash_writer check: OK (state: pre-build, acked: none)\n");
+    return 0;
+  }
+  std::vector<Point2> state = datagen::uniform<2>(kBase, 1, kMax);
+  const auto plan = make_plan();
+  for (long s = 0; s <= static_cast<long>(plan.size()); ++s) {
+    if (s > 0) {
+      const Step& st = plan[static_cast<std::size_t>(s) - 1];
+      if (st.is_delete) {
+        for (const auto& p : st.pts) erase_one(state, p);
+      } else {
+        state.insert(state.end(), st.pts.begin(), st.pts.end());
+      }
+    }
+    if (state.size() != got.size()) continue;
+    std::vector<Point2> sorted = state;
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted != got) continue;
+    if (s < acked) {
+      std::fprintf(stderr,
+                   "crash_writer check: LOST ACKED COMMIT — recovered state "
+                   "matches step %ld but step %ld was acked\n",
+                   s, acked);
+      return 1;
+    }
+    std::printf("crash_writer check: OK (state: step %ld of %zu, acked: %ld, "
+                "points: %zu)\n",
+                s, plan.size(), acked, got.size());
+    return 0;
+  }
+  std::fprintf(stderr,
+               "crash_writer check: recovered state (%zu points) matches NO "
+               "whole-step state (acked: %ld) — torn or invented data\n",
+               got.size(), acked);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir, mode, verb;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--dir" && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (a == "--mode" && i + 1 < argc) {
+      mode = argv[++i];
+    } else {
+      verb = a;
+    }
+  }
+  if (dir.empty() || (mode != "svc" && mode != "dist") ||
+      (verb != "run" && verb != "check")) {
+    std::fprintf(stderr,
+                 "usage: crash_writer --dir DIR --mode svc|dist run|check\n");
+    return 2;
+  }
+  if (!durability::kEnabled) {
+    std::fprintf(stderr, "crash_writer: durability compiled out\n");
+    return 2;
+  }
+  if (verb == "check") return check(dir, mode);
+  return mode == "svc" ? run_svc(dir) : run_dist(dir);
+}
