@@ -32,8 +32,10 @@ import sys
 MARKER = "BENCH_JSON "
 # "durability" keeps wal-on cells in their own lane: a wal-on run is never
 # compared against a wal-off baseline (fsync cost is not a regression).
+# "stream" and "consistency" do the same for the chunked-streaming and
+# pinned-epoch read variants (fig14 --stream / --consistency).
 KEY_FIELDS = ("bench", "workload", "op", "k", "mode", "transport", "nodes",
-              "workers", "durability")
+              "workers", "durability", "stream", "consistency")
 METRIC = "qps"
 
 

@@ -29,6 +29,15 @@
 // exercises the durable distributed path; the regression gate keys on the
 // "durability" field and never compares across modes.
 //
+// Read options (read_options.h): `--stream on` answers the list cells
+// with wire v3 chunked streaming into an api::ConcurrentSink;
+// `--consistency pinned` runs every query cell pinned at the post-load
+// epoch instead of read-committed. Both land in the BENCH_JSON "stream" /
+// "consistency" fields, which the regression gate keys on — streamed or
+// pinned rows are never compared against the plain ones. The default run
+// appends one streamed loopback run so CI always exercises the chunked
+// read path.
+//
 // Knobs: PSI_BENCH_N (points), PSI_BENCH_Q (queries per cell). On a
 // 1-core container the numbers prove the code paths, not speedups.
 
@@ -60,17 +69,20 @@ struct Cell {
 };
 
 void emit(const char* transport, std::size_t nodes, const char* op,
-          const Cell& c, bool wal) {
+          const Cell& c, bool wal, bool stream, bool pinned) {
   std::printf("BENCH_JSON {\"bench\":\"fig14_distributed\","
               "\"transport\":\"%s\",\"nodes\":%zu,\"op\":\"%s\","
-              "\"durability\":\"%s\","
+              "\"durability\":\"%s\",\"stream\":\"%s\","
+              "\"consistency\":\"%s\","
               "\"queries\":%zu,\"hits\":%zu,\"seconds\":%.4f,\"qps\":%.1f,"
               "\"matches\":%s}\n",
-              transport, nodes, op, wal ? "wal" : "off", c.queries, c.hits,
-              c.seconds, c.qps(), c.matches ? "true" : "false");
+              transport, nodes, op, wal ? "wal" : "off",
+              stream ? "on" : "off", pinned ? "pinned" : "rc", c.queries,
+              c.hits, c.seconds, c.qps(), c.matches ? "true" : "false");
 }
 
 using Service = DistributedService<SpacZTree2>;
+using desc_t = Service::desc_t;
 
 struct RunResult {
   std::map<std::string, Cell> cells;
@@ -79,6 +91,7 @@ struct RunResult {
 RunResult run_cells(Transport& fabric, std::size_t nodes,
                     const std::vector<Point2>& pts,
                     const std::vector<Point2>& centres, std::int64_t half,
+                    bool stream, bool pinned,
                     const std::string& wal_dir = {}) {
   DistributedConfig cfg;
   cfg.initial_shards = 4;
@@ -110,13 +123,18 @@ RunResult run_cells(Transport& fabric, std::size_t nodes,
     c.hits = svc.size();
     out.cells["insert"] = c;
   }
+  // Query cells run through the unified read surface: pinned at the
+  // post-load epoch when asked, streamed list replies when asked.
+  const api::ReadOptions opts = pinned
+                                    ? api::ReadOptions::pinned(svc.epoch())
+                                    : api::ReadOptions::read_committed();
   {
     Cell c;
     c.queries = centres.size();
     Timer t;
     for (const auto& q : centres) {
       const Box2 box{{{q[0] - half, q[1] - half}}, {{q[0] + half, q[1] + half}}};
-      c.hits += svc.range_count(box);
+      c.hits += svc.query(desc_t::range_count(box), opts);
     }
     c.seconds = t.seconds();
     out.cells["range_count"] = c;
@@ -127,7 +145,15 @@ RunResult run_cells(Transport& fabric, std::size_t nodes,
     Timer t;
     for (const auto& q : centres) {
       const Box2 box{{{q[0] - half, q[1] - half}}, {{q[0] + half, q[1] + half}}};
-      c.hits += svc.range_list(box).size();
+      if (stream) {
+        api::ConcurrentSink<std::int64_t, 2> sink;
+        c.hits += svc.query(desc_t::range_list(box), opts.streamed(), sink);
+      } else {
+        std::vector<Point2> got;
+        svc.query(desc_t::range_list(box), opts,
+                  [&](const Point2& p) { got.push_back(p); });
+        c.hits += got.size();
+      }
     }
     c.seconds = t.seconds();
     out.cells["range_list"] = c;
@@ -140,9 +166,9 @@ RunResult run_cells(Transport& fabric, std::size_t nodes,
       // Accumulate the ranked squared distances, not the result count: a
       // broken distributed merge still returns k points per query, so a
       // count-based check would be vacuous (fig13 learnt the same).
-      for (const auto& p : svc.knn(q, 10)) {
+      svc.query(desc_t::knn(q, 10), opts, [&](const Point2& p) {
         c.hits += static_cast<std::size_t>(squared_distance(p, q));
-      }
+      });
     }
     c.seconds = t.seconds();
     out.cells["knn"] = c;
@@ -150,13 +176,28 @@ RunResult run_cells(Transport& fabric, std::size_t nodes,
   return out;
 }
 
-bool wal_choice(int argc, char** argv) {
+bool flag_choice(int argc, char** argv, const char* flag, const char* on) {
   for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--wal") == 0) {
-      return std::strcmp(argv[i + 1], "on") == 0;
+    if (std::strcmp(argv[i], flag) == 0) {
+      return std::strcmp(argv[i + 1], on) == 0;
     }
   }
   return false;
+}
+
+bool wal_choice(int argc, char** argv) {
+  return flag_choice(argc, argv, "--wal", "on");
+}
+
+// --stream on|off: chunked streamed list replies (default off).
+bool stream_choice(int argc, char** argv) {
+  return flag_choice(argc, argv, "--stream", "on");
+}
+
+// --consistency pinned|rc: pin every query cell at the post-load epoch
+// (default rc = read-committed).
+bool pinned_choice(int argc, char** argv) {
+  return flag_choice(argc, argv, "--consistency", "pinned");
 }
 
 std::string wal_root() {
@@ -169,14 +210,17 @@ int main(int argc, char** argv) {
   const std::size_t n = bench_n(100'000);
   const std::size_t q = bench_queries(200);
   const bool wal = wal_choice(argc, argv);
+  const bool stream = stream_choice(argc, argv);
+  const bool pinned = pinned_choice(argc, argv);
   const std::int64_t half = side_for_output<2>(n, n / 50, kMax2) / 2;
 
   const auto pts = make_workload_2d("Uniform", n, 1);
   const auto centres = datagen::ind_queries(pts, q, 99, kMax2);
 
   std::printf("Fig 14: distributed sharding, n=%zu, q=%zu, workers=%d, "
-              "wal %s\n",
-              n, q, num_workers(), wal ? "on" : "off");
+              "wal %s, stream %s, consistency %s\n",
+              n, q, num_workers(), wal ? "on" : "off", stream ? "on" : "off",
+              pinned ? "pinned" : "rc");
 
   bool all_match = true;
   RunResult reference;
@@ -184,24 +228,24 @@ int main(int argc, char** argv) {
                                   std::size_t{4}}) {
     LoopbackTransport fabric;
     RunResult r = run_cells(
-        fabric, nodes, pts, centres, half,
+        fabric, nodes, pts, centres, half, stream, pinned,
         wal ? wal_root() + "/n" + std::to_string(nodes) : std::string{});
     if (nodes == 1) reference = r;
     for (auto& [op, cell] : r.cells) {
       cell.matches = cell.hits == reference.cells[op].hits;
       all_match = all_match && cell.matches;
-      emit("loopback", nodes, op.c_str(), cell, wal);
+      emit("loopback", nodes, op.c_str(), cell, wal, stream, pinned);
     }
   }
   {
     TcpTransport fabric;
     RunResult r = run_cells(
-        fabric, 2, pts, centres, half,
+        fabric, 2, pts, centres, half, stream, pinned,
         wal ? wal_root() + "/tcp" : std::string{});
     for (auto& [op, cell] : r.cells) {
       cell.matches = cell.hits == reference.cells[op].hits;
       all_match = all_match && cell.matches;
-      emit("tcp", 2, op.c_str(), cell, wal);
+      emit("tcp", 2, op.c_str(), cell, wal, stream, pinned);
     }
   }
   if (!wal) {
@@ -209,12 +253,25 @@ int main(int argc, char** argv) {
     // exercises the WAL'd distributed commit path and its fsync cost is
     // visible next to the wal-off rows (never gated against them).
     LoopbackTransport fabric;
-    RunResult r = run_cells(fabric, 2, pts, centres, half,
+    RunResult r = run_cells(fabric, 2, pts, centres, half, stream, pinned,
                             wal_root() + "/ride");
     for (auto& [op, cell] : r.cells) {
       cell.matches = cell.hits == reference.cells[op].hits;
       all_match = all_match && cell.matches;
-      emit("loopback", 2, op.c_str(), cell, /*wal=*/true);
+      emit("loopback", 2, op.c_str(), cell, /*wal=*/true, stream, pinned);
+    }
+  }
+  if (!stream) {
+    // And one streamed run: CI always exercises the wire v3 chunked read
+    // path (kQueryChunk/kQueryDone + credit backpressure), its rows keyed
+    // apart by the "stream" field.
+    LoopbackTransport fabric;
+    RunResult r = run_cells(fabric, 2, pts, centres, half, /*stream=*/true,
+                            pinned);
+    for (auto& [op, cell] : r.cells) {
+      cell.matches = cell.hits == reference.cells[op].hits;
+      all_match = all_match && cell.matches;
+      emit("loopback", 2, op.c_str(), cell, wal, /*stream=*/true, pinned);
     }
   }
   std::filesystem::remove_all(wal_root());

@@ -1,0 +1,173 @@
+// PSI-Lib api layer: the redesigned read surface.
+//
+// One query description + one read-options policy, shared by every read
+// facade in the library. Instead of a method per (shape × result × cache)
+// combination — the `range_list` / `range_list_cached` / `ball_count_cached`
+// / `knn_cached` zoo that accreted on SpatialService and DistributedService —
+// a caller builds a QueryDesc (what to ask), picks ReadOptions (how to read
+// it), and streams the answer into a sink:
+//
+//   svc.query(QueryDesc::range_list(box), ReadOptions::read_committed(), sink)
+//
+// The legacy names survive as thin adapters over this entry point.
+//
+// ReadOptions names the *consistency point* of a read:
+//
+//   * ReadCommitted — the read runs against the latest published epoch.
+//     A multi-shard fan-out may observe different epochs per shard if a
+//     commit lands mid-query (the distributed layer detects and retries,
+//     see distributed_service.h).
+//   * PinnedEpoch(e) — the read runs against the retained view of epoch
+//     `e`, exactly as published: snapshot-consistent across every shard,
+//     repeatable, and stable under concurrent writers. Epochs are retained
+//     to a bounded configurable depth (ServiceConfig::retained_epochs);
+//     reading past the horizon raises EpochRetired rather than blocking
+//     the committer.
+//
+// The cache policy is orthogonal: kUse routes the read through the
+// service's result cache (query_cache.h) under the usual coverage
+// validation, kBypass always recomputes.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "psi/geometry/box.h"
+#include "psi/geometry/point.h"
+
+namespace psi::api {
+
+// Which published state a read observes. See header comment.
+enum class Consistency : std::uint8_t {
+  kReadCommitted = 0,
+  kPinnedEpoch = 1,
+};
+
+// Whether a read may be served from / admitted to the result cache.
+enum class CachePolicy : std::uint8_t {
+  kBypass = 0,
+  kUse = 1,
+};
+
+// The "how" of a read: consistency point + cache policy. Cheap value type;
+// build with the named constructors.
+struct ReadOptions {
+  Consistency consistency = Consistency::kReadCommitted;
+  // The pinned epoch; meaningful only when consistency == kPinnedEpoch.
+  std::uint64_t pinned_epoch = 0;
+  CachePolicy cache = CachePolicy::kBypass;
+  // Stream list results over the wire in bounded chunks (wire v3
+  // kQueryChunk frames under credit-based backpressure) instead of one
+  // materialised reply per node. Only meaningful for list kinds on the
+  // distributed facade; the in-process path delivers points one at a time
+  // regardless. Incompatible with cache == kUse (caching requires the
+  // materialised result); the cache policy wins.
+  bool stream = false;
+
+  static constexpr ReadOptions read_committed() { return {}; }
+  static constexpr ReadOptions pinned(std::uint64_t epoch) {
+    ReadOptions o;
+    o.consistency = Consistency::kPinnedEpoch;
+    o.pinned_epoch = epoch;
+    return o;
+  }
+  // Same options with the cache enabled (fluent: `pinned(e).cached()`).
+  constexpr ReadOptions cached() const {
+    ReadOptions o = *this;
+    o.cache = CachePolicy::kUse;
+    return o;
+  }
+  // Same options with wire streaming enabled (fluent: `pinned(e).streamed()`).
+  constexpr ReadOptions streamed() const {
+    ReadOptions o = *this;
+    o.stream = true;
+    return o;
+  }
+  constexpr bool is_pinned() const {
+    return consistency == Consistency::kPinnedEpoch;
+  }
+};
+
+// A pinned read asked for an epoch older than the retention horizon (or,
+// distributed, for a shard version no retained host view still holds).
+// Retention is bounded by design — the committer drops the oldest retained
+// view rather than ever blocking on a pinned reader — so long-lived pins
+// must be prepared to re-pin and retry.
+class EpochRetired : public std::runtime_error {
+ public:
+  explicit EpochRetired(std::uint64_t epoch)
+      : std::runtime_error("epoch " + std::to_string(epoch) +
+                           " retired beyond the retention horizon"),
+        epoch_(epoch) {}
+  std::uint64_t epoch() const { return epoch_; }
+
+ private:
+  std::uint64_t epoch_;
+};
+
+// The "what" of a read: one value describing any of the library's query
+// shapes. List kinds stream their matches into the caller's sink; count
+// kinds touch no sink and return the count.
+template <typename Coord, int D>
+struct QueryDesc {
+  using point_t = Point<Coord, D>;
+  using box_t = Box<Coord, D>;
+
+  enum class Kind : std::uint8_t {
+    kRangeList = 0,
+    kRangeCount = 1,
+    kBallList = 2,
+    kBallCount = 3,
+    kKnn = 4,
+  };
+
+  Kind kind = Kind::kRangeCount;
+  box_t box{};       // range kinds
+  point_t center{};  // ball + knn kinds
+  double radius = 0;
+  std::size_t k = 0;  // knn
+
+  static QueryDesc range_list(const box_t& b) {
+    QueryDesc q;
+    q.kind = Kind::kRangeList;
+    q.box = b;
+    return q;
+  }
+  static QueryDesc range_count(const box_t& b) {
+    QueryDesc q;
+    q.kind = Kind::kRangeCount;
+    q.box = b;
+    return q;
+  }
+  static QueryDesc ball_list(const point_t& c, double radius) {
+    QueryDesc q;
+    q.kind = Kind::kBallList;
+    q.center = c;
+    q.radius = radius;
+    return q;
+  }
+  static QueryDesc ball_count(const point_t& c, double radius) {
+    QueryDesc q;
+    q.kind = Kind::kBallCount;
+    q.center = c;
+    q.radius = radius;
+    return q;
+  }
+  static QueryDesc knn(const point_t& c, std::size_t k) {
+    QueryDesc q;
+    q.kind = Kind::kKnn;
+    q.center = c;
+    q.k = k;
+    return q;
+  }
+
+  bool is_list() const {
+    return kind == Kind::kRangeList || kind == Kind::kBallList ||
+           kind == Kind::kKnn;
+  }
+};
+
+}  // namespace psi::api

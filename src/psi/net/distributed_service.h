@@ -18,7 +18,15 @@
 // into the shared sink. Handoffs are invisible to callers: a host that no
 // longer owns a queried shard reports the key as missing, and the client
 // re-routes just that shard through the refreshed route (bounded retries;
-// a shard dissolved by split/merge restarts the whole plan).
+// a shard dissolved by split/merge restarts the whole plan). The entry
+// point is the redesigned query(QueryDesc, ReadOptions, Sink&) surface
+// (read_options.h): ReadOptions selects read-committed vs pinned-epoch
+// consistency (pin()/pin_at() hold a route whose exact per-shard content
+// versions every host must answer at — snapshot-consistent multi-shard
+// reads under concurrent writers) and whether list replies stream back as
+// bounded wire chunks under credit-based backpressure instead of one
+// materialised reply per node. The legacy range_list/knn/... names are
+// thin adapters over it.
 //
 // Caching: the client keeps a version-keyed QueryCache exactly like the
 // in-process service — coverage is the routed shard run + its content
@@ -44,6 +52,7 @@
 #include <vector>
 
 #include "psi/api/query.h"
+#include "psi/api/read_options.h"
 #include "psi/net/node.h"
 #include "psi/net/transport.h"
 #include "psi/net/wire.h"
@@ -52,6 +61,7 @@
 #include "psi/service/snapshot.h"
 #include "psi/telemetry/histogram.h"
 #include "psi/telemetry/metrics.h"
+#include "psi/telemetry/registry.h"
 #include "psi/telemetry/trace.h"
 
 namespace psi::net {
@@ -73,6 +83,15 @@ struct DistributedStats {
   // Results answered but not admitted because a commit raced the fan-out
   // (piggybacked versions disagreed with the plan).
   std::uint64_t cache_torn_skips = 0;
+  // Pinned-read accounting (wire v3; see read_options.h): fan-outs planned
+  // against a pinned route, and reads refused because the pinned state had
+  // left the retention window.
+  std::uint64_t pinned_reads = 0;
+  std::uint64_t epoch_retired_errors = 0;
+  // Streamed-reply accounting: chunk frames received across all fan-outs,
+  // and the total number of times hosts blocked on the credit window.
+  std::uint64_t stream_chunks = 0;
+  std::uint64_t stream_backpressure_waits = 0;
   // Wall-clock cost of the last recover_from_disk() (0 when never run).
   double recovery_ms = 0;
   // Per-host telemetry (one kTelemetry RPC each) and its cluster-wide
@@ -124,7 +143,8 @@ class DistributedService {
       psi::durability::DurabilityConfig dur = cfg.durability;
       if (dur.armed()) dur.dir = node_dir(id);
       hosts_.push_back(std::make_unique<host_t>(
-          id, transport_, factory, cfg.pipelined_commits, std::move(dur)));
+          id, transport_, factory, cfg.pipelined_commits, std::move(dur),
+          cfg.retained_epochs));
       ids.push_back(id);
     }
     coordinator_ =
@@ -244,156 +264,132 @@ class DistributedService {
   }
 
   // -------------------------------------------------------------------
-  // Queries (any thread, lock-free planning)
+  // Queries — the redesigned read surface (any thread, lock-free planning)
   // -------------------------------------------------------------------
 
-  std::vector<point_t> range_list(const box_t& query) const {
-    std::unique_ptr<api::ConcurrentSink<coord_t, kDim>> sink;
-    fan_out(
-        QueryKind::kRangeList,
-        [&](WireWriter& w) { w.put_box(query); },
-        [&](const route_t& rt) { return rt.map.shard_range_for_box(query); },
-        [&] { sink = std::make_unique<api::ConcurrentSink<coord_t, kDim>>(); },
-        [&](const point_t& p) { (*sink)(p); });
-    return sink->take();
+  using desc_t = api::QueryDesc<coord_t, kDim>;
+
+  // A pinned global read point: the route published at pin time, held by
+  // the caller. Queries through it fan out the exact per-shard content
+  // versions that route names, so they observe the committed state at that
+  // epoch on every shard — snapshot-consistent across the whole cluster,
+  // repeatable, and stable under concurrent writers — for as long as every
+  // host still retains those versions (cfg.retained_epochs deep). Past the
+  // horizon, queries raise api::EpochRetired; re-pin and retry.
+  class PinnedView {
+   public:
+    std::uint64_t epoch() const { return route_->epoch; }
+
+   private:
+    friend DistributedService;
+    explicit PinnedView(std::shared_ptr<const route_t> r)
+        : route_(std::move(r)) {}
+    std::shared_ptr<const route_t> route_;
+  };
+
+  // Pin the current epoch.
+  PinnedView pin() const { return PinnedView(coordinator_->route()); }
+
+  // Pin a specific past epoch ("query as of E"). Throws api::EpochRetired
+  // once E's route has left the coordinator's retention window.
+  PinnedView pin_at(std::uint64_t epoch) const {
+    auto rt = coordinator_->route_at(epoch);
+    if (rt == nullptr) {
+      note_retired();
+      throw api::EpochRetired(epoch);
+    }
+    return PinnedView(std::move(rt));
   }
 
-  std::size_t range_count(const box_t& query) const {
-    const Fanned f = fan_out(
-        QueryKind::kRangeCount,
-        [&](WireWriter& w) { w.put_box(query); },
-        [&](const route_t& rt) { return rt.map.shard_range_for_box(query); },
-        [] {}, [](const point_t&) {});
-    return static_cast<std::size_t>(f.count);
+  // THE read entry point: one QueryDesc (what), one ReadOptions (how), one
+  // sink (where the matches go). Returns the number of points delivered
+  // for list kinds, the count for count kinds. An api::ConcurrentSink
+  // receives points directly from the decoder threads as node replies (or
+  // stream chunks) arrive; any other sink gets the materialised result
+  // sequentially after the join. With opts.stream, list results cross the
+  // wire as bounded kQueryChunk frames under credit-based backpressure —
+  // no per-node reply buffer ever exceeds one chunk.
+  template <typename Sink>
+  std::size_t query(const desc_t& q, const api::ReadOptions& opts,
+                    Sink&& sink) const {
+    FanPlan plan;
+    if (opts.is_pinned()) plan.pinned = pin_at(opts.pinned_epoch).route_;
+    plan.stream =
+        opts.stream && q.is_list() && opts.cache != api::CachePolicy::kUse;
+    return query_on(q, opts, plan, sink);
+  }
+
+  // Query through an explicit pin — cheaper and stabler than re-resolving
+  // opts.pinned_epoch per read: the held route still plans correctly after
+  // the coordinator's ring moved on, as long as hosts retain the data.
+  template <typename Sink>
+  std::size_t query(const desc_t& q, const PinnedView& pin, Sink&& sink,
+                    api::ReadOptions opts = {}) const {
+    FanPlan plan;
+    plan.pinned = pin.route_;
+    plan.stream =
+        opts.stream && q.is_list() && opts.cache != api::CachePolicy::kUse;
+    return query_on(q, opts, plan, sink);
+  }
+
+  // Count-only convenience: no sink to feed.
+  std::size_t query(const desc_t& q, const api::ReadOptions& opts = {}) const {
+    auto ignore = [](const point_t&) {};
+    return query(q, opts, ignore);
+  }
+
+  // -------------------------------------------------------------------
+  // Legacy entry points — thin adapters over query() (kept for source
+  // compatibility; see read_options.h for the redesign rationale)
+  // -------------------------------------------------------------------
+
+  std::vector<point_t> range_list(const box_t& query_box) const {
+    std::vector<point_t> out;
+    auto into = [&](const point_t& p) { out.push_back(p); };
+    query(desc_t::range_list(query_box), api::ReadOptions{}, into);
+    return out;
+  }
+
+  std::size_t range_count(const box_t& query_box) const {
+    return query(desc_t::range_count(query_box));
   }
 
   std::vector<point_t> ball_list(const point_t& q, double radius) const {
-    std::unique_ptr<api::ConcurrentSink<coord_t, kDim>> sink;
-    fan_out(
-        QueryKind::kBallList,
-        [&](WireWriter& w) {
-          w.put_point(q);
-          w.put_f64(radius);
-        },
-        [&](const route_t& rt) {
-          return rt.map.shard_range_for_box(
-              service::ball_bounding_box(q, radius));
-        },
-        [&] { sink = std::make_unique<api::ConcurrentSink<coord_t, kDim>>(); },
-        [&](const point_t& p) { (*sink)(p); });
-    return sink->take();
+    std::vector<point_t> out;
+    auto into = [&](const point_t& p) { out.push_back(p); };
+    query(desc_t::ball_list(q, radius), api::ReadOptions{}, into);
+    return out;
   }
 
   std::size_t ball_count(const point_t& q, double radius) const {
-    const Fanned f = fan_out(
-        QueryKind::kBallCount,
-        [&](WireWriter& w) {
-          w.put_point(q);
-          w.put_f64(radius);
-        },
-        [&](const route_t& rt) {
-          return rt.map.shard_range_for_box(
-              service::ball_bounding_box(q, radius));
-        },
-        [] {}, [](const point_t&) {});
-    return static_cast<std::size_t>(f.count);
+    return query(desc_t::ball_count(q, radius));
   }
 
   // k nearest neighbours across every node, in increasing distance order.
   // Each node returns its local top-k (over the shards it owns); the exact
   // global top-k is the ConcurrentKnnBuffer merge at the join.
   std::vector<point_t> knn(const point_t& q, std::size_t k) const {
-    std::unique_ptr<api::ConcurrentKnnBuffer<coord_t, kDim>> buf;
-    fan_out(
-        QueryKind::kKnn,
-        [&](WireWriter& w) {
-          w.put_point(q);
-          w.put_u64(k);
-        },
-        [&](const route_t& rt) {
-          // kNN prunes by distance, not routing: every shard is in scope.
-          // A shardless route yields an *inverted* run — the shape
-          // make_coverage treats as empty — never {0, 0}, which would
-          // slice one element out of an empty version vector.
-          return rt.keys.empty()
-                     ? std::pair<std::size_t, std::size_t>{1, 0}
-                     : std::pair<std::size_t, std::size_t>{0,
-                                                           rt.keys.size() - 1};
-        },
-        [&] {
-          buf = std::make_unique<api::ConcurrentKnnBuffer<coord_t, kDim>>(k);
-        },
-        [&](const point_t& p) { buf->offer(squared_distance(p, q), p); });
     std::vector<point_t> out;
-    for (const auto& e : buf->merged_sorted()) out.push_back(e.point);
+    auto into = [&](const point_t& p) { out.push_back(p); };
+    query(desc_t::knn(q, k), api::ReadOptions{}, into);
     return out;
   }
 
-  // -------------------------------------------------------------------
-  // Cached queries (version-keyed client cache; see the header comment)
-  // -------------------------------------------------------------------
-
+  // Cached adapters (version-keyed client cache; see the header comment).
+  // Equivalent to query() with ReadOptions{}.cached(), but hand back the
+  // cache's shared vector so hits stay zero-copy.
   std::shared_ptr<const std::vector<point_t>> range_list_cached(
-      const box_t& query) const {
-    const auto key = cache_key_t::range(query);
-    if (auto hit = cache_.find_list(key, plan_coverage([&](const route_t& rt) {
-          return rt.map.shard_range_for_box(query);
-        }))) {
-      return hit;
-    }
-    std::unique_ptr<api::ConcurrentSink<coord_t, kDim>> sink;
-    const Fanned f = fan_out(
-        QueryKind::kRangeList,
-        [&](WireWriter& w) { w.put_box(query); },
-        [&](const route_t& rt) { return rt.map.shard_range_for_box(query); },
-        [&] { sink = std::make_unique<api::ConcurrentSink<coord_t, kDim>>(); },
-        [&](const point_t& p) { (*sink)(p); }, /*for_cache=*/true);
-    auto pts =
-        std::make_shared<const std::vector<point_t>>(sink->take());
-    admit_list(key, f, pts);
-    return pts;
+      const box_t& query_box) const {
+    return cached_list_for(desc_t::range_list(query_box), nullptr);
   }
 
-  std::size_t range_count_cached(const box_t& query) const {
-    const auto key = cache_key_t::range(query);
-    if (auto hit = cache_.find_count(key, plan_coverage([&](const route_t& rt) {
-          return rt.map.shard_range_for_box(query);
-        }))) {
-      return *hit;
-    }
-    const Fanned f = fan_out(
-        QueryKind::kRangeCount,
-        [&](WireWriter& w) { w.put_box(query); },
-        [&](const route_t& rt) { return rt.map.shard_range_for_box(query); },
-        [] {}, [](const point_t&) {}, /*for_cache=*/true);
-    if (f.clean) {
-      cache_.put_count(key, f.cov, static_cast<std::size_t>(f.count));
-    } else {
-      ++torn_skips_;
-    }
-    return static_cast<std::size_t>(f.count);
+  std::size_t range_count_cached(const box_t& query_box) const {
+    return cached_count_for(desc_t::range_count(query_box), nullptr);
   }
 
   std::shared_ptr<const std::vector<point_t>> ball_list_cached(
       const point_t& q, double radius) const {
-    const auto key = cache_key_t::ball(q, radius);
-    const auto run_of = [&](const route_t& rt) {
-      return rt.map.shard_range_for_box(service::ball_bounding_box(q, radius));
-    };
-    if (auto hit = cache_.find_list(key, plan_coverage(run_of))) return hit;
-    std::unique_ptr<api::ConcurrentSink<coord_t, kDim>> sink;
-    const Fanned f = fan_out(
-        QueryKind::kBallList,
-        [&](WireWriter& w) {
-          w.put_point(q);
-          w.put_f64(radius);
-        },
-        run_of,
-        [&] { sink = std::make_unique<api::ConcurrentSink<coord_t, kDim>>(); },
-        [&](const point_t& p) { (*sink)(p); }, /*for_cache=*/true);
-    auto pts = std::make_shared<const std::vector<point_t>>(sink->take());
-    admit_list(key, f, pts);
-    return pts;
+    return cached_list_for(desc_t::ball_list(q, radius), nullptr);
   }
 
   // -------------------------------------------------------------------
@@ -416,6 +412,12 @@ class DistributedService {
     s.cache_misses = cache_.misses();
     s.cache_cross_epoch_hits = cache_.cross_epoch_hits();
     s.cache_torn_skips = torn_skips_.load(std::memory_order_relaxed);
+    s.pinned_reads = pinned_reads_.load(std::memory_order_relaxed);
+    s.epoch_retired_errors =
+        epoch_retired_errors_.load(std::memory_order_relaxed);
+    s.stream_chunks = stream_chunks_.load(std::memory_order_relaxed);
+    s.stream_backpressure_waits =
+        stream_backpressure_waits_.load(std::memory_order_relaxed);
     s.recovery_ms = recovery_ms_;
     if constexpr (telemetry::kEnabled) collect_telemetry(s);
     return s;
@@ -461,6 +463,15 @@ class DistributedService {
     std::uint64_t count = 0;            // count kinds
     service::CacheCoverage cov;          // coverage of the plan that ran
     bool clean = true;                   // piggyback matched the plan
+  };
+
+  // How a fan-out reads: against the live route (pinned == nullptr,
+  // read-committed) or a fixed pinned route whose per-shard content
+  // versions every sub-query must be answered at; and whether list
+  // payloads flow back as bounded stream chunks.
+  struct FanPlan {
+    std::shared_ptr<const route_t> pinned;
+    bool stream = false;
   };
 
   std::uint64_t apply_updates(const std::vector<point_t>& pts,
@@ -522,14 +533,6 @@ class DistributedService {
     for (auto& [key, e] : merged_heat) s.heat.push_back(e);
   }
 
-  // Coverage of the *current* plan for a query — the cache lookup key.
-  template <typename RunOf>
-  service::CacheCoverage plan_coverage(RunOf run_of) const {
-    const auto route = coordinator_->route();
-    return service::make_coverage(route->epoch, route->stamp, run_of(*route),
-                                  route->versions);
-  }
-
   void admit_list(const cache_key_t& key, const Fanned& f,
                   const std::shared_ptr<const std::vector<point_t>>& pts) const {
     if (f.clean) {
@@ -539,12 +542,241 @@ class DistributedService {
     }
   }
 
-  // The fan-out core. Plans against the current route, issues one kQuery
-  // per owning node in parallel, streams decoded points into `emit`
-  // (thread-safe via the caller's concurrent sink), and accumulates count
-  // payloads. Shards reported missing (handoff raced the plan) re-route
-  // through the refreshed route; a shard key that vanished entirely
-  // (split/merge/load) restarts the whole plan with `reset`.
+  void note_retired() const {
+    epoch_retired_errors_.fetch_add(1, std::memory_order_relaxed);
+    retired_ctr_->inc();
+  }
+
+  // ---- QueryDesc plumbing (shared by every read entry point) ----
+
+  static QueryKind wire_kind(typename desc_t::Kind k) {
+    switch (k) {
+      case desc_t::Kind::kRangeList: return QueryKind::kRangeList;
+      case desc_t::Kind::kRangeCount: return QueryKind::kRangeCount;
+      case desc_t::Kind::kBallList: return QueryKind::kBallList;
+      case desc_t::Kind::kBallCount: return QueryKind::kBallCount;
+      case desc_t::Kind::kKnn: return QueryKind::kKnn;
+    }
+    return QueryKind::kRangeCount;
+  }
+
+  static void put_query_params(WireWriter& w, const desc_t& q) {
+    switch (q.kind) {
+      case desc_t::Kind::kRangeList:
+      case desc_t::Kind::kRangeCount:
+        w.put_box(q.box);
+        break;
+      case desc_t::Kind::kBallList:
+      case desc_t::Kind::kBallCount:
+        w.put_point(q.center);
+        w.put_f64(q.radius);
+        break;
+      case desc_t::Kind::kKnn:
+        w.put_point(q.center);
+        w.put_u64(q.k);
+        break;
+    }
+  }
+
+  static cache_key_t cache_key_of(const desc_t& q) {
+    switch (q.kind) {
+      case desc_t::Kind::kRangeList:
+      case desc_t::Kind::kRangeCount:
+        return cache_key_t::range(q.box);
+      case desc_t::Kind::kBallList:
+      case desc_t::Kind::kBallCount:
+        return cache_key_t::ball(q.center, q.radius);
+      case desc_t::Kind::kKnn:
+        return cache_key_t::knn(q.center, q.k);
+    }
+    return cache_key_t::range(q.box);
+  }
+
+  // The routed shard run of a query on a given route. kNN prunes by
+  // distance, not routing: every shard is in scope — and a shardless route
+  // yields an *inverted* run (the shape make_coverage treats as empty),
+  // never {0, 0}, which would slice one element out of an empty version
+  // vector.
+  static std::pair<std::size_t, std::size_t> run_for(const route_t& rt,
+                                                     const desc_t& q) {
+    switch (q.kind) {
+      case desc_t::Kind::kRangeList:
+      case desc_t::Kind::kRangeCount:
+        return rt.map.shard_range_for_box(q.box);
+      case desc_t::Kind::kBallList:
+      case desc_t::Kind::kBallCount:
+        return rt.map.shard_range_for_box(
+            service::ball_bounding_box(q.center, q.radius));
+      case desc_t::Kind::kKnn:
+        break;
+    }
+    return rt.keys.empty()
+               ? std::pair<std::size_t, std::size_t>{1, 0}
+               : std::pair<std::size_t, std::size_t>{0, rt.keys.size() - 1};
+  }
+
+  // The uncached read core behind query(): dispatch one QueryDesc through
+  // fan_out with the right merge machinery per kind.
+  template <typename Sink>
+  std::size_t query_on(const desc_t& q, const api::ReadOptions& opts,
+                       const FanPlan& plan, Sink& sink) const {
+    const auto params = [&](WireWriter& w) { put_query_params(w, q); };
+    const auto runof = [&](const route_t& rt) { return run_for(rt, q); };
+    if (opts.cache == api::CachePolicy::kUse) {
+      if (!q.is_list()) return cached_count_for(q, plan.pinned);
+      const auto pts = cached_list_for(q, plan.pinned);
+      std::size_t n = 0;
+      for (const point_t& p : *pts) {
+        ++n;
+        if (!api::sink_accept(sink, p)) break;
+      }
+      return n;
+    }
+    if (!q.is_list()) {
+      const Fanned f = fan_out(wire_kind(q.kind), params, runof, [] {},
+                               [](const point_t&) {}, /*for_cache=*/false,
+                               plan);
+      return static_cast<std::size_t>(f.count);
+    }
+    if (q.kind == desc_t::Kind::kKnn) {
+      // Exact global top-k: per-node top-k lists merge through the
+      // concurrent buffer, then drain into the caller's sink in distance
+      // order.
+      std::unique_ptr<api::ConcurrentKnnBuffer<coord_t, kDim>> buf;
+      fan_out(
+          QueryKind::kKnn, params, runof,
+          [&] {
+            buf = std::make_unique<api::ConcurrentKnnBuffer<coord_t, kDim>>(
+                q.k);
+          },
+          [&](const point_t& p) {
+            buf->offer(squared_distance(p, q.center), p);
+          },
+          /*for_cache=*/false, plan);
+      std::size_t n = 0;
+      for (const auto& e : buf->merged_sorted()) {
+        ++n;
+        if (!api::sink_accept(sink, e.point)) break;
+      }
+      return n;
+    }
+    // Range / ball list.
+    if constexpr (api::is_concurrent_sink_v<std::remove_cvref_t<Sink>>) {
+      // True streaming: decoder threads deliver straight into the caller's
+      // sink. A plan restart (shard keys dissolved mid-query by a racing
+      // split/merge/load) cannot un-deliver, so it surfaces as an error
+      // once anything reached the sink — re-issue the read.
+      const std::size_t before = sink.count();
+      fan_out(
+          wire_kind(q.kind), params, runof,
+          [&] {
+            if (sink.count() != before) {
+              throw TransportError(
+                  "query restarted after streaming into the caller's sink "
+                  "began (topology changed mid-query); re-issue the read");
+            }
+          },
+          [&](const point_t& p) { sink(p); }, /*for_cache=*/false, plan);
+      return sink.count() - before;
+    } else {
+      // Plain sinks are not thread-safe: accumulate through an internal
+      // concurrent sink (restart-transparent — it is simply rebuilt), then
+      // deliver sequentially.
+      std::unique_ptr<api::ConcurrentSink<coord_t, kDim>> acc;
+      fan_out(
+          wire_kind(q.kind), params, runof,
+          [&] {
+            acc = std::make_unique<api::ConcurrentSink<coord_t, kDim>>();
+          },
+          [&](const point_t& p) { (*acc)(p); }, /*for_cache=*/false, plan);
+      std::size_t n = 0;
+      for (const point_t& p : acc->take()) {
+        ++n;
+        if (!api::sink_accept(sink, p)) break;
+      }
+      return n;
+    }
+  }
+
+  // Cached list read: version-keyed lookup against the plan's route (live
+  // or pinned), materialising fan-out on miss, admission only when the
+  // piggybacked versions matched the plan.
+  std::shared_ptr<const std::vector<point_t>> cached_list_for(
+      const desc_t& q, const std::shared_ptr<const route_t>& pinned) const {
+    const auto key = cache_key_of(q);
+    const auto params = [&](WireWriter& w) { put_query_params(w, q); };
+    const auto runof = [&](const route_t& rt) { return run_for(rt, q); };
+    const auto route = pinned ? pinned : coordinator_->route();
+    if (auto hit = cache_.find_list(
+            key, service::make_coverage(route->epoch, route->stamp,
+                                        runof(*route), route->versions))) {
+      return hit;
+    }
+    FanPlan plan;
+    plan.pinned = pinned;
+    Fanned f;
+    std::vector<point_t> pts;
+    if (q.kind == desc_t::Kind::kKnn) {
+      std::unique_ptr<api::ConcurrentKnnBuffer<coord_t, kDim>> buf;
+      f = fan_out(
+          QueryKind::kKnn, params, runof,
+          [&] {
+            buf = std::make_unique<api::ConcurrentKnnBuffer<coord_t, kDim>>(
+                q.k);
+          },
+          [&](const point_t& p) {
+            buf->offer(squared_distance(p, q.center), p);
+          },
+          /*for_cache=*/true, plan);
+      for (const auto& e : buf->merged_sorted()) pts.push_back(e.point);
+    } else {
+      std::unique_ptr<api::ConcurrentSink<coord_t, kDim>> sink;
+      f = fan_out(
+          wire_kind(q.kind), params, runof,
+          [&] {
+            sink = std::make_unique<api::ConcurrentSink<coord_t, kDim>>();
+          },
+          [&](const point_t& p) { (*sink)(p); }, /*for_cache=*/true, plan);
+      pts = sink->take();
+    }
+    auto out = std::make_shared<const std::vector<point_t>>(std::move(pts));
+    admit_list(key, f, out);
+    return out;
+  }
+
+  std::size_t cached_count_for(
+      const desc_t& q, const std::shared_ptr<const route_t>& pinned) const {
+    const auto key = cache_key_of(q);
+    const auto params = [&](WireWriter& w) { put_query_params(w, q); };
+    const auto runof = [&](const route_t& rt) { return run_for(rt, q); };
+    const auto route = pinned ? pinned : coordinator_->route();
+    if (auto hit = cache_.find_count(
+            key, service::make_coverage(route->epoch, route->stamp,
+                                        runof(*route), route->versions))) {
+      return *hit;
+    }
+    FanPlan plan;
+    plan.pinned = pinned;
+    const Fanned f =
+        fan_out(wire_kind(q.kind), params, runof, [] {},
+                [](const point_t&) {}, /*for_cache=*/true, plan);
+    if (f.clean) {
+      cache_.put_count(key, f.cov, static_cast<std::size_t>(f.count));
+    } else {
+      ++torn_skips_;
+    }
+    return static_cast<std::size_t>(f.count);
+  }
+
+  // The fan-out core. Plans against the current route (or the plan's
+  // pinned route), issues one kQuery per owning node in parallel, streams
+  // decoded points into `emit` (thread-safe via the caller's concurrent
+  // sink), and accumulates count payloads. Shards reported missing
+  // (handoff raced the plan) re-route through the refreshed route; a shard
+  // key that vanished entirely (split/merge/load) restarts the whole plan
+  // with `reset` — except under a pin, where the fixed plan can never be
+  // satisfied again and the read fails as api::EpochRetired, as it does
+  // when any host reports a pinned version as retired.
   //
   // `for_cache` turns on the admission bookkeeping — coverage slicing and
   // piggyback-vs-plan validation. The uncached entry points skip it: they
@@ -556,10 +788,15 @@ class DistributedService {
           run_of,
       const std::function<void()>& reset,
       const std::function<void(const point_t&)>& emit,
-      bool for_cache = false) const {
+      bool for_cache = false, const FanPlan& plan = {}) const {
     PSI_TRACE_SPAN("client.fan_out");
+    const bool pinned = plan.pinned != nullptr;
+    if (pinned) {
+      pinned_reads_.fetch_add(1, std::memory_order_relaxed);
+      pinned_ctr_->inc();
+    }
     for (int attempt = 0; attempt < 8; ++attempt) {
-      const auto route = coordinator_->route();
+      const auto route = pinned ? plan.pinned : coordinator_->route();
       const auto run = run_of(*route);
       Fanned out;
       // Empty plan (degenerate query run / shardless route): the run is
@@ -583,20 +820,29 @@ class DistributedService {
 
       // The work list: (key, destination node), re-filled by re-routes.
       std::vector<std::pair<std::uint64_t, NodeId>> work;
-      // Sorted (key -> planned version) index for reply validation: a kNN
-      // plan spans every shard, so per-piggyback linear scans of the run
-      // would cost O(shards^2) per query.
+      // Sorted (key -> planned version) index: reply validation for cache
+      // admission, and the per-key expected versions a pinned request
+      // carries on the wire. A kNN plan spans every shard, so per-key
+      // linear scans of the run would cost O(shards^2) per query.
       std::vector<std::pair<std::uint64_t, std::uint64_t>> plan_versions;
       for (std::size_t i = run.first; i <= run.second; ++i) {
         work.emplace_back(route->keys[i], route->owners[i]);
-        if (for_cache) {
+        if (for_cache || pinned) {
           plan_versions.emplace_back(route->keys[i], route->versions[i]);
         }
       }
       std::sort(plan_versions.begin(), plan_versions.end());
+      const auto version_of = [&](std::uint64_t key) -> std::uint64_t {
+        const auto it = std::lower_bound(
+            plan_versions.begin(), plan_versions.end(),
+            std::pair<std::uint64_t, std::uint64_t>{key, 0});
+        return (it != plan_versions.end() && it->first == key) ? it->second
+                                                               : 0;
+      };
 
       std::atomic<std::uint64_t> count{0};
       std::atomic<bool> clean{true};
+      std::atomic<bool> any_retired{false};
       std::mutex miss_mu;
       std::vector<std::uint64_t> missing;
       bool restart = false;
@@ -630,12 +876,41 @@ class DistributedService {
             PSI_TRACE_SPAN("rpc.query");
             WireWriter w;
             w.put_u8(static_cast<std::uint8_t>(kind));
+            std::uint8_t flags = 0;
+            if (pinned) flags |= kQueryFlagPinned;
+            if (plan.stream) flags |= kQueryFlagStream;
+            w.put_u8(flags);
+            w.put_u32(kDefaultStreamChunkPoints);
+            w.put_u32(kDefaultStreamCredit);
             put_params(w);
             w.put_u32(static_cast<std::uint32_t>(sub.keys.size()));
-            for (std::uint64_t key : sub.keys) w.put_u64(key);
-            Message reply = expect_ok(
-                transport_.call(sub.node, std::move(w).finish(MsgType::kQuery)),
-                "query");
+            for (std::uint64_t key : sub.keys) {
+              w.put_u64(key);
+              w.put_u64(pinned ? version_of(key) : 0);
+            }
+            Message req = std::move(w).finish(MsgType::kQuery);
+            Message reply;
+            if (plan.stream) {
+              // Chunks decode straight into the sink as they arrive; each
+              // consumed chunk grants the host one more of credit (the
+              // transport sends the grant).
+              std::uint64_t local_chunks = 0;
+              reply = transport_.call_stream(
+                  sub.node, std::move(req), [&](Message chunk) {
+                    WireReader cr(chunk);
+                    const std::vector<point_t> pts =
+                        cr.template get_points<coord_t, kDim>();
+                    for (const point_t& p : pts) emit(p);
+                    ++local_chunks;
+                    return true;
+                  });
+              stream_chunks_.fetch_add(local_chunks,
+                                       std::memory_order_relaxed);
+              chunks_ctr_->inc(local_chunks);
+            } else {
+              reply = transport_.call(sub.node, std::move(req));
+            }
+            reply = expect_ok(std::move(reply), "query");
             WireReader r(reply);
             const std::uint32_t n_present = r.get_u32();
             for (std::uint32_t j = 0; j < n_present; ++j) {
@@ -644,7 +919,9 @@ class DistributedService {
               if (!for_cache) continue;  // piggyback read, not validated
               // Compare against the plan: any drift means a commit or
               // reload landed mid-fan-out — the result is still a valid
-              // read-committed answer, but must not be cached.
+              // read-committed answer, but must not be cached. (A pinned
+              // reply can never drift: hosts answer at the requested
+              // version or report the key retired.)
               const auto it = std::lower_bound(
                   plan_versions.begin(), plan_versions.end(),
                   std::pair<std::uint64_t, std::uint64_t>{key, 0});
@@ -659,6 +936,24 @@ class DistributedService {
               for (std::uint32_t j = 0; j < n_missing; ++j) {
                 missing.push_back(r.get_u64());
               }
+            }
+            const std::uint32_t n_retired = r.get_u32();
+            if (n_retired != 0) {
+              any_retired.store(true, std::memory_order_relaxed);
+              for (std::uint32_t j = 0; j < n_retired; ++j) {
+                (void)r.get_u64();  // keys are diagnostic only
+              }
+            }
+            if (reply.type == MsgType::kQueryDone) {
+              // Streamed reply: the points already flowed through
+              // on_chunk; the final frame carries the summary.
+              (void)r.get_u64();  // total points
+              (void)r.get_u64();  // chunk count (counted client-side)
+              const std::uint64_t waits = r.get_u64();
+              stream_backpressure_waits_.fetch_add(
+                  waits, std::memory_order_relaxed);
+              waits_ctr_->inc(waits);
+              return;
             }
             switch (kind) {
               case QueryKind::kRangeList:
@@ -677,6 +972,12 @@ class DistributedService {
           });
         }
         tasks.wait();
+        // Any pinned version past a host's retention horizon fails the
+        // whole read: the pinned state is no longer materialisable.
+        if (any_retired.load(std::memory_order_relaxed)) {
+          note_retired();
+          throw api::EpochRetired(route->epoch);
+        }
 
         // Re-route every missing shard through the freshest route; a key
         // that no longer exists anywhere means the topology changed under
@@ -696,11 +997,24 @@ class DistributedService {
               break;
             }
             work.emplace_back(key, fresh->owners[idx]);
-            clean.store(false, std::memory_order_relaxed);  // moved mid-plan
+            // A pinned re-route stays clean: the new owner must still
+            // answer at the planned content version or report it retired.
+            if (!pinned) {
+              clean.store(false, std::memory_order_relaxed);  // moved
+            }
           }
         }
       }
-      if (restart) continue;
+      if (restart) {
+        if (pinned) {
+          // The pinned route names a shard key that no longer exists
+          // anywhere (dissolved by a split/merge/load): the pinned state
+          // cannot be reassembled, now or on any retry.
+          note_retired();
+          throw api::EpochRetired(route->epoch);
+        }
+        continue;
+      }
       out.count = count.load(std::memory_order_relaxed);
       out.clean = clean.load(std::memory_order_relaxed);
       return out;
@@ -714,6 +1028,18 @@ class DistributedService {
   mutable std::mutex write_mu_;
   mutable service::QueryCache<coord_t, kDim> cache_;
   mutable std::atomic<std::uint64_t> torn_skips_{0};
+  mutable std::atomic<std::uint64_t> pinned_reads_{0};
+  mutable std::atomic<std::uint64_t> epoch_retired_errors_{0};
+  mutable std::atomic<std::uint64_t> stream_chunks_{0};
+  mutable std::atomic<std::uint64_t> stream_backpressure_waits_{0};
+  telemetry::Counter* pinned_ctr_ =
+      &telemetry::StatsRegistry::instance().counter("psi_pinned_reads");
+  telemetry::Counter* retired_ctr_ =
+      &telemetry::StatsRegistry::instance().counter("psi_epoch_retired_errors");
+  telemetry::Counter* chunks_ctr_ =
+      &telemetry::StatsRegistry::instance().counter("psi_stream_chunks");
+  telemetry::Counter* waits_ctr_ = &telemetry::StatsRegistry::instance()
+                                        .counter("psi_stream_backpressure_waits");
   DistributedConfig cfg_;
   double recovery_ms_ = 0;
   std::uint64_t last_topology_events_ = 0;

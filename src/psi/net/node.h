@@ -31,12 +31,17 @@
 //
 // Consistency contract (the distributed read path): each *shard* is
 // answered from exactly one host-published view — per-shard atomicity —
-// but a query fanning out across nodes may observe different commits on
-// different shards if a commit lands mid-fan-out (read-committed, not
-// snapshot isolation; the in-process Snapshot gives the stronger
-// guarantee). The piggybacked version vector makes this detectable: the
-// client only admits a result to its cache when every piggybacked version
-// matches the route view it planned with.
+// but a read-committed query fanning out across nodes may observe
+// different commits on different shards if a commit lands mid-fan-out.
+// The piggybacked version vector makes this detectable: the client only
+// admits a result to its cache when every piggybacked version matches the
+// route view it planned with. Pinned reads (wire v3) close the gap to
+// snapshot isolation: the client fans out the exact per-shard content
+// versions its pinned route names, and hosts answer each shard from
+// whichever retained publication still holds that version — the union is
+// the global state at the pinned epoch, by construction. A version past
+// the retention horizon comes back in the reply's retired list and
+// surfaces as api::EpochRetired.
 
 #pragma once
 
@@ -90,19 +95,30 @@ class ShardHost {
   // With `dur` armed, every kCommitBatch is appended to this node's local
   // WAL and fsync'd before the ack — the coordinator's commit cut relies
   // on an acked batch being on this host's durable media.
+  //
+  // `retained_epochs` > 1 keeps that many node-view publications alive so
+  // pinned reads (wire v3) can be answered at the exact shard versions a
+  // client's pinned route names, even after later commits replaced the
+  // live replicas. The store is switched to its retention-pinned grace
+  // discipline in that case (shard_store.h) so commits never block on the
+  // pinned replicas.
   ShardHost(NodeId id, Transport& transport, factory_t factory,
             bool pipelined_commits = true,
-            psi::durability::DurabilityConfig dur = {})
+            psi::durability::DurabilityConfig dur = {},
+            std::size_t retained_epochs = 1)
       : id_(id),
         transport_(transport),
         store_(std::move(factory), pipelined_commits),
+        retained_views_(retained_epochs),
         dur_(std::move(dur)) {
     store_.set_metrics(metrics_);
+    store_.set_retention_pinned(retained_epochs > 1);
     if (dur_.armed()) wal_.open(dur_.dir, dur_);
     publish();
-    transport_.bind(id_, [this](NodeId from, Message req) {
-      return handle(from, std::move(req));
-    });
+    transport_.bind_stream(
+        id_, [this](NodeId from, Message req, StreamWriter& stream) {
+          return handle(from, std::move(req), stream);
+        });
   }
 
   ~ShardHost() { transport_.unbind(id_); }
@@ -177,13 +193,13 @@ class ShardHost {
     std::shared_ptr<telemetry::ShardHeat::cells_t> heat;
   };
 
-  Message handle(NodeId /*from*/, Message req) {
+  Message handle(NodeId /*from*/, Message req, StreamWriter& stream) {
     try {
       switch (req.type) {
         case MsgType::kCommitBatch:
           return on_commit(req);
         case MsgType::kQuery:
-          return on_query(req);
+          return on_query(req, stream);
         case MsgType::kInstallShard:
           return on_install(req);
         case MsgType::kFetchShard:
@@ -292,14 +308,32 @@ class ShardHost {
     return std::move(w).finish(MsgType::kCommitAck);
   }
 
-  // kQuery: [u8 kind][params][u32 nkeys]{u64 key}* -> kQueryResult:
-  // [u32 n_present]{u64 key, u64 version}* [u32 n_missing]{u64 key}*
-  // [payload: points (list/knn) | u64 (count)]
-  // Lock-free: executes entirely against one acquired view.
-  Message on_query(Message& req) {
+  // kQuery (wire v3):
+  //   [u8 kind][u8 flags][u32 chunk_points][u32 credit][params]
+  //   [u32 nkeys]{u64 key, u64 version}*
+  // The version is the shard content version the caller's route expects;
+  // checked only when kQueryFlagPinned is set (read-committed callers send
+  // 0). Plain reply -> kQueryResult:
+  //   [u32 n_present]{u64 key, u64 version}* [u32 n_missing]{u64 key}*
+  //   [u32 n_retired]{u64 key}* [payload: points (list/knn) | u64 (count)]
+  // With kQueryFlagStream on a list kind, the payload instead flows as
+  // 0+ kQueryChunk frames of at most chunk_points points each (gated by
+  // the caller's credit window) and the final frame is kQueryDone:
+  //   [present/missing/retired as above]
+  //   [u64 total_points][u64 chunks][u64 backpressure_waits]
+  // Lock-free: executes entirely against acquired immutable views.
+  Message on_query(Message& req, StreamWriter& stream) {
     PSI_TRACE_SPAN("host.query");
     WireReader r(req);
     const auto kind = static_cast<QueryKind>(r.get_u8());
+    const std::uint8_t flags = r.get_u8();
+    const std::uint32_t chunk_points = r.get_u32();
+    const std::uint32_t credit = r.get_u32();
+    const bool pinned = (flags & kQueryFlagPinned) != 0;
+    const bool list_kind = kind == QueryKind::kRangeList ||
+                           kind == QueryKind::kBallList ||
+                           kind == QueryKind::kKnn;
+    const bool streamed = (flags & kQueryFlagStream) != 0 && list_kind;
     telemetry::ScopedTimer timer(&metrics_->read_hist(read_op_of(kind)));
     box_t box{};
     point_t q{};
@@ -321,43 +355,145 @@ class ShardHost {
         break;
     }
     const std::uint32_t nkeys = r.get_u32();
-    const std::shared_ptr<const view_t> view = view_slot_.acquire();
-    // Heat accounting: an entry's position in the view is its heat cell.
+    // The views this query may answer from: just the live publication, or
+    // — for a pinned read — every retained one, newest first. Each held
+    // shared_ptr pins its replicas for the whole execution (RCU).
+    std::vector<std::shared_ptr<const view_t>> views;
+    if (pinned) {
+      views = retained_views_.all();
+    } else {
+      views.push_back(view_slot_.acquire());
+    }
+    const view_t& newest = *views.front();
+    // Heat accounting tracks live traffic only: an entry's position in the
+    // current publication is its heat cell; pinned hits on older retained
+    // views don't count.
     const auto heat_of = [&](const Entry* e) {
-      telemetry::record_read(
-          view->heat,
-          static_cast<std::size_t>(e - view->entries.data()));
+      if (e >= newest.entries.data() &&
+          e < newest.entries.data() + newest.entries.size()) {
+        telemetry::record_read(
+            newest.heat, static_cast<std::size_t>(e - newest.entries.data()));
+      }
     };
-    // One sorted (key -> entry) index per request: a kNN fan-out asks for
-    // every hosted shard, so per-key linear scans over the view would be
-    // O(h^2) on the hot read path.
+    // One sorted (key -> entry) index over the newest view per request: a
+    // kNN fan-out asks for every hosted shard, so per-key linear scans
+    // would be O(h^2) on the hot read path. Older views (pinned fallback
+    // only, bounded retention depth) are scanned linearly.
     std::vector<std::pair<std::uint64_t, const Entry*>> by_key;
-    by_key.reserve(view->entries.size());
-    for (const Entry& e : view->entries) by_key.emplace_back(e.key, &e);
+    by_key.reserve(newest.entries.size());
+    for (const Entry& e : newest.entries) by_key.emplace_back(e.key, &e);
     std::sort(by_key.begin(), by_key.end());
     std::vector<const Entry*> present;
     std::vector<std::uint64_t> missing;
+    std::vector<std::uint64_t> retired;
     for (std::uint32_t i = 0; i < nkeys; ++i) {
       const std::uint64_t key = r.get_u64();
+      const std::uint64_t want_version = r.get_u64();
       const auto it = std::lower_bound(
           by_key.begin(), by_key.end(), key,
-          [](const auto& kv, std::uint64_t k) { return kv.first < k; });
-      if (it != by_key.end() && it->first == key) {
-        present.push_back(it->second);
+          [](const auto& kv, std::uint64_t kk) { return kv.first < kk; });
+      const Entry* live =
+          (it != by_key.end() && it->first == key) ? it->second : nullptr;
+      if (!pinned) {
+        if (live != nullptr) {
+          present.push_back(live);
+        } else {
+          missing.push_back(key);  // migrated away: the client re-routes
+        }
+        continue;
+      }
+      // Pinned: serve the exact content version the caller's route named,
+      // from whichever retained publication still holds it.
+      const Entry* found =
+          (live != nullptr && live->version == want_version) ? live : nullptr;
+      bool key_seen = live != nullptr;
+      for (std::size_t vi = 1; found == nullptr && vi < views.size(); ++vi) {
+        for (const Entry& e : views[vi]->entries) {
+          if (e.key != key) continue;
+          key_seen = true;
+          if (e.version == want_version) found = &e;
+          break;
+        }
+      }
+      if (found != nullptr) {
+        present.push_back(found);
+      } else if (key_seen) {
+        retired.push_back(key);  // version fell off the retention horizon
       } else {
         missing.push_back(key);  // migrated away: the client re-routes
       }
     }
 
-    WireWriter w;
-    w.put_u32(static_cast<std::uint32_t>(present.size()));
-    for (const Entry* e : present) {
-      w.put_u64(e->key);
-      w.put_u64(e->version);
-    }
-    w.put_u32(static_cast<std::uint32_t>(missing.size()));
-    for (std::uint64_t key : missing) w.put_u64(key);
+    const auto put_keysets = [&](WireWriter& w) {
+      w.put_u32(static_cast<std::uint32_t>(present.size()));
+      for (const Entry* e : present) {
+        w.put_u64(e->key);
+        w.put_u64(e->version);
+      }
+      w.put_u32(static_cast<std::uint32_t>(missing.size()));
+      for (std::uint64_t key : missing) w.put_u64(key);
+      w.put_u32(static_cast<std::uint32_t>(retired.size()));
+      for (std::uint64_t key : retired) w.put_u64(key);
+    };
 
+    // Streamed list reply: points leave in bounded chunks as the scan
+    // produces them — the reply buffer never holds more than one chunk —
+    // and the summary rides in the final kQueryDone frame.
+    if (streamed) {
+      stream.arm(credit == 0 ? kDefaultStreamCredit : credit);
+      const std::size_t cap =
+          chunk_points == 0 ? kDefaultStreamChunkPoints : chunk_points;
+      std::vector<point_t> buf;
+      buf.reserve(cap);
+      std::uint64_t total = 0;
+      std::uint64_t chunks = 0;
+      bool open = true;
+      const auto flush = [&] {
+        if (buf.empty() || !open) return;
+        WireWriter cw;
+        cw.put_points(buf);
+        open = stream.send(std::move(cw).finish(MsgType::kQueryChunk));
+        if (open) ++chunks;
+        buf.clear();
+      };
+      const auto emit = [&](const point_t& p) {
+        if (!open) return;  // receiver gone / aborted: stop buffering
+        ++total;
+        buf.push_back(p);
+        if (buf.size() >= cap) flush();
+      };
+      switch (kind) {
+        case QueryKind::kRangeList:
+          for (const Entry* e : present) {
+            heat_of(e);
+            e->index->range_visit(box, emit);
+          }
+          break;
+        case QueryKind::kBallList:
+          for (const Entry* e : present) {
+            heat_of(e);
+            e->index->ball_visit(q, radius, emit);
+          }
+          break;
+        case QueryKind::kKnn:
+          for (const auto& entry : knn_local(present, q, k, heat_of)) {
+            emit(entry);
+          }
+          break;
+        default:
+          break;
+      }
+      flush();
+      WireWriter w;
+      put_keysets(w);
+      w.put_u64(total);
+      w.put_u64(chunks);
+      w.put_u64(stream.backpressure_waits());
+      return std::move(w).finish(MsgType::kQueryDone);
+    }
+
+    WireWriter w;
+    put_keysets(w);
     switch (kind) {
       case QueryKind::kRangeList: {
         std::vector<point_t> out;
@@ -398,45 +534,52 @@ class ShardHost {
         break;
       }
       case QueryKind::kKnn: {
-        // Node-local top-k across the hosted shards, nearest shard first
-        // with root-box pruning — the same walk Snapshot::knn_visit_seq
-        // does over a view. The client merges the per-node top-k lists.
-        struct Cand {
-          double dist2;
-          const Entry* e;
-        };
-        std::vector<Cand> order;
-        order.reserve(present.size());
-        std::uint64_t population = 0;
-        for (const Entry* e : present) {
-          population += e->index->size();
-          if (e->index->size() == 0) continue;
-          order.push_back(Cand{min_squared_distance(e->index->bounds(), q), e});
-        }
-        std::sort(order.begin(), order.end(),
-                  [](const Cand& a, const Cand& b) { return a.dist2 < b.dist2; });
-        // Clamp k to the queried population before anything reserves:
-        // this node can never return more candidates than it holds, and a
-        // corrupt frame's k = 2^60 must not turn into a huge allocation
-        // (same discipline as the reader's count checks, wire.h).
-        const auto keff =
-            static_cast<std::size_t>(std::min<std::uint64_t>(k, population));
-        KnnBuffer<point_t> buf(keff);
-        for (const Cand& c : order) {
-          if (buf.full() && c.dist2 >= buf.worst()) break;
-          heat_of(c.e);  // heat counts shards actually searched
-          c.e->index->knn_visit(q, keff, [&](const point_t& p) {
-            buf.offer(squared_distance(p, q), p);
-          });
-        }
-        std::vector<point_t> out;
-        out.reserve(buf.sorted().size());
-        for (const auto& entry : buf.sorted()) out.push_back(entry.point);
-        w.put_points(out);
+        w.put_points(knn_local(present, q, k, heat_of));
         break;
       }
     }
     return std::move(w).finish(MsgType::kQueryResult);
+  }
+
+  // Node-local top-k across the given shard entries, nearest shard first
+  // with root-box pruning — the same walk Snapshot::knn_visit_seq does
+  // over a view. The client merges the per-node top-k lists.
+  template <typename HeatFn>
+  std::vector<point_t> knn_local(const std::vector<const Entry*>& present,
+                                 const point_t& q, std::uint64_t k,
+                                 const HeatFn& heat_of) const {
+    struct Cand {
+      double dist2;
+      const Entry* e;
+    };
+    std::vector<Cand> order;
+    order.reserve(present.size());
+    std::uint64_t population = 0;
+    for (const Entry* e : present) {
+      population += e->index->size();
+      if (e->index->size() == 0) continue;
+      order.push_back(Cand{min_squared_distance(e->index->bounds(), q), e});
+    }
+    std::sort(order.begin(), order.end(),
+              [](const Cand& a, const Cand& b) { return a.dist2 < b.dist2; });
+    // Clamp k to the queried population before anything reserves: this
+    // node can never return more candidates than it holds, and a corrupt
+    // frame's k = 2^60 must not turn into a huge allocation (same
+    // discipline as the reader's count checks, wire.h).
+    const auto keff =
+        static_cast<std::size_t>(std::min<std::uint64_t>(k, population));
+    KnnBuffer<point_t> buf(keff);
+    for (const Cand& c : order) {
+      if (buf.full() && c.dist2 >= buf.worst()) break;
+      heat_of(c.e);  // heat counts shards actually searched
+      c.e->index->knn_visit(q, keff, [&](const point_t& p) {
+        buf.offer(squared_distance(p, q), p);
+      });
+    }
+    std::vector<point_t> out;
+    out.reserve(buf.sorted().size());
+    for (const auto& entry : buf.sorted()) out.push_back(entry.point);
+    return out;
   }
 
   // kInstallShard: [u64 key][u64 version][u64 factory_id][points]
@@ -578,6 +721,11 @@ class ShardHost {
     for (std::size_t i = 0; i < keys_.size(); ++i) {
       v->entries.push_back(Entry{keys_[i], versions_[i], store_.live(i)});
     }
+    // The ring is keyed by publication sequence, not commit epoch: pinned
+    // lookups match on (shard key, content version), which is what the
+    // client's pinned route names — host publications and coordinator
+    // epochs deliberately need no alignment.
+    retained_views_.retain(++publish_seq_, v);
     view_slot_.publish(std::move(v));
   }
 
@@ -591,6 +739,8 @@ class ShardHost {
   std::vector<std::uint64_t> keys_;      // parallel to store_ slots
   std::vector<std::uint64_t> versions_;  // parallel to store_ slots
   service::SnapshotSlot<view_t> view_slot_;
+  service::RetainedViews<view_t> retained_views_;
+  std::uint64_t publish_seq_ = 0;
   // Telemetry: the host's histogram bundle (shared with the store's replay
   // tasks) and the per-shard heat, keyed by stable shard key and realigned
   // at every publication.
@@ -668,7 +818,8 @@ class Coordinator {
   Coordinator(Transport& transport, std::vector<NodeId> nodes,
               DistributedConfig cfg = {})
       : transport_(transport), nodes_(std::move(nodes)), cfg_(cfg),
-        dir_(std::max<std::size_t>(1, cfg.initial_shards)) {
+        dir_(std::max<std::size_t>(1, cfg.initial_shards)),
+        retained_routes_(cfg.retained_epochs) {
     if (nodes_.empty()) {
       throw TransportError("coordinator needs at least one node");
     }
@@ -688,6 +839,14 @@ class Coordinator {
 
   // Lock-free route acquisition for query clients.
   std::shared_ptr<const route_t> route() const { return route_slot_.acquire(); }
+
+  // The route as of a past publication epoch, if still within the
+  // retention window (cfg.retained_epochs deep); nullptr once retired.
+  // Routes are small metadata — retaining them costs nothing next to the
+  // host-side replica retention they pair with.
+  std::shared_ptr<const route_t> route_at(std::uint64_t epoch) const {
+    return retained_routes_.at(epoch);
+  }
 
   std::uint64_t epoch() const { return epoch_.current(); }
 
@@ -1092,6 +1251,7 @@ class Coordinator {
     v->versions = dir_.versions();
     v->owners = dir_.owners();
     for (std::size_t s : sizes_) v->total_points += s;
+    retained_routes_.retain(next, v);
     route_slot_.publish(std::move(v));
     epoch_.advance();
     return next;
@@ -1107,6 +1267,7 @@ class Coordinator {
   std::map<std::uint64_t, std::size_t> unsplittable_at_;
   service::EpochCounter epoch_;
   service::SnapshotSlot<route_t> route_slot_;
+  service::RetainedViews<route_t> retained_routes_;
   CoordinatorStats stats_;
   // Durability: the commit-cut marker log (see ctor comment).
   psi::durability::WalWriter marker_wal_;

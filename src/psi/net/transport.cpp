@@ -97,16 +97,88 @@ void close_quietly(int fd) {
   if (fd >= 0) ::close(fd);
 }
 
+// Is a full-or-partial frame already buffered on `fd`? (Zero-timeout poll —
+// never blocks.) Used to batch small pipelined requests at the wire: the
+// server drains what a client already sent before returning to its poll
+// loop.
+bool bytes_pending(int fd) {
+  pollfd p{fd, POLLIN, 0};
+  return ::poll(&p, 1, 0) > 0 && (p.revents & POLLIN) != 0;
+}
+
+// Server-side stream channel: chunk frames go out on the request's own
+// connection, gated by the credit window the client granted in the request
+// (and tops up with kQueryCredit frames as it consumes chunks). A send()
+// with no credit blocks reading the connection until a grant arrives —
+// SO_RCVTIMEO (5s) bounds how long a stalled client can pin the server
+// thread before the stream fails and the connection is dropped.
+class TcpStreamWriter final : public StreamWriter {
+ public:
+  explicit TcpStreamWriter(int fd) : fd_(fd) {}
+
+  bool send(const Message& m) override {
+    if (failed_) return false;
+    try {
+      if (armed_ && credit_ == 0) await_credit();
+      write_frame(fd_, m);
+      if (armed_) --credit_;
+    } catch (const std::exception&) {
+      failed_ = true;
+    }
+    return !failed_;
+  }
+
+  void arm(std::uint32_t credit) override {
+    armed_ = true;
+    credit_ = credit;
+  }
+
+  std::uint64_t backpressure_waits() const override { return waits_; }
+
+  // A failed stream leaves the connection mid-protocol; the caller must
+  // drop it rather than write a final frame the client would misparse.
+  bool failed() const { return failed_; }
+  bool streamed() const { return armed_; }
+
+ private:
+  void await_credit() {
+    ++waits_;
+    while (credit_ == 0) {
+      Message m;
+      if (!read_frame(fd_, m)) {
+        throw TransportError("peer closed mid-stream");
+      }
+      if (m.type != MsgType::kQueryCredit) {
+        throw TransportError("expected credit frame mid-stream");
+      }
+      credit_ += WireReader(m).get_u32();
+    }
+  }
+
+  int fd_;
+  bool armed_ = false;
+  bool failed_ = false;
+  std::uint32_t credit_ = 0;
+  std::uint64_t waits_ = 0;
+};
+
 }  // namespace
 
 struct TcpTransport::Server {
   NodeId id = 0;
   int listen_fd = -1;
   std::uint16_t port = 0;
-  handler_t handler;
+  stream_handler_t handler;
   std::atomic<bool> stop{false};
   std::thread thread;
   std::vector<int> conns;
+
+  // Frames served per poll wakeup of one connection before yielding back
+  // to the poll loop — lets a burst of small pipelined requests (or stale
+  // credit grants left over from a finished stream) drain in one visit
+  // instead of one 50ms-bounded poll round each, without starving other
+  // connections.
+  static constexpr int kMaxBatchPerVisit = 16;
 
   void run() {
     while (!stop.load(std::memory_order_acquire)) {
@@ -137,7 +209,12 @@ struct TcpTransport::Server {
       for (std::size_t i = 1; i < fds.size(); ++i) {
         if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
         const int fd = fds[i].fd;
-        if (!serve_one(fd)) {
+        bool alive = true;
+        int served = 0;
+        do {
+          alive = serve_one(fd);
+        } while (alive && ++served < kMaxBatchPerVisit && bytes_pending(fd));
+        if (!alive) {
           close_quietly(fd);
           conns.erase(std::find(conns.begin(), conns.end(), fd));
         }
@@ -157,12 +234,18 @@ struct TcpTransport::Server {
     } catch (const std::exception&) {
       return false;  // torn frame / protocol mismatch: drop the connection
     }
+    // A credit grant the stream's writer never had to read (the producer
+    // finished without blocking) arrives here after the stream is done:
+    // not a request, just skip it.
+    if (req.type == MsgType::kQueryCredit) return true;
+    TcpStreamWriter stream(fd);
     Message reply;
     try {
-      reply = handler(Transport::kUnknownPeer, std::move(req));
+      reply = handler(Transport::kUnknownPeer, std::move(req), stream);
     } catch (const std::exception& e) {
       reply = make_error(e.what());
     }
+    if (stream.failed()) return false;  // mid-stream break: unrecoverable
     try {
       write_frame(fd, reply);
     } catch (const std::exception&) {
@@ -176,7 +259,7 @@ TcpTransport::TcpTransport() = default;
 
 TcpTransport::~TcpTransport() { shutdown(); }
 
-void TcpTransport::bind(NodeId node, handler_t handler) {
+void TcpTransport::bind_stream(NodeId node, stream_handler_t handler) {
   auto server = std::make_unique<Server>();
   server->id = node;
   server->handler = std::move(handler);
@@ -290,6 +373,16 @@ int TcpTransport::connect_to(const Peer& peer) const {
 }
 
 Message TcpTransport::call(NodeId dest, Message req) {
+  return do_call(dest, std::move(req), nullptr);
+}
+
+Message TcpTransport::call_stream(NodeId dest, Message req,
+                                  const chunk_cb_t& on_chunk) {
+  return do_call(dest, std::move(req), &on_chunk);
+}
+
+Message TcpTransport::do_call(NodeId dest, Message req,
+                              const chunk_cb_t* on_chunk) {
   int fd = -1;
   bool from_pool = false;
   Peer peer_copy;
@@ -310,36 +403,66 @@ Message TcpTransport::call(NodeId dest, Message req) {
   }
   if (fd < 0) fd = connect_to(peer_copy);
 
+  // Send the request and consume the reply: intermediate chunk frames go
+  // to on_chunk (each consumed chunk grants the peer one more of credit),
+  // the first non-chunk frame is the result. `delivered` marks the point
+  // of no retry. `abandoned` = on_chunk asked to stop: the connection is
+  // mid-stream and must be closed, but the call itself succeeds.
+  bool delivered = false;
+  bool abandoned = false;
+  auto exchange = [&](int xfd) -> Message {
+    write_frame(xfd, req);
+    for (;;) {
+      Message m;
+      if (!read_frame(xfd, m)) {
+        throw TransportError("peer closed connection before replying");
+      }
+      if (!is_stream_chunk(m.type)) return m;
+      if (on_chunk == nullptr) {
+        throw TransportError("unexpected stream chunk on a plain call");
+      }
+      delivered = true;
+      if (!(*on_chunk)(std::move(m))) {
+        abandoned = true;
+        return Message{MsgType::kOk, {}};
+      }
+      WireWriter grant;
+      grant.put_u32(1);
+      write_frame(xfd, std::move(grant).finish(MsgType::kQueryCredit));
+    }
+  };
+
   Message reply;
   try {
-    write_frame(fd, req);
-    if (!read_frame(fd, reply)) {
-      throw TransportError("peer closed connection before replying");
-    }
+    reply = exchange(fd);
   } catch (...) {
     close_quietly(fd);
     // A pooled connection may have died while idle (peer dropped it, RST
     // on a long-idle socket): one retry on a *fresh* connection before
-    // failing the caller — but ONLY for idempotent messages. A commit
+    // failing the caller — but ONLY for idempotent messages, and ONLY if
+    // no chunk reached on_chunk yet (a consumer that already saw part of
+    // the stream must not see the stream restart from the top). A commit
     // batch may have been applied before the ack was lost; re-sending it
     // would double-apply the updates, so its failure must surface to the
     // coordinator (whose partial-commit path republishes the route) for
     // at-most-once semantics. Queries, fetches, installs (replace by
     // key+version), drops, and stats are all safe to repeat.
     const bool idempotent = req.type != MsgType::kCommitBatch;
-    if (!from_pool || !idempotent) throw;
+    if (!from_pool || !idempotent || delivered) throw;
     fd = connect_to(peer_copy);
     try {
-      write_frame(fd, req);
-      if (!read_frame(fd, reply)) {
-        throw TransportError("peer closed connection before replying");
-      }
+      reply = exchange(fd);
     } catch (...) {
       close_quietly(fd);
       throw;
     }
   }
 
+  if (abandoned) {
+    // Undrained stream left on the wire: the connection cannot be pooled.
+    close_quietly(fd);
+    return reply;
+  }
   {
     std::lock_guard<std::mutex> g(mu_);
     auto it = peers_.find(dest);

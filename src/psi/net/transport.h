@@ -49,27 +49,77 @@ namespace psi::net {
 
 using service::NodeId;
 
+// Per-call channel a *streaming* handler pushes intermediate frames
+// through before returning its final reply (the v3 chunked query replies,
+// wire.h). The transport owns the concrete writer: over TCP, send() writes
+// a frame to the caller's connection and blocks while the stream is out of
+// credit (the caller grants more with kQueryCredit frames); over loopback,
+// send() invokes the caller's chunk callback synchronously and credit
+// never applies. Handlers that never stream simply ignore the writer.
+class StreamWriter {
+ public:
+  virtual ~StreamWriter() = default;
+
+  // Send one intermediate frame to the caller. False = the receiver
+  // aborted the stream (or the connection died); the handler should stop
+  // producing and return its final frame normally.
+  virtual bool send(const Message& m) = 0;
+
+  // Enable credit accounting with this initial window (decoded from the
+  // request by the handler). An unarmed writer never blocks.
+  virtual void arm(std::uint32_t credit) { (void)credit; }
+
+  // How many times send() blocked waiting for a credit grant.
+  virtual std::uint64_t backpressure_waits() const { return 0; }
+};
+
 class Transport {
  public:
   // A node's request handler: full Message in, reply Message out. `from`
   // identifies the calling node when known (loopback tracks it; TCP peers
   // are identified by connection, reported as kUnknownPeer).
   using handler_t = std::function<Message(NodeId from, Message req)>;
+  // The streaming-capable handler shape every node is bound with
+  // internally: plain handlers are adapted by bind() below and never see
+  // the writer.
+  using stream_handler_t =
+      std::function<Message(NodeId from, Message req, StreamWriter& stream)>;
+  // Client-side chunk consumer for call_stream: invoked per intermediate
+  // frame in arrival order; returning true grants the stream one more
+  // chunk of credit, false abandons the stream.
+  using chunk_cb_t = std::function<bool(Message chunk)>;
 
   static constexpr NodeId kUnknownPeer = ~NodeId{0};
 
   virtual ~Transport() = default;
 
   // Host `node` on this fabric. Must not already be bound.
-  virtual void bind(NodeId node, handler_t handler) = 0;
+  void bind(NodeId node, handler_t handler) {
+    bind_stream(node, [h = std::move(handler)](NodeId from, Message req,
+                                               StreamWriter&) {
+      return h(from, std::move(req));
+    });
+  }
+
+  // Host `node` with a handler that may stream intermediate frames.
+  virtual void bind_stream(NodeId node, stream_handler_t handler) = 0;
 
   // Stop serving `node` (its handler will not be invoked again once this
   // returns). In-flight handler executions complete first.
   virtual void unbind(NodeId node) = 0;
 
   // Deliver one request to `dest` and block for the reply. Throws
-  // TransportError if the destination is unknown or unreachable.
+  // TransportError if the destination is unknown or unreachable (or if
+  // the peer streams chunks at a call that did not ask for them).
   virtual Message call(NodeId dest, Message req) = 0;
+
+  // Deliver one request and consume its streamed reply: every
+  // intermediate chunk frame (wire.h is_stream_chunk) lands in `on_chunk`
+  // in order, and the first non-chunk frame ends the call and is
+  // returned. If on_chunk returns false the stream is abandoned (over TCP
+  // the connection is closed) and an empty kOk message returned.
+  virtual Message call_stream(NodeId dest, Message req,
+                              const chunk_cb_t& on_chunk) = 0;
 
   // Calling-node identity stamped on loopback requests (optional;
   // diagnostic only).
@@ -90,7 +140,7 @@ struct TransportError : std::runtime_error {
 
 class LoopbackTransport final : public Transport {
  public:
-  void bind(NodeId node, handler_t handler) override {
+  void bind_stream(NodeId node, stream_handler_t handler) override {
     std::lock_guard<std::mutex> g(mu_);
     auto& slot = nodes_[node];
     if (slot != nullptr) {
@@ -122,10 +172,51 @@ class LoopbackTransport final : public Transport {
   }
 
   Message call(NodeId dest, Message req) override {
-    return call_from(kUnknownPeer, dest, std::move(req));
+    return invoke(kUnknownPeer, dest, std::move(req), nullptr);
   }
 
   Message call_from(NodeId src, NodeId dest, Message req) override {
+    return invoke(src, dest, std::move(req), nullptr);
+  }
+
+  Message call_stream(NodeId dest, Message req,
+                      const chunk_cb_t& on_chunk) override {
+    return invoke(kUnknownPeer, dest, std::move(req), &on_chunk);
+  }
+
+ private:
+  struct Slot {
+    stream_handler_t handler;
+    std::atomic<int> active{0};  // handler executions in flight
+  };
+
+  // Chunks are delivered synchronously on the caller's thread, so credit
+  // accounting is moot (the consumer is always caught up by construction)
+  // and backpressure_waits stays 0.
+  class CallbackStreamWriter final : public StreamWriter {
+   public:
+    explicit CallbackStreamWriter(const chunk_cb_t* cb) : cb_(cb) {}
+    bool send(const Message& m) override {
+      if (cb_ == nullptr) {
+        throw TransportError("loopback: streamed reply on a plain call");
+      }
+      if (aborted_) return false;
+      if (!(*cb_)(m)) {
+        aborted_ = true;
+        return false;
+      }
+      return true;
+    }
+
+    bool aborted() const { return aborted_; }
+
+   private:
+    const chunk_cb_t* cb_;
+    bool aborted_ = false;
+  };
+
+  Message invoke(NodeId src, NodeId dest, Message req,
+                 const chunk_cb_t* on_chunk) {
     std::shared_ptr<Slot> slot;
     {
       std::lock_guard<std::mutex> g(mu_);
@@ -140,16 +231,15 @@ class LoopbackTransport final : public Transport {
       Slot& slot;
       ~ActiveGuard() { slot.active.fetch_sub(1, std::memory_order_acq_rel); }
     } guard{*slot};
+    CallbackStreamWriter stream(on_chunk);
     // Zero-copy delivery: the encoded payload moves through untouched, on
     // the caller's thread.
-    return slot->handler(src, std::move(req));
+    Message reply = slot->handler(src, std::move(req), stream);
+    // Same contract as TCP: an abandoned stream yields the empty kOk
+    // sentinel, not the producer's final frame.
+    if (stream.aborted()) return Message{MsgType::kOk, {}};
+    return reply;
   }
-
- private:
-  struct Slot {
-    handler_t handler;
-    std::atomic<int> active{0};  // handler executions in flight
-  };
 
   std::mutex mu_;
   std::map<NodeId, std::shared_ptr<Slot>> nodes_;
@@ -173,9 +263,11 @@ class TcpTransport final : public Transport {
   TcpTransport(const TcpTransport&) = delete;
   TcpTransport& operator=(const TcpTransport&) = delete;
 
-  void bind(NodeId node, handler_t handler) override;
+  void bind_stream(NodeId node, stream_handler_t handler) override;
   void unbind(NodeId node) override;
   Message call(NodeId dest, Message req) override;
+  Message call_stream(NodeId dest, Message req,
+                      const chunk_cb_t& on_chunk) override;
 
   // Address book for destinations not bound through this instance (other
   // processes / machines).
@@ -198,6 +290,7 @@ class TcpTransport final : public Transport {
   };
 
   int connect_to(const Peer& peer) const;
+  Message do_call(NodeId dest, Message req, const chunk_cb_t* on_chunk);
 
   mutable std::mutex mu_;
   std::map<NodeId, std::unique_ptr<Server>> servers_;

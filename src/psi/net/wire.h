@@ -42,7 +42,10 @@ namespace psi::net {
 
 inline constexpr std::uint16_t kWireMagic = 0x5057;  // "PW"
 // v2: kTelemetry/kTelemetryReply (cluster-wide stats aggregation).
-inline constexpr std::uint16_t kWireVersion = 2;
+// v3: pinned-epoch reads (kQuery carries consistency + per-shard pinned
+//     versions, kQueryResult a retired-key list) and streamed list replies
+//     (kQueryChunk/kQueryDone/kQueryCredit, credit-based backpressure).
+inline constexpr std::uint16_t kWireVersion = 3;
 
 // One message kind per request/response the distributed service speaks.
 enum class MsgType : std::uint8_t {
@@ -60,7 +63,32 @@ enum class MsgType : std::uint8_t {
   kStatReply = 11,
   kTelemetry = 12,   // client -> host: read/stage histograms + shard heat
   kTelemetryReply = 13,
+  // Streamed list replies (v3). A streamed kQuery answers with zero or
+  // more kQueryChunk frames (each a bounded batch of points) followed by
+  // exactly one kQueryDone carrying the version piggyback and the stream
+  // totals — the end-of-stream marker. kQueryCredit flows the other way:
+  // the client grants the host permission to send more chunks (see
+  // transport.h for the credit protocol).
+  kQueryChunk = 14,   // host -> client: [points] (put_points)
+  kQueryDone = 15,    // host -> client: piggyback + totals (see node.h)
+  kQueryCredit = 16,  // client -> host: [u32 chunks granted]
 };
+
+// True for the intermediate frames of a streamed reply — everything else
+// terminates a call. The transport layer keys its read loop on this.
+inline constexpr bool is_stream_chunk(MsgType t) {
+  return t == MsgType::kQueryChunk;
+}
+
+// Streaming defaults: chunk granularity (points per kQueryChunk — bounds
+// the host's per-reply buffering) and the initial credit window (chunks in
+// flight before the host must wait for a kQueryCredit grant).
+inline constexpr std::uint32_t kDefaultStreamChunkPoints = 8192;
+inline constexpr std::uint32_t kDefaultStreamCredit = 4;
+
+// kQuery flag bits (v3).
+inline constexpr std::uint8_t kQueryFlagPinned = 1;  // versions are pinned
+inline constexpr std::uint8_t kQueryFlagStream = 2;  // chunked list reply
 
 // Query kinds inside a kQuery payload.
 enum class QueryKind : std::uint8_t {

@@ -41,6 +41,19 @@
 // shards in one service — and shard split/merge migrates points across
 // backend types.
 //
+// The redesigned read surface (psi::api, src/psi/api/read_options.h): one
+// entry point on every read facade —
+//
+//   query(QueryDesc, ReadOptions, Sink&)
+//
+// QueryDesc names the shape (range/ball list or count, knn), ReadOptions
+// names the consistency point (ReadCommitted, or PinnedEpoch(e) against a
+// bounded ring of retained views — past the horizon raises EpochRetired),
+// the cache policy, and wire streaming (v3 kQueryChunk frames under
+// credit-based backpressure on the distributed facade). The historical
+// range_list / ball_count_cached / knn... method zoo survives as thin
+// adapters over query(). See README "Read consistency & streaming".
+//
 // Substrates: psi::parallel (fork-join scheduler + primitives), psi::sfc
 // (Morton/Hilbert codecs), psi::datagen (paper workload generators).
 //
@@ -57,6 +70,7 @@
 #include "psi/api/concepts.h"
 #include "psi/api/conformance.h"
 #include "psi/api/query.h"
+#include "psi/api/read_options.h"
 #include "psi/api/registry.h"
 #include "psi/baselines/brute_force.h"
 #include "psi/baselines/log_structured.h"

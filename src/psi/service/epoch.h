@@ -17,9 +17,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 namespace psi::service {
 
@@ -81,6 +83,71 @@ class SnapshotSlot {
 
   mutable SpinLock lock_;
   std::shared_ptr<const T> current_;
+};
+
+// Bounded ring of recently published views, keyed by epoch: the retention
+// half of pinned-epoch reads (api::ReadOptions). The writer retains every
+// published view; once the ring exceeds its depth the *oldest entry is
+// dropped* — retention never blocks the committer. Dropping an entry only
+// releases a reference: a pinned reader that acquired the view earlier
+// keeps it alive through its own shared_ptr (the usual RCU discipline);
+// what a dropped epoch loses is *discoverability* — at() returns nullptr
+// and the service surfaces EpochRetired.
+//
+// Note the write-path cost of depth > 1: a retained view pins the replica
+// that the ping-pong writer would otherwise recycle as its standby, so
+// every commit to a recently-touched shard rebuilds the standby instead of
+// replaying onto it (`replica_rebuilds` in stats). That is the honest price
+// of multi-version reads on a two-replica store; depth 1 (the default)
+// retains only the live view and leaves the write path untouched.
+template <typename T>
+class RetainedViews {
+ public:
+  explicit RetainedViews(std::size_t depth = 1) : depth_(depth ? depth : 1) {}
+
+  std::size_t depth() const { return depth_; }
+
+  // Writer side: remember `view` as the publication of `epoch`, evicting
+  // the oldest entry beyond the depth. Epochs must be retained in
+  // increasing order (they are: publication is serialised).
+  void retain(std::uint64_t epoch, std::shared_ptr<const T> view) {
+    std::lock_guard<std::mutex> g(mu_);
+    ring_.push_back(Slot{epoch, std::move(view)});
+    while (ring_.size() > depth_) ring_.pop_front();
+  }
+
+  // Reader side: the retained view of exactly `epoch`, or nullptr if it
+  // was never retained / already evicted.
+  std::shared_ptr<const T> at(std::uint64_t epoch) const {
+    std::lock_guard<std::mutex> g(mu_);
+    for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+      if (it->epoch == epoch) return it->view;
+      if (it->epoch < epoch) break;  // ring is sorted by epoch
+    }
+    return nullptr;
+  }
+
+  // Reader side: every retained view, newest first (the distributed host
+  // searches these for an exact shard-version match, see node.h).
+  std::vector<std::shared_ptr<const T>> all() const {
+    std::lock_guard<std::mutex> g(mu_);
+    std::vector<std::shared_ptr<const T>> out;
+    out.reserve(ring_.size());
+    for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+      out.push_back(it->view);
+    }
+    return out;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t epoch;
+    std::shared_ptr<const T> view;
+  };
+
+  mutable std::mutex mu_;
+  std::deque<Slot> ring_;
+  std::size_t depth_;
 };
 
 // Reclamation guard: wait until `handle` is the only remaining reference

@@ -103,6 +103,14 @@ struct ServiceConfig {
   // bytes are answered but not cached.
   std::size_t cache_entries = 16;
   std::size_t cache_max_entry_bytes = std::size_t{1} << 20;
+  // Pinned-epoch read retention (api::ReadOptions::pinned): how many
+  // published views stay reachable by epoch. 1 (the default) retains only
+  // the live view — pinning works for the current epoch and the write path
+  // is untouched. Depths > 1 enable "query as of epoch E" over the last N
+  // epochs at the cost of a standby-replica rebuild per commit on
+  // recently-touched shards (see epoch.h, RetainedViews). Reads past the
+  // horizon raise api::EpochRetired; retention never blocks the committer.
+  std::size_t retained_epochs = 1;
   // Durability (durability/durability.h): off by default — no WAL, no
   // checkpoints, zero write-path overhead beyond one untaken branch.
   psi::durability::DurabilityConfig durability{};
@@ -141,14 +149,24 @@ class GroupCommitter {
   GroupCommitter(ServiceConfig cfg, factory_t factory)
       : cfg_(cfg),
         dir_(std::max<std::size_t>(1, cfg.initial_shards)),
-        store_(std::move(factory), cfg.pipelined_commits) {
+        store_(std::move(factory), cfg.pipelined_commits),
+        retained_(cfg.retained_epochs) {
     store_.set_metrics(metrics_);
+    store_.set_retention_pinned(cfg.retained_epochs > 1);
     store_.init_empty(dir_.num_shards());
     publish();
   }
 
   // Reader entry point: pin the current view.
   std::shared_ptr<const view_t> acquire() const { return slot_.acquire(); }
+
+  // Pinned-read entry point: the retained view of exactly `epoch`, or
+  // nullptr when it fell off the retention horizon (the caller surfaces
+  // api::EpochRetired). Every published epoch is retained, so with the
+  // default depth 1 this answers only the current epoch.
+  std::shared_ptr<const view_t> acquire_at(std::uint64_t epoch) const {
+    return retained_.at(epoch);
+  }
 
   // Cheap observers: one relaxed atomic load each, no epoch pin, no
   // replica refcount traffic — the values of the last published view.
@@ -504,6 +522,7 @@ class GroupCommitter {
     // sees epoch()/size() report commit N is guaranteed snapshot() returns
     // view N or newer, never older (the converse — a snapshot briefly
     // newer than epoch() — is benign: both are monotone).
+    retained_.retain(next, v);
     slot_.publish(std::move(v));
     epoch_.advance();
     published_size_.store(total, std::memory_order_relaxed);
@@ -519,6 +538,8 @@ class GroupCommitter {
   store_t store_;
   EpochCounter epoch_;
   SnapshotSlot<view_t> slot_;
+  // Epoch-keyed retention ring behind acquire_at (pinned reads).
+  RetainedViews<view_t> retained_;
   ServiceStats stats_;
   // Telemetry: the histogram bundle (shared with the store's replay tasks
   // and every published view) and the per-shard heat accounting.

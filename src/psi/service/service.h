@@ -54,6 +54,7 @@
 #include <utility>
 #include <vector>
 
+#include "psi/api/read_options.h"
 #include "psi/durability/checkpoint.h"
 #include "psi/durability/recovery.h"
 #include "psi/service/group_commit.h"
@@ -250,115 +251,99 @@ class SpatialService {
   // Lock-free read path: pin the current epoch and query it directly.
   snapshot_t snapshot() const { return snapshot_t(committer_.acquire()); }
 
+  // Pinned read path: the retained view of exactly `epoch` — repeatable,
+  // snapshot-consistent "query as of epoch E" over the last
+  // cfg.retained_epochs publications. Throws api::EpochRetired past the
+  // retention horizon (the committer drops old views rather than ever
+  // blocking on a pinned reader).
+  snapshot_t snapshot_at(std::uint64_t epoch) const {
+    auto view = committer_.acquire_at(epoch);
+    if (view == nullptr) {
+      epoch_retired_errors_.fetch_add(1, std::memory_order_relaxed);
+      retired_ctr_->inc();
+      throw api::EpochRetired(epoch);
+    }
+    pinned_reads_.fetch_add(1, std::memory_order_relaxed);
+    pinned_ctr_->inc();
+    return snapshot_t(std::move(view));
+  }
+
+  // -------------------------------------------------------------------
+  // The unified read entry point
+  // -------------------------------------------------------------------
+  //
+  // One query surface for every shape × consistency × cache combination:
+  // build an api::QueryDesc, pick api::ReadOptions, stream into a sink.
+  // List kinds stream their matches into `sink` and return the number of
+  // points streamed; count kinds never touch the sink and return the
+  // count. The legacy *_cached methods below are thin adapters over the
+  // same machinery.
+
+  using desc_t = typename snapshot_t::desc_t;
+
+  template <typename Sink>
+  std::size_t query(const desc_t& q, const api::ReadOptions& opts,
+                    Sink&& sink) const {
+    snapshot_t snap =
+        opts.is_pinned() ? snapshot_at(opts.pinned_epoch) : snapshot();
+    if (opts.cache != api::CachePolicy::kUse) return snap.query(q, sink);
+    if (!q.is_list()) return cached_count(snap, q);
+    auto pts = cached_list(snap, q);
+    std::size_t n = 0;
+    for (const auto& p : *pts) {
+      ++n;
+      if (!api::sink_accept(sink, p)) break;
+    }
+    return n;
+  }
+
+  // Count-only convenience (no sink to thread through).
+  std::size_t query(const desc_t& q, const api::ReadOptions& opts = {}) const {
+    auto ignore = [](const point_t&) {};
+    return query(q, opts, ignore);
+  }
+
   // -------------------------------------------------------------------
   // Cached read path (version-keyed query cache, query_cache.h)
   // -------------------------------------------------------------------
   //
-  // Memoized variants of the snapshot queries. Entries are keyed on the
-  // query plus the *versions of the shards it was routed to* (and the
-  // shard-map generation), so a commit only invalidates the entries whose
-  // covering shards it touched — repeat queries over cold regions keep
-  // hitting across epochs of write traffic elsewhere. A hit is always
-  // exactly what an uncached snapshot query would return right now. List
-  // hits share one materialised vector across callers; results above the
-  // admission budget (cfg.cache_max_entry_bytes) are answered but not
-  // cached. Counters (hits/misses/cross-epoch hits/oversize skips/bytes)
-  // surface in stats().
+  // Memoized adapters over query() with CachePolicy::kUse. Entries are
+  // keyed on the query plus the *versions of the shards it was routed to*
+  // (and the shard-map generation), so a commit only invalidates the
+  // entries whose covering shards it touched — repeat queries over cold
+  // regions keep hitting across epochs of write traffic elsewhere. A hit
+  // is always exactly what an uncached snapshot query would return right
+  // now. List hits share one materialised vector across callers; results
+  // above the admission budget (cfg.cache_max_entry_bytes) are answered
+  // but not cached. Counters (hits/misses/cross-epoch hits/oversize
+  // skips/bytes) surface in stats().
 
   std::shared_ptr<const std::vector<point_t>> range_list_cached(
       const box_t& query) const {
-    const std::uint64_t start =
-        telemetry::kEnabled ? telemetry::now_ns() : 0;
     auto snap = snapshot();
-    const auto key = cache_key_t::range(query);
-    const CacheCoverage cov = coverage(snap, snap.shard_run_for_box(query));
-    if (auto hit = cache_.find_list(key, cov)) {
-      record_cache(start, /*hit=*/true);
-      return hit;
-    }
-    auto pts =
-        std::make_shared<const std::vector<point_t>>(snap.range_list(query));
-    cache_.put_list(key, cov, pts);
-    record_cache(start, /*hit=*/false);
-    return pts;
+    return cached_list(snap, desc_t::range_list(query));
   }
 
   std::size_t range_count_cached(const box_t& query) const {
-    const std::uint64_t start =
-        telemetry::kEnabled ? telemetry::now_ns() : 0;
     auto snap = snapshot();
-    const auto key = cache_key_t::range(query);
-    const CacheCoverage cov = coverage(snap, snap.shard_run_for_box(query));
-    if (auto hit = cache_.find_count(key, cov)) {
-      record_cache(start, /*hit=*/true);
-      return *hit;
-    }
-    const std::size_t count = snap.range_count(query);
-    cache_.put_count(key, cov, count);
-    record_cache(start, /*hit=*/false);
-    return count;
+    return cached_count(snap, desc_t::range_count(query));
   }
 
   std::shared_ptr<const std::vector<point_t>> ball_list_cached(
       const point_t& q, double radius) const {
-    const std::uint64_t start =
-        telemetry::kEnabled ? telemetry::now_ns() : 0;
     auto snap = snapshot();
-    const auto key = cache_key_t::ball(q, radius);
-    const CacheCoverage cov =
-        coverage(snap, snap.shard_run_for_ball(q, radius));
-    if (auto hit = cache_.find_list(key, cov)) {
-      record_cache(start, /*hit=*/true);
-      return hit;
-    }
-    auto pts = std::make_shared<const std::vector<point_t>>(
-        snap.ball_list(q, radius));
-    cache_.put_list(key, cov, pts);
-    record_cache(start, /*hit=*/false);
-    return pts;
+    return cached_list(snap, desc_t::ball_list(q, radius));
   }
 
   std::size_t ball_count_cached(const point_t& q, double radius) const {
-    const std::uint64_t start =
-        telemetry::kEnabled ? telemetry::now_ns() : 0;
     auto snap = snapshot();
-    const auto key = cache_key_t::ball(q, radius);
-    const CacheCoverage cov =
-        coverage(snap, snap.shard_run_for_ball(q, radius));
-    if (auto hit = cache_.find_count(key, cov)) {
-      record_cache(start, /*hit=*/true);
-      return *hit;
-    }
-    const std::size_t count = snap.ball_count(q, radius);
-    cache_.put_count(key, cov, count);
-    record_cache(start, /*hit=*/false);
-    return count;
+    return cached_count(snap, desc_t::ball_count(q, radius));
   }
 
-  // Cached kNN. A kNN query can reach any shard (pruned by distance, not
-  // routing), so its coverage is the whole version vector — any commit
-  // that changed any shard invalidates it.
   std::shared_ptr<const std::vector<point_t>> knn_cached(
       const point_t& q, std::size_t k) const {
-    const std::uint64_t start =
-        telemetry::kEnabled ? telemetry::now_ns() : 0;
     auto snap = snapshot();
-    const auto key = cache_key_t::knn(q, k);
-    // A shardless view (not constructible today) must yield an *inverted*
-    // run — the same empty-coverage shape degenerate boxes produce — not
-    // {0,0}, which would slice one element out of an empty version vector.
-    const std::size_t n = snap.num_shards();
-    const CacheCoverage cov =
-        coverage(snap, n == 0 ? std::pair<std::size_t, std::size_t>{1, 0}
-                              : std::pair<std::size_t, std::size_t>{0, n - 1});
-    if (auto hit = cache_.find_list(key, cov)) {
-      record_cache(start, /*hit=*/true);
-      return hit;
-    }
-    auto pts = std::make_shared<const std::vector<point_t>>(snap.knn(q, k));
-    cache_.put_list(key, cov, pts);
-    record_cache(start, /*hit=*/false);
-    return pts;
+    return cached_list(snap, desc_t::knn(q, k));
   }
 
   // Cheap observers: one atomic load on the committer — no epoch pin, no
@@ -376,11 +361,105 @@ class SpatialService {
     s.cache_cross_epoch_hits = cache_.cross_epoch_hits();
     s.cache_oversize_skips = cache_.oversize_skips();
     s.cache_bytes = cache_.bytes();
+    s.pinned_reads = pinned_reads_.load(std::memory_order_relaxed);
+    s.epoch_retired_errors =
+        epoch_retired_errors_.load(std::memory_order_relaxed);
     return s;
   }
 
  private:
   using cache_key_t = QueryKey<coord_t, kDim>;
+
+  // The one body behind every cached list read (range/ball/knn): key the
+  // query, validate coverage, compute through the snapshot's materialising
+  // path on a miss. kNN coverage is the whole version vector — pruned by
+  // distance, not routing — so any commit that changed any shard
+  // invalidates it; a shardless view must yield an *inverted* run (the
+  // empty-coverage shape degenerate boxes produce), not {0,0}, which would
+  // slice one element out of an empty version vector.
+  std::shared_ptr<const std::vector<point_t>> cached_list(
+      const snapshot_t& snap, const desc_t& q) const {
+    using Kind = typename desc_t::Kind;
+    const std::uint64_t start =
+        telemetry::kEnabled ? telemetry::now_ns() : 0;
+    const cache_key_t key = cache_key_of(q);
+    const CacheCoverage cov = coverage(snap, run_of(snap, q));
+    if (auto hit = cache_.find_list(key, cov)) {
+      record_cache(start, /*hit=*/true);
+      return hit;
+    }
+    std::vector<point_t> out;
+    switch (q.kind) {
+      case Kind::kRangeList:
+        out = snap.range_list(q.box);
+        break;
+      case Kind::kBallList:
+        out = snap.ball_list(q.center, q.radius);
+        break;
+      case Kind::kKnn:
+        out = snap.knn(q.center, q.k);
+        break;
+      default:
+        break;
+    }
+    auto pts = std::make_shared<const std::vector<point_t>>(std::move(out));
+    cache_.put_list(key, cov, pts);
+    record_cache(start, /*hit=*/false);
+    return pts;
+  }
+
+  // ... and every cached count read (range/ball).
+  std::size_t cached_count(const snapshot_t& snap, const desc_t& q) const {
+    using Kind = typename desc_t::Kind;
+    const std::uint64_t start =
+        telemetry::kEnabled ? telemetry::now_ns() : 0;
+    const cache_key_t key = cache_key_of(q);
+    const CacheCoverage cov = coverage(snap, run_of(snap, q));
+    if (auto hit = cache_.find_count(key, cov)) {
+      record_cache(start, /*hit=*/true);
+      return *hit;
+    }
+    const std::size_t count = q.kind == Kind::kRangeCount
+                                  ? snap.range_count(q.box)
+                                  : snap.ball_count(q.center, q.radius);
+    cache_.put_count(key, cov, count);
+    record_cache(start, /*hit=*/false);
+    return count;
+  }
+
+  static cache_key_t cache_key_of(const desc_t& q) {
+    using Kind = typename desc_t::Kind;
+    switch (q.kind) {
+      case Kind::kRangeList:
+      case Kind::kRangeCount:
+        return cache_key_t::range(q.box);
+      case Kind::kBallList:
+      case Kind::kBallCount:
+        return cache_key_t::ball(q.center, q.radius);
+      case Kind::kKnn:
+        return cache_key_t::knn(q.center, q.k);
+    }
+    return cache_key_t::range(q.box);
+  }
+
+  // The routed shard run whose versions a cached result depends on.
+  static std::pair<std::size_t, std::size_t> run_of(const snapshot_t& snap,
+                                                    const desc_t& q) {
+    using Kind = typename desc_t::Kind;
+    switch (q.kind) {
+      case Kind::kRangeList:
+      case Kind::kRangeCount:
+        return snap.shard_run_for_box(q.box);
+      case Kind::kBallList:
+      case Kind::kBallCount:
+        return snap.shard_run_for_ball(q.center, q.radius);
+      case Kind::kKnn:
+        break;
+    }
+    const std::size_t n = snap.num_shards();
+    return n == 0 ? std::pair<std::size_t, std::size_t>{1, 0}
+                  : std::pair<std::size_t, std::size_t>{0, n - 1};
+  }
 
   // The validity key of a cached result: the snapshot's map generation and
   // the versions of the routed shard run (see make_coverage, query_cache.h
@@ -473,6 +552,16 @@ class SpatialService {
   committer_t committer_;
   // Epoch-keyed result cache for the *_cached read path (thread-safe).
   mutable QueryCache<coord_t, kDim> cache_;
+  // Pinned-read accounting (ServiceStats v4), mirrored into the global
+  // StatsRegistry for Prometheus exposition. The registry references are
+  // stable forever (leaked singleton, node-based map).
+  mutable std::atomic<std::uint64_t> pinned_reads_{0};
+  mutable std::atomic<std::uint64_t> epoch_retired_errors_{0};
+  telemetry::Counter* pinned_ctr_ =
+      &telemetry::StatsRegistry::instance().counter("psi_pinned_reads");
+  telemetry::Counter* retired_ctr_ =
+      &telemetry::StatsRegistry::instance().counter(
+          "psi_epoch_retired_errors");
 
   // Durability (all idle unless cfg_.durability is armed). The committer
   // holds a raw pointer to wal_; appends/syncs happen under commit_mu_,

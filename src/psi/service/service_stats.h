@@ -21,7 +21,7 @@ namespace psi::service {
 struct ServiceStats {
   // Schema version of json(). Bump when fields change meaning or move;
   // adding fields is compatible and does not bump it.
-  std::uint64_t stats_version = 3;
+  std::uint64_t stats_version = 4;
 
   std::uint64_t epoch = 0;        // published commit epochs
   std::uint64_t commits = 0;      // commit groups applied (== epoch)
@@ -49,6 +49,14 @@ struct ServiceStats {
   // concurrent publish (distributed piggyback validation).
   std::uint64_t cache_torn_skips = 0;
   std::size_t cache_bytes = 0;  // bytes currently held by cached lists
+
+  // Read consistency + wire streaming (read_options.h; v4 fields).
+  std::uint64_t pinned_reads = 0;          // reads served at a pinned epoch
+  std::uint64_t epoch_retired_errors = 0;  // pins past the retention horizon
+  // Wire v3 streamed-result accounting (distributed facade only; the
+  // in-process paths never chunk and leave these at zero).
+  std::uint64_t stream_chunks = 0;             // kQueryChunk frames received
+  std::uint64_t stream_backpressure_waits = 0; // host stalls awaiting credit
 
   std::size_t num_shards = 0;
   std::size_t size_total = 0;            // points currently indexed

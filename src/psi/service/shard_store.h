@@ -172,6 +172,16 @@ class ShardStore {
     metrics_ = std::move(m);
   }
 
+  // Tell the store that published views are *retained* beyond the current
+  // epoch (ServiceConfig::retained_epochs > 1). A retained view pins the
+  // replica the ping-pong writer wants to recycle, so for recently-touched
+  // shards the grace wait can never succeed: shrink it to a few yields
+  // (cold shards still quiesce on the first check) and fall straight
+  // through to the replica rebuild, and skip the pipelined replays whose
+  // grace wait would only park a pool worker. Retention must never block
+  // the committer — this is the mechanism.
+  void set_retention_pinned(bool pinned) { retention_pinned_ = pinned; }
+
   // -------------------------------------------------------------------
   // The commit path
   // -------------------------------------------------------------------
@@ -185,7 +195,8 @@ class ShardStore {
       telemetry::ScopedTimer grace_timer(
           metrics_ ? &metrics_->stage_hist(telemetry::Stage::kGrace)
                    : nullptr);
-      const GraceResult grace = await_quiescent(s.standby);
+      const GraceResult grace = await_quiescent(
+          s.standby, retention_pinned_ ? kPinnedGraceIters : 4096);
       yields += grace.iters;
       if (!grace.quiesced) {
         // A stale reader (possibly this very thread, holding a snapshot
@@ -213,7 +224,7 @@ class ShardStore {
   // inline — all cost, no overlap — so fall back to the classic lazy
   // replay-on-next-commit there.
   void spawn_replays() {
-    if (!pipelined_ || num_workers() <= 1) return;
+    if (!pipelined_ || num_workers() <= 1 || retention_pinned_) return;
     for (auto& s : slots_) {
       if (s.pending.empty() || s.replay.valid() || s.standby_caught_up) {
         continue;
@@ -256,6 +267,12 @@ class ShardStore {
   }
 
  private:
+  // Grace budget under view retention: pure yields, no sleeps (see
+  // await_quiescent — iterations < 64 only yield), so a pinned standby
+  // costs microseconds before the rebuild, not the 4096-iteration
+  // sleep-wait of the default budget.
+  static constexpr std::uint64_t kPinnedGraceIters = 48;
+
   // What a detached replay task reports back (shared with the slot so the
   // task stays self-contained if the slot moves in the meantime).
   struct ReplayOutcome {
@@ -346,6 +363,7 @@ class ShardStore {
 
   factory_t factory_;
   bool pipelined_ = true;
+  bool retention_pinned_ = false;
   std::shared_ptr<telemetry::ServiceMetrics> metrics_;
   std::vector<ShardSlot> slots_;
   // Incremented from the parallel per-shard apply, hence atomic.

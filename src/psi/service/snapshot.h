@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "psi/api/query.h"
+#include "psi/api/read_options.h"
 #include "psi/geometry/knn_buffer.h"
 #include "psi/geometry/point.h"
 #include "psi/parallel/task_group.h"
@@ -270,6 +271,36 @@ class Snapshot {
   }
 
   // -------------------------------------------------------------------
+  // Unified read entry point (the redesigned api surface)
+  // -------------------------------------------------------------------
+
+  using desc_t = api::QueryDesc<coord_t, kDim>;
+
+  // One entry point for every query shape: list kinds stream their matches
+  // into `sink` (an api::ConcurrentSink selects the parallel fan-out as
+  // usual) and return the number of points streamed; count kinds never
+  // touch the sink and return the count. A snapshot *is* a consistency
+  // point, so there is no ReadOptions at this level — the service facades
+  // resolve consistency and cache policy, then land here.
+  template <typename Sink>
+  std::size_t query(const desc_t& q, Sink&& sink) const {
+    using Kind = typename desc_t::Kind;
+    switch (q.kind) {
+      case Kind::kRangeCount:
+        return range_count(q.box);
+      case Kind::kBallCount:
+        return ball_count(q.center, q.radius);
+      case Kind::kRangeList:
+        return deliver(sink, [&](auto& s) { range_visit(q.box, s); });
+      case Kind::kBallList:
+        return deliver(sink, [&](auto& s) { ball_visit(q.center, q.radius, s); });
+      case Kind::kKnn:
+        return deliver(sink, [&](auto& s) { knn_visit(q.center, q.k, s); });
+    }
+    return 0;
+  }
+
+  // -------------------------------------------------------------------
   // Materialising adapters
   // -------------------------------------------------------------------
 
@@ -388,6 +419,28 @@ class Snapshot {
   const view_t& view() const { return *view_; }
 
  private:
+  // Run `visit` into `sink`, returning the number of points streamed. An
+  // api::ConcurrentSink must reach the visit *unwrapped* (the visits
+  // dispatch on its concrete type to pick the parallel path), so its count
+  // is the retained-buffer delta; any other sink gets a counting
+  // pass-through that tallies invocations.
+  template <typename Sink, typename Visit>
+  std::size_t deliver(Sink& sink, Visit visit) const {
+    if constexpr (api::is_concurrent_sink_v<std::remove_cvref_t<Sink>>) {
+      const std::size_t before = sink.count();
+      visit(sink);
+      return sink.count() - before;
+    } else {
+      std::size_t n = 0;
+      auto counting = [&](const point_t& p) {
+        ++n;
+        return api::sink_accept(sink, p);
+      };
+      visit(counting);
+      return n;
+    }
+  }
+
   // A kNN shard candidate: the shard, its root-box distance to q, and its
   // position in the view (heat accounting).
   struct KnnCand {

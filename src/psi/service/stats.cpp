@@ -67,6 +67,10 @@ std::string ServiceStats::json() const {
      << ",\"cache_oversize_skips\":" << cache_oversize_skips
      << ",\"cache_torn_skips\":" << cache_torn_skips
      << ",\"cache_bytes\":" << cache_bytes
+     << ",\"pinned_reads\":" << pinned_reads
+     << ",\"epoch_retired_errors\":" << epoch_retired_errors
+     << ",\"stream_chunks\":" << stream_chunks
+     << ",\"stream_backpressure_waits\":" << stream_backpressure_waits
      << ",\"wal_appends\":" << wal_appends << ",\"wal_bytes\":" << wal_bytes
      << ",\"recovery_ms\":" << recovery_ms << ",\"wal_fsync\":";
   put_summary(os, wal_fsync);
