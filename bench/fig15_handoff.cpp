@@ -1,0 +1,204 @@
+// Fig 15 (extension, not in the paper): relocatable-arena shard handoff.
+//
+// Measures the three places a shard's structure crosses a boundary —
+// migration between hosts, checkpoint to disk, and restart from disk —
+// with the arena fast path on ("arena": one CRC-framed chunk image,
+// validate + memcpy to adopt) and off ("points": flatten on the source,
+// per-point codec on the wire/disk, full rebuild on the destination).
+// Same backend (SpacZTree2) both ways; DistributedConfig::arena_handoff
+// is the only difference, so the delta is purely the handoff
+// representation.
+//
+// Cells keep the whole dataset in ONE shard (the paper-relevant shape is
+// a big shard changing hands, not many small ones), default 1M points:
+//
+//   * migrate    — ping-pong the shard between two hosts over loopback;
+//                  qps = migrations/second.
+//   * checkpoint — full-snapshot passes on a durable deployment;
+//                  qps = checkpoints/second.
+//   * restart    — cold recover_from_disk() on a fresh facade;
+//                  qps = restarts/second.
+//
+// Every cell cross-checks the surviving contents against the input
+// multiset AND the arena cells against the point-wise cells ("matches" in
+// the JSON) — a disagreement exits 1, so the perf gate doubles as an
+// equivalence check on the raw-image paths.
+//
+// Output: one JSON line per cell:
+//   BENCH_JSON {"bench":"fig15_handoff","mode":"arena","op":"migrate",
+//               "n":...,"queries":...,"hits":...,"seconds":..,"qps":..,
+//               "matches":true}
+//
+// Knobs: PSI_BENCH_N (points; default 1'000'000), PSI_BENCH_REPEATS
+// (passes per cell). On a 1-core container the numbers prove the code
+// paths; the arena-vs-points ratio is the figure of interest.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace psi;
+using namespace psi::bench;
+using namespace psi::net;
+
+namespace {
+
+using Service = DistributedService<SpacZTree2>;
+
+struct Cell {
+  std::size_t queries = 0;  // passes measured
+  std::size_t hits = 0;     // points surviving the op
+  double seconds = 0;
+  bool matches = true;
+  double qps() const {
+    return seconds > 0 ? static_cast<double>(queries) / seconds : 0;
+  }
+};
+
+void emit(const char* mode, const char* op, std::size_t n, const Cell& c) {
+  std::printf("BENCH_JSON {\"bench\":\"fig15_handoff\",\"mode\":\"%s\","
+              "\"op\":\"%s\",\"n\":%zu,\"queries\":%zu,\"hits\":%zu,"
+              "\"seconds\":%.4f,\"qps\":%.2f,\"matches\":%s}\n",
+              mode, op, n, c.queries, c.hits, c.seconds, c.qps(),
+              c.matches ? "true" : "false");
+}
+
+DistributedConfig handoff_cfg(std::size_t n, bool arena,
+                              const std::string& wal_dir = {}) {
+  DistributedConfig cfg;
+  cfg.initial_shards = 1;  // one big shard changing hands
+  cfg.split_threshold = n * 8;
+  cfg.merge_threshold = 1;
+  cfg.balance_nodes = false;
+  cfg.arena_handoff = arena;
+  if (!wal_dir.empty()) {
+    cfg.durability.enabled = true;
+    cfg.durability.dir = wal_dir;
+    cfg.durability.fsync = false;  // measure the encode, not the media
+  }
+  return cfg;
+}
+
+std::string dir_root() {
+  return (std::filesystem::temp_directory_path() / "psi_fig15_handoff")
+      .string();
+}
+
+bool same_multiset(std::vector<Point2> a, std::vector<Point2> b) {
+  if (a.size() != b.size()) return false;
+  auto lt = [](const Point2& x, const Point2& y) {
+    return x[0] != y[0] ? x[0] < y[0] : x[1] < y[1];
+  };
+  std::sort(a.begin(), a.end(), lt);
+  std::sort(b.begin(), b.end(), lt);
+  return a == b;
+}
+
+std::map<std::string, Cell> run_mode(bool arena, const std::vector<Point2>& pts,
+                                     std::size_t repeats) {
+  std::map<std::string, Cell> cells;
+  const std::string dir = dir_root() + (arena ? "/arena" : "/points");
+  std::filesystem::remove_all(dir);
+
+  {
+    // Migration: non-durable so migrate() times the fetch+install handoff
+    // alone, with no topology-change checkpoint riding on it.
+    LoopbackTransport fabric;
+    Service svc(fabric, 2, handoff_cfg(pts.size(), arena));
+    svc.build(pts);
+    Cell c;
+    c.queries = 2 * repeats;
+    Timer t;
+    for (std::size_t r = 0; r < repeats; ++r) {
+      svc.migrate(0, 2);
+      svc.migrate(0, 1);
+    }
+    c.seconds = t.seconds();
+    c.hits = svc.size();
+    c.matches = same_multiset(svc.flatten(), pts);
+    cells["migrate"] = c;
+  }
+  {
+    // Checkpoint: durable deployment; build() writes the first snapshot,
+    // then each measured pass rewrites every shard file.
+    LoopbackTransport fabric;
+    Service svc(fabric, 2, handoff_cfg(pts.size(), arena, dir));
+    svc.build(pts);
+    Cell c;
+    c.queries = repeats;
+    Timer t;
+    for (std::size_t r = 0; r < repeats; ++r) svc.checkpoint_all();
+    c.seconds = t.seconds();
+    c.hits = svc.size();
+    c.matches = same_multiset(svc.flatten(), pts);
+    cells["checkpoint"] = c;
+  }  // facade destroyed; the snapshot stays on disk for the restart cell
+  {
+    Cell c;
+    c.queries = repeats;
+    Timer t;
+    for (std::size_t r = 0; r < repeats; ++r) {
+      LoopbackTransport fabric;
+      Service svc(fabric, 2, handoff_cfg(pts.size(), arena, dir));
+      svc.recover_from_disk();
+      c.hits = svc.size();
+      if (r + 1 == repeats) {
+        c.matches = same_multiset(svc.flatten(), pts);
+      }
+    }
+    c.seconds = t.seconds();
+    cells["restart"] = c;
+  }
+  std::filesystem::remove_all(dir);
+  return cells;
+}
+
+std::size_t bench_repeats(std::size_t fallback) {
+  if (const char* s = std::getenv("PSI_BENCH_REPEATS")) {
+    const int v = std::atoi(s);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = bench_n(1'000'000);
+  const std::size_t repeats = bench_repeats(3);
+  const auto pts = make_workload_2d("Uniform", n, 1);
+
+  std::printf("Fig 15: relocatable shard handoff, n=%zu, repeats=%zu, "
+              "workers=%d\n",
+              n, repeats, num_workers());
+
+  auto arena_cells = run_mode(/*arena=*/true, pts, repeats);
+  auto points_cells = run_mode(/*arena=*/false, pts, repeats);
+
+  bool all_match = true;
+  for (auto& [op, cell] : arena_cells) {
+    // The two modes must preserve identical contents (hits) besides each
+    // one independently matching the input multiset.
+    cell.matches = cell.matches && cell.hits == points_cells[op].hits;
+    all_match = all_match && cell.matches;
+    emit("arena", op.c_str(), n, cell);
+  }
+  for (auto& [op, cell] : points_cells) {
+    all_match = all_match && cell.matches;
+    emit("points", op.c_str(), n, cell);
+  }
+  std::filesystem::remove_all(dir_root());
+
+  if (!all_match) {
+    std::fprintf(stderr,
+                 "fig15: arena/point-wise handoff disagreement detected\n");
+    return 1;
+  }
+  return 0;
+}

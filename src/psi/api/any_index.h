@@ -31,7 +31,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -155,6 +157,35 @@ class AnyIndex {
 
   std::vector<point_t> flatten() const { return vt_->flatten(self_); }
 
+  // ---- relocatable-arena pass-through ---------------------------------
+  // The RelocatableIndex capability (concepts.h) survives type erasure as
+  // nullable vtable slots: relocatable() reports whether the wrapped
+  // backend carries it, and the arena calls throw std::logic_error when it
+  // does not — callers (handoff, checkpoint) branch on relocatable() and
+  // fall back to the point-wise codec.
+  bool relocatable() const { return vt_->serialize_arena != nullptr; }
+  std::size_t arena_bytes() const {
+    return relocatable() ? vt_->arena_bytes(self_) : 0;
+  }
+  std::size_t arena_chunks() const {
+    return relocatable() ? vt_->arena_chunks(self_) : 0;
+  }
+  std::vector<std::uint8_t> serialize_arena() const {
+    if (!relocatable()) {
+      throw std::logic_error("AnyIndex: backend is not relocatable");
+    }
+    return vt_->serialize_arena(self_);
+  }
+  void adopt_arena(const std::uint8_t* data, std::size_t n) {
+    if (!relocatable()) {
+      throw std::logic_error("AnyIndex: backend is not relocatable");
+    }
+    vt_->adopt_arena(self_, data, n);
+  }
+  void adopt_arena(const std::vector<std::uint8_t>& image) {
+    adopt_arena(image.data(), image.size());
+  }
+
  private:
   struct VTable {
     void (*destroy)(void*) noexcept;
@@ -173,6 +204,11 @@ class AnyIndex {
     void (*knn_visit_par)(const void*, const point_t&, std::size_t,
                           par_knn_t*);
     std::vector<point_t> (*flatten)(const void*);
+    // Null for backends without the RelocatableIndex capability.
+    std::size_t (*arena_bytes)(const void*);
+    std::size_t (*arena_chunks)(const void*);
+    std::vector<std::uint8_t> (*serialize_arena)(const void*);
+    void (*adopt_arena)(void*, const std::uint8_t*, std::size_t);
   };
 
   template <typename Index>
@@ -230,6 +266,42 @@ class AnyIndex {
         api::knn_visit_par(as<Index>(p), q, k, *buf);
       },
       /*flatten=*/[](const void* p) { return as<Index>(p).flatten(); },
+      /*arena_bytes=*/
+      [] {
+        if constexpr (RelocatableIndex<Index>) {
+          return +[](const void* p) { return as<Index>(p).arena_bytes(); };
+        } else {
+          return static_cast<std::size_t (*)(const void*)>(nullptr);
+        }
+      }(),
+      /*arena_chunks=*/
+      [] {
+        if constexpr (RelocatableIndex<Index>) {
+          return +[](const void* p) { return as<Index>(p).arena_chunks(); };
+        } else {
+          return static_cast<std::size_t (*)(const void*)>(nullptr);
+        }
+      }(),
+      /*serialize_arena=*/
+      [] {
+        if constexpr (RelocatableIndex<Index>) {
+          return +[](const void* p) { return as<Index>(p).serialize_arena(); };
+        } else {
+          return static_cast<std::vector<std::uint8_t> (*)(const void*)>(
+              nullptr);
+        }
+      }(),
+      /*adopt_arena=*/
+      [] {
+        if constexpr (RelocatableIndex<Index>) {
+          return +[](void* p, const std::uint8_t* d, std::size_t n) {
+            as<Index>(p).adopt_arena(d, n);
+          };
+        } else {
+          return static_cast<void (*)(void*, const std::uint8_t*,
+                                      std::size_t)>(nullptr);
+        }
+      }(),
   };
 
   void reset() noexcept {

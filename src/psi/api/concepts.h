@@ -23,6 +23,7 @@
 
 #include <concepts>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "psi/api/query.h"
@@ -105,6 +106,28 @@ concept ParallelQueryIndex =
       c.range_visit_par(b, sink);
       c.ball_visit_par(q, radius, sink);
       c.knn_visit_par(q, k, kbuf);
+    };
+
+// Optional capability: relocatable arena storage (core/arena). A
+// relocatable backend keeps its whole structure in one contiguous,
+// offset-linked arena and can emit/adopt it as a self-validating image
+// (length-prefixed, CRC-framed; chunk_pool.h), which turns shard handoff
+// and checkpoint restart into O(bytes) memcpys instead of per-point
+// rebuilds. adopt_arena must validate before install: a corrupt image
+// throws and leaves no partial state visible. Generic layers (net,
+// durability, ShardStore) branch on this concept — or, through AnyIndex,
+// on its runtime `relocatable()` flag — and fall back to the point-wise
+// flatten()/build() codec for everything else.
+template <typename I>
+concept RelocatableIndex =
+    BatchDynamicIndex<I> &&
+    requires(I& x, const I& c, const std::uint8_t* data, std::size_t n) {
+      { c.arena_bytes() } -> std::convertible_to<std::size_t>;
+      { c.arena_chunks() } -> std::convertible_to<std::size_t>;
+      {
+        c.serialize_arena()
+      } -> std::convertible_to<std::vector<std::uint8_t>>;
+      x.adopt_arena(data, n);
     };
 
 }  // namespace psi::api

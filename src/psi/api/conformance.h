@@ -66,4 +66,22 @@ static_assert(ParallelQueryIndex<PkdTree<std::int64_t, 3>>);
 static_assert(ParallelQueryIndex<AnyIndex<std::int64_t, 2>>);
 static_assert(ParallelQueryIndex<AnyIndex<std::int64_t, 3>>);
 
+// Relocatable arena storage (core/arena): the SPaC-tree family and the
+// Zd-tree baseline keep all nodes in one offset-linked chunk pool, so
+// handoff and checkpoint move them as raw CRC-framed images. The other
+// baselines stay heap-allocated and take the point-wise codec path.
+// AnyIndex carries the capability syntactically; whether a given instance
+// actually relocates is its runtime relocatable() flag.
+static_assert(RelocatableIndex<SpacHTree<std::int64_t, 2>>);
+static_assert(RelocatableIndex<SpacHTree<std::int64_t, 3>>);
+static_assert(RelocatableIndex<SpacZTree<std::int64_t, 2>>);
+static_assert(RelocatableIndex<SpacZTree<std::int64_t, 3>>);
+static_assert(RelocatableIndex<ZdTree<std::int64_t, 2>>);
+static_assert(RelocatableIndex<ZdTree<std::int64_t, 3>>);
+static_assert(RelocatableIndex<AnyIndex<std::int64_t, 2>>);
+static_assert(RelocatableIndex<AnyIndex<std::int64_t, 3>>);
+static_assert(!RelocatableIndex<RTree<std::int64_t, 2>>);
+static_assert(!RelocatableIndex<POrthTree<std::int64_t, 2>>);
+static_assert(!RelocatableIndex<BruteForceIndex<std::int64_t, 2>>);
+
 }  // namespace psi::api

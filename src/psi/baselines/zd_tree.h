@@ -12,17 +12,29 @@
 // The paper notes the original Zd-tree code has buggy updates and that its
 // authors re-implemented it from the paper; we do the same from the
 // description here.
+//
+// Memory layout: like the SPaC-tree, all nodes live in the tree's own
+// arena::ChunkPool with offset_ptr links and struct-of-arrays leaf lanes
+// (see spac_tree.h for the layout rationale), so the Zd-tree is also
+// relocatable — serialize_arena()/adopt_arena() give it the same O(bytes)
+// handoff and checkpoint fast path, and leaf scans run as batched
+// per-lane passes. Leaves here are always kept code-sorted (the Zd-tree
+// has no relaxed-order mode), so deletes shift lanes instead of
+// swap-erasing.
 
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <stdexcept>
 #include <vector>
 
 #include "psi/api/query.h"
+#include "psi/core/arena/chunk_pool.h"
+#include "psi/core/arena/offset_ptr.h"
 #include "psi/geometry/box.h"
 #include "psi/geometry/knn_buffer.h"
 #include "psi/geometry/point.h"
@@ -35,6 +47,8 @@ namespace psi {
 
 struct ZdParams {
   std::size_t leaf_wrap = 32;  // φ (paper Sec C)
+  // Virtual-memory cap of the node arena (chunk_pool.h).
+  std::size_t arena_reserve = arena::ChunkPool::kDefaultReserve;
 };
 
 template <typename Coord, int D>
@@ -44,7 +58,24 @@ class ZdTree {
   using box_t = Box<Coord, D>;
   using codec_t = sfc::MortonCodec<Coord, D>;
 
-  explicit ZdTree(ZdParams params = {}) : params_(params) {}
+  explicit ZdTree(ZdParams params = {})
+      : params_(params), pool_(params.arena_reserve) {}
+
+  ZdTree(ZdTree&& o) noexcept
+      : params_(o.params_), pool_(std::move(o.pool_)), root_off_(o.root_off_) {
+    o.root_off_ = 0;
+  }
+  ZdTree& operator=(ZdTree&& o) noexcept {
+    if (this != &o) {
+      params_ = o.params_;
+      pool_ = std::move(o.pool_);
+      root_off_ = o.root_off_;
+      o.root_off_ = 0;
+    }
+    return *this;
+  }
+  ZdTree(const ZdTree&) = delete;
+  ZdTree& operator=(const ZdTree&) = delete;
 
   static constexpr int kTopBit = D * sfc::bits_per_dim<D>() - 1;
 
@@ -53,20 +84,22 @@ class ZdTree {
   // -------------------------------------------------------------------
 
   void build(const std::vector<point_t>& pts) {
+    pool_.reset();
+    root_off_ = 0;
     std::vector<Entry> entries = sorted_entries(pts);
-    root_ = build_rec(entries.data(), entries.size(), kTopBit);
+    set_root(build_rec(entries.data(), entries.size(), kTopBit));
   }
 
   void batch_insert(const std::vector<point_t>& pts) {
     if (pts.empty()) return;
     std::vector<Entry> batch = sorted_entries(pts);
-    root_ = insert_rec(std::move(root_), batch.data(), batch.size(), kTopBit);
+    set_root(insert_rec(root(), batch.data(), batch.size(), kTopBit));
   }
 
   void batch_delete(const std::vector<point_t>& pts) {
-    if (!root_ || pts.empty()) return;
+    if (!root() || pts.empty()) return;
     std::vector<Entry> batch = sorted_entries(pts);
-    root_ = delete_rec(std::move(root_), batch.data(), batch.size());
+    set_root(delete_rec(root(), batch.data(), batch.size()));
   }
 
   // Combined difference (artifact BatchDiff()).
@@ -76,29 +109,66 @@ class ZdTree {
     batch_insert(inserts);
   }
 
-  void clear() { root_.reset(); }
+  void clear() {
+    pool_.reset();
+    root_off_ = 0;
+  }
+
+  // -------------------------------------------------------------------
+  // Relocation (psi::api RelocatableIndex capability; see spac_tree.h)
+  // -------------------------------------------------------------------
+
+  std::size_t arena_bytes() const { return pool_.used_bytes(); }
+  std::size_t arena_chunks() const { return pool_.chunks(); }
+
+  std::vector<std::uint8_t> serialize_arena() const {
+    pool_.set_user(0, root_off_);
+    pool_.set_user(1, params_fingerprint());
+    return pool_.serialize();
+  }
+
+  void adopt_arena(const std::uint8_t* data, std::size_t n) {
+    pool_.adopt(data, n);  // validates framing + CRC, throws untouched
+    const std::uint64_t root = pool_.user(0);
+    const std::uint64_t fp = pool_.user(1);
+    if (fp != params_fingerprint() ||
+        (root != 0 &&
+         (root % arena::ChunkPool::kAlign != 0 ||
+          root + sizeof(Node) > pool_.used_bytes()))) {
+      pool_.reset();
+      root_off_ = 0;
+      throw std::runtime_error(
+          fp != params_fingerprint()
+              ? "arena: image built with different tree parameters"
+              : "arena: root offset out of range");
+    }
+    root_off_ = root;
+  }
+  void adopt_arena(const std::vector<std::uint8_t>& image) {
+    adopt_arena(image.data(), image.size());
+  }
 
   // -------------------------------------------------------------------
   // Queries
   // -------------------------------------------------------------------
 
-  std::size_t size() const { return root_ ? root_->count : 0; }
+  std::size_t size() const { return root() ? root()->count : 0; }
   bool empty() const { return size() == 0; }
 
   // Tight bounding box of all stored points (empty box when empty). The
   // service layer prunes cross-shard fan-out with it.
-  box_t bounds() const { return root_ ? root_->bbox : box_t::empty(); }
+  box_t bounds() const { return root() ? root()->bbox : box_t::empty(); }
 
   // ---- streaming queries (psi::api sink model; native traversals) -----
 
   template <typename Sink>
   void range_visit(const box_t& query, Sink&& sink) const {
-    if (root_) range_visit_rec(root_.get(), query, sink);
+    if (root()) range_visit_rec(root(), query, sink);
   }
 
   template <typename Sink>
   void ball_visit(const point_t& q, double radius, Sink&& sink) const {
-    if (root_) ball_visit_rec(root_.get(), q, radius * radius, sink);
+    if (root()) ball_visit_rec(root(), q, radius * radius, sink);
   }
 
   // ---- parallel traversals (psi::api ParallelQueryIndex capability) ---
@@ -107,12 +177,12 @@ class ZdTree {
 
   template <typename ParSink>
   void range_visit_par(const box_t& query, ParSink& sink) const {
-    if (root_) range_visit_par_rec(root_.get(), query, sink);
+    if (root()) range_visit_par_rec(root(), query, sink);
   }
 
   template <typename ParSink>
   void ball_visit_par(const point_t& q, double radius, ParSink& sink) const {
-    if (root_) ball_visit_par_rec(root_.get(), q, radius * radius, sink);
+    if (root()) ball_visit_par_rec(root(), q, radius * radius, sink);
   }
 
   // kNN fan-out: fork over both children above the fork grain when each
@@ -120,13 +190,13 @@ class ZdTree {
   // (api::ConcurrentKnnBuffer); sequential nearest-first descent below.
   template <typename ParKnn>
   void knn_visit_par(const point_t& q, std::size_t /*k*/, ParKnn& buf) const {
-    if (root_) knn_par_rec(root_.get(), q, buf);
+    if (root()) knn_par_rec(root(), q, buf);
   }
 
   template <typename Sink>
   void knn_visit(const point_t& q, std::size_t k, Sink&& sink) const {
     KnnBuffer<point_t> buf(k);
-    if (root_) knn_rec(root_.get(), q, buf);
+    if (root()) knn_rec(root(), q, buf);
     for (const auto& e : buf.sorted()) {
       if (!api::sink_accept(sink, e.point)) return;
     }
@@ -140,7 +210,7 @@ class ZdTree {
   }
 
   std::size_t range_count(const box_t& query) const {
-    return root_ ? count_rec(root_.get(), query) : 0;
+    return root() ? count_rec(root(), query) : 0;
   }
 
   std::vector<point_t> range_list(const box_t& query) const {
@@ -151,7 +221,7 @@ class ZdTree {
 
   // Ball (radius) queries: points within Euclidean distance `radius` of q.
   std::size_t ball_count(const point_t& q, double radius) const {
-    return root_ ? ball_count_rec(root_.get(), q, radius * radius) : 0;
+    return root() ? ball_count_rec(root(), q, radius * radius) : 0;
   }
 
   std::vector<point_t> ball_list(const point_t& q, double radius) const {
@@ -163,14 +233,14 @@ class ZdTree {
   std::vector<point_t> flatten() const {
     std::vector<point_t> out;
     out.reserve(size());
-    if (root_) collect_points(root_.get(), out);
+    if (root()) collect_points(root(), out);
     return out;
   }
 
-  std::size_t height() const { return height_rec(root_.get()); }
+  std::size_t height() const { return height_rec(root()); }
 
   void check_invariants() const {
-    if (root_) check_rec(root_.get());
+    if (root()) check_rec(root());
   }
 
  private:
@@ -179,17 +249,91 @@ class ZdTree {
     point_t pt;
   };
 
+  // Arena node; leaves trail SoA lanes [u64 codes[cap]][Coord lane(d)[cap]]
+  // kept code-sorted (see spac_tree.h for the layout discussion).
   struct Node {
     box_t bbox = box_t::empty();
-    std::size_t count = 0;
-    bool leaf = true;
-    int bit = -1;  // interior: children split on this code bit
-    std::unique_ptr<Node> l, r;
-    std::vector<Entry> items;  // leaf payload, sorted by code
+    std::uint64_t count = 0;
+    std::uint32_t cap = 0;  // leaf lane capacity; 0 for interiors
+    std::int16_t bit = -1;  // interior: children split on this code bit
+    std::uint8_t leaf = 1;
+    arena::offset_ptr<Node> l, r;
+
+    std::uint64_t* codes() {
+      return reinterpret_cast<std::uint64_t*>(this + 1);
+    }
+    const std::uint64_t* codes() const {
+      return reinterpret_cast<const std::uint64_t*>(this + 1);
+    }
+    Coord* lane(int d) {
+      return reinterpret_cast<Coord*>(codes() + cap) +
+             static_cast<std::size_t>(d) * cap;
+    }
+    const Coord* lane(int d) const {
+      return reinterpret_cast<const Coord*>(codes() + cap) +
+             static_cast<std::size_t>(d) * cap;
+    }
+    point_t leaf_point(std::size_t i) const {
+      point_t p;
+      for (int d = 0; d < D; ++d) p[d] = lane(d)[i];
+      return p;
+    }
+    Entry leaf_entry(std::size_t i) const {
+      return Entry{codes()[i], leaf_point(i)};
+    }
+    void set_entry(std::size_t i, const Entry& e) {
+      codes()[i] = e.code;
+      for (int d = 0; d < D; ++d) lane(d)[i] = e.pt[d];
+    }
   };
+  static_assert(alignof(Coord) <= arena::ChunkPool::kAlign);
 
   ZdParams params_;
-  std::unique_ptr<Node> root_;
+  mutable arena::ChunkPool pool_;
+  std::uint64_t root_off_ = 0;  // base-relative; 0 = empty tree
+
+  Node* root() const { return pool_.template from_offset<Node>(root_off_); }
+  void set_root(Node* t) { root_off_ = pool_.to_offset(t); }
+
+  std::uint64_t params_fingerprint() const {
+    // Distinct tag in bits 16-23 keeps Zd images from being adopted by a
+    // SpacTree with coincidentally matching leaf_wrap (and vice versa).
+    return (static_cast<std::uint64_t>(params_.leaf_wrap) << 32) |
+           (std::uint64_t{0x5A} << 16);
+  }
+
+  static constexpr std::size_t entry_stride() {
+    return sizeof(std::uint64_t) + D * sizeof(Coord);
+  }
+  static constexpr std::size_t leaf_bytes(std::size_t cap) {
+    return sizeof(Node) + cap * entry_stride();
+  }
+
+  Node* new_interior(int bit) const {
+    Node* t = pool_.template create<Node>(0);
+    t->leaf = 0;
+    t->bit = static_cast<std::int16_t>(bit);
+    return t;
+  }
+
+  Node* new_leaf(std::size_t cap) const {
+    Node* t = pool_.template create<Node>(cap * entry_stride());
+    t->cap = static_cast<std::uint32_t>(cap);
+    return t;
+  }
+
+  void free_node(Node* t) const {
+    pool_.free(t, t->leaf ? leaf_bytes(t->cap) : sizeof(Node));
+  }
+
+  void free_subtree(Node* t) const {
+    if (t == nullptr) return;
+    if (!t->leaf) {
+      free_subtree(t->l.get());
+      free_subtree(t->r.get());
+    }
+    free_node(t);
+  }
 
   static bool entry_less(const Entry& a, const Entry& b) {
     if (a.code != b.code) return a.code < b.code;
@@ -206,14 +350,18 @@ class ZdTree {
     return entries;
   }
 
-  std::unique_ptr<Node> make_leaf(const Entry* e, std::size_t n) const {
-    auto leaf = std::make_unique<Node>();
-    leaf->leaf = true;
-    leaf->items.assign(e, e + n);
-    std::sort(leaf->items.begin(), leaf->items.end(), entry_less);
-    leaf->count = n;
-    for (const auto& it : leaf->items) leaf->bbox.expand(it.pt);
-    return leaf;
+  void refresh_leaf_bbox(Node* t) const {
+    t->bbox = box_t::empty();
+    for (std::size_t i = 0; i < t->count; ++i) t->bbox.expand(t->leaf_point(i));
+  }
+
+  // `e` must already be entry-sorted (every caller passes a sorted range).
+  Node* make_leaf(const Entry* e, std::size_t n) const {
+    Node* t = new_leaf(n);
+    t->count = n;
+    for (std::size_t i = 0; i < n; ++i) t->set_entry(i, e[i]);
+    refresh_leaf_bbox(t);
+    return t;
   }
 
   // Index of the first entry with `bit` set (entries sorted by code).
@@ -235,8 +383,7 @@ class ZdTree {
   // Construction from a code-sorted range
   // -------------------------------------------------------------------
 
-  std::unique_ptr<Node> build_rec(const Entry* e, std::size_t n,
-                                  int bit) const {
+  Node* build_rec(const Entry* e, std::size_t n, int bit) const {
     if (n == 0) return nullptr;
     if (n <= params_.leaf_wrap || bit < 0) return make_leaf(e, n);
     const std::size_t m = split_at_bit(e, n, bit);
@@ -245,17 +392,19 @@ class ZdTree {
       // allocating a chain node (path compression).
       return build_rec(e, n, bit - 1);
     }
-    auto t = std::make_unique<Node>();
-    t->leaf = false;
-    t->bit = bit;
+    Node* t = new_interior(bit);
+    Node* l = nullptr;
+    Node* r = nullptr;
     if (n >= update_fork_cutoff()) {
-      par_do([&] { t->l = build_rec(e, m, bit - 1); },
-             [&] { t->r = build_rec(e + m, n - m, bit - 1); });
+      par_do([&] { l = build_rec(e, m, bit - 1); },
+             [&] { r = build_rec(e + m, n - m, bit - 1); });
     } else {
-      t->l = build_rec(e, m, bit - 1);
-      t->r = build_rec(e + m, n - m, bit - 1);
+      l = build_rec(e, m, bit - 1);
+      r = build_rec(e + m, n - m, bit - 1);
     }
-    refresh(t.get());
+    t->l = l;
+    t->r = r;
+    refresh(t);
     return t;
   }
 
@@ -273,22 +422,24 @@ class ZdTree {
   // `bit` is the highest code bit not yet consumed on this path; with path
   // compression an interior node may sit at a lower bit than that — the
   // batch is then split at the node's own bit.
-  std::unique_ptr<Node> insert_rec(std::unique_ptr<Node> t, Entry* batch,
-                                   std::size_t n, int bit) {
+  Node* insert_rec(Node* t, Entry* batch, std::size_t n, int bit) const {
     if (n == 0) return t;
     if (!t) return build_rec(batch, n, bit);
     if (t->leaf) {
       // Merge into the leaf; rebuild the subtree if it overflows.
       std::vector<Entry> all;
       all.reserve(t->count + n);
-      std::merge(t->items.begin(), t->items.end(), batch, batch + n,
-                 std::back_inserter(all), entry_less);
+      for (std::size_t i = 0, j = 0; i < t->count || j < n;) {
+        if (j == n ||
+            (i < t->count && !entry_less(batch[j], t->leaf_entry(i)))) {
+          all.push_back(t->leaf_entry(i++));
+        } else {
+          all.push_back(batch[j++]);
+        }
+      }
+      free_node(t);
       if (all.size() <= params_.leaf_wrap) {
-        t->items = std::move(all);
-        t->count = t->items.size();
-        t->bbox = box_t::empty();
-        for (const auto& it : t->items) t->bbox.expand(it.pt);
-        return t;
+        return make_leaf(all.data(), all.size());
       }
       return build_rec(all.data(), all.size(), bit);
     }
@@ -299,89 +450,106 @@ class ZdTree {
       const std::size_t m = split_at_bit(batch, n, bit);
       // Does the subtree lie on the 0-side or the 1-side of `bit`? Compare
       // against any code in the subtree.
-      const bool subtree_high = (leftmost_code(t.get()) >> bit) & 1;
+      const bool subtree_high = (leftmost_code(t) >> bit) & 1;
       if (!subtree_high) {
-        if (m == n) return insert_rec(std::move(t), batch, n, bit - 1);
-        auto r = build_rec(batch + m, n - m, bit - 1);
-        auto l = insert_rec(std::move(t), batch, m, bit - 1);
-        return make_interior(bit, std::move(l), std::move(r));
+        if (m == n) return insert_rec(t, batch, n, bit - 1);
+        Node* r = build_rec(batch + m, n - m, bit - 1);
+        Node* l = insert_rec(t, batch, m, bit - 1);
+        return make_interior(bit, l, r);
       }
-      if (m == 0) return insert_rec(std::move(t), batch, n, bit - 1);
-      auto l = build_rec(batch, m, bit - 1);
-      auto r = insert_rec(std::move(t), batch + m, n - m, bit - 1);
-      return make_interior(bit, std::move(l), std::move(r));
+      if (m == 0) return insert_rec(t, batch, n, bit - 1);
+      Node* l = build_rec(batch, m, bit - 1);
+      Node* r = insert_rec(t, batch + m, n - m, bit - 1);
+      return make_interior(bit, l, r);
     }
     const std::size_t m = split_at_bit(batch, n, t->bit);
-    std::unique_ptr<Node> nl = std::move(t->l), nr = std::move(t->r);
+    Node* nl = t->l.get();
+    Node* nr = t->r.get();
+    const int child_bit = t->bit - 1;
     if (n >= update_fork_cutoff()) {
-      par_do([&] { nl = insert_rec(std::move(nl), batch, m, t->bit - 1); },
-             [&] {
-               nr = insert_rec(std::move(nr), batch + m, n - m, t->bit - 1);
-             });
+      Node* cl = nl;
+      Node* cr = nr;
+      par_do([&] { nl = insert_rec(cl, batch, m, child_bit); },
+             [&] { nr = insert_rec(cr, batch + m, n - m, child_bit); });
     } else {
-      nl = insert_rec(std::move(nl), batch, m, t->bit - 1);
-      nr = insert_rec(std::move(nr), batch + m, n - m, t->bit - 1);
+      nl = insert_rec(nl, batch, m, child_bit);
+      nr = insert_rec(nr, batch + m, n - m, child_bit);
     }
-    t->l = std::move(nl);
-    t->r = std::move(nr);
-    refresh(t.get());
+    t->l = nl;
+    t->r = nr;
+    refresh(t);
     return t;
   }
 
-  std::unique_ptr<Node> make_interior(int bit, std::unique_ptr<Node> l,
-                                      std::unique_ptr<Node> r) const {
+  Node* make_interior(int bit, Node* l, Node* r) const {
     if (!l) return r;
     if (!r) return l;
-    auto t = std::make_unique<Node>();
-    t->leaf = false;
-    t->bit = bit;
-    t->l = std::move(l);
-    t->r = std::move(r);
-    refresh(t.get());
+    Node* t = new_interior(bit);
+    t->l = l;
+    t->r = r;
+    refresh(t);
     return t;
   }
 
   static std::uint64_t leftmost_code(const Node* t) {
     while (!t->leaf) t = t->l ? t->l.get() : t->r.get();
-    return t->items.front().code;
+    return t->codes()[0];
   }
 
-  std::unique_ptr<Node> delete_rec(std::unique_ptr<Node> t, Entry* batch,
-                                   std::size_t n) {
+  // Erase leaf entry `i` preserving code order (lane-wise shift down).
+  static void leaf_erase(Node* t, std::size_t i) {
+    const std::size_t tail = t->count - i - 1;
+    std::memmove(t->codes() + i, t->codes() + i + 1,
+                 tail * sizeof(std::uint64_t));
+    for (int d = 0; d < D; ++d) {
+      std::memmove(t->lane(d) + i, t->lane(d) + i + 1, tail * sizeof(Coord));
+    }
+    --t->count;
+  }
+
+  Node* delete_rec(Node* t, Entry* batch, std::size_t n) const {
     if (!t || n == 0) return t;
     if (t->leaf) {
       for (std::size_t i = 0; i < n; ++i) {
-        auto it = std::find_if(t->items.begin(), t->items.end(),
-                               [&](const Entry& e) {
-                                 return e.code == batch[i].code &&
-                                        e.pt == batch[i].pt;
-                               });
-        if (it != t->items.end()) t->items.erase(it);
+        for (std::size_t j = 0; j < t->count; ++j) {
+          if (t->codes()[j] == batch[i].code &&
+              t->leaf_point(j) == batch[i].pt) {
+            leaf_erase(t, j);
+            break;
+          }
+        }
       }
-      if (t->items.empty()) return nullptr;
-      t->count = t->items.size();
-      t->bbox = box_t::empty();
-      for (const auto& it : t->items) t->bbox.expand(it.pt);
+      if (t->count == 0) {
+        free_node(t);
+        return nullptr;
+      }
+      refresh_leaf_bbox(t);
       return t;
     }
     const std::size_t m = split_at_bit(batch, n, t->bit);
-    std::unique_ptr<Node> nl = std::move(t->l), nr = std::move(t->r);
+    Node* nl = t->l.get();
+    Node* nr = t->r.get();
     if (n >= update_fork_cutoff()) {
-      par_do([&] { nl = delete_rec(std::move(nl), batch, m); },
-             [&] { nr = delete_rec(std::move(nr), batch + m, n - m); });
+      Node* cl = nl;
+      Node* cr = nr;
+      par_do([&] { nl = delete_rec(cl, batch, m); },
+             [&] { nr = delete_rec(cr, batch + m, n - m); });
     } else {
-      nl = delete_rec(std::move(nl), batch, m);
-      nr = delete_rec(std::move(nr), batch + m, n - m);
+      nl = delete_rec(nl, batch, m);
+      nr = delete_rec(nr, batch + m, n - m);
     }
-    if (!nl) return nr;
-    if (!nr) return nl;
-    t->l = std::move(nl);
-    t->r = std::move(nr);
-    refresh(t.get());
+    if (!nl || !nr) {
+      free_node(t);
+      return nl ? nl : nr;
+    }
+    t->l = nl;
+    t->r = nr;
+    refresh(t);
     if (t->count <= params_.leaf_wrap) {
       std::vector<Entry> rest;
       rest.reserve(t->count);
-      collect_entries(t.get(), rest);
+      collect_entries(t, rest);
+      free_subtree(t);
       return make_leaf(rest.data(), rest.size());
     }
     return t;
@@ -389,7 +557,7 @@ class ZdTree {
 
   static void collect_entries(const Node* t, std::vector<Entry>& out) {
     if (t->leaf) {
-      out.insert(out.end(), t->items.begin(), t->items.end());
+      for (std::size_t i = 0; i < t->count; ++i) out.push_back(t->leaf_entry(i));
       return;
     }
     if (t->l) collect_entries(t->l.get(), out);
@@ -398,11 +566,56 @@ class ZdTree {
 
   static void collect_points(const Node* t, std::vector<point_t>& out) {
     if (t->leaf) {
-      for (const auto& e : t->items) out.push_back(e.pt);
+      for (std::size_t i = 0; i < t->count; ++i) out.push_back(t->leaf_point(i));
       return;
     }
     if (t->l) collect_points(t->l.get(), out);
     if (t->r) collect_points(t->r.get(), out);
+  }
+
+  // -------------------------------------------------------------------
+  // Leaf query kernels (batched SoA lane passes; see spac_tree.h — the
+  // per-dim accumulation order matches squared_distance exactly).
+  // -------------------------------------------------------------------
+
+  static constexpr std::size_t kBlock = 128;
+
+  static void leaf_box_mask(const Node* t, const box_t& q, std::size_t base,
+                            std::size_t len, std::uint8_t* m) {
+    for (std::size_t i = 0; i < len; ++i) m[i] = 1;
+    for (int d = 0; d < D; ++d) {
+      const Coord* lane = t->lane(d) + base;
+      const Coord lo = q.lo[d];
+      const Coord hi = q.hi[d];
+      for (std::size_t i = 0; i < len; ++i) {
+        m[i] &= static_cast<std::uint8_t>(lane[i] >= lo && lane[i] <= hi);
+      }
+    }
+  }
+
+  static void leaf_dist2(const Node* t, const point_t& q, std::size_t base,
+                         std::size_t len, double* d2) {
+    for (std::size_t i = 0; i < len; ++i) d2[i] = 0;
+    for (int d = 0; d < D; ++d) {
+      const Coord* lane = t->lane(d) + base;
+      const double qd = static_cast<double>(q[d]);
+      for (std::size_t i = 0; i < len; ++i) {
+        const double diff = static_cast<double>(lane[i]) - qd;
+        d2[i] += diff * diff;
+      }
+    }
+  }
+
+  template <typename Buf>
+  static void leaf_knn_offer(const Node* t, const point_t& q, Buf& buf) {
+    double d2[kBlock];
+    for (std::size_t base = 0; base < t->count; base += kBlock) {
+      const std::size_t len = std::min(kBlock, t->count - base);
+      leaf_dist2(t, q, base, len, d2);
+      for (std::size_t i = 0; i < len; ++i) {
+        buf.offer(d2[i], t->leaf_point(base + i));
+      }
+    }
   }
 
   // -------------------------------------------------------------------
@@ -411,7 +624,7 @@ class ZdTree {
 
   void knn_rec(const Node* t, const point_t& q, KnnBuffer<point_t>& buf) const {
     if (t->leaf) {
-      for (const auto& e : t->items) buf.offer(squared_distance(e.pt, q), e.pt);
+      leaf_knn_offer(t, q, buf);
       return;
     }
     const Node* kids[2] = {t->l.get(), t->r.get()};
@@ -435,7 +648,12 @@ class ZdTree {
     if (query.contains(t->bbox)) return t->count;
     if (t->leaf) {
       std::size_t c = 0;
-      for (const auto& e : t->items) c += query.contains(e.pt) ? 1 : 0;
+      std::uint8_t m[kBlock];
+      for (std::size_t base = 0; base < t->count; base += kBlock) {
+        const std::size_t len = std::min(kBlock, t->count - base);
+        leaf_box_mask(t, query, base, len, m);
+        for (std::size_t i = 0; i < len; ++i) c += m[i];
+      }
       return c;
     }
     std::size_t total = 0;
@@ -448,8 +666,8 @@ class ZdTree {
   template <typename Sink>
   static bool visit_all_rec(const Node* t, Sink& sink) {
     if (t->leaf) {
-      for (const auto& e : t->items) {
-        if (!api::sink_accept(sink, e.pt)) return false;
+      for (std::size_t i = 0; i < t->count; ++i) {
+        if (!api::sink_accept(sink, t->leaf_point(i))) return false;
       }
       return true;
     }
@@ -462,9 +680,14 @@ class ZdTree {
     if (!query.intersects(t->bbox)) return true;
     if (query.contains(t->bbox)) return visit_all_rec(t, sink);
     if (t->leaf) {
-      for (const auto& e : t->items) {
-        if (query.contains(e.pt) && !api::sink_accept(sink, e.pt)) {
-          return false;
+      std::uint8_t m[kBlock];
+      for (std::size_t base = 0; base < t->count; base += kBlock) {
+        const std::size_t len = std::min(kBlock, t->count - base);
+        leaf_box_mask(t, query, base, len, m);
+        for (std::size_t i = 0; i < len; ++i) {
+          if (m[i] && !api::sink_accept(sink, t->leaf_point(base + i))) {
+            return false;
+          }
         }
       }
       return true;
@@ -479,8 +702,11 @@ class ZdTree {
     if (max_squared_distance(t->bbox, q) <= r2) return t->count;
     if (t->leaf) {
       std::size_t c = 0;
-      for (const auto& e : t->items) {
-        c += squared_distance(e.pt, q) <= r2 ? 1 : 0;
+      double d2[kBlock];
+      for (std::size_t base = 0; base < t->count; base += kBlock) {
+        const std::size_t len = std::min(kBlock, t->count - base);
+        leaf_dist2(t, q, base, len, d2);
+        for (std::size_t i = 0; i < len; ++i) c += d2[i] <= r2 ? 1 : 0;
       }
       return c;
     }
@@ -520,9 +746,7 @@ class ZdTree {
   void knn_par_rec(const Node* t, const point_t& q, ParKnn& buf) const {
     if (min_squared_distance(t->bbox, q) >= buf.bound()) return;
     if (t->leaf) {
-      for (const auto& e : t->items) {
-        buf.offer(squared_distance(e.pt, q), e.pt);
-      }
+      leaf_knn_offer(t, q, buf);
       return;
     }
     const Node* kids[2] = {t->l.get(), t->r.get()};
@@ -552,10 +776,15 @@ class ZdTree {
     if (min_squared_distance(t->bbox, q) > r2) return true;
     if (max_squared_distance(t->bbox, q) <= r2) return visit_all_rec(t, sink);
     if (t->leaf) {
-      for (const auto& e : t->items) {
-        if (squared_distance(e.pt, q) <= r2 &&
-            !api::sink_accept(sink, e.pt)) {
-          return false;
+      double d2[kBlock];
+      for (std::size_t base = 0; base < t->count; base += kBlock) {
+        const std::size_t len = std::min(kBlock, t->count - base);
+        leaf_dist2(t, q, base, len, d2);
+        for (std::size_t i = 0; i < len; ++i) {
+          if (d2[i] <= r2 &&
+              !api::sink_accept(sink, t->leaf_point(base + i))) {
+            return false;
+          }
         }
       }
       return true;
@@ -576,22 +805,24 @@ class ZdTree {
   // Returns (min code, max code) of the subtree.
   std::pair<std::uint64_t, std::uint64_t> check_rec(const Node* t) const {
     if (t->leaf) {
-      if (t->count != t->items.size()) {
-        throw std::logic_error("zd: leaf count mismatch");
-      }
       if (t->count == 0) throw std::logic_error("zd: empty leaf");
-      if (!std::is_sorted(t->items.begin(), t->items.end(), entry_less)) {
+      if (t->count > t->cap) {
+        throw std::logic_error("zd: leaf count exceeds capacity");
+      }
+      std::vector<Entry> items(t->count);
+      for (std::size_t i = 0; i < t->count; ++i) items[i] = t->leaf_entry(i);
+      if (!std::is_sorted(items.begin(), items.end(), entry_less)) {
         throw std::logic_error("zd: leaf not code-sorted");
       }
       box_t bb = box_t::empty();
-      for (const auto& e : t->items) {
+      for (const auto& e : items) {
         if (e.code != codec_t::encode(e.pt)) {
           throw std::logic_error("zd: stale code");
         }
         bb.expand(e.pt);
       }
       if (!(bb == t->bbox)) throw std::logic_error("zd: leaf bbox not tight");
-      return {t->items.front().code, t->items.back().code};
+      return {items.front().code, items.back().code};
     }
     if (!t->l || !t->r) throw std::logic_error("zd: interior missing child");
     if (t->count != t->l->count + t->r->count) {

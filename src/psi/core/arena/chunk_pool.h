@@ -1,0 +1,412 @@
+// PSI-Lib arena layer: the per-shard relocatable chunk pool.
+//
+// A ChunkPool is one contiguous anonymous mapping (reserved up-front with
+// MAP_NORESERVE, so untouched pages cost nothing) that hands out 8-byte-
+// aligned blocks by atomic bump allocation, with exact-size freelists for
+// reuse. Because the region is contiguous and never moves while live, the
+// tree backends can link blocks with self-relative offset_ptr's
+// (offset_ptr.h) and the *whole* pool becomes trivially relocatable:
+//
+//   serialize() = small header + one memcpy of the used prefix + CRC32
+//   adopt()     = validate, map a fresh region, one memcpy back
+//
+// which is what turns shard handoff (net/node.h) and checkpoint restart
+// (durability/checkpoint.h) into O(bytes) instead of O(points x rebuild).
+// The design follows the parallel_octree exemplar's chunk_pool +
+// relative_ptr pair; the fixed reservation is the stepping stone to the
+// ROADMAP's mmap-backed persistent shards (same image, file-backed).
+//
+// Allocation contract:
+//   * alloc(bytes)/free(p, bytes) are thread-safe (parallel tree builds
+//     allocate from many workers): bump is a relaxed fetch_add, freelists
+//     are mutex-guarded and skipped entirely until the first free.
+//   * free() requires the caller to pass the allocation size (the trees
+//     know their node sizes); blocks larger than kMaxSmallBytes are
+//     dropped on free — bounded waste, reclaimed wholesale by reset().
+//   * serialize()/adopt()/reset() are NOT thread-safe: the caller must
+//     quiesce mutators first (the service layer already serialises them
+//     behind its commit/handoff locks).
+//   * the reservation is fixed: exhausting it throws std::bad_alloc.
+//     reserve_bytes is a virtual-memory cap, not a physical cost — size it
+//     generously (SpacParams::arena_reserve / ZdParams::arena_reserve).
+//
+// Offset 0 is never handed out (the bump starts at kBumpBase), so 0 can
+// encode null both in offset_ptr links and in the base-relative offsets
+// stored in the image header (root slot, freelist heads).
+//
+// Image layout (little-endian, version 1):
+//   [u32 magic "PSIA"][u32 version][u64 used][u64 user0][u64 user1]
+//   [u64 freelist_heads[kNumClasses]]  base-relative, 0 = empty
+//   [used bytes: raw copy of the pool prefix]
+//   [u32 crc32 over everything above]
+// Freelist next-links live in the first 8 bytes of each free block as
+// base-relative offsets, so they ride along inside the raw copy.
+
+#pragma once
+
+#include <sys/mman.h>
+
+#include <atomic>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace psi::arena {
+
+inline constexpr std::uint32_t kImageMagic = 0x50534941;  // "PSIA"
+inline constexpr std::uint32_t kImageVersion = 1;
+
+// IEEE CRC32 (zip/zlib polynomial), slice-by-8. Inline here so the core
+// layer does not depend on the durability subsystem's copy (wal.cpp) —
+// and unlike that copy (which frames small WAL records and manifests),
+// this one checksums multi-megabyte arena images on every serialize and
+// adopt, so it processes 8 bytes per step through 8 derived tables
+// instead of byte-at-a-time (~4-5x on the image-sized inputs that
+// dominate checkpoint and handoff cost).
+namespace detail {
+// tables[0] is the classic byte table; tables[k][b] advances byte b
+// through k additional zero bytes, letting 8 input bytes fold into the
+// running CRC with 8 independent lookups per iteration.
+inline const std::array<std::array<std::uint32_t, 256>, 8>& crc_tables() {
+  static const auto tables = [] {
+    std::array<std::array<std::uint32_t, 256>, 8> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = t[0][i];
+      for (int k = 1; k < 8; ++k) {
+        c = t[0][c & 0xFF] ^ (c >> 8);
+        t[k][i] = c;
+      }
+    }
+    return t;
+  }();
+  return tables;
+}
+}  // namespace detail
+
+inline std::uint32_t crc32(const std::uint8_t* data, std::size_t n,
+                           std::uint32_t seed = 0) {
+  const auto& t = detail::crc_tables();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  // Byte-composed little-endian loads keep the function well-defined on
+  // any alignment and endianness; compilers fold them to plain loads.
+  while (n >= 8) {
+    const std::uint32_t a =
+        (std::uint32_t{data[0]} | std::uint32_t{data[1]} << 8 |
+         std::uint32_t{data[2]} << 16 | std::uint32_t{data[3]} << 24) ^
+        c;
+    const std::uint32_t b =
+        std::uint32_t{data[4]} | std::uint32_t{data[5]} << 8 |
+        std::uint32_t{data[6]} << 16 | std::uint32_t{data[7]} << 24;
+    c = t[7][a & 0xFF] ^ t[6][(a >> 8) & 0xFF] ^ t[5][(a >> 16) & 0xFF] ^
+        t[4][a >> 24] ^ t[3][b & 0xFF] ^ t[2][(b >> 8) & 0xFF] ^
+        t[1][(b >> 16) & 0xFF] ^ t[0][b >> 24];
+    data += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    c = t[0][(c ^ *data++) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+class ChunkPool {
+ public:
+  static constexpr std::size_t kChunkBytes = 64 * 1024;
+  static constexpr std::size_t kAlign = 8;
+  // First handed-out offset: keeps 0 free to mean null and the first
+  // block cache-line aligned.
+  static constexpr std::size_t kBumpBase = 64;
+  // Blocks up to this size go through exact-size freelists; larger frees
+  // are dropped (bounded waste until the next reset()/build()).
+  static constexpr std::size_t kMaxSmallBytes = 4096;
+  static constexpr std::size_t kNumClasses = kMaxSmallBytes / kAlign;
+  static constexpr std::size_t kNumUserSlots = 2;
+  static constexpr std::size_t kDefaultReserve = 256ull * 1024 * 1024;
+
+  static constexpr std::size_t kHeaderBytes =
+      4 + 4 + 8 + 8 * kNumUserSlots + 8 * kNumClasses;
+
+  explicit ChunkPool(std::size_t reserve_bytes = kDefaultReserve) {
+    map(reserve_bytes);
+  }
+
+  ~ChunkPool() { unmap(); }
+
+  ChunkPool(const ChunkPool&) = delete;
+  ChunkPool& operator=(const ChunkPool&) = delete;
+
+  ChunkPool(ChunkPool&& o) noexcept
+      : base_(o.base_),
+        reserve_(o.reserve_),
+        bump_(o.bump_.load(std::memory_order_relaxed)),
+        any_freed_(o.any_freed_.load(std::memory_order_relaxed)),
+        heads_(o.heads_),
+        users_(o.users_) {
+    o.base_ = nullptr;
+    o.reserve_ = 0;
+  }
+
+  ChunkPool& operator=(ChunkPool&& o) noexcept {
+    if (this != &o) {
+      unmap();
+      base_ = o.base_;
+      reserve_ = o.reserve_;
+      bump_.store(o.bump_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+      any_freed_.store(o.any_freed_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+      heads_ = o.heads_;
+      users_ = o.users_;
+      o.base_ = nullptr;
+      o.reserve_ = 0;
+    }
+    return *this;
+  }
+
+  // -------------------------------------------------------------------
+  // Allocation (thread-safe)
+  // -------------------------------------------------------------------
+
+  void* alloc(std::size_t bytes) {
+    const std::size_t sz = round_up(bytes);
+    if (sz <= kMaxSmallBytes &&
+        any_freed_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> g(free_mu_);
+      std::uint64_t& head = heads_[sz / kAlign - 1];
+      if (head != 0) {
+        std::byte* p = base_ + head;
+        std::memcpy(&head, p, sizeof(std::uint64_t));
+        return p;
+      }
+    }
+    const std::uint64_t off =
+        bump_.fetch_add(sz, std::memory_order_relaxed);
+    if (off + sz > reserve_) {
+      throw std::bad_alloc();  // reservation exhausted; see header comment
+    }
+    return base_ + off;
+  }
+
+  void free(void* p, std::size_t bytes) {
+    const std::size_t sz = round_up(bytes);
+    if (sz > kMaxSmallBytes) return;  // dropped: reclaimed by reset()
+    const std::uint64_t off =
+        static_cast<std::uint64_t>(static_cast<std::byte*>(p) - base_);
+    std::lock_guard<std::mutex> g(free_mu_);
+    std::uint64_t& head = heads_[sz / kAlign - 1];
+    std::memcpy(p, &head, sizeof(std::uint64_t));
+    head = off;
+    any_freed_.store(true, std::memory_order_release);
+  }
+
+  // Typed helpers. T must be trivially destructible: the pool reclaims
+  // memory wholesale (reset()/adopt()/destruction) without running
+  // destructors.
+  template <typename T, typename... Args>
+  T* create(std::size_t trailing_bytes, Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    static_assert(alignof(T) <= kAlign);
+    void* p = alloc(sizeof(T) + trailing_bytes);
+    return new (p) T(std::forward<Args>(args)...);
+  }
+
+  // -------------------------------------------------------------------
+  // Addressing
+  // -------------------------------------------------------------------
+
+  std::byte* base() { return base_; }
+  const std::byte* base() const { return base_; }
+
+  std::uint64_t to_offset(const void* p) const {
+    return p == nullptr
+               ? 0
+               : static_cast<std::uint64_t>(
+                     static_cast<const std::byte*>(p) - base_);
+  }
+
+  template <typename T>
+  T* from_offset(std::uint64_t off) const {
+    return off == 0 ? nullptr
+                    : reinterpret_cast<T*>(
+                          const_cast<std::byte*>(base_) + off);
+  }
+
+  // -------------------------------------------------------------------
+  // Accounting / user metadata
+  // -------------------------------------------------------------------
+
+  std::size_t used_bytes() const {
+    return bump_.load(std::memory_order_relaxed);
+  }
+  std::size_t reserved_bytes() const { return reserve_; }
+  std::size_t chunks() const {
+    return (used_bytes() + kChunkBytes - 1) / kChunkBytes;
+  }
+
+  // Two u64 slots serialized with the image; the owning tree stores its
+  // root offset and a parameter fingerprint here.
+  std::uint64_t user(std::size_t i) const { return users_[i]; }
+  void set_user(std::size_t i, std::uint64_t v) { users_[i] = v; }
+
+  // Back to empty; keeps the mapping (and its MADV_DONTNEED-able pages).
+  void reset() {
+    bump_.store(kBumpBase, std::memory_order_relaxed);
+    any_freed_.store(false, std::memory_order_relaxed);
+    heads_.fill(0);
+    users_.fill(0);
+  }
+
+  // -------------------------------------------------------------------
+  // Relocation image
+  // -------------------------------------------------------------------
+
+  std::vector<std::uint8_t> serialize() const {
+    const std::uint64_t used = used_bytes();
+    std::vector<std::uint8_t> out;
+    out.reserve(kHeaderBytes + used + 4);
+    put_u32(out, kImageMagic);
+    put_u32(out, kImageVersion);
+    put_u64(out, used);
+    for (std::size_t i = 0; i < kNumUserSlots; ++i) put_u64(out, users_[i]);
+    for (std::size_t i = 0; i < kNumClasses; ++i) put_u64(out, heads_[i]);
+    const std::size_t payload_at = out.size();
+    out.resize(payload_at + used);
+    std::memcpy(out.data() + payload_at, base_, used);
+    put_u32(out, crc32(out.data(), out.size()));
+    return out;
+  }
+
+  // Structural check without allocating or mutating: magic, version,
+  // framing lengths, CRC, and in-range freelist heads. Returns the
+  // failure reason or nullptr when the image is sound.
+  static const char* validate_image(const std::uint8_t* data,
+                                    std::size_t n) {
+    if (n < kHeaderBytes + 4) return "image shorter than header";
+    if (get_u32(data) != kImageMagic) return "bad arena magic";
+    if (get_u32(data + 4) != kImageVersion) return "bad arena version";
+    const std::uint64_t used = get_u64(data + 8);
+    if (used < kBumpBase || used % kAlign != 0) return "bad used length";
+    if (n != kHeaderBytes + used + 4) {
+      return "image length disagrees with header";
+    }
+    if (crc32(data, n - 4) != get_u32(data + n - 4)) {
+      return "arena image CRC mismatch";
+    }
+    const std::uint8_t* heads = data + 4 + 4 + 8 + 8 * kNumUserSlots;
+    for (std::size_t i = 0; i < kNumClasses; ++i) {
+      const std::uint64_t h = get_u64(heads + 8 * i);
+      if (h != 0 && (h % kAlign != 0 || h + kAlign > used)) {
+        return "freelist head out of range";
+      }
+    }
+    return nullptr;
+  }
+
+  // Replace the pool contents with a serialized image. Throws
+  // std::runtime_error (with the validate_image reason) on a corrupt
+  // image, leaving the pool untouched — corrupt bytes are rejected
+  // *before* anything is installed.
+  void adopt(const std::uint8_t* data, std::size_t n) {
+    if (const char* err = validate_image(data, n)) {
+      throw std::runtime_error(std::string("arena: ") + err);
+    }
+    const std::uint64_t used = get_u64(data + 8);
+    if (used > reserve_) {
+      // Re-reserve just enough: caller asked for a smaller pool than the
+      // image needs.
+      unmap();
+      map(round_up_chunk(used));
+    }
+    const std::uint8_t* p = data + 4 + 4 + 8;
+    for (std::size_t i = 0; i < kNumUserSlots; ++i, p += 8) {
+      users_[i] = get_u64(p);
+    }
+    for (std::size_t i = 0; i < kNumClasses; ++i, p += 8) {
+      heads_[i] = get_u64(p);
+    }
+    std::memcpy(base_, p, used);
+    bump_.store(used, std::memory_order_relaxed);
+    bool any = false;
+    for (const std::uint64_t h : heads_) any = any || h != 0;
+    any_freed_.store(any, std::memory_order_relaxed);
+  }
+
+ private:
+  static std::size_t round_up(std::size_t bytes) {
+    return bytes < kAlign ? kAlign : (bytes + kAlign - 1) & ~(kAlign - 1);
+  }
+  static std::size_t round_up_chunk(std::size_t bytes) {
+    return (bytes + kChunkBytes - 1) / kChunkBytes * kChunkBytes;
+  }
+
+  void map(std::size_t reserve_bytes) {
+    reserve_ = round_up_chunk(
+        reserve_bytes < kChunkBytes ? kChunkBytes : reserve_bytes);
+    void* p = ::mmap(nullptr, reserve_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    if (p == MAP_FAILED) {
+      throw std::runtime_error("arena: mmap reservation failed");
+    }
+    base_ = static_cast<std::byte*>(p);
+    bump_.store(kBumpBase, std::memory_order_relaxed);
+    any_freed_.store(false, std::memory_order_relaxed);
+    heads_.fill(0);
+    users_.fill(0);
+  }
+
+  void unmap() {
+    if (base_ != nullptr) {
+      ::munmap(base_, reserve_);
+      base_ = nullptr;
+      reserve_ = 0;
+    }
+  }
+
+  static void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  static void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  static std::uint32_t get_u32(const std::uint8_t* p) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+    return v;
+  }
+  static std::uint64_t get_u64(const std::uint8_t* p) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+    return v;
+  }
+
+  std::byte* base_ = nullptr;
+  std::size_t reserve_ = 0;
+  std::atomic<std::uint64_t> bump_{kBumpBase};
+  // False until the first free(): lets the (fully parallel) build phase
+  // bump-allocate without ever touching the freelist mutex.
+  std::atomic<bool> any_freed_{false};
+  std::mutex free_mu_;
+  std::array<std::uint64_t, kNumClasses> heads_{};
+  std::array<std::uint64_t, kNumUserSlots> users_{};
+};
+
+}  // namespace psi::arena

@@ -1,0 +1,75 @@
+// PSI-Lib arena layer: self-relative offset pointers.
+//
+// An offset_ptr<T> stores the signed byte distance from *its own address*
+// to the pointee instead of an absolute address. Because the distance
+// between two objects inside one contiguous arena is invariant under
+// relocation of the whole arena, a block of nodes linked with offset_ptrs
+// can be memcpy'd to any other base address (another mapping, another
+// process, a checkpoint file read back at restart) and every link still
+// resolves — no pointer swizzling pass, no fix-up table. This is the
+// property the relocatable shard arenas (chunk_pool.h) are built on, and
+// it follows the relative_ptr idiom of the parallel_octree exemplar.
+//
+// Semantics are boost::interprocess-like:
+//   * copying an offset_ptr re-derives the offset from the *destination*
+//     address, so a stack-local copy of an in-arena link still points at
+//     the same object (copies are NOT bitwise — only whole-arena memcpy
+//     relocation is, which never runs constructors);
+//   * 0 encodes null. A link therefore cannot target its own storage
+//     address; tree links never do (a child pointer never aims at itself).
+//
+// Validity contract: both the offset_ptr and its pointee must live inside
+// the same relocatable block. Linking across arenas (or to stack/heap
+// objects) compiles but breaks on relocation — the tree backends keep all
+// in-arena links as offset_ptr and use raw T* only for transient
+// traversal state that never outlives an operation.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace psi::arena {
+
+template <typename T>
+class offset_ptr {
+ public:
+  offset_ptr() = default;
+  offset_ptr(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  offset_ptr(const offset_ptr& o) { set(o.get()); }
+  offset_ptr& operator=(const offset_ptr& o) {
+    set(o.get());
+    return *this;
+  }
+  offset_ptr& operator=(T* p) {
+    set(p);
+    return *this;
+  }
+  offset_ptr& operator=(std::nullptr_t) {
+    off_ = 0;
+    return *this;
+  }
+
+  T* get() const {
+    return off_ == 0 ? nullptr
+                     : reinterpret_cast<T*>(
+                           const_cast<char*>(
+                               reinterpret_cast<const char*>(this)) +
+                           off_);
+  }
+  T* operator->() const { return get(); }
+  T& operator*() const { return *get(); }
+  explicit operator bool() const { return off_ != 0; }
+  bool operator==(std::nullptr_t) const { return off_ == 0; }
+
+  void set(T* p) {
+    off_ = p == nullptr ? 0
+                        : reinterpret_cast<const char*>(p) -
+                              reinterpret_cast<const char*>(this);
+  }
+
+ private:
+  std::int64_t off_ = 0;  // 0 = null (a link never targets its own address)
+};
+
+}  // namespace psi::arena

@@ -24,6 +24,19 @@
 // Leaf wrapping: φ = 40 by default; Node() keeps every subtree of size ≤ φ
 // flattened into one leaf and sizes in (φ, 2φ] as an interior with two
 // redistributed leaves (Alg 4 lines 38-48).
+//
+// Memory layout (relocatable shard arenas): every node lives in the tree's
+// own arena::ChunkPool; in-tree links are self-relative offset_ptr's and
+// the root is held as a base-relative offset, so the whole tree is ONE
+// contiguous relocatable block. Leaves store their payload struct-of-
+// arrays — a codes lane followed by one contiguous lane per coordinate
+// dimension — so the range/ball/kNN hot loops test a whole leaf with
+// batched per-lane passes instead of per-entry pointer chases, and
+// serialize_arena()/adopt_arena() turn shard handoff and checkpoint
+// restart into a CRC-checked memcpy (chunk_pool.h). Traversal code uses
+// raw Node* only transiently, never across an allocation boundary that
+// could outlive the pool. Discarded nodes are freed into the pool's
+// exact-size freelists; build()/clear() reclaim everything wholesale.
 
 #pragma once
 
@@ -32,12 +45,15 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "psi/api/query.h"
+#include "psi/core/arena/chunk_pool.h"
+#include "psi/core/arena/offset_ptr.h"
 #include "psi/geometry/box.h"
 #include "psi/geometry/knn_buffer.h"
 #include "psi/geometry/point.h"
@@ -61,6 +77,9 @@ struct SpacParams {
   // Leaf-overflow heuristic threshold (paper Sec C): rebuild locally when
   // |leaf| + |batch| <= rebuild_factor * φ, otherwise expose-and-recurse.
   std::size_t rebuild_factor = 4;
+  // Virtual-memory cap of the node arena (chunk_pool.h). Untouched pages
+  // cost nothing; exhausting the reservation throws std::bad_alloc.
+  std::size_t arena_reserve = arena::ChunkPool::kDefaultReserve;
 };
 
 inline SpacParams cpam_params() {
@@ -82,7 +101,24 @@ class SpacTree {
     point_t pt;
   };
 
-  explicit SpacTree(SpacParams params = {}) : params_(params) {}
+  explicit SpacTree(SpacParams params = {})
+      : params_(params), pool_(params.arena_reserve) {}
+
+  SpacTree(SpacTree&& o) noexcept
+      : params_(o.params_), pool_(std::move(o.pool_)), root_off_(o.root_off_) {
+    o.root_off_ = 0;
+  }
+  SpacTree& operator=(SpacTree&& o) noexcept {
+    if (this != &o) {
+      params_ = o.params_;
+      pool_ = std::move(o.pool_);
+      root_off_ = o.root_off_;
+      o.root_off_ = 0;
+    }
+    return *this;
+  }
+  SpacTree(const SpacTree&) = delete;
+  SpacTree& operator=(const SpacTree&) = delete;
 
   static const char* curve_name() { return Codec::name(); }
 
@@ -93,22 +129,24 @@ class SpacTree {
   // Build from scratch (Alg 3). With fused_build the SFC codes are computed
   // inside the sort's first pass and only ⟨code,id⟩ pairs are sorted;
   // otherwise full ⟨code,point⟩ records are materialised first and sorted
-  // (CPAM black-box behaviour).
+  // (CPAM black-box behaviour). A build compacts: the arena restarts empty.
   void build(const std::vector<point_t>& pts) {
-    root_ = build_tree(pts);
+    pool_.reset();
+    root_off_ = 0;
+    set_root(build_tree(pts));
   }
 
   void batch_insert(const std::vector<point_t>& pts) {
     if (pts.empty()) return;
     std::vector<Entry> batch = sorted_entries(pts);
-    root_ = insert_sorted(std::move(root_), batch.data(), batch.size());
+    set_root(insert_sorted(root(), batch.data(), batch.size()));
   }
 
   // Remove one stored instance per batch element; absent elements ignored.
   void batch_delete(const std::vector<point_t>& pts) {
-    if (!root_ || pts.empty()) return;
+    if (root() == nullptr || pts.empty()) return;
     std::vector<Entry> batch = sorted_entries(pts);
-    root_ = delete_sorted(std::move(root_), batch.data(), batch.size());
+    set_root(delete_sorted(root(), batch.data(), batch.size()));
   }
 
   // Combined difference (artifact BatchDiff()): remove `deletes`, then add
@@ -119,29 +157,77 @@ class SpacTree {
     batch_insert(inserts);
   }
 
-  void clear() { root_.reset(); }
+  void clear() {
+    pool_.reset();
+    root_off_ = 0;
+  }
+
+  // -------------------------------------------------------------------
+  // Relocation (psi::api RelocatableIndex capability)
+  // -------------------------------------------------------------------
+
+  // Bytes/chunks currently committed to the node arena (includes freelist
+  // waste until the next build()).
+  std::size_t arena_bytes() const { return pool_.used_bytes(); }
+  std::size_t arena_chunks() const { return pool_.chunks(); }
+
+  // One relocatable image: arena header + raw node bytes + CRC32. The
+  // caller must quiesce mutators (concurrent readers are fine).
+  std::vector<std::uint8_t> serialize_arena() const {
+    pool_.set_user(0, root_off_);
+    pool_.set_user(1, params_fingerprint());
+    return pool_.serialize();
+  }
+
+  // Replace contents with a serialized image. Corrupt images (framing,
+  // CRC, root out of range, parameter mismatch) throw std::runtime_error
+  // BEFORE anything becomes visible; on the (post-CRC) metadata checks the
+  // tree is left empty rather than half-adopted.
+  void adopt_arena(const std::uint8_t* data, std::size_t n) {
+    pool_.adopt(data, n);  // validates framing + CRC, throws untouched
+    const std::uint64_t root = pool_.user(0);
+    const std::uint64_t fp = pool_.user(1);
+    if (fp != params_fingerprint() ||
+        (root != 0 &&
+         (root % arena::ChunkPool::kAlign != 0 ||
+          root + sizeof(Node) > pool_.used_bytes()))) {
+      pool_.reset();
+      root_off_ = 0;
+      throw std::runtime_error(
+          fp != params_fingerprint()
+              ? "arena: image built with different tree parameters"
+              : "arena: root offset out of range");
+    }
+    root_off_ = root;
+  }
+  void adopt_arena(const std::vector<std::uint8_t>& image) {
+    adopt_arena(image.data(), image.size());
+  }
 
   // -------------------------------------------------------------------
   // Queries
   // -------------------------------------------------------------------
 
-  std::size_t size() const { return count(root_.get()); }
+  std::size_t size() const { return count(root()); }
   bool empty() const { return size() == 0; }
 
   // Tight bounding box of all stored points (empty box when empty). The
   // service layer prunes cross-shard fan-out with it.
-  box_t bounds() const { return root_ ? root_->bbox : box_t::empty(); }
+  box_t bounds() const {
+    const Node* t = root();
+    return t != nullptr ? t->bbox : box_t::empty();
+  }
 
   // ---- streaming queries (psi::api sink model; native traversals) -----
 
   template <typename Sink>
   void range_visit(const box_t& query, Sink&& sink) const {
-    if (root_) range_visit_rec(root_.get(), query, sink);
+    if (root()) range_visit_rec(root(), query, sink);
   }
 
   template <typename Sink>
   void ball_visit(const point_t& q, double radius, Sink&& sink) const {
-    if (root_) ball_visit_rec(root_.get(), q, radius * radius, sink);
+    if (root()) ball_visit_rec(root(), q, radius * radius, sink);
   }
 
   // ---- parallel traversals (psi::api ParallelQueryIndex capability) ---
@@ -152,12 +238,12 @@ class SpacTree {
 
   template <typename ParSink>
   void range_visit_par(const box_t& query, ParSink& sink) const {
-    if (root_) range_visit_par_rec(root_.get(), query, sink);
+    if (root()) range_visit_par_rec(root(), query, sink);
   }
 
   template <typename ParSink>
   void ball_visit_par(const point_t& q, double radius, ParSink& sink) const {
-    if (root_) ball_visit_par_rec(root_.get(), q, radius * radius, sink);
+    if (root()) ball_visit_par_rec(root(), q, radius * radius, sink);
   }
 
   // kNN fan-out: fork over both children when the subtree is above the
@@ -167,13 +253,13 @@ class SpacTree {
   // concurrent offers (api::ConcurrentKnnBuffer); its capacity is k.
   template <typename ParKnn>
   void knn_visit_par(const point_t& q, std::size_t /*k*/, ParKnn& buf) const {
-    if (root_) knn_par_rec(root_.get(), q, buf);
+    if (root()) knn_par_rec(root(), q, buf);
   }
 
   template <typename Sink>
   void knn_visit(const point_t& q, std::size_t k, Sink&& sink) const {
     KnnBuffer<point_t> buf(k);
-    if (root_) knn_rec(root_.get(), q, buf);
+    if (root()) knn_rec(root(), q, buf);
     for (const auto& e : buf.sorted()) {
       if (!api::sink_accept(sink, e.point)) return;
     }
@@ -187,7 +273,7 @@ class SpacTree {
   }
 
   std::size_t range_count(const box_t& query) const {
-    return root_ ? count_rec(root_.get(), query) : 0;
+    return root() ? count_rec(root(), query) : 0;
   }
 
   std::vector<point_t> range_list(const box_t& query) const {
@@ -198,7 +284,7 @@ class SpacTree {
 
   // Ball (radius) queries: points within Euclidean distance `radius` of q.
   std::size_t ball_count(const point_t& q, double radius) const {
-    return root_ ? ball_count_rec(root_.get(), q, radius * radius) : 0;
+    return root() ? ball_count_rec(root(), q, radius * radius) : 0;
   }
 
   std::vector<point_t> ball_list(const point_t& q, double radius) const {
@@ -210,8 +296,8 @@ class SpacTree {
   std::vector<point_t> flatten() const {
     std::vector<point_t> out;
     out.reserve(size());
-    if (root_) {
-      collect_points(root_.get(), out);
+    if (root()) {
+      collect_points(root(), out);
     }
     return out;
   }
@@ -220,22 +306,22 @@ class SpacTree {
   // Introspection / invariants (test support)
   // -------------------------------------------------------------------
 
-  std::size_t height() const { return height_rec(root_.get()); }
+  std::size_t height() const { return height_rec(root()); }
 
   // Fraction of leaves currently marked unsorted (0 for kTotal).
   double unsorted_leaf_fraction() const {
     std::size_t leaves = 0, unsorted = 0;
-    leaf_stats(root_.get(), leaves, unsorted);
+    leaf_stats(root(), leaves, unsorted);
     return leaves == 0 ? 0.0
                        : static_cast<double>(unsorted) /
                              static_cast<double>(leaves);
   }
 
   void check_invariants() const {
-    if (!root_) return;
+    if (!root()) return;
     std::vector<Entry> inorder;
     inorder.reserve(size());
-    check_rec(root_.get(), inorder);
+    check_rec(root(), inorder);
     for (std::size_t i = 1; i < inorder.size(); ++i) {
       if (entry_less(inorder[i], inorder[i - 1])) {
         throw std::logic_error("spac: global order violated");
@@ -244,20 +330,106 @@ class SpacTree {
   }
 
  private:
+  // Arena node. Interior nodes are fixed-size; a leaf is one variable-size
+  // allocation with the SoA payload trailing the header:
+  //
+  //   [Node][u64 codes[cap]][Coord lane0[cap]]...[Coord laneD-1[cap]]
+  //
+  // `cap` is the allocated lane capacity (count <= cap; deletes leave
+  // headroom that later appends reuse). Links are self-relative, so the
+  // node graph survives whole-arena relocation byte-for-byte.
   struct Node {
     box_t bbox = box_t::empty();
-    std::size_t count = 0;
-    bool leaf = true;
-    // Interior payload.
-    std::unique_ptr<Node> l, r;
+    std::uint64_t count = 0;
+    std::uint32_t cap = 0;   // leaf lane capacity; 0 for interiors
+    std::uint8_t leaf = 1;
+    std::uint8_t sorted = 1;
+    arena::offset_ptr<Node> l, r;
     Entry pivot{};
-    // Leaf payload.
-    std::vector<Entry> items;
-    bool sorted = true;
+
+    std::uint64_t* codes() {
+      return reinterpret_cast<std::uint64_t*>(this + 1);
+    }
+    const std::uint64_t* codes() const {
+      return reinterpret_cast<const std::uint64_t*>(this + 1);
+    }
+    Coord* lane(int d) {
+      return reinterpret_cast<Coord*>(codes() + cap) +
+             static_cast<std::size_t>(d) * cap;
+    }
+    const Coord* lane(int d) const {
+      return reinterpret_cast<const Coord*>(codes() + cap) +
+             static_cast<std::size_t>(d) * cap;
+    }
+    point_t leaf_point(std::size_t i) const {
+      point_t p;
+      for (int d = 0; d < D; ++d) p[d] = lane(d)[i];
+      return p;
+    }
+    Entry leaf_entry(std::size_t i) const {
+      return Entry{codes()[i], leaf_point(i)};
+    }
+    void set_entry(std::size_t i, const Entry& e) {
+      codes()[i] = e.code;
+      for (int d = 0; d < D; ++d) lane(d)[i] = e.pt[d];
+    }
   };
+  static_assert(alignof(Coord) <= arena::ChunkPool::kAlign);
 
   SpacParams params_;
-  std::unique_ptr<Node> root_;
+  // Mutable: the maintenance methods keep their historical const-correct
+  // signatures (they take and return subtree pointers) while allocating
+  // from the pool; queries never allocate.
+  mutable arena::ChunkPool pool_;
+  std::uint64_t root_off_ = 0;  // base-relative; 0 = empty tree
+
+  Node* root() const { return pool_.template from_offset<Node>(root_off_); }
+  void set_root(Node* t) { root_off_ = pool_.to_offset(t); }
+
+  // Parameters that shape the stored structure; an adopted image must
+  // match or invariants (leaf wrap, balance, order) would silently break.
+  std::uint64_t params_fingerprint() const {
+    return (static_cast<std::uint64_t>(params_.leaf_wrap) << 32) |
+           (static_cast<std::uint64_t>(params_.order == LeafOrder::kRelaxed)
+            << 24) |
+           static_cast<std::uint64_t>(params_.alpha * 1e4);
+  }
+
+  // -------------------------------------------------------------------
+  // Node allocation
+  // -------------------------------------------------------------------
+
+  static constexpr std::size_t entry_stride() {
+    return sizeof(std::uint64_t) + D * sizeof(Coord);
+  }
+  static constexpr std::size_t leaf_bytes(std::size_t cap) {
+    return sizeof(Node) + cap * entry_stride();
+  }
+
+  Node* new_interior() const {
+    Node* t = pool_.template create<Node>(0);
+    t->leaf = 0;
+    return t;
+  }
+
+  Node* new_leaf(std::size_t cap) const {
+    Node* t = pool_.template create<Node>(cap * entry_stride());
+    t->cap = static_cast<std::uint32_t>(cap);
+    return t;
+  }
+
+  void free_node(Node* t) const {
+    pool_.free(t, t->leaf ? leaf_bytes(t->cap) : sizeof(Node));
+  }
+
+  void free_subtree(Node* t) const {
+    if (t == nullptr) return;
+    if (!t->leaf) {
+      free_subtree(t->l.get());
+      free_subtree(t->r.get());
+    }
+    free_node(t);
+  }
 
   // -------------------------------------------------------------------
   // Entry order: by code, tie-broken lexicographically on coordinates so
@@ -308,23 +480,50 @@ class SpacTree {
   // Leaf helpers
   // -------------------------------------------------------------------
 
-  void sort_items(std::vector<Entry>& items) const {
-    std::sort(items.begin(), items.end(), entry_less);
+  // Sort the leaf lanes by entry order (small n: materialise, sort,
+  // scatter back).
+  void sort_leaf(Node* t) const {
+    const std::size_t n = t->count;
+    std::vector<Entry> tmp(n);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = t->leaf_entry(i);
+    std::sort(tmp.begin(), tmp.end(), entry_less);
+    for (std::size_t i = 0; i < n; ++i) t->set_entry(i, tmp[i]);
+    t->sorted = 1;
   }
 
-  std::unique_ptr<Node> make_leaf(std::vector<Entry> items, bool sorted) const {
-    auto leaf = std::make_unique<Node>();
-    leaf->leaf = true;
-    leaf->count = items.size();
-    leaf->bbox = box_t::empty();
-    for (const auto& e : items) leaf->bbox.expand(e.pt);
-    leaf->items = std::move(items);
-    leaf->sorted = sorted || leaf->items.size() <= 1;
-    if (!relaxed() && !leaf->sorted) {
-      sort_items(leaf->items);
-      leaf->sorted = true;
+  void refresh_leaf_bbox(Node* t) const {
+    t->bbox = box_t::empty();
+    for (std::size_t i = 0; i < t->count; ++i) {
+      t->bbox.expand(t->leaf_point(i));
     }
-    return leaf;
+  }
+
+  Node* make_leaf(const Entry* a, std::size_t n, bool sorted) const {
+    Node* t = new_leaf(n);
+    t->count = n;
+    for (std::size_t i = 0; i < n; ++i) t->set_entry(i, a[i]);
+    refresh_leaf_bbox(t);
+    t->sorted = (sorted || n <= 1) ? 1 : 0;
+    if (!relaxed() && !t->sorted) sort_leaf(t);
+    return t;
+  }
+
+  Node* make_leaf(const std::vector<Entry>& items, bool sorted) const {
+    return make_leaf(items.data(), items.size(), sorted);
+  }
+
+  // New leaf holding entries [lo, hi) of `src`, lane-wise memcpy.
+  Node* slice_leaf(const Node* src, std::size_t lo, std::size_t hi) const {
+    const std::size_t n = hi - lo;
+    Node* t = new_leaf(n);
+    t->count = n;
+    std::memcpy(t->codes(), src->codes() + lo, n * sizeof(std::uint64_t));
+    for (int d = 0; d < D; ++d) {
+      std::memcpy(t->lane(d), src->lane(d) + lo, n * sizeof(Coord));
+    }
+    refresh_leaf_bbox(t);
+    t->sorted = 1;
+    return t;
   }
 
   // In-order collection of entries; each unsorted leaf is sorted into the
@@ -334,7 +533,9 @@ class SpacTree {
     if (!t) return;
     if (t->leaf) {
       const std::size_t lo = out.size();
-      out.insert(out.end(), t->items.begin(), t->items.end());
+      for (std::size_t i = 0; i < t->count; ++i) {
+        out.push_back(t->leaf_entry(i));
+      }
       if (!t->sorted) {
         std::sort(out.begin() + static_cast<std::ptrdiff_t>(lo), out.end(),
                   entry_less);
@@ -349,7 +550,9 @@ class SpacTree {
   static void collect_points(const Node* t, std::vector<point_t>& out) {
     if (!t) return;
     if (t->leaf) {
-      for (const auto& e : t->items) out.push_back(e.pt);
+      for (std::size_t i = 0; i < t->count; ++i) {
+        out.push_back(t->leaf_point(i));
+      }
       return;
     }
     collect_points(t->l.get(), out);
@@ -357,13 +560,25 @@ class SpacTree {
     collect_points(t->r.get(), out);
   }
 
+  static void collect_unordered(const Node* t, std::vector<Entry>& out) {
+    if (!t) return;
+    if (t->leaf) {
+      for (std::size_t i = 0; i < t->count; ++i) {
+        out.push_back(t->leaf_entry(i));
+      }
+      return;
+    }
+    collect_unordered(t->l.get(), out);
+    out.push_back(t->pivot);
+    collect_unordered(t->r.get(), out);
+  }
+
   // -------------------------------------------------------------------
   // Node construction with leaf wrapping (Alg 4, Node())
   // -------------------------------------------------------------------
 
-  std::unique_ptr<Node> make_node(std::unique_ptr<Node> l, Entry k,
-                                  std::unique_ptr<Node> r) const {
-    const std::size_t n = count(l.get()) + count(r.get()) + 1;
+  Node* make_node(Node* l, Entry k, Node* r) const {
+    const std::size_t n = count(l) + count(r) + 1;
     if (n <= params_.leaf_wrap) {
       // Flatten the whole (small) subtree into one leaf (line 47). In
       // relaxed mode no sort is needed; in total mode collect_sorted keeps
@@ -371,15 +586,17 @@ class SpacTree {
       std::vector<Entry> items;
       items.reserve(n);
       if (!relaxed()) {
-        collect_sorted(l.get(), items);
+        collect_sorted(l, items);
         items.push_back(k);
-        collect_sorted(r.get(), items);
-        return make_leaf(std::move(items), /*sorted=*/true);
+        collect_sorted(r, items);
+      } else {
+        collect_unordered(l, items);
+        items.push_back(k);
+        collect_unordered(r, items);
       }
-      collect_unordered(l.get(), items);
-      items.push_back(k);
-      collect_unordered(r.get(), items);
-      return make_leaf(std::move(items), /*sorted=*/false);
+      free_subtree(l);
+      free_subtree(r);
+      return make_leaf(items, /*sorted=*/!relaxed());
     }
     if (n <= 2 * params_.leaf_wrap) {
       // Redistribute into an interior with two half-size leaves when
@@ -387,50 +604,33 @@ class SpacTree {
       // weight balance. Redistribution needs sorted order, so unsorted
       // leaves are sorted here (line 43). Balanced leaf pairs are kept
       // as-is, which is what lets relaxed (unsorted) leaves survive.
-      const bool both_leaves =
-          (!l || l->leaf) && (!r || r->leaf);
-      if (both_leaves &&
-          !balanced_pair(count(l.get()), count(r.get()))) {
+      const bool both_leaves = (!l || l->leaf) && (!r || r->leaf);
+      if (both_leaves && !balanced_pair(count(l), count(r))) {
         std::vector<Entry> items;
         items.reserve(n);
-        collect_sorted(l.get(), items);
+        collect_sorted(l, items);
         const auto left_n = static_cast<std::ptrdiff_t>(items.size());
         items.push_back(k);
-        collect_sorted(r.get(), items);
+        collect_sorted(r, items);
         std::inplace_merge(items.begin(), items.begin() + left_n, items.end(),
                            entry_less);
+        if (l) free_node(l);
+        if (r) free_node(r);
         const std::size_t m = n / 2;
-        auto node = std::make_unique<Node>();
-        node->leaf = false;
+        Node* node = new_interior();
         node->pivot = items[m];
-        node->l = make_leaf(
-            {items.begin(), items.begin() + static_cast<std::ptrdiff_t>(m)},
-            /*sorted=*/true);
-        node->r = make_leaf({items.begin() + static_cast<std::ptrdiff_t>(m) + 1,
-                             items.end()},
-                            /*sorted=*/true);
-        finish_interior(node.get());
+        node->l = make_leaf(items.data(), m, /*sorted=*/true);
+        node->r = make_leaf(items.data() + m + 1, n - m - 1, /*sorted=*/true);
+        finish_interior(node);
         return node;
       }
     }
-    auto node = std::make_unique<Node>();
-    node->leaf = false;
-    node->l = std::move(l);
-    node->r = std::move(r);
+    Node* node = new_interior();
+    node->l = l;
+    node->r = r;
     node->pivot = k;
-    finish_interior(node.get());
+    finish_interior(node);
     return node;
-  }
-
-  static void collect_unordered(const Node* t, std::vector<Entry>& out) {
-    if (!t) return;
-    if (t->leaf) {
-      out.insert(out.end(), t->items.begin(), t->items.end());
-      return;
-    }
-    collect_unordered(t->l.get(), out);
-    out.push_back(t->pivot);
-    collect_unordered(t->r.get(), out);
   }
 
   static void finish_interior(Node* t) {
@@ -444,34 +644,30 @@ class SpacTree {
   // -------------------------------------------------------------------
   // Expose (Alg 4): open a subtree root; a leaf is first re-sorted (if
   // marked unsorted, line 34) and split one level into two half leaves.
+  // The exposed node itself is returned to the pool.
   // -------------------------------------------------------------------
 
   struct Exposed {
-    std::unique_ptr<Node> l;
-    Entry k;
-    std::unique_ptr<Node> r;
+    Node* l = nullptr;
+    Entry k{};
+    Node* r = nullptr;
   };
 
-  Exposed expose(std::unique_ptr<Node> t) const {
+  Exposed expose(Node* t) const {
     assert(t && t->count >= 1);
     if (!t->leaf) {
-      return Exposed{std::move(t->l), t->pivot, std::move(t->r)};
+      Exposed e{t->l.get(), t->pivot, t->r.get()};
+      free_node(t);
+      return e;
     }
-    if (!t->sorted) sort_items(t->items);
-    const std::size_t n = t->items.size();
+    if (!t->sorted) sort_leaf(t);
+    const std::size_t n = t->count;
     const std::size_t m = n / 2;
     Exposed e;
-    e.k = t->items[m];
-    if (m > 0) {
-      e.l = make_leaf({t->items.begin(),
-                       t->items.begin() + static_cast<std::ptrdiff_t>(m)},
-                      true);
-    }
-    if (m + 1 < n) {
-      e.r = make_leaf({t->items.begin() + static_cast<std::ptrdiff_t>(m) + 1,
-                       t->items.end()},
-                      true);
-    }
+    e.k = t->leaf_entry(m);
+    if (m > 0) e.l = slice_leaf(t, 0, m);
+    if (m + 1 < n) e.r = slice_leaf(t, m + 1, n);
+    free_node(t);
     return e;
   }
 
@@ -479,93 +675,104 @@ class SpacTree {
   // Join (Alg 4 / Just-Join framework)
   // -------------------------------------------------------------------
 
-  std::unique_ptr<Node> join(std::unique_ptr<Node> l, Entry k,
-                             std::unique_ptr<Node> r) const {
-    const std::size_t nl = count(l.get()), nr = count(r.get());
-    if (left_heavy(nl, nr)) return join_right(std::move(l), k, std::move(r));
-    if (left_heavy(nr, nl)) return join_left(std::move(l), k, std::move(r));
-    return make_node(std::move(l), k, std::move(r));
+  Node* join(Node* l, Entry k, Node* r) const {
+    const std::size_t nl = count(l), nr = count(r);
+    if (left_heavy(nl, nr)) return join_right(l, k, r);
+    if (left_heavy(nr, nl)) return join_left(l, k, r);
+    return make_node(l, k, r);
   }
 
   // L is heavier: descend L's right spine until it balances with R, then
   // attach and rebalance with (single/double) rotations on the way out.
-  std::unique_ptr<Node> join_right(std::unique_ptr<Node> l, Entry k,
-                                   std::unique_ptr<Node> r) const {
-    if (balanced_pair(count(l.get()), count(r.get()))) {
-      return make_node(std::move(l), k, std::move(r));
+  Node* join_right(Node* l, Entry k, Node* r) const {
+    if (balanced_pair(count(l), count(r))) {
+      return make_node(l, k, r);
     }
-    Exposed e = expose(std::move(l));
+    Exposed e = expose(l);
     // Re-dispatch through join: exposing a (wrapped) leaf can shrink the
     // spine child past the balance point in one step, so the plain
     // joinRight recursion of the unwrapped algorithm is not safe here.
-    auto t = join(std::move(e.r), k, std::move(r));
-    if (balanced_pair(count(e.l.get()), count(t.get()))) {
-      return make_node(std::move(e.l), e.k, std::move(t));
+    Node* t = join(e.r, k, r);
+    if (balanced_pair(count(e.l), count(t))) {
+      return make_node(e.l, e.k, t);
     }
     // Rotations. t is heavier than e.l; open it up.
-    Exposed et = expose(std::move(t));
-    if (balanced_pair(count(e.l.get()), count(et.l.get())) &&
-        balanced_pair(count(e.l.get()) + count(et.l.get()) + 1,
-                      count(et.r.get()))) {
+    Exposed et = expose(t);
+    if (balanced_pair(count(e.l), count(et.l)) &&
+        balanced_pair(count(e.l) + count(et.l) + 1, count(et.r))) {
       // Single left rotation.
-      return make_node(make_node(std::move(e.l), e.k, std::move(et.l)), et.k,
-                       std::move(et.r));
+      return make_node(make_node(e.l, e.k, et.l), et.k, et.r);
     }
     // Double rotation: rotate right at t, then left here.
-    Exposed etl = expose(std::move(et.l));
-    return make_node(make_node(std::move(e.l), e.k, std::move(etl.l)), etl.k,
-                     make_node(std::move(etl.r), et.k, std::move(et.r)));
+    Exposed etl = expose(et.l);
+    return make_node(make_node(e.l, e.k, etl.l), etl.k,
+                     make_node(etl.r, et.k, et.r));
   }
 
-  std::unique_ptr<Node> join_left(std::unique_ptr<Node> l, Entry k,
-                                  std::unique_ptr<Node> r) const {
-    if (balanced_pair(count(l.get()), count(r.get()))) {
-      return make_node(std::move(l), k, std::move(r));
+  Node* join_left(Node* l, Entry k, Node* r) const {
+    if (balanced_pair(count(l), count(r))) {
+      return make_node(l, k, r);
     }
-    Exposed e = expose(std::move(r));
-    auto t = join(std::move(l), k, std::move(e.l));
-    if (balanced_pair(count(t.get()), count(e.r.get()))) {
-      return make_node(std::move(t), e.k, std::move(e.r));
+    Exposed e = expose(r);
+    Node* t = join(l, k, e.l);
+    if (balanced_pair(count(t), count(e.r))) {
+      return make_node(t, e.k, e.r);
     }
-    Exposed et = expose(std::move(t));
-    if (balanced_pair(count(et.r.get()), count(e.r.get())) &&
-        balanced_pair(count(et.l.get()),
-                      count(et.r.get()) + count(e.r.get()) + 1)) {
+    Exposed et = expose(t);
+    if (balanced_pair(count(et.r), count(e.r)) &&
+        balanced_pair(count(et.l), count(et.r) + count(e.r) + 1)) {
       // Single right rotation.
-      return make_node(std::move(et.l), et.k,
-                       make_node(std::move(et.r), e.k, std::move(e.r)));
+      return make_node(et.l, et.k, make_node(et.r, e.k, e.r));
     }
-    Exposed etr = expose(std::move(et.r));
-    return make_node(make_node(std::move(et.l), et.k, std::move(etr.l)), etr.k,
-                     make_node(std::move(etr.r), e.k, std::move(e.r)));
+    Exposed etr = expose(et.r);
+    return make_node(make_node(et.l, et.k, etr.l), etr.k,
+                     make_node(etr.r, e.k, e.r));
   }
 
   // Join without a middle key: pull the last entry of L up as the pivot.
-  std::unique_ptr<Node> join2(std::unique_ptr<Node> l,
-                              std::unique_ptr<Node> r) const {
+  Node* join2(Node* l, Node* r) const {
     if (!l) return r;
     if (!r) return l;
-    auto [lp, k] = split_last(std::move(l));
-    return join(std::move(lp), k, std::move(r));
+    auto [lp, k] = split_last(l);
+    return join(lp, k, r);
   }
 
   // Remove and return the order-maximal entry of t.
-  std::pair<std::unique_ptr<Node>, Entry> split_last(
-      std::unique_ptr<Node> t) const {
+  std::pair<Node*, Entry> split_last(Node* t) const {
     assert(t);
     if (t->leaf) {
-      auto it = std::max_element(t->items.begin(), t->items.end(), entry_less);
-      Entry e = *it;
-      t->items.erase(it);  // erase preserves relative order -> flag survives
-      if (t->items.empty()) return {nullptr, e};
-      return {make_leaf(std::move(t->items), t->sorted), e};
+      std::size_t mi = 0;
+      for (std::size_t i = 1; i < t->count; ++i) {
+        if (entry_less(t->leaf_entry(mi), t->leaf_entry(i))) mi = i;
+      }
+      const Entry e = t->leaf_entry(mi);
+      if (t->count == 1) {
+        free_node(t);
+        return {nullptr, e};
+      }
+      // Swap-erase; order survives only when the erased entry was last.
+      if (mi != t->count - 1) {
+        t->set_entry(mi, t->leaf_entry(t->count - 1));
+        if (t->sorted) t->sorted = t->count - 1 <= 1 ? 1 : 0;
+      }
+      --t->count;
+      if (!relaxed() && !t->sorted) sort_leaf(t);
+      refresh_leaf_bbox(t);
+      return {t, e};
     }
     if (!t->r) {
       // The pivot itself is the maximum.
-      return {std::move(t->l), t->pivot};
+      Node* l = t->l.get();
+      const Entry e = t->pivot;
+      free_node(t);
+      return {l, e};
     }
-    auto [rp, e] = split_last(std::move(t->r));
-    return {join(std::move(t->l), t->pivot, std::move(rp)), e};
+    Node* l = t->l.get();
+    Node* r = t->r.get();
+    const Entry pivot = t->pivot;
+    free_node(t);
+    auto [rp, e] = split_last(r);
+    return {join(l, pivot, rp), e};
   }
 
   // -------------------------------------------------------------------
@@ -577,7 +784,7 @@ class SpacTree {
     std::uint32_t id;
   };
 
-  std::unique_ptr<Node> build_tree(const std::vector<point_t>& pts) const {
+  Node* build_tree(const std::vector<point_t>& pts) const {
     const std::size_t n = pts.size();
     if (n == 0) return nullptr;
     if (params_.fused_build) {
@@ -605,41 +812,50 @@ class SpacTree {
   }
 
   // BuildSorted (Alg 3 lines 20-31) from ⟨code,id⟩ pairs: points are fetched
-  // by id only when a leaf (or pivot) is materialised.
-  std::unique_ptr<Node> build_sorted_ids(const std::vector<point_t>& pts,
-                                         const CodeId* a, std::size_t n) const {
+  // by id only when a leaf (or pivot) is materialised. Subtrees build in
+  // parallel; the arena's bump allocation is thread-safe.
+  Node* build_sorted_ids(const std::vector<point_t>& pts, const CodeId* a,
+                         std::size_t n) const {
     if (n == 0) return nullptr;
     if (n <= params_.leaf_wrap) {
-      std::vector<Entry> items(n);
+      Node* t = new_leaf(n);
+      t->count = n;
       for (std::size_t i = 0; i < n; ++i) {
-        items[i] = Entry{a[i].code, pts[a[i].id]};
+        t->set_entry(i, Entry{a[i].code, pts[a[i].id]});
       }
-      return make_leaf(std::move(items), /*sorted=*/true);
+      refresh_leaf_bbox(t);
+      t->sorted = 1;
+      return t;
     }
     const std::size_t m = n / 2;
-    auto node = std::make_unique<Node>();
-    node->leaf = false;
+    Node* node = new_interior();
+    Node* l = nullptr;
+    Node* r = nullptr;
     maybe_par_do(
-        n, [&] { node->l = build_sorted_ids(pts, a, m); },
-        [&] { node->r = build_sorted_ids(pts, a + m + 1, n - m - 1); });
+        n, [&] { l = build_sorted_ids(pts, a, m); },
+        [&] { r = build_sorted_ids(pts, a + m + 1, n - m - 1); });
+    node->l = l;
+    node->r = r;
     node->pivot = Entry{a[m].code, pts[a[m].id]};
-    finish_interior(node.get());
+    finish_interior(node);
     return node;
   }
 
-  std::unique_ptr<Node> build_sorted_entries(const Entry* a,
-                                             std::size_t n) const {
+  Node* build_sorted_entries(const Entry* a, std::size_t n) const {
     if (n == 0) return nullptr;
     if (n <= params_.leaf_wrap) {
-      return make_leaf({a, a + n}, /*sorted=*/true);
+      return make_leaf(a, n, /*sorted=*/true);
     }
     const std::size_t m = n / 2;
-    auto node = std::make_unique<Node>();
-    node->leaf = false;
-    maybe_par_do(n, [&] { node->l = build_sorted_entries(a, m); },
-                 [&] { node->r = build_sorted_entries(a + m + 1, n - m - 1); });
+    Node* node = new_interior();
+    Node* l = nullptr;
+    Node* r = nullptr;
+    maybe_par_do(n, [&] { l = build_sorted_entries(a, m); },
+                 [&] { r = build_sorted_entries(a + m + 1, n - m - 1); });
+    node->l = l;
+    node->r = r;
     node->pivot = a[m];
-    finish_interior(node.get());
+    finish_interior(node);
     return node;
   }
 
@@ -672,102 +888,138 @@ class SpacTree {
   // Batch insertion (Alg 4, InsertSorted)
   // -------------------------------------------------------------------
 
-  std::unique_ptr<Node> insert_sorted(std::unique_ptr<Node> t, Entry* batch,
-                                      std::size_t n) const {
+  // Append `n` batch entries to a leaf, growing its lanes when the
+  // capacity (including any headroom left by deletes) runs out.
+  Node* leaf_append(Node* t, const Entry* batch, std::size_t n) const {
+    const std::size_t total = t->count + n;
+    Node* dst = t;
+    if (t->cap < total) {
+      dst = new_leaf(total);
+      dst->count = t->count;
+      dst->bbox = t->bbox;
+      dst->sorted = t->sorted;
+      std::memcpy(dst->codes(), t->codes(),
+                  t->count * sizeof(std::uint64_t));
+      for (int d = 0; d < D; ++d) {
+        std::memcpy(dst->lane(d), t->lane(d), t->count * sizeof(Coord));
+      }
+      free_node(t);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      dst->set_entry(dst->count + i, batch[i]);
+      dst->bbox.expand(batch[i].pt);
+    }
+    dst->count = total;
+    if (relaxed()) {
+      // Append and mark unsorted (lines 8-11).
+      dst->sorted = total <= 1 ? 1 : 0;
+    } else {
+      // Total order: both halves are sorted; merge them.
+      sort_leaf(dst);
+    }
+    return dst;
+  }
+
+  Node* insert_sorted(Node* t, Entry* batch, std::size_t n) const {
     if (n == 0) return t;
-    if (!t) return build_from_sorted_batch(batch, n);
+    if (!t) return build_sorted_entries(batch, n);
     if (t->leaf) {
       if (t->count + n <= params_.leaf_wrap) {
-        // Append and mark unsorted (lines 8-11); total order instead merges.
-        for (std::size_t i = 0; i < n; ++i) {
-          t->bbox.expand(batch[i].pt);
-        }
-        if (relaxed()) {
-          t->items.insert(t->items.end(), batch, batch + n);
-          t->sorted = t->items.size() <= 1;
-        } else {
-          const auto mid = t->items.size();
-          t->items.insert(t->items.end(), batch, batch + n);
-          std::inplace_merge(t->items.begin(),
-                             t->items.begin() + static_cast<std::ptrdiff_t>(mid),
-                             t->items.end(), entry_less);
-        }
-        t->count = t->items.size();
-        return t;
+        return leaf_append(t, batch, n);
       }
       // Leaf overflow (line 12 + Sec C heuristic): small unions are rebuilt
       // locally; large ones expose the leaf and recurse as a batch insert.
       if (t->count + n <= params_.rebuild_factor * params_.leaf_wrap) {
+        if (!t->sorted) sort_leaf(t);
         std::vector<Entry> all;
         all.reserve(t->count + n);
-        if (!t->sorted) sort_items(t->items);
-        std::merge(t->items.begin(), t->items.end(), batch, batch + n,
-                   std::back_inserter(all), entry_less);
+        for (std::size_t i = 0, j = 0; i < t->count || j < n;) {
+          if (j == n ||
+              (i < t->count && !entry_less(batch[j], t->leaf_entry(i)))) {
+            all.push_back(t->leaf_entry(i++));
+          } else {
+            all.push_back(batch[j++]);
+          }
+        }
+        free_node(t);
         return build_sorted_entries(all.data(), all.size());
       }
-      Exposed e = expose(std::move(t));
+      Exposed e = expose(t);
       // Fall through to the interior path with the exposed pieces.
       const std::size_t cut = static_cast<std::size_t>(
           std::upper_bound(batch, batch + n, e.k, entry_less) - batch);
-      std::unique_ptr<Node> nl, nr;
+      Node* nl = nullptr;
+      Node* nr = nullptr;
       maybe_par_do(
-          n, [&] { nl = insert_sorted(std::move(e.l), batch, cut); },
-          [&] { nr = insert_sorted(std::move(e.r), batch + cut, n - cut); });
-      return join(std::move(nl), e.k, std::move(nr));
+          n, [&] { nl = insert_sorted(e.l, batch, cut); },
+          [&] { nr = insert_sorted(e.r, batch + cut, n - cut); });
+      return join(nl, e.k, nr);
     }
     // Interior: split the batch at the pivot (entries equal to the pivot go
     // left, matching the BST invariant), recurse in parallel, re-join.
     const std::size_t cut = static_cast<std::size_t>(
         std::upper_bound(batch, batch + n, t->pivot, entry_less) - batch);
-    std::unique_ptr<Node> nl = std::move(t->l), nr = std::move(t->r);
-    const Entry pivot = t->pivot;
-    maybe_par_do(
-        n, [&] { nl = insert_sorted(std::move(nl), batch, cut); },
-        [&] { nr = insert_sorted(std::move(nr), batch + cut, n - cut); });
-    if (balanced_pair(count(nl.get()), count(nr.get()))) {
+    Node* nl = nullptr;
+    Node* nr = nullptr;
+    {
+      Node* cl = t->l.get();
+      Node* cr = t->r.get();
+      maybe_par_do(
+          n, [&] { nl = insert_sorted(cl, batch, cut); },
+          [&] { nr = insert_sorted(cr, batch + cut, n - cut); });
+    }
+    if (balanced_pair(count(nl), count(nr))) {
       // No rebalance needed: keep the node (and any unsorted leaves below)
       // and just refresh count/bbox — the Join of Alg 4 line 19 reduces to
       // an in-place update here.
-      t->l = std::move(nl);
-      t->r = std::move(nr);
-      finish_interior(t.get());
+      t->l = nl;
+      t->r = nr;
+      finish_interior(t);
       return t;
     }
-    return join(std::move(nl), pivot, std::move(nr));
-  }
-
-  std::unique_ptr<Node> build_from_sorted_batch(Entry* batch,
-                                                std::size_t n) const {
-    return build_sorted_entries(batch, n);
+    const Entry pivot = t->pivot;
+    free_node(t);
+    return join(nl, pivot, nr);
   }
 
   // -------------------------------------------------------------------
   // Batch deletion (Alg 4, symmetric; Sec 4.2 last paragraph)
   // -------------------------------------------------------------------
 
-  std::unique_ptr<Node> delete_sorted(std::unique_ptr<Node> t, Entry* batch,
-                                      std::size_t n) const {
+  // Swap-erase entry `i` of a leaf; returns leaving the sorted flag and
+  // bbox for the caller to refresh.
+  static void leaf_swap_erase(Node* t, std::size_t i) {
+    if (i != t->count - 1) {
+      t->set_entry(i, t->leaf_entry(t->count - 1));
+      t->sorted = 0;  // swap-erase breaks order
+    }
+    --t->count;
+    if (t->count <= 1) t->sorted = 1;
+  }
+
+  // Index of the first stored instance equal to `e`, or count when absent.
+  static std::size_t leaf_find(const Node* t, const Entry& e) {
+    const std::uint64_t* codes = t->codes();
+    for (std::size_t i = 0; i < t->count; ++i) {
+      if (codes[i] == e.code && t->leaf_point(i) == e.pt) return i;
+    }
+    return t->count;
+  }
+
+  Node* delete_sorted(Node* t, Entry* batch, std::size_t n) const {
     if (!t || n == 0) return t;
     if (t->leaf) {
       // Remove one stored instance per batch element.
       for (std::size_t i = 0; i < n; ++i) {
-        auto it = std::find_if(
-            t->items.begin(), t->items.end(),
-            [&](const Entry& e) { return entry_equal(e, batch[i]); });
-        if (it != t->items.end()) {
-          *it = t->items.back();
-          t->items.pop_back();
-          t->sorted = t->items.size() <= 1;  // swap-erase breaks order
-        }
+        const std::size_t j = leaf_find(t, batch[i]);
+        if (j < t->count) leaf_swap_erase(t, j);
       }
-      if (t->items.empty()) return nullptr;
-      if (!relaxed() && !t->sorted) {
-        sort_items(t->items);
-        t->sorted = true;
+      if (t->count == 0) {
+        free_node(t);
+        return nullptr;
       }
-      t->count = t->items.size();
-      t->bbox = box_t::empty();
-      for (const auto& e : t->items) t->bbox.expand(e.pt);
+      if (!relaxed() && !t->sorted) sort_leaf(t);
+      refresh_leaf_bbox(t);
       return t;
     }
     // Partition the sorted batch around the pivot: strictly-below entries go
@@ -781,79 +1033,197 @@ class SpacTree {
     const auto hi = static_cast<std::size_t>(
         std::upper_bound(batch, batch + n, pivot, entry_less) - batch);
     const std::size_t eq = hi - lo;
-    std::unique_ptr<Node> nl = std::move(t->l), nr = std::move(t->r);
-    maybe_par_do(
-        n, [&] { nl = delete_sorted(std::move(nl), batch, lo); },
-        [&] { nr = delete_sorted(std::move(nr), batch + hi, n - hi); });
-    if (eq == 0 && balanced_pair(count(nl.get()), count(nr.get())) &&
-        count(nl.get()) + count(nr.get()) + 1 > params_.leaf_wrap) {
+    Node* nl = nullptr;
+    Node* nr = nullptr;
+    {
+      Node* cl = t->l.get();
+      Node* cr = t->r.get();
+      maybe_par_do(
+          n, [&] { nl = delete_sorted(cl, batch, lo); },
+          [&] { nr = delete_sorted(cr, batch + hi, n - hi); });
+    }
+    if (eq == 0 && balanced_pair(count(nl), count(nr)) &&
+        count(nl) + count(nr) + 1 > params_.leaf_wrap) {
       // Pivot survives and no rebalance/flatten is needed: in-place update.
-      t->l = std::move(nl);
-      t->r = std::move(nr);
-      finish_interior(t.get());
+      t->l = nl;
+      t->r = nr;
+      finish_interior(t);
       return t;
     }
-    auto joined = join(std::move(nl), pivot, std::move(nr));
+    free_node(t);
+    Node* joined = join(nl, pivot, nr);
     if (eq == 0) return joined;
-    return delete_equal(std::move(joined), pivot, eq).first;
+    return delete_equal(joined, pivot, eq).first;
   }
 
   // Remove up to `cnt` stored instances equal to `e` (code and point);
   // returns the new subtree and the number removed. Equal copies can live
   // in both subtrees of an equal pivot, hence the bidirectional descent.
-  std::pair<std::unique_ptr<Node>, std::size_t> delete_equal(
-      std::unique_ptr<Node> t, const Entry& e, std::size_t cnt) const {
-    if (!t || cnt == 0) return {std::move(t), 0};
+  std::pair<Node*, std::size_t> delete_equal(Node* t, const Entry& e,
+                                             std::size_t cnt) const {
+    if (!t || cnt == 0) return {t, 0};
     if (t->leaf) {
       std::size_t removed = 0;
-      for (auto it = t->items.begin(); it != t->items.end() && removed < cnt;) {
-        if (entry_equal(*it, e)) {
-          *it = t->items.back();
-          t->items.pop_back();
+      for (std::size_t i = 0; i < t->count && removed < cnt;) {
+        if (t->codes()[i] == e.code && t->leaf_point(i) == e.pt) {
+          leaf_swap_erase(t, i);
           ++removed;
         } else {
-          ++it;
+          ++i;
         }
       }
-      if (removed == 0) return {std::move(t), 0};
-      if (t->items.empty()) return {nullptr, removed};
-      t->sorted = t->items.size() <= 1;
-      if (!relaxed()) {
-        sort_items(t->items);
-        t->sorted = true;
+      if (removed == 0) return {t, 0};
+      if (t->count == 0) {
+        free_node(t);
+        return {nullptr, removed};
       }
-      t->count = t->items.size();
-      t->bbox = box_t::empty();
-      for (const auto& it2 : t->items) t->bbox.expand(it2.pt);
-      return {std::move(t), removed};
+      if (!relaxed() && !t->sorted) sort_leaf(t);
+      refresh_leaf_bbox(t);
+      return {t, removed};
     }
     if (entry_less(e, t->pivot)) {
-      auto [nl, removed] = delete_equal(std::move(t->l), e, cnt);
-      auto joined = join(std::move(nl), t->pivot, std::move(t->r));
-      return {std::move(joined), removed};
+      Node* cl = t->l.get();
+      Node* cr = t->r.get();
+      const Entry pivot = t->pivot;
+      free_node(t);
+      auto [nl, removed] = delete_equal(cl, e, cnt);
+      return {join(nl, pivot, cr), removed};
     }
     if (entry_less(t->pivot, e)) {
-      auto [nr, removed] = delete_equal(std::move(t->r), e, cnt);
-      auto joined = join(std::move(t->l), t->pivot, std::move(nr));
-      return {std::move(joined), removed};
+      Node* cl = t->l.get();
+      Node* cr = t->r.get();
+      const Entry pivot = t->pivot;
+      free_node(t);
+      auto [nr, removed] = delete_equal(cr, e, cnt);
+      return {join(cl, pivot, nr), removed};
     }
     // pivot == e: consume from the left subtree, then the pivot, then the
     // right subtree.
+    Node* cl = t->l.get();
+    Node* cr = t->r.get();
+    const Entry pivot = t->pivot;
+    free_node(t);
     std::size_t removed = 0;
-    auto [nl, dl] = delete_equal(std::move(t->l), e, cnt);
+    auto [nl, dl] = delete_equal(cl, e, cnt);
     removed += dl;
     const bool del_pivot = removed < cnt;
     if (del_pivot) ++removed;
-    std::unique_ptr<Node> nr = std::move(t->r);
+    Node* nr = cr;
     if (removed < cnt) {
-      auto [nr2, dr] = delete_equal(std::move(nr), e, cnt - removed);
+      auto [nr2, dr] = delete_equal(nr, e, cnt - removed);
       removed += dr;
-      nr = std::move(nr2);
+      nr = nr2;
     }
     if (del_pivot) {
-      return {join2(std::move(nl), std::move(nr)), removed};
+      return {join2(nl, nr), removed};
     }
-    return {join(std::move(nl), t->pivot, std::move(nr)), removed};
+    return {join(nl, pivot, nr), removed};
+  }
+
+  // -------------------------------------------------------------------
+  // Leaf query kernels: batched passes over the contiguous SoA lanes.
+  // Each pass touches one lane start-to-end (vectorisable, no pointer
+  // chases); the per-dim accumulation order matches squared_distance /
+  // Box::contains exactly, so results are bit-identical to the AoS code.
+  // -------------------------------------------------------------------
+
+  static constexpr std::size_t kBlock = 128;
+
+  // m[i] = 1 iff leaf entry base+i lies inside `q` (lane-wise AND).
+  static void leaf_box_mask(const Node* t, const box_t& q, std::size_t base,
+                            std::size_t len, std::uint8_t* m) {
+    for (std::size_t i = 0; i < len; ++i) m[i] = 1;
+    for (int d = 0; d < D; ++d) {
+      const Coord* lane = t->lane(d) + base;
+      const Coord lo = q.lo[d];
+      const Coord hi = q.hi[d];
+      for (std::size_t i = 0; i < len; ++i) {
+        m[i] &= static_cast<std::uint8_t>(lane[i] >= lo && lane[i] <= hi);
+      }
+    }
+  }
+
+  // d2[i] = squared Euclidean distance from leaf entry base+i to `q`,
+  // accumulated dim-major like geometry's squared_distance.
+  static void leaf_dist2(const Node* t, const point_t& q, std::size_t base,
+                         std::size_t len, double* d2) {
+    for (std::size_t i = 0; i < len; ++i) d2[i] = 0;
+    for (int d = 0; d < D; ++d) {
+      const Coord* lane = t->lane(d) + base;
+      const double qd = static_cast<double>(q[d]);
+      for (std::size_t i = 0; i < len; ++i) {
+        const double diff = static_cast<double>(lane[i]) - qd;
+        d2[i] += diff * diff;
+      }
+    }
+  }
+
+  static std::size_t leaf_range_count(const Node* t, const box_t& q) {
+    std::size_t c = 0;
+    std::uint8_t m[kBlock];
+    for (std::size_t base = 0; base < t->count; base += kBlock) {
+      const std::size_t len = std::min(kBlock, t->count - base);
+      leaf_box_mask(t, q, base, len, m);
+      for (std::size_t i = 0; i < len; ++i) c += m[i];
+    }
+    return c;
+  }
+
+  template <typename Sink>
+  static bool leaf_range_visit(const Node* t, const box_t& q, Sink& sink) {
+    std::uint8_t m[kBlock];
+    for (std::size_t base = 0; base < t->count; base += kBlock) {
+      const std::size_t len = std::min(kBlock, t->count - base);
+      leaf_box_mask(t, q, base, len, m);
+      for (std::size_t i = 0; i < len; ++i) {
+        if (m[i] && !api::sink_accept(sink, t->leaf_point(base + i))) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  static std::size_t leaf_ball_count(const Node* t, const point_t& q,
+                                     double r2) {
+    std::size_t c = 0;
+    double d2[kBlock];
+    for (std::size_t base = 0; base < t->count; base += kBlock) {
+      const std::size_t len = std::min(kBlock, t->count - base);
+      leaf_dist2(t, q, base, len, d2);
+      for (std::size_t i = 0; i < len; ++i) c += d2[i] <= r2 ? 1 : 0;
+    }
+    return c;
+  }
+
+  template <typename Sink>
+  static bool leaf_ball_visit(const Node* t, const point_t& q, double r2,
+                              Sink& sink) {
+    double d2[kBlock];
+    for (std::size_t base = 0; base < t->count; base += kBlock) {
+      const std::size_t len = std::min(kBlock, t->count - base);
+      leaf_dist2(t, q, base, len, d2);
+      for (std::size_t i = 0; i < len; ++i) {
+        if (d2[i] <= r2 && !api::sink_accept(sink, t->leaf_point(base + i))) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  // Works for both KnnBuffer and ConcurrentKnnBuffer: distances come from
+  // one batched pass; points are gathered only for offered entries.
+  template <typename Buf>
+  static void leaf_knn_offer(const Node* t, const point_t& q, Buf& buf) {
+    double d2[kBlock];
+    for (std::size_t base = 0; base < t->count; base += kBlock) {
+      const std::size_t len = std::min(kBlock, t->count - base);
+      leaf_dist2(t, q, base, len, d2);
+      for (std::size_t i = 0; i < len; ++i) {
+        buf.offer(d2[i], t->leaf_point(base + i));
+      }
+    }
   }
 
   // -------------------------------------------------------------------
@@ -862,9 +1232,7 @@ class SpacTree {
 
   void knn_rec(const Node* t, const point_t& q, KnnBuffer<point_t>& buf) const {
     if (t->leaf) {
-      for (const auto& e : t->items) {
-        buf.offer(squared_distance(e.pt, q), e.pt);
-      }
+      leaf_knn_offer(t, q, buf);
       return;
     }
     buf.offer(squared_distance(t->pivot.pt, q), t->pivot.pt);
@@ -888,9 +1256,7 @@ class SpacTree {
     if (!query.intersects(t->bbox)) return 0;
     if (query.contains(t->bbox)) return t->count;
     if (t->leaf) {
-      std::size_t c = 0;
-      for (const auto& e : t->items) c += query.contains(e.pt) ? 1 : 0;
-      return c;
+      return leaf_range_count(t, query);
     }
     std::size_t total = query.contains(t->pivot.pt) ? 1 : 0;
     if (t->l) total += count_rec(t->l.get(), query);
@@ -902,8 +1268,8 @@ class SpacTree {
   template <typename Sink>
   static bool visit_all_rec(const Node* t, Sink& sink) {
     if (t->leaf) {
-      for (const auto& e : t->items) {
-        if (!api::sink_accept(sink, e.pt)) return false;
+      for (std::size_t i = 0; i < t->count; ++i) {
+        if (!api::sink_accept(sink, t->leaf_point(i))) return false;
       }
       return true;
     }
@@ -917,12 +1283,7 @@ class SpacTree {
     if (!query.intersects(t->bbox)) return true;
     if (query.contains(t->bbox)) return visit_all_rec(t, sink);
     if (t->leaf) {
-      for (const auto& e : t->items) {
-        if (query.contains(e.pt) && !api::sink_accept(sink, e.pt)) {
-          return false;
-        }
-      }
-      return true;
+      return leaf_range_visit(t, query, sink);
     }
     if (query.contains(t->pivot.pt) && !api::sink_accept(sink, t->pivot.pt)) {
       return false;
@@ -936,11 +1297,7 @@ class SpacTree {
     if (min_squared_distance(t->bbox, q) > r2) return 0;
     if (max_squared_distance(t->bbox, q) <= r2) return t->count;
     if (t->leaf) {
-      std::size_t c = 0;
-      for (const auto& e : t->items) {
-        c += squared_distance(e.pt, q) <= r2 ? 1 : 0;
-      }
-      return c;
+      return leaf_ball_count(t, q, r2);
     }
     std::size_t total = squared_distance(t->pivot.pt, q) <= r2 ? 1 : 0;
     if (t->l) total += ball_count_rec(t->l.get(), q, r2);
@@ -986,9 +1343,7 @@ class SpacTree {
   void knn_par_rec(const Node* t, const point_t& q, ParKnn& buf) const {
     if (min_squared_distance(t->bbox, q) >= buf.bound()) return;
     if (t->leaf) {
-      for (const auto& e : t->items) {
-        buf.offer(squared_distance(e.pt, q), e.pt);
-      }
+      leaf_knn_offer(t, q, buf);
       return;
     }
     buf.offer(squared_distance(t->pivot.pt, q), t->pivot.pt);
@@ -1019,13 +1374,7 @@ class SpacTree {
     if (min_squared_distance(t->bbox, q) > r2) return true;
     if (max_squared_distance(t->bbox, q) <= r2) return visit_all_rec(t, sink);
     if (t->leaf) {
-      for (const auto& e : t->items) {
-        if (squared_distance(e.pt, q) <= r2 &&
-            !api::sink_accept(sink, e.pt)) {
-          return false;
-        }
-      }
-      return true;
+      return leaf_ball_visit(t, q, r2, sink);
     }
     if (squared_distance(t->pivot.pt, q) <= r2 &&
         !api::sink_accept(sink, t->pivot.pt)) {
@@ -1059,22 +1408,24 @@ class SpacTree {
 
   void check_rec(const Node* t, std::vector<Entry>& inorder) const {
     if (t->leaf) {
-      if (t->count != t->items.size()) {
-        throw std::logic_error("spac: leaf count mismatch");
-      }
       if (t->count == 0) throw std::logic_error("spac: empty leaf node");
+      if (t->count > t->cap) {
+        throw std::logic_error("spac: leaf count exceeds capacity");
+      }
       if (t->count > params_.leaf_wrap) {
         throw std::logic_error("spac: leaf exceeds wrap");
       }
       if (!relaxed() && !t->sorted) {
         throw std::logic_error("spac: unsorted leaf under total order");
       }
+      std::vector<Entry> items(t->count);
+      for (std::size_t i = 0; i < t->count; ++i) items[i] = t->leaf_entry(i);
       if (t->sorted &&
-          !std::is_sorted(t->items.begin(), t->items.end(), entry_less)) {
+          !std::is_sorted(items.begin(), items.end(), entry_less)) {
         throw std::logic_error("spac: leaf marked sorted but is not");
       }
       box_t bb = box_t::empty();
-      for (const auto& e : t->items) {
+      for (const auto& e : items) {
         bb.expand(e.pt);
         if (e.code != Codec::encode(e.pt)) {
           throw std::logic_error("spac: stale cached code");
@@ -1082,7 +1433,7 @@ class SpacTree {
       }
       if (!(bb == t->bbox)) throw std::logic_error("spac: leaf bbox not tight");
       const std::size_t lo = inorder.size();
-      inorder.insert(inorder.end(), t->items.begin(), t->items.end());
+      inorder.insert(inorder.end(), items.begin(), items.end());
       std::sort(inorder.begin() + static_cast<std::ptrdiff_t>(lo),
                 inorder.end(), entry_less);
       return;

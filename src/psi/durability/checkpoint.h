@@ -43,13 +43,21 @@
 namespace psi::durability {
 
 inline constexpr std::uint32_t kManifestMagic = 0x5053494D;  // "PSIM"
-inline constexpr std::uint32_t kManifestVersion = 1;
+// v2: per-shard format byte after the file name — kCkptFormatPoints is the
+// dataset_io point codec, kCkptFormatArena a raw relocatable-arena image
+// (core/arena/chunk_pool.h; itself CRC-framed and validated on adopt).
+// v1 manifests (no format byte) read back as all-points.
+inline constexpr std::uint32_t kManifestVersion = 2;
+
+inline constexpr std::uint8_t kCkptFormatPoints = 0;
+inline constexpr std::uint8_t kCkptFormatArena = 1;
 
 struct ManifestShard {
   std::uint64_t key = 0;
   std::uint64_t version = 0;
   std::uint64_t factory_id = 0;
   std::string file;
+  std::uint8_t format = kCkptFormatPoints;
 };
 
 struct Manifest {
@@ -66,6 +74,14 @@ inline std::string checkpoint_file(std::uint64_t epoch, std::uint64_t key) {
   return "ckpt-" + std::to_string(epoch) + "-" + std::to_string(key) + ".bin";
 }
 
+// Arena-image snapshot of one shard (the "ckpt-" prefix keeps it inside
+// remove_stale_checkpoints' sweep).
+inline std::string checkpoint_arena_file(std::uint64_t epoch,
+                                         std::uint64_t key) {
+  return "ckpt-" + std::to_string(epoch) + "-" + std::to_string(key) +
+         ".arena";
+}
+
 inline void write_manifest(const std::string& dir, const Manifest& m,
                            bool do_fsync = true) {
   net::WireWriter w;
@@ -79,6 +95,7 @@ inline void write_manifest(const std::string& dir, const Manifest& m,
     w.put_u64(s.version);
     w.put_u64(s.factory_id);
     w.put_string(s.file);
+    w.put_u8(s.format);
   }
   auto bytes = std::move(w).finish(net::MsgType::kOk).bytes;
   const std::uint32_t crc = crc32(bytes.data(), bytes.size());
@@ -108,7 +125,8 @@ inline std::optional<Manifest> read_manifest(const std::string& dir) {
   }
   net::WireReader r(bytes.data(), bytes.size() - 4);
   if (r.get_u32() != kManifestMagic) throw net::WireError("bad manifest magic");
-  if (r.get_u32() != kManifestVersion) {
+  const std::uint32_t version = r.get_u32();
+  if (version != 1 && version != kManifestVersion) {
     throw net::WireError("unsupported manifest version");
   }
   Manifest m;
@@ -122,9 +140,114 @@ inline std::optional<Manifest> read_manifest(const std::string& dir) {
     s.version = r.get_u64();
     s.factory_id = r.get_u64();
     s.file = r.get_string();
+    s.format = version >= 2 ? r.get_u8() : kCkptFormatPoints;
+    if (s.format != kCkptFormatPoints && s.format != kCkptFormatArena) {
+      throw net::WireError("unknown checkpoint shard format");
+    }
     m.shards.push_back(std::move(s));
   }
   return m;
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator topology record
+// ---------------------------------------------------------------------------
+//
+// The per-host manifests name shard contents (key -> file) but not the
+// routing that stitched them into a cluster: the shard map's code
+// boundaries, owners, and the coordinator epoch live only in coordinator
+// memory. The TOPOLOGY file (written under `<dir>/coordinator`, atomically,
+// after every successful full checkpoint) records exactly that, so a
+// restart whose WAL tails are clean can re-install every checkpointed
+// shard verbatim — arena images adopt in O(bytes) — instead of decoding
+// the whole cluster to points and re-partitioning from scratch.
+//
+//   TOPOLOGY   [u32 magic "PSIT"][u32 version][u64 epoch][u32 nshards]
+//              { [u64 key][u64 upper][u64 shard_version][u32 owner] }*
+//              [u32 crc32 of everything above]
+//
+// `upper` is the shard's inclusive upper SFC-code bound; shards are listed
+// in map order, so the uppers must strictly increase and end at 2^64-1.
+// The file is an accelerator, never the source of truth: recovery falls
+// back to the decode-and-rebuild path whenever the record is missing or
+// disagrees with what the manifests actually delivered.
+
+inline constexpr std::uint32_t kTopologyMagic = 0x50534954;  // "PSIT"
+inline constexpr std::uint32_t kTopologyVersion = 1;
+
+struct TopologyShard {
+  std::uint64_t key = 0;
+  std::uint64_t upper = 0;  // inclusive upper code bound
+  std::uint64_t version = 0;
+  std::uint32_t owner = 0;  // NodeId
+};
+
+struct Topology {
+  std::uint64_t epoch = 0;
+  std::vector<TopologyShard> shards;
+};
+
+inline std::string topology_path(const std::string& dir) {
+  return dir + "/TOPOLOGY";
+}
+
+inline void write_topology(const std::string& dir, const Topology& t,
+                           bool do_fsync = true) {
+  std::filesystem::create_directories(dir);
+  net::WireWriter w;
+  w.put_u32(kTopologyMagic);
+  w.put_u32(kTopologyVersion);
+  w.put_u64(t.epoch);
+  w.put_u32(static_cast<std::uint32_t>(t.shards.size()));
+  for (const auto& s : t.shards) {
+    w.put_u64(s.key);
+    w.put_u64(s.upper);
+    w.put_u64(s.version);
+    w.put_u32(s.owner);
+  }
+  auto bytes = std::move(w).finish(net::MsgType::kOk).bytes;
+  const std::uint32_t crc = crc32(bytes.data(), bytes.size());
+  for (int i = 0; i < 4; ++i) {
+    bytes.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+  io::write_file_atomic(topology_path(dir), bytes.data(), bytes.size(),
+                        do_fsync);
+}
+
+// nullopt when absent (pre-topology deployment, or never checkpointed).
+// Corruption throws, like the manifest: rename atomicity means a damaged
+// record is real trouble, not a half-written one.
+inline std::optional<Topology> read_topology(const std::string& dir) {
+  std::ifstream in(topology_path(dir), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (bytes.size() < 4) throw net::WireError("topology too short");
+  std::uint32_t crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    crc |= static_cast<std::uint32_t>(bytes[bytes.size() - 4 + i]) << (8 * i);
+  }
+  if (crc32(bytes.data(), bytes.size() - 4) != crc) {
+    throw net::WireError("topology checksum mismatch");
+  }
+  net::WireReader r(bytes.data(), bytes.size() - 4);
+  if (r.get_u32() != kTopologyMagic) throw net::WireError("bad topology magic");
+  if (r.get_u32() != kTopologyVersion) {
+    throw net::WireError("unsupported topology version");
+  }
+  Topology t;
+  t.epoch = r.get_u64();
+  const std::uint32_t n = r.get_u32();
+  t.shards.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    TopologyShard s;
+    s.key = r.get_u64();
+    s.upper = r.get_u64();
+    s.version = r.get_u64();
+    s.owner = r.get_u32();
+    t.shards.push_back(s);
+  }
+  return t;
 }
 
 // Remove ckpt files (and orphaned .tmp leftovers) that the durable
@@ -150,21 +273,51 @@ inline void remove_stale_checkpoints(const std::string& dir,
   }
 }
 
+// One shard's snapshot contents, in whichever encoding the caller chose:
+// a non-empty image means the arena fast path (the shard moves to disk as
+// one memcpy'd, self-validating blob — no flatten, no per-point encode);
+// otherwise `pts` takes the point codec.
+template <typename Coord, int D>
+struct CheckpointShard {
+  std::vector<Point<Coord, D>> pts;
+  std::vector<std::uint8_t> image;
+  bool is_arena() const { return !image.empty(); }
+};
+
 // Full checkpoint write: shard files first (atomically, fsync'd), manifest
-// last, stale-generation sweep after. `m.shards[i].file` is filled in here;
-// callers set key/version/factory_id and epoch/watermark.
+// last, stale-generation sweep after. `m.shards[i].file` and `.format` are
+// filled in here; callers set key/version/factory_id and epoch/watermark.
+template <typename Coord, int D>
+void write_checkpoint(const std::string& dir, Manifest m,
+                      const std::vector<CheckpointShard<Coord, D>>& shards,
+                      bool do_fsync = true) {
+  std::filesystem::create_directories(dir);
+  for (std::size_t i = 0; i < m.shards.size(); ++i) {
+    if (shards[i].is_arena()) {
+      m.shards[i].format = kCkptFormatArena;
+      m.shards[i].file = checkpoint_arena_file(m.epoch, m.shards[i].key);
+      io::write_file_atomic(dir + "/" + m.shards[i].file,
+                            shards[i].image.data(), shards[i].image.size(),
+                            do_fsync);
+    } else {
+      m.shards[i].format = kCkptFormatPoints;
+      m.shards[i].file = checkpoint_file(m.epoch, m.shards[i].key);
+      io::save_binary_atomic<Coord, D>(dir + "/" + m.shards[i].file,
+                                       shards[i].pts, do_fsync);
+    }
+  }
+  write_manifest(dir, m, do_fsync);
+  remove_stale_checkpoints(dir, m);
+}
+
+// Point-wise convenience overload (tests, non-arena callers).
 template <typename Coord, int D>
 void write_checkpoint(const std::string& dir, Manifest m,
                       const std::vector<std::vector<Point<Coord, D>>>& pts,
                       bool do_fsync = true) {
-  std::filesystem::create_directories(dir);
-  for (std::size_t i = 0; i < m.shards.size(); ++i) {
-    m.shards[i].file = checkpoint_file(m.epoch, m.shards[i].key);
-    io::save_binary_atomic<Coord, D>(dir + "/" + m.shards[i].file, pts[i],
-                                     do_fsync);
-  }
-  write_manifest(dir, m, do_fsync);
-  remove_stale_checkpoints(dir, m);
+  std::vector<CheckpointShard<Coord, D>> shards(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) shards[i].pts = pts[i];
+  write_checkpoint<Coord, D>(dir, std::move(m), shards, do_fsync);
 }
 
 }  // namespace psi::durability

@@ -28,7 +28,11 @@
 
 #include <chrono>
 #include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iterator>
 #include <limits>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -40,12 +44,24 @@
 
 namespace psi::durability {
 
+// Turns one arena checkpoint image back into points — callers that know
+// the index type implement it as adopt + flatten. recover() invokes it
+// only when WAL-tail replay forces materialisation; a clean restart keeps
+// the images intact for the O(bytes) adopt path.
+template <typename Coord, int D>
+using ArenaDecoder = std::function<std::vector<Point<Coord, D>>(
+    std::uint64_t factory_id, const std::vector<std::uint8_t>& image)>;
+
 template <typename Coord, int D>
 struct RecoveredShard {
   std::uint64_t key = 0;
   std::uint64_t version = 0;
   std::uint64_t factory_id = 0;
   std::vector<Point<Coord, D>> pts;
+  // Non-empty iff the shard survived as a raw arena image (checkpoint
+  // format kCkptFormatArena, no WAL tail forced materialisation). Exactly
+  // one of pts/image carries the contents.
+  std::vector<std::uint8_t> image;
 };
 
 template <typename Coord, int D>
@@ -65,7 +81,31 @@ struct RecoveredState {
   bool torn_tail = false;
   std::vector<RecoveredShard<Coord, D>> shards;
 
+  bool has_images() const {
+    for (const auto& s : shards) {
+      if (!s.image.empty()) return true;
+    }
+    return false;
+  }
+
+  // Decode every remaining arena image to points (callers that bulk-load
+  // through a topology reshuffle need the multiset, not the structure).
+  void materialize(const ArenaDecoder<Coord, D>& decoder) {
+    for (auto& s : shards) {
+      if (s.image.empty()) continue;
+      s.pts = decoder(s.factory_id, s.image);
+      s.image.clear();
+      s.image.shrink_to_fit();
+    }
+  }
+
   std::vector<Point<Coord, D>> all_points() const {
+    // Opaque images hold points this multiset must include — losing them
+    // silently would be data loss; materialize() first.
+    if (has_images()) {
+      throw std::logic_error(
+          "recovery: all_points() with unmaterialized arena images");
+    }
     std::vector<Point<Coord, D>> out;
     std::size_t total = 0;
     for (const auto& s : shards) total += s.pts.size();
@@ -97,7 +137,8 @@ bool erase_one(std::vector<Point<Coord, D>>& pts, const Point<Coord, D>& p) {
 template <typename Coord, int D>
 RecoveredState<Coord, D> recover(
     const std::string& dir,
-    std::uint64_t epoch_cut = std::numeric_limits<std::uint64_t>::max()) {
+    std::uint64_t epoch_cut = std::numeric_limits<std::uint64_t>::max(),
+    const ArenaDecoder<Coord, D>& decoder = nullptr) {
   using point_t = Point<Coord, D>;
   RecoveredState<Coord, D> out;
 
@@ -114,10 +155,39 @@ RecoveredState<Coord, D> recover(
       r.key = s.key;
       r.version = s.version;
       r.factory_id = s.factory_id;
-      r.pts = io::load_binary<Coord, D>(dir + "/" + s.file);
+      if (s.format == kCkptFormatArena) {
+        // The image bytes load verbatim; validation (CRC, fingerprint)
+        // happens where they are adopted or decoded, never here.
+        std::ifstream in(dir + "/" + s.file, std::ios::binary);
+        if (!in) {
+          throw std::runtime_error("recovery: missing checkpoint file " +
+                                   s.file);
+        }
+        r.image.assign(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+      } else {
+        r.pts = io::load_binary<Coord, D>(dir + "/" + s.file);
+      }
       out.shards.push_back(std::move(r));
     }
   }
+
+  // WAL replay is a multiset evaluation over point vectors (deletes may
+  // search every shard), so the first record that actually applies forces
+  // every arena image down to points. A clean tail — the common restart
+  // after an orderly checkpoint — never decodes anything.
+  bool materialized = false;
+  auto ensure_points = [&] {
+    if (materialized) return;
+    materialized = true;
+    if (!out.has_images()) return;
+    if (!decoder) {
+      throw std::runtime_error(
+          "recovery: WAL tail replay over an arena checkpoint requires a "
+          "decoder");
+    }
+    out.materialize(decoder);
+  };
 
   auto slot_of = [&out](std::uint64_t key) -> RecoveredShard<Coord, D>& {
     for (auto& s : out.shards) {
@@ -163,6 +233,7 @@ RecoveredState<Coord, D> recover(
         ++out.records_skipped;
         continue;
       }
+      ensure_points();
       out.found = true;
       for (auto& sh : rec.shards) {
         auto& slot = slot_of(sh.key);

@@ -136,7 +136,8 @@ class DistributedService {
                      factory_t factory = [](std::size_t) { return Index(); })
       : transport_(transport),
         cache_(cfg.cache_entries, cfg.cache_max_entry_bytes),
-        cfg_(cfg) {
+        cfg_(cfg),
+        factory_(factory) {
     std::vector<NodeId> ids;
     for (std::size_t i = 0; i < std::max<std::size_t>(1, num_nodes); ++i) {
       const NodeId id = static_cast<NodeId>(i + 1);
@@ -145,6 +146,7 @@ class DistributedService {
       hosts_.push_back(std::make_unique<host_t>(
           id, transport_, factory, cfg.pipelined_commits, std::move(dur),
           cfg.retained_epochs));
+      hosts_.back()->set_arena_checkpoints(cfg.arena_handoff);
       ids.push_back(id);
     }
     coordinator_ =
@@ -213,20 +215,35 @@ class DistributedService {
   // Rebuild the cluster's state from the base directory: per-node
   // checkpoint + WAL tail, cut uniformly at the coordinator's last commit
   // marker, deduped by shard key (a migrated shard may appear in two
-  // nodes' checkpoints — the higher content version wins). The recovered
-  // multiset is bulk-loaded through the coordinator (fresh topology) and
-  // immediately re-checkpointed. Call on a freshly constructed facade.
+  // nodes' checkpoints — the higher content version wins).
+  //
+  // Clean restart — every WAL tail empty and the recovered shards exactly
+  // matching the coordinator's TOPOLOGY record — re-installs the
+  // checkpointed topology verbatim: shard keys, versions, code bounds, and
+  // placement all survive, and arena-format snapshots adopt in O(bytes)
+  // with no decode or rebuild anywhere — and the on-disk checkpoint is
+  // left as-is, since it already describes the restored state exactly.
+  // Otherwise (WAL tail, crash mid-checkpoint, pre-topology directory)
+  // the recovered multiset is bulk-loaded through the coordinator as a
+  // fresh topology and immediately re-checkpointed. Call on a freshly
+  // constructed facade.
   void recover_from_disk() {
     std::lock_guard<std::mutex> g(write_mu_);
     if (!cfg_.durability.armed()) return;
     const auto t0 = std::chrono::steady_clock::now();
     const std::uint64_t cut =
         psi::durability::last_marker(cfg_.durability.dir + "/coordinator");
+    const auto topo =
+        psi::durability::read_topology(cfg_.durability.dir + "/coordinator");
     std::map<std::uint64_t, psi::durability::RecoveredShard<coord_t, kDim>>
         best;
+    const auto decoder = arena_decoder();
+    bool at_checkpoint = true;  // recovered state == checkpointed state?
     for (std::size_t i = 0; i < hosts_.size(); ++i) {
       const NodeId id = static_cast<NodeId>(i + 1);
-      auto rec = psi::durability::recover<coord_t, kDim>(node_dir(id), cut);
+      auto rec =
+          psi::durability::recover<coord_t, kDim>(node_dir(id), cut, decoder);
+      at_checkpoint = at_checkpoint && rec.records_applied == 0;
       if (!rec.found) continue;
       for (auto& s : rec.shards) {
         const auto it = best.find(s.key);
@@ -235,12 +252,31 @@ class DistributedService {
         }
       }
     }
-    std::vector<point_t> pts;
-    for (auto& [key, shard] : best) {
-      pts.insert(pts.end(), shard.pts.begin(), shard.pts.end());
+    if (topo && at_checkpoint &&
+        coordinator_->restore_topology(*topo, best, decoder)) {
+      // Verbatim restore: the on-disk checkpoint already describes exactly
+      // the live state (zero WAL records applied, identical shard versions
+      // and placement), so re-writing it would be a byte-for-byte copy.
+      // Skip it — each host's WAL resumes above the old manifest
+      // watermark, so records appended after this restart stay visible to
+      // the next recovery against the existing checkpoint.
+      const auto s = coordinator_->stats();
+      last_topology_events_ = s.splits + s.merges + s.migrations;
+    } else {
+      std::vector<point_t> pts;
+      for (auto& [key, shard] : best) {
+        // The bulk load below repartitions across a fresh topology, so any
+        // shard still held as an arena image decodes here — only after
+        // dedup, so a superseded copy never pays the decode.
+        if (!shard.image.empty()) {
+          shard.pts = decoder(shard.factory_id, shard.image);
+          shard.image.clear();
+        }
+        pts.insert(pts.end(), shard.pts.begin(), shard.pts.end());
+      }
+      coordinator_->load(pts);
+      checkpoint_all_locked();
     }
-    coordinator_->load(pts);
-    checkpoint_all_locked();
     recovery_ms_ = std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - t0)
                        .count();
@@ -260,7 +296,7 @@ class DistributedService {
   void recover_host(std::size_t idx) {
     std::lock_guard<std::mutex> g(write_mu_);
     const NodeId id = static_cast<NodeId>(idx + 1);
-    coordinator_->recover_host(id, node_dir(id));
+    coordinator_->recover_host(id, node_dir(id), arena_decoder());
   }
 
   // -------------------------------------------------------------------
@@ -442,6 +478,11 @@ class DistributedService {
       if (h) h->checkpoint();
     }
     coordinator_->truncate_marker_log();
+    // Topology record last: it must never name manifests that were not
+    // durably written yet. A crash in between leaves a topology whose
+    // shard versions disagree with the (newer) manifests, which recovery
+    // detects and answers with the bulk-load path.
+    coordinator_->save_topology();
     const auto s = coordinator_->stats();
     last_topology_events_ = s.splits + s.merges + s.migrations;
   }
@@ -1041,8 +1082,20 @@ class DistributedService {
   telemetry::Counter* waits_ctr_ = &telemetry::StatsRegistry::instance()
                                         .counter("psi_stream_backpressure_waits");
   DistributedConfig cfg_;
+  // Kept for recovery: decoding an arena checkpoint image back to points
+  // needs an index of the same backend type (adopt + flatten).
+  factory_t factory_;
   double recovery_ms_ = 0;
   std::uint64_t last_topology_events_ = 0;
+
+  psi::durability::ArenaDecoder<coord_t, kDim> arena_decoder() const {
+    return [this](std::uint64_t factory_id,
+                  const std::vector<std::uint8_t>& image) {
+      Index idx = factory_(static_cast<std::size_t>(factory_id));
+      service::adopt_index_arena(idx, image.data(), image.size());
+      return idx.flatten();
+    };
+  }
 };
 
 }  // namespace psi::net

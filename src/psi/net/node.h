@@ -128,6 +128,11 @@ class ShardHost {
 
   NodeId id() const { return id_; }
 
+  // Snapshot relocatable slots as raw arena images (default). The facade
+  // turns this off when DistributedConfig::arena_handoff is off so the
+  // fig15 comparison can measure the point-wise checkpoint path.
+  void set_arena_checkpoints(bool v) { arena_checkpoints_ = v; }
+
   // Diagnostic observers (tests). Reads the published view — safe from any
   // thread.
   std::size_t hosted_shards() const {
@@ -156,19 +161,28 @@ class ShardHost {
     m.epoch = last_epoch_;
     m.watermark = wal_.rotate();
     const std::uint64_t watermark = m.watermark;
-    std::vector<std::vector<point_t>> pts;
+    std::vector<psi::durability::CheckpointShard<coord_t, kDim>> shards;
     m.shards.reserve(keys_.size());
-    pts.reserve(keys_.size());
+    shards.reserve(keys_.size());
     for (std::size_t i = 0; i < keys_.size(); ++i) {
       psi::durability::ManifestShard s;
       s.key = keys_[i];
       s.version = versions_[i];
       s.factory_id = store_.origin_of(i);
       m.shards.push_back(std::move(s));
-      pts.push_back(store_.flatten(i));
+      // Relocatable slots snapshot as one raw arena image (serialize is a
+      // header + chunk memcpy — no flatten, no per-point encode); the rest
+      // take the point codec.
+      psi::durability::CheckpointShard<coord_t, kDim> data;
+      if (arena_checkpoints_ && store_.slot_relocatable(i)) {
+        data.image = store_.serialize_slot(i);
+      } else {
+        data.pts = store_.flatten(i);
+      }
+      shards.push_back(std::move(data));
     }
     psi::durability::write_checkpoint<coord_t, kDim>(dur_.dir, std::move(m),
-                                                     pts, dur_.fsync);
+                                                     shards, dur_.fsync);
     wal_.truncate_below(watermark);
   }
 
@@ -582,41 +596,70 @@ class ShardHost {
     return out;
   }
 
-  // kInstallShard: [u64 key][u64 version][u64 factory_id][points]
-  // -> kOk: [u64 size]. Adopts (or replaces) a shard — bulk load, split
-  // output, and handoff destination all land here.
+  // kInstallShard: [u64 key][u64 version][u64 factory_id][u8 format]
+  // then points (kShardFormatPoints) or a CRC-framed arena image blob
+  // (kShardFormatArena) -> kOk: [u64 size]. Adopts (or replaces) a shard —
+  // bulk load, split output, and handoff destination all land here. A
+  // corrupt or mismatched arena image is rejected by adopt (validated
+  // before install), surfacing as kError with the slot untouched.
   Message on_install(Message& req) {
     PSI_TRACE_SPAN("host.install");
     WireReader r(req);
     const std::uint64_t key = r.get_u64();
     const std::uint64_t version = r.get_u64();
     const auto factory_id = static_cast<std::size_t>(r.get_u64());
-    const std::vector<point_t> pts = r.template get_points<coord_t, kDim>();
+    const std::uint8_t format = r.get_u8();
+    std::vector<point_t> pts;
+    std::vector<std::uint8_t> image;
+    if (format == kShardFormatArena) {
+      image = r.get_blob();
+    } else if (format == kShardFormatPoints) {
+      pts = r.template get_points<coord_t, kDim>();
+    } else {
+      throw WireError("install: unknown shard format " +
+                      std::to_string(format));
+    }
     std::lock_guard<std::mutex> g(mu_);
     const std::size_t slot = slot_of(key);
-    // Fallible store mutation FIRST (Index::build can throw), metadata
-    // second: an exception must leave keys_/versions_ aligned with the
-    // slot array and must not stamp a new version onto old contents.
+    // Fallible store mutation FIRST (Index::build / adopt can throw),
+    // metadata second: an exception must leave keys_/versions_ aligned
+    // with the slot array and must not stamp a new version onto old
+    // contents.
+    std::size_t installed;
     if (slot == npos) {
-      store_.insert_slot(store_.num_slots(), pts, factory_id);
+      installed = format == kShardFormatArena
+                      ? store_.insert_slot_raw(store_.num_slots(),
+                                               image.data(), image.size(),
+                                               factory_id)
+                      : (store_.insert_slot(store_.num_slots(), pts,
+                                            factory_id),
+                         pts.size());
       keys_.push_back(key);
       versions_.push_back(version);
     } else {
-      store_.replace_slot(slot, pts, factory_id);
+      installed = format == kShardFormatArena
+                      ? store_.replace_slot_raw(slot, image.data(),
+                                                image.size(), factory_id)
+                      : (store_.replace_slot(slot, pts, factory_id),
+                         pts.size());
       versions_[slot] = version;
     }
     publish();
     WireWriter w;
-    w.put_u64(pts.size());
+    w.put_u64(installed);
     return std::move(w).finish(MsgType::kOk);
   }
 
-  // kFetchShard: [u64 key] -> kShardData:
-  // [u64 key][u64 version][u64 factory_id][points]
+  // kFetchShard: [u64 key][u8 allow_raw] -> kShardData:
+  // [u64 key][u64 version][u64 factory_id][u8 format] then points or an
+  // arena image blob. The raw fast path is taken only when the caller
+  // allows it AND the slot's backend is relocatable — split/merge/flatten
+  // fetches need the points themselves and always pass allow_raw = 0.
   Message on_fetch(Message& req) {
     PSI_TRACE_SPAN("host.fetch");
     WireReader r(req);
     const std::uint64_t key = r.get_u64();
+    const bool allow_raw = r.get_u8() != 0;
     std::lock_guard<std::mutex> g(mu_);
     const std::size_t slot = slot_of(key);
     if (slot == npos) {
@@ -626,7 +669,13 @@ class ShardHost {
     w.put_u64(key);
     w.put_u64(versions_[slot]);
     w.put_u64(store_.origin_of(slot));
-    w.put_points(store_.flatten(slot));
+    if (allow_raw && store_.slot_relocatable(slot)) {
+      w.put_u8(kShardFormatArena);
+      w.put_blob(store_.serialize_slot(slot));
+    } else {
+      w.put_u8(kShardFormatPoints);
+      w.put_points(store_.flatten(slot));
+    }
     return std::move(w).finish(MsgType::kShardData);
   }
 
@@ -751,6 +800,7 @@ class ShardHost {
   psi::durability::DurabilityConfig dur_;
   psi::durability::WalWriter wal_;
   std::uint64_t last_epoch_ = 0;  // highest logged commit epoch (manifest)
+  bool arena_checkpoints_ = true;  // see set_arena_checkpoints()
 };
 
 // ---------------------------------------------------------------------------
@@ -793,6 +843,11 @@ struct DistributedConfig : service::ServiceConfig {
   // Keep per-node shard counts within one of each other by migrating
   // shards off the most loaded node after every commit's rebalance.
   bool balance_nodes = true;
+  // Ship relocatable shards as raw CRC-framed arena images during
+  // migration/host recovery and snapshot them as arena checkpoint files.
+  // Off forces the legacy point-wise codec everywhere — the knob exists
+  // for the fig15 arena-vs-points comparison, not for production use.
+  bool arena_handoff = true;
 };
 
 template <typename Coord, int D,
@@ -993,8 +1048,18 @@ class Coordinator {
     if (src == dest) return;
     PSI_TRACE_SPAN("coord.migrate");
     const std::uint64_t key = dir_.key_of(i);
-    auto [pts, version, origin] = fetch_shard(key, src);
-    install_raw(key, version, origin, pts, dest);
+    // Migration moves the structure, not its contents: when the backend is
+    // relocatable the shard travels as one CRC-framed arena image and the
+    // destination adopts it with a validate + memcpy — no flatten on the
+    // source, no re-sort/rebuild on the destination. Non-arena backends
+    // take the point-wise codec below, same as always.
+    FetchedShard f = fetch_shard_any(key, src,
+                                     /*allow_raw=*/cfg_.arena_handoff);
+    if (f.is_arena) {
+      install_arena(key, f.version, f.origin, f.image, dest);
+    } else {
+      install_raw(key, f.version, f.origin, f.pts, dest);
+    }
     dir_.move_owner(i, dest);
     ++stats_.migrations;
     publish();  // new route first: late readers route to dest...
@@ -1042,12 +1107,18 @@ class Coordinator {
   // surviving nodes round-robin. Shards whose data did not survive (never
   // checkpointed, log lost) come back empty rather than wedging the
   // topology. Externally serialised with writes, like every mutation here.
-  void recover_host(NodeId dead, const std::string& dead_dir) {
+  void recover_host(
+      NodeId dead, const std::string& dead_dir,
+      const psi::durability::ArenaDecoder<Coord, D>& decoder = nullptr) {
     const std::uint64_t cut =
         marker_wal_.is_open()
             ? psi::durability::last_marker(cfg_.durability.dir + "/coordinator")
             : std::numeric_limits<std::uint64_t>::max();
-    auto rec = psi::durability::recover<Coord, D>(dead_dir, cut);
+    // Arena-checkpointed shards with a clean WAL tail come back as raw
+    // images and re-install with one validate + adopt on the destination;
+    // a dirty tail materialises them through `decoder` (facade-provided)
+    // and takes the point path below.
+    auto rec = psi::durability::recover<Coord, D>(dead_dir, cut, decoder);
     nodes_.erase(std::remove(nodes_.begin(), nodes_.end(), dead),
                  nodes_.end());
     if (nodes_.empty()) {
@@ -1061,7 +1132,11 @@ class Coordinator {
           rec.shards.begin(), rec.shards.end(),
           [&](const auto& s) { return s.key == key; });
       const NodeId dest = nodes_[rr++ % nodes_.size()];
-      if (it != rec.shards.end()) {
+      if (it != rec.shards.end() && !it->image.empty()) {
+        sizes_[i] = install_arena(key, dir_.version_of(i),
+                                  static_cast<std::size_t>(it->factory_id),
+                                  it->image, dest);
+      } else if (it != rec.shards.end()) {
         install_raw(key, dir_.version_of(i),
                     static_cast<std::size_t>(it->factory_id), it->pts, dest);
         sizes_[i] = it->pts.size();
@@ -1072,6 +1147,105 @@ class Coordinator {
       dir_.move_owner(i, dest);
     }
     publish();
+  }
+
+  // Persist the routing state that pairs with the hosts' freshly written
+  // manifests (see durability::Topology). Facade calls this at the end of
+  // every full checkpoint; a no-op without durability.
+  void save_topology() {
+    if (!marker_wal_.is_open()) return;
+    psi::durability::Topology t;
+    t.epoch = epoch_.current();
+    t.shards.reserve(dir_.num_shards());
+    for (std::size_t i = 0; i < dir_.num_shards(); ++i) {
+      psi::durability::TopologyShard s;
+      s.key = dir_.key_of(i);
+      s.upper = dir_.map().upper_bound_of(i);
+      s.version = dir_.version_of(i);
+      s.owner = dir_.owner_of(i);
+      t.shards.push_back(s);
+    }
+    psi::durability::write_topology(cfg_.durability.dir + "/coordinator", t,
+                                    cfg_.durability.fsync);
+  }
+
+  // Clean-restart fast path: re-install a checkpointed topology verbatim.
+  // `best` holds the deduped recovered shards (key -> contents); entries
+  // still carrying an arena image install with one validate + adopt on
+  // their recorded owner — no decode, no global re-sort, no rebuild.
+  //
+  // Returns false — leaving the coordinator untouched, caller falls back
+  // to the bulk-load path — unless the record and the recovered shards
+  // agree exactly: every topology shard present in `best` at the exact
+  // checkpointed version and nothing else recovered, bounds well-formed,
+  // every owner alive. Anything short of that means the directory state
+  // moved past the topology record (crash mid-checkpoint, WAL tail, a
+  // node's stale manifest) and only the union semantics of the slow path
+  // are safe.
+  bool restore_topology(
+      const psi::durability::Topology& topo,
+      std::map<std::uint64_t, psi::durability::RecoveredShard<Coord, D>>&
+          best,
+      const psi::durability::ArenaDecoder<Coord, D>& decoder) {
+    const std::size_t k = topo.shards.size();
+    if (k == 0 || best.size() != k) return false;
+    std::vector<std::uint64_t> uppers(k), keys(k), versions(k);
+    std::vector<NodeId> owners(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto& s = topo.shards[i];
+      if (i > 0 && s.upper <= uppers[i - 1]) return false;
+      uppers[i] = s.upper;
+      keys[i] = s.key;
+      versions[i] = s.version;
+      owners[i] = static_cast<NodeId>(s.owner);
+      if (std::find(nodes_.begin(), nodes_.end(), owners[i]) ==
+          nodes_.end()) {
+        return false;
+      }
+      const auto it = best.find(s.key);
+      if (it == best.end() || it->second.version != s.version) return false;
+    }
+    if (uppers.back() != ~std::uint64_t{0}) return false;
+    // The constructor's placeholder shards go away after the restored
+    // route is published (mirrors load()) — except where a restored shard
+    // reuses a placeholder's (key, owner): both id allocators start at 1,
+    // so a pre-restart key can collide with a fresh placeholder key, and
+    // the install above already replaced that slot in place. Dropping it
+    // would delete the restored data.
+    const auto old_keys = dir_.keys();
+    const auto old_owners = dir_.owners();
+    dir_.restore(map_t::from_bounds(uppers), keys, versions, owners);
+    sizes_.assign(k, 0);
+    for (std::size_t i = 0; i < k; ++i) {
+      auto& rec = best.find(keys[i])->second;
+      const auto fid = static_cast<std::size_t>(rec.factory_id);
+      if (!rec.image.empty()) {
+        try {
+          sizes_[i] =
+              install_arena(keys[i], versions[i], fid, rec.image, owners[i]);
+          continue;
+        } catch (const TransportError&) {
+          // Destination refused the image (builder parameters changed
+          // across the restart, say): materialize and take the point path.
+          if (!decoder) throw;
+          rec.pts = decoder(rec.factory_id, rec.image);
+        }
+      }
+      install_raw(keys[i], versions[i], fid, rec.pts, owners[i]);
+      sizes_[i] = rec.pts.size();
+    }
+    publish();
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      bool survived = false;
+      for (std::size_t j = 0; j < k; ++j) {
+        if (keys[j] == old_keys[i] && owners[j] == old_owners[i]) {
+          survived = true;
+          break;
+        }
+      }
+      if (!survived) drop_shard_key(old_keys[i], old_owners[i]);
+    }
+    return true;
   }
 
  private:
@@ -1095,25 +1269,80 @@ class Coordinator {
     w.put_u64(key);
     w.put_u64(version);
     w.put_u64(factory_id);
+    w.put_u8(kShardFormatPoints);
     w.put_points(pts);
     expect_ok(transport_.call(node, std::move(w).finish(MsgType::kInstallShard)),
               "install");
   }
 
-  std::tuple<std::vector<point_t>, std::uint64_t, std::size_t> fetch_shard(
-      std::uint64_t key, NodeId node) {
+  // Raw-arena install (v4): ship a serialized arena image instead of
+  // points. The destination validates the CRC frame and the builder
+  // fingerprint before adopting, so a mismatched backend configuration
+  // across nodes fails the call loudly instead of installing garbage.
+  // Returns the adopted shard's cardinality (from the install ack — the
+  // image is opaque here).
+  std::size_t install_arena(std::uint64_t key, std::uint64_t version,
+                            std::size_t factory_id,
+                            const std::vector<std::uint8_t>& image,
+                            NodeId node) {
+    PSI_TRACE_SPAN("rpc.install");
+    WireWriter w;
+    w.put_u64(key);
+    w.put_u64(version);
+    w.put_u64(factory_id);
+    w.put_u8(kShardFormatArena);
+    w.put_blob(image);
+    Message reply = expect_ok(
+        transport_.call(node, std::move(w).finish(MsgType::kInstallShard)),
+        "install");
+    WireReader r(reply);
+    return static_cast<std::size_t>(r.get_u64());
+  }
+
+  // One fetched shard in whichever encoding the host chose. Exactly one of
+  // pts/image is meaningful, selected by is_arena.
+  struct FetchedShard {
+    bool is_arena = false;
+    std::vector<point_t> pts;
+    std::vector<std::uint8_t> image;
+    std::uint64_t version = 0;
+    std::size_t origin = 0;
+  };
+
+  FetchedShard fetch_shard_any(std::uint64_t key, NodeId node,
+                               bool allow_raw) {
     PSI_TRACE_SPAN("rpc.fetch");
     WireWriter w;
     w.put_u64(key);
+    w.put_u8(allow_raw ? 1 : 0);
     Message reply = expect_ok(
         transport_.call(node, std::move(w).finish(MsgType::kFetchShard)),
         "fetch");
     WireReader r(reply);
     (void)r.get_u64();  // echoed key
-    const std::uint64_t version = r.get_u64();
-    const auto origin = static_cast<std::size_t>(r.get_u64());
-    std::vector<point_t> pts = r.template get_points<Coord, D>();
-    return {std::move(pts), version, origin};
+    FetchedShard out;
+    out.version = r.get_u64();
+    out.origin = static_cast<std::size_t>(r.get_u64());
+    const std::uint8_t format = r.get_u8();
+    if (format == kShardFormatArena) {
+      if (!allow_raw) throw WireError("fetch: unsolicited arena image");
+      out.is_arena = true;
+      out.image = r.get_blob();
+    } else if (format == kShardFormatPoints) {
+      out.pts = r.template get_points<Coord, D>();
+    } else {
+      throw WireError("fetch: unknown shard format " +
+                      std::to_string(format));
+    }
+    return out;
+  }
+
+  // Point-wise fetch: split/merge/flatten/recovery need the points
+  // themselves, so they never ask for the raw encoding.
+  std::tuple<std::vector<point_t>, std::uint64_t, std::size_t> fetch_shard(
+      std::uint64_t key, NodeId node) {
+    FetchedShard f = fetch_shard_any(key, node, /*allow_raw=*/false);
+    return {std::move(f.pts), f.version, f.origin};
   }
 
   void drop_shard_key(std::uint64_t key, NodeId node) {
@@ -1201,6 +1430,7 @@ class Coordinator {
     auto [rhs, rv, rorigin] = fetch_shard(right_key, right_owner);
     (void)rv;
     (void)rorigin;
+    pts.reserve(pts.size() + rhs.size());
     pts.insert(pts.end(), rhs.begin(), rhs.end());
     dir_.merge(i, left_owner);
     sizes_[i] = pts.size();

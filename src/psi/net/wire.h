@@ -45,7 +45,11 @@ inline constexpr std::uint16_t kWireMagic = 0x5057;  // "PW"
 // v3: pinned-epoch reads (kQuery carries consistency + per-shard pinned
 //     versions, kQueryResult a retired-key list) and streamed list replies
 //     (kQueryChunk/kQueryDone/kQueryCredit, credit-based backpressure).
-inline constexpr std::uint16_t kWireVersion = 3;
+// v4: raw-arena shard transfer — kFetchShard gains an allow_raw flag;
+//     kShardData and kInstallShard carry a format byte after factory_id
+//     (kShardFormatPoints = point-wise codec, kShardFormatArena =
+//     length-prefixed, CRC-framed arena image; chunk_pool.h).
+inline constexpr std::uint16_t kWireVersion = 4;
 
 // One message kind per request/response the distributed service speaks.
 enum class MsgType : std::uint8_t {
@@ -89,6 +93,11 @@ inline constexpr std::uint32_t kDefaultStreamCredit = 4;
 // kQuery flag bits (v3).
 inline constexpr std::uint8_t kQueryFlagPinned = 1;  // versions are pinned
 inline constexpr std::uint8_t kQueryFlagStream = 2;  // chunked list reply
+
+// Shard payload formats (v4): the byte after factory_id in kShardData and
+// kInstallShard selects how the shard's contents are encoded.
+inline constexpr std::uint8_t kShardFormatPoints = 0;  // put_points codec
+inline constexpr std::uint8_t kShardFormatArena = 1;   // put_blob arena image
 
 // Query kinds inside a kQuery payload.
 enum class QueryKind : std::uint8_t {
@@ -200,6 +209,13 @@ class WireWriter {
       put_u8(static_cast<std::uint8_t>(b));
       put_u64(h.buckets[b]);
     }
+  }
+
+  // Length-prefixed opaque bytes (v4): arena images ride the wire as one
+  // blob; any internal structure (header, CRC) is the producer's business.
+  void put_blob(const std::vector<std::uint8_t>& b) {
+    put_u64(b.size());
+    buf_.insert(buf_.end(), b.begin(), b.end());
   }
 
   void put_string(const std::string& s) {
@@ -350,6 +366,17 @@ class WireReader {
       h.buckets[b] = get_u64();
     }
     return h;
+  }
+
+  std::vector<std::uint8_t> get_blob() {
+    const std::uint64_t n = get_u64();
+    // Bounds check before the allocation, like get_points: a corrupt
+    // length word must not trigger a huge reserve.
+    if (n > remaining()) throw WireError("blob length exceeds frame payload");
+    std::vector<std::uint8_t> b(data_ + pos_,
+                                data_ + pos_ + static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return b;
   }
 
   std::string get_string() {

@@ -175,6 +175,18 @@ class GroupCommitter {
     return published_size_.load(std::memory_order_relaxed);
   }
 
+  // Arena footprint of the last published view, mirrored into a shared
+  // atomic block at publish time so registry gauges can sample it from any
+  // thread, even after this committer is gone (they hold the shared_ptr).
+  struct ArenaGauges {
+    std::atomic<std::size_t> bytes{0};
+    std::atomic<std::size_t> chunks{0};
+    std::atomic<std::uint64_t> raw_copies{0};
+  };
+  std::shared_ptr<const ArenaGauges> arena_gauges() const {
+    return arena_gauges_;
+  }
+
   // Bulk load (replaces current contents). The shard map is recomputed
   // with equal-population boundaries at the code quantiles of the data —
   // the static analogue of what split/merge converges to under streaming
@@ -355,6 +367,9 @@ class GroupCommitter {
   ServiceStats stats() const {
     ServiceStats s = stats_;
     s.replica_rebuilds = store_.replica_rebuilds();
+    s.arena_bytes = store_.arena_bytes();
+    s.arena_chunks = store_.arena_chunks();
+    s.handoff_raw_copies = store_.raw_copies();
     s.num_shards = store_.num_slots();
     s.shard_sizes.clear();
     s.shard_sizes.reserve(store_.num_slots());
@@ -526,6 +541,16 @@ class GroupCommitter {
     slot_.publish(std::move(v));
     epoch_.advance();
     published_size_.store(total, std::memory_order_relaxed);
+    // Mirror the arena footprint into the shared gauge block here, under
+    // the writer: gauge callbacks (registry.h) may fire from any thread —
+    // and outlive this committer — so they must not walk the slot array a
+    // concurrent split/merge is restructuring.
+    arena_gauges_->bytes.store(store_.arena_bytes(),
+                               std::memory_order_relaxed);
+    arena_gauges_->chunks.store(store_.arena_chunks(),
+                                std::memory_order_relaxed);
+    arena_gauges_->raw_copies.store(store_.raw_copies(),
+                                    std::memory_order_relaxed);
     stats_.epoch = next;
     ++stats_.commits;
     return stats_.epoch;
@@ -549,6 +574,7 @@ class GroupCommitter {
   // Total population of the last published view; read lock-free by
   // SpatialService::size() without constructing a Snapshot.
   std::atomic<std::size_t> published_size_{0};
+  std::shared_ptr<ArenaGauges> arena_gauges_ = std::make_shared<ArenaGauges>();
   // Write-ahead log, armed by SpatialService after recovery (never owned).
   psi::durability::WalWriter* wal_ = nullptr;
 };

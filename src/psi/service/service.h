@@ -48,6 +48,7 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <limits>
 #include <mutex>
 #include <thread>
 #include <type_traits>
@@ -88,9 +89,11 @@ class SpatialService {
 
   explicit SpatialService(ServiceConfig cfg = {})
       : cfg_(cfg),
-        committer_(cfg, [](std::size_t) { return Index(); }),
+        factory_([](std::size_t) { return Index(); }),
+        committer_(cfg, factory_),
         cache_(cfg.cache_entries, cfg.cache_max_entry_bytes) {
     init_durability();
+    register_arena_gauges();
   }
 
   // Accepts either a per-shard factory Index(std::size_t) or a legacy
@@ -100,9 +103,11 @@ class SpatialService {
              std::is_invocable_r_v<Index, Factory&>
   SpatialService(ServiceConfig cfg, Factory factory)
       : cfg_(cfg),
-        committer_(cfg, adapt_factory(std::move(factory))),
+        factory_(adapt_factory(std::move(factory))),
+        committer_(cfg, factory_),
         cache_(cfg.cache_entries, cfg.cache_max_entry_bytes) {
     init_durability();
+    register_arena_gauges();
   }
 
   ~SpatialService() {
@@ -151,19 +156,27 @@ class SpatialService {
     m.epoch = view->epoch;
     m.watermark = watermark;
     const std::size_t k = view->shards.size();
-    std::vector<std::vector<point_t>> pts;
+    std::vector<psi::durability::CheckpointShard<coord_t, kDim>> shards;
     m.shards.reserve(k);
-    pts.reserve(k);
+    shards.reserve(k);
     for (std::size_t i = 0; i < k; ++i) {
       psi::durability::ManifestShard s;
       s.key = view->shard_keys[i];
       s.version = view->shard_versions[i];
       s.factory_id = i;
       m.shards.push_back(std::move(s));
-      pts.push_back(view->shards[i]->flatten());
+      // Relocatable backends snapshot as raw arena images — a header +
+      // chunk memcpy instead of flatten + per-point encode.
+      psi::durability::CheckpointShard<coord_t, kDim> data;
+      if (index_relocatable(*view->shards[i])) {
+        data.image = serialize_index_arena(*view->shards[i]);
+      } else {
+        data.pts = view->shards[i]->flatten();
+      }
+      shards.push_back(std::move(data));
     }
     psi::durability::write_checkpoint<coord_t, kDim>(
-        cfg_.durability.dir, std::move(m), pts, cfg_.durability.fsync);
+        cfg_.durability.dir, std::move(m), shards, cfg_.durability.fsync);
     wal_.truncate_below(watermark);
     last_checkpoint_epoch_.store(view->epoch, std::memory_order_relaxed);
   }
@@ -504,8 +517,21 @@ class SpatialService {
   void init_durability() {
     if (!cfg_.durability.armed()) return;
     const auto t0 = std::chrono::steady_clock::now();
-    auto rec = psi::durability::recover<coord_t, kDim>(cfg_.durability.dir);
+    const psi::durability::ArenaDecoder<coord_t, kDim> decoder =
+        [this](std::uint64_t factory_id,
+               const std::vector<std::uint8_t>& image) {
+          Index idx = factory_(static_cast<std::size_t>(factory_id));
+          adopt_index_arena(idx, image.data(), image.size());
+          return idx.flatten();
+        };
+    auto rec = psi::durability::recover<coord_t, kDim>(
+        cfg_.durability.dir, std::numeric_limits<std::uint64_t>::max(),
+        decoder);
     if (rec.found) {
+      // The committer's bulk load repartitions, so images decode to points
+      // first (recover() already materialised any shard the WAL tail
+      // touched).
+      rec.materialize(decoder);
       std::lock_guard<std::mutex> g(commit_mu_);
       committer_.load(rec.all_points());
     }
@@ -518,6 +544,26 @@ class SpatialService {
     telemetry::StatsRegistry::instance().register_gauge(
         "psi_recovery_ms",
         [v = static_cast<std::uint64_t>(recovery_ms_)] { return v; });
+  }
+
+  // Prometheus exposition of the relocatable-arena footprint (stats v5).
+  // The callbacks own a shared_ptr to the committer's atomic gauge block,
+  // so they stay valid after this service is torn down (registry.h
+  // contract: gauges fire forever, from any thread).
+  void register_arena_gauges() {
+    auto& reg = telemetry::StatsRegistry::instance();
+    auto g = committer_.arena_gauges();
+    reg.register_gauge("psi_arena_bytes", [g] {
+      return static_cast<std::uint64_t>(
+          g->bytes.load(std::memory_order_relaxed));
+    });
+    reg.register_gauge("psi_arena_chunks", [g] {
+      return static_cast<std::uint64_t>(
+          g->chunks.load(std::memory_order_relaxed));
+    });
+    reg.register_gauge("psi_handoff_raw_copies", [g] {
+      return g->raw_copies.load(std::memory_order_relaxed);
+    });
   }
 
   void maybe_auto_checkpoint() {
@@ -545,6 +591,10 @@ class SpatialService {
   }
 
   ServiceConfig cfg_;
+  // Kept (besides the committer's own copy) for recovery: decoding an
+  // arena checkpoint image back to points needs a same-backend index.
+  // Declared before committer_ so the constructor can hand it a copy.
+  factory_t factory_;
   RequestQueue<coord_t, kDim> queue_;
   // Serialises every writer into the committer: the background thread,
   // flush() callers, build(), stats().

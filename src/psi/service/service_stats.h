@@ -21,7 +21,9 @@ namespace psi::service {
 struct ServiceStats {
   // Schema version of json(). Bump when fields change meaning or move;
   // adding fields is compatible and does not bump it.
-  std::uint64_t stats_version = 4;
+  // v5: relocatable-arena fields (arena_bytes / arena_chunks /
+  // handoff_raw_copies; core/arena).
+  std::uint64_t stats_version = 5;
 
   std::uint64_t epoch = 0;        // published commit epochs
   std::uint64_t commits = 0;      // commit groups applied (== epoch)
@@ -29,6 +31,13 @@ struct ServiceStats {
   std::uint64_t merges = 0;       // shard merges performed
   std::uint64_t grace_yields = 0; // scheduler yields spent in grace periods
   std::uint64_t replica_rebuilds = 0;  // standbys abandoned to pinned readers
+
+  // Relocatable-arena accounting (v5; zero for non-arena backends).
+  std::size_t arena_bytes = 0;   // committed arena bytes, live replicas
+  std::size_t arena_chunks = 0;  // backing chunks under those bytes
+  // Raw arena-image copies: replica clones plus handoff/install adopts —
+  // each one replaced a flatten + per-point rebuild.
+  std::uint64_t handoff_raw_copies = 0;
 
   std::uint64_t ops_insert = 0;
   std::uint64_t ops_delete = 0;

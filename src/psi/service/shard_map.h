@@ -105,6 +105,17 @@ class ShardMap {
     return m;
   }
 
+  // Rebuild a map from previously published inclusive upper bounds
+  // (checkpoint topology restore). The caller validates shape — strictly
+  // increasing, last == 2^64-1 — before trusting recovered bytes.
+  static ShardMap from_bounds(std::vector<std::uint64_t> upper) {
+    assert(!upper.empty() && upper.back() == ~std::uint64_t{0});
+    assert(std::is_sorted(upper.begin(), upper.end()));
+    ShardMap m;
+    m.upper_ = std::move(upper);
+    return m;
+  }
+
   std::size_t num_shards() const { return upper_.size(); }
 
   // Shard covering `code`: the first shard whose inclusive upper bound is
@@ -312,6 +323,33 @@ class ShardDirectory {
       keys_[i] = fresh_key();
       versions_[i] = fresh_version();
     }
+    ++stamp_;
+  }
+
+  // Verbatim reinstatement of a previously published directory (topology
+  // restore after a clean restart): keys, versions, and owners survive
+  // exactly as checkpointed, so handed-back shards keep the identities
+  // remote protocols and caches already speak. The id allocators jump past
+  // every restored value — a later split/touch must never re-issue a key
+  // or version the old incarnation already spent. Topology generation
+  // advances as usual: pre-restart coverage is not comparable.
+  void restore(map_t map, std::vector<std::uint64_t> keys,
+               std::vector<std::uint64_t> versions,
+               std::vector<NodeId> owners) {
+    const std::size_t k = map.num_shards();
+    assert(keys.size() == k && versions.size() == k && owners.size() == k);
+    map_ = std::move(map);
+    keys_ = std::move(keys);
+    versions_ = std::move(versions);
+    owners_ = std::move(owners);
+    std::uint64_t max_key = next_key_.load(std::memory_order_relaxed);
+    std::uint64_t max_version = next_version_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < k; ++i) {
+      max_key = std::max(max_key, keys_[i]);
+      max_version = std::max(max_version, versions_[i]);
+    }
+    next_key_.store(max_key, std::memory_order_relaxed);
+    next_version_.store(max_version, std::memory_order_relaxed);
     ++stamp_;
   }
 

@@ -27,20 +27,89 @@
 #pragma once
 
 #include <atomic>
+#include <concepts>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "psi/api/concepts.h"
 #include "psi/parallel/task_group.h"
 #include "psi/service/epoch.h"
 #include "psi/telemetry/metrics.h"
 #include "psi/telemetry/trace.h"
 
 namespace psi::service {
+
+// ---------------------------------------------------------------------------
+// Relocatable-arena dispatch (api::RelocatableIndex, core/arena)
+// ---------------------------------------------------------------------------
+// One set of helpers usable with both concrete backends (capability known at
+// compile time) and api::AnyIndex (capability is the wrapped backend's — a
+// runtime relocatable() flag). Callers gate on index_relocatable() and only
+// then touch the arena calls; the if-constexpr branches compile out entirely
+// for backends without the capability.
+
+template <typename Index>
+inline bool index_relocatable(const Index& idx) {
+  if constexpr (requires(const Index& c) {
+                  { c.relocatable() } -> std::convertible_to<bool>;
+                }) {
+    return idx.relocatable();  // AnyIndex: ask the wrapped backend
+  } else {
+    (void)idx;
+    return api::RelocatableIndex<Index>;
+  }
+}
+
+template <typename Index>
+inline std::vector<std::uint8_t> serialize_index_arena(const Index& idx) {
+  if constexpr (api::RelocatableIndex<Index>) {
+    return idx.serialize_arena();
+  } else {
+    (void)idx;
+    return {};
+  }
+}
+
+template <typename Index>
+inline void adopt_index_arena(Index& idx, const std::uint8_t* data,
+                              std::size_t n) {
+  if constexpr (api::RelocatableIndex<Index>) {
+    idx.adopt_arena(data, n);  // AnyIndex throws if the backend can't
+  } else {
+    (void)idx;
+    (void)data;
+    (void)n;
+    // Routing an arena image at a backend without the capability is a
+    // caller bug (callers gate on index_relocatable), never data loss.
+    throw std::logic_error("adopt_index_arena: backend is not relocatable");
+  }
+}
+
+template <typename Index>
+inline std::size_t index_arena_bytes(const Index& idx) {
+  if constexpr (api::RelocatableIndex<Index>) {
+    return index_relocatable(idx) ? idx.arena_bytes() : 0;
+  } else {
+    (void)idx;
+    return 0;
+  }
+}
+
+template <typename Index>
+inline std::size_t index_arena_chunks(const Index& idx) {
+  if constexpr (api::RelocatableIndex<Index>) {
+    return index_relocatable(idx) ? idx.arena_chunks() : 0;
+  } else {
+    (void)idx;
+    return 0;
+  }
+}
 
 // A maximal run of same-kind update ops, in FIFO order. The unit of both
 // the pending log and the wire format for remote commit batches (wire.h).
@@ -132,6 +201,59 @@ class ShardStore {
     slots_[pos] = build_slot(pts, factory_id);
   }
 
+  // ---- raw-arena slot operations (RelocatableIndex fast path) ---------
+  // A relocatable slot moves as one CRC-framed arena image: the shard
+  // handoff source serializes the live replica, the destination adopts the
+  // same image into both replicas — no flatten, no re-sort, no per-point
+  // rebuild. adopt_arena validates before install, so a corrupt image
+  // throws out of here with the slot array unchanged (insert) or the old
+  // slot intact (replace constructs the new slot first).
+
+  bool slot_relocatable(std::size_t i) const {
+    return index_relocatable(*slots_[i].live);
+  }
+
+  // Serialized arena image of slot i's live replica. Caller must be the
+  // (externally serialised) writer; concurrent readers are fine.
+  std::vector<std::uint8_t> serialize_slot(std::size_t i) const {
+    return serialize_index_arena(*slots_[i].live);
+  }
+
+  // Both return the adopted shard's cardinality (the install ack size).
+  std::size_t insert_slot_raw(std::size_t pos, const std::uint8_t* data,
+                              std::size_t n, std::size_t factory_id) {
+    ShardSlot s = build_slot_raw(data, n, factory_id);
+    const std::size_t size = s.live->size();
+    slots_.insert(slots_.begin() + static_cast<std::ptrdiff_t>(pos),
+                  std::move(s));
+    return size;
+  }
+
+  std::size_t replace_slot_raw(std::size_t pos, const std::uint8_t* data,
+                               std::size_t n, std::size_t factory_id) {
+    ShardSlot s = build_slot_raw(data, n, factory_id);
+    const std::size_t size = s.live->size();
+    slots_[pos] = std::move(s);
+    return size;
+  }
+
+  // Raw arena-image copies performed (slot installs + replica clones).
+  std::uint64_t raw_copies() const {
+    return raw_copies_.load(std::memory_order_relaxed);
+  }
+  // Committed arena bytes/chunks across all live replicas (0 for
+  // non-relocatable backends).
+  std::size_t arena_bytes() const {
+    std::size_t total = 0;
+    for (const auto& s : slots_) total += index_arena_bytes(*s.live);
+    return total;
+  }
+  std::size_t arena_chunks() const {
+    std::size_t total = 0;
+    for (const auto& s : slots_) total += index_arena_chunks(*s.live);
+    return total;
+  }
+
   // Erase the slot at `pos`; its in-flight replay joins in the destructor
   // and in-flight *readers* of the live replica stay safe through their
   // own shared_ptr (the RCU grace discipline — dropping a slot never
@@ -201,9 +323,11 @@ class ShardStore {
       if (!grace.quiesced) {
         // A stale reader (possibly this very thread, holding a snapshot
         // across a flush) pins the replica: abandon it and clone live,
-        // which already contains the pending log.
+        // which already contains the pending log. A relocatable backend
+        // clones as one raw arena copy (serialize + validate + adopt);
+        // everything else pays the flatten + rebuild.
         s.standby = make_index(s.origin);
-        s.standby->build(s.live->flatten());
+        clone_into(*s.live, *s.standby);
         s.pending.clear();
         ++replica_rebuilds_;
       }
@@ -317,8 +441,38 @@ class ShardStore {
     s.live = make_index(factory_id);
     s.live->build(pts);
     s.standby = make_index(factory_id);
-    s.standby->build(pts);
+    // The standby is a clone of live: a relocatable backend copies the
+    // just-built arena instead of paying the full sort + build a second
+    // time (every split/merge/load builds a slot, so this halves the
+    // rebuild work on those paths).
+    clone_into(*s.live, *s.standby);
     return s;
+  }
+
+  // Both replicas adopt the same validated image (handoff destination).
+  ShardSlot build_slot_raw(const std::uint8_t* data, std::size_t n,
+                           std::size_t factory_id) const {
+    ShardSlot s;
+    s.origin = factory_id;
+    s.live = make_index(factory_id);
+    adopt_index_arena(*s.live, data, n);
+    s.standby = make_index(factory_id);
+    adopt_index_arena(*s.standby, data, n);
+    raw_copies_.fetch_add(1, std::memory_order_relaxed);
+    return s;
+  }
+
+  // Make dst contentwise equal to src: raw arena copy when relocatable,
+  // flatten + build otherwise. The flatten vector is reserved from the
+  // known size inside flatten() and consumed in place — no extra copy.
+  void clone_into(const Index& src, Index& dst) const {
+    if (index_relocatable(src)) {
+      const std::vector<std::uint8_t> image = serialize_index_arena(src);
+      adopt_index_arena(dst, image.data(), image.size());
+      raw_copies_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    dst.build(src.flatten());
   }
 
   // Join the slot's in-flight replay task (if any) and fold its outcome
@@ -368,6 +522,9 @@ class ShardStore {
   std::vector<ShardSlot> slots_;
   // Incremented from the parallel per-shard apply, hence atomic.
   std::atomic<std::uint64_t> replica_rebuilds_{0};
+  // Raw arena-image copies (mutable: build_slot/clone_into are const-path
+  // helpers; incremented from parallel slot builds, hence atomic).
+  mutable std::atomic<std::uint64_t> raw_copies_{0};
 };
 
 }  // namespace psi::service

@@ -56,6 +56,9 @@ std::string ServiceStats::json() const {
      << ",\"splits\":" << splits << ",\"merges\":" << merges
      << ",\"grace_yields\":" << grace_yields
      << ",\"replica_rebuilds\":" << replica_rebuilds
+     << ",\"arena_bytes\":" << arena_bytes
+     << ",\"arena_chunks\":" << arena_chunks
+     << ",\"handoff_raw_copies\":" << handoff_raw_copies
      << ",\"ops_insert\":" << ops_insert << ",\"ops_delete\":" << ops_delete
      << ",\"ops_knn\":" << ops_knn
      << ",\"ops_range_count\":" << ops_range_count

@@ -482,7 +482,7 @@ TEST(ServiceDurability, StatsAndRegistryExportWalSeries) {
   svc.flush();
   for (auto& f : futs) f.get();
   const auto s = svc.stats();
-  EXPECT_EQ(s.stats_version, 4u);
+  EXPECT_EQ(s.stats_version, 5u);
   EXPECT_GE(s.wal_appends, 1u);
   EXPECT_GT(s.wal_bytes, 0u);
   const std::string j = s.json();

@@ -345,7 +345,7 @@ TEST(TelemetryService, StatsCarryLatencyAndHeat) {
   svc.stop();
 
   const ServiceStats s = svc.stats();
-  EXPECT_EQ(s.stats_version, 4u);
+  EXPECT_EQ(s.stats_version, 5u);
   ASSERT_EQ(s.latency.size(), kNumQueuedOps);
   ASSERT_EQ(s.stages.size(), kNumStages);
   // 50 inserts went through the queue; their end-to-end latency is in the
@@ -373,7 +373,7 @@ TEST(TelemetryService, StatsCarryLatencyAndHeat) {
   EXPECT_GE(hot[0].second, hot.back().second);
 
   const std::string json = s.json();
-  EXPECT_NE(json.find("\"stats_version\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"stats_version\":5"), std::string::npos);
   EXPECT_NE(json.find("\"cache_torn_skips\":"), std::string::npos);
   EXPECT_NE(json.find("\"p50\":"), std::string::npos);
   EXPECT_NE(json.find("\"p95\":"), std::string::npos);
